@@ -1,0 +1,575 @@
+// Package repro's top-level benchmark harness: one benchmark per table
+// and figure of the paper's evaluation (§6.2), plus Table 1 API
+// micro-benchmarks and ablations of the design choices catalogued in
+// DESIGN.md.
+//
+// The figure benchmarks run reduced sweeps sized for `go test -bench`;
+// cmd/defcon-bench runs the full paper-scale sweeps with the same
+// runners. Shapes, not absolute numbers, are the reproduction target.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/metrics"
+	"repro/internal/priv"
+	"repro/internal/tags"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// TestMain lets benchmark runs host baseline agent subprocesses.
+func TestMain(m *testing.M) {
+	baseline.MaybeRunAgent()
+	os.Exit(m.Run())
+}
+
+// benchTraders is the reduced Figure 5–7 x-axis for `go test -bench`.
+var benchTraders = []int{100, 400}
+
+// Benchmark_Fig5_Throughput regenerates Figure 5 (DEFCon max event rate
+// vs traders, four security modes) at bench scale, reporting events/s
+// per point.
+func Benchmark_Fig5_Throughput(b *testing.B) {
+	for _, mode := range bench.AllModes {
+		for _, n := range benchTraders {
+			b.Run(fmt.Sprintf("mode=%s/traders=%d", slug(mode), n), func(b *testing.B) {
+				res, err := bench.RunFig5(bench.DEFConOpts{
+					Traders:  []int{n},
+					Modes:    []core.SecurityMode{mode},
+					Duration: 400 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y, "events/s")
+			})
+		}
+	}
+}
+
+// Benchmark_Fig6_Latency regenerates Figure 6 (70th-percentile trade
+// latency vs traders), reporting milliseconds per point.
+func Benchmark_Fig6_Latency(b *testing.B) {
+	for _, mode := range bench.AllModes {
+		for _, n := range benchTraders {
+			b.Run(fmt.Sprintf("mode=%s/traders=%d", slug(mode), n), func(b *testing.B) {
+				res, err := bench.RunFig6(bench.DEFConOpts{
+					Traders:      []int{n},
+					Modes:        []core.SecurityMode{mode},
+					LatencyRate:  4000,
+					LatencyTicks: 4000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y, "ms-p70")
+			})
+		}
+	}
+}
+
+// Benchmark_Fig7_Memory regenerates Figure 7 (occupied memory vs
+// traders), reporting MiB per point.
+func Benchmark_Fig7_Memory(b *testing.B) {
+	for _, mode := range bench.AllModes {
+		for _, n := range benchTraders {
+			b.Run(fmt.Sprintf("mode=%s/traders=%d", slug(mode), n), func(b *testing.B) {
+				res, err := bench.RunFig7(bench.DEFConOpts{
+					Traders:     []int{n},
+					Modes:       []core.SecurityMode{mode},
+					MemoryTicks: 4000,
+					TickCache:   2048,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y, "MiB")
+			})
+		}
+	}
+}
+
+// Benchmark_Fig8_BaselineThroughput regenerates Figure 8 (baseline max
+// event rate vs agent count), reporting events/s per point. Agents run
+// as OS processes, as in the paper's one-JVM-per-client deployment.
+func Benchmark_Fig8_BaselineThroughput(b *testing.B) {
+	for _, n := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("agents=%d", n), func(b *testing.B) {
+			res, err := bench.RunFig8(bench.BaselineOpts{
+				ThroughputAgents: []int{n},
+				Duration:         400 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Series[0].Points[0].Y, "events/s")
+		})
+	}
+}
+
+// Benchmark_Fig9_BaselineLatency regenerates Figure 9 (baseline latency
+// breakdown vs agent count) at 1,000 events/s, reporting the three
+// 70th-percentile contributions in milliseconds.
+func Benchmark_Fig9_BaselineLatency(b *testing.B) {
+	for _, n := range []int{4, 10} {
+		b.Run(fmt.Sprintf("agents=%d", n), func(b *testing.B) {
+			res, err := bench.RunFig9(bench.BaselineOpts{
+				LatencyAgents: []int{n},
+				LatencyRate:   1000,
+				LatencyTicks:  1500,
+				UniversePairs: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Series[0].Points[0].Y, "ms-processing")
+			b.ReportMetric(res.Series[1].Points[0].Y, "ms-ticks+proc")
+			b.ReportMetric(res.Series[2].Points[0].Y, "ms-full")
+		})
+	}
+}
+
+// --- Table 1: API micro-benchmarks -----------------------------------
+//
+// One benchmark per DEFCon API call, measured on a labels+freeze system
+// (the checks are live; the §4 interceptors are benchmarked separately
+// in the ablations).
+
+// apiBench builds a system and a unit for API micro-benchmarks.
+func apiBench(b *testing.B, mode core.SecurityMode) (*core.System, *core.Unit) {
+	b.Helper()
+	sys := core.NewSystem(core.Config{Mode: mode, Seed: 1, Enforcer: bench.SharedEnforcer()})
+	b.Cleanup(sys.Close)
+	return sys, sys.NewUnit("bench", core.UnitConfig{})
+}
+
+func Benchmark_Table1_CreateEvent(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = u.CreateEvent()
+	}
+}
+
+func Benchmark_Table1_AddPart(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	tg := u.CreateTag("t")
+	s := labels.NewSet(tg)
+	e := u.CreateEvent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := u.AddPart(e, s, labels.EmptySet, "p", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_ReadPart(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	e := u.CreateEvent()
+	if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "p",
+		freeze.MapOf("k", "v")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.ReadPart(e, "p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_DelPart(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	e := u.CreateEvent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := u.DelPart(e, labels.EmptySet, labels.EmptySet, "p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_AttachPrivilegeToPart(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	tg := u.CreateTag("t")
+	e := u.CreateEvent()
+	if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := u.AttachPrivilegeToPart(e, "p", labels.EmptySet, labels.EmptySet, tg, priv.Plus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_CloneEvent(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	e := u.CreateEvent()
+	for i := 0; i < 3; i++ {
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet,
+			fmt.Sprintf("p%d", i), freeze.MapOf("k", int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := u.Publish(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.CloneEvent(e, labels.EmptySet, labels.EmptySet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_Publish_OneSubscriber(b *testing.B) {
+	sys, u := apiBench(b, core.LabelsFreeze)
+	subU := sys.NewUnit("sub", core.UnitConfig{})
+	if _, err := subU.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "x"))); err != nil {
+		b.Fatal(err)
+	}
+	// Drain continuously so queues never exert backpressure.
+	sys.Go(func() {
+		for {
+			if _, _, err := subU.GetEvent(); err != nil {
+				return
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := u.CreateEvent()
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_Subscribe(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	f := dispatch.MustFilter(dispatch.PartEq("type", "x"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := u.Subscribe(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u.Unsubscribe(id)
+	}
+}
+
+func Benchmark_Table1_SubscribeManaged_Delivery(b *testing.B) {
+	sys, u := apiBench(b, core.LabelsFreeze)
+	handled := make(chan struct{}, 1024)
+	mgr := sys.NewUnit("mgr", core.UnitConfig{})
+	if _, err := mgr.SubscribeManaged(func(mu *core.Unit, e *events.Event, sub uint64) {
+		handled <- struct{}{}
+	}, dispatch.MustFilter(dispatch.PartEq("type", "m"))); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := u.CreateEvent()
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "m"); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+		<-handled
+	}
+}
+
+func Benchmark_Table1_GetEvent_RoundTrip(b *testing.B) {
+	sys, u := apiBench(b, core.LabelsFreeze)
+	subU := sys.NewUnit("sub", core.UnitConfig{})
+	if _, err := subU.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "x"))); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := u.CreateEvent()
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := subU.GetEvent(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_Release_Redispatch(b *testing.B) {
+	sys, u := apiBench(b, core.LabelsFreeze)
+	aug := sys.NewUnit("aug", core.UnitConfig{})
+	if _, err := aug.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "x"))); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := u.CreateEvent()
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+		got, _, err := aug.GetEvent()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := aug.AddPart(got, labels.EmptySet, labels.EmptySet, "extra", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := aug.Release(got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_ChangeInOutLabel(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	tg := u.CreateTag("t")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := u.ChangeInOutLabel(core.Confidentiality, core.Add, tg); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.ChangeInOutLabel(core.Confidentiality, core.Del, tg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark_Table1_CreateTag(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.CreateTag("t")
+	}
+}
+
+func Benchmark_Table1_InstantiateUnit(b *testing.B) {
+	_, u := apiBench(b, core.LabelsFreeze)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := u.InstantiateUnit("child", labels.EmptySet, labels.EmptySet, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		child.Terminate()
+	}
+}
+
+// --- Ablations --------------------------------------------------------
+
+// Benchmark_Ablation_FreezeVsClone quantifies the Figure 5 gap between
+// zero-copy frozen sharing and per-delivery deep copies: one publish
+// fanning out to 8 subscribers with a realistic map payload.
+func Benchmark_Ablation_FreezeVsClone(b *testing.B) {
+	for _, mode := range []core.SecurityMode{core.LabelsFreeze, core.LabelsClone} {
+		b.Run(slug(mode), func(b *testing.B) {
+			sys, u := apiBench(b, mode)
+			for i := 0; i < 8; i++ {
+				subU := sys.NewUnit(fmt.Sprintf("sub%d", i), core.UnitConfig{})
+				if _, err := subU.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "x"))); err != nil {
+					b.Fatal(err)
+				}
+				sys.Go(func() {
+					for {
+						if _, _, err := subU.GetEvent(); err != nil {
+							return
+						}
+					}
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := u.CreateEvent()
+				if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+					b.Fatal(err)
+				}
+				if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "body",
+					freeze.MapOf("symbol", "MSFT", "price", int64(1234), "qty", int64(100))); err != nil {
+					b.Fatal(err)
+				}
+				if err := u.Publish(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Benchmark_Ablation_InterceptorTax measures the woven §4 interceptors'
+// per-API-call cost in isolation (the labels+freeze+isolation vs
+// labels+freeze gap of Figures 5–6).
+func Benchmark_Ablation_InterceptorTax(b *testing.B) {
+	enf := bench.SharedEnforcer()
+	iso := enf.NewIsolate("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enf.APITax(iso)
+	}
+}
+
+// Benchmark_Ablation_LabelCheck measures one can-flow-to admission with
+// realistic label sizes (the per-part cost of the labels+freeze mode).
+func Benchmark_Ablation_LabelCheck(b *testing.B) {
+	st := metricsTagStore()
+	part := labels.Label{S: labels.NewSet(st[0], st[1]), I: labels.NewSet(st[2])}
+	in := labels.Label{S: labels.NewSet(st[0], st[1], st[3], st[4]), I: labels.NewSet(st[2])}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !part.CanFlowTo(in) {
+			b.Fatal("label check failed")
+		}
+	}
+}
+
+// Benchmark_Ablation_DispatchIndexVsScan contrasts the equality-indexed
+// subscription path against a pure scan list at 1,000 subscriptions —
+// the centralised-filtering design DESIGN.md calls out.
+func Benchmark_Ablation_DispatchIndexVsScan(b *testing.B) {
+	build := func(indexable bool) (*core.System, *core.Unit) {
+		sys := core.NewSystem(core.Config{Mode: core.LabelsFreeze})
+		b.Cleanup(sys.Close)
+		for i := 0; i < 1000; i++ {
+			subU := sys.NewUnit(fmt.Sprintf("s%d", i), core.UnitConfig{})
+			var f *dispatch.Filter
+			if indexable {
+				f = dispatch.MustFilter(dispatch.PartEq("sym", fmt.Sprintf("S%04d", i)))
+			} else {
+				f = dispatch.MustFilter(dispatch.Cond{
+					Part: "sym", Op: dispatch.Prefix, Value: fmt.Sprintf("S%04d", i),
+				})
+			}
+			if _, err := subU.Subscribe(f); err != nil {
+				b.Fatal(err)
+			}
+			sys.Go(func() {
+				for {
+					if _, _, err := subU.GetEvent(); err != nil {
+						return
+					}
+				}
+			})
+		}
+		return sys, sys.NewUnit("pub", core.UnitConfig{})
+	}
+	for _, mode := range []string{"indexed", "scan"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			_, u := build(mode == "indexed")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := u.CreateEvent()
+				if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "sym",
+					fmt.Sprintf("S%04d", i%1000)); err != nil {
+					b.Fatal(err)
+				}
+				if err := u.Publish(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Benchmark_Ablation_EndToEndTick measures one tick's full journey at a
+// small platform (exchange → monitors → traders), the unit of work
+// behind Figure 5.
+func Benchmark_Ablation_EndToEndTick(b *testing.B) {
+	for _, mode := range bench.AllModes {
+		b.Run(slug(mode), func(b *testing.B) {
+			p, err := trading.New(trading.Config{
+				Mode:       mode,
+				NumTraders: 16,
+				Seed:       1,
+				Enforcer:   bench.SharedEnforcer(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(p.Close)
+			trace := workload.NewTrace(p.Universe(), 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk := trace.Next()
+				p.Exchange.PublishTick(&tk)
+			}
+			b.StopTimer()
+			p.Quiesce(10 * time.Second)
+		})
+	}
+}
+
+// Benchmark_Ablation_HistogramRecord measures the measurement plumbing
+// itself, guarding against observer overhead in the figure numbers.
+func Benchmark_Ablation_HistogramRecord(b *testing.B) {
+	h := metrics.NewHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+// --- helpers ----------------------------------------------------------
+
+func slug(m core.SecurityMode) string {
+	switch m {
+	case core.NoSecurity:
+		return "nosec"
+	case core.LabelsFreeze:
+		return "freeze"
+	case core.LabelsClone:
+		return "clone"
+	case core.LabelsFreezeIsolation:
+		return "isolation"
+	default:
+		return "unknown"
+	}
+}
+
+// metricsTagStore mints a small deterministic tag pool.
+func metricsTagStore() []tags.Tag {
+	sys := core.NewSystem(core.Config{Mode: core.LabelsFreeze})
+	defer sys.Close()
+	u := sys.NewUnit("pool", core.UnitConfig{})
+	out := make([]tags.Tag, 6)
+	for i := range out {
+		out[i] = u.CreateTag(fmt.Sprintf("t%d", i))
+	}
+	return out
+}

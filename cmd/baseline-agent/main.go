@@ -1,0 +1,26 @@
+// Command baseline-agent is a standalone Strategy Agent for the
+// Marketcetera-like baseline (§6): one per client, each in its own OS
+// process, mirroring the paper's one-JVM-per-client deployment.
+//
+// It is normally spawned by the baseline harness (which sets the
+// DEFCON_BASELINE_ADDR / DEFCON_BASELINE_SPEC environment variables),
+// but can be pointed at a running ORS by hand:
+//
+//	DEFCON_BASELINE_ADDR=127.0.0.1:4567 \
+//	DEFCON_BASELINE_SPEC='0|SYM000A|SYM000B|10000|5000|bid|200' \
+//	baseline-agent
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+)
+
+func main() {
+	baseline.MaybeRunAgent() // exits the process when env is set
+	fmt.Fprintln(os.Stderr,
+		"baseline-agent: set DEFCON_BASELINE_ADDR and DEFCON_BASELINE_SPEC (see package doc)")
+	os.Exit(2)
+}

@@ -1,0 +1,126 @@
+// Command defcon-bench regenerates the paper's evaluation figures
+// (§6.2) at configurable scale and prints each as an aligned table.
+//
+// Examples:
+//
+//	defcon-bench -fig 5                          # paper-scale Figure 5
+//	defcon-bench -fig 6 -traders 200,400,800     # custom sweep
+//	defcon-bench -fig 8 -agents 2,5,10,20        # baseline throughput
+//	defcon-bench -fig 9 -inprocess               # serialisation-only ablation
+//	defcon-bench -analysis                       # §4.2 pipeline counts
+//	defcon-bench -fig all -quick                 # fast smoke of everything
+//
+// Baseline figures spawn one OS process per Strategy Agent by re-
+// executing this binary; no set-up is needed beyond building it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline.MaybeRunAgent() // never returns in agent mode
+
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9 or all")
+		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7)")
+		agents    = flag.String("agents", "", "comma-separated agent counts (figures 8-9)")
+		duration  = flag.Duration("duration", 2*time.Second, "measurement duration per throughput point")
+		rate      = flag.Float64("rate", 0, "offered tick rate for latency figures (0 = default)")
+		inprocess = flag.Bool("inprocess", false, "host baseline agents on goroutines instead of processes")
+		quick     = flag.Bool("quick", false, "small fast sweep (smoke test scale)")
+		analysis  = flag.Bool("analysis", false, "print the §4.2 isolation-analysis report")
+	)
+	flag.Parse()
+
+	if *analysis {
+		fmt.Println("# §4.2 static analysis pipeline (synthetic OpenJDK 6 model)")
+		fmt.Print(bench.AnalysisReport())
+		if *fig == "all" {
+			return
+		}
+	}
+
+	dopts := bench.DEFConOpts{Duration: *duration}
+	bopts := bench.BaselineOpts{Duration: *duration}
+	if *rate > 0 {
+		dopts.LatencyRate = *rate
+		bopts.LatencyRate = *rate
+	}
+	if *traders != "" {
+		dopts.Traders = parseInts(*traders)
+	}
+	if *agents != "" {
+		bopts.ThroughputAgents = parseInts(*agents)
+		bopts.LatencyAgents = parseInts(*agents)
+	}
+	if *inprocess {
+		bopts.Mode = baseline.InProcess
+	}
+	if *quick {
+		dopts.Traders = []int{50, 100, 200}
+		dopts.Duration = 500 * time.Millisecond
+		dopts.LatencyTicks = 2000
+		dopts.MemoryTicks = 5000
+		bopts.ThroughputAgents = []int{2, 5, 10}
+		bopts.LatencyAgents = []int{5, 10, 20}
+		bopts.Duration = 500 * time.Millisecond
+		bopts.LatencyTicks = 1000
+	}
+
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+	type runner struct {
+		name string
+		run  func() (bench.Result, error)
+	}
+	runners := []runner{
+		{"5", func() (bench.Result, error) { return bench.RunFig5(dopts) }},
+		{"6", func() (bench.Result, error) { return bench.RunFig6(dopts) }},
+		{"7", func() (bench.Result, error) { return bench.RunFig7(dopts) }},
+		{"8", func() (bench.Result, error) { return bench.RunFig8(bopts) }},
+		{"9", func() (bench.Result, error) { return bench.RunFig9(bopts) }},
+	}
+	ran := false
+	for _, r := range runners {
+		if !want(r.name) {
+			continue
+		}
+		ran = true
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9 or all)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// parseInts parses "200,400,600".
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Chinese Wall: the conflict-of-interest policy the paper cites as
+// motivation (§1 cites Brewer & Nash [8]: leakage of client data to a
+// bank's internal traders "is illegal in most jurisdictions, violating
+// rules regarding conflicts of interest").
+//
+// Two competing clients — two banks in the same conflict class — feed
+// deal flow into an advisory firm. Consultant units start on neither
+// side of the wall; the first client document a consultant reads
+// contaminates it with that client's tag (an explicit, audited label
+// raise), and from then on the lattice makes the other client's
+// documents unreachable: the consultant cannot shed the contamination
+// (no declassification privilege) and cannot raise by the competitor's
+// tag (no privilege over it at all). The wall needs no policy engine —
+// it is an emergent property of DEFC labels.
+//
+// Run: go run ./examples/chinesewall
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+func main() {
+	sys := core.NewSystem(core.Config{Mode: core.LabelsFreeze})
+	defer sys.Close()
+
+	// The advisory firm's compliance desk owns both client tags and
+	// decides who may be exposed to which side.
+	compliance := sys.NewUnit("compliance", core.UnitConfig{})
+	bankA := compliance.CreateTag("s-bank-A")
+	bankB := compliance.CreateTag("s-bank-B")
+
+	// Each client publishes a deal memo protected by its tag.
+	publishMemo := func(tag tags.Tag, name, body string) {
+		e := compliance.CreateEvent()
+		must(compliance.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "memo"))
+		must(compliance.AddPart(e, labels.NewSet(tag), labels.EmptySet, "memo", body))
+		must(compliance.AddPart(e, labels.EmptySet, labels.EmptySet, "client", name))
+		must(compliance.Publish(e))
+	}
+
+	// Consultants receive t+ for BOTH sides of the wall — they are
+	// allowed to pick a side — but t− for NEITHER: once contaminated,
+	// there is no way back across.
+	newConsultant := func(name string) *core.Unit {
+		return sys.NewUnit(name, core.UnitConfig{Grants: []priv.Grant{
+			{Tag: bankA, Right: priv.Plus},
+			{Tag: bankB, Right: priv.Plus},
+		}})
+	}
+	carol := newConsultant("carol")
+	dave := newConsultant("dave")
+	for _, u := range []*core.Unit{carol, dave} {
+		if _, err := u.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "memo"))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	publishMemo(bankA, "bank-A", "A: acquire target T for 4.2B")
+	publishMemo(bankB, "bank-B", "B: defend target T against A")
+
+	// Carol picks side A, Dave side B: raising input AND output keeps
+	// everything they produce inside their side of the wall (no t−, so
+	// an input-only raise — a standing declassification — is refused).
+	sideOf := func(u *core.Unit, side tags.Tag) {
+		if err := u.ChangeInLabel(core.Confidentiality, core.Add, side); !errors.Is(err, priv.ErrNotAuthorised) {
+			log.Fatalf("%s opened a declassifying raise without t-: %v", u.Name(), err)
+		}
+		must(u.ChangeInOutLabel(core.Confidentiality, core.Add, side))
+	}
+	sideOf(carol, bankA)
+	sideOf(dave, bankB)
+
+	read := func(u *core.Unit, wantVisible bool) {
+		e, _, err := u.GetEvent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		clientView, _ := u.ReadOne(e, "client")
+		v, err := u.ReadOne(e, "memo")
+		visible := err == nil
+		status := "WALLED OFF"
+		if visible {
+			status = fmt.Sprintf("reads %q", v.Data)
+		}
+		fmt.Printf("%-6s | memo of %-7v | %s\n", u.Name(), clientView.Data, status)
+		if visible != wantVisible {
+			log.Fatalf("wall violated for %s", u.Name())
+		}
+	}
+
+	// Both memos were delivered to both consultants (the memo part is
+	// invisible where the wall forbids it; the public parts matched).
+	fmt.Println("after choosing sides:")
+	read(carol, true)  // bank-A memo
+	read(carol, false) // bank-B memo: walled off
+	read(dave, false)  // bank-A memo: walled off
+	read(dave, true)   // bank-B memo
+
+	// Crossing attempt: Carol, contaminated by A, tries to move to B's
+	// side too — allowed by her t+ grants? Adding B to her labels is
+	// permitted (she holds B+), but it only raises her higher: she can
+	// then read B memos while everything she emits carries BOTH tags —
+	// unreadable by either bank alone. The conflict class is inert.
+	must(carol.ChangeInOutLabel(core.Confidentiality, core.Add, bankB))
+	e := carol.CreateEvent()
+	must(carol.AddPart(e, labels.EmptySet, labels.EmptySet, "advice", "blend of A and B"))
+	parts := e.Parts()
+	if !parts[0].Label.S.Has(bankA) || !parts[0].Label.S.Has(bankB) {
+		log.Fatal("cross-contaminated output escaped a tag")
+	}
+	fmt.Println("\ncarol crossed the wall deliberately: her output now carries")
+	fmt.Println("both client tags — visible to compliance alone, useless to leak.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Distributed: two DEFCon nodes linked over TCP — the paper's §7
+// future work ("a distributed system built from a set of DEFCON
+// nodes") made concrete.
+//
+// A London node hosts a trader whose order flow is protected by a tag
+// it owns; a Frankfurt node hosts an analytics unit and an auditor.
+// The link forwards order events with labels, tag identities and
+// carried privilege grants intact: analytics on the remote node still
+// cannot perceive the protected part, while the auditor — who receives
+// the delegation through the same event — can.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/distrib"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+func main() {
+	london := distrib.NewNode(core.NewSystem(core.Config{Mode: core.LabelsFreeze, Seed: 1}), "london")
+	frankfurt := distrib.NewNode(core.NewSystem(core.Config{Mode: core.LabelsFreeze, Seed: 2}), "frankfurt")
+	defer london.Sys.Close()
+	defer frankfurt.Sys.Close()
+
+	// Both directions forward order events; each node's dispatcher
+	// keeps enforcing DEFC for its own units.
+	exportFilter := dispatch.MustFilter(dispatch.PartEq("type", "order"))
+	addr, stop, err := london.Listen("127.0.0.1:0", exportFilter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	link, err := frankfurt.Dial(addr, exportFilter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linked %s <-> %s over TCP (%s)\n", "frankfurt", link.Remote(), addr)
+
+	// Frankfurt units.
+	analytics := frankfurt.Sys.NewUnit("analytics", core.UnitConfig{})
+	if _, err := analytics.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "order"))); err != nil {
+		log.Fatal(err)
+	}
+	auditor := frankfurt.Sys.NewUnit("auditor", core.UnitConfig{})
+	if _, err := auditor.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "order"))); err != nil {
+		log.Fatal(err)
+	}
+
+	// London trader publishes an order: public type + audit hand-off,
+	// protected details.
+	trader := london.Sys.NewUnit("trader", core.UnitConfig{})
+	secret := trader.CreateTag("s-trader")
+	e := trader.CreateEvent()
+	must(trader.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "order"))
+	must(trader.AddPart(e, labels.EmptySet, labels.EmptySet, "audit_grant", secret))
+	for _, r := range []priv.Right{priv.Plus, priv.Minus} {
+		must(trader.AttachPrivilegeToPart(e, "audit_grant", labels.EmptySet, labels.EmptySet, secret, r))
+	}
+	details := freeze.MapOf("symbol", "MSFT", "qty", int64(500), "side", "buy")
+	must(trader.AddPart(e, labels.NewSet(secret), labels.EmptySet, "details", details))
+	must(trader.Publish(e))
+	fmt.Println("london trader published a protected order")
+
+	// Analytics: sees the event (public type part matched) but not the
+	// details.
+	got, _, err := analytics.GetEvent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := analytics.ReadPart(got, "details"); errors.Is(err, core.ErrNoSuchPart) {
+		fmt.Println("frankfurt analytics: details invisible (label survived the hop)")
+	} else {
+		log.Fatal("confidentiality lost in transit!")
+	}
+
+	// Auditor: harvests the carried grant, raises, reads.
+	agot, _, err := auditor.GetEvent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := auditor.ReadPart(agot, "audit_grant"); err != nil {
+		log.Fatal(err)
+	}
+	must(auditor.ChangeInLabel(core.Confidentiality, core.Add, secret))
+	v, err := auditor.ReadOne(agot, "details")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := v.Data.(*freeze.Map)
+	fmt.Printf("frankfurt auditor (with delegated s±): %s %d %s\n",
+		m.GetString("side"), m.GetInt("qty"), m.GetString("symbol"))
+
+	// Link accounting.
+	time.Sleep(50 * time.Millisecond)
+	fmt.Printf("link stats: imported=%d exported=%d dropped=%d\n",
+		link.Imported(), link.Exported(), link.Dropped())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

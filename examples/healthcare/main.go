@@ -1,0 +1,126 @@
+// Healthcare: DEFC beyond finance (the paper's second motivating
+// domain — "particularly sensitive aspects of patient healthcare data
+// are not leaked to all users", §3.1.1).
+//
+// A clinic publishes patient events whose parts carry different
+// sensitivity: observable vitals readable by the research registry, an
+// identity part confined to the care team, and a psychiatric-note part
+// additionally protected by a per-patient consent tag. A researcher
+// aggregates vitals without ever being able to perceive identities; the
+// care team reads everything; an auditor gains access to one patient's
+// notes only through explicit consent delegation.
+//
+// Run: go run ./examples/healthcare
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+func main() {
+	sys := core.NewSystem(core.Config{Mode: core.LabelsFreeze})
+	defer sys.Close()
+
+	clinic := sys.NewUnit("clinic", core.UnitConfig{})
+	careTeam := labels.NewSet(clinic.CreateTag("s-care-team"))
+
+	// Per-patient consent tags, owned by the clinic on the patients'
+	// behalf.
+	consent := map[string]labels.Set{
+		"patient-007": labels.NewSet(clinic.CreateTag("s-consent-007")),
+		"patient-008": labels.NewSet(clinic.CreateTag("s-consent-008")),
+	}
+
+	// The research registry sees only what is public in each event.
+	research := sys.NewUnit("research-registry", core.UnitConfig{})
+	if _, err := research.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "admission"))); err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish two admissions with three-way part protection (the
+	// healthcare analogue of Figure 1).
+	for i, patient := range []string{"patient-007", "patient-008"} {
+		e := clinic.CreateEvent()
+		must(clinic.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "admission"))
+		must(clinic.AddPart(e, labels.EmptySet, labels.EmptySet, "vitals",
+			freeze.MapOf("heart_rate", int64(72+i), "spo2", int64(97))))
+		must(clinic.AddPart(e, careTeam, labels.EmptySet, "identity", patient))
+		must(clinic.AddPart(e, careTeam.Union(consent[patient]), labels.EmptySet,
+			"psych_notes", "severe needle phobia"))
+		must(clinic.Publish(e))
+	}
+
+	// The registry aggregates vitals; identity parts are invisible.
+	for i := 0; i < 2; i++ {
+		e, _, err := research.GetEvent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := research.ReadOne(e, "vitals")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hr := v.Data.(*freeze.Map).GetInt("heart_rate")
+		_, idErr := research.ReadPart(e, "identity")
+		fmt.Printf("registry: admission with HR=%d; identity visible: %v\n",
+			hr, !errors.Is(idErr, core.ErrNoSuchPart))
+	}
+
+	// An auditor needs patient-007's notes: the clinic delegates that
+	// one consent tag (plus care-team access) — patient-008's notes
+	// stay out of reach.
+	auditor := sys.NewUnit("auditor", core.UnitConfig{})
+	handoff := clinic.CreateEvent()
+	must(clinic.AddPart(handoff, labels.EmptySet, labels.EmptySet, "grant", "audit-007"))
+	for _, tag := range append(careTeam.Slice(), consent["patient-007"].Slice()...) {
+		for _, r := range []priv.Right{priv.Plus, priv.Minus} {
+			must(clinic.AttachPrivilegeToPart(handoff, "grant",
+				labels.EmptySet, labels.EmptySet, tag, r))
+		}
+	}
+	if _, err := auditor.ReadPart(handoff, "grant"); err != nil {
+		log.Fatal(err)
+	}
+	for _, tag := range append(careTeam.Slice(), consent["patient-007"].Slice()...) {
+		must(auditor.ChangeInLabel(core.Confidentiality, core.Add, tag))
+	}
+
+	// Re-publish the two events directly to the auditor's hands (it
+	// reads by reference, as a unit holding the events would).
+	e7, e8 := rebuild(clinic, careTeam, consent, "patient-007"), rebuild(clinic, careTeam, consent, "patient-008")
+	if v, err := auditor.ReadOne(e7, "psych_notes"); err == nil {
+		fmt.Printf("auditor reads 007's notes after consent: %q\n", v.Data)
+	} else {
+		log.Fatal(err)
+	}
+	if _, err := auditor.ReadPart(e8, "psych_notes"); errors.Is(err, core.ErrNoSuchPart) {
+		fmt.Println("auditor cannot read 008's notes: no consent delegated")
+	}
+}
+
+// rebuild publishes a fresh admission event for the named patient and
+// returns it.
+func rebuild(clinic *core.Unit, careTeam labels.Set, consent map[string]labels.Set, patient string) *events.Event {
+	e := clinic.CreateEvent()
+	must(clinic.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "admission"))
+	must(clinic.AddPart(e, careTeam, labels.EmptySet, "identity", patient))
+	must(clinic.AddPart(e, careTeam.Union(consent[patient]), labels.EmptySet,
+		"psych_notes", "severe needle phobia"))
+	must(clinic.Publish(e))
+	return e
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

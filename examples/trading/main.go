@@ -1,0 +1,70 @@
+// Trading: the full Figure 4 choreography, narrated.
+//
+// Two traders share the platform with a Stock Exchange, their Pair
+// Monitors, the dark-pool Broker and a Regulator. The run exercises all
+// nine steps of the paper's workflow: tag creation and delegation (1),
+// integrity-gated tick subscriptions (2), confined match events (3),
+// three-way-protected orders (4), managed-subscription brokering (5),
+// selectively-readable trades (6), on-demand audit delegation (7),
+// quota warnings (8) and endorsed republication (9).
+//
+// Run: go run ./examples/trading
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+func main() {
+	lat := metrics.NewHistogram()
+	p, err := trading.New(trading.Config{
+		Mode:             core.LabelsFreezeIsolation, // full DEFCon
+		NumTraders:       2,
+		Universe:         workload.NewUniverse(1), // both traders on one pair
+		AuditSampleEvery: 1,                       // audit every trade
+		QuotaShares:      200,                     // warn after two trades
+		OnTrade:          func(ns int64) { lat.Record(ns) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	pair := p.Universe().Pairs[0]
+	fmt.Println("DEFCon trading platform (labels+freeze+isolation)")
+	fmt.Printf("pair under monitor: %s / %s\n", pair.A, pair.B)
+	for _, tr := range p.Traders {
+		fmt.Printf("  %s owns tag %v\n", tr.Name(), tr.Tag())
+	}
+
+	// Steps 2–9 unfold as the exchange replays the trace: every tenth
+	// pair-tick diverges enough to fire the pairs algorithm.
+	trace := workload.NewTrace(p.Universe(), 7)
+	p.Replay(trace.Take(600))
+	p.Quiesce(10 * time.Second)
+	time.Sleep(100 * time.Millisecond)
+
+	st := p.Stats()
+	fmt.Println("\nworkflow outcome:")
+	fmt.Printf("  step 2-3  ticks → matches:      %d ticks, %d matches\n", st.TicksPublished, st.MatchesEmitted)
+	fmt.Printf("  step 4    orders placed:        %d (order details at {b}, identity at {b,tr})\n", st.OrdersPlaced)
+	fmt.Printf("  step 5-6  dark-pool trades:     %d (public price, tr-protected identities)\n", st.TradesCompleted)
+	fmt.Printf("  step 7    audits + delegations: %d / %d\n", st.AuditsRequested, p.Broker.Delegations())
+	fmt.Printf("  step 8    quota warnings:       %d\n", st.WarningsReceived)
+	fmt.Printf("  step 9    regulator volumes:    %d sides accounted\n", p.Regulator.VolsSeen())
+	fmt.Printf("\ntrade latency (tick → trade): %s\n", lat.Snapshot())
+
+	// The security claim of §6.2's comparison: each trader recognised
+	// its own trades and nobody else's.
+	for _, tr := range p.Traders {
+		fmt.Printf("%s: matches=%d orders=%d own-trades=%d warnings=%d\n",
+			tr.Name(), tr.Matches(), tr.Orders(), tr.Trades(), tr.Warnings())
+	}
+}

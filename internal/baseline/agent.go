@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"net"
+	"time"
+)
+
+// Agent is one client's Strategy Agent: the pairs-trading strategy of
+// §6.1 hosted in its own process (or goroutine, in-process mode). It
+// receives the FULL market feed and filters for its own pair locally —
+// Marketcetera's Strategy Agents "filtering market data individually as
+// the platform does not support centralised market data filtering",
+// which §6.2 identifies as the scaling bottleneck of Figure 8.
+type Agent struct {
+	spec AgentSpec
+	c    *conn
+
+	lastA, lastB int64
+	lastStamp    int64
+	lastRecvNs   int64
+	above        bool
+	orderSeq     int64
+
+	ordersSent uint64
+	tradesSeen uint64
+}
+
+// RunAgent connects to the ORS at addr and processes the feed until the
+// connection closes. It is the shared body of the subprocess and
+// in-process modes.
+func RunAgent(addr string, spec AgentSpec) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a := &Agent{spec: spec, c: newConn(raw)}
+	defer a.c.Close()
+	if err := a.c.enc.Encode(Hello{AgentID: spec.ID}); err != nil {
+		return err
+	}
+	return a.loop()
+}
+
+// loop decodes envelopes until EOF.
+func (a *Agent) loop() error {
+	for {
+		env, err := a.c.recv()
+		if err != nil {
+			return nil // feed closed: orderly shutdown
+		}
+		switch {
+		case env.Tick != nil:
+			a.onTick(env.Tick)
+		case env.Trade != nil:
+			a.tradesSeen++
+		}
+	}
+}
+
+// onTick is the per-agent filter plus the pairs-trading strategy.
+func (a *Agent) onTick(t *Tick) {
+	// Per-agent filtering: every agent sees every tick and discards
+	// the ones it does not monitor.
+	var mine bool
+	switch t.Symbol {
+	case a.spec.SymbolA:
+		a.lastA = t.Price
+		mine = true
+	case a.spec.SymbolB:
+		a.lastB = t.Price
+		mine = true
+	}
+	if !mine {
+		return
+	}
+	a.lastRecvNs = time.Now().UnixNano()
+	a.lastStamp = t.StampNs
+	if a.lastA == 0 || a.lastB == 0 {
+		return
+	}
+	// Identical maths to trading.Monitor: deviation of the price ratio
+	// from the configured mean, in basis points.
+	ratioNow := a.lastA * 10000 * a.spec.BaseB
+	ratioMean := a.lastB * a.spec.BaseA
+	devBps := ratioNow/ratioMean - 10000
+	if devBps < 0 {
+		devBps = -devBps
+	}
+	crossed := devBps >= a.spec.ThresholdBps
+	if crossed && !a.above {
+		a.placeOrder()
+	}
+	a.above = crossed
+}
+
+// placeOrder sends one order on the spiked (B) symbol.
+func (a *Agent) placeOrder() {
+	a.orderSeq++
+	o := &Order{
+		AgentID:     a.spec.ID,
+		ID:          int64(a.spec.ID)*1_000_000 + a.orderSeq,
+		Symbol:      a.spec.SymbolB,
+		Price:       a.lastB,
+		Qty:         100,
+		Side:        a.spec.Side,
+		TickStampNs: a.lastStamp,
+		AgentRecvNs: a.lastRecvNs,
+		AgentSentNs: time.Now().UnixNano(),
+	}
+	if err := a.c.sendOrder(o); err != nil {
+		return
+	}
+	a.ordersSent++
+}

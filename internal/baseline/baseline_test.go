@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestMain lets this test binary host agent subprocesses.
+func TestMain(m *testing.M) {
+	MaybeRunAgent()
+	os.Exit(m.Run())
+}
+
+func TestAgentSpecRoundTrip(t *testing.T) {
+	in := AgentSpec{
+		ID: 7, SymbolA: "SYM000A", SymbolB: "SYM000B",
+		BaseA: 10000, BaseB: 5000, Side: "ask", ThresholdBps: 200,
+	}
+	out, err := ParseAgentSpec(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := ParseAgentSpec("garbage"); err == nil {
+		t.Fatal("garbage spec accepted")
+	}
+	if _, err := ParseAgentSpec(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+// runBaseline drives a small in-process deployment.
+func runBaseline(t *testing.T, agents, ticks int, mode Mode) *Harness {
+	t.Helper()
+	h, err := New(Config{
+		NumAgents: agents,
+		Mode:      mode,
+		Universe:  workload.NewUniverse(1),
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	trace := workload.NewTrace(h.cfg.Universe, 9)
+	h.Replay(trace.Take(ticks))
+	return h
+}
+
+func TestInProcessTradingFlow(t *testing.T) {
+	h := runBaseline(t, 2, 300, InProcess)
+	if got := h.WaitTrades(1, 10*time.Second); got == 0 {
+		t.Fatal("no trades completed")
+	}
+	if h.ORS.TicksSent() != 300 {
+		t.Fatalf("ticks sent = %d", h.ORS.TicksSent())
+	}
+	if h.ORS.OrdersReceived() == 0 {
+		t.Fatal("no orders received")
+	}
+}
+
+func TestLatencyHistogramsPopulated(t *testing.T) {
+	h := runBaseline(t, 2, 300, InProcess)
+	h.WaitTrades(1, 10*time.Second)
+	// Give the last order's histograms a beat.
+	time.Sleep(20 * time.Millisecond)
+	if h.ORS.Processing.Count() == 0 || h.ORS.TicksProc.Count() == 0 || h.ORS.Full.Count() == 0 {
+		t.Fatalf("histograms empty: %d/%d/%d",
+			h.ORS.Processing.Count(), h.ORS.TicksProc.Count(), h.ORS.Full.Count())
+	}
+	// The decomposition must nest: processing ≤ ticks+processing ≤ full
+	// (at matching percentiles, modulo bucket error).
+	p, tp, full := h.ORS.Processing.Percentile(70), h.ORS.TicksProc.Percentile(70), h.ORS.Full.Percentile(70)
+	if p > tp*2 || tp > full*2 {
+		t.Fatalf("latency breakdown not nested: proc=%d ticks+proc=%d full=%d", p, tp, full)
+	}
+}
+
+func TestAgentsFilterForeignSymbols(t *testing.T) {
+	// Ticks on a pair no agent monitors must produce no orders.
+	h, err := New(Config{
+		NumAgents: 2,
+		Mode:      InProcess,
+		Universe:  workload.NewUniverse(4),
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	u := h.cfg.Universe
+	monitored := make(map[string]bool)
+	for _, spec := range h.agents {
+		monitored[spec.SymbolA] = true
+	}
+	foreign := -1
+	for i, p := range u.Pairs {
+		if !monitored[p.A] {
+			foreign = i
+			break
+		}
+	}
+	if foreign < 0 {
+		t.Skip("all pairs monitored; cannot build a foreign trigger")
+	}
+	// Hand-build ticks that trigger only the foreign pair.
+	var ticks []workload.Tick
+	for i := 0; i < 50; i++ {
+		ticks = append(ticks,
+			workload.Tick{Seq: uint64(2*i + 1), Symbol: u.Pairs[foreign].A, Price: u.Pairs[foreign].BaseA},
+			workload.Tick{Seq: uint64(2*i + 2), Symbol: u.Pairs[foreign].B, Price: u.Pairs[foreign].BaseB * 2},
+		)
+	}
+	h.Replay(ticks)
+	time.Sleep(100 * time.Millisecond)
+	if got := h.ORS.OrdersReceived(); got != 0 {
+		t.Fatalf("agents ordered on a foreign pair: %d", got)
+	}
+}
+
+func TestSubprocessAgents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess mode in -short")
+	}
+	h, err := New(Config{
+		NumAgents: 2,
+		Mode:      Subprocess,
+		Universe:  workload.NewUniverse(1),
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	trace := workload.NewTrace(h.cfg.Universe, 9)
+	h.Replay(trace.Take(300))
+	if got := h.WaitTrades(1, 20*time.Second); got == 0 {
+		t.Fatal("no trades with subprocess agents")
+	}
+	if rss := h.MemoryRSSMiB(); rss <= 0 {
+		t.Fatalf("RSS accounting = %f", rss)
+	}
+}
+
+func TestHarnessValidation(t *testing.T) {
+	if _, err := New(Config{NumAgents: 0}); err == nil {
+		t.Fatal("zero agents accepted")
+	}
+}
+
+func TestPacedReplayBaseline(t *testing.T) {
+	h, err := New(Config{
+		NumAgents: 2,
+		Mode:      InProcess,
+		Universe:  workload.NewUniverse(1),
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	trace := workload.NewTrace(h.cfg.Universe, 9)
+	start := time.Now()
+	h.ReplayPaced(trace.Take(100), 1000) // ≈100 ms
+	if time.Since(start) < 80*time.Millisecond {
+		t.Fatal("paced replay too fast")
+	}
+}

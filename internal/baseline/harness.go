@@ -1,0 +1,265 @@
+package baseline
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Env variables of the agent-mode re-exec protocol.
+const (
+	envAddr = "DEFCON_BASELINE_ADDR"
+	envSpec = "DEFCON_BASELINE_SPEC"
+)
+
+// MaybeRunAgent turns the current process into a Strategy Agent if the
+// agent-mode environment variables are set. Binaries that may host
+// agents (cmd/baseline-agent, the test binary via TestMain) call it
+// first thing; it never returns in agent mode.
+func MaybeRunAgent() {
+	addr := os.Getenv(envAddr)
+	if addr == "" {
+		return
+	}
+	spec, err := ParseAgentSpec(os.Getenv(envSpec))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := RunAgent(addr, spec); err != nil {
+		fmt.Fprintln(os.Stderr, "agent:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Mode selects how Strategy Agents are hosted.
+type Mode int
+
+const (
+	// Subprocess hosts each agent in its own OS process — the paper's
+	// one-JVM-per-client deployment. Requires the host binary to call
+	// MaybeRunAgent.
+	Subprocess Mode = iota
+	// InProcess hosts agents on goroutines; the identical agent code
+	// still communicates through TCP and gob. Used for fast tests and
+	// as an ablation separating process cost from serialisation cost.
+	InProcess
+)
+
+// Config assembles a baseline deployment.
+type Config struct {
+	NumAgents int
+	Mode      Mode
+	Universe  *workload.Universe
+	Seed      int64
+	// ThresholdBps mirrors the DEFCon platform's trigger threshold.
+	ThresholdBps int64
+	// AcceptTimeout bounds agent start-up.
+	AcceptTimeout time.Duration
+}
+
+// Harness is a running baseline deployment.
+type Harness struct {
+	ORS    *ORS
+	cfg    Config
+	procs  []*exec.Cmd
+	agents []AgentSpec
+	done   chan struct{}
+}
+
+// New starts the ORS and the agent population.
+func New(cfg Config) (*Harness, error) {
+	if cfg.NumAgents <= 0 {
+		return nil, fmt.Errorf("baseline: NumAgents must be positive")
+	}
+	if cfg.Universe == nil {
+		cfg.Universe = workload.UniverseForTraders(cfg.NumAgents)
+	}
+	if cfg.ThresholdBps == 0 {
+		cfg.ThresholdBps = 200
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 30 * time.Second
+	}
+	ors, err := NewORS()
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{ORS: ors, cfg: cfg, done: make(chan struct{})}
+
+	assignment := cfg.Universe.AssignPairs(cfg.NumAgents, cfg.Seed+7)
+	perPair := make([]int, len(cfg.Universe.Pairs))
+	for i := 0; i < cfg.NumAgents; i++ {
+		pair := cfg.Universe.Pairs[assignment[i]]
+		side := "bid"
+		if perPair[assignment[i]]%2 == 1 {
+			side = "ask"
+		}
+		perPair[assignment[i]]++
+		h.agents = append(h.agents, AgentSpec{
+			ID:      i,
+			SymbolA: pair.A, SymbolB: pair.B,
+			BaseA: pair.BaseA, BaseB: pair.BaseB,
+			Side:         side,
+			ThresholdBps: cfg.ThresholdBps,
+		})
+	}
+
+	if err := h.startAgents(); err != nil {
+		h.Close()
+		return nil, err
+	}
+	if err := ors.AcceptAgents(cfg.NumAgents, cfg.AcceptTimeout); err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// startAgents launches the population in the configured mode.
+func (h *Harness) startAgents() error {
+	switch h.cfg.Mode {
+	case InProcess:
+		for _, spec := range h.agents {
+			spec := spec
+			go func() { _ = RunAgent(h.ORS.Addr(), spec) }()
+		}
+		return nil
+	default:
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("baseline: resolving host binary: %w", err)
+		}
+		for _, spec := range h.agents {
+			cmd := exec.Command(self)
+			cmd.Env = append(os.Environ(),
+				envAddr+"="+h.ORS.Addr(),
+				envSpec+"="+spec.String(),
+			)
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("baseline: spawning agent %d: %w", spec.ID, err)
+			}
+			h.procs = append(h.procs, cmd)
+		}
+		return nil
+	}
+}
+
+// Replay broadcasts ticks as fast as possible (Figure 8 regime).
+func (h *Harness) Replay(ticks []workload.Tick) {
+	for i := range ticks {
+		h.ORS.Broadcast(&Tick{
+			Seq:     ticks[i].Seq,
+			Symbol:  ticks[i].Symbol,
+			Price:   ticks[i].Price,
+			StampNs: time.Now().UnixNano(),
+		})
+	}
+}
+
+// ReplayPaced broadcasts ticks at the given rate (Figure 9 regime: the
+// paper used 1,000 events/second for baseline latency).
+func (h *Harness) ReplayPaced(ticks []workload.Tick, rate float64) {
+	if rate <= 0 {
+		h.Replay(ticks)
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	next := time.Now()
+	for i := range ticks {
+		h.ORS.Broadcast(&Tick{
+			Seq:     ticks[i].Seq,
+			Symbol:  ticks[i].Symbol,
+			Price:   ticks[i].Price,
+			StampNs: time.Now().UnixNano(),
+		})
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// WaitTrades blocks until at least n trades completed or the timeout
+// expires, returning the count seen.
+func (h *Harness) WaitTrades(n uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if got := h.ORS.Trades(); got >= n {
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return h.ORS.Trades()
+}
+
+// MemoryRSSMiB sums the resident set sizes of the agent processes plus
+// this process — the multi-JVM memory footprint of Figure 7's
+// comparison (2 GiB for 20 agents, 6 GiB for 100 in the paper). In
+// in-process mode it reports only the host process.
+func (h *Harness) MemoryRSSMiB() float64 {
+	total := rssMiB(os.Getpid())
+	for _, c := range h.procs {
+		if c.Process != nil {
+			total += rssMiB(c.Process.Pid)
+		}
+	}
+	return total
+}
+
+// rssMiB reads VmRSS from /proc (Linux).
+func rssMiB(pid int) float64 {
+	f, err := os.Open(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// Close tears the deployment down: the feed closes, agents exit on EOF,
+// and stragglers are killed.
+func (h *Harness) Close() {
+	h.ORS.Close()
+	for _, c := range h.procs {
+		if c.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(c *exec.Cmd) {
+			_ = c.Wait()
+			close(done)
+		}(c)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			_ = c.Process.Kill()
+			<-done
+		}
+	}
+}

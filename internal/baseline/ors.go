@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// orderTTL bounds how long an unfilled order rests in the ORS book —
+// the same immediate-or-cancel discipline as the DEFCon Broker, so the
+// two systems' latency percentiles measure the same thing.
+const orderTTL = 100 * time.Millisecond
+
+// ORS is the Order Routing Service, extended — as the paper's authors
+// extended Marketcetera's — with local brokering facilities and a
+// market data feed for the Strategy Agents. All communication crosses
+// process boundaries over TCP with gob serialisation.
+type ORS struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	agents map[int]*conn
+	book   *orsBook
+
+	ticksSent  atomic.Uint64
+	ordersRecv atomic.Uint64
+	tradesDone atomic.Uint64
+
+	// Figure 9 latency breakdown (70th percentiles are reported):
+	// processing            — strategy execution inside the agent
+	// ticks+processing      — tick creation → agent processing done
+	// full (ticks+orders+…) — tick creation → trade completion at ORS
+	Processing *metrics.Histogram
+	TicksProc  *metrics.Histogram
+	Full       *metrics.Histogram
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// orsBook is the local-brokering order book.
+type orsBook struct {
+	bids    map[string][]*Order
+	asks    map[string][]*Order
+	entered map[int64]int64 // order ID → book-entry time
+	ids     int64
+}
+
+// expire drops resting orders older than orderTTL.
+func (bk *orsBook) expire(symbol string, now int64) {
+	cutoff := now - orderTTL.Nanoseconds()
+	for len(bk.bids[symbol]) > 0 && bk.entered[bk.bids[symbol][0].ID] < cutoff {
+		delete(bk.entered, bk.bids[symbol][0].ID)
+		bk.bids[symbol] = bk.bids[symbol][1:]
+	}
+	for len(bk.asks[symbol]) > 0 && bk.entered[bk.asks[symbol][0].ID] < cutoff {
+		delete(bk.entered, bk.asks[symbol][0].ID)
+		bk.asks[symbol] = bk.asks[symbol][1:]
+	}
+}
+
+// NewORS starts the service on a loopback port.
+func NewORS() (*ORS, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	o := &ORS{
+		ln:     ln,
+		agents: make(map[int]*conn),
+		book: &orsBook{
+			bids:    make(map[string][]*Order),
+			asks:    make(map[string][]*Order),
+			entered: make(map[int64]int64),
+		},
+		Processing: metrics.NewHistogram(),
+		TicksProc:  metrics.NewHistogram(),
+		Full:       metrics.NewHistogram(),
+	}
+	return o, nil
+}
+
+// Addr returns the service's dial address for agents.
+func (o *ORS) Addr() string { return o.ln.Addr().String() }
+
+// AcceptAgents accepts exactly n agent connections (with handshake) and
+// starts their order-receiving loops.
+func (o *ORS) AcceptAgents(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i := 0; i < n; i++ {
+		if tl, ok := o.ln.(*net.TCPListener); ok {
+			if err := tl.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		raw, err := o.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("baseline: accepting agent %d/%d: %w", i+1, n, err)
+		}
+		c := newConn(raw)
+		var hello Hello
+		if err := c.dec.Decode(&hello); err != nil {
+			raw.Close()
+			return fmt.Errorf("baseline: agent handshake: %w", err)
+		}
+		o.mu.Lock()
+		o.agents[hello.AgentID] = c
+		o.mu.Unlock()
+		o.wg.Add(1)
+		go o.serveAgent(c)
+	}
+	return nil
+}
+
+// serveAgent receives orders from one agent and runs local brokering.
+func (o *ORS) serveAgent(c *conn) {
+	defer o.wg.Done()
+	for {
+		env, err := c.recv()
+		if err != nil {
+			return
+		}
+		if env.Order == nil {
+			continue
+		}
+		o.onOrder(env.Order)
+	}
+}
+
+// onOrder books the order, records the agent-side latency contributions
+// and attempts a match.
+func (o *ORS) onOrder(ord *Order) {
+	now := time.Now().UnixNano()
+	o.ordersRecv.Add(1)
+	o.Processing.Record(ord.AgentSentNs - ord.AgentRecvNs)
+	o.TicksProc.Record(ord.AgentSentNs - ord.TickStampNs)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	bk := o.book
+	bk.entered[ord.ID] = now
+	if ord.Side == "bid" {
+		bk.bids[ord.Symbol] = append(bk.bids[ord.Symbol], ord)
+	} else {
+		bk.asks[ord.Symbol] = append(bk.asks[ord.Symbol], ord)
+	}
+	bk.expire(ord.Symbol, now)
+	for len(bk.bids[ord.Symbol]) > 0 && len(bk.asks[ord.Symbol]) > 0 {
+		bid, ask := bk.bids[ord.Symbol][0], bk.asks[ord.Symbol][0]
+		if bid.Price < ask.Price {
+			return
+		}
+		bk.bids[ord.Symbol] = bk.bids[ord.Symbol][1:]
+		bk.asks[ord.Symbol] = bk.asks[ord.Symbol][1:]
+		delete(bk.entered, bid.ID)
+		delete(bk.entered, ask.ID)
+		bk.ids++
+		stamp := bid.TickStampNs
+		if ask.TickStampNs < stamp {
+			stamp = ask.TickStampNs
+		}
+		tr := &Trade{
+			ID: bk.ids, Symbol: ord.Symbol, Price: ask.Price,
+			Qty: minQty(bid.Qty, ask.Qty), Buyer: bid.AgentID, Seller: ask.AgentID,
+			TickStampNs: stamp,
+		}
+		o.tradesDone.Add(1)
+		o.Full.Record(time.Now().UnixNano() - stamp)
+		// Notify the two counterparties (still under the lock: the per-
+		// agent gob encoders are not otherwise synchronised).
+		if c := o.agents[tr.Buyer]; c != nil {
+			_ = c.sendTrade(tr)
+		}
+		if c := o.agents[tr.Seller]; c != nil && tr.Seller != tr.Buyer {
+			_ = c.sendTrade(tr)
+		}
+	}
+}
+
+// Broadcast pushes one tick to every connected agent — the market data
+// feed. Each agent connection gets its own gob encoding: the per-client
+// serialisation cost that makes the feed the bottleneck as the agent
+// population grows (Figure 8).
+func (o *ORS) Broadcast(t *Tick) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, c := range o.agents {
+		_ = c.sendTick(t)
+	}
+	o.ticksSent.Add(1)
+}
+
+// TicksSent reports feed broadcasts (one per tick, regardless of agent
+// count).
+func (o *ORS) TicksSent() uint64 { return o.ticksSent.Load() }
+
+// OrdersReceived reports orders received from agents.
+func (o *ORS) OrdersReceived() uint64 { return o.ordersRecv.Load() }
+
+// Trades reports completed local-brokering trades.
+func (o *ORS) Trades() uint64 { return o.tradesDone.Load() }
+
+// Close shuts the service down and disconnects all agents.
+func (o *ORS) Close() {
+	if !o.closed.CompareAndSwap(false, true) {
+		return
+	}
+	o.ln.Close()
+	o.mu.Lock()
+	for _, c := range o.agents {
+		c.Close()
+	}
+	o.mu.Unlock()
+	o.wg.Wait()
+}
+
+func minQty(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+// Package baseline implements the Marketcetera-like comparison system
+// of the paper's evaluation (§6): per-client Strategy Agents running in
+// separate OS processes, a market data feed that pushes the full tick
+// stream to every agent (the platform "does not support centralised
+// market data filtering"), and an Order Routing Service extended with
+// local brokering — each hop crossing a process boundary with
+// serialisation, exactly the costs Figures 8 and 9 attribute to the
+// multi-JVM architecture.
+//
+// The paper's Marketcetera 1.5 deployment isolated each client's
+// strategies in its own JVM; here each agent is its own OS process
+// (re-executing the host binary in agent mode), communicating with the
+// ORS over TCP with gob serialisation. An in-process mode runs the
+// identical agent code on goroutines — still through real sockets and
+// serialisation — for fast unit testing.
+package baseline
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+)
+
+// Hello is the agent's handshake: it announces which agent connected.
+type Hello struct {
+	AgentID int
+}
+
+// Tick is one market-data event pushed to every agent.
+type Tick struct {
+	Seq    uint64
+	Symbol string
+	Price  int64
+	// StampNs is the feed-side creation time; the latency breakdown of
+	// Figure 9 is computed from it.
+	StampNs int64
+}
+
+// Order is an agent's buy/sell instruction sent to the ORS.
+type Order struct {
+	AgentID int
+	ID      int64
+	Symbol  string
+	Price   int64
+	Qty     int64
+	Side    string // "bid" | "ask"
+
+	// Latency accounting (all monotonic-ish wall clock, same host):
+	// TickStampNs is the originating tick's creation time, AgentRecvNs
+	// when the agent decoded that tick, AgentSentNs when it finished
+	// strategy processing and handed the order to the socket.
+	TickStampNs int64
+	AgentRecvNs int64
+	AgentSentNs int64
+}
+
+// Trade is a completed local-brokering match, reported back to agents.
+type Trade struct {
+	ID          int64
+	Symbol      string
+	Price       int64
+	Qty         int64
+	Buyer       int
+	Seller      int
+	TickStampNs int64
+}
+
+// envelope is the single wire type exchanged after the handshake;
+// exactly one pointer field is set. gob's stream encoder interns the
+// type descriptors per connection, as a Java serialisation stream
+// would.
+type envelope struct {
+	Tick  *Tick
+	Order *Order
+	Trade *Trade
+}
+
+// conn wraps a TCP connection with gob codecs.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) sendTick(t *Tick) error   { return c.enc.Encode(envelope{Tick: t}) }
+func (c *conn) sendOrder(o *Order) error { return c.enc.Encode(envelope{Order: o}) }
+func (c *conn) sendTrade(t *Trade) error { return c.enc.Encode(envelope{Trade: t}) }
+
+func (c *conn) recv() (envelope, error) {
+	var env envelope
+	err := c.dec.Decode(&env)
+	return env, err
+}
+
+func (c *conn) Close() error { return c.raw.Close() }
+
+// AgentSpec tells an agent process what to trade.
+type AgentSpec struct {
+	ID           int
+	SymbolA      string
+	SymbolB      string
+	BaseA, BaseB int64
+	Side         string // "bid" | "ask"
+	ThresholdBps int64
+}
+
+// String encodes the spec for the child environment.
+func (s AgentSpec) String() string {
+	return fmt.Sprintf("%d|%s|%s|%d|%d|%s|%d",
+		s.ID, s.SymbolA, s.SymbolB, s.BaseA, s.BaseB, s.Side, s.ThresholdBps)
+}
+
+// ParseAgentSpec decodes String's format.
+func ParseAgentSpec(raw string) (AgentSpec, error) {
+	var s AgentSpec
+	_, err := fmt.Sscanf(raw, "%d|%s", &s.ID, new(string)) // probe
+	if err != nil {
+		return s, fmt.Errorf("baseline: bad agent spec %q", raw)
+	}
+	n, err := fmt.Sscanf(replacePipes(raw), "%d %s %s %d %d %s %d",
+		&s.ID, &s.SymbolA, &s.SymbolB, &s.BaseA, &s.BaseB, &s.Side, &s.ThresholdBps)
+	if err != nil || n != 7 {
+		return s, fmt.Errorf("baseline: bad agent spec %q", raw)
+	}
+	return s, nil
+}
+
+func replacePipes(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] == '|' {
+			b[i] = ' '
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// BaselineOpts parameterise the Marketcetera-like sweeps (Figures 8–9).
+type BaselineOpts struct {
+	// ThroughputAgents lists the Figure 8 x-axis (paper: 2–40).
+	ThroughputAgents []int
+	// LatencyAgents lists the Figure 9 x-axis (paper: 20–100).
+	LatencyAgents []int
+	// Mode selects process-per-agent (paper-faithful) or in-process
+	// agents (ablation isolating serialisation cost from process cost).
+	Mode baseline.Mode
+	// Duration bounds each Figure 8 measurement (default 2 s).
+	Duration time.Duration
+	// LatencyRate is the Figure 9 offered rate (paper: 1,000 ev/s).
+	LatencyRate float64
+	// LatencyTicks bounds the Figure 9 run (default rate·2 s).
+	LatencyTicks int
+	// UniversePairs overrides the universe size (0 = scale with the
+	// agent count). Tiny smoke runs pin a single pair so the two
+	// available agents can cross.
+	UniversePairs int
+	// Seed fixes workloads.
+	Seed int64
+}
+
+// universe builds the symbol universe for an agent count.
+func (o *BaselineOpts) universe(agents int) *workload.Universe {
+	if o.UniversePairs > 0 {
+		return workload.NewUniverse(o.UniversePairs)
+	}
+	return workload.UniverseForTraders(agents)
+}
+
+func (o *BaselineOpts) defaults() {
+	if len(o.ThroughputAgents) == 0 {
+		o.ThroughputAgents = []int{2, 5, 10, 20, 30, 40}
+	}
+	if len(o.LatencyAgents) == 0 {
+		o.LatencyAgents = []int{20, 40, 60, 80, 100}
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.LatencyRate == 0 {
+		o.LatencyRate = 1000
+	}
+	if o.LatencyTicks == 0 {
+		o.LatencyTicks = int(o.LatencyRate * 2)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunFig8 regenerates Figure 8: maximum supported event rate in the
+// Marketcetera-like baseline as a function of the number of traders.
+// Every tick is serialised once per agent (no centralised filtering),
+// so the feed rate collapses as the population grows.
+func RunFig8(o BaselineOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Figure 8",
+		Caption: "Baseline (Marketcetera-like) max event rate vs number of traders (median of 100ms windows)",
+	}
+	s := Series{Name: "baseline", Unit: "events/s"}
+	for _, n := range o.ThroughputAgents {
+		u := o.universe(n)
+		h, err := baseline.New(baseline.Config{
+			NumAgents: n,
+			Mode:      o.Mode,
+			Universe:  u,
+			Seed:      o.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		th := metrics.NewThroughput()
+		stop := make(chan struct{})
+		go th.Run(100*time.Millisecond, stop)
+
+		tr := workload.NewTrace(u, o.Seed+3)
+		deadline := time.Now().Add(o.Duration)
+		for time.Now().Before(deadline) {
+			batch := tr.Take(64)
+			h.Replay(batch)
+			th.Add(64)
+		}
+		close(stop)
+		th.Sample()
+		s.Points = append(s.Points, Point{X: n, Y: th.Median()})
+		h.Close()
+	}
+	res.Series = append(res.Series, s)
+	return res, nil
+}
+
+// RunFig9 regenerates Figure 9: baseline 70th-percentile trade latency
+// broken into its contributions — strategy processing, tick propagation
+// + processing, and the full tick+order round trip — at a low offered
+// rate (the paper used 1,000 events/s "to draw conclusions about
+// latency while not being affected by scheduling phenomena").
+func RunFig9(o BaselineOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Figure 9",
+		Caption: "Baseline 70th-percentile latency breakdown vs number of traders (ms)",
+	}
+	proc := Series{Name: "processing", Unit: "ms"}
+	ticksProc := Series{Name: "ticks+processing", Unit: "ms"}
+	full := Series{Name: "ticks+orders+processing", Unit: "ms"}
+	for _, n := range o.LatencyAgents {
+		u := o.universe(n)
+		h, err := baseline.New(baseline.Config{
+			NumAgents: n,
+			Mode:      o.Mode,
+			Universe:  u,
+			Seed:      o.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		tr := workload.NewTrace(u, o.Seed+3)
+		h.ReplayPaced(tr.Take(o.LatencyTicks), o.LatencyRate)
+		h.WaitTrades(1, 5*time.Second)
+		time.Sleep(50 * time.Millisecond) // drain in-flight orders
+
+		proc.Points = append(proc.Points, Point{X: n, Y: float64(h.ORS.Processing.Percentile(70)) / 1e6})
+		ticksProc.Points = append(ticksProc.Points, Point{X: n, Y: float64(h.ORS.TicksProc.Percentile(70)) / 1e6})
+		full.Points = append(full.Points, Point{X: n, Y: float64(h.ORS.Full.Percentile(70)) / 1e6})
+		h.Close()
+	}
+	res.Series = append(res.Series, proc, ticksProc, full)
+	return res, nil
+}

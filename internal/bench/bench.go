@@ -1,0 +1,99 @@
+// Package bench regenerates the paper's evaluation figures (§6.2):
+// every figure runner sweeps the paper's x-axis (trader/agent count)
+// and produces the same series the paper plots. Absolute numbers are
+// machine-dependent; the shapes — which mode wins, the relative
+// overheads, where the baseline collapses — are the reproduction
+// targets (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/isolation"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	X int     // trader/agent count
+	Y float64 // figure-specific unit
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Unit   string
+	Points []Point
+}
+
+// Result is a regenerated figure.
+type Result struct {
+	Figure  string
+	Caption string
+	Series  []Series
+}
+
+// Format renders the result as an aligned table, one row per x value —
+// the textual equivalent of the paper's plot.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", r.Figure, r.Caption)
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-10s", "x")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %22s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", r.Series[0].Unit)
+	// Collect x values from the first series (all series share them).
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%-10d", r.Series[0].Points[i].X)
+		for _, s := range r.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %22.2f", s.Points[i].Y)
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AllModes are the four security configurations of Figures 5–7, in the
+// paper's legend order.
+var AllModes = []core.SecurityMode{
+	core.NoSecurity,
+	core.LabelsFreeze,
+	core.LabelsClone,
+	core.LabelsFreezeIsolation,
+}
+
+// enforcer caching: the isolation analysis is identical across runs;
+// building it once keeps set-up cost out of measured regions.
+var (
+	enfOnce sync.Once
+	enf     *isolation.Enforcer
+)
+
+// SharedEnforcer returns the process-wide isolation enforcer.
+func SharedEnforcer() *isolation.Enforcer {
+	enfOnce.Do(func() {
+		enf = isolation.NewEnforcer(isolation.Analyze(isolation.NewJDKCatalog()))
+	})
+	return enf
+}
+
+// AnalysisReport renders the §4.2 static-analysis pipeline counts —
+// the reproduction of the paper's target numbers (4,000 static fields,
+// 1,200 unit-reachable targets, 52 manual inspections, ...).
+func AnalysisReport() string {
+	a := isolation.Analyze(isolation.NewJDKCatalog())
+	hot := isolation.NewEnforcer(a).HotPathIDs()
+	a.ApplyProfile(hot, 6, 9)
+	return a.BuildReport().String()
+}

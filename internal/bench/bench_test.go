@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+// TestMain lets figure runs host baseline agent subprocesses.
+func TestMain(m *testing.M) {
+	baseline.MaybeRunAgent()
+	os.Exit(m.Run())
+}
+
+// tinyDEFCon keeps smoke runs fast.
+func tinyDEFCon() DEFConOpts {
+	return DEFConOpts{
+		Traders:      []int{8, 16},
+		Modes:        []core.SecurityMode{core.NoSecurity, core.LabelsFreeze},
+		Duration:     200 * time.Millisecond,
+		LatencyRate:  2000,
+		LatencyTicks: 600,
+		MemoryTicks:  500,
+		TickCache:    256,
+		FixedPairs:   2, // tiny universe: spikes occur within the short runs
+	}
+}
+
+func TestRunFig5Smoke(t *testing.T) {
+	res, err := RunFig5(tinyDEFCon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s points = %d", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s@%d throughput %f", s.Name, p.X, p.Y)
+			}
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "Figure 5") {
+		t.Fatal("Format missing header")
+	}
+}
+
+func TestRunFig6Smoke(t *testing.T) {
+	res, err := RunFig6(tinyDEFCon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 60000 {
+				t.Fatalf("%s@%d latency %f ms", s.Name, p.X, p.Y)
+			}
+			if p.Y == 0 {
+				t.Fatalf("%s@%d zero latency: no trades measured", s.Name, p.X)
+			}
+		}
+	}
+}
+
+func TestRunFig7Smoke(t *testing.T) {
+	res, err := RunFig7(tinyDEFCon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s@%d memory %f", s.Name, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestRunFig8Smoke(t *testing.T) {
+	res, err := RunFig8(BaselineOpts{
+		ThroughputAgents: []int{2, 4},
+		Mode:             baseline.InProcess,
+		Duration:         200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 2 {
+		t.Fatalf("bad shape: %+v", res.Series)
+	}
+	for _, p := range res.Series[0].Points {
+		if p.Y <= 0 {
+			t.Fatalf("agents=%d throughput %f", p.X, p.Y)
+		}
+	}
+}
+
+func TestRunFig9Smoke(t *testing.T) {
+	res, err := RunFig9(BaselineOpts{
+		LatencyAgents: []int{2, 4},
+		Mode:          baseline.InProcess,
+		LatencyRate:   2000,
+		LatencyTicks:  800,
+		UniversePairs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3 (the breakdown)", len(res.Series))
+	}
+	// The decomposition must be ordered: processing ≤ ticks+processing
+	// ≤ full, at every x (within histogram error).
+	for i := range res.Series[0].Points {
+		p := res.Series[0].Points[i].Y
+		tp := res.Series[1].Points[i].Y
+		full := res.Series[2].Points[i].Y
+		if p > tp*1.5 || tp > full*1.5 {
+			t.Fatalf("breakdown disordered at x=%d: %f %f %f",
+				res.Series[0].Points[i].X, p, tp, full)
+		}
+	}
+}
+
+func TestAnalysisReport(t *testing.T) {
+	rep := AnalysisReport()
+	for _, want := range []string{"unit-reachable", "profiled-whitelisted", "intercepted"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSharedEnforcerSingleton(t *testing.T) {
+	if SharedEnforcer() != SharedEnforcer() {
+		t.Fatal("SharedEnforcer not cached")
+	}
+}
+
+func TestFormatHandlesRaggedSeries(t *testing.T) {
+	r := Result{
+		Figure:  "X",
+		Caption: "c",
+		Series: []Series{
+			{Name: "a", Unit: "u", Points: []Point{{1, 1}, {2, 2}}},
+			{Name: "b", Unit: "u", Points: []Point{{1, 1}}},
+		},
+	}
+	out := r.Format()
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing point not rendered as dash")
+	}
+	if (Result{Figure: "E", Caption: "c"}).Format() == "" {
+		t.Fatal("empty result renders nothing")
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// DEFConOpts parameterise the DEFCon-side sweeps (Figures 5–7).
+type DEFConOpts struct {
+	// Traders lists the x-axis points (paper: 200–2,000 step 200).
+	Traders []int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Duration bounds each throughput measurement (Figure 5; default
+	// 2 s per point).
+	Duration time.Duration
+	// LatencyRate is the offered tick rate for the latency measurement
+	// (Figure 6; default 5,000 events/s).
+	LatencyRate float64
+	// LatencyTicks bounds the latency run length (default rate·2 s).
+	LatencyTicks int
+	// MemoryTicks is the replay length before the heap measurement
+	// (Figure 7; default 20,000).
+	MemoryTicks int
+	// TickCache is the exchange cache size for the memory run
+	// (default 10,000 — the paper retained ≈300 MiB of ticks).
+	TickCache int
+	// FixedPairs pins the symbol universe across sweep points (default
+	// 128): the tradable world does not grow with the trader count, so
+	// popular symbols accumulate monitors as traders join — the load
+	// shape behind the paper's declining Figure 5 curves.
+	FixedPairs int
+	// Seed fixes workloads.
+	Seed int64
+}
+
+func (o *DEFConOpts) defaults() {
+	if len(o.Traders) == 0 {
+		o.Traders = []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.LatencyRate == 0 {
+		o.LatencyRate = 5000
+	}
+	if o.LatencyTicks == 0 {
+		o.LatencyTicks = int(o.LatencyRate * 2)
+	}
+	if o.MemoryTicks == 0 {
+		o.MemoryTicks = 20000
+	}
+	if o.TickCache == 0 {
+		o.TickCache = 10000
+	}
+	if o.FixedPairs == 0 {
+		o.FixedPairs = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// newPlatform builds a trading platform for a sweep point.
+func (o *DEFConOpts) newPlatform(mode core.SecurityMode, traders, cache int, onTrade func(int64)) (*trading.Platform, error) {
+	return trading.New(trading.Config{
+		Mode:          mode,
+		NumTraders:    traders,
+		Universe:      workload.NewUniverse(o.FixedPairs),
+		Seed:          o.Seed,
+		TickCacheSize: cache,
+		Enforcer:      SharedEnforcer(),
+		OnTrade:       onTrade,
+	})
+}
+
+// RunFig5 regenerates Figure 5: maximum supported event rate in DEFCon
+// as a function of the number of traders, per security mode. The Stock
+// Exchange replays ticks as fast as possible; the result is the median
+// of 100 ms window rates.
+func RunFig5(o DEFConOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Figure 5",
+		Caption: "DEFCon max event rate vs number of traders (median of 100ms windows)",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Name: mode.String(), Unit: "events/s"}
+		for _, n := range o.Traders {
+			p, err := o.newPlatform(mode, n, 256, nil)
+			if err != nil {
+				return res, err
+			}
+			th := metrics.NewThroughput()
+			stop := make(chan struct{})
+			go th.Run(100*time.Millisecond, stop)
+
+			trace := workload.NewTrace(workload.NewUniverse(o.FixedPairs), o.Seed+3)
+			deadline := time.Now().Add(o.Duration)
+			for time.Now().Before(deadline) {
+				// Publish in small batches to keep the deadline check
+				// off the per-event path.
+				for i := 0; i < 64; i++ {
+					tk := trace.Next()
+					p.Exchange.PublishTick(&tk)
+				}
+				th.Add(64)
+			}
+			close(stop)
+			th.Sample()
+			s.Points = append(s.Points, Point{X: n, Y: th.Median()})
+			p.Close()
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// RunFig6 regenerates Figure 6: 70th-percentile trade latency vs
+// number of traders, per security mode, at a fixed offered tick rate.
+// Latency is the difference between the Broker producing a trade and
+// the originating tick (§6.2).
+func RunFig6(o DEFConOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Figure 6",
+		Caption: "DEFCon 70th-percentile trade latency vs number of traders (ms)",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Name: mode.String(), Unit: "ms"}
+		for _, n := range o.Traders {
+			h := metrics.NewHistogram()
+			p, err := o.newPlatform(mode, n, 256, func(ns int64) { h.Record(ns) })
+			if err != nil {
+				return res, err
+			}
+			trace := workload.NewTrace(workload.NewUniverse(o.FixedPairs), o.Seed+3)
+			p.ReplayPaced(trace.Take(o.LatencyTicks), o.LatencyRate)
+			p.Quiesce(5 * time.Second)
+			s.Points = append(s.Points, Point{X: n, Y: float64(h.Percentile(70)) / 1e6})
+			p.Close()
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// RunFig7 regenerates Figure 7: live heap after a fixed replay vs
+// number of traders, per security mode. The exchange retains a tick
+// cache (the paper's ≈300 MiB cache) and the weaving's per-isolate
+// state grows with the trader count.
+func RunFig7(o DEFConOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Figure 7",
+		Caption: "DEFCon occupied memory vs number of traders (MiB)",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Name: mode.String(), Unit: "MiB"}
+		for _, n := range o.Traders {
+			p, err := o.newPlatform(mode, n, o.TickCache, nil)
+			if err != nil {
+				return res, err
+			}
+			trace := workload.NewTrace(workload.NewUniverse(o.FixedPairs), o.Seed+3)
+			p.Replay(trace.Take(o.MemoryTicks))
+			p.Quiesce(5 * time.Second)
+			s.Points = append(s.Points, Point{X: n, Y: metrics.HeapInUseMiB()})
+			p.Close()
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+// Per-unit resource accounting.
+//
+// The paper defers resource accounting to future work but observes
+// (§7) that "thanks to our message passing paradigm it is possible to
+// use common profiling techniques from aspect-oriented programming for
+// resource accounting". The DEFCon API boundary is exactly such a
+// weave point: every unit interaction already crosses it, so metering
+// there attributes work to principals without trusting unit code.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Usage is one unit's resource account.
+type Usage struct {
+	Unit       string
+	APICalls   uint64 // total Table 1 API invocations
+	Published  uint64 // events published
+	Deliveries uint64 // events accepted into the unit's queue
+	PartsRead  uint64 // part views returned by ReadPart
+	PartsAdded uint64 // parts attached by AddPart
+	TagsMinted uint64 // tags created
+}
+
+// usageCounters is the hot-path representation embedded in Unit.
+// Delivery counts live on the instance queue (units.Instance.Enqueued).
+type usageCounters struct {
+	apiCalls, published         atomic.Uint64
+	partsRead, partsAdded, tags atomic.Uint64
+}
+
+// Usage snapshots this unit's resource account.
+func (u *Unit) Usage() Usage {
+	return Usage{
+		Unit:       u.name,
+		APICalls:   u.acct.apiCalls.Load(),
+		Published:  u.acct.published.Load(),
+		Deliveries: u.inst.Enqueued(),
+		PartsRead:  u.acct.partsRead.Load(),
+		PartsAdded: u.acct.partsAdded.Load(),
+		TagsMinted: u.acct.tags.Load(),
+	}
+}
+
+// Accounting snapshots every registered unit's account (managed
+// instances included), sorted by API call volume — the platform
+// operator's per-principal resource view.
+func (s *System) Accounting() []Usage {
+	s.mu.Lock()
+	units := make([]*Unit, 0, len(s.units))
+	for _, u := range s.units {
+		units = append(units, u)
+	}
+	s.mu.Unlock()
+	out := make([]Usage, 0, len(units))
+	for _, u := range units {
+		out = append(out, u.Usage())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].APICalls != out[j].APICalls {
+			return out[i].APICalls > out[j].APICalls
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// AccountingReport renders the top n accounts as an aligned table
+// (n <= 0 renders all).
+func (s *System) AccountingReport(n int) string {
+	usages := s.Accounting()
+	if n > 0 && len(usages) > n {
+		usages = usages[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s %10s %10s %8s\n",
+		"unit", "api-calls", "published", "delivered", "parts-rd", "parts-add", "tags")
+	for _, u := range usages {
+		fmt.Fprintf(&b, "%-28s %10d %10d %10d %10d %10d %8d\n",
+			u.Unit, u.APICalls, u.Published, u.Deliveries, u.PartsRead, u.PartsAdded, u.TagsMinted)
+	}
+	return b.String()
+}

@@ -1,0 +1,295 @@
+// Package core is the DEFCon system: the runtime that hosts event
+// processing units, enforces the DEFC model at the Table 1 API
+// boundary, and dispatches events between isolates.
+//
+// The package ties the substrates together: labels/tags/priv implement
+// the model's lattice and privileges, events carries labelled parts,
+// dispatch matches and routes, units holds per-instance runtime state,
+// isolation supplies the woven interceptors of §4, and freeze provides
+// zero-copy sharing. Units interact exclusively through *Unit — the
+// API surface of Table 1.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dispatch"
+	"repro/internal/isolation"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+	"repro/internal/units"
+)
+
+// SecurityMode selects the enforcement level, matching the four curves
+// of Figures 5–7.
+type SecurityMode int
+
+const (
+	// NoSecurity disables labels, freezing and isolation: the paper's
+	// "no security" baseline.
+	NoSecurity SecurityMode = iota
+	// LabelsFreeze enforces DEFC labels and shares frozen event data by
+	// reference ("labels+freeze").
+	LabelsFreeze
+	// LabelsClone enforces DEFC labels and hands each receiver a
+	// private deep copy of the event ("labels+clone") — the cost an
+	// MVM-style copying isolation scheme would impose.
+	LabelsClone
+	// LabelsFreezeIsolation is LabelsFreeze plus the §4 runtime
+	// interceptors woven into every unit API call
+	// ("labels+freeze+isolation") — the full DEFCon configuration.
+	LabelsFreezeIsolation
+)
+
+// String names the mode using the paper's curve labels.
+func (m SecurityMode) String() string {
+	switch m {
+	case NoSecurity:
+		return "no security"
+	case LabelsFreeze:
+		return "labels+freeze"
+	case LabelsClone:
+		return "labels+clone"
+	case LabelsFreezeIsolation:
+		return "labels+freeze+isolation"
+	default:
+		return fmt.Sprintf("SecurityMode(%d)", int(m))
+	}
+}
+
+// CheckLabels reports whether the mode enforces DEFC admission.
+func (m SecurityMode) CheckLabels() bool { return m != NoSecurity }
+
+// FreezeOnPublish reports whether published parts are frozen for
+// zero-copy sharing.
+func (m SecurityMode) FreezeOnPublish() bool {
+	return m == LabelsFreeze || m == LabelsFreezeIsolation
+}
+
+// CloneDeliveries reports whether receivers get private deep copies.
+func (m SecurityMode) CloneDeliveries() bool { return m == LabelsClone }
+
+// Isolation reports whether the §4 interceptors are woven in.
+func (m SecurityMode) Isolation() bool { return m == LabelsFreezeIsolation }
+
+// Config assembles a System.
+type Config struct {
+	// Mode selects the security level. Default: LabelsFreezeIsolation.
+	Mode SecurityMode
+	// Seed drives the tag store's identity stream. Default 1.
+	Seed int64
+	// QueueCap bounds each unit instance's delivery queue. Default 1024.
+	QueueCap int
+	// Enforcer supplies a pre-built isolation enforcer; when nil and
+	// Mode requires isolation, the system analyses a fresh JDK catalog.
+	// Benchmarks share one enforcer across systems to keep set-up out
+	// of the measured region.
+	Enforcer *isolation.Enforcer
+}
+
+// System is a DEFCon instance: tag store, dispatcher and unit registry.
+type System struct {
+	mode SecurityMode
+	tags *tags.Store
+	disp *dispatch.Dispatcher
+	enf  *isolation.Enforcer
+
+	queueCap int
+
+	eventID atomic.Uint64
+	unitID  atomic.Uint64
+
+	mu     sync.Mutex
+	units  map[uint64]*Unit
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewSystem builds and starts a DEFCon system.
+func NewSystem(cfg Config) *System {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	s := &System{
+		mode:     cfg.Mode,
+		tags:     tags.NewStore(cfg.Seed),
+		queueCap: cfg.QueueCap,
+		units:    make(map[uint64]*Unit),
+		done:     make(chan struct{}),
+	}
+	if cfg.Mode.Isolation() {
+		s.enf = cfg.Enforcer
+		if s.enf == nil {
+			s.enf = isolation.NewEnforcer(isolation.Analyze(isolation.NewJDKCatalog()))
+		}
+	}
+	s.disp = dispatch.New(dispatch.Options{
+		CheckLabels:     cfg.Mode.CheckLabels(),
+		FreezeOnPublish: cfg.Mode.FreezeOnPublish(),
+		CloneDeliveries: cfg.Mode.CloneDeliveries(),
+		NextEventID:     func() uint64 { return s.eventID.Add(1) },
+	})
+	return s
+}
+
+// Mode returns the system's security mode.
+func (s *System) Mode() SecurityMode { return s.mode }
+
+// TagStore exposes the tag store for diagnostics (symbolic tag names in
+// logs and tests). Units create tags through Unit.CreateTag.
+func (s *System) TagStore() *tags.Store { return s.tags }
+
+// DispatchStats snapshots the dispatcher counters.
+func (s *System) DispatchStats() dispatch.Stats { return s.disp.Stats() }
+
+// Done exposes the shutdown channel; unit logic may select on it for
+// periodic work.
+func (s *System) Done() <-chan struct{} { return s.done }
+
+// Closed reports whether Close has been called.
+func (s *System) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close shuts the system down: blocked GetEvent calls return
+// ErrTerminated and unit goroutines are awaited.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// UnitConfig configures a new root unit (trusted bootstrap — the
+// platform operator deciding which units run and with which initial
+// labels/privileges, Figure 2).
+type UnitConfig struct {
+	// In is the initial input label (= contamination). Zero means
+	// public.
+	In labels.Label
+	// Out is the initial output label. Zero means public.
+	Out labels.Label
+	// Grants are privileges bestowed at creation (system-level; no
+	// delegation check applies to the trusted bootstrap).
+	Grants []priv.Grant
+	// QueueCap overrides the per-unit delivery queue capacity.
+	QueueCap int
+}
+
+// NewUnit registers a unit without starting a goroutine; the caller
+// drives its API directly. Tests and benchmark harnesses use this form.
+func (s *System) NewUnit(name string, cfg UnitConfig) *Unit {
+	u := s.buildUnit(name, cfg)
+	s.mu.Lock()
+	s.units[u.inst.ReceiverID()] = u
+	s.mu.Unlock()
+	return u
+}
+
+// SpawnUnit registers a unit and runs logic on its own goroutine — the
+// unit's processing loop. The goroutine is awaited by Close.
+func (s *System) SpawnUnit(name string, cfg UnitConfig, logic func(u *Unit)) *Unit {
+	u := s.NewUnit(name, cfg)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		logic(u)
+	}()
+	return u
+}
+
+// buildUnit assembles the unit and its primary instance.
+func (s *System) buildUnit(name string, cfg UnitConfig) *Unit {
+	owned := &priv.Owned{}
+	owned.GrantAll(cfg.Grants)
+	in, out := cfg.In, cfg.Out
+	if !s.mode.CheckLabels() {
+		// The no-security mode carries no labels at all.
+		in, out = labels.Label{}, labels.Label{}
+	}
+	return s.buildUnitAt(name, in, out, owned, cfg.QueueCap)
+}
+
+// buildUnitAt assembles a unit instance at explicit labels with an
+// explicit privilege state; shared by the bootstrap path,
+// InstantiateUnit and the managed-subscription router. queueCap <= 0
+// selects the system default.
+func (s *System) buildUnitAt(name string, in, out labels.Label, owned *priv.Owned, queueCap int) *Unit {
+	var iso *isolation.Isolate
+	if s.enf != nil {
+		iso = s.enf.NewIsolate(name)
+	}
+	if queueCap <= 0 {
+		queueCap = s.queueCap
+	}
+	inst := units.New(units.Config{
+		ID:       s.nextUnitID(),
+		Name:     name,
+		In:       in,
+		Out:      out,
+		Owned:    owned,
+		Iso:      iso,
+		QueueCap: queueCap,
+		Done:     s.done,
+	})
+	return newUnit(s, name, inst)
+}
+
+// UnitCount reports the number of registered units (primary instances).
+func (s *System) UnitCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.units)
+}
+
+// TotalQueueLen sums the delivery-queue depths of every registered
+// unit, including managed-subscription instances. Harnesses use it to
+// detect quiescence after a replay.
+func (s *System) TotalQueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, u := range s.units {
+		total += u.inst.QueueLen()
+	}
+	return total
+}
+
+// nextEventID mints an event identity.
+func (s *System) nextEventID() uint64 { return s.eventID.Add(1) }
+
+// NextEventID mints a fresh event identity for the trusted node
+// runtime (inter-node event import).
+func (s *System) NextEventID() uint64 { return s.nextEventID() }
+
+// nextUnitID mints a unit/receiver identity.
+func (s *System) nextUnitID() uint64 { return s.unitID.Add(1) }
+
+// track registers a child goroutine with the system lifecycle.
+func (s *System) track(fn func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		fn()
+	}()
+}
+
+// Go runs fn on a system-tracked goroutine, awaited by Close. Unit
+// assemblies use it to start processing loops after registering
+// subscriptions synchronously (avoiding a race between subscription
+// set-up and the first publishes).
+func (s *System) Go(fn func()) { s.track(fn) }

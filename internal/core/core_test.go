@@ -1,0 +1,601 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+func newSys(t *testing.T, mode SecurityMode) *System {
+	t.Helper()
+	s := NewSystem(Config{Mode: mode, Seed: 42})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSecurityModeFlags(t *testing.T) {
+	cases := []struct {
+		mode                         SecurityMode
+		check, frz, clone, isolation bool
+	}{
+		{NoSecurity, false, false, false, false},
+		{LabelsFreeze, true, true, false, false},
+		{LabelsClone, true, false, true, false},
+		{LabelsFreezeIsolation, true, true, false, true},
+	}
+	for _, c := range cases {
+		if c.mode.CheckLabels() != c.check || c.mode.FreezeOnPublish() != c.frz ||
+			c.mode.CloneDeliveries() != c.clone || c.mode.Isolation() != c.isolation {
+			t.Errorf("%v flags wrong", c.mode)
+		}
+		if c.mode.String() == "" {
+			t.Errorf("%v empty String", c.mode)
+		}
+	}
+}
+
+func TestContaminationIndependence(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("sandboxed", UnitConfig{})
+	d := u.CreateTag("d")
+	tt := u.CreateTag("t")
+	// Sandbox the unit's output at {d} (the §5 example).
+	if err := u.ChangeOutLabel(Confidentiality, Add, d); err != nil {
+		t.Fatal(err)
+	}
+	e := u.CreateEvent()
+	if err := u.AddPart(e, labels.NewSet(tt), labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	parts := e.Parts()
+	if len(parts) != 1 {
+		t.Fatal("part missing")
+	}
+	want := labels.NewSet(d, tt)
+	if !parts[0].Label.S.Equal(want) {
+		t.Fatalf("part S = %v, want {d,t}", parts[0].Label.S)
+	}
+}
+
+func TestAddPartIntegrityCappedByOutput(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	i := u.CreateTag("i-exchange")
+	e := u.CreateEvent()
+	// Claiming integrity without it being in the output label silently
+	// yields no integrity.
+	if err := u.AddPart(e, labels.EmptySet, labels.NewSet(i), "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Parts()[0].Label.I.IsEmpty() {
+		t.Fatal("integrity claimed beyond output label")
+	}
+	// After endorsing the output label (the unit owns i), parts carry it.
+	if err := u.ChangeOutLabel(Integrity, Add, i); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddPart(e, labels.EmptySet, labels.NewSet(i), "q", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Parts()[1].Label.I.Has(i) {
+		t.Fatal("endorsed part lacks integrity tag")
+	}
+}
+
+func TestReadPartVisibilityAndBestowal(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	bob := s.NewUnit("bob", UnitConfig{})
+
+	secret := alice.CreateTag("s-alice")
+	e := alice.CreateEvent()
+	if err := alice.AddPart(e, labels.NewSet(secret), labels.EmptySet, "order", "data"); err != nil {
+		t.Fatal(err)
+	}
+	// Attach a privilege to a public part for bob.
+	if err := alice.AddPart(e, labels.EmptySet, labels.EmptySet, "grant", secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.AttachPrivilegeToPart(e, "grant", labels.EmptySet, labels.EmptySet, secret, priv.Plus); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.AttachPrivilegeToPart(e, "grant", labels.EmptySet, labels.EmptySet, secret, priv.Minus); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob cannot see the protected part.
+	if _, err := bob.ReadPart(e, "order"); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("ReadPart(order) = %v, want ErrNoSuchPart", err)
+	}
+	// Reading the public part bestows s+ and s− on bob (§3.1.5).
+	views, err := bob.ReadPart(e, "grant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := views[0].Data; got != freeze.Value(secret) {
+		t.Fatal("tag reference not carried in data")
+	}
+	if !bob.HasPrivilege(secret, priv.Plus) || !bob.HasPrivilege(secret, priv.Minus) {
+		t.Fatal("grants not bestowed on read")
+	}
+	// Bob raises his input label and reads the protected part.
+	if err := bob.ChangeInLabel(Confidentiality, Add, secret); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.ReadPart(e, "order"); err != nil {
+		t.Fatalf("ReadPart after raise: %v", err)
+	}
+}
+
+func TestAttachPrivilegeRequiresAuth(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	eve := s.NewUnit("eve", UnitConfig{})
+	secret := alice.CreateTag("s")
+
+	e := eve.CreateEvent()
+	if err := eve.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Eve has no authority over alice's tag.
+	err := eve.AttachPrivilegeToPart(e, "p", labels.EmptySet, labels.EmptySet, secret, priv.Plus)
+	if !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("AttachPrivilegeToPart = %v, want ErrNotAuthorised", err)
+	}
+}
+
+func TestLabelChangeRules(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	other := s.NewUnit("other", UnitConfig{})
+	mine := u.CreateTag("mine")
+	theirs := other.CreateTag("theirs")
+
+	// Adding an owned tag works; adding someone else's fails.
+	if err := u.ChangeInOutLabel(Confidentiality, Add, mine); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ChangeInOutLabel(Confidentiality, Add, theirs); !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("foreign add = %v", err)
+	}
+	if !u.InputLabel().S.Has(mine) || !u.OutputLabel().S.Has(mine) {
+		t.Fatal("ChangeInOutLabel did not apply to both labels")
+	}
+	// Removal needs t− (owned: fine) and zero tags are rejected.
+	if err := u.ChangeInOutLabel(Confidentiality, Del, mine); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ChangeOutLabel(Confidentiality, Add, mine); err != nil {
+		t.Fatal(err)
+	}
+	var zero = struct{ labels.Label }{}
+	_ = zero
+	if err := u.ChangeOutLabel(Confidentiality, Add, theirs); !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatal("foreign out-label add allowed")
+	}
+}
+
+func TestChangeInLabelNeedsDeclassifyPrivilege(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	owner := s.NewUnit("owner", UnitConfig{})
+	tg := owner.CreateTag("t")
+
+	// A unit holding only t+ cannot open a standing declassification.
+	half := s.NewUnit("half", UnitConfig{Grants: []priv.Grant{{Tag: tg, Right: priv.Plus}}})
+	if err := half.ChangeInLabel(Confidentiality, Add, tg); !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("input-only raise with t+ only = %v", err)
+	}
+	// With t±, the §3.1.4 broker pattern works.
+	full := s.NewUnit("full", UnitConfig{Grants: []priv.Grant{
+		{Tag: tg, Right: priv.Plus}, {Tag: tg, Right: priv.Minus},
+	}})
+	if err := full.ChangeInLabel(Confidentiality, Add, tg); err != nil {
+		t.Fatal(err)
+	}
+	if full.OutputLabel().S.Has(tg) {
+		t.Fatal("input-only raise contaminated output label")
+	}
+}
+
+func TestPublishSubscribeGetEvent(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	subU := s.NewUnit("sub", UnitConfig{})
+
+	subID, err := subU.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "tick")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "tick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSub, err := subU.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSub != subID {
+		t.Fatalf("sub = %d, want %d", gotSub, subID)
+	}
+	if v, err := subU.ReadOne(got, "type"); err != nil || v.Data != freeze.Value("tick") {
+		t.Fatalf("delivered part wrong: %v %v", v, err)
+	}
+}
+
+func TestGetEventAutoReleaseRedispatches(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	augmenter := s.NewUnit("aug", UnitConfig{})
+	late := s.NewUnit("late", UnitConfig{})
+
+	if _, err := augmenter.Subscribe(dispatch.MustFilter(dispatch.PartExists("base"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.Subscribe(dispatch.MustFilter(dispatch.PartExists("extra"))); err != nil {
+		t.Fatal(err)
+	}
+
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "base", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := augmenter.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial processing: augmenter adds a part; the next GetEvent
+	// auto-releases, so `late` receives the event.
+	if err := augmenter.AddPart(got, labels.EmptySet, labels.EmptySet, "extra", "w"); err != nil {
+		t.Fatal(err)
+	}
+	// Publish a second event so augmenter's GetEvent returns.
+	e2 := pub.CreateEvent()
+	if err := pub.AddPart(e2, labels.EmptySet, labels.EmptySet, "base", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := augmenter.GetEvent(); err != nil {
+		t.Fatal(err)
+	}
+
+	lateGot, _, err := late.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lateGot.ID() != e.ID() {
+		t.Fatalf("late received event %d, want %d", lateGot.ID(), e.ID())
+	}
+}
+
+func TestExplicitReleaseRedispatches(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	aug := s.NewUnit("aug", UnitConfig{})
+	late := s.NewUnit("late", UnitConfig{})
+
+	if _, err := aug.Subscribe(dispatch.MustFilter(dispatch.PartExists("base"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.Subscribe(dispatch.MustFilter(dispatch.PartExists("extra"))); err != nil {
+		t.Fatal(err)
+	}
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "base", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := aug.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aug.AddPart(got, labels.EmptySet, labels.EmptySet, "extra", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := aug.Release(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := late.GetEvent(); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing an unmodified delivery is a no-op (no redispatch).
+	st := s.DispatchStats()
+	if st.Redispatches != 1 {
+		t.Fatalf("redispatches = %d, want 1", st.Redispatches)
+	}
+}
+
+func TestTraderIsolationScenario(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	t1 := s.NewUnit("trader-1", UnitConfig{})
+	t2 := s.NewUnit("trader-2", UnitConfig{})
+
+	tag1 := t1.CreateTag("t1")
+	if err := t1.ChangeInOutLabel(Confidentiality, Add, tag1); err != nil {
+		t.Fatal(err)
+	}
+	// Trader 2 subscribes to everything it can express.
+	if _, err := t2.Subscribe(dispatch.MustFilter(dispatch.PartExists("strategy"))); err != nil {
+		t.Fatal(err)
+	}
+	e := t1.CreateEvent()
+	if err := t1.AddPart(e, labels.EmptySet, labels.EmptySet, "strategy", "pairs:MSFT/GOOG"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	// The part was contaminated with t1; trader 2 must receive nothing.
+	if n := t2.QueueLen(); n != 0 {
+		t.Fatalf("trader 2 received %d deliveries of a t1-protected event", n)
+	}
+	if st := s.DispatchStats(); st.Deliveries != 0 {
+		t.Fatalf("deliveries = %d, want 0", st.Deliveries)
+	}
+}
+
+func TestInstantiateUnitInheritsContaminationAndChecksGrants(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	parent := s.NewUnit("parent", UnitConfig{})
+	sandbox := parent.CreateTag("sandbox")
+	foreign := s.NewUnit("other", UnitConfig{}).CreateTag("foreign")
+
+	if err := parent.ChangeInOutLabel(Confidentiality, Add, sandbox); err != nil {
+		t.Fatal(err)
+	}
+	// Delegating a tag the parent has no authority over fails.
+	if _, err := parent.InstantiateUnit("child", labels.EmptySet, labels.EmptySet,
+		[]priv.Grant{{Tag: foreign, Right: priv.Plus}}, nil); !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("foreign delegation = %v", err)
+	}
+	// Legal instantiation: child inherits the parent's contamination.
+	child, err := parent.InstantiateUnit("child", labels.EmptySet, labels.EmptySet,
+		[]priv.Grant{{Tag: sandbox, Right: priv.Plus}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !child.InputLabel().S.Has(sandbox) || !child.OutputLabel().S.Has(sandbox) {
+		t.Fatal("child escaped parent's contamination")
+	}
+	if !child.HasPrivilege(sandbox, priv.Plus) {
+		t.Fatal("delegated grant missing")
+	}
+	if child.HasPrivilege(sandbox, priv.Minus) {
+		t.Fatal("undelegated grant present")
+	}
+}
+
+func TestCloneEventRelabels(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	tg := u.CreateTag("t")
+	if err := u.ChangeOutLabel(Confidentiality, Add, tg); err != nil {
+		t.Fatal(err)
+	}
+	src := u.CreateEvent()
+	if err := u.AddPart(src, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Publish(src); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := u.CloneEvent(src, labels.EmptySet, labels.EmptySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.ID() == src.ID() {
+		t.Fatal("clone shares ID")
+	}
+	if !clone.Parts()[0].Label.S.Has(tg) {
+		t.Fatal("clone part missing output confidentiality tag")
+	}
+}
+
+func TestNoSecurityModeIsLabelFree(t *testing.T) {
+	s := newSys(t, NoSecurity)
+	a := s.NewUnit("a", UnitConfig{})
+	b := s.NewUnit("b", UnitConfig{})
+	tg := a.CreateTag("t")
+
+	// Label APIs are no-ops.
+	if err := a.ChangeInOutLabel(Confidentiality, Add, tg); err != nil {
+		t.Fatal(err)
+	}
+	if !a.InputLabel().IsPublic() {
+		t.Fatal("no-security unit has labels")
+	}
+	if _, err := b.Subscribe(dispatch.MustFilter(dispatch.PartExists("x"))); err != nil {
+		t.Fatal(err)
+	}
+	e := a.CreateEvent()
+	if err := a.AddPart(e, labels.NewSet(tg), labels.EmptySet, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.GetEvent(); err != nil {
+		t.Fatal("no-security delivery failed")
+	}
+	// Parts are label-free and mutable (no freeze).
+	if len(e.Parts()[0].Label.S.Slice()) != 0 {
+		t.Fatal("no-security part carries labels")
+	}
+}
+
+func TestCloneModeDeliversPrivateCopies(t *testing.T) {
+	s := newSys(t, LabelsClone)
+	pub := s.NewUnit("pub", UnitConfig{})
+	a := s.NewUnit("a", UnitConfig{})
+	b := s.NewUnit("b", UnitConfig{})
+	for _, u := range []*Unit{a, b} {
+		if _, err := u.Subscribe(dispatch.MustFilter(dispatch.PartExists("p"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := pub.CreateEvent()
+	body := freeze.MapOf("k", "v")
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "p", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	ea, _, err := a.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, _, err := b.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea == eb || ea == e {
+		t.Fatal("clone mode shared event objects")
+	}
+	va, _ := a.ReadOne(ea, "p")
+	vb, _ := b.ReadOne(eb, "p")
+	if va.Data == vb.Data {
+		t.Fatal("clone mode shared part data")
+	}
+}
+
+func TestIsolationModeTaxesAPICalls(t *testing.T) {
+	s := newSys(t, LabelsFreezeIsolation)
+	u := s.NewUnit("u", UnitConfig{})
+	e := u.CreateEvent()
+	if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	st := u.inst.Iso.Stats()
+	if st.APICalls < 3 {
+		t.Fatalf("API calls taxed = %d, want ≥3", st.APICalls)
+	}
+	if st.FieldReads == 0 {
+		t.Fatal("no interceptor work performed")
+	}
+}
+
+func TestSystemCloseUnblocksUnits(t *testing.T) {
+	s := NewSystem(Config{Mode: LabelsFreeze})
+	got := make(chan error, 1)
+	s.SpawnUnit("blocked", UnitConfig{}, func(u *Unit) {
+		_, _, err := u.GetEvent()
+		got <- err
+	})
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrTerminated) {
+			t.Fatalf("GetEvent after close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("unit did not unblock on Close")
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() false")
+	}
+	s.Close() // idempotent
+}
+
+func TestTerminateUnit(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	u := s.NewUnit("u", UnitConfig{})
+	if _, err := u.Subscribe(dispatch.MustFilter(dispatch.PartExists("p"))); err != nil {
+		t.Fatal(err)
+	}
+	if s.UnitCount() != 2 {
+		t.Fatalf("UnitCount = %d", s.UnitCount())
+	}
+	u.Terminate()
+	if s.UnitCount() != 1 {
+		t.Fatal("Terminate did not deregister")
+	}
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.DispatchStats(); st.Deliveries != 0 {
+		t.Fatal("terminated unit still receives")
+	}
+}
+
+func TestPublishDoesNotRevealDeliveries(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Publish with zero subscribers returns exactly the same as with
+	// many: nil. (The API has no delivery-count channel.)
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilArgumentErrors(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	if err := u.AddPart(nil, labels.EmptySet, labels.EmptySet, "p", "v"); err == nil {
+		t.Fatal("AddPart(nil) succeeded")
+	}
+	if err := u.Publish(nil); err == nil {
+		t.Fatal("Publish(nil) succeeded")
+	}
+	if err := u.Release(nil); err == nil {
+		t.Fatal("Release(nil) succeeded")
+	}
+	if _, err := u.ReadPart(nil, "p"); err == nil {
+		t.Fatal("ReadPart(nil) succeeded")
+	}
+	if _, err := u.CloneEvent(nil, labels.EmptySet, labels.EmptySet); err == nil {
+		t.Fatal("CloneEvent(nil) succeeded")
+	}
+	if err := u.DelPart(nil, labels.EmptySet, labels.EmptySet, "p"); err == nil {
+		t.Fatal("DelPart(nil) succeeded")
+	}
+	if _, err := u.SubscribeManaged(nil, dispatch.MustFilter(dispatch.PartExists("p"))); err == nil {
+		t.Fatal("SubscribeManaged(nil handler) succeeded")
+	}
+}
+
+func TestDelPartRequiresExactEffectiveLabel(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	tg := u.CreateTag("t")
+	e := u.CreateEvent()
+	if err := u.AddPart(e, labels.NewSet(tg), labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting with the same requested label succeeds (same effective
+	// label after contamination).
+	if err := u.DelPart(e, labels.NewSet(tg), labels.EmptySet, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 {
+		t.Fatal("part not deleted")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+// ManagedHandler processes one delivery inside a managed-subscription
+// instance. u is the instance's own API handle: label changes,
+// privilege acquisitions and scratch State are instance-local.
+type ManagedHandler func(u *Unit, e *events.Event, sub uint64)
+
+// ManagedOptions tune a managed subscription.
+type ManagedOptions struct {
+	// ResetOnDrift re-virgins an instance (labels, privileges, state)
+	// after any delivery that left it contaminated beyond its creation
+	// label — the Asbestos-event-process behaviour and the paper's
+	// "process multiple tags without contaminating its state
+	// permanently". Default true.
+	//
+	// Long-lived stateful services (the Broker's order book) disable it
+	// and perform explicit label hygiene instead: they hold the
+	// declassification privileges that make retaining state sound.
+	ResetOnDrift bool
+	// Pin is a confidentiality floor joined into every instance's
+	// contamination. A service whose state lives at a fixed level (the
+	// Broker's order book at {b}) pins its instances there so that
+	// lower-labelled deliveries (public audit requests) reach the same
+	// instance instead of spawning one at a lower level. Raising a
+	// contamination is always safe; Pin never lowers anything.
+	Pin labels.Set
+	// QueueCap bounds each instance's delivery queue (0 = system
+	// default).
+	QueueCap int
+}
+
+// SubscribeManaged declares a managed subscription (Table 1:
+// subscribeManaged): DEFCon creates and reuses separate unit instances
+// with contaminations appropriate for the processing of incoming
+// events, so the subscribing unit's own state is never contaminated.
+func (u *Unit) SubscribeManaged(handler ManagedHandler, filter *dispatch.Filter) (uint64, error) {
+	return u.SubscribeManagedOpts(handler, filter, ManagedOptions{ResetOnDrift: true})
+}
+
+// SubscribeManagedOpts is SubscribeManaged with explicit options.
+func (u *Unit) SubscribeManagedOpts(handler ManagedHandler, filter *dispatch.Filter, opts ManagedOptions) (uint64, error) {
+	ids, err := u.SubscribeManagedMulti(handler, opts, filter)
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// SubscribeManagedMulti registers several filters behind one managed
+// router: all deliveries share a single instance pool, so a stateful
+// service can receive different event shapes (the Broker's orders and
+// audited trades) in the same instance. Returns one subscription ID
+// per filter.
+func (u *Unit) SubscribeManagedMulti(handler ManagedHandler, opts ManagedOptions, filters ...*dispatch.Filter) ([]uint64, error) {
+	u.tax()
+	if handler == nil {
+		return nil, fmt.Errorf("core: nil managed handler")
+	}
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("core: managed subscription needs at least one filter")
+	}
+	r := &managedRouter{
+		id:      u.sys.nextUnitID(),
+		sys:     u.sys,
+		owner:   u,
+		handler: handler,
+		opts:    opts,
+		pool:    make(map[string]*Unit),
+	}
+	ids := make([]uint64, 0, len(filters))
+	for _, f := range filters {
+		id, err := u.sys.disp.Subscribe(f, r)
+		if err != nil {
+			for _, done := range ids {
+				u.sys.disp.Unsubscribe(done)
+			}
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	u.subsMu.Lock()
+	u.subs = append(u.subs, ids...)
+	u.subsMu.Unlock()
+	return ids, nil
+}
+
+// managedRouter is the dispatch.Receiver behind a managed subscription:
+// it matches on the owner's *potential* input label and routes each
+// delivery to a pooled instance at the contamination the event needs.
+type managedRouter struct {
+	id      uint64
+	sys     *System
+	owner   *Unit
+	handler ManagedHandler
+	opts    ManagedOptions
+
+	mu   sync.Mutex
+	pool map[string]*Unit // keyed by creation-label Key
+	seq  int
+}
+
+// ReceiverID implements dispatch.Receiver.
+func (r *managedRouter) ReceiverID() uint64 { return r.id }
+
+// InputLabel implements dispatch.Receiver with the owner's potential
+// input label: the label the unit could legitimately raise itself to —
+// (Sin ∪ O+, Iin \ O−). Matching against it lets events the owner
+// could only read after self-contamination reach the router, which
+// then manufactures an instance at the required level.
+func (r *managedRouter) InputLabel() labels.Label {
+	if !r.sys.mode.CheckLabels() {
+		return labels.Label{}
+	}
+	in := r.owner.inst.InputLabel()
+	var plus, minus labels.Set
+	r.owner.inst.WithPrivileges(func(o *priv.Owned) {
+		plus = o.Set(priv.Plus)
+		minus = o.Set(priv.Minus)
+	})
+	return labels.Label{S: in.S.Union(plus), I: in.I.Subtract(minus)}
+}
+
+// Enqueue implements dispatch.Receiver: it computes the contamination
+// the event requires, fetches or creates the pooled instance for that
+// level, and hands the delivery over.
+func (r *managedRouter) Enqueue(e *events.Event, sub uint64, block bool) bool {
+	needed := r.neededLabel(e)
+	inst := r.instanceFor(needed)
+	if inst == nil {
+		return false
+	}
+	return inst.inst.Enqueue(e, sub, block)
+}
+
+// neededLabel joins the labels of every part the owner could read at
+// its potential label: the contamination "appropriate for the
+// processing of the incoming event". Parts beyond the potential label
+// (e.g. an identity part whose extra tag arrives only via a carried
+// privilege) are excluded — the instance escalates itself later if the
+// handler acquires the privilege.
+func (r *managedRouter) neededLabel(e *events.Event) labels.Label {
+	if !r.sys.mode.CheckLabels() {
+		return labels.Label{}
+	}
+	base := r.owner.inst.InputLabel()
+	needed := labels.Label{S: base.S.Union(r.opts.Pin), I: base.I}
+	for _, p := range e.VisibleAll(r.InputLabel()) {
+		needed = needed.Join(p.Label)
+	}
+	// Integrity may only drop tags the owner holds t− for; Join already
+	// intersects, and admission guaranteed the dropped tags are in O−.
+	return needed
+}
+
+// instanceFor returns the pooled instance for a contamination level,
+// creating one (and its processing goroutine) on first use.
+func (r *managedRouter) instanceFor(needed labels.Label) *Unit {
+	key := needed.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inst, ok := r.pool[key]; ok {
+		return inst
+	}
+	if r.sys.Closed() {
+		return nil
+	}
+
+	// The instance's privileges are a snapshot of the owner's: it is
+	// the same principal's code running at a different contamination.
+	var owned *priv.Owned
+	r.owner.inst.WithPrivileges(func(o *priv.Owned) { owned = o.Clone() })
+
+	// Output label: the owner's, plus any needed confidentiality tags
+	// the instance cannot declassify — without t− the instance's
+	// output must carry the contamination it absorbs.
+	ownerOut := r.owner.inst.OutputLabel()
+	outS := ownerOut.S
+	for _, t := range needed.S.Slice() {
+		if !owned.Has(t, priv.Minus) {
+			outS = outS.Add(t)
+		}
+	}
+	out := labels.Label{S: outS, I: ownerOut.I.Intersect(needed.I)}
+
+	r.seq++
+	name := fmt.Sprintf("%s@managed%d", r.owner.name, r.seq)
+	inst := r.sys.buildUnitAt(name, needed, out, owned, r.opts.QueueCap)
+	r.pool[key] = inst
+	// Register the instance so system-wide accounting (TotalQueueLen,
+	// shutdown) covers it.
+	r.sys.mu.Lock()
+	r.sys.units[inst.inst.ReceiverID()] = inst
+	r.sys.mu.Unlock()
+	r.sys.track(func() { r.runInstance(inst) })
+	return inst
+}
+
+// runInstance is a managed instance's processing loop: deliver →
+// handler → release (re-dispatching modifications) → optional
+// re-virgining.
+func (r *managedRouter) runInstance(inst *Unit) {
+	for {
+		d, err := inst.inst.Next()
+		if err != nil {
+			return
+		}
+		r.handler(inst, d.Event, d.Sub)
+		if d.Event.Generation() != d.Gen {
+			r.sys.disp.Redispatch(d.Event)
+		}
+		if r.opts.ResetOnDrift && inst.inst.Drifted() {
+			inst.inst.Reset()
+		}
+	}
+}
+
+// InstanceCount reports the number of pooled managed instances behind
+// the router; tests and the memory benchmarks read it through
+// System.ManagedInstances.
+func (r *managedRouter) InstanceCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pool)
+}

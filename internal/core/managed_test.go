@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// publishOrder publishes a b-protected order event from the trader.
+func publishOrder(t *testing.T, trader *Unit, b interface {
+	IsZero() bool
+}, symbol string, price int64, S labels.Set) *events.Event {
+	t.Helper()
+	e := trader.CreateEvent()
+	body := freeze.MapOf("symbol", symbol, "price", price)
+	if err := trader.AddPart(e, S, labels.EmptySet, "order", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := trader.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestManagedMatchesOnPotentialLabelAndContaminatesInstance(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	b := trader.CreateTag("dark-pool")
+
+	// The broker holds b± but keeps a public base input label: the
+	// managed machinery must still match b-protected orders.
+	broker := s.NewUnit("broker", UnitConfig{Grants: []priv.Grant{
+		{Tag: b, Right: priv.Plus}, {Tag: b, Right: priv.Minus},
+	}})
+	handled := make(chan labels.Label, 4)
+	if _, err := broker.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		// The instance must be able to read the protected part.
+		if _, err := u.ReadPart(e, "order"); err != nil {
+			t.Errorf("managed instance cannot read order: %v", err)
+		}
+		handled <- u.InputLabel()
+	}, dispatch.MustFilter(dispatch.KeyEq("order", "symbol", "MSFT"))); err != nil {
+		t.Fatal(err)
+	}
+
+	publishOrder(t, trader, b, "MSFT", 1234, labels.NewSet(b))
+
+	select {
+	case lbl := <-handled:
+		if !lbl.S.Has(b) {
+			t.Fatalf("instance label %v lacks b", lbl)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("managed handler never ran")
+	}
+	// The broker's own unit remains uncontaminated.
+	if !broker.InputLabel().IsPublic() {
+		t.Fatal("managed subscription contaminated the base unit")
+	}
+}
+
+func TestManagedWithoutPrivilegesDoesNotMatchProtectedEvents(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	b := trader.CreateTag("dark-pool")
+	eve := s.NewUnit("eve", UnitConfig{})
+
+	var ran atomic.Int32
+	if _, err := eve.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		ran.Add(1)
+	}, dispatch.MustFilter(dispatch.KeyEq("order", "symbol", "MSFT"))); err != nil {
+		t.Fatal(err)
+	}
+	publishOrder(t, trader, b, "MSFT", 1234, labels.NewSet(b))
+	time.Sleep(30 * time.Millisecond)
+	if ran.Load() != 0 {
+		t.Fatal("unprivileged managed subscription saw a protected event")
+	}
+}
+
+func TestManagedInstancePooling(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	b := trader.CreateTag("dark-pool")
+	broker := s.NewUnit("broker", UnitConfig{Grants: []priv.Grant{
+		{Tag: b, Right: priv.Plus}, {Tag: b, Right: priv.Minus},
+	}})
+
+	var count atomic.Int32
+	names := make(chan string, 8)
+	if _, err := broker.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		count.Add(1)
+		names <- u.Name()
+	}, dispatch.MustFilter(dispatch.KeyEq("order", "symbol", "MSFT"))); err != nil {
+		t.Fatal(err)
+	}
+
+	publishOrder(t, trader, b, "MSFT", 1, labels.NewSet(b))
+	publishOrder(t, trader, b, "MSFT", 2, labels.NewSet(b))
+	waitFor(t, "two handled deliveries", func() bool { return count.Load() == 2 })
+
+	// Same contamination level → same pooled instance.
+	n1, n2 := <-names, <-names
+	if n1 != n2 {
+		t.Fatalf("same-label deliveries used different instances: %q vs %q", n1, n2)
+	}
+}
+
+func TestManagedDistinctContaminationsUseDistinctInstances(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	b := trader.CreateTag("dark-pool")
+	c := trader.CreateTag("lit-pool")
+	broker := s.NewUnit("broker", UnitConfig{Grants: []priv.Grant{
+		{Tag: b, Right: priv.Plus}, {Tag: b, Right: priv.Minus},
+		{Tag: c, Right: priv.Plus}, {Tag: c, Right: priv.Minus},
+	}})
+
+	var count atomic.Int32
+	names := make(chan string, 8)
+	if _, err := broker.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		count.Add(1)
+		names <- u.Name()
+	}, dispatch.MustFilter(dispatch.KeyEq("order", "symbol", "MSFT"))); err != nil {
+		t.Fatal(err)
+	}
+
+	publishOrder(t, trader, b, "MSFT", 1, labels.NewSet(b))
+	publishOrder(t, trader, b, "MSFT", 2, labels.NewSet(c))
+	waitFor(t, "two handled deliveries", func() bool { return count.Load() == 2 })
+	n1, n2 := <-names, <-names
+	if n1 == n2 {
+		t.Fatal("different contaminations shared an instance")
+	}
+}
+
+func TestManagedResetOnDrift(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	secret := trader.CreateTag("per-order")
+
+	regulator := s.NewUnit("regulator", UnitConfig{})
+	var count atomic.Int32
+	sawPriv := make(chan bool, 4)
+	if _, err := regulator.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		count.Add(1)
+		// First act: record whether we already hold the privilege (we
+		// must not, if reset worked), then read the grant-carrying part.
+		sawPriv <- u.HasPrivilege(secret, priv.Plus)
+		if _, err := u.ReadPart(e, "delegation"); err != nil {
+			t.Errorf("reading delegation: %v", err)
+		}
+		u.State()["seen"] = true
+	}, dispatch.MustFilter(dispatch.PartEq("type", "delegation"))); err != nil {
+		t.Fatal(err)
+	}
+
+	publish := func() {
+		e := trader.CreateEvent()
+		if err := trader.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "delegation"); err != nil {
+			t.Fatal(err)
+		}
+		if err := trader.AddPart(e, labels.EmptySet, labels.EmptySet, "delegation", secret); err != nil {
+			t.Fatal(err)
+		}
+		if err := trader.AttachPrivilegeToPart(e, "delegation", labels.EmptySet, labels.EmptySet, secret, priv.Plus); err != nil {
+			t.Fatal(err)
+		}
+		if err := trader.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish()
+	waitFor(t, "first delivery", func() bool { return count.Load() == 1 })
+	publish()
+	waitFor(t, "second delivery", func() bool { return count.Load() == 2 })
+
+	if <-sawPriv {
+		t.Fatal("first delivery started with privilege")
+	}
+	if <-sawPriv {
+		t.Fatal("instance kept acquired privilege across deliveries; reset-on-drift failed")
+	}
+}
+
+func TestManagedNoResetKeepsState(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	b := trader.CreateTag("dark-pool")
+	broker := s.NewUnit("broker", UnitConfig{Grants: []priv.Grant{
+		{Tag: b, Right: priv.Plus}, {Tag: b, Right: priv.Minus},
+	}})
+
+	var count atomic.Int32
+	sizes := make(chan int, 4)
+	if _, err := broker.SubscribeManagedOpts(func(u *Unit, e *events.Event, sub uint64) {
+		st := u.State()
+		book, _ := st["book"].(int)
+		book++
+		st["book"] = book
+		count.Add(1)
+		sizes <- book
+	}, dispatch.MustFilter(dispatch.KeyEq("order", "symbol", "MSFT")),
+		ManagedOptions{ResetOnDrift: false}); err != nil {
+		t.Fatal(err)
+	}
+
+	publishOrder(t, trader, b, "MSFT", 1, labels.NewSet(b))
+	publishOrder(t, trader, b, "MSFT", 2, labels.NewSet(b))
+	waitFor(t, "both orders", func() bool { return count.Load() == 2 })
+	a, bk := <-sizes, <-sizes
+	if a != 1 || bk != 2 {
+		t.Fatalf("book sizes = %d,%d; state not persistent", a, bk)
+	}
+}
+
+func TestManagedInstanceOutputContaminatedWithoutDeclassify(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	trader := s.NewUnit("trader", UnitConfig{})
+	b := trader.CreateTag("dark-pool")
+
+	// Auditor can raise to b (b+) but cannot declassify (no b−): its
+	// managed instances' output must carry b.
+	auditor := s.NewUnit("auditor", UnitConfig{Grants: []priv.Grant{
+		{Tag: b, Right: priv.Plus},
+	}})
+	outLabels := make(chan labels.Label, 1)
+	if _, err := auditor.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		outLabels <- u.OutputLabel()
+	}, dispatch.MustFilter(dispatch.KeyEq("order", "symbol", "MSFT"))); err != nil {
+		t.Fatal(err)
+	}
+	publishOrder(t, trader, b, "MSFT", 1, labels.NewSet(b))
+	select {
+	case out := <-outLabels:
+		if !out.S.Has(b) {
+			t.Fatal("instance without b− has public output: declassification laundering")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestManagedModificationsRedispatch(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	late := s.NewUnit("late", UnitConfig{})
+	if _, err := late.Subscribe(dispatch.MustFilter(dispatch.PartExists("verdict"))); err != nil {
+		t.Fatal(err)
+	}
+
+	checker := s.NewUnit("checker", UnitConfig{})
+	if _, err := checker.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "verdict", "ok"); err != nil {
+			t.Errorf("AddPart in handler: %v", err)
+		}
+	}, dispatch.MustFilter(dispatch.PartEq("type", "claim"))); err != nil {
+		t.Fatal(err)
+	}
+
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "claim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	// The handler's modification must reach `late` via release.
+	got, _, err := late.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := late.ReadOne(got, "verdict"); err != nil || v.Data != freeze.Value("ok") {
+		t.Fatalf("verdict not delivered: %v %v", v, err)
+	}
+}

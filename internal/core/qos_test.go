@@ -1,0 +1,159 @@
+package core
+
+// Tests of the delivery-QoS surface: bounded queues, best-effort
+// publication, and the backpressure properties behind the trading
+// platform's feedback-edge design (DESIGN.md §5.10).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+)
+
+// mustQoSMap builds a small freezable map.
+func mustQoSMap(t *testing.T) *freeze.Map {
+	t.Helper()
+	m := freeze.NewMap()
+	if err := m.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPublishBestEffortDropsOnFullQueue(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	slow := s.NewUnit("slow", UnitConfig{QueueCap: 1})
+	if _, err := slow.Subscribe(dispatch.MustFilter(dispatch.PartExists("p"))); err != nil {
+		t.Fatal(err)
+	}
+	emit := func(fn func(*events.Event) error) error {
+		e := pub.CreateEvent()
+		if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+			t.Fatal(err)
+		}
+		return fn(e)
+	}
+	// Fill the queue.
+	if err := emit(pub.PublishBestEffort); err != nil {
+		t.Fatal(err)
+	}
+	// Second publish must return immediately (drop), not block.
+	done := make(chan error, 1)
+	go func() { done <- emit(pub.PublishBestEffort) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("best-effort publish blocked on full queue")
+	}
+	// Exactly one delivery was accepted.
+	if st := s.DispatchStats(); st.Deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1 (one accepted, one dropped)", st.Deliveries)
+	}
+}
+
+func TestBlockingPublishWaitsForSpace(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	slow := s.NewUnit("slow", UnitConfig{QueueCap: 1})
+	if _, err := slow.Subscribe(dispatch.MustFilter(dispatch.PartExists("p"))); err != nil {
+		t.Fatal(err)
+	}
+	emit := func() {
+		e := pub.CreateEvent()
+		if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit() // fills the queue
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		close(started)
+		emit() // must block until the consumer drains
+		close(finished)
+	}()
+	<-started
+	select {
+	case <-finished:
+		t.Fatal("blocking publish did not backpressure")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Drain one delivery; the blocked publish must complete.
+	if _, _, err := slow.GetEvent(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish still blocked after drain")
+	}
+}
+
+func TestSubscribeManagedMultiValidation(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	if _, err := u.SubscribeManagedMulti(func(*Unit, *events.Event, uint64) {},
+		ManagedOptions{}); err == nil {
+		t.Fatal("zero filters accepted")
+	}
+	// A bad filter mid-list must roll back earlier registrations.
+	good := dispatch.MustFilter(dispatch.PartExists("a"))
+	if _, err := u.SubscribeManagedMulti(func(*Unit, *events.Event, uint64) {},
+		ManagedOptions{}, good, nil); err == nil {
+		t.Fatal("nil filter accepted")
+	}
+	if got := s.disp.SubscriptionCount(); got != 0 {
+		t.Fatalf("rollback left %d subscriptions", got)
+	}
+}
+
+func TestUnsubscribeStopsUnitDeliveries(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	u := s.NewUnit("u", UnitConfig{})
+	id, err := u.Subscribe(dispatch.MustFilter(dispatch.PartExists("p")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Unsubscribe(id)
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	if u.QueueLen() != 0 {
+		t.Fatal("delivery after Unsubscribe")
+	}
+}
+
+func TestCloneEventNoSecurityDeepCopies(t *testing.T) {
+	s := newSys(t, NoSecurity)
+	u := s.NewUnit("u", UnitConfig{})
+	e := u.CreateEvent()
+	m := mustQoSMap(t)
+	if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "p", m); err != nil {
+		t.Fatal(err)
+	}
+	// Without freezing, a clone must not alias the (still mutable)
+	// original data.
+	c, err := u.CloneEvent(e, labels.EmptySet, labels.EmptySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Parts()[0].Data == e.Parts()[0].Data {
+		t.Fatal("no-security clone aliased mutable data")
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+// Adversarial tests: each models a unit that "may be tempted not to
+// play by the rules" (§2.2's threat model) and asserts the enforcement
+// point that stops it.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/isolation"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+// TestAttackMutateAfterPublish: a malicious publisher keeps a reference
+// to published part data and mutates it after receivers have shared
+// references — freezing must block the write.
+func TestAttackMutateAfterPublish(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	mallory := s.NewUnit("mallory", UnitConfig{})
+	victim := s.NewUnit("victim", UnitConfig{})
+	if _, err := victim.Subscribe(dispatch.MustFilter(dispatch.PartExists("p"))); err != nil {
+		t.Fatal(err)
+	}
+	payload := freeze.MapOf("price", int64(100))
+	e := mallory.CreateEvent()
+	if err := mallory.AddPart(e, labels.EmptySet, labels.EmptySet, "p", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := mallory.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	// Post-publish mutation attempt.
+	if err := payload.Put("price", int64(999)); !errors.Is(err, freeze.ErrFrozen) {
+		t.Fatalf("post-publish mutation = %v, want ErrFrozen", err)
+	}
+	got, _, err := victim.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := victim.ReadOne(got, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data.(*freeze.Map).GetInt("price") != 100 {
+		t.Fatal("receiver observed tampered data")
+	}
+}
+
+// TestAttackSmuggleMutableValue: event parts must refuse raw mutable
+// values that would create shared state between isolates.
+func TestAttackSmuggleMutableValue(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	mallory := s.NewUnit("mallory", UnitConfig{})
+	e := mallory.CreateEvent()
+	for _, v := range []freeze.Value{[]byte("raw"), map[string]int{}, &struct{ X int }{}} {
+		if err := mallory.AddPart(e, labels.EmptySet, labels.EmptySet, "p", v); !errors.Is(err, freeze.ErrBadValue) {
+			t.Fatalf("mutable value %T accepted: %v", v, err)
+		}
+	}
+}
+
+// TestAttackRelabelByDeletion: a unit must not be able to delete
+// another principal's protected part (deleting what you cannot name is
+// impossible; deleting what you can see but did not create at that
+// label fails the exact-label match).
+func TestAttackRelabelByDeletion(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	mallory := s.NewUnit("mallory", UnitConfig{})
+	secret := alice.CreateTag("s")
+	e := alice.CreateEvent()
+	if err := alice.AddPart(e, labels.NewSet(secret), labels.EmptySet, "order", "data"); err != nil {
+		t.Fatal(err)
+	}
+	// Mallory names the part but cannot reproduce its label (she has no
+	// reference to alice's tag in this trust configuration — and even
+	// with the reference, her DelPart call carries her own effective
+	// label, which differs unless she can already write at that level).
+	if err := mallory.DelPart(e, labels.EmptySet, labels.EmptySet, "order"); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("foreign deletion = %v", err)
+	}
+	if e.Len() != 1 {
+		t.Fatal("protected part deleted")
+	}
+}
+
+// TestAttackPrivilegeLaundering: holding t− does not allow delegating
+// t−; only t−auth does (§3.1.3's topology enforcement).
+func TestAttackPrivilegeLaundering(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	owner := s.NewUnit("owner", UnitConfig{})
+	tg := owner.CreateTag("t")
+	// The regulator-like unit holds t− but no auth.
+	mid := s.NewUnit("mid", UnitConfig{Grants: []priv.Grant{{Tag: tg, Right: priv.Minus}}})
+	e := mid.CreateEvent()
+	if err := mid.AddPart(e, labels.EmptySet, labels.EmptySet, "gift", tg); err != nil {
+		t.Fatal(err)
+	}
+	err := mid.AttachPrivilegeToPart(e, "gift", labels.EmptySet, labels.EmptySet, tg, priv.Minus)
+	if !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("delegation without auth = %v", err)
+	}
+}
+
+// TestAttackTagReferenceIsNotPrivilege: obtaining a tag reference (for
+// example from part data) conveys no rights over the tag.
+func TestAttackTagReferenceIsNotPrivilege(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	mallory := s.NewUnit("mallory", UnitConfig{})
+	secret := alice.CreateTag("s")
+
+	// Alice shares the reference publicly (tags are transmittable).
+	e := alice.CreateEvent()
+	if err := alice.AddPart(e, labels.EmptySet, labels.EmptySet, "ref", secret); err != nil {
+		t.Fatal(err)
+	}
+	views, err := mallory.ReadPart(e, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := views[0].Data.(interface{ IsZero() bool })
+	if got.IsZero() {
+		t.Fatal("reference lost")
+	}
+	// The reference alone buys nothing.
+	if err := mallory.ChangeInLabel(Confidentiality, Add, secret); !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("raise with bare reference = %v", err)
+	}
+	if err := mallory.ChangeOutLabel(Confidentiality, Add, secret); !errors.Is(err, priv.ErrNotAuthorised) {
+		t.Fatalf("endorse with bare reference = %v", err)
+	}
+}
+
+// TestAttackObserveAbsence: a unit must not learn whether its publish
+// reached anyone, and a reader cannot distinguish "part absent" from
+// "part invisible" (§3.1.4's implicit-contamination discussion).
+func TestAttackObserveAbsence(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	mallory := s.NewUnit("mallory", UnitConfig{})
+	secret := alice.CreateTag("s")
+
+	withPart := alice.CreateEvent()
+	if err := alice.AddPart(withPart, labels.NewSet(secret), labels.EmptySet, "x", "v"); err != nil {
+		t.Fatal(err)
+	}
+	without := alice.CreateEvent()
+	if err := alice.AddPart(without, labels.EmptySet, labels.EmptySet, "other", "v"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, errInvisible := mallory.ReadPart(withPart, "x")
+	_, errAbsent := mallory.ReadPart(without, "x")
+	if errInvisible.Error() != errAbsent.Error() {
+		t.Fatalf("absence distinguishable: %q vs %q", errInvisible, errAbsent)
+	}
+}
+
+// TestAttackCovertStorageChannel: two colluding units try the
+// Thread.threadSeqNum trick end to end in the isolation mode; the
+// per-isolate replication must keep them apart.
+func TestAttackCovertStorageChannel(t *testing.T) {
+	s := newSys(t, LabelsFreezeIsolation)
+	sender := s.NewUnit("sender", UnitConfig{})
+	receiver := s.NewUnit("receiver", UnitConfig{})
+
+	enf := s.enf
+	id, ok := enf.TargetID("java.lang.Thread.threadSeqNum")
+	if !ok {
+		t.Fatal("canonical target missing")
+	}
+	if err := enf.SetStatic(sender.inst.Iso, id, int64(0xABC)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := enf.GetStatic(receiver.inst.Iso, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == any(int64(0xABC)) {
+		t.Fatal("storage channel across units")
+	}
+}
+
+// TestAttackSyncChannel: units may not synchronise on shared values.
+func TestAttackSyncChannel(t *testing.T) {
+	s := newSys(t, LabelsFreezeIsolation)
+	u := s.NewUnit("u", UnitConfig{})
+	if err := s.enf.SyncOn(u.inst.Iso, "interned-string"); !errors.Is(err, isolation.ErrSecurity) {
+		t.Fatalf("sync on shared value = %v", err)
+	}
+	var m isolation.Mutex
+	if err := s.enf.SyncOn(u.inst.Iso, &m); err != nil {
+		t.Fatalf("sync on NeverShared = %v", err)
+	}
+}
+
+// TestAttackManagedCannotRetainEscalation: a managed instance that
+// acquires privileges during one delivery must not keep them for the
+// next (reset-on-drift), so a compromised handler cannot accumulate
+// authority.
+func TestAttackManagedCannotRetainEscalation(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	granter := s.NewUnit("granter", UnitConfig{})
+	tg := granter.CreateTag("t")
+
+	spy := s.NewUnit("spy", UnitConfig{})
+	leaks := make(chan bool, 4)
+	if _, err := spy.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		leaks <- u.HasPrivilege(tg, priv.Plus)
+		_, _ = u.ReadPart(e, "grant")
+	}, dispatch.MustFilter(dispatch.PartEq("type", "bait"))); err != nil {
+		t.Fatal(err)
+	}
+
+	publish := func() {
+		e := granter.CreateEvent()
+		if err := granter.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "bait"); err != nil {
+			t.Fatal(err)
+		}
+		if err := granter.AddPart(e, labels.EmptySet, labels.EmptySet, "grant", tg); err != nil {
+			t.Fatal(err)
+		}
+		if err := granter.AttachPrivilegeToPart(e, "grant", labels.EmptySet, labels.EmptySet, tg, priv.Plus); err != nil {
+			t.Fatal(err)
+		}
+		if err := granter.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish()
+	waitLeak := func() bool {
+		select {
+		case v := <-leaks:
+			return v
+		case <-time.After(3 * time.Second):
+			t.Fatal("handler never ran")
+			return false
+		}
+	}
+	if waitLeak() {
+		t.Fatal("first delivery started privileged")
+	}
+	publish()
+	if waitLeak() {
+		t.Fatal("escalation retained across deliveries")
+	}
+}
+
+// TestAttackSandboxedChildCannotLaunder: a unit cannot wash off its
+// contamination by instantiating a child — the child inherits it.
+func TestAttackSandboxedChildCannotLaunder(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	owner := s.NewUnit("owner", UnitConfig{})
+	tg := owner.CreateTag("t")
+
+	// Contaminated unit (bootstrap-sandboxed at {t}).
+	dirty := s.NewUnit("dirty", UnitConfig{
+		In:  labels.Label{S: labels.NewSet(tg)},
+		Out: labels.Label{S: labels.NewSet(tg)},
+	})
+	child, err := dirty.InstantiateUnit("laundry", labels.EmptySet, labels.EmptySet, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !child.InputLabel().S.Has(tg) || !child.OutputLabel().S.Has(tg) {
+		t.Fatal("child escaped contamination")
+	}
+	// Everything the child emits is still t-protected.
+	e := child.CreateEvent()
+	if err := child.AddPart(e, labels.EmptySet, labels.EmptySet, "leak", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Parts()[0].Label.S.Has(tg) {
+		t.Fatal("child published below its contamination")
+	}
+}
+
+// TestAttackCloneDoesNotAmplify: cloning an event must not duplicate
+// its privilege grants (a clone-based privilege printing press).
+func TestAttackCloneDoesNotAmplify(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	tg := alice.CreateTag("t")
+	e := alice.CreateEvent()
+	if err := alice.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.AttachPrivilegeToPart(e, "p", labels.EmptySet, labels.EmptySet, tg, priv.Plus); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := alice.CloneEvent(e, labels.EmptySet, labels.EmptySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range clone.Parts() {
+		if len(p.Grants) != 0 {
+			t.Fatal("clone carried privilege grants")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// Trusted node-runtime hooks.
+//
+// A distributed deployment (§7: "a distributed system built from a set
+// of DEFCON nodes") needs two capabilities that deliberately do not
+// exist in the unit-facing Table 1 API: observing events regardless of
+// label (to serialise them onto an inter-node link) and re-publishing
+// events with their original labels intact (to materialise imports).
+// Both belong to the node runtime — the same trust domain as the
+// dispatcher — and live here, behind types the unit API never hands
+// out.
+
+import (
+	"errors"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/labels"
+)
+
+// Tap is a trusted, label-bypassing event feed.
+type Tap struct {
+	sys *System
+	id  uint64
+	sub uint64
+	ch  chan *events.Event
+}
+
+// tapReceiver adapts the channel to dispatch.Receiver.
+type tapReceiver struct{ t *Tap }
+
+func (r tapReceiver) ReceiverID() uint64       { return r.t.id }
+func (r tapReceiver) InputLabel() labels.Label { return labels.Label{} }
+func (r tapReceiver) Enqueue(e *events.Event, sub uint64, block bool) bool {
+	if !block {
+		select {
+		case r.t.ch <- e:
+			return true
+		default:
+			return false
+		}
+	}
+	select {
+	case r.t.ch <- e:
+		return true
+	case <-r.t.sys.done:
+		return false
+	}
+}
+
+// NewTap registers a trusted tap for events matching filter (by name
+// and data only — labels are not consulted). buffer bounds the feed
+// channel; a full channel blocks publishers, as unit queues do.
+func (s *System) NewTap(filter *dispatch.Filter, buffer int) (*Tap, error) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	t := &Tap{sys: s, id: s.nextUnitID(), ch: make(chan *events.Event, buffer)}
+	sub, err := s.disp.SubscribeTap(filter, tapReceiver{t})
+	if err != nil {
+		return nil, err
+	}
+	t.sub = sub
+	return t, nil
+}
+
+// Events returns the tap's feed channel.
+func (t *Tap) Events() <-chan *events.Event { return t.ch }
+
+// Close unregisters the tap.
+func (t *Tap) Close() { t.sys.disp.Unsubscribe(t.sub) }
+
+// ErrClosed is returned by Inject after system shutdown.
+var ErrClosed = errors.New("core: system closed")
+
+// Inject publishes a fully formed event — labels, grants and all —
+// bypassing contamination independence. It is the import half of an
+// inter-node link: the event was label-checked on the origin node and
+// its labels must survive the hop verbatim.
+func (s *System) Inject(e *events.Event) error {
+	if e == nil {
+		return errors.New("core: Inject of nil event")
+	}
+	if s.Closed() {
+		return ErrClosed
+	}
+	s.disp.Publish(e)
+	return nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/labels"
+)
+
+func TestTapBypassesLabels(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	secret := alice.CreateTag("s")
+
+	tap, err := s.NewTap(dispatch.MustFilter(dispatch.PartExists("order")), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+
+	e := alice.CreateEvent()
+	if err := alice.AddPart(e, labels.NewSet(secret), labels.EmptySet, "order", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-tap.Events():
+		if got.ID() != e.ID() {
+			t.Fatal("tap delivered wrong event")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tap did not observe protected event")
+	}
+}
+
+func TestTapCloseStopsFeed(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	u := s.NewUnit("u", UnitConfig{})
+	tap, err := s.NewTap(dispatch.MustFilter(dispatch.PartExists("p")), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap.Close()
+	e := u.CreateEvent()
+	if err := u.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tap.Events():
+		t.Fatal("closed tap still fed")
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestTapValidation(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	if _, err := s.NewTap(nil, 8); err == nil {
+		t.Fatal("nil filter accepted")
+	}
+}
+
+func TestInjectPreservesLabels(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	alice := s.NewUnit("alice", UnitConfig{})
+	secret := alice.CreateTag("s")
+
+	cleared := s.NewUnit("cleared", UnitConfig{
+		In: labels.Label{S: labels.NewSet(secret)},
+	})
+	if _, err := cleared.Subscribe(dispatch.MustFilter(dispatch.PartExists("imported"))); err != nil {
+		t.Fatal(err)
+	}
+	low := s.NewUnit("low", UnitConfig{})
+	if _, err := low.Subscribe(dispatch.MustFilter(dispatch.PartExists("imported"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A node-runtime import: fully formed event with a protected part.
+	e := events.New(s.NextEventID())
+	if _, err := e.AddPart("imported", labels.Label{S: labels.NewSet(secret)}, "v", "link"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cleared.GetEvent(); err != nil {
+		t.Fatal("cleared unit did not receive import")
+	}
+	if low.QueueLen() != 0 {
+		t.Fatal("label lost on Inject")
+	}
+}
+
+func TestInjectAfterClose(t *testing.T) {
+	s := NewSystem(Config{Mode: LabelsFreeze})
+	s.Close()
+	if err := s.Inject(events.New(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Inject after close = %v", err)
+	}
+}
+
+func TestAccountingMetersActivity(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	busy := s.NewUnit("busy", UnitConfig{})
+	idle := s.NewUnit("idle", UnitConfig{})
+	_ = idle
+
+	tg := busy.CreateTag("t")
+	_ = tg
+	e := busy.CreateEvent()
+	if err := busy.AddPart(e, labels.EmptySet, labels.EmptySet, "p", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := busy.ReadPart(e, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := busy.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+
+	u := busy.Usage()
+	if u.APICalls < 5 || u.PartsAdded != 1 || u.PartsRead != 1 ||
+		u.Published != 1 || u.TagsMinted != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+
+	acc := s.Accounting()
+	if len(acc) != 2 {
+		t.Fatalf("accounts = %d", len(acc))
+	}
+	if acc[0].Unit != "busy" {
+		t.Fatalf("sort order wrong: %q first", acc[0].Unit)
+	}
+	rep := s.AccountingReport(1)
+	if rep == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+	"repro/internal/units"
+)
+
+// Component selects a label component in label-change calls, the
+// 〈S|I〉 argument of Table 1.
+type Component uint8
+
+const (
+	// Confidentiality selects the S component.
+	Confidentiality Component = iota
+	// Integrity selects the I component.
+	Integrity
+)
+
+// LabelOp selects the direction of a label change, the 〈add|del〉
+// argument of Table 1.
+type LabelOp uint8
+
+const (
+	// Add inserts a tag into a label component (requires t+).
+	Add LabelOp = iota
+	// Del removes a tag from a label component (requires t−).
+	Del
+)
+
+// ErrTerminated is returned by GetEvent after system shutdown.
+var ErrTerminated = units.ErrTerminated
+
+// ErrNoSuchPart is returned when a part is absent or invisible; the
+// two cases are deliberately indistinguishable.
+var ErrNoSuchPart = events.ErrNoSuchPart
+
+// PartView is the unit-visible projection of an event part.
+type PartView struct {
+	Label labels.Label
+	Data  freeze.Value
+}
+
+// Unit is a processing unit's handle to the DEFCon system — the API of
+// Table 1. All interaction between unit logic and the rest of the
+// world goes through these methods; in the labels+freeze+isolation
+// mode every call additionally traverses the woven interceptors of §4.
+//
+// A Unit is driven by one goroutine (its processing loop); the managed
+// subscription machinery creates additional Units with their own
+// instances.
+type Unit struct {
+	sys  *System
+	inst *units.Instance
+	name string
+
+	mu   sync.Mutex
+	held *heldDelivery
+
+	subsMu sync.Mutex
+	subs   []uint64
+
+	// acct meters the unit's resource consumption at the API boundary
+	// (see accounting.go).
+	acct usageCounters
+}
+
+// heldDelivery tracks the event a unit is currently processing, for
+// release-on-next-get semantics.
+type heldDelivery struct {
+	ev  *events.Event
+	gen uint64
+}
+
+// newUnit assembles a Unit around an instance.
+func newUnit(s *System, name string, inst *units.Instance) *Unit {
+	return &Unit{sys: s, inst: inst, name: name}
+}
+
+// Name returns the unit's diagnostic name.
+func (u *Unit) Name() string { return u.name }
+
+// InputLabel returns the unit's current input label (= contamination).
+func (u *Unit) InputLabel() labels.Label { return u.inst.InputLabel() }
+
+// OutputLabel returns the unit's current output label.
+func (u *Unit) OutputLabel() labels.Label { return u.inst.OutputLabel() }
+
+// HasPrivilege reports whether the unit holds the given grant; units
+// use it to decide whether an expected delegation has arrived.
+func (u *Unit) HasPrivilege(t tags.Tag, r priv.Right) bool {
+	return u.inst.HasPrivilege(priv.Grant{Tag: t, Right: r})
+}
+
+// State is scratch storage scoped to this unit instance; managed
+// handler state is wiped when the instance is re-virgined.
+func (u *Unit) State() map[string]any { return u.inst.State() }
+
+// tax runs the woven §4 interceptors for one API call in the
+// labels+freeze+isolation mode, and meters the call for resource
+// accounting in every mode.
+func (u *Unit) tax() {
+	u.acct.apiCalls.Add(1)
+	if u.sys.enf != nil && u.inst.Iso != nil {
+		u.sys.enf.APITax(u.inst.Iso)
+	}
+}
+
+// effectiveLabel applies contamination independence (§5): the requested
+// (S, I) silently becomes (S ∪ Sout, I ∩ Iout), so a sandboxed unit
+// need not know its own contamination.
+//
+// An empty requested integrity set defaults to the full output
+// integrity: §3.1.4's Broker "can add an integrity tag i to Iout ...
+// to vouch for the integrity of the stock trades that it publishes
+// without having to add tag i explicitly each time". A non-empty
+// request selects a subset per Table 1's I′ = I ∩ Iout.
+func (u *Unit) effectiveLabel(S, I labels.Set) labels.Label {
+	if !u.sys.mode.CheckLabels() {
+		return labels.Label{}
+	}
+	out := u.inst.OutputLabel()
+	if I.IsEmpty() {
+		I = out.I
+	}
+	return labels.Label{S: S, I: I}.WithContamination(out)
+}
+
+// CreateEvent creates a new, empty event (Table 1: createEvent). The
+// event is local to the unit until published.
+func (u *Unit) CreateEvent() *events.Event {
+	u.tax()
+	e := events.New(u.sys.nextEventID())
+	e.Stamp = time.Now().UnixNano()
+	return e
+}
+
+// CreateEventFrom creates an event that inherits the origin timestamp
+// of a triggering event, preserving end-to-end latency accounting
+// along a processing chain (measurement plumbing, not DEFC semantics).
+func (u *Unit) CreateEventFrom(trigger *events.Event) *events.Event {
+	e := u.CreateEvent()
+	if trigger != nil {
+		e.Stamp = trigger.Stamp
+	}
+	return e
+}
+
+// AddPart adds a part with requested label (S, I) to event e (Table 1:
+// addPart). Contamination independence applies: tags in the unit's
+// output label are attached transparently, and the part's integrity is
+// capped by the output label.
+func (u *Unit) AddPart(e *events.Event, S, I labels.Set, name string, data freeze.Value) error {
+	u.tax()
+	if e == nil {
+		return errors.New("core: AddPart on nil event")
+	}
+	_, err := e.AddPart(name, u.effectiveLabel(S, I), data, u.name)
+	if err == nil {
+		u.acct.partsAdded.Add(1)
+	}
+	return err
+}
+
+// DelPart removes part name with label (S, I) from event e (Table 1:
+// delPart). The label is contamination-adjusted like AddPart's, so a
+// unit can delete exactly the parts it could have created.
+func (u *Unit) DelPart(e *events.Event, S, I labels.Set, name string) error {
+	u.tax()
+	if e == nil {
+		return errors.New("core: DelPart on nil event")
+	}
+	if !u.sys.mode.CheckLabels() {
+		// Without labels, delete the most recent part with the name.
+		parts := e.Named(name)
+		if len(parts) == 0 {
+			return fmt.Errorf("%w: %q", ErrNoSuchPart, name)
+		}
+		return e.DelPart(name, parts[len(parts)-1].Label)
+	}
+	return e.DelPart(name, u.effectiveLabel(S, I))
+}
+
+// ReadPart returns the data of every visible part with the given name
+// (Table 1: readPart): Sp ⊆ Sin and Ip ⊇ Iin must hold per part.
+// Reading a privilege-carrying part bestows its grants on the unit
+// (§3.1.5) — the unit must already be able to read the part's data, so
+// no extra privilege check applies.
+func (u *Unit) ReadPart(e *events.Event, name string) ([]PartView, error) {
+	u.tax()
+	if e == nil {
+		return nil, errors.New("core: ReadPart on nil event")
+	}
+	var parts []*events.Part
+	if u.sys.mode.CheckLabels() {
+		parts = e.Visible(name, u.inst.InputLabel())
+	} else {
+		parts = e.Named(name)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPart, name)
+	}
+	views := make([]PartView, 0, len(parts))
+	for _, p := range parts {
+		if len(p.Grants) > 0 {
+			grants := p.Grants
+			u.inst.WithPrivileges(func(o *priv.Owned) { o.GrantAll(grants) })
+		}
+		views = append(views, PartView{Label: p.Label, Data: p.Data})
+	}
+	u.acct.partsRead.Add(uint64(len(views)))
+	return views, nil
+}
+
+// ReadOne is ReadPart for the common single-version case; with several
+// visible versions it returns the most recently added.
+func (u *Unit) ReadOne(e *events.Event, name string) (PartView, error) {
+	views, err := u.ReadPart(e, name)
+	if err != nil {
+		return PartView{}, err
+	}
+	return views[len(views)-1], nil
+}
+
+// AttachPrivilegeToPart attaches privilege right over tag t to part
+// name with label (S, I), creating a privilege-carrying event part for
+// delegation (Table 1: attachPrivilegeToPart; §3.1.5). The call
+// succeeds only if the caller holds the corresponding t±auth.
+func (u *Unit) AttachPrivilegeToPart(e *events.Event, name string, S, I labels.Set, t tags.Tag, right priv.Right) error {
+	u.tax()
+	if e == nil {
+		return errors.New("core: AttachPrivilegeToPart on nil event")
+	}
+	g := priv.Grant{Tag: t, Right: right}
+	var authErr error
+	u.inst.WithPrivileges(func(o *priv.Owned) { authErr = o.AuthoriseDelegation(g) })
+	if authErr != nil {
+		return authErr
+	}
+	if !u.sys.mode.CheckLabels() {
+		parts := e.Named(name)
+		if len(parts) == 0 {
+			return fmt.Errorf("%w: %q", ErrNoSuchPart, name)
+		}
+		return e.AttachGrant(name, parts[len(parts)-1].Label, g)
+	}
+	return e.AttachGrant(name, u.effectiveLabel(S, I), g)
+}
+
+// CloneEvent creates a new instance e′ of event e (Table 1:
+// cloneEvent): every part label gains the caller's output
+// confidentiality tags plus S, and keeps only integrity tags in the
+// caller's output label intersected with I. Privilege grants are not
+// cloned. This precludes DEFC violations based on observing the number
+// of received events.
+func (u *Unit) CloneEvent(e *events.Event, S, I labels.Set) (*events.Event, error) {
+	u.tax()
+	if e == nil {
+		return nil, errors.New("core: CloneEvent on nil event")
+	}
+	out := u.effectiveLabel(S, I)
+	deep := u.sys.mode.CloneDeliveries() || !u.sys.mode.CheckLabels()
+	// In freeze modes the original's data is (or will be) frozen, so
+	// sharing is safe; otherwise the clone must not alias mutable data.
+	ne := e.CloneRelabelled(u.sys.nextEventID(), out, deep)
+	return ne, nil
+}
+
+// Publish publishes event e (Table 1: publish). Events without parts
+// are dropped. The call intentionally reveals nothing about deliveries:
+// decoupled communication means success carries no DEFC-relevant
+// information.
+func (u *Unit) Publish(e *events.Event) error {
+	u.tax()
+	if e == nil {
+		return errors.New("core: Publish of nil event")
+	}
+	u.acct.published.Add(1)
+	u.sys.disp.Publish(e)
+	return nil
+}
+
+// PublishBestEffort publishes like Publish but never blocks on full
+// receiver queues: congested receivers are skipped. Units on feedback
+// paths (the Regulator republishing local trades as ticks, step 9) use
+// it so a congested downstream cannot stall them into a backpressure
+// cycle. DEFC semantics are identical — only delivery QoS differs.
+func (u *Unit) PublishBestEffort(e *events.Event) error {
+	u.tax()
+	if e == nil {
+		return errors.New("core: Publish of nil event")
+	}
+	u.acct.published.Add(1)
+	u.sys.disp.PublishBestEffort(e)
+	return nil
+}
+
+// Release releases a delivered event after (partial) processing
+// (Table 1: release; §3.1.6): if the unit modified the event, the
+// dispatcher re-matches it so that newly added parts reach further
+// units — but never units whose input labels do not admit them.
+func (u *Unit) Release(e *events.Event) error {
+	u.tax()
+	if e == nil {
+		return errors.New("core: Release of nil event")
+	}
+	u.mu.Lock()
+	held := u.held
+	if held != nil && held.ev == e {
+		u.held = nil
+	}
+	u.mu.Unlock()
+	if held != nil && held.ev == e && held.gen == e.Generation() {
+		return nil // unmodified: nothing to re-dispatch
+	}
+	u.sys.disp.Redispatch(e)
+	return nil
+}
+
+// Subscribe registers interest in events matching filter (Table 1:
+// subscribe). Deliveries arrive via GetEvent.
+func (u *Unit) Subscribe(filter *dispatch.Filter) (uint64, error) {
+	u.tax()
+	id, err := u.sys.disp.Subscribe(filter, u.inst)
+	if err != nil {
+		return 0, err
+	}
+	u.subsMu.Lock()
+	u.subs = append(u.subs, id)
+	u.subsMu.Unlock()
+	return id, nil
+}
+
+// GetEvent blocks until an event matching one of the unit's
+// subscriptions arrives (Table 1: getEvent) and returns it with the
+// matching subscription ID. Any previously returned event is released
+// implicitly, so simple units never need to call Release.
+func (u *Unit) GetEvent() (*events.Event, uint64, error) {
+	u.tax()
+	u.autoRelease()
+	d, err := u.inst.Next()
+	if err != nil {
+		return nil, 0, err
+	}
+	u.mu.Lock()
+	u.held = &heldDelivery{ev: d.Event, gen: d.Gen}
+	u.mu.Unlock()
+	return d.Event, d.Sub, nil
+}
+
+// autoRelease releases the currently held delivery, re-dispatching if
+// it was modified.
+func (u *Unit) autoRelease() {
+	u.mu.Lock()
+	held := u.held
+	u.held = nil
+	u.mu.Unlock()
+	if held == nil {
+		return
+	}
+	if held.ev.Generation() != held.gen {
+		u.sys.disp.Redispatch(held.ev)
+	}
+}
+
+// ChangeOutLabel adds or removes tag t on the unit's output label only
+// (Table 1: changeOutLabel): the declassify/endorse-on-output
+// convenience of §3.1.4. Adding requires t+, removing t−.
+func (u *Unit) ChangeOutLabel(comp Component, op LabelOp, t tags.Tag) error {
+	u.tax()
+	if !u.sys.mode.CheckLabels() {
+		return nil
+	}
+	if err := u.checkLabelChange(op, t); err != nil {
+		return err
+	}
+	u.inst.SetOutputLabel(applyLabelOp(u.inst.OutputLabel(), comp, op, t))
+	return nil
+}
+
+// ChangeInOutLabel adds or removes tag t on both the input and output
+// labels (Table 1: changeInOutLabel). Adding requires t+, removing t−.
+func (u *Unit) ChangeInOutLabel(comp Component, op LabelOp, t tags.Tag) error {
+	u.tax()
+	if !u.sys.mode.CheckLabels() {
+		return nil
+	}
+	if err := u.checkLabelChange(op, t); err != nil {
+		return err
+	}
+	u.inst.SetInputLabel(applyLabelOp(u.inst.InputLabel(), comp, op, t))
+	u.inst.SetOutputLabel(applyLabelOp(u.inst.OutputLabel(), comp, op, t))
+	return nil
+}
+
+// ChangeInLabel adds or removes tag t on the input label only. The
+// paper's API folds this into changeInOutLabel; the split form lets a
+// Broker "receive and declassify t-protected orders without changing
+// the code that handles individual events" (§3.1.4) while keeping its
+// output public.
+//
+// Raising only the input confidentiality opens a standing
+// declassification: everything the unit then emits at its lower output
+// label may derive from t-protected input. The system therefore
+// demands t− in addition to t+ for this form — the automatic exercise
+// of privileges §3.1.4 describes.
+func (u *Unit) ChangeInLabel(comp Component, op LabelOp, t tags.Tag) error {
+	u.tax()
+	if !u.sys.mode.CheckLabels() {
+		return nil
+	}
+	if err := u.checkLabelChange(op, t); err != nil {
+		return err
+	}
+	if comp == Confidentiality && op == Add && !u.inst.OutputLabel().S.Has(t) {
+		if !u.inst.HasPrivilege(priv.Grant{Tag: t, Right: priv.Minus}) {
+			return fmt.Errorf("%w: raising input-only confidentiality needs %v over %v",
+				priv.ErrNotAuthorised, priv.Minus, t)
+		}
+	}
+	u.inst.SetInputLabel(applyLabelOp(u.inst.InputLabel(), comp, op, t))
+	return nil
+}
+
+// checkLabelChange enforces §3.1.3: adding a tag to one's own label
+// requires t ∈ O+, removing requires t ∈ O−.
+func (u *Unit) checkLabelChange(op LabelOp, t tags.Tag) error {
+	if t.IsZero() {
+		return fmt.Errorf("%w: zero tag", priv.ErrNotAuthorised)
+	}
+	need := priv.Plus
+	if op == Del {
+		need = priv.Minus
+	}
+	if !u.inst.HasPrivilege(priv.Grant{Tag: t, Right: need}) {
+		return fmt.Errorf("%w: label change needs %v over %v", priv.ErrNotAuthorised, need, t)
+	}
+	return nil
+}
+
+// applyLabelOp performs the set surgery for a label change.
+func applyLabelOp(l labels.Label, comp Component, op LabelOp, t tags.Tag) labels.Label {
+	switch {
+	case comp == Confidentiality && op == Add:
+		l.S = l.S.Add(t)
+	case comp == Confidentiality && op == Del:
+		l.S = l.S.Remove(t)
+	case comp == Integrity && op == Add:
+		l.I = l.I.Add(t)
+	default:
+		l.I = l.I.Remove(t)
+	}
+	return l
+}
+
+// DropPrivilege renounces right r over tag t. Self-renunciation needs
+// no authority — a unit could equivalently just never exercise the
+// right — but long-lived services use it as hygiene: per-order grants
+// accumulate otherwise, growing the privilege sets without bound.
+func (u *Unit) DropPrivilege(t tags.Tag, r priv.Right) {
+	u.tax()
+	u.inst.WithPrivileges(func(o *priv.Owned) { o.Drop(t, r) })
+}
+
+// CreateTag requests a fresh tag from the system (§3.1.3). The creator
+// receives t+auth and t−auth and — as is typical — immediately
+// self-applies them, so the returned tag comes with full t± privilege.
+func (u *Unit) CreateTag(name string) tags.Tag {
+	u.tax()
+	t := u.sys.tags.Create(name, u.name)
+	u.acct.tags.Add(1)
+	u.inst.WithPrivileges(func(o *priv.Owned) { o.OnCreateTag(t, true) })
+	return t
+}
+
+// CreateTagAuthOnly is CreateTag without the self-application: the
+// creator holds only t±auth, e.g. to mint a tag whose privileges are
+// wholly delegated elsewhere.
+func (u *Unit) CreateTagAuthOnly(name string) tags.Tag {
+	u.tax()
+	t := u.sys.tags.Create(name, u.name)
+	u.acct.tags.Add(1)
+	u.inst.WithPrivileges(func(o *priv.Owned) { o.OnCreateTag(t, false) })
+	return t
+}
+
+// InstantiateUnit creates a new unit at label (S, I) with delegated
+// privileges (Table 1: instantiateUnit). The child inherits the
+// caller's confidentiality contamination — the caller cannot launder
+// data through a fresh unit — and every delegated grant must pass the
+// caller's t±auth check. logic runs on a new goroutine.
+func (u *Unit) InstantiateUnit(name string, S, I labels.Set, grants []priv.Grant, logic func(*Unit)) (*Unit, error) {
+	u.tax()
+	var authErr error
+	u.inst.WithPrivileges(func(o *priv.Owned) {
+		for _, g := range grants {
+			if err := o.AuthoriseDelegation(g); err != nil {
+				authErr = err
+				return
+			}
+		}
+	})
+	if authErr != nil {
+		return nil, authErr
+	}
+	callerIn := u.inst.InputLabel()
+	childIn := labels.Label{S: S.Union(callerIn.S), I: I}
+	// The child's output starts at its confidentiality sandbox with no
+	// integrity: endorsement rights must be delegated explicitly and
+	// exercised by the child via ChangeOutLabel.
+	childOut := labels.Label{S: S.Union(callerIn.S), I: labels.EmptySet}
+	owned := &priv.Owned{}
+	owned.GrantAll(grants)
+
+	child := u.sys.buildUnitAt(name, childIn, childOut, owned, 0)
+	u.sys.mu.Lock()
+	if u.sys.closed {
+		u.sys.mu.Unlock()
+		return nil, ErrTerminated
+	}
+	u.sys.units[child.inst.ReceiverID()] = child
+	u.sys.mu.Unlock()
+	if logic != nil {
+		u.sys.track(func() { logic(child) })
+	}
+	return child, nil
+}
+
+// Unsubscribe removes one of the unit's subscriptions.
+func (u *Unit) Unsubscribe(id uint64) {
+	u.tax()
+	u.sys.disp.Unsubscribe(id)
+	u.subsMu.Lock()
+	for i, s := range u.subs {
+		if s == id {
+			u.subs = append(u.subs[:i], u.subs[i+1:]...)
+			break
+		}
+	}
+	u.subsMu.Unlock()
+}
+
+// Terminate retires the unit: its subscriptions are removed and its
+// queue stops accepting deliveries. The system applies this as part of
+// unit life-cycle management (§3.2).
+func (u *Unit) Terminate() {
+	u.inst.Retire()
+	u.subsMu.Lock()
+	subs := append([]uint64(nil), u.subs...)
+	u.subs = nil
+	u.subsMu.Unlock()
+	for _, id := range subs {
+		u.sys.disp.Unsubscribe(id)
+	}
+	u.sys.mu.Lock()
+	delete(u.sys.units, u.inst.ReceiverID())
+	u.sys.mu.Unlock()
+}
+
+// QueueLen reports the number of deliveries waiting for this unit;
+// benchmark harnesses use it to detect drain.
+func (u *Unit) QueueLen() int { return u.inst.QueueLen() }

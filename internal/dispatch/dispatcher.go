@@ -1,0 +1,313 @@
+package dispatch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+)
+
+// Receiver is the dispatcher's view of a delivery destination: an
+// active unit instance's queue, or the router of a managed
+// subscription. Implementations live in the core layer.
+type Receiver interface {
+	// ReceiverID distinguishes destinations for per-event delivery
+	// deduplication: an event is offered to each receiver at most once,
+	// even across publish and post-release re-dispatch.
+	ReceiverID() uint64
+	// InputLabel is the label used for match-time admission checks.
+	// For managed subscriptions this is the potential input label the
+	// unit could raise itself to (§5, subscribeManaged).
+	InputLabel() labels.Label
+	// Enqueue hands the event over; sub identifies the matching
+	// subscription. When block is false the receiver must not wait for
+	// queue space: it drops and returns false instead (best-effort
+	// delivery). It returns false if the receiver is gone.
+	Enqueue(e *events.Event, sub uint64, block bool) bool
+}
+
+// Options configure a Dispatcher for one security mode.
+type Options struct {
+	// CheckLabels enables DEFC admission checks at match time. Off in
+	// the no-security baseline mode.
+	CheckLabels bool
+	// FreezeOnPublish freezes part data before delivery so receivers
+	// share references safely (labels+freeze modes).
+	FreezeOnPublish bool
+	// CloneDeliveries hands every receiver a private deep copy instead
+	// of sharing frozen data (the labels+clone mode, emulating
+	// MVM-style isolate copying).
+	CloneDeliveries bool
+	// NextEventID mints IDs for cloned deliveries; required when
+	// CloneDeliveries is set.
+	NextEventID func() uint64
+}
+
+// Stats count dispatcher activity since construction.
+type Stats struct {
+	Published    uint64 // events accepted by Publish
+	Dropped      uint64 // part-less events dropped by Publish
+	Deliveries   uint64 // enqueued deliveries (incl. re-dispatch)
+	Redispatches uint64 // release-triggered re-matching passes
+	IndexHits    uint64 // candidate subscriptions found via the index
+	ScanChecks   uint64 // candidate subscriptions checked from the scan list
+}
+
+// subscription pairs a filter with its receiver.
+type subscription struct {
+	id     uint64
+	filter *Filter
+	recv   Receiver
+	// indexKey is the equality key this subscription is indexed under,
+	// or "" if it is on the linear scan list.
+	indexKey string
+	// tap marks a trusted system tap: matching ignores label admission.
+	// Only the node runtime (inter-node links, §7) registers taps;
+	// the unit-facing API cannot reach this flag.
+	tap bool
+}
+
+// Dispatcher routes published events to matching subscriptions with
+// label-checked admission. It is safe for concurrent use; matching runs
+// on the publisher's goroutine (cost attributed to the publishing
+// unit, as in the paper's single-threaded Stock Exchange).
+type Dispatcher struct {
+	opts Options
+
+	mu      sync.RWMutex
+	subs    map[uint64]*subscription
+	indexed map[string][]*subscription // equality-indexed subscriptions
+	scan    []*subscription            // subscriptions without an indexable condition
+
+	nextSub atomic.Uint64
+
+	published, dropped, deliveries   atomic.Uint64
+	redispatches, indexHits, scanned atomic.Uint64
+}
+
+// New creates a dispatcher.
+func New(opts Options) *Dispatcher {
+	if opts.CloneDeliveries && opts.NextEventID == nil {
+		panic("dispatch: CloneDeliveries requires NextEventID")
+	}
+	return &Dispatcher{
+		opts:    opts,
+		subs:    make(map[uint64]*subscription),
+		indexed: make(map[string][]*subscription),
+	}
+}
+
+// ErrNilReceiver rejects subscriptions without a destination.
+var ErrNilReceiver = errors.New("dispatch: nil receiver")
+
+// Subscribe registers a filter for a receiver and returns the
+// subscription ID.
+func (d *Dispatcher) Subscribe(f *Filter, recv Receiver) (uint64, error) {
+	return d.subscribe(f, recv, false)
+}
+
+// SubscribeTap registers a trusted system tap: its filter matches on
+// names and data only, bypassing label admission. Taps feed the
+// node-to-node links of a distributed deployment; they are part of the
+// trusted runtime, like the dispatcher itself.
+func (d *Dispatcher) SubscribeTap(f *Filter, recv Receiver) (uint64, error) {
+	return d.subscribe(f, recv, true)
+}
+
+func (d *Dispatcher) subscribe(f *Filter, recv Receiver, tap bool) (uint64, error) {
+	if f == nil || len(f.conds) == 0 {
+		return 0, ErrEmptyFilter
+	}
+	if recv == nil {
+		return 0, ErrNilReceiver
+	}
+	id := d.nextSub.Add(1)
+	sub := &subscription{id: id, filter: f, recv: recv, tap: tap}
+	if key, ok := f.IndexKey(); ok {
+		sub.indexKey = key
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.subs[id] = sub
+	if sub.indexKey != "" {
+		d.indexed[sub.indexKey] = append(d.indexed[sub.indexKey], sub)
+	} else {
+		d.scan = append(d.scan, sub)
+	}
+	return id, nil
+}
+
+// Unsubscribe removes a subscription. Removing an unknown ID is a
+// no-op: a unit must not be able to probe the subscription table.
+func (d *Dispatcher) Unsubscribe(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sub, ok := d.subs[id]
+	if !ok {
+		return
+	}
+	delete(d.subs, id)
+	if sub.indexKey != "" {
+		d.indexed[sub.indexKey] = removeSub(d.indexed[sub.indexKey], sub)
+		if len(d.indexed[sub.indexKey]) == 0 {
+			delete(d.indexed, sub.indexKey)
+		}
+	} else {
+		d.scan = removeSub(d.scan, sub)
+	}
+}
+
+func removeSub(list []*subscription, s *subscription) []*subscription {
+	for i, x := range list {
+		if x == s {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// SubscriptionCount reports the number of live subscriptions.
+func (d *Dispatcher) SubscriptionCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.subs)
+}
+
+// Publish dispatches an event to every matching subscription. Events
+// without parts are dropped (Table 1). The return value is the number
+// of deliveries made; callers in the core layer do not expose it to
+// units (a publish must not convey who was notified).
+func (d *Dispatcher) Publish(e *events.Event) int {
+	return d.publish(e, true)
+}
+
+// PublishBestEffort is Publish with non-blocking deliveries: receivers
+// whose queues are full are skipped rather than waited for. Feedback
+// edges (the Regulator's step 9 tick republication) use it so that a
+// congested downstream cannot stall — and transitively deadlock — the
+// publisher.
+func (d *Dispatcher) PublishBestEffort(e *events.Event) int {
+	return d.publish(e, false)
+}
+
+func (d *Dispatcher) publish(e *events.Event, block bool) int {
+	if e.Len() == 0 {
+		d.dropped.Add(1)
+		return 0
+	}
+	if d.opts.FreezeOnPublish {
+		e.FreezeParts()
+	}
+	d.published.Add(1)
+	return d.matchAndDeliver(e, block)
+}
+
+// Redispatch re-matches an event after a release that modified it
+// (§3.1.6). Receivers that already saw the event are skipped via the
+// event's delivered set; label admission applies as on first publish,
+// which enforces "a released event must not cause additional deliveries
+// to units with lower input labels".
+func (d *Dispatcher) Redispatch(e *events.Event) int {
+	if e.Len() == 0 {
+		return 0
+	}
+	if d.opts.FreezeOnPublish {
+		e.FreezeParts() // parts added along the main path
+	}
+	d.redispatches.Add(1)
+	return d.matchAndDeliver(e, true)
+}
+
+// matchAndDeliver finds matching subscriptions via the equality index
+// plus the scan list and enqueues the event once per receiver.
+func (d *Dispatcher) matchAndDeliver(e *events.Event, block bool) int {
+	keys := eventIndexKeys(e)
+
+	d.mu.RLock()
+	// Collect candidates under the read lock; deliver after releasing
+	// it so slow receivers cannot block Subscribe/Unsubscribe.
+	var candidates []*subscription
+	for _, k := range keys {
+		if list := d.indexed[k]; len(list) > 0 {
+			candidates = append(candidates, list...)
+			d.indexHits.Add(uint64(len(list)))
+		}
+	}
+	if len(d.scan) > 0 {
+		candidates = append(candidates, d.scan...)
+		d.scanned.Add(uint64(len(d.scan)))
+	}
+	d.mu.RUnlock()
+
+	delivered := 0
+	for _, sub := range candidates {
+		if !sub.filter.Matches(e, sub.recv.InputLabel(), d.opts.CheckLabels && !sub.tap) {
+			continue
+		}
+		// One offer per receiver per event, across publish + releases.
+		if !e.MarkDelivered(sub.recv.ReceiverID()) {
+			continue
+		}
+		ev := e
+		if d.opts.CloneDeliveries {
+			ev = e.DeepCopy(d.opts.NextEventID())
+			// The clone remembers its own receiver so that a release
+			// of the clone does not bounce straight back.
+			ev.MarkDelivered(sub.recv.ReceiverID())
+		}
+		if sub.recv.Enqueue(ev, sub.id, block) {
+			delivered++
+			d.deliveries.Add(1)
+		}
+	}
+	return delivered
+}
+
+// eventIndexKeys derives the equality-index keys an event can satisfy:
+// one per scalar part datum and one per scalar entry of each map part.
+func eventIndexKeys(e *events.Event) []string {
+	var keys []string
+	for _, p := range e.Parts() {
+		if k, ok := indexValueKey(p.Name, "", p.Data); ok {
+			keys = append(keys, k)
+		}
+		if m, ok := p.Data.(*freeze.Map); ok {
+			name := p.Name
+			m.Each(func(k string, v freeze.Value) bool {
+				if ik, ok := indexValueKey(name, k, v); ok {
+					keys = append(keys, ik)
+				}
+				return true
+			})
+		}
+	}
+	// Deduplicate to avoid double candidate lists when two parts carry
+	// identical scalars.
+	if len(keys) > 1 {
+		seen := make(map[string]struct{}, len(keys))
+		out := keys[:0]
+		for _, k := range keys {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, k)
+			}
+		}
+		keys = out
+	}
+	return keys
+}
+
+// Stats snapshots the dispatcher counters.
+func (d *Dispatcher) Stats() Stats {
+	return Stats{
+		Published:    d.published.Load(),
+		Dropped:      d.dropped.Load(),
+		Deliveries:   d.deliveries.Load(),
+		Redispatches: d.redispatches.Load(),
+		IndexHits:    d.indexHits.Load(),
+		ScanChecks:   d.scanned.Load(),
+	}
+}

@@ -1,0 +1,374 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+// fakeReceiver collects deliveries synchronously.
+type fakeReceiver struct {
+	id    uint64
+	label labels.Label
+	mu    sync.Mutex
+	got   []*events.Event
+	subs  []uint64
+	dead  bool
+}
+
+func (f *fakeReceiver) ReceiverID() uint64       { return f.id }
+func (f *fakeReceiver) InputLabel() labels.Label { return f.label }
+func (f *fakeReceiver) Enqueue(e *events.Event, sub uint64, block bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return false
+	}
+	f.got = append(f.got, e)
+	f.subs = append(f.subs, sub)
+	return true
+}
+
+func (f *fakeReceiver) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.got)
+}
+
+var recvID atomic.Uint64
+
+func newRecv(l labels.Label) *fakeReceiver {
+	return &fakeReceiver{id: recvID.Add(1), label: l}
+}
+
+func newDispatcher(check bool) *Dispatcher {
+	return New(Options{CheckLabels: check, FreezeOnPublish: check})
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	d := newDispatcher(true)
+	if _, err := d.Subscribe(nil, newRecv(labels.Label{})); err != ErrEmptyFilter {
+		t.Fatalf("nil filter error = %v", err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), nil); err != ErrNilReceiver {
+		t.Fatalf("nil receiver error = %v", err)
+	}
+}
+
+func TestPublishDropsPartlessEvents(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), r); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(events.New(1)); n != 0 {
+		t.Fatalf("empty event delivered %d times", n)
+	}
+	if st := d.Stats(); st.Dropped != 1 || st.Published != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPublishDeliversToMatchingOnly(t *testing.T) {
+	d := newDispatcher(true)
+	msft := newRecv(labels.Label{})
+	goog := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartEq("symbol", "MSFT")), msft); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartEq("symbol", "GOOG")), goog); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	if _, err := e.AddPart("symbol", labels.Label{}, "MSFT", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if msft.count() != 1 || goog.count() != 0 {
+		t.Fatalf("deliveries: msft=%d goog=%d", msft.count(), goog.count())
+	}
+	// The index should have found the subscription without scanning.
+	st := d.Stats()
+	if st.IndexHits == 0 {
+		t.Fatal("equality subscription not served by index")
+	}
+	if st.ScanChecks != 0 {
+		t.Fatalf("scan consulted (%d) despite all filters indexable", st.ScanChecks)
+	}
+}
+
+func TestScanListUsedForNonIndexable(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("anything")), r); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	if _, err := e.AddPart("anything", labels.Label{}, int64(1), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if st := d.Stats(); st.ScanChecks == 0 {
+		t.Fatal("scan list unused for non-indexable filter")
+	}
+}
+
+func TestLabelAdmissionAtMatchTime(t *testing.T) {
+	store := tags.NewStore(1)
+	secret := store.Create("s", "u")
+	lbl := labels.Label{S: labels.NewSet(secret)}
+
+	d := newDispatcher(true)
+	cleared := newRecv(lbl)
+	public := newRecv(labels.Label{})
+	f := MustFilter(PartEq("symbol", "MSFT"))
+	if _, err := d.Subscribe(f, cleared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(f, public); err != nil {
+		t.Fatal(err)
+	}
+
+	e := events.New(1)
+	if _, err := e.AddPart("symbol", lbl, "MSFT", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if public.count() != 0 || cleared.count() != 1 {
+		t.Fatal("label admission failed at match time")
+	}
+}
+
+func TestPublishFreezesParts(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), r); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	m := mustMap(t, "k", "v")
+	if _, err := e.AddPart("p", labels.Label{}, m, "x"); err != nil {
+		t.Fatal(err)
+	}
+	d.Publish(e)
+	if !m.Frozen() {
+		t.Fatal("publish did not freeze part data")
+	}
+}
+
+func TestOneDeliveryPerReceiverAcrossSubscriptions(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartEq("symbol", "MSFT")), r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("symbol")), r); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	if _, err := e.AddPart("symbol", labels.Label{}, "MSFT", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 1 {
+		t.Fatalf("delivered %d, want 1 (per-receiver dedupe)", n)
+	}
+}
+
+func TestRedispatchSkipsAlreadyDelivered(t *testing.T) {
+	d := newDispatcher(true)
+	first := newRecv(labels.Label{})
+	late := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("base")), first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("extra")), late); err != nil {
+		t.Fatal(err)
+	}
+
+	e := events.New(1)
+	if _, err := e.AddPart("base", labels.Label{}, "v", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 1 {
+		t.Fatalf("initial publish delivered %d", n)
+	}
+
+	// A unit adds a part along the main path, then releases.
+	if _, err := e.AddPart("extra", labels.Label{}, "w", "first"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Redispatch(e); n != 1 {
+		t.Fatalf("redispatch delivered %d, want 1", n)
+	}
+	if first.count() != 1 || late.count() != 1 {
+		t.Fatalf("counts: first=%d late=%d", first.count(), late.count())
+	}
+	// Releasing again without modification delivers nothing new.
+	if n := d.Redispatch(e); n != 0 {
+		t.Fatalf("idempotent redispatch delivered %d", n)
+	}
+}
+
+func TestRedispatchRespectsLabels(t *testing.T) {
+	store := tags.NewStore(2)
+	secret := store.Create("s", "u")
+	slbl := labels.Label{S: labels.NewSet(secret)}
+
+	d := newDispatcher(true)
+	low := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("extra")), low); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	if _, err := e.AddPart("base", labels.Label{}, "v", "x"); err != nil {
+		t.Fatal(err)
+	}
+	d.Publish(e)
+	// A secret part is added; the released event must not reach the
+	// public unit even though its filter names the new part.
+	if _, err := e.AddPart("extra", slbl, "w", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Redispatch(e); n != 0 {
+		t.Fatalf("redispatch leaked to lower input label: %d", n)
+	}
+}
+
+func TestCloneDeliveriesAreIndependent(t *testing.T) {
+	var id atomic.Uint64
+	id.Store(100)
+	d := New(Options{
+		CheckLabels:     true,
+		CloneDeliveries: true,
+		NextEventID:     func() uint64 { return id.Add(1) },
+	})
+	a, b := newRecv(labels.Label{}), newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), b); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	m := mustMap(t, "k", "v")
+	if _, err := e.AddPart("p", labels.Label{}, m, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 2 {
+		t.Fatalf("delivered %d, want 2", n)
+	}
+	ea, eb := a.got[0], b.got[0]
+	if ea == e || eb == e || ea == eb {
+		t.Fatal("clone mode shared event objects")
+	}
+	if ea.ID() == e.ID() || ea.ID() == eb.ID() {
+		t.Fatal("clones did not get fresh IDs")
+	}
+	// Original data must not be aliased.
+	if ea.Parts()[0].Data == m {
+		t.Fatal("clone shares part data with original")
+	}
+}
+
+func TestCloneRequiresIDGenerator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with CloneDeliveries and nil NextEventID did not panic")
+		}
+	}()
+	New(Options{CloneDeliveries: true})
+}
+
+func TestUnsubscribeStopsDeliveries(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	id, err := d.Subscribe(MustFilter(PartEq("symbol", "MSFT")), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SubscriptionCount() != 1 {
+		t.Fatal("SubscriptionCount wrong")
+	}
+	d.Unsubscribe(id)
+	d.Unsubscribe(id) // idempotent
+	if d.SubscriptionCount() != 0 {
+		t.Fatal("Unsubscribe left subscription")
+	}
+	e := events.New(1)
+	if _, err := e.AddPart("symbol", labels.Label{}, "MSFT", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 0 {
+		t.Fatalf("delivered %d after unsubscribe", n)
+	}
+}
+
+func TestDeadReceiverNotCounted(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	r.dead = true
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), r); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	if _, err := e.AddPart("p", labels.Label{}, "v", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Publish(e); n != 0 {
+		t.Fatalf("dead receiver counted: %d", n)
+	}
+}
+
+func TestConcurrentPublishAndSubscribe(t *testing.T) {
+	d := newDispatcher(true)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churning subscriber.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := newRecv(labels.Label{})
+			id, _ := d.Subscribe(MustFilter(PartEq("symbol", "MSFT")), r)
+			d.Unsubscribe(id)
+		}
+	}()
+	// Publisher.
+	for i := 0; i < 2000; i++ {
+		e := events.New(uint64(i))
+		if _, err := e.AddPart("symbol", labels.Label{}, "MSFT", "x"); err != nil {
+			t.Fatal(err)
+		}
+		d.Publish(e)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// mustMap builds a freezable map for tests.
+func mustMap(t *testing.T, pairs ...any) *freeze.Map {
+	t.Helper()
+	m := freeze.NewMap()
+	for i := 0; i < len(pairs); i += 2 {
+		if err := m.Put(pairs[i].(string), pairs[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}

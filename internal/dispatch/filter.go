@@ -1,0 +1,309 @@
+// Package dispatch implements the DEFCon event dispatcher (paper §3.2):
+// label-checked publish/subscribe with content filters, decoupled
+// delivery, and the release/re-dispatch protocol for partial event
+// processing (§3.1.6).
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+// ErrEmptyFilter rejects subscriptions without conditions: Table 1
+// requires "a non-empty filter", which stops units from registering a
+// match-everything subscription whose notifications would leak the
+// existence of events they cannot read.
+var ErrEmptyFilter = errors.New("dispatch: subscription filter must be non-empty")
+
+// Op is a comparison operator usable in filter conditions.
+type Op uint8
+
+const (
+	// Exists matches any part with the condition's name.
+	Exists Op = iota
+	// Eq matches when the addressed datum equals Value.
+	Eq
+	// Ne matches when the addressed datum differs from Value.
+	Ne
+	// Lt matches when the addressed datum is numerically less than Value.
+	Lt
+	// Gt matches when the addressed datum is numerically greater than Value.
+	Gt
+	// Prefix matches when the addressed string datum starts with Value.
+	Prefix
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case Exists:
+		return "exists"
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Gt:
+		return ">"
+	case Prefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Cond is one condition of a filter: an operator applied to a part's
+// data, or to one key of a freeze.Map part when Key is set.
+type Cond struct {
+	Part  string // part name the condition addresses
+	Key   string // optional map key within the part's data
+	Op    Op
+	Value freeze.Value // comparison operand (ignored for Exists)
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	addr := c.Part
+	if c.Key != "" {
+		addr += "." + c.Key
+	}
+	if c.Op == Exists {
+		return addr + " exists"
+	}
+	return fmt.Sprintf("%s %v %v", addr, c.Op, c.Value)
+}
+
+// Filter is a conjunction of conditions over event parts (Table 1: "an
+// expression over the name and data of event parts"). An event matches
+// when every condition is satisfied by at least one part that is
+// visible at the subscriber's input label.
+type Filter struct {
+	conds []Cond
+}
+
+// NewFilter builds a filter from conditions.
+func NewFilter(conds ...Cond) (*Filter, error) {
+	if len(conds) == 0 {
+		return nil, ErrEmptyFilter
+	}
+	for _, c := range conds {
+		if c.Part == "" {
+			return nil, errors.New("dispatch: filter condition with empty part name")
+		}
+	}
+	return &Filter{conds: append([]Cond(nil), conds...)}, nil
+}
+
+// MustFilter is NewFilter that panics on error; for statically known
+// filters in unit code.
+func MustFilter(conds ...Cond) *Filter {
+	f, err := NewFilter(conds...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// PartExists is shorthand for a Cond{Part: name, Op: Exists}.
+func PartExists(name string) Cond { return Cond{Part: name, Op: Exists} }
+
+// PartEq is shorthand for an equality condition on a part's data.
+func PartEq(name string, v freeze.Value) Cond { return Cond{Part: name, Op: Eq, Value: v} }
+
+// KeyEq is shorthand for an equality condition on one key of a
+// freeze.Map part.
+func KeyEq(part, key string, v freeze.Value) Cond {
+	return Cond{Part: part, Key: key, Op: Eq, Value: v}
+}
+
+// Conds returns a copy of the filter's conditions.
+func (f *Filter) Conds() []Cond { return append([]Cond(nil), f.conds...) }
+
+// IndexKey returns an equality condition usable for subscription
+// indexing — the first Eq condition on a part datum or map key — and
+// whether one exists. The dispatcher uses it to avoid scanning every
+// subscription on every publish (the centralised-filtering advantage
+// §6.2 attributes to DEFCon over Marketcetera).
+func (f *Filter) IndexKey() (string, bool) {
+	for _, c := range f.conds {
+		if c.Op == Eq {
+			if k, ok := indexValueKey(c.Part, c.Key, c.Value); ok {
+				return k, true
+			}
+		}
+	}
+	return "", false
+}
+
+// indexValueKey encodes (part, key, value) as a deterministic string.
+func indexValueKey(part, key string, v freeze.Value) (string, bool) {
+	var sb strings.Builder
+	sb.WriteString(part)
+	sb.WriteByte(0)
+	sb.WriteString(key)
+	sb.WriteByte(0)
+	switch x := v.(type) {
+	case string:
+		sb.WriteByte('s')
+		sb.WriteString(x)
+	case bool:
+		if x {
+			sb.WriteString("b1")
+		} else {
+			sb.WriteString("b0")
+		}
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+		n, _ := asInt(v)
+		fmt.Fprintf(&sb, "i%d", n)
+	case tags.Tag:
+		id := x.ID()
+		sb.WriteByte('t')
+		sb.Write(id[:])
+	default:
+		return "", false // floats and containers are not indexable
+	}
+	return sb.String(), true
+}
+
+// Matches reports whether event e satisfies the filter for a subscriber
+// with input label in. When checkLabels is false (the no-security
+// mode), label admission is skipped and only names/data are compared.
+//
+// Per Table 1, every part consulted by the filter must individually
+// satisfy Sp ⊆ Sin and Ip ⊇ Iin at the time of matching.
+func (f *Filter) Matches(e *events.Event, in labels.Label, checkLabels bool) bool {
+	for _, c := range f.conds {
+		if !f.condMatches(c, e, in, checkLabels) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Filter) condMatches(c Cond, e *events.Event, in labels.Label, checkLabels bool) bool {
+	var parts []*events.Part
+	if checkLabels {
+		parts = e.Visible(c.Part, in)
+	} else {
+		// Without label checks every same-named part is a candidate.
+		parts = e.Named(c.Part)
+	}
+	for _, p := range parts {
+		if evalCond(c, p.Data) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalCond applies the operator to the addressed datum.
+func evalCond(c Cond, data freeze.Value) bool {
+	v := data
+	if c.Key != "" {
+		m, ok := data.(*freeze.Map)
+		if !ok {
+			return false
+		}
+		v, ok = m.Get(c.Key)
+		if !ok {
+			return false
+		}
+	}
+	switch c.Op {
+	case Exists:
+		return true
+	case Eq:
+		return valueEq(v, c.Value)
+	case Ne:
+		return !valueEq(v, c.Value)
+	case Lt:
+		a, aok := asFloat(v)
+		b, bok := asFloat(c.Value)
+		return aok && bok && a < b
+	case Gt:
+		a, aok := asFloat(v)
+		b, bok := asFloat(c.Value)
+		return aok && bok && a > b
+	case Prefix:
+		s, sok := v.(string)
+		pre, pok := c.Value.(string)
+		return sok && pok && strings.HasPrefix(s, pre)
+	default:
+		return false
+	}
+}
+
+// valueEq compares two part data values: numeric kinds compare by
+// value, everything else by interface equality.
+func valueEq(a, b freeze.Value) bool {
+	if ai, ok := asInt(a); ok {
+		if bi, ok := asInt(b); ok {
+			return ai == bi
+		}
+	}
+	if af, ok := asFloat(a); ok {
+		if bf, ok := asFloat(b); ok {
+			return af == bf
+		}
+	}
+	return a == b
+}
+
+// asInt widens any integer kind to int64.
+func asInt(v freeze.Value) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int8:
+		return int64(x), true
+	case int16:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case int64:
+		return x, true
+	case uint:
+		return int64(x), true
+	case uint8:
+		return int64(x), true
+	case uint16:
+		return int64(x), true
+	case uint32:
+		return int64(x), true
+	case uint64:
+		return int64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// asFloat widens any numeric kind to float64.
+func asFloat(v freeze.Value) (float64, bool) {
+	if i, ok := asInt(v); ok {
+		return float64(i), true
+	}
+	switch x := v.(type) {
+	case float32:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the filter as cond ∧ cond ∧ ...
+func (f *Filter) String() string {
+	ss := make([]string, len(f.conds))
+	for i, c := range f.conds {
+		ss[i] = c.String()
+	}
+	return strings.Join(ss, " ∧ ")
+}

@@ -1,0 +1,194 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+func tickEvent(t *testing.T, symbol string, price int64, lbl labels.Label) *events.Event {
+	t.Helper()
+	e := events.New(1)
+	if _, err := e.AddPart("type", lbl, "tick", "exchange"); err != nil {
+		t.Fatal(err)
+	}
+	body := freeze.MapOf("symbol", symbol, "price", price)
+	if _, err := e.AddPart("body", lbl, body, "exchange"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewFilterValidation(t *testing.T) {
+	if _, err := NewFilter(); err != ErrEmptyFilter {
+		t.Fatalf("empty filter error = %v", err)
+	}
+	if _, err := NewFilter(Cond{Op: Eq, Value: "x"}); err == nil {
+		t.Fatal("empty part name accepted")
+	}
+	if _, err := NewFilter(PartExists("p")); err != nil {
+		t.Fatalf("valid filter rejected: %v", err)
+	}
+}
+
+func TestMustFilterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFilter did not panic")
+		}
+	}()
+	MustFilter()
+}
+
+func TestFilterOps(t *testing.T) {
+	e := tickEvent(t, "MSFT", 1234, labels.Label{})
+	pub := labels.Label{}
+	cases := []struct {
+		name string
+		cond Cond
+		want bool
+	}{
+		{"exists", PartExists("type"), true},
+		{"exists-missing", PartExists("nope"), false},
+		{"eq-scalar", PartEq("type", "tick"), true},
+		{"eq-scalar-miss", PartEq("type", "trade"), false},
+		{"eq-key", KeyEq("body", "symbol", "MSFT"), true},
+		{"eq-key-miss", KeyEq("body", "symbol", "GOOG"), false},
+		{"eq-key-absent", KeyEq("body", "venue", "LSE"), false},
+		{"eq-int-widening", KeyEq("body", "price", int(1234)), true},
+		{"ne", Cond{Part: "type", Op: Ne, Value: "trade"}, true},
+		{"ne-false", Cond{Part: "type", Op: Ne, Value: "tick"}, false},
+		{"lt", Cond{Part: "body", Key: "price", Op: Lt, Value: int64(2000)}, true},
+		{"lt-false", Cond{Part: "body", Key: "price", Op: Lt, Value: int64(100)}, false},
+		{"gt", Cond{Part: "body", Key: "price", Op: Gt, Value: 100.0}, true},
+		{"prefix", Cond{Part: "type", Op: Prefix, Value: "ti"}, true},
+		{"prefix-false", Cond{Part: "type", Op: Prefix, Value: "tr"}, false},
+		{"key-on-scalar-part", KeyEq("type", "k", "v"), false},
+		{"lt-non-numeric", Cond{Part: "type", Op: Lt, Value: int64(5)}, false},
+	}
+	for _, c := range cases {
+		f := MustFilter(c.cond)
+		if got := f.Matches(e, pub, true); got != c.want {
+			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFilterConjunction(t *testing.T) {
+	e := tickEvent(t, "MSFT", 1234, labels.Label{})
+	both := MustFilter(PartEq("type", "tick"), KeyEq("body", "symbol", "MSFT"))
+	if !both.Matches(e, labels.Label{}, true) {
+		t.Fatal("conjunction of satisfied conds failed")
+	}
+	mixed := MustFilter(PartEq("type", "tick"), KeyEq("body", "symbol", "GOOG"))
+	if mixed.Matches(e, labels.Label{}, true) {
+		t.Fatal("conjunction with one failing cond matched")
+	}
+}
+
+func TestFilterLabelAdmission(t *testing.T) {
+	store := tags.NewStore(1)
+	secret := store.Create("s", "t")
+	lbl := labels.Label{S: labels.NewSet(secret)}
+	e := tickEvent(t, "MSFT", 1234, lbl)
+	f := MustFilter(KeyEq("body", "symbol", "MSFT"))
+
+	// A public subscriber must not match: the consulted part requires
+	// the secret tag.
+	if f.Matches(e, labels.Label{}, true) {
+		t.Fatal("label admission bypassed")
+	}
+	// A cleared subscriber matches.
+	if !f.Matches(e, lbl, true) {
+		t.Fatal("cleared subscriber did not match")
+	}
+	// With checks off (no-security mode) the public subscriber matches.
+	if !f.Matches(e, labels.Label{}, false) {
+		t.Fatal("no-security matching still applied labels")
+	}
+}
+
+func TestFilterIntegrityAdmission(t *testing.T) {
+	store := tags.NewStore(2)
+	s := store.Create("i-exchange", "x")
+	endorsed := labels.Label{I: labels.NewSet(s)}
+	e := tickEvent(t, "MSFT", 1234, endorsed)
+	plain := tickEvent(t, "MSFT", 1234, labels.Label{})
+
+	reader := labels.Label{I: labels.NewSet(s)}
+	f := MustFilter(KeyEq("body", "symbol", "MSFT"))
+	if !f.Matches(e, reader, true) {
+		t.Fatal("endorsed event rejected by endorsed reader")
+	}
+	// §6.1: a reader requiring integrity s must not perceive unendorsed
+	// events.
+	if f.Matches(plain, reader, true) {
+		t.Fatal("unendorsed event matched endorsed reader")
+	}
+}
+
+func TestIndexKey(t *testing.T) {
+	withEq := MustFilter(PartExists("type"), KeyEq("body", "symbol", "MSFT"))
+	k, ok := withEq.IndexKey()
+	if !ok || k == "" {
+		t.Fatal("Eq filter not indexable")
+	}
+	onlyExists := MustFilter(PartExists("type"))
+	if _, ok := onlyExists.IndexKey(); ok {
+		t.Fatal("Exists-only filter claimed indexable")
+	}
+	// Floats are not indexable (representation ambiguity).
+	floatEq := MustFilter(KeyEq("body", "price", 1.5))
+	if _, ok := floatEq.IndexKey(); ok {
+		t.Fatal("float Eq claimed indexable")
+	}
+	// Same value spaces must give equal keys; different parts, not.
+	k2, _ := MustFilter(KeyEq("body", "symbol", "MSFT")).IndexKey()
+	if k != k2 {
+		t.Fatal("identical Eq conds gave different index keys")
+	}
+	k3, _ := MustFilter(KeyEq("other", "symbol", "MSFT")).IndexKey()
+	if k == k3 {
+		t.Fatal("different parts share an index key")
+	}
+}
+
+func TestIndexKeyTagValues(t *testing.T) {
+	store := tags.NewStore(3)
+	a, b := store.Create("a", "u"), store.Create("b", "u")
+	ka, ok := MustFilter(PartEq("tag", a)).IndexKey()
+	if !ok {
+		t.Fatal("tag Eq not indexable")
+	}
+	kb, _ := MustFilter(PartEq("tag", b)).IndexKey()
+	if ka == kb {
+		t.Fatal("distinct tags share an index key")
+	}
+}
+
+func TestMultiVersionPartsAnyMaySatisfy(t *testing.T) {
+	e := events.New(9)
+	if _, err := e.AddPart("reason", labels.Label{}, "v1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddPart("reason", labels.Label{}, "v2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	f := MustFilter(PartEq("reason", "v2"))
+	if !f.Matches(e, labels.Label{}, true) {
+		t.Fatal("second version not consulted")
+	}
+}
+
+func TestFilterStringRendering(t *testing.T) {
+	f := MustFilter(PartExists("a"), KeyEq("b", "k", int64(1)))
+	if f.String() == "" {
+		t.Fatal("empty filter String")
+	}
+	if MustFilter(Cond{Part: "p", Op: Op(99), Value: 1}).Matches(tickEvent(t, "X", 1, labels.Label{}), labels.Label{}, true) {
+		t.Fatal("unknown op matched")
+	}
+}

@@ -1,0 +1,143 @@
+package dispatch
+
+// Property-based tests of the dispatcher's central security invariant:
+// an event is delivered to a receiver only if every part the filter
+// consulted can flow to that receiver's input label.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/events"
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+// qtags is the tag pool for generated labels.
+var qtags = func() []tags.Tag {
+	s := tags.NewStore(4242)
+	out := make([]tags.Tag, 6)
+	for i := range out {
+		out[i] = s.Create(fmt.Sprintf("q%d", i), "quick")
+	}
+	return out
+}()
+
+// qsubset draws a random subset of the tag pool.
+func qsubset(r *rand.Rand) labels.Set {
+	var members []tags.Tag
+	mask := r.Intn(1 << len(qtags))
+	for i, t := range qtags {
+		if mask&(1<<i) != 0 {
+			members = append(members, t)
+		}
+	}
+	return labels.NewSet(members...)
+}
+
+// scenario is a generated publish: one event with up to 4 labelled
+// parts, and one receiver label.
+type scenario struct {
+	PartLabels []labels.Label
+	Receiver   labels.Label
+}
+
+// Generate implements quick.Generator.
+func (scenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(4)
+	sc := scenario{Receiver: labels.Label{S: qsubset(r), I: qsubset(r)}}
+	for i := 0; i < n; i++ {
+		sc.PartLabels = append(sc.PartLabels, labels.Label{S: qsubset(r), I: qsubset(r)})
+	}
+	return reflect.ValueOf(sc)
+}
+
+// TestQuickDeliveryImpliesFlow: whenever the dispatcher delivers, the
+// filter-consulted part flows to the receiver; whenever some visible
+// part satisfies the filter, it must deliver (no false negatives).
+func TestQuickDeliveryImpliesFlow(t *testing.T) {
+	f := func(sc scenario) bool {
+		d := New(Options{CheckLabels: true, FreezeOnPublish: true})
+		recv := &fakeReceiver{id: recvID.Add(1), label: sc.Receiver}
+		if _, err := d.Subscribe(MustFilter(PartEq("p", "v")), recv); err != nil {
+			return false
+		}
+		e := events.New(1)
+		for _, pl := range sc.PartLabels {
+			if _, err := e.AddPart("p", pl, "v", "gen"); err != nil {
+				return false
+			}
+		}
+		delivered := d.Publish(e) > 0
+
+		want := false
+		for _, pl := range sc.PartLabels {
+			if pl.CanFlowTo(sc.Receiver) {
+				want = true
+			}
+		}
+		return delivered == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRedispatchNeverLowersBar: after publish, adding a part and
+// redispatching delivers to a previously unmatched receiver only when
+// the new part flows to it.
+func TestQuickRedispatchNeverLowersBar(t *testing.T) {
+	f := func(sc scenario, extra uint8) bool {
+		if len(sc.PartLabels) < 2 {
+			return true
+		}
+		d := New(Options{CheckLabels: true, FreezeOnPublish: true})
+		recv := &fakeReceiver{id: recvID.Add(1), label: sc.Receiver}
+		// The receiver subscribes to the part added post-publish.
+		if _, err := d.Subscribe(MustFilter(PartEq("late", "w")), recv); err != nil {
+			return false
+		}
+		e := events.New(1)
+		if _, err := e.AddPart("p", sc.PartLabels[0], "v", "gen"); err != nil {
+			return false
+		}
+		d.Publish(e)
+		before := recv.count()
+
+		lateLabel := sc.PartLabels[1]
+		if _, err := e.AddPart("late", lateLabel, "w", "gen"); err != nil {
+			return false
+		}
+		d.Redispatch(e)
+		gained := recv.count() > before
+		return gained == lateLabel.CanFlowTo(sc.Receiver)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoSecurityDeliversRegardless: with label checks off, any
+// satisfying part delivers no matter its label.
+func TestQuickNoSecurityDeliversRegardless(t *testing.T) {
+	f := func(sc scenario) bool {
+		d := New(Options{CheckLabels: false})
+		recv := &fakeReceiver{id: recvID.Add(1), label: sc.Receiver}
+		if _, err := d.Subscribe(MustFilter(PartEq("p", "v")), recv); err != nil {
+			return false
+		}
+		e := events.New(1)
+		for _, pl := range sc.PartLabels {
+			if _, err := e.AddPart("p", pl, "v", "gen"); err != nil {
+				return false
+			}
+		}
+		return d.Publish(e) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

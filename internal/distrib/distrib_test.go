@@ -1,0 +1,371 @@
+package distrib
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+func newNode(t *testing.T, name string, seed int64) *Node {
+	t.Helper()
+	sys := core.NewSystem(core.Config{Mode: core.LabelsFreeze, Seed: seed})
+	t.Cleanup(sys.Close)
+	return NewNode(sys, name)
+}
+
+// waitFor polls cond until true or timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestWireRoundTripPreservesEverything(t *testing.T) {
+	sysA := core.NewSystem(core.Config{Mode: core.LabelsFreeze, Seed: 1})
+	defer sysA.Close()
+	u := sysA.NewUnit("u", core.UnitConfig{})
+	secret := u.CreateTag("secret")
+	integ := u.CreateTag("integ")
+	if err := u.ChangeOutLabel(core.Integrity, core.Add, integ); err != nil {
+		t.Fatal(err)
+	}
+
+	e := u.CreateEvent()
+	payload := freeze.MapOf(
+		"s", "text", "i", int64(-7), "f", 2.5, "b", true,
+		"tag", secret,
+		"list", freeze.MustList(int64(1), "two"),
+		"bytes", freeze.NewBytes([]byte{1, 2, 3}),
+	)
+	if err := u.AddPart(e, labels.NewSet(secret), labels.EmptySet, "body", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AttachPrivilegeToPart(e, "body", labels.NewSet(secret), labels.EmptySet, secret, priv.Plus); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Publish(e); err != nil { // freezes parts
+		t.Fatal(err)
+	}
+	e.Stamp = 12345
+
+	we, err := EncodeEvent(e, "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := core.NewSystem(core.Config{Mode: core.LabelsFreeze, Seed: 2})
+	defer sysB.Close()
+	back, err := DecodeEvent(we, 99, sysB.TagStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != 99 || back.Stamp != 12345 || back.Origin != "node-a" {
+		t.Fatalf("event meta wrong: %d %d %q", back.ID(), back.Stamp, back.Origin)
+	}
+	parts := back.Parts()
+	if len(parts) != 1 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	p := parts[0]
+	if !p.Label.S.Has(secret) {
+		t.Fatal("label lost in transit")
+	}
+	if len(p.Grants) != 1 || p.Grants[0].Tag != secret || p.Grants[0].Right != priv.Plus {
+		t.Fatalf("grants lost: %+v", p.Grants)
+	}
+	m := p.Data.(*freeze.Map)
+	if m.GetString("s") != "text" || m.GetInt("i") != -7 || m.GetFloat("f") != 2.5 {
+		t.Fatal("scalars corrupted")
+	}
+	if tagv, _ := m.Get("tag"); tagv != freeze.Value(secret) {
+		t.Fatal("tag identity lost")
+	}
+	lst, _ := m.Get("list")
+	if lst.(*freeze.List).Len() != 2 {
+		t.Fatal("list corrupted")
+	}
+	bs, _ := m.Get("bytes")
+	if string(bs.(*freeze.Bytes).Snapshot()) != "\x01\x02\x03" {
+		t.Fatal("bytes corrupted")
+	}
+	// Foreign tag registered for diagnostics.
+	if _, err := sysB.TagStore().Lookup(secret); err != nil {
+		t.Fatal("foreign tag not registered")
+	}
+}
+
+func TestEncodeRejectsUnknownValue(t *testing.T) {
+	if _, err := encodeValue(struct{}{}); err == nil {
+		t.Fatal("struct encoded")
+	}
+	if _, err := decodeValue(wireValue{Kind: 99}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+}
+
+func TestLinkForwardsMatchingEvents(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	la, lb, err := ConnectPipe(a, b,
+		dispatch.MustFilter(dispatch.PartEq("type", "export")),
+		dispatch.MustFilter(dispatch.PartEq("type", "export")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lb
+
+	recv := b.Sys.NewUnit("recv", core.UnitConfig{})
+	if _, err := recv.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "export"))); err != nil {
+		t.Fatal(err)
+	}
+
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "export"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "body", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := recv.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := recv.ReadOne(got, "body"); err != nil || v.Data != freeze.Value("hello") {
+		t.Fatalf("imported body = %v, %v", v, err)
+	}
+	waitFor(t, "export counter", func() bool { return la.Exported() == 1 })
+}
+
+func TestLinkDoesNotForwardNonMatching(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	la, _, err := ConnectPipe(a, b,
+		dispatch.MustFilter(dispatch.PartEq("type", "export")),
+		dispatch.MustFilter(dispatch.PartEq("type", "export")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "local-only"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if la.Exported() != 0 {
+		t.Fatal("non-matching event exported")
+	}
+}
+
+func TestConfidentialityHoldsAcrossNodes(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	if _, _, err := ConnectPipe(a, b,
+		dispatch.MustFilter(dispatch.PartExists("order")),
+		dispatch.MustFilter(dispatch.PartExists("order"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node-b units: eve (no privileges) and auditor (will receive the
+	// carried grant).
+	eve := b.Sys.NewUnit("eve", core.UnitConfig{})
+	if _, err := eve.Subscribe(dispatch.MustFilter(dispatch.PartExists("order"))); err != nil {
+		t.Fatal(err)
+	}
+	auditor := b.Sys.NewUnit("auditor", core.UnitConfig{})
+	if _, err := auditor.Subscribe(dispatch.MustFilter(dispatch.PartExists("notice"))); err != nil {
+		t.Fatal(err)
+	}
+
+	trader := a.Sys.NewUnit("trader", core.UnitConfig{})
+	secret := trader.CreateTag("s-trader")
+	e := trader.CreateEvent()
+	// A public notice part (carrying the grant) and a protected order.
+	if err := trader.AddPart(e, labels.EmptySet, labels.EmptySet, "notice", secret); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []priv.Right{priv.Plus, priv.Minus} {
+		if err := trader.AttachPrivilegeToPart(e, "notice", labels.EmptySet, labels.EmptySet, secret, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := trader.AddPart(e, labels.NewSet(secret), labels.EmptySet, "order", "buy 100 MSFT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := trader.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eve's subscription names the protected part: the label admission
+	// on node b must block her even though the event crossed the wire.
+	time.Sleep(50 * time.Millisecond)
+	if eve.QueueLen() != 0 {
+		t.Fatal("protected event delivered to unprivileged unit on remote node")
+	}
+
+	// The auditor matches on the public part, harvests the grant and
+	// reads the order.
+	got, _, err := auditor.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := auditor.ReadPart(got, "notice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := auditor.ChangeInLabel(core.Confidentiality, core.Add, secret); err != nil {
+		t.Fatalf("delegated privilege did not survive the hop: %v", err)
+	}
+	if v, err := auditor.ReadOne(got, "order"); err != nil || v.Data != freeze.Value("buy 100 MSFT") {
+		t.Fatalf("order read failed: %v %v", v, err)
+	}
+}
+
+func TestBidirectionalLinkDoesNotLoop(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	f := dispatch.MustFilter(dispatch.PartEq("type", "x"))
+	la, lb, err := ConnectPipe(a, b, f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "import on b", func() bool { return lb.Imported() == 1 })
+	time.Sleep(50 * time.Millisecond)
+	// b's tap sees the imported event, but must not bounce it back to a.
+	if lb.Exported() != 0 {
+		t.Fatalf("event bounced back: exported=%d", lb.Exported())
+	}
+	if la.Imported() != 0 {
+		t.Fatal("origin node re-imported its own event")
+	}
+}
+
+func TestThreeNodeChainForwarding(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	c := newNode(t, "c", 3)
+	f := dispatch.MustFilter(dispatch.PartEq("type", "x"))
+	if _, _, err := ConnectPipe(a, b, f, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ConnectPipe(b, c, f, f); err != nil {
+		t.Fatal(err)
+	}
+	recv := c.Sys.NewUnit("recv", core.UnitConfig{})
+	if _, err := recv.Subscribe(f); err != nil {
+		t.Fatal(err)
+	}
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := recv.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hops != 2 {
+		t.Fatalf("hops = %d, want 2", got.Hops)
+	}
+	if got.Origin != "b" {
+		t.Fatalf("origin = %q, want last hop b", got.Origin)
+	}
+}
+
+func TestHopLimitStopsPropagation(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	a.MaxHops = 1
+	b.MaxHops = 1
+	c := newNode(t, "c", 3)
+	c.MaxHops = 1
+	f := dispatch.MustFilter(dispatch.PartEq("type", "x"))
+	if _, _, err := ConnectPipe(a, b, f, f); err != nil {
+		t.Fatal(err)
+	}
+	lbc, _, err := ConnectPipe(b, c, f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drop on b->c", func() bool { return lbc.Dropped() >= 1 })
+	if lbc.Exported() != 0 {
+		t.Fatal("hop limit ignored")
+	}
+}
+
+func TestTCPLink(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	f := dispatch.MustFilter(dispatch.PartEq("type", "x"))
+	addr, stop, err := a.Listen("127.0.0.1:0", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if _, err := b.Dial(addr, f); err != nil {
+		t.Fatal(err)
+	}
+	recv := b.Sys.NewUnit("recv", core.UnitConfig{})
+	if _, err := recv.Subscribe(f); err != nil {
+		t.Fatal(err)
+	}
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := recv.GetEvent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	sys := core.NewSystem(core.Config{Mode: core.LabelsFreeze})
+	if err := sys.Inject(nil); err == nil {
+		t.Fatal("nil inject accepted")
+	}
+	sys.Close()
+	if err := sys.Inject(events.New(1)); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("inject after close = %v", err)
+	}
+}

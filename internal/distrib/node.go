@@ -1,0 +1,248 @@
+package distrib
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+)
+
+// DefaultMaxHops bounds multi-hop forwarding: an event stops
+// propagating after this many node-to-node hops, so cyclic topologies
+// cannot amplify traffic indefinitely.
+const DefaultMaxHops = 8
+
+// Node is one DEFCon instance participating in a distributed
+// deployment.
+type Node struct {
+	Sys  *core.System
+	Name string
+	// MaxHops overrides DefaultMaxHops when positive.
+	MaxHops int
+
+	mu    sync.Mutex
+	links []*Link
+}
+
+// NewNode wraps a system as a distributed node.
+func NewNode(sys *core.System, name string) *Node {
+	return &Node{Sys: sys, Name: name}
+}
+
+// nodeHello is the link handshake.
+type nodeHello struct {
+	Name  string
+	Proto int
+}
+
+const protoVersion = 1
+
+// Link is one live connection to a peer node: events matching the
+// export filter flow out (labels intact), events arriving flow into
+// the local dispatcher via the trusted Inject path.
+type Link struct {
+	node   *Node
+	remote string
+	conn   io.ReadWriteCloser
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	tap    *core.Tap
+
+	sendMu sync.Mutex
+	closed atomic.Bool
+
+	exported atomic.Uint64
+	imported atomic.Uint64
+	dropped  atomic.Uint64 // loop-prevention and hop-limit drops
+}
+
+// Link attaches a connection as an inter-node link. export selects
+// which local events are offered to the peer (matching by name and
+// data; labels travel with the events rather than gating them — the
+// peer's own dispatcher enforces admission for its units).
+func (n *Node) Link(conn io.ReadWriteCloser, export *dispatch.Filter) (*Link, error) {
+	l := &Link{
+		node: n,
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+	// Handshake: exchange names, then start pumping.
+	errc := make(chan error, 1)
+	go func() { errc <- l.enc.Encode(nodeHello{Name: n.Name, Proto: protoVersion}) }()
+	var hello nodeHello
+	if err := l.dec.Decode(&hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("distrib: handshake read: %w", err)
+	}
+	if err := <-errc; err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("distrib: handshake write: %w", err)
+	}
+	if hello.Proto != protoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("distrib: protocol mismatch: %d != %d", hello.Proto, protoVersion)
+	}
+	l.remote = hello.Name
+
+	tap, err := n.Sys.NewTap(export, 1024)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	l.tap = tap
+
+	n.mu.Lock()
+	n.links = append(n.links, l)
+	n.mu.Unlock()
+
+	n.Sys.Go(l.sendLoop)
+	n.Sys.Go(l.recvLoop)
+	return l, nil
+}
+
+// Remote returns the peer node's name.
+func (l *Link) Remote() string { return l.remote }
+
+// Exported reports events sent to the peer.
+func (l *Link) Exported() uint64 { return l.exported.Load() }
+
+// Imported reports events received from the peer.
+func (l *Link) Imported() uint64 { return l.imported.Load() }
+
+// Dropped reports events withheld by loop prevention or the hop limit.
+func (l *Link) Dropped() uint64 { return l.dropped.Load() }
+
+// Close tears the link down.
+func (l *Link) Close() {
+	if !l.closed.CompareAndSwap(false, true) {
+		return
+	}
+	l.tap.Close()
+	l.conn.Close()
+}
+
+// maxHops resolves the node's hop limit.
+func (n *Node) maxHops() int {
+	if n.MaxHops > 0 {
+		return n.MaxHops
+	}
+	return DefaultMaxHops
+}
+
+// sendLoop forwards tapped events to the peer.
+func (l *Link) sendLoop() {
+	for {
+		select {
+		case e := <-l.tap.Events():
+			// Loop prevention: never send an event back towards the
+			// node it arrived from, and stop once it has travelled the
+			// hop budget.
+			if e.Origin == l.remote || int(e.Hops) >= l.node.maxHops() {
+				l.dropped.Add(1)
+				continue
+			}
+			we, err := EncodeEvent(e, l.node.Name)
+			if err != nil {
+				l.dropped.Add(1)
+				continue
+			}
+			we.Hops = e.Hops + 1
+			l.sendMu.Lock()
+			err = l.enc.Encode(we)
+			l.sendMu.Unlock()
+			if err != nil {
+				l.Close()
+				return
+			}
+			l.exported.Add(1)
+		case <-l.node.Sys.Done():
+			l.Close()
+			return
+		}
+	}
+}
+
+// recvLoop materialises peer events into the local system.
+func (l *Link) recvLoop() {
+	for {
+		var we wireEvent
+		if err := l.dec.Decode(&we); err != nil {
+			l.Close()
+			return
+		}
+		e, err := DecodeEvent(we, l.node.Sys.NextEventID(), l.node.Sys.TagStore())
+		if err != nil {
+			l.dropped.Add(1)
+			continue
+		}
+		if err := l.node.Sys.Inject(e); err != nil {
+			l.Close()
+			return
+		}
+		l.imported.Add(1)
+	}
+}
+
+// ConnectPipe links two in-process nodes through a synchronous pipe —
+// the unit-test and single-host topology. exportA filters what a sends
+// to b; exportB the reverse.
+func ConnectPipe(a, b *Node, exportA, exportB *dispatch.Filter) (*Link, *Link, error) {
+	ca, cb := net.Pipe()
+	type res struct {
+		l   *Link
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		l, err := b.Link(cb, exportB)
+		ch <- res{l, err}
+	}()
+	la, err := a.Link(ca, exportA)
+	if err != nil {
+		cb.Close()
+		return nil, nil, err
+	}
+	rb := <-ch
+	if rb.err != nil {
+		la.Close()
+		return nil, nil, rb.err
+	}
+	return la, rb.l, nil
+}
+
+// Listen accepts inbound links on a TCP address, attaching the given
+// export filter to each. It returns the listener's address and a stop
+// function.
+func (n *Node) Listen(addr string, export *dispatch.Filter) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	n.Sys.Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := n.Link(conn, export); err != nil {
+				conn.Close()
+			}
+		}
+	})
+	return ln.Addr().String(), func() { ln.Close() }, nil
+}
+
+// Dial connects to a peer node over TCP.
+func (n *Node) Dial(addr string, export *dispatch.Filter) (*Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.Link(conn, export)
+}

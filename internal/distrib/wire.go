@@ -1,0 +1,266 @@
+// Package distrib implements multi-node DEFCon — the paper's stated
+// future work (§7: "we plan to investigate issues in a distributed
+// system built from a set of DEFCON nodes").
+//
+// A Node wraps a DEFCon system with an inter-node link endpoint.
+// Links forward selected events between nodes with their labels,
+// privilege grants and tag identities intact: tags are globally unique
+// random bit-strings, so a tag's identity survives serialisation and
+// denotes the same concern everywhere.
+//
+// Trust model: nodes are mutually trusting DEFCon runtimes — the same
+// assumption the paper makes for one node's dispatcher and JVM,
+// extended across machines (e.g. the co-location provider's own
+// cluster). The link endpoints are part of that trusted runtime; units
+// remain untrusted and keep interacting only through Table 1.
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+// wireValue is the gob-friendly encoding of a part datum.
+type wireValue struct {
+	Kind  uint8 // one of the vk* constants
+	Bool  bool
+	Int   int64
+	Float float64
+	Str   string
+	Tag   tags.ID
+	Bytes []byte
+	List  []wireValue
+	Map   map[string]wireValue
+}
+
+const (
+	vkNil = iota
+	vkBool
+	vkInt
+	vkFloat
+	vkString
+	vkTag
+	vkBytes
+	vkList
+	vkMap
+)
+
+// wireGrant is a serialised privilege grant.
+type wireGrant struct {
+	Tag   tags.ID
+	Right uint8
+}
+
+// wireLabel is a serialised security label.
+type wireLabel struct {
+	S, I []tags.ID
+}
+
+// wirePart is a serialised event part.
+type wirePart struct {
+	Name   string
+	Label  wireLabel
+	Data   wireValue
+	Grants []wireGrant
+}
+
+// wireEvent is a serialised event, the unit of inter-node transfer.
+type wireEvent struct {
+	Origin string
+	Hops   uint8
+	Stamp  int64
+	Parts  []wirePart
+}
+
+// encodeValue converts a part datum for the wire.
+func encodeValue(v freeze.Value) (wireValue, error) {
+	switch x := v.(type) {
+	case nil:
+		return wireValue{Kind: vkNil}, nil
+	case bool:
+		return wireValue{Kind: vkBool, Bool: x}, nil
+	case int:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case int8:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case int16:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case int32:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case int64:
+		return wireValue{Kind: vkInt, Int: x}, nil
+	case uint:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case uint8:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case uint16:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case uint32:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case uint64:
+		return wireValue{Kind: vkInt, Int: int64(x)}, nil
+	case float32:
+		return wireValue{Kind: vkFloat, Float: float64(x)}, nil
+	case float64:
+		return wireValue{Kind: vkFloat, Float: x}, nil
+	case string:
+		return wireValue{Kind: vkString, Str: x}, nil
+	case tags.Tag:
+		return wireValue{Kind: vkTag, Tag: x.ID()}, nil
+	case *freeze.Bytes:
+		return wireValue{Kind: vkBytes, Bytes: x.Snapshot()}, nil
+	case *freeze.List:
+		out := wireValue{Kind: vkList}
+		var encErr error
+		x.Each(func(i int, v freeze.Value) bool {
+			wv, err := encodeValue(v)
+			if err != nil {
+				encErr = err
+				return false
+			}
+			out.List = append(out.List, wv)
+			return true
+		})
+		return out, encErr
+	case *freeze.Map:
+		out := wireValue{Kind: vkMap, Map: make(map[string]wireValue, x.Len())}
+		var encErr error
+		x.Each(func(k string, v freeze.Value) bool {
+			wv, err := encodeValue(v)
+			if err != nil {
+				encErr = err
+				return false
+			}
+			out.Map[k] = wv
+			return true
+		})
+		return out, encErr
+	default:
+		return wireValue{}, fmt.Errorf("distrib: unencodable part value %T", v)
+	}
+}
+
+// decodeValue reconstructs a part datum. Containers come back as fresh
+// freezables; publish on the importing node freezes them again.
+func decodeValue(w wireValue) (freeze.Value, error) {
+	switch w.Kind {
+	case vkNil:
+		return nil, nil
+	case vkBool:
+		return w.Bool, nil
+	case vkInt:
+		return w.Int, nil
+	case vkFloat:
+		return w.Float, nil
+	case vkString:
+		return w.Str, nil
+	case vkTag:
+		return tags.FromID(w.Tag), nil
+	case vkBytes:
+		return freeze.NewBytes(w.Bytes), nil
+	case vkList:
+		l := &freeze.List{}
+		for _, item := range w.List {
+			v, err := decodeValue(item)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.Append(v); err != nil {
+				return nil, err
+			}
+		}
+		return l, nil
+	case vkMap:
+		m := freeze.NewMap()
+		for k, item := range w.Map {
+			v, err := decodeValue(item)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Put(k, v); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("distrib: unknown wire value kind %d", w.Kind)
+	}
+}
+
+// encodeLabel flattens a label to tag IDs.
+func encodeLabel(l labels.Label) wireLabel {
+	var w wireLabel
+	for _, t := range l.S.Slice() {
+		w.S = append(w.S, t.ID())
+	}
+	for _, t := range l.I.Slice() {
+		w.I = append(w.I, t.ID())
+	}
+	return w
+}
+
+// decodeLabel reconstructs a label, registering foreign tags with the
+// local store for diagnostics.
+func decodeLabel(w wireLabel, store *tags.Store, origin string) labels.Label {
+	s := make([]tags.Tag, 0, len(w.S))
+	for _, id := range w.S {
+		t := tags.FromID(id)
+		store.RegisterForeign(t, "imported", origin)
+		s = append(s, t)
+	}
+	i := make([]tags.Tag, 0, len(w.I))
+	for _, id := range w.I {
+		t := tags.FromID(id)
+		store.RegisterForeign(t, "imported", origin)
+		i = append(i, t)
+	}
+	return labels.NewFromTags(s, i)
+}
+
+// EncodeEvent serialises an event for the wire (trusted runtime path:
+// all parts are read regardless of label).
+func EncodeEvent(e *events.Event, origin string) (wireEvent, error) {
+	we := wireEvent{Origin: origin, Stamp: e.Stamp}
+	for _, p := range e.Parts() {
+		wv, err := encodeValue(p.Data)
+		if err != nil {
+			return we, fmt.Errorf("part %q: %w", p.Name, err)
+		}
+		wp := wirePart{Name: p.Name, Label: encodeLabel(p.Label), Data: wv}
+		for _, g := range p.Grants {
+			wp.Grants = append(wp.Grants, wireGrant{Tag: g.Tag.ID(), Right: uint8(g.Right)})
+		}
+		we.Parts = append(we.Parts, wp)
+	}
+	return we, nil
+}
+
+// DecodeEvent materialises a wire event as a local event with the
+// given identity. Labels, grants and tag identities are preserved.
+func DecodeEvent(we wireEvent, id uint64, store *tags.Store) (*events.Event, error) {
+	e := events.New(id)
+	e.Stamp = we.Stamp
+	e.Origin = we.Origin
+	e.Hops = we.Hops
+	for _, wp := range we.Parts {
+		data, err := decodeValue(wp.Data)
+		if err != nil {
+			return nil, fmt.Errorf("part %q: %w", wp.Name, err)
+		}
+		part, err := e.AddPart(wp.Name, decodeLabel(wp.Label, store, we.Origin), data, "link:"+we.Origin)
+		if err != nil {
+			return nil, fmt.Errorf("part %q: %w", wp.Name, err)
+		}
+		for _, wg := range wp.Grants {
+			t := tags.FromID(wg.Tag)
+			store.RegisterForeign(t, "imported", we.Origin)
+			part.Grants = append(part.Grants, priv.Grant{Tag: t, Right: priv.Right(wg.Right)})
+		}
+	}
+	return e, nil
+}

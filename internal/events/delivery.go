@@ -1,0 +1,42 @@
+package events
+
+// Delivery bookkeeping.
+//
+// The dispatcher must remember which receivers an event has already
+// been delivered to so that a release() after partial processing
+// (§3.1.6) re-dispatches newly added parts without duplicating earlier
+// deliveries. Keeping the set on the event itself — rather than in a
+// global table — avoids a contended map on the publish fast path and
+// lets the bookkeeping die with the event.
+
+// MarkDelivered records that the receiver has been offered this event.
+// It returns false if the receiver had already been recorded.
+func (e *Event) MarkDelivered(receiver uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.delivered == nil {
+		e.delivered = make(map[uint64]struct{}, 4)
+	}
+	if _, dup := e.delivered[receiver]; dup {
+		return false
+	}
+	e.delivered[receiver] = struct{}{}
+	return true
+}
+
+// WasDelivered reports whether the receiver has already been offered
+// this event.
+func (e *Event) WasDelivered(receiver uint64) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.delivered[receiver]
+	return ok
+}
+
+// DeliveredCount reports how many distinct receivers have been offered
+// this event.
+func (e *Event) DeliveredCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.delivered)
+}

@@ -1,0 +1,296 @@
+// Package events implements DEFC event messages (paper §3.1.2).
+//
+// An event consists of named parts; each part carries data and its own
+// security label, so a single event can be processed as one connected
+// entity while its parts have different sensitivity (Figure 1: a bid
+// whose type is public, whose body is confined to the dark pool and
+// whose trader identity carries an additional trader-private tag).
+//
+// Parts may also carry privileges (§3.1.5): reading such a part bestows
+// the attached grants on the reader — the in-band, covert-channel-free
+// delegation mechanism of the DEFC model.
+package events
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+// ErrNoSuchPart is returned when a named part is absent (or invisible
+// at the caller's input label — the two are indistinguishable by
+// design: absence must not leak).
+var ErrNoSuchPart = errors.New("events: no such part")
+
+// Part is one named, labelled datum within an event. Parts are
+// immutable once attached to a published event; "modification" of a
+// part is modelled as adding a new version (§3.1.6: conflicting
+// modifications leave both versions in the event).
+type Part struct {
+	// Name of the part, e.g. "type", "body", "trader_id".
+	Name string
+	// Label protecting the part's data.
+	Label labels.Label
+	// Data payload: an immutable scalar or a Freezable container.
+	Data freeze.Value
+	// Grants are privileges carried by the part; they are bestowed on
+	// any unit that reads the part (and can already read its data).
+	Grants []priv.Grant
+	// Seq is the attach order of the part within its event; versions of
+	// a same-named part are distinguished by Seq.
+	Seq int
+	// AddedBy records the adding unit's name, for diagnostics only.
+	AddedBy string
+}
+
+// CloneShallow returns a copy of the part sharing the (frozen) data.
+func (p *Part) CloneShallow() *Part {
+	q := *p
+	q.Grants = append([]priv.Grant(nil), p.Grants...)
+	return &q
+}
+
+// Event is a DEFC event message: an identity plus an append-mostly
+// collection of labelled parts. Events are shared between isolates in
+// the labels+freeze modes, so all access is internally synchronised.
+type Event struct {
+	id uint64
+
+	// Stamp is the origin timestamp in nanoseconds, set by the creating
+	// unit for end-to-end latency accounting. It is measurement
+	// plumbing, not part of the DEFC model.
+	Stamp int64
+
+	// Origin names the remote DEFCon node an imported event arrived
+	// from ("" for local events). The node runtime uses it to prevent
+	// forwarding loops; it is invisible to units.
+	Origin string
+
+	// Hops counts inter-node forwards this event has taken; links stop
+	// propagating an event once the node's hop budget is spent.
+	Hops uint8
+
+	mu     sync.RWMutex
+	parts  []*Part
+	nextSq int
+	frozen int // parts[:frozen] have had their data frozen
+
+	// gen counts structural modifications; the dispatcher compares
+	// generations across delivery and release to decide whether a
+	// released event needs re-matching (§3.1.6).
+	gen atomic.Uint64
+
+	// delivered records receiver IDs this event has been offered to;
+	// see delivery.go.
+	delivered map[uint64]struct{}
+}
+
+// New returns an empty event with the given identity.
+func New(id uint64) *Event { return &Event{id: id} }
+
+// ID returns the event's system-assigned identity.
+func (e *Event) ID() uint64 { return e.id }
+
+// Generation returns the structural-modification counter.
+func (e *Event) Generation() uint64 { return e.gen.Load() }
+
+// AddPart attaches a new part. The caller (the core API layer) is
+// responsible for having applied contamination independence to label
+// before calling. The data value must be an allowed part value.
+func (e *Event) AddPart(name string, label labels.Label, data freeze.Value, addedBy string) (*Part, error) {
+	if name == "" {
+		return nil, errors.New("events: part name must be non-empty")
+	}
+	if err := freeze.CheckValue(data); err != nil {
+		return nil, fmt.Errorf("part %q: %w", name, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := &Part{Name: name, Label: label, Data: data, Seq: e.nextSq, AddedBy: addedBy}
+	e.nextSq++
+	e.parts = append(e.parts, p)
+	e.gen.Add(1)
+	return p, nil
+}
+
+// AttachGrant appends a privilege grant to the most recent part with
+// the given name and label. Authorisation (caller holds t^{p auth}) is
+// checked by the API layer; this method only locates the part.
+//
+// Parts already handed to readers are never mutated: the grant lands on
+// a copy-on-write replacement, so concurrent readers observe a stable
+// snapshot (either without or with the new grant, never a torn one).
+func (e *Event) AttachGrant(name string, label labels.Label, g priv.Grant) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := len(e.parts) - 1; i >= 0; i-- {
+		p := e.parts[i]
+		if p.Name == name && p.Label.Equal(label) {
+			np := p.CloneShallow()
+			np.Grants = append(np.Grants, g)
+			e.parts[i] = np
+			e.gen.Add(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q with label %v", ErrNoSuchPart, name, label)
+}
+
+// DelPart removes the most recent part with the given name and exact
+// label. It returns ErrNoSuchPart if none matches — which the API layer
+// reports identically for "absent" and "invisible".
+func (e *Event) DelPart(name string, label labels.Label) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := len(e.parts) - 1; i >= 0; i-- {
+		p := e.parts[i]
+		if p.Name == name && p.Label.Equal(label) {
+			e.parts = append(e.parts[:i], e.parts[i+1:]...)
+			e.gen.Add(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q with label %v", ErrNoSuchPart, name, label)
+}
+
+// Visible returns the parts named name readable at input label in:
+// every part p with p.Label ≺ in (Sp ⊆ Sin ∧ Ip ⊇ Iin). If multiple
+// visible parts share the name, all are returned (Table 1, readPart).
+func (e *Event) Visible(name string, in labels.Label) []*Part {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Part
+	for _, p := range e.parts {
+		if p.Name == name && p.Label.CanFlowTo(in) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Named returns every part with the given name regardless of label.
+// It is for the trusted system layers only (the no-security dispatch
+// mode); the unit-facing API always goes through Visible.
+func (e *Event) Named(name string) []*Part {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Part
+	for _, p := range e.parts {
+		if p.Name == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VisibleAll returns every part readable at input label in, in attach
+// order.
+func (e *Event) VisibleAll(in labels.Label) []*Part {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Part
+	for _, p := range e.parts {
+		if p.Label.CanFlowTo(in) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Parts returns a snapshot of all parts regardless of label. It is for
+// the trusted system layers (dispatcher matching, cloning, tests); the
+// unit-facing API never exposes it.
+func (e *Event) Parts() []*Part {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Part, len(e.parts))
+	copy(out, e.parts)
+	return out
+}
+
+// Len returns the number of parts currently attached.
+func (e *Event) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.parts)
+}
+
+// FreezeParts freezes the data of any parts not yet frozen. The
+// dispatcher calls it on publish and again on release (new parts may
+// have been added along the main dataflow path). Each part's freeze is
+// O(1) thanks to flag sharing.
+func (e *Event) FreezeParts() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for ; e.frozen < len(e.parts); e.frozen++ {
+		freeze.FreezeValue(e.parts[e.frozen].Data)
+	}
+}
+
+// CloneRelabelled builds a new event whose parts are copies of e's
+// with label (Sp ∪ Sout, Ip ∩ Iout) — the cloneEvent semantics of
+// Table 1: "All the tags in the caller's output confidentiality label
+// are attached to each part's label and only the caller's output
+// integrity tags are maintained". Privilege grants are NOT copied:
+// cloning must not amplify delegation.
+//
+// When deep is true the part data is deep-copied (labels+clone mode);
+// otherwise the frozen data is shared.
+func (e *Event) CloneRelabelled(newID uint64, out labels.Label, deep bool) *Event {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ne := New(newID)
+	ne.Stamp = e.Stamp
+	ne.parts = make([]*Part, 0, len(e.parts))
+	for _, p := range e.parts {
+		data := p.Data
+		if deep {
+			data = freeze.CloneValue(data)
+		}
+		ne.parts = append(ne.parts, &Part{
+			Name:    p.Name,
+			Label:   p.Label.WithContamination(out),
+			Data:    data,
+			Seq:     ne.nextSq,
+			AddedBy: p.AddedBy,
+		})
+		ne.nextSq++
+	}
+	return ne
+}
+
+// DeepCopy clones the event and all part data with identical labels and
+// grants. The labels+clone security mode uses it to hand each receiver
+// a private copy, emulating isolation schemes that require copying
+// (MVM serialisation, Incommunicado deep-copying — §4.1).
+func (e *Event) DeepCopy(newID uint64) *Event {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ne := New(newID)
+	ne.Stamp = e.Stamp
+	ne.nextSq = e.nextSq
+	ne.parts = make([]*Part, 0, len(e.parts))
+	for _, p := range e.parts {
+		ne.parts = append(ne.parts, &Part{
+			Name:    p.Name,
+			Label:   p.Label,
+			Data:    freeze.CloneValue(p.Data),
+			Grants:  append([]priv.Grant(nil), p.Grants...),
+			Seq:     p.Seq,
+			AddedBy: p.AddedBy,
+		})
+	}
+	return ne
+}
+
+// String summarises the event for diagnostics.
+func (e *Event) String() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return fmt.Sprintf("event#%d(%d parts)", e.id, len(e.parts))
+}

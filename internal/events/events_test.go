@@ -1,0 +1,298 @@
+package events
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+type fixture struct {
+	store *tags.Store
+	dark  tags.Tag // confidentiality: dark-pool
+	t77   tags.Tag // confidentiality: s-trader-77
+	i77   tags.Tag // integrity: i-trader-77
+}
+
+func newFixture() fixture {
+	s := tags.NewStore(11)
+	return fixture{
+		store: s,
+		dark:  s.Create("dark-pool", "broker"),
+		t77:   s.Create("s-trader-77", "trader-77"),
+		i77:   s.Create("i-trader-77", "trader-77"),
+	}
+}
+
+// buildBid reproduces the Figure 1 event: a bid with a public type
+// part, a dark-pool body and a trader identity protected by both tags,
+// all carrying trader 77's integrity.
+func buildBid(t *testing.T, f fixture) *Event {
+	t.Helper()
+	e := New(1)
+	i := labels.NewSet(f.i77)
+	mustAdd := func(name string, s labels.Set, data freeze.Value) {
+		t.Helper()
+		if _, err := e.AddPart(name, labels.Label{S: s, I: i}, data, "trader-77"); err != nil {
+			t.Fatalf("AddPart(%s): %v", name, err)
+		}
+	}
+	mustAdd("type", labels.EmptySet, "bid")
+	mustAdd("body", labels.NewSet(f.dark), freeze.MapOf("price", int64(1234), "symbol", "MSFT"))
+	mustAdd("trader_id", labels.NewSet(f.dark, f.t77), "trader-77")
+	return e
+}
+
+func TestVisibilityPerPart(t *testing.T) {
+	f := newFixture()
+	e := buildBid(t, f)
+
+	public := labels.Public
+	// A public reader (no tags, no integrity requirement) sees only the
+	// type part.
+	if got := e.VisibleAll(public); len(got) != 1 || got[0].Name != "type" {
+		t.Fatalf("public reader sees %d parts", len(got))
+	}
+
+	// The Broker reads at {dark-pool}: sees type and body, not the
+	// identity.
+	broker := labels.Label{S: labels.NewSet(f.dark)}
+	vis := e.VisibleAll(broker)
+	if len(vis) != 2 {
+		t.Fatalf("broker sees %d parts, want 2", len(vis))
+	}
+	if len(e.Visible("trader_id", broker)) != 0 {
+		t.Fatal("broker can see trader identity")
+	}
+
+	// Reading at {dark-pool, s-trader-77} reveals the identity.
+	full := labels.Label{S: labels.NewSet(f.dark, f.t77)}
+	if len(e.Visible("trader_id", full)) != 1 {
+		t.Fatal("full label cannot see trader identity")
+	}
+}
+
+func TestVisibilityIntegrityDirection(t *testing.T) {
+	f := newFixture()
+	e := buildBid(t, f)
+	// A reader requiring integrity {i77} can see the (endorsed) type
+	// part; a reader requiring some other integrity cannot.
+	endorsedReader := labels.Label{I: labels.NewSet(f.i77)}
+	if len(e.Visible("type", endorsedReader)) != 1 {
+		t.Fatal("endorsed reader rejected endorsed part")
+	}
+	other := f.store.Create("i-other", "x")
+	otherReader := labels.Label{I: labels.NewSet(other)}
+	if len(e.Visible("type", otherReader)) != 0 {
+		t.Fatal("reader with alien integrity requirement saw part")
+	}
+}
+
+func TestAddPartValidation(t *testing.T) {
+	e := New(2)
+	if _, err := e.AddPart("", labels.Public, "x", "u"); err == nil {
+		t.Fatal("empty part name accepted")
+	}
+	if _, err := e.AddPart("p", labels.Public, []byte("raw"), "u"); !errors.Is(err, freeze.ErrBadValue) {
+		t.Fatalf("raw []byte accepted: %v", err)
+	}
+	if e.Len() != 0 {
+		t.Fatal("failed AddPart left residue")
+	}
+}
+
+func TestMultipleVersionsAllReturned(t *testing.T) {
+	e := New(3)
+	l := labels.Public
+	if _, err := e.AddPart("reason", l, "v1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddPart("reason", l, "v2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Visible("reason", labels.Public)
+	if len(got) != 2 {
+		t.Fatalf("Visible returned %d versions, want 2", len(got))
+	}
+	if got[0].Seq >= got[1].Seq {
+		t.Fatal("versions out of attach order")
+	}
+}
+
+func TestDelPartExactLabel(t *testing.T) {
+	f := newFixture()
+	e := buildBid(t, f)
+	i := labels.NewSet(f.i77)
+
+	wrong := labels.Label{S: labels.NewSet(f.dark)} // missing integrity
+	if err := e.DelPart("body", wrong); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("DelPart with wrong label = %v", err)
+	}
+	right := labels.Label{S: labels.NewSet(f.dark), I: i}
+	if err := e.DelPart("body", right); err != nil {
+		t.Fatalf("DelPart: %v", err)
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len after delete = %d", e.Len())
+	}
+	if err := e.DelPart("body", right); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestAttachGrantTargetsExactPart(t *testing.T) {
+	f := newFixture()
+	e := buildBid(t, f)
+	g := priv.Grant{Tag: f.t77, Right: priv.Plus}
+
+	wrong := labels.Public
+	if err := e.AttachGrant("body", wrong, g); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("AttachGrant with wrong label = %v", err)
+	}
+	right := labels.Label{S: labels.NewSet(f.dark), I: labels.NewSet(f.i77)}
+	if err := e.AttachGrant("body", right, g); err != nil {
+		t.Fatalf("AttachGrant: %v", err)
+	}
+	parts := e.Visible("body", labels.Label{S: labels.NewSet(f.dark), I: labels.NewSet(f.i77)})
+	if len(parts) != 1 || len(parts[0].Grants) != 1 || parts[0].Grants[0] != g {
+		t.Fatal("grant not attached to the right part")
+	}
+}
+
+func TestGenerationTracksStructuralChanges(t *testing.T) {
+	f := newFixture()
+	e := New(4)
+	g0 := e.Generation()
+	if _, err := e.AddPart("p", labels.Public, "v", "u"); err != nil {
+		t.Fatal(err)
+	}
+	g1 := e.Generation()
+	if g1 <= g0 {
+		t.Fatal("AddPart did not bump generation")
+	}
+	if err := e.AttachGrant("p", labels.Public, priv.Grant{Tag: f.t77, Right: priv.Plus}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation() <= g1 {
+		t.Fatal("AttachGrant did not bump generation")
+	}
+}
+
+func TestFreezePartsFreezesAllThenNewOnes(t *testing.T) {
+	e := New(5)
+	m1 := freeze.NewMap()
+	if _, err := e.AddPart("a", labels.Public, m1, "u"); err != nil {
+		t.Fatal(err)
+	}
+	e.FreezeParts()
+	if !m1.Frozen() {
+		t.Fatal("publish freeze missed part data")
+	}
+	// Part added along the main dataflow path, then released.
+	m2 := freeze.NewMap()
+	if _, err := e.AddPart("b", labels.Public, m2, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Frozen() {
+		t.Fatal("new part frozen too early")
+	}
+	e.FreezeParts()
+	if !m2.Frozen() {
+		t.Fatal("release freeze missed new part")
+	}
+}
+
+func TestCloneRelabelled(t *testing.T) {
+	f := newFixture()
+	e := buildBid(t, f)
+	e.Stamp = 42
+	e.FreezeParts()
+
+	// Clone by a unit whose output label is ({t77}, {i77}).
+	out := labels.Label{S: labels.NewSet(f.t77), I: labels.NewSet(f.i77)}
+	ne := e.CloneRelabelled(9, out, false)
+	if ne.ID() != 9 || ne.Stamp != 42 {
+		t.Fatalf("clone meta wrong: id=%d stamp=%d", ne.ID(), ne.Stamp)
+	}
+	if ne.Len() != e.Len() {
+		t.Fatal("clone part count differs")
+	}
+	for _, p := range ne.Parts() {
+		if !p.Label.S.Has(f.t77) {
+			t.Fatalf("part %q missing cloner's S tag", p.Name)
+		}
+		if !p.Label.I.SubsetOf(labels.NewSet(f.i77)) {
+			t.Fatalf("part %q integrity beyond cloner's output", p.Name)
+		}
+		if len(p.Grants) != 0 {
+			t.Fatal("clone copied privilege grants")
+		}
+	}
+	// Shallow clone shares frozen data.
+	op := e.Parts()[1].Data.(*freeze.Map)
+	np := ne.Parts()[1].Data.(*freeze.Map)
+	if op != np {
+		t.Fatal("shallow clone copied data")
+	}
+
+	// Deep clone must not share.
+	nd := e.CloneRelabelled(10, out, true)
+	if e.Parts()[1].Data.(*freeze.Map) == nd.Parts()[1].Data.(*freeze.Map) {
+		t.Fatal("deep clone shared data")
+	}
+}
+
+func TestDeepCopyPreservesLabelsAndGrants(t *testing.T) {
+	f := newFixture()
+	e := buildBid(t, f)
+	g := priv.Grant{Tag: f.t77, Right: priv.Plus}
+	idLabel := labels.Label{S: labels.NewSet(f.dark, f.t77), I: labels.NewSet(f.i77)}
+	if err := e.AttachGrant("trader_id", idLabel, g); err != nil {
+		t.Fatal(err)
+	}
+	e.FreezeParts()
+
+	c := e.DeepCopy(20)
+	if c.Len() != e.Len() {
+		t.Fatal("part count differs")
+	}
+	cid := c.Visible("trader_id", idLabel)
+	if len(cid) != 1 || len(cid[0].Grants) != 1 || cid[0].Grants[0] != g {
+		t.Fatal("DeepCopy lost grants")
+	}
+	// Data is copied, not shared.
+	ob := e.Visible("body", labels.Label{S: labels.NewSet(f.dark), I: labels.NewSet(f.i77)})[0]
+	cb := c.Visible("body", labels.Label{S: labels.NewSet(f.dark), I: labels.NewSet(f.i77)})[0]
+	if ob.Data.(*freeze.Map) == cb.Data.(*freeze.Map) {
+		t.Fatal("DeepCopy shared data")
+	}
+	// The copy is mutable again (per-receiver private copy).
+	if err := cb.Data.(*freeze.Map).Put("note", "mine"); err != nil {
+		t.Fatalf("mutating deep copy: %v", err)
+	}
+}
+
+func TestPartsSnapshotIsCopy(t *testing.T) {
+	e := New(6)
+	if _, err := e.AddPart("p", labels.Public, "v", "u"); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Parts()
+	snap[0] = nil
+	if e.Parts()[0] == nil {
+		t.Fatal("Parts returned internal slice")
+	}
+}
+
+func TestStringAndIDs(t *testing.T) {
+	e := New(77)
+	if e.ID() != 77 {
+		t.Fatal("ID wrong")
+	}
+	if e.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,180 @@
+package events
+
+// Property-based tests of event visibility invariants.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+var qpool = func() []tags.Tag {
+	s := tags.NewStore(777)
+	out := make([]tags.Tag, 5)
+	for i := range out {
+		out[i] = s.Create(fmt.Sprintf("e%d", i), "quick")
+	}
+	return out
+}()
+
+func randSet(r *rand.Rand) labels.Set {
+	var members []tags.Tag
+	mask := r.Intn(1 << len(qpool))
+	for i, t := range qpool {
+		if mask&(1<<i) != 0 {
+			members = append(members, t)
+		}
+	}
+	return labels.NewSet(members...)
+}
+
+// evScenario is a generated event (part labels) plus two reader labels
+// with low ≺ high.
+type evScenario struct {
+	Parts     []labels.Label
+	Low, High labels.Label
+}
+
+// Generate implements quick.Generator: High is built from Low by only
+// adding confidentiality and removing integrity, so Low ≺ High by
+// construction.
+func (evScenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	sc := evScenario{}
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		sc.Parts = append(sc.Parts, labels.Label{S: randSet(r), I: randSet(r)})
+	}
+	lowI := randSet(r)
+	sc.Low = labels.Label{S: randSet(r), I: lowI}
+	sc.High = labels.Label{
+		S: sc.Low.S.Union(randSet(r)),
+		I: lowI.Subtract(randSet(r)),
+	}
+	return reflect.ValueOf(sc)
+}
+
+// TestQuickVisibilityMonotone: raising a reader's label (in the
+// can-flow-to order) never hides a part that was visible before.
+func TestQuickVisibilityMonotone(t *testing.T) {
+	f := func(sc evScenario) bool {
+		if !sc.Low.CanFlowTo(sc.High) {
+			return true // generator degenerate case
+		}
+		e := New(1)
+		for i, pl := range sc.Parts {
+			if _, err := e.AddPart(fmt.Sprintf("p%d", i), pl, "v", "gen"); err != nil {
+				return false
+			}
+		}
+		lowVis := map[string]bool{}
+		for _, p := range e.VisibleAll(sc.Low) {
+			lowVis[p.Name] = true
+		}
+		highVis := map[string]bool{}
+		for _, p := range e.VisibleAll(sc.High) {
+			highVis[p.Name] = true
+		}
+		for name := range lowVis {
+			if !highVis[name] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVisibleIsFilteredParts: Visible(name, in) equals the subset
+// of Parts() with that name whose labels flow to in.
+func TestQuickVisibleIsFilteredParts(t *testing.T) {
+	f := func(sc evScenario) bool {
+		e := New(1)
+		for _, pl := range sc.Parts {
+			if _, err := e.AddPart("p", pl, "v", "gen"); err != nil {
+				return false
+			}
+		}
+		want := 0
+		for _, p := range e.Parts() {
+			if p.Label.CanFlowTo(sc.Low) {
+				want++
+			}
+		}
+		return len(e.Visible("p", sc.Low)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneRelabelledDominates: every part of a clone carries a
+// label at or above the original's join with the cloner's output.
+func TestQuickCloneRelabelledDominates(t *testing.T) {
+	f := func(sc evScenario) bool {
+		e := New(1)
+		for i, pl := range sc.Parts {
+			if _, err := e.AddPart(fmt.Sprintf("p%d", i), pl, "v", "gen"); err != nil {
+				return false
+			}
+		}
+		out := sc.Low
+		ne := e.CloneRelabelled(2, out, false)
+		orig := e.Parts()
+		for i, p := range ne.Parts() {
+			want := orig[i].Label.WithContamination(out)
+			if !p.Label.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentReadersAndWriter stresses the event's internal locking:
+// one goroutine keeps adding parts while readers enumerate visibility.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	e := New(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = e.VisibleAll(labels.Label{})
+				_ = e.Visible("p", labels.Label{})
+				_ = e.Len()
+				e.FreezeParts()
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := e.AddPart("p", labels.Label{}, int64(i), "w"); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			e.MarkDelivered(uint64(i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if e.Len() != 2000 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}

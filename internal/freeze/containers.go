@@ -1,0 +1,379 @@
+package freeze
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// List is an ordered, freezable sequence of Values — the freezable
+// analogue of a Java ArrayList restricted to shareable contents.
+// The zero value is an empty, mutable list.
+type List struct {
+	base
+	mu    sync.RWMutex // guards items
+	items []Value
+}
+
+// NewList returns a list seeded with the given values.
+func NewList(vs ...Value) (*List, error) {
+	l := &List{}
+	for _, v := range vs {
+		if err := l.Append(v); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// MustList is NewList that panics on a disallowed value; convenient in
+// unit code whose value types are statically known.
+func MustList(vs ...Value) *List {
+	l, err := NewList(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Append adds v to the end of the list.
+func (l *List) Append(v Value) error {
+	if err := CheckValue(v); err != nil {
+		return err
+	}
+	if err := l.checkMutable(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	attachValue(v, l.governingFlags())
+	l.items = append(l.items, v)
+	return nil
+}
+
+// Set replaces the element at index i.
+func (l *List) Set(i int, v Value) error {
+	if err := CheckValue(v); err != nil {
+		return err
+	}
+	if err := l.checkMutable(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.items) {
+		return fmt.Errorf("freeze: list index %d out of range [0,%d)", i, len(l.items))
+	}
+	attachValue(v, l.governingFlags())
+	l.items[i] = v
+	return nil
+}
+
+// Get returns the element at index i and whether it exists.
+func (l *List) Get(i int) (Value, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if i < 0 || i >= len(l.items) {
+		return nil, false
+	}
+	return l.items[i], true
+}
+
+// Len returns the number of elements.
+func (l *List) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.items)
+}
+
+// Each calls fn for every element in order; fn returning false stops
+// the iteration.
+func (l *List) Each(fn func(i int, v Value) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i, v := range l.items {
+		if !fn(i, v) {
+			return
+		}
+	}
+}
+
+// attachFlag subscribes the list and, transitively, its current
+// elements to an additional governing flag.
+func (l *List) attachFlag(f *Flag) {
+	l.addFlag(f)
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, v := range l.items {
+		attachValue(v, []*Flag{f})
+	}
+}
+
+// CloneValue returns a deep, unfrozen copy of the list.
+func (l *List) CloneValue() Value {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := &List{items: make([]Value, len(l.items))}
+	for i, v := range l.items {
+		cv := CloneValue(v)
+		attachValue(cv, []*Flag{&out.own})
+		out.items[i] = cv
+	}
+	return out
+}
+
+// Map is a freezable string-keyed dictionary — the shape of the
+// key/value event payloads common in event processing (§2.1).
+// The zero value is an empty, mutable map.
+type Map struct {
+	base
+	mu sync.RWMutex // guards kv
+	kv map[string]Value
+}
+
+// NewMap returns an empty freezable map.
+func NewMap() *Map { return &Map{} }
+
+// MapOf builds a map from alternating key/value pairs; it panics on a
+// non-string key, a disallowed value or an odd pair count.
+func MapOf(pairs ...Value) *Map {
+	if len(pairs)%2 != 0 {
+		panic("freeze: MapOf requires an even number of arguments")
+	}
+	m := NewMap()
+	for i := 0; i < len(pairs); i += 2 {
+		k, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("freeze: MapOf key %d is %T, want string", i/2, pairs[i]))
+		}
+		if err := m.Put(k, pairs[i+1]); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// Put stores v under key k.
+func (m *Map) Put(k string, v Value) error {
+	if err := CheckValue(v); err != nil {
+		return err
+	}
+	if err := m.checkMutable(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.kv == nil {
+		m.kv = make(map[string]Value)
+	}
+	attachValue(v, m.governingFlags())
+	m.kv[k] = v
+	return nil
+}
+
+// Delete removes key k.
+func (m *Map) Delete(k string) error {
+	if err := m.checkMutable(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.kv, k)
+	return nil
+}
+
+// Get returns the value stored under k and whether it exists.
+func (m *Map) Get(k string) (Value, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.kv[k]
+	return v, ok
+}
+
+// GetString returns the string stored under k, or "" if absent or not
+// a string.
+func (m *Map) GetString(k string) string {
+	if v, ok := m.Get(k); ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// GetInt returns the int64 stored under k (accepting any integer kind),
+// or 0 if absent.
+func (m *Map) GetInt(k string) int64 {
+	v, ok := m.Get(k)
+	if !ok {
+		return 0
+	}
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int8:
+		return int64(x)
+	case int16:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	case uint:
+		return int64(x)
+	case uint8:
+		return int64(x)
+	case uint16:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	default:
+		return 0
+	}
+}
+
+// GetFloat returns the float64 stored under k, or 0.
+func (m *Map) GetFloat(k string) float64 {
+	v, ok := m.Get(k)
+	if !ok {
+		return 0
+	}
+	switch x := v.(type) {
+	case float64:
+		return x
+	case float32:
+		return float64(x)
+	default:
+		return 0
+	}
+}
+
+// Len returns the number of keys.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.kv)
+}
+
+// Keys returns the keys in sorted order.
+func (m *Map) Keys() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.kv))
+	for k := range m.kv {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Each calls fn for every key/value pair in sorted key order; fn
+// returning false stops the iteration.
+func (m *Map) Each(fn func(k string, v Value) bool) {
+	for _, k := range m.Keys() {
+		v, ok := m.Get(k)
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// attachFlag subscribes the map and, transitively, its current values
+// to an additional governing flag.
+func (m *Map) attachFlag(f *Flag) {
+	m.addFlag(f)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, v := range m.kv {
+		attachValue(v, []*Flag{f})
+	}
+}
+
+// CloneValue returns a deep, unfrozen copy of the map.
+func (m *Map) CloneValue() Value {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := &Map{kv: make(map[string]Value, len(m.kv))}
+	for k, v := range m.kv {
+		cv := CloneValue(v)
+		attachValue(cv, []*Flag{&out.own})
+		out.kv[k] = cv
+	}
+	return out
+}
+
+// Bytes is a freezable byte buffer, the shareable stand-in for []byte
+// payloads (raw []byte is mutable and therefore not an allowed part
+// value). The zero value is an empty, mutable buffer.
+type Bytes struct {
+	base
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewBytes returns a buffer initialised with a copy of b.
+func NewBytes(b []byte) *Bytes {
+	return &Bytes{buf: append([]byte(nil), b...)}
+}
+
+// Write appends p to the buffer, implementing io.Writer while mutable.
+func (b *Bytes) Write(p []byte) (int, error) {
+	if err := b.checkMutable(); err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+// SetByte stores c at offset i.
+func (b *Bytes) SetByte(i int, c byte) error {
+	if err := b.checkMutable(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 || i >= len(b.buf) {
+		return fmt.Errorf("freeze: byte index %d out of range [0,%d)", i, len(b.buf))
+	}
+	b.buf[i] = c
+	return nil
+}
+
+// Len returns the buffer length.
+func (b *Bytes) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.buf)
+}
+
+// Snapshot returns a copy of the contents. (Handing out the internal
+// slice would defeat freezing.)
+func (b *Bytes) Snapshot() []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]byte(nil), b.buf...)
+}
+
+// attachFlag subscribes the buffer to an additional governing flag.
+func (b *Bytes) attachFlag(f *Flag) { b.addFlag(f) }
+
+// CloneValue returns a deep, unfrozen copy of the buffer.
+func (b *Bytes) CloneValue() Value {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return &Bytes{buf: append([]byte(nil), b.buf...)}
+}
+
+// Compile-time interface checks.
+var (
+	_ Freezable = (*List)(nil)
+	_ Freezable = (*Map)(nil)
+	_ Freezable = (*Bytes)(nil)
+)

@@ -1,0 +1,207 @@
+// Package freeze implements DEFCon's zero-copy sharing discipline for
+// event data (paper §5, "Freezing shared objects").
+//
+// Units exchange events without serialisation or deep copies by only
+// ever sharing immutable data. Go scalars and strings are immutable
+// already; for structured data this package provides Freezable
+// containers. Before an event is dispatched, the system freezes every
+// part; from then on any mutating operation fails.
+//
+// Freezing a container is O(1): contained Freezable objects hold a
+// reference to the container's frozen flag rather than being visited.
+// The cost moves to mutation, which checks one flag per containing
+// collection — exactly the trade-off described in the paper.
+package freeze
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tags"
+)
+
+// ErrFrozen is returned by mutating operations on frozen objects.
+var ErrFrozen = errors.New("freeze: object is frozen")
+
+// ErrBadValue is returned when a value of a disallowed type is offered
+// as event-part data.
+var ErrBadValue = errors.New("freeze: value type not allowed in event parts")
+
+// Value is any datum storable in an event part: an allowed immutable
+// scalar (see AllowedValue) or a Freezable container.
+type Value = any
+
+// Flag is a shared frozen marker. Containers own one Flag; contained
+// Freezable objects keep references to the flags of every container
+// they belong to.
+type Flag struct {
+	frozen atomic.Bool
+}
+
+// Set marks the flag frozen. Freezing is irreversible.
+func (f *Flag) Set() { f.frozen.Store(true) }
+
+// IsSet reports whether the flag is frozen.
+func (f *Flag) IsSet() bool { return f.frozen.Load() }
+
+// Freezable is the interface of mutable containers that can be frozen
+// in constant time. Only types in this package implement it: the paper
+// restricts part contents to "a subset of types ... either immutable or
+// extend a package-private Freezable base class", and keeping the
+// attachment hooks unexported gives the same guarantee here.
+type Freezable interface {
+	// Freeze irreversibly forbids further mutation. O(1).
+	Freeze()
+	// Frozen reports whether this object, or any collection containing
+	// it, has been frozen.
+	Frozen() bool
+	// CloneValue returns a deep, unfrozen copy with fresh flags. Used
+	// by the labels+clone security mode, which copies event data per
+	// delivery instead of sharing frozen objects.
+	CloneValue() Value
+
+	// attachFlag subscribes the object (and, transitively, its
+	// children) to an additional governing flag. Unexported: only
+	// containers in this package may attach.
+	attachFlag(f *Flag)
+}
+
+// base carries the shared freezing machinery for container types.
+type base struct {
+	own Flag
+	mu  sync.Mutex // guards attached
+	// attached holds the flags of every collection this object has been
+	// inserted into. Mutation checks are O(len(attached)+1).
+	attached []*Flag
+}
+
+func (b *base) Freeze() { b.own.Set() }
+
+func (b *base) Frozen() bool {
+	if b.own.IsSet() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, f := range b.attached {
+		if f.IsSet() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMutable returns ErrFrozen if the object or any containing
+// collection is frozen.
+func (b *base) checkMutable() error {
+	if b.Frozen() {
+		return ErrFrozen
+	}
+	return nil
+}
+
+func (b *base) addFlag(f *Flag) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, have := range b.attached {
+		if have == f {
+			return
+		}
+	}
+	b.attached = append(b.attached, f)
+}
+
+// governingFlags returns own + attached flags; used when a container is
+// itself inserted into another container, so that freezing the outer
+// container transitively governs grandchildren.
+func (b *base) governingFlags() []*Flag {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Flag, 0, len(b.attached)+1)
+	out = append(out, &b.own)
+	out = append(out, b.attached...)
+	return out
+}
+
+// AllowedValue reports whether v may be stored in an event part:
+// nil, Go immutable scalars, strings, tags.Tag (tag references are
+// transmittable objects, §3.1.3), or a Freezable container.
+func AllowedValue(v Value) bool {
+	switch v.(type) {
+	case nil, bool,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64,
+		string,
+		tags.Tag:
+		return true
+	case Freezable:
+		return true
+	default:
+		return false
+	}
+}
+
+// CheckValue returns ErrBadValue (wrapped with the offending type) if v
+// is not an allowed part value.
+func CheckValue(v Value) error {
+	if !AllowedValue(v) {
+		return fmt.Errorf("%w: %T", ErrBadValue, v)
+	}
+	return nil
+}
+
+// FreezeValue freezes v if it is Freezable; immutable values need no
+// action. O(1) in all cases.
+func FreezeValue(v Value) {
+	if f, ok := v.(Freezable); ok {
+		f.Freeze()
+	}
+}
+
+// FrozenValue reports whether v is safe to share: immutable scalars
+// always are; Freezable values must have been frozen.
+func FrozenValue(v Value) bool {
+	if f, ok := v.(Freezable); ok {
+		return f.Frozen()
+	}
+	return true
+}
+
+// CloneValue deep-copies v. Immutable scalars are returned as is,
+// except strings, which are copied byte-for-byte: the labels+clone mode
+// exists to measure the cost MVM-style per-isolate copying would incur,
+// and payload strings dominate event data, so eliding their copy would
+// understate it.
+func CloneValue(v Value) Value {
+	switch x := v.(type) {
+	case Freezable:
+		return x.CloneValue()
+	case string:
+		return cloneString(x)
+	default:
+		return v
+	}
+}
+
+// cloneString forces a fresh allocation of s's bytes.
+func cloneString(s string) string {
+	if s == "" {
+		return ""
+	}
+	return string(append([]byte(nil), s...))
+}
+
+// attachValue subscribes v (if Freezable) to all governing flags of the
+// inserting container.
+func attachValue(v Value, flags []*Flag) {
+	f, ok := v.(Freezable)
+	if !ok {
+		return
+	}
+	for _, fl := range flags {
+		f.attachFlag(fl)
+	}
+}

@@ -1,0 +1,292 @@
+package freeze
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+func TestAllowedValues(t *testing.T) {
+	store := tags.NewStore(1)
+	ok := []Value{
+		nil, true, 1, int8(1), int16(1), int32(1), int64(1),
+		uint(1), uint8(1), uint16(1), uint32(1), uint64(1),
+		float32(1), float64(1), "s", store.Create("t", "u"),
+		NewMap(), MustList(), NewBytes(nil),
+	}
+	for _, v := range ok {
+		if err := CheckValue(v); err != nil {
+			t.Errorf("CheckValue(%T) = %v, want nil", v, err)
+		}
+	}
+	bad := []Value{[]byte("raw"), map[string]int{}, struct{}{}, &struct{}{}, make(chan int)}
+	for _, v := range bad {
+		if err := CheckValue(v); !errors.Is(err, ErrBadValue) {
+			t.Errorf("CheckValue(%T) = %v, want ErrBadValue", v, err)
+		}
+	}
+}
+
+func TestMapFreezeStopsMutation(t *testing.T) {
+	m := NewMap()
+	if err := m.Put("k", "v"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("Frozen false after Freeze")
+	}
+	if err := m.Put("k2", "v2"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Put after freeze = %v, want ErrFrozen", err)
+	}
+	if err := m.Delete("k"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Delete after freeze = %v, want ErrFrozen", err)
+	}
+	if got := m.GetString("k"); got != "v" {
+		t.Fatalf("read after freeze = %q, want v", got)
+	}
+}
+
+func TestListFreezeStopsMutation(t *testing.T) {
+	l := MustList("a", "b")
+	l.Freeze()
+	if err := l.Append("c"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Append after freeze = %v", err)
+	}
+	if err := l.Set(0, "z"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Set after freeze = %v", err)
+	}
+	if v, ok := l.Get(1); !ok || v != "b" {
+		t.Fatalf("Get after freeze = %v,%v", v, ok)
+	}
+}
+
+func TestBytesFreezeStopsMutation(t *testing.T) {
+	b := NewBytes([]byte("abc"))
+	if _, err := b.Write([]byte("d")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	b.Freeze()
+	if _, err := b.Write([]byte("e")); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Write after freeze = %v", err)
+	}
+	if err := b.SetByte(0, 'z'); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("SetByte after freeze = %v", err)
+	}
+	if string(b.Snapshot()) != "abcd" {
+		t.Fatalf("Snapshot = %q", b.Snapshot())
+	}
+}
+
+func TestCollectionFreezeGovernsElements(t *testing.T) {
+	inner := NewMap()
+	if err := inner.Put("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	outer := MustList(inner)
+	// Freezing the collection freezes the element in O(1) via the
+	// shared flag: the element was never visited.
+	outer.Freeze()
+	if !inner.Frozen() {
+		t.Fatal("element not frozen by collection freeze")
+	}
+	if err := inner.Put("y", 2); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("element mutation after collection freeze = %v", err)
+	}
+}
+
+func TestElementFreezeDoesNotFreezeCollection(t *testing.T) {
+	inner := NewMap()
+	outer := MustList(inner)
+	inner.Freeze()
+	if outer.Frozen() {
+		t.Fatal("collection frozen by element freeze")
+	}
+	if err := outer.Append("more"); err != nil {
+		t.Fatalf("collection mutation after element freeze: %v", err)
+	}
+}
+
+func TestNestedCollectionsPropagateFlags(t *testing.T) {
+	leaf := NewMap()
+	mid := MustList(leaf)
+	top := MustList(mid)
+	top.Freeze()
+	if !mid.Frozen() || !leaf.Frozen() {
+		t.Fatal("grandchild not governed by top-level freeze")
+	}
+	if err := leaf.Put("k", "v"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("grandchild mutation = %v", err)
+	}
+}
+
+func TestLateInsertionIntoFrozenPathFails(t *testing.T) {
+	top := MustList()
+	top.Freeze()
+	if err := top.Append(NewMap()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("insert into frozen collection = %v", err)
+	}
+}
+
+func TestAttachAfterBuildGovernsExistingChildren(t *testing.T) {
+	leaf := NewMap()
+	mid := MustList(leaf) // leaf attached to mid
+	top := MustList()
+	if err := top.Append(mid); err != nil { // mid (and leaf) must inherit top's flag
+		t.Fatal(err)
+	}
+	top.Freeze()
+	if !leaf.Frozen() {
+		t.Fatal("pre-existing grandchild missed flag propagation")
+	}
+}
+
+func TestFreezeValueHelpers(t *testing.T) {
+	m := NewMap()
+	if FrozenValue(m) {
+		t.Fatal("unfrozen map reported frozen")
+	}
+	FreezeValue(m)
+	if !FrozenValue(m) {
+		t.Fatal("map not frozen by FreezeValue")
+	}
+	// Immutables are always shareable.
+	if !FrozenValue("str") || !FrozenValue(42) || !FrozenValue(nil) {
+		t.Fatal("immutable reported unfrozen")
+	}
+	FreezeValue("str") // must not panic
+}
+
+func TestCloneValueDeepCopies(t *testing.T) {
+	inner := NewMap()
+	if err := inner.Put("n", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	l := MustList(inner, "s")
+	l.Freeze()
+
+	c := CloneValue(l).(*List)
+	if c.Frozen() {
+		t.Fatal("clone inherited frozen state")
+	}
+	ci, _ := c.Get(0)
+	cm := ci.(*Map)
+	if cm.Frozen() {
+		t.Fatal("cloned child frozen")
+	}
+	if err := cm.Put("n", int64(2)); err != nil {
+		t.Fatalf("mutating clone child: %v", err)
+	}
+	if inner.GetInt("n") != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+	// Cloned child must be governed by the clone, not the original.
+	c.Freeze()
+	if err := cm.Put("z", 0); !errors.Is(err, ErrFrozen) {
+		t.Fatal("cloned child not governed by clone's flag")
+	}
+}
+
+func TestCloneValueCopiesStrings(t *testing.T) {
+	s := "payload"
+	c := CloneValue(s).(string)
+	if c != s {
+		t.Fatal("string clone changed value")
+	}
+	if CloneValue("").(string) != "" {
+		t.Fatal("empty string clone wrong")
+	}
+}
+
+func TestMapAccessors(t *testing.T) {
+	m := MapOf("s", "str", "i", int64(7), "f", 2.5, "u", uint32(9))
+	if m.GetString("s") != "str" || m.GetString("i") != "" || m.GetString("missing") != "" {
+		t.Fatal("GetString wrong")
+	}
+	if m.GetInt("i") != 7 || m.GetInt("u") != 9 || m.GetInt("s") != 0 {
+		t.Fatal("GetInt wrong")
+	}
+	if m.GetFloat("f") != 2.5 || m.GetFloat("s") != 0 {
+		t.Fatal("GetFloat wrong")
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	keys := m.Keys()
+	if len(keys) != 4 || keys[0] != "f" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	var seen int
+	m.Each(func(k string, v Value) bool { seen++; return true })
+	if seen != 4 {
+		t.Fatalf("Each visited %d", seen)
+	}
+	seen = 0
+	m.Each(func(k string, v Value) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatal("Each ignored early stop")
+	}
+}
+
+func TestMapOfPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("odd args", func() { MapOf("k") })
+	assertPanics("non-string key", func() { MapOf(1, "v") })
+	assertPanics("bad value", func() { MapOf("k", []byte("x")) })
+}
+
+func TestListAccessors(t *testing.T) {
+	l := MustList("a", int64(2))
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if _, ok := l.Get(-1); ok {
+		t.Fatal("Get(-1) ok")
+	}
+	if _, ok := l.Get(2); ok {
+		t.Fatal("Get(len) ok")
+	}
+	if err := l.Set(5, "x"); err == nil {
+		t.Fatal("Set out of range succeeded")
+	}
+	var seen int
+	l.Each(func(i int, v Value) bool { seen++; return i == 0 })
+	if seen != 2 {
+		t.Fatalf("Each visited %d, want 2 (stop after second)", seen)
+	}
+}
+
+func TestRejectedValuesDoNotEnterContainers(t *testing.T) {
+	l := MustList()
+	if err := l.Append([]byte("raw")); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Append raw bytes = %v", err)
+	}
+	if l.Len() != 0 {
+		t.Fatal("rejected value entered list")
+	}
+	m := NewMap()
+	if err := m.Put("k", map[string]int{}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Put raw map = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("rejected value entered map")
+	}
+}
+
+func TestFreezeIsIdempotentAndIrreversible(t *testing.T) {
+	m := NewMap()
+	m.Freeze()
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("double freeze unfroze")
+	}
+}

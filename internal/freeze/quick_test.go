@@ -1,0 +1,130 @@
+package freeze
+
+// Property-based tests of the freezing invariants.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tree is a generated container tree description: node kinds by level.
+type tree struct {
+	// Ops is a sequence of build instructions; each entry selects a
+	// container kind (0=list, 1=map) and a scalar payload.
+	Ops []uint8
+}
+
+// Generate implements quick.Generator.
+func (tree) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(6)
+	t := tree{Ops: make([]uint8, n)}
+	for i := range t.Ops {
+		t.Ops[i] = uint8(r.Intn(4))
+	}
+	return reflect.ValueOf(t)
+}
+
+// build materialises the tree: a chain of nested containers with the
+// leaf-most first. It returns the root and every container created.
+func (t tree) build() (Value, []Freezable) {
+	var all []Freezable
+	var cur Value = "leaf"
+	for _, op := range t.Ops {
+		switch op % 2 {
+		case 0:
+			l := MustList(cur)
+			all = append(all, l)
+			cur = l
+		default:
+			m := NewMap()
+			_ = m.Put("child", cur)
+			all = append(all, m)
+			cur = m
+		}
+	}
+	return cur, all
+}
+
+// TestQuickFreezeRootFreezesEverything: freezing the root container
+// transitively freezes every descendant, however the tree was built.
+func TestQuickFreezeRootFreezesEverything(t *testing.T) {
+	f := func(tr tree) bool {
+		root, all := tr.build()
+		FreezeValue(root)
+		for _, c := range all {
+			if !c.Frozen() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIsUnfrozenAndDisjoint: cloning a frozen tree yields a
+// mutable tree that shares no frozen state with the original.
+func TestQuickCloneIsUnfrozenAndDisjoint(t *testing.T) {
+	f := func(tr tree) bool {
+		root, _ := tr.build()
+		FreezeValue(root)
+		clone := CloneValue(root)
+		cf, ok := clone.(Freezable)
+		if !ok {
+			return clone == root // scalar roots clone to themselves
+		}
+		if cf.Frozen() {
+			return false
+		}
+		// Mutating the clone must succeed; the original stays frozen.
+		switch c := clone.(type) {
+		case *List:
+			if err := c.Append("x"); err != nil {
+				return false
+			}
+		case *Map:
+			if err := c.Put("x", "y"); err != nil {
+				return false
+			}
+		}
+		orig := root.(Freezable)
+		return orig.Frozen()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFrozenRejectsAllMutations: after freezing, every mutating
+// operation on every container in the tree fails.
+func TestQuickFrozenRejectsAllMutations(t *testing.T) {
+	f := func(tr tree) bool {
+		root, all := tr.build()
+		FreezeValue(root)
+		for _, c := range all {
+			switch x := c.(type) {
+			case *List:
+				if x.Append("z") == nil {
+					return false
+				}
+				if x.Set(0, "z") == nil {
+					return false
+				}
+			case *Map:
+				if x.Put("z", 1) == nil {
+					return false
+				}
+				if x.Delete("child") == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

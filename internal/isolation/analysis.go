@@ -1,0 +1,385 @@
+package isolation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KindCounts tallies targets per kind at some pipeline stage.
+type KindCounts struct {
+	Fields  int
+	Natives int
+	Syncs   int
+}
+
+// Total sums all kinds.
+func (k KindCounts) Total() int { return k.Fields + k.Natives + k.Syncs }
+
+// add increments the counter for kind.
+func (k *KindCounts) add(kind TargetKind) {
+	switch kind {
+	case StaticField:
+		k.Fields++
+	case NativeMethod:
+		k.Natives++
+	case SyncTarget:
+		k.Syncs++
+	}
+}
+
+// String renders "F fields, N natives, S syncs".
+func (k KindCounts) String() string {
+	return fmt.Sprintf("%d static fields, %d native methods, %d sync targets",
+		k.Fields, k.Natives, k.Syncs)
+}
+
+// Report summarises each stage of the §4.2 pipeline, mirroring the
+// counts the paper reports for OpenJDK 6.
+type Report struct {
+	// TotalTargets covers the whole class library (≈4,000 static
+	// fields, ≈2,000 native methods in the paper).
+	TotalTargets KindCounts
+	// Eliminated targets belong to classes referenced by neither
+	// DEFCon nor units (AWT/Swing and friends).
+	Eliminated KindCounts
+	// Used is TDEFCon ∪ Tunits (paper: "more than 2,000 used targets —
+	// approximately 20% of the full JDK").
+	Used KindCounts
+	// DEFConOnly is TDEFCon \ Tunits: unreachable from unit code by
+	// class-loader construction.
+	DEFConOnly KindCounts
+	// UnitReachable is Tunits after the reachability analysis (paper:
+	// ≈1,200 dangerous targets — ≈320 native methods, ≈900 static
+	// fields).
+	UnitReachable KindCounts
+	// HeuristicWhitelisted were proven safe by the §4.2 heuristics.
+	HeuristicWhitelisted KindCounts
+	// AfterHeuristics remain dangerous after heuristics (paper: ≈500
+	// static fields and ≈300 native methods).
+	AfterHeuristics KindCounts
+	// ManualWhitelisted were inspected by hand (paper: 15 native
+	// methods, 27 static fields, 10 sync targets — 52 in total).
+	ManualWhitelisted KindCounts
+	// ProfiledWhitelisted were hot targets white-listed after profiling
+	// (paper: 15 — 6 static fields, 9 native methods).
+	ProfiledWhitelisted KindCounts
+	// Intercepted targets get runtime interceptors woven in.
+	Intercepted KindCounts
+}
+
+// String renders the report as the pipeline table.
+func (r Report) String() string {
+	var b strings.Builder
+	w := func(stage string, k KindCounts) {
+		fmt.Fprintf(&b, "%-22s %5d  (%s)\n", stage, k.Total(), k)
+	}
+	w("total", r.TotalTargets)
+	w("eliminated (T_JDK)", r.Eliminated)
+	w("used", r.Used)
+	w("defcon-only", r.DEFConOnly)
+	w("unit-reachable", r.UnitReachable)
+	w("heuristic-whitelisted", r.HeuristicWhitelisted)
+	w("after-heuristics", r.AfterHeuristics)
+	w("manual-whitelisted", r.ManualWhitelisted)
+	w("profiled-whitelisted", r.ProfiledWhitelisted)
+	w("intercepted", r.Intercepted)
+	return b.String()
+}
+
+// Analysis is the result of running the static pipeline over a catalog:
+// a per-target decision table plus the interceptor plan the runtime
+// Enforcer executes.
+type Analysis struct {
+	Catalog   *Catalog
+	Decisions []Decision // indexed by Target.ID
+	Users     []UserSet  // indexed by Target.ID
+
+	// manualQuota fixes how many of each kind the manual inspection
+	// stage white-lists, defaulting to the paper's 27/15/10.
+	manualFields, manualNatives, manualSyncs int
+}
+
+// namedManualWhitelist are the targets §4.2 justifies by hand. They are
+// white-listed first; the remaining manual quota is filled with the
+// lexicographically first intercepted targets, mirroring "before
+// running the units in our financial scenario, we had to manually check
+// 15 native methods and 27 static fields, which were intercepted and
+// raised security exceptions".
+var namedManualWhitelist = []string{
+	"java.lang.Object.hashCode",            // equivalent to reading a constant field
+	"java.lang.Object.getClass",            // Class objects unique and constant
+	"java.lang.Double.longBitsToDouble",    // accesses no JVM state
+	"java.lang.Double.doubleToRawLongBits", // accesses no JVM state
+	"java.lang.System.security",            // protected from modification by units
+	"java.lang.System.arraycopy",           // pure copy, no global state
+	"java.lang.System.nanoTime",            // reads clock only
+	"java.lang.ClassLoader.loadClass",      // NeverShared-transformed sync
+	"java.lang.StringBuffer.append",        // NeverShared-transformed sync
+	"java.lang.StringBuffer.toStringLock",  // NeverShared-transformed sync
+}
+
+// Analyze runs the full static pipeline: dependency trim, reachability
+// with dynamic dispatch, heuristic white-listing, manual white-listing
+// and interceptor planning.
+func Analyze(cat *Catalog) *Analysis {
+	a := &Analysis{
+		Catalog:       cat,
+		Decisions:     make([]Decision, len(cat.Targets)),
+		Users:         make([]UserSet, len(cat.Targets)),
+		manualFields:  27,
+		manualNatives: 15,
+		manualSyncs:   10,
+	}
+	a.stageTrimAndPartition()
+	a.stageHeuristics()
+	a.stageManual()
+	a.stagePlan()
+	return a
+}
+
+// reachable computes the transitive closure over reference edges,
+// expanding subtype edges to cover dynamic dispatch: a call through a
+// base class may execute any compatible subtype's code (§4.2
+// "Reachability analysis").
+func reachable(cat *Catalog, roots map[string]bool) map[string]bool {
+	seen := make(map[string]bool, len(roots))
+	queue := sortedKeys(roots)
+	for _, r := range queue {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		cl, ok := cat.Classes[name]
+		if !ok {
+			continue
+		}
+		next := make([]string, 0, len(cl.Refs)+len(cl.Subtypes))
+		next = append(next, cl.Refs...)
+		next = append(next, cl.Subtypes...)
+		for _, n := range next {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return seen
+}
+
+// stageTrimAndPartition performs the dependency trim (eliminating TJDK)
+// and the TDEFCon / Tunits partition.
+func (a *Analysis) stageTrimAndPartition() {
+	cat := a.Catalog
+	usedClasses := reachable(cat, union(cat.DEFConRoots, cat.UnitWhitelist))
+	unitClasses := reachable(cat, cat.UnitWhitelist)
+
+	for i := range cat.Targets {
+		t := &cat.Targets[i]
+		switch {
+		case unitClasses[t.Class]:
+			a.Users[i] = UsedByUnits
+			// Decision pending: heuristics and interceptors follow.
+		case usedClasses[t.Class]:
+			a.Users[i] = UsedByDEFCon
+			a.Decisions[i] = DEFConOnly
+		default:
+			a.Users[i] = UsedByNone
+			a.Decisions[i] = Eliminated
+		}
+	}
+}
+
+// stageHeuristics applies the §4.2 white-listing rules to
+// unit-reachable targets.
+func (a *Analysis) stageHeuristics() {
+	for i := range a.Catalog.Targets {
+		if a.Users[i] != UsedByUnits || a.Decisions[i] != Undecided {
+			continue
+		}
+		t := &a.Catalog.Targets[i]
+		switch {
+		case t.SecurityGuarded:
+			// The Unsafe rule: guarded by the security framework.
+			a.Decisions[i] = WhitelistedHeuristic
+		case t.Kind == StaticField && t.Field.Final && t.Field.ImmutableType:
+			// Immutable constants can be shared.
+			a.Decisions[i] = WhitelistedHeuristic
+		case t.Kind == StaticField && t.Field.Private && t.Field.WriteOnce:
+			// Private write-once vectors of constants.
+			a.Decisions[i] = WhitelistedHeuristic
+		}
+	}
+}
+
+// stageManual white-lists the named targets, then fills the per-kind
+// manual quotas with the lexicographically first remaining dangerous
+// targets (a deterministic stand-in for "the targets our scenario's
+// units actually tripped over").
+func (a *Analysis) stageManual() {
+	named := make(map[string]bool, len(namedManualWhitelist))
+	for _, n := range namedManualWhitelist {
+		named[n] = true
+	}
+	quota := map[TargetKind]int{
+		StaticField:  a.manualFields,
+		NativeMethod: a.manualNatives,
+		SyncTarget:   a.manualSyncs,
+	}
+	// Pass 1: the named justifications.
+	for i := range a.Catalog.Targets {
+		t := &a.Catalog.Targets[i]
+		if a.Users[i] == UsedByUnits && a.Decisions[i] == Undecided &&
+			named[t.FullName()] && quota[t.Kind] > 0 {
+			a.Decisions[i] = WhitelistedManual
+			quota[t.Kind]--
+		}
+	}
+	// Pass 2: fill quotas deterministically.
+	idx := make([]int, 0, len(a.Catalog.Targets))
+	for i := range a.Catalog.Targets {
+		if a.Users[i] == UsedByUnits && a.Decisions[i] == Undecided {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		return a.Catalog.Targets[idx[x]].FullName() < a.Catalog.Targets[idx[y]].FullName()
+	})
+	for _, i := range idx {
+		t := &a.Catalog.Targets[i]
+		if quota[t.Kind] > 0 {
+			a.Decisions[i] = WhitelistedManual
+			quota[t.Kind]--
+		}
+	}
+}
+
+// stagePlan assigns interceptors to everything still dangerous.
+func (a *Analysis) stagePlan() {
+	for i := range a.Catalog.Targets {
+		if a.Users[i] != UsedByUnits || a.Decisions[i] != Undecided {
+			continue
+		}
+		t := &a.Catalog.Targets[i]
+		switch t.Kind {
+		case StaticField:
+			if t.Field.Primitive {
+				// Copy can be deferred to the first set for primitive
+				// and constant types.
+				a.Decisions[i] = InterceptDeferredSet
+			} else {
+				a.Decisions[i] = InterceptReplicate
+			}
+		case NativeMethod, SyncTarget:
+			a.Decisions[i] = InterceptGuard
+		}
+	}
+}
+
+// ApplyProfile white-lists hot intercepted targets found by profiling
+// unit execution paths (§4.2, final paragraph: 15 additional targets —
+// 6 static fields and 9 native methods). hot lists target IDs in
+// decreasing heat; quotas bound how many of each kind move to the
+// manual white-list.
+func (a *Analysis) ApplyProfile(hot []int, maxFields, maxNatives int) int {
+	moved := 0
+	for _, id := range hot {
+		if id < 0 || id >= len(a.Decisions) {
+			continue
+		}
+		t := &a.Catalog.Targets[id]
+		if !a.Decisions[id].Intercepted() {
+			continue
+		}
+		switch t.Kind {
+		case StaticField:
+			if maxFields == 0 {
+				continue
+			}
+			maxFields--
+		case NativeMethod:
+			if maxNatives == 0 {
+				continue
+			}
+			maxNatives--
+		default:
+			continue
+		}
+		t.Hot = true
+		a.Decisions[id] = WhitelistedManual
+		moved++
+	}
+	return moved
+}
+
+// InterceptedIDs returns the IDs of all targets with runtime
+// interceptors, in ascending order.
+func (a *Analysis) InterceptedIDs() []int {
+	var out []int
+	for i, d := range a.Decisions {
+		if d.Intercepted() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Decision returns the verdict for a target ID.
+func (a *Analysis) Decision(id int) Decision {
+	if id < 0 || id >= len(a.Decisions) {
+		return Undecided
+	}
+	return a.Decisions[id]
+}
+
+// BuildReport tallies the pipeline stages.
+func (a *Analysis) BuildReport() Report {
+	var r Report
+	for i := range a.Catalog.Targets {
+		t := &a.Catalog.Targets[i]
+		r.TotalTargets.add(t.Kind)
+		switch a.Users[i] {
+		case UsedByNone:
+			r.Eliminated.add(t.Kind)
+		case UsedByDEFCon:
+			r.Used.add(t.Kind)
+			r.DEFConOnly.add(t.Kind)
+		case UsedByUnits:
+			r.Used.add(t.Kind)
+			r.UnitReachable.add(t.Kind)
+		}
+		switch a.Decisions[i] {
+		case WhitelistedHeuristic:
+			r.HeuristicWhitelisted.add(t.Kind)
+		case WhitelistedManual:
+			if t.Hot {
+				r.ProfiledWhitelisted.add(t.Kind)
+			} else {
+				r.ManualWhitelisted.add(t.Kind)
+			}
+		}
+		if a.Decisions[i].Intercepted() {
+			r.Intercepted.add(t.Kind)
+		}
+	}
+	// After-heuristics = unit-reachable minus heuristic white-list.
+	r.AfterHeuristics = KindCounts{
+		Fields:  r.UnitReachable.Fields - r.HeuristicWhitelisted.Fields,
+		Natives: r.UnitReachable.Natives - r.HeuristicWhitelisted.Natives,
+		Syncs:   r.UnitReachable.Syncs - r.HeuristicWhitelisted.Syncs,
+	}
+	return r
+}
+
+// union merges two class sets.
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package isolation
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedAnalysis caches the catalog + analysis across tests; both are
+// deterministic and read-only after construction (except ApplyProfile,
+// which tests run on their own copies).
+func sharedAnalysis(t testing.TB) *Analysis {
+	t.Helper()
+	return Analyze(NewJDKCatalog())
+}
+
+func TestCatalogScaleMatchesOpenJDK6(t *testing.T) {
+	cat := NewJDKCatalog()
+	counts := cat.CountByKind()
+	// Paper §4: "about 4,000 static fields" and "more than 2,000 native
+	// methods" in OpenJDK 6.
+	if f := counts[StaticField]; f < 3600 || f > 4400 {
+		t.Errorf("static fields = %d, want ≈4,000", f)
+	}
+	if n := counts[NativeMethod]; n < 1900 || n > 2300 {
+		t.Errorf("native methods = %d, want ≈2,000", n)
+	}
+	if s := counts[SyncTarget]; s < 30 {
+		t.Errorf("sync targets = %d, want ≥30", s)
+	}
+}
+
+func TestCatalogContainsNamedTargets(t *testing.T) {
+	cat := NewJDKCatalog()
+	want := []string{
+		"java.lang.Thread.threadSeqNum",
+		"java.lang.Object.hashCode",
+		"java.lang.Object.getClass",
+		"java.lang.Double.longBitsToDouble",
+		"java.lang.System.security",
+		"java.lang.ClassLoader.loadClass",
+		"java.lang.String.intern",
+	}
+	have := make(map[string]bool, len(cat.Targets))
+	for i := range cat.Targets {
+		have[cat.Targets[i].FullName()] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("catalog missing named target %s", name)
+		}
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a, b := NewJDKCatalog(), NewJDKCatalog()
+	if len(a.Targets) != len(b.Targets) {
+		t.Fatal("catalog size differs between constructions")
+	}
+	for i := range a.Targets {
+		if a.Targets[i].FullName() != b.Targets[i].FullName() ||
+			a.Targets[i].Kind != b.Targets[i].Kind {
+			t.Fatalf("target %d differs between constructions", i)
+		}
+	}
+}
+
+func TestUnsafeIsExactlyPaperSized(t *testing.T) {
+	cat := NewJDKCatalog()
+	var fields, natives int
+	for i := range cat.Targets {
+		if cat.Targets[i].Class == "sun.misc.Unsafe" {
+			switch cat.Targets[i].Kind {
+			case StaticField:
+				fields++
+			case NativeMethod:
+				natives++
+			}
+			if !cat.Targets[i].SecurityGuarded {
+				t.Fatalf("Unsafe member %s not security-guarded", cat.Targets[i].Member)
+			}
+		}
+	}
+	if fields != 66 || natives != 20 {
+		t.Fatalf("Unsafe = %d fields + %d natives, want 66 + 20", fields, natives)
+	}
+}
+
+func TestPipelineCountsMatchPaper(t *testing.T) {
+	r := sharedAnalysis(t).BuildReport()
+
+	// Dependency trim: "more than 2,000 used targets".
+	if used := r.Used.Total(); used < 2000 || used > 2700 {
+		t.Errorf("used targets = %d, want >2,000 (and of the right order)", used)
+	}
+	// The GUI/ORB mass must be eliminated.
+	if r.Eliminated.Total() < 3000 {
+		t.Errorf("eliminated = %d, want the bulk of the library", r.Eliminated.Total())
+	}
+
+	// Reachability: "Tunits still has 1,200 dangerous targets reachable
+	// from java.lang — approximately 320 native methods and 900 static
+	// fields".
+	if tot := r.UnitReachable.Total(); tot < 1050 || tot > 1400 {
+		t.Errorf("unit-reachable = %d, want ≈1,200", tot)
+	}
+	if n := r.UnitReachable.Natives; n < 260 || n > 390 {
+		t.Errorf("unit-reachable natives = %d, want ≈320", n)
+	}
+	if f := r.UnitReachable.Fields; f < 750 || f > 1050 {
+		t.Errorf("unit-reachable fields = %d, want ≈900", f)
+	}
+
+	// Heuristics: "reducing the number of dangerous targets to
+	// approximately 500 static fields and 300 native methods".
+	if f := r.AfterHeuristics.Fields; f < 380 || f > 620 {
+		t.Errorf("after-heuristics fields = %d, want ≈500", f)
+	}
+	if n := r.AfterHeuristics.Natives; n < 240 || n > 360 {
+		t.Errorf("after-heuristics natives = %d, want ≈300", n)
+	}
+
+	// Manual inspection: 27 static fields, 15 native methods, 10 sync
+	// targets.
+	if r.ManualWhitelisted.Fields != 27 || r.ManualWhitelisted.Natives != 15 ||
+		r.ManualWhitelisted.Syncs != 10 {
+		t.Errorf("manual whitelist = %+v, want 27/15/10", r.ManualWhitelisted)
+	}
+
+	// Everything dangerous and not white-listed is intercepted.
+	wantIntercepted := r.AfterHeuristics.Total() - r.ManualWhitelisted.Total() - r.ProfiledWhitelisted.Total()
+	if got := r.Intercepted.Total(); got != wantIntercepted {
+		t.Errorf("intercepted = %d, want %d", got, wantIntercepted)
+	}
+}
+
+func TestUnsafeWhitelistedByHeuristic(t *testing.T) {
+	a := sharedAnalysis(t)
+	for i := range a.Catalog.Targets {
+		tgt := &a.Catalog.Targets[i]
+		if tgt.Class == "sun.misc.Unsafe" {
+			if d := a.Decisions[i]; d != WhitelistedHeuristic {
+				t.Fatalf("Unsafe.%s decision = %v, want heuristic whitelist", tgt.Member, d)
+			}
+		}
+	}
+}
+
+func TestThreadSeqNumIsReplicated(t *testing.T) {
+	a := sharedAnalysis(t)
+	id := findTarget(t, a.Catalog, "java.lang.Thread.threadSeqNum")
+	// The canonical storage channel must end up intercepted with
+	// per-isolate replication (deferred, since it is a primitive).
+	if d := a.Decisions[id]; d != InterceptDeferredSet && d != InterceptReplicate {
+		t.Fatalf("threadSeqNum decision = %v, want replication interceptor", d)
+	}
+}
+
+func TestNamedManualTargetsWhitelisted(t *testing.T) {
+	a := sharedAnalysis(t)
+	for _, name := range []string{
+		"java.lang.Object.hashCode",
+		"java.lang.Object.getClass",
+		"java.lang.Double.longBitsToDouble",
+		"java.lang.System.security",
+		"java.lang.ClassLoader.loadClass",
+	} {
+		id := findTarget(t, a.Catalog, name)
+		if d := a.Decisions[id]; d != WhitelistedManual {
+			t.Errorf("%s decision = %v, want manual whitelist", name, d)
+		}
+	}
+}
+
+func TestGUIPackagesEliminated(t *testing.T) {
+	a := sharedAnalysis(t)
+	for i := range a.Catalog.Targets {
+		tgt := &a.Catalog.Targets[i]
+		switch tgt.Package {
+		case "java.awt", "javax.swing", "java.rmi", "org.omg":
+			if a.Decisions[i] != Eliminated {
+				t.Fatalf("%s decision = %v, want eliminated", tgt.FullName(), a.Decisions[i])
+			}
+		}
+	}
+}
+
+func TestDEFConOnlyTargetsExist(t *testing.T) {
+	r := sharedAnalysis(t).BuildReport()
+	if r.DEFConOnly.Total() == 0 {
+		t.Fatal("no DEFCon-only targets; the class-loader white-list partition is vacuous")
+	}
+}
+
+func TestApplyProfileMovesHotTargets(t *testing.T) {
+	a := Analyze(NewJDKCatalog())
+	hot := a.InterceptedIDs()
+	if len(hot) < 20 {
+		t.Fatal("too few intercepted targets to profile")
+	}
+	// Paper: "15 additional frequently-accessed targets (6 static
+	// fields and 9 native methods)".
+	moved := a.ApplyProfile(hot, 6, 9)
+	if moved != 15 {
+		t.Fatalf("ApplyProfile moved %d, want 15", moved)
+	}
+	r := a.BuildReport()
+	if r.ProfiledWhitelisted.Fields != 6 || r.ProfiledWhitelisted.Natives != 9 {
+		t.Fatalf("profiled whitelist = %+v, want 6 fields + 9 natives", r.ProfiledWhitelisted)
+	}
+	// Idempotent on a second application of the same profile.
+	if again := a.ApplyProfile(hot, 0, 0); again != 0 {
+		t.Fatalf("second ApplyProfile moved %d, want 0", again)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := sharedAnalysis(t).BuildReport()
+	s := r.String()
+	for _, want := range []string{"unit-reachable", "intercepted", "static fields"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDecisionAccessorsAndStrings(t *testing.T) {
+	a := sharedAnalysis(t)
+	if a.Decision(-1) != Undecided || a.Decision(1<<30) != Undecided {
+		t.Error("out-of-range Decision not Undecided")
+	}
+	for d := Undecided; d <= InterceptGuard; d++ {
+		if d.String() == "" {
+			t.Errorf("Decision(%d) has empty String", d)
+		}
+	}
+	for _, k := range []TargetKind{StaticField, NativeMethod, SyncTarget} {
+		if k.String() == "" {
+			t.Error("empty TargetKind string")
+		}
+	}
+	for _, u := range []UserSet{UsedByNone, UsedByDEFCon, UsedByUnits} {
+		if u.String() == "" {
+			t.Error("empty UserSet string")
+		}
+	}
+}
+
+// findTarget locates a target by full name.
+func findTarget(t testing.TB, cat *Catalog, name string) int {
+	t.Helper()
+	for i := range cat.Targets {
+		if cat.Targets[i].FullName() == name {
+			return i
+		}
+	}
+	t.Fatalf("target %s not in catalog", name)
+	return -1
+}

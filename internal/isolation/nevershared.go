@@ -1,0 +1,59 @@
+package isolation
+
+import "sync"
+
+// NeverShared is the tagging interface of §4.3: a type may implement it
+// when (a) the system prevents its instances being put into events,
+// (b) no white-listed native method can return the same instance to two
+// units, and (c) no static field of the type is white-listed as safe.
+// Units may only synchronise on NeverShared values; attempts to lock
+// anything else raise a security exception.
+//
+// The freeze package's containers deliberately do NOT implement
+// NeverShared — they are exactly the objects that get shared through
+// events, mirroring the paper's exclusion of String and Class.
+type NeverShared interface {
+	neverShared()
+}
+
+// Mutex is a unit-local lock that satisfies the NeverShared
+// requirements: it is not an allowed event-part value, so it can never
+// be shared through an event, and the system never aliases one across
+// units. Units needing synchronisation create their own.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() { m.mu.Lock() }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.mu.Unlock() }
+
+func (*Mutex) neverShared() {}
+
+// Cond is a unit-local condition variable over a Mutex, for units whose
+// processing loops block awaiting local state changes.
+type Cond struct {
+	c *sync.Cond
+}
+
+// NewCond returns a condition variable bound to m.
+func NewCond(m *Mutex) *Cond { return &Cond{c: sync.NewCond(&m.mu)} }
+
+// Wait blocks until Signal or Broadcast; the caller must hold the
+// associated Mutex.
+func (c *Cond) Wait() { c.c.Wait() }
+
+// Signal wakes one waiter.
+func (c *Cond) Signal() { c.c.Signal() }
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() { c.c.Broadcast() }
+
+func (*Cond) neverShared() {}
+
+var (
+	_ NeverShared = (*Mutex)(nil)
+	_ NeverShared = (*Cond)(nil)
+)

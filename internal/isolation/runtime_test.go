@@ -1,0 +1,265 @@
+package isolation
+
+import (
+	"errors"
+	"testing"
+)
+
+func newEnforcer(t testing.TB) *Enforcer {
+	t.Helper()
+	return NewEnforcer(Analyze(NewJDKCatalog()))
+}
+
+// pickTarget finds the first target with the given decision and kind.
+func pickTarget(t testing.TB, e *Enforcer, kind TargetKind, d Decision) int {
+	t.Helper()
+	for i := range e.analysis.Catalog.Targets {
+		if e.analysis.Catalog.Targets[i].Kind == kind && e.analysis.Decisions[i] == d {
+			return i
+		}
+	}
+	t.Fatalf("no target with kind %v decision %v", kind, d)
+	return -1
+}
+
+func TestStaticFieldReplicationClosesChannel(t *testing.T) {
+	e := newEnforcer(t)
+	id := findTarget(t, e.analysis.Catalog, "java.lang.Thread.threadSeqNum")
+	alice := e.NewIsolate("alice")
+	bob := e.NewIsolate("bob")
+
+	// Alice writes a covert value into the "shared" static.
+	if err := e.SetStatic(alice, id, int64(0xC0DE)); err != nil {
+		t.Fatalf("SetStatic: %v", err)
+	}
+	// Bob must read the pristine default, not Alice's value.
+	got, err := e.GetStatic(bob, id)
+	if err != nil {
+		t.Fatalf("GetStatic: %v", err)
+	}
+	if got == any(int64(0xC0DE)) {
+		t.Fatal("storage channel: bob observed alice's write")
+	}
+	// Alice reads back her own replica.
+	mine, err := e.GetStatic(alice, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mine != any(int64(0xC0DE)) {
+		t.Fatalf("alice lost her replica: %v", mine)
+	}
+}
+
+func TestReplicatedFieldCopyOnRead(t *testing.T) {
+	e := newEnforcer(t)
+	id := pickTarget(t, e, StaticField, InterceptReplicate)
+	iso := e.NewIsolate("u")
+	v1, err := e.GetStatic(iso, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GetStatic(iso, id); err != nil {
+		t.Fatal(err)
+	}
+	st := iso.Stats()
+	if st.FieldCopies != 1 {
+		t.Fatalf("FieldCopies = %d, want exactly 1 (on-demand copy)", st.FieldCopies)
+	}
+	if st.FieldReads != 2 {
+		t.Fatalf("FieldReads = %d, want 2", st.FieldReads)
+	}
+	if v1 != e.defaults[id] {
+		t.Fatal("replica value differs from default")
+	}
+}
+
+func TestWhitelistedConstantsSharedAndWriteProtected(t *testing.T) {
+	e := newEnforcer(t)
+	id := pickTarget(t, e, StaticField, WhitelistedHeuristic)
+	iso := e.NewIsolate("u")
+	if _, err := e.GetStatic(iso, id); err != nil {
+		t.Fatalf("reading white-listed constant: %v", err)
+	}
+	if err := e.SetStatic(iso, id, "evil"); !errors.Is(err, ErrSecurity) {
+		t.Fatalf("writing white-listed constant = %v, want ErrSecurity", err)
+	}
+}
+
+func TestNativeGuardBlocksOutsideAPI(t *testing.T) {
+	e := newEnforcer(t)
+	id := pickTarget(t, e, NativeMethod, InterceptGuard)
+	iso := e.NewIsolate("u")
+
+	// Call 'C' in Figure 3: direct unit access raises a security
+	// exception.
+	if err := e.InvokeNative(iso, id); !errors.Is(err, ErrSecurity) {
+		t.Fatalf("guarded native outside API = %v, want ErrSecurity", err)
+	}
+	// Call 'D': the same target on a DEFCon API path is trusted.
+	done := e.EnterAPI(iso)
+	if err := e.InvokeNative(iso, id); err != nil {
+		t.Fatalf("guarded native inside API = %v", err)
+	}
+	done()
+	if err := e.InvokeNative(iso, id); !errors.Is(err, ErrSecurity) {
+		t.Fatal("guard did not re-engage after API exit")
+	}
+	st := iso.Stats()
+	if st.BlockedNatives != 2 || st.NativeCalls != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestManuallyWhitelistedNativeAlwaysAllowed(t *testing.T) {
+	e := newEnforcer(t)
+	id := findTarget(t, e.analysis.Catalog, "java.lang.Object.hashCode")
+	iso := e.NewIsolate("u")
+	if err := e.InvokeNative(iso, id); err != nil {
+		t.Fatalf("hashCode blocked: %v", err)
+	}
+}
+
+func TestEliminatedAndDEFConOnlyInaccessible(t *testing.T) {
+	e := newEnforcer(t)
+	iso := e.NewIsolate("u")
+
+	elim := pickTarget(t, e, StaticField, Eliminated)
+	if _, err := e.GetStatic(iso, elim); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("eliminated field = %v, want ErrNotLoaded", err)
+	}
+
+	dcOnly := pickTarget(t, e, StaticField, DEFConOnly)
+	if _, err := e.GetStatic(iso, dcOnly); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("DEFCon-only field from unit = %v, want ErrNotLoaded", err)
+	}
+	// The same target is readable on a DEFCon API path.
+	done := e.EnterAPI(iso)
+	if _, err := e.GetStatic(iso, dcOnly); err != nil {
+		t.Fatalf("DEFCon-only field inside API = %v", err)
+	}
+	done()
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	e := newEnforcer(t)
+	iso := e.NewIsolate("u")
+	fid := pickTarget(t, e, StaticField, InterceptReplicate)
+	nid := pickTarget(t, e, NativeMethod, InterceptGuard)
+	if err := e.InvokeNative(iso, fid); !errors.Is(err, ErrSecurity) {
+		t.Fatal("invoking a field as native succeeded")
+	}
+	if _, err := e.GetStatic(iso, nid); !errors.Is(err, ErrSecurity) {
+		t.Fatal("reading a native as field succeeded")
+	}
+	if _, err := e.GetStatic(iso, -1); !errors.Is(err, ErrNotLoaded) {
+		t.Fatal("unknown target id accepted")
+	}
+}
+
+func TestSyncGuard(t *testing.T) {
+	e := newEnforcer(t)
+	iso := e.NewIsolate("u")
+
+	// NeverShared types may be locked.
+	var m Mutex
+	if err := e.SyncOn(iso, &m); err != nil {
+		t.Fatalf("SyncOn(Mutex) = %v", err)
+	}
+	if err := e.SyncOn(iso, NewCond(&m)); err != nil {
+		t.Fatalf("SyncOn(Cond) = %v", err)
+	}
+
+	// Shared types (strings — the interning channel — and anything
+	// exchangeable through events) must be refused.
+	if err := e.SyncOn(iso, "interned"); !errors.Is(err, ErrSecurity) {
+		t.Fatalf("SyncOn(string) = %v, want ErrSecurity", err)
+	}
+	if err := e.SyncOn(iso, struct{}{}); !errors.Is(err, ErrSecurity) {
+		t.Fatal("SyncOn(shared struct) allowed")
+	}
+	if got := iso.Stats().BlockedSyncs; got != 2 {
+		t.Fatalf("BlockedSyncs = %d, want 2", got)
+	}
+}
+
+func TestMutexIsUsable(t *testing.T) {
+	var m Mutex
+	done := make(chan struct{})
+	m.Lock()
+	go func() {
+		m.Lock()
+		m.Unlock()
+		close(done)
+	}()
+	m.Unlock()
+	<-done
+}
+
+func TestAPITaxPerformsRealWork(t *testing.T) {
+	e := newEnforcer(t)
+	if e.HotPathLen() == 0 {
+		t.Fatal("empty hot path")
+	}
+	iso := e.NewIsolate("u")
+	e.APITax(iso)
+	st := iso.Stats()
+	if st.APICalls != 1 {
+		t.Fatalf("APICalls = %d", st.APICalls)
+	}
+	if st.FieldReads == 0 || st.NativeCalls == 0 {
+		t.Fatalf("hot path did no work: %+v", st)
+	}
+	if st.BlockedNatives != 0 {
+		t.Fatalf("hot path blocked natives inside API: %+v", st)
+	}
+	// Second call reuses replicas: copies must not grow.
+	copies := st.FieldCopies
+	e.APITax(iso)
+	if got := iso.Stats().FieldCopies; got != copies {
+		t.Fatalf("APITax recopied fields: %d -> %d", copies, got)
+	}
+}
+
+func TestIsolatesAreIndependentUnderConcurrency(t *testing.T) {
+	e := newEnforcer(t)
+	id := pickTarget(t, e, StaticField, InterceptReplicate)
+	const n = 8
+	done := make(chan error, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			iso := e.NewIsolate("w")
+			if err := e.SetStatic(iso, id, int64(w)); err != nil {
+				done <- err
+				return
+			}
+			v, err := e.GetStatic(iso, id)
+			if err != nil {
+				done <- err
+				return
+			}
+			if v != any(int64(w)) {
+				done <- errors.New("cross-isolate interference")
+				return
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < n; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHotPathIDsStable(t *testing.T) {
+	a, b := newEnforcer(t), newEnforcer(t)
+	x, y := a.HotPathIDs(), b.HotPathIDs()
+	if len(x) != len(y) {
+		t.Fatal("hot path length differs across constructions")
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("hot path not deterministic")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package isolation reproduces DEFCon's practical, light-weight
+// isolation methodology (paper §4).
+//
+// The paper isolates Java processing units inside one JVM by (1)
+// statically determining potentially dangerous JDK "targets" — static
+// fields, native methods and synchronisation primitives that could act
+// as covert storage channels between isolates — (2) white-listing the
+// provably safe ones with heuristics, and (3) weaving runtime
+// interceptors into the remainder (per-isolate replication of static
+// fields, guards on native methods, NeverShared-checked locking).
+//
+// Go has no JVM to weave, so this package reproduces the methodology on
+// a faithful synthetic model of the JDK 6 class library (class graph
+// with the paper's target populations) and provides the runtime
+// enforcement layer — isolate contexts, a replicated static-field
+// store, native guards and a NeverShared sync guard — that the DEFCon
+// core actually routes unit API calls through when running in the
+// labels+freeze+isolation security mode. The interceptor work (table
+// lookups, per-isolate copies, violation accounting) is real, so the
+// isolation overhead measured by the Figure 5–7 benchmarks is executed
+// rather than simulated.
+package isolation
+
+import "fmt"
+
+// TargetKind classifies a potentially dangerous JDK target (§4: "static
+// fields, native methods and synchronisation primitives that could be
+// used by units to communicate covertly").
+type TargetKind uint8
+
+const (
+	// StaticField is mutable class-level state (≈4,000 in OpenJDK 6).
+	StaticField TargetKind = iota
+	// NativeMethod may expose global JVM state (≈2,000 in OpenJDK 6).
+	NativeMethod
+	// SyncTarget is a synchronisation point on a potentially shared
+	// object (locks of interned strings, Class objects, ...).
+	SyncTarget
+)
+
+// String names the kind.
+func (k TargetKind) String() string {
+	switch k {
+	case StaticField:
+		return "static-field"
+	case NativeMethod:
+		return "native-method"
+	case SyncTarget:
+		return "sync"
+	default:
+		return fmt.Sprintf("TargetKind(%d)", uint8(k))
+	}
+}
+
+// UserSet records which part of the system references a target, the
+// TDEFCon / Tunits / TJDK partition of Figure 3.
+type UserSet uint8
+
+const (
+	// UsedByNone — TJDK: referenced by neither DEFCon nor units;
+	// eliminated outright by the dependency trim.
+	UsedByNone UserSet = iota
+	// UsedByDEFCon — TDEFCon: referenced only by the trusted DEFCon
+	// implementation; unreachable from unit code by construction
+	// (custom class loader white-list).
+	UsedByDEFCon
+	// UsedByUnits — Tunits: reachable from unit code; must be
+	// white-listed or intercepted.
+	UsedByUnits
+)
+
+// String names the user set.
+func (u UserSet) String() string {
+	switch u {
+	case UsedByNone:
+		return "T_JDK"
+	case UsedByDEFCon:
+		return "T_DEFCon"
+	case UsedByUnits:
+		return "T_units"
+	default:
+		return fmt.Sprintf("UserSet(%d)", uint8(u))
+	}
+}
+
+// FieldAttrs are the static-field properties the heuristic
+// white-listing stage inspects (§4.2 "Heuristic-based white-listing").
+type FieldAttrs struct {
+	Final         bool // declared final
+	ImmutableType bool // String, boxed primitive, or primitive constant
+	Private       bool // private visibility
+	WriteOnce     bool // "not declared final but only written once"
+	Primitive     bool // primitive or constant type: copy can defer to set
+}
+
+// Target is one potentially dangerous member of the class library.
+type Target struct {
+	ID      int        // dense identity, index into analysis tables
+	Kind    TargetKind // field / native / sync
+	Class   string     // fully-qualified declaring class
+	Member  string     // field or method name
+	Package string     // declaring package
+
+	// SecurityGuarded marks members of sun.misc.Unsafe and friends:
+	// already guarded by the Java security framework, so any access
+	// from unit code "would be a critical JVM bug" and the member is
+	// white-listed wholesale.
+	SecurityGuarded bool
+
+	Field FieldAttrs // meaningful when Kind == StaticField
+
+	// Hot marks targets on frequently executed unit code paths; the
+	// profiling pass (§4.2 "Manual white-listing", final paragraph)
+	// surfaces these for manual inspection.
+	Hot bool
+}
+
+// FullName returns Class.Member.
+func (t *Target) FullName() string { return t.Class + "." + t.Member }
+
+// Decision is the analysis pipeline's verdict for a target.
+type Decision uint8
+
+const (
+	// Undecided targets have not been processed yet.
+	Undecided Decision = iota
+	// Eliminated — class never loaded (TJDK trimmed from the JDK).
+	Eliminated
+	// DEFConOnly — reachable only from trusted DEFCon code; the unit
+	// class-loader white-list makes unit access impossible (call 'A'
+	// in Figure 3).
+	DEFConOnly
+	// WhitelistedHeuristic — proven safe by a §4.2 heuristic
+	// (security-guarded, final immutable constant, private write-once).
+	WhitelistedHeuristic
+	// WhitelistedManual — one of the 52 targets inspected by hand
+	// (15 native + 27 static + 10 sync) or the 15 profiled hot targets.
+	WhitelistedManual
+	// InterceptReplicate — static field duplicated per isolate with an
+	// on-demand deep copy on get access.
+	InterceptReplicate
+	// InterceptDeferredSet — primitive/constant static field whose
+	// per-isolate copy can be deferred to the first set.
+	InterceptDeferredSet
+	// InterceptGuard — native method or sync target wrapped in a
+	// runtime check: allowed when executed as part of a DEFCon API call
+	// (call 'D' in Figure 3) or on a NeverShared object, otherwise a
+	// security exception (call 'C').
+	InterceptGuard
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Undecided:
+		return "undecided"
+	case Eliminated:
+		return "eliminated"
+	case DEFConOnly:
+		return "defcon-only"
+	case WhitelistedHeuristic:
+		return "whitelisted-heuristic"
+	case WhitelistedManual:
+		return "whitelisted-manual"
+	case InterceptReplicate:
+		return "intercept-replicate"
+	case InterceptDeferredSet:
+		return "intercept-deferred-set"
+	case InterceptGuard:
+		return "intercept-guard"
+	default:
+		return fmt.Sprintf("Decision(%d)", uint8(d))
+	}
+}
+
+// Intercepted reports whether the decision requires a runtime
+// interceptor on the access path.
+func (d Decision) Intercepted() bool {
+	switch d {
+	case InterceptReplicate, InterceptDeferredSet, InterceptGuard:
+		return true
+	default:
+		return false
+	}
+}
+
+// Class models one class of the library: its members and its reference
+// edges (the statically enumerable method-to-method and method-to-field
+// paths used by the reachability analysis).
+type Class struct {
+	Name    string
+	Package string
+
+	// Targets declared by this class (indices into Catalog.Targets).
+	Members []int
+
+	// Refs are classes this class's code references directly.
+	Refs []string
+
+	// Subtypes lists classes that extend/implement this class. A call
+	// to a method signature of this class may dynamically dispatch into
+	// any compatible subtype (§4.2 "Reachability analysis").
+	Subtypes []string
+}

@@ -1,0 +1,86 @@
+package labels
+
+import (
+	"fmt"
+
+	"repro/internal/tags"
+)
+
+// Label is a DEFC security label: a confidentiality component S and an
+// integrity component I (paper §3.1.1, Figure 1). The zero value is
+// the public label ({}, {}).
+//
+// Labels are immutable values; deriving a new label never mutates the
+// receiver.
+type Label struct {
+	S Set // confidentiality tags: "sticky"
+	I Set // integrity tags: "fragile"
+}
+
+// Public is the bottom-confidentiality, bottom-integrity label ({}, {}).
+var Public = Label{}
+
+// New builds a label from confidentiality and integrity tag sets.
+func New(s, i Set) Label { return Label{S: s, I: i} }
+
+// NewFromTags builds a label from slices of confidentiality and
+// integrity tags.
+func NewFromTags(s, i []tags.Tag) Label {
+	return Label{S: NewSet(s...), I: NewSet(i...)}
+}
+
+// CanFlowTo reports La ≺ Lb: information labelled l may flow to a
+// holder labelled o iff l.S ⊆ o.S and l.I ⊇ o.I.
+//
+// Note: Table 1 of the paper prints the integrity direction of the
+// receive check as Ip ⊆ Iin, which contradicts both the lattice in
+// §3.1.1 and the Pair Monitor behaviour in §6.1 (a unit holding read
+// integrity {s} must only perceive events endorsed with s). We follow
+// the lattice. See DESIGN.md §1.
+func (l Label) CanFlowTo(o Label) bool {
+	return l.S.SubsetOf(o.S) && l.I.SupersetOf(o.I)
+}
+
+// Join returns the least upper bound of the two labels in the
+// can-flow-to order: (S1 ∪ S2, I1 ∩ I2). This is the label of data
+// derived from both inputs — confidentiality tags are sticky and
+// accumulate, integrity tags are fragile and survive only when carried
+// by every input.
+func (l Label) Join(o Label) Label {
+	return Label{S: l.S.Union(o.S), I: l.I.Intersect(o.I)}
+}
+
+// Meet returns the greatest lower bound: (S1 ∩ S2, I1 ∪ I2).
+func (l Label) Meet(o Label) Label {
+	return Label{S: l.S.Intersect(o.S), I: l.I.Union(o.I)}
+}
+
+// Equal reports componentwise equality.
+func (l Label) Equal(o Label) bool {
+	return l.S.Equal(o.S) && l.I.Equal(o.I)
+}
+
+// IsPublic reports whether the label is ({}, {}).
+func (l Label) IsPublic() bool { return l.S.IsEmpty() && l.I.IsEmpty() }
+
+// WithContamination applies contamination independence (paper §5):
+// a part created with requested label l by a unit whose output label
+// is out actually receives (l.S ∪ out.S, l.I ∩ out.I). The unit may
+// make data more confidential than its output level but never less,
+// and may claim at most the integrity its output label carries.
+func (l Label) WithContamination(out Label) Label {
+	return Label{S: l.S.Union(out.S), I: l.I.Intersect(out.I)}
+}
+
+// String renders the label as (S,I).
+func (l Label) String() string {
+	return fmt.Sprintf("(S=%s, I=%s)", l.S, l.I)
+}
+
+// Key returns a deterministic string identifying the label, suitable
+// for map keys. The S and I components are length-prefixed to avoid
+// ambiguity between, e.g., ({a,b}, {}) and ({a}, {b}).
+func (l Label) Key() string {
+	sk, ik := l.S.Key(), l.I.Key()
+	return fmt.Sprintf("%d:%s|%d:%s", l.S.Len(), sk, l.I.Len(), ik)
+}

@@ -1,0 +1,145 @@
+package labels
+
+import (
+	"testing"
+)
+
+func TestCanFlowToConfidentiality(t *testing.T) {
+	p := pool(t, 2)
+	public := Label{}
+	secret := Label{S: NewSet(p[0])}
+	topSecret := Label{S: NewSet(p[0], p[1])}
+
+	// Sticky S tags: data may flow up in secrecy, never down.
+	if !public.CanFlowTo(secret) || !secret.CanFlowTo(topSecret) {
+		t.Fatal("upward confidentiality flow rejected")
+	}
+	if secret.CanFlowTo(public) || topSecret.CanFlowTo(secret) {
+		t.Fatal("downward confidentiality flow permitted")
+	}
+}
+
+func TestCanFlowToIntegrity(t *testing.T) {
+	p := pool(t, 2)
+	endorsed := Label{I: NewSet(p[0])}
+	plain := Label{}
+	reader := Label{I: NewSet(p[0])} // unit with read integrity {s}
+
+	// §6.1: a Pair Monitor instantiated with read integrity s perceives
+	// only events endorsed with s.
+	if !endorsed.CanFlowTo(reader) {
+		t.Fatal("endorsed event rejected by endorsed reader")
+	}
+	if plain.CanFlowTo(reader) {
+		t.Fatal("unendorsed event accepted by endorsed reader")
+	}
+	// Anyone can read high-integrity data.
+	if !endorsed.CanFlowTo(plain) {
+		t.Fatal("endorsed event rejected by public reader")
+	}
+}
+
+func TestJoinAccumulatesSAndErodesI(t *testing.T) {
+	p := pool(t, 4)
+	// §3.1.1 worked example: combining {s-trading, s-client-2402} with
+	// {s-trading, s-trader-77} yields all three tags.
+	a := Label{S: NewSet(p[0], p[1]), I: NewSet(p[3])}
+	b := Label{S: NewSet(p[0], p[2]), I: NewSet(p[3])}
+	j := a.Join(b)
+	if j.S.Len() != 3 {
+		t.Fatalf("join S = %v, want 3 tags", j.S)
+	}
+	if !j.I.Equal(NewSet(p[3])) {
+		t.Fatalf("join I = %v, want {p3}", j.I)
+	}
+
+	// Stock ticker integrity {i-stockticker} mixed with {i-trader-77}
+	// integrity yields {}.
+	ticker := Label{I: NewSet(p[0])}
+	trader := Label{I: NewSet(p[1])}
+	if got := ticker.Join(trader); !got.I.IsEmpty() {
+		t.Fatalf("mixing disjoint integrity gave %v, want {}", got.I)
+	}
+}
+
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	p := pool(t, 3)
+	a := Label{S: NewSet(p[0]), I: NewSet(p[1], p[2])}
+	b := Label{S: NewSet(p[1]), I: NewSet(p[2])}
+	j := a.Join(b)
+	if !a.CanFlowTo(j) || !b.CanFlowTo(j) {
+		t.Fatal("join is not an upper bound")
+	}
+	// Any other upper bound dominates the join.
+	ub := Label{S: NewSet(p[0], p[1], p[2]), I: EmptySet}
+	if !a.CanFlowTo(ub) || !b.CanFlowTo(ub) {
+		t.Fatal("test upper bound invalid")
+	}
+	if !j.CanFlowTo(ub) {
+		t.Fatal("join is not the least upper bound")
+	}
+}
+
+func TestMeetIsGreatestLowerBound(t *testing.T) {
+	p := pool(t, 3)
+	a := Label{S: NewSet(p[0], p[1]), I: NewSet(p[2])}
+	b := Label{S: NewSet(p[1]), I: EmptySet}
+	m := a.Meet(b)
+	if !m.CanFlowTo(a) || !m.CanFlowTo(b) {
+		t.Fatal("meet is not a lower bound")
+	}
+	lb := Label{S: EmptySet, I: NewSet(p[0], p[1], p[2])}
+	if !lb.CanFlowTo(a) || !lb.CanFlowTo(b) {
+		t.Fatal("test lower bound invalid")
+	}
+	if !lb.CanFlowTo(m) {
+		t.Fatal("meet is not the greatest lower bound")
+	}
+}
+
+func TestWithContamination(t *testing.T) {
+	p := pool(t, 4)
+	out := Label{S: NewSet(p[0]), I: NewSet(p[1])}
+	// §5 example: a unit with Sout={d} adding a part labelled S={t}
+	// produces S'={d,t}.
+	req := Label{S: NewSet(p[2]), I: NewSet(p[1], p[3])}
+	got := req.WithContamination(out)
+	if !got.S.Equal(NewSet(p[0], p[2])) {
+		t.Fatalf("S' = %v, want {p0,p2}", got.S)
+	}
+	// Integrity is capped at the output label: the unit cannot vouch
+	// for p3.
+	if !got.I.Equal(NewSet(p[1])) {
+		t.Fatalf("I' = %v, want {p1}", got.I)
+	}
+}
+
+func TestPublicAndEqual(t *testing.T) {
+	p := pool(t, 1)
+	if !Public.IsPublic() {
+		t.Fatal("Public not IsPublic")
+	}
+	l := Label{S: NewSet(p[0])}
+	if l.IsPublic() {
+		t.Fatal("tagged label IsPublic")
+	}
+	if !l.Equal(Label{S: NewSet(p[0])}) {
+		t.Fatal("Equal failed on identical labels")
+	}
+	if l.Equal(Public) {
+		t.Fatal("Equal confused tagged with public")
+	}
+}
+
+func TestLabelKeyUnambiguous(t *testing.T) {
+	p := pool(t, 2)
+	// ({a,b}, {}) vs ({a}, {b}) must produce different keys.
+	a := Label{S: NewSet(p[0], p[1])}
+	b := Label{S: NewSet(p[0]), I: NewSet(p[1])}
+	if a.Key() == b.Key() {
+		t.Fatal("Key ambiguous between S and I membership")
+	}
+	if a.Key() != (Label{S: NewSet(p[1], p[0])}).Key() {
+		t.Fatal("Key order-sensitive")
+	}
+}

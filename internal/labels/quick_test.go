@@ -1,0 +1,201 @@
+package labels
+
+// Property-based tests of the tag-set algebra and the can-flow-to
+// lattice, using testing/quick over randomly generated sets drawn from
+// a fixed tag pool.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tags"
+)
+
+// genPool is the shared tag pool for generated sets. Sets are generated
+// as bitmasks over the pool, which keeps overlap between generated sets
+// likely (all-distinct tags would make intersection trivially empty).
+var genPool = func() []tags.Tag {
+	s := tags.NewStore(99)
+	out := make([]tags.Tag, 12)
+	for i := range out {
+		out[i] = s.Create("q", "quick")
+	}
+	return out
+}()
+
+// qset wraps Set to implement quick.Generator.
+type qset struct{ Set }
+
+// Generate draws a random subset of genPool.
+func (qset) Generate(r *rand.Rand, _ int) reflect.Value {
+	mask := r.Intn(1 << len(genPool))
+	var members []tags.Tag
+	for i, t := range genPool {
+		if mask&(1<<i) != 0 {
+			members = append(members, t)
+		}
+	}
+	return reflect.ValueOf(qset{NewSet(members...)})
+}
+
+// qlabel wraps Label to implement quick.Generator.
+type qlabel struct{ Label }
+
+// Generate draws independent random S and I components.
+func (qlabel) Generate(r *rand.Rand, size int) reflect.Value {
+	s := qset{}.Generate(r, size).Interface().(qset)
+	i := qset{}.Generate(r, size).Interface().(qset)
+	return reflect.ValueOf(qlabel{Label{S: s.Set, I: i.Set}})
+}
+
+var qcfg = &quick.Config{MaxCount: 400}
+
+func TestQuickSetAlgebraLaws(t *testing.T) {
+	commutative := func(a, b qset) bool {
+		return a.Union(b.Set).Equal(b.Union(a.Set)) &&
+			a.Intersect(b.Set).Equal(b.Intersect(a.Set))
+	}
+	if err := quick.Check(commutative, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	associativeUnion := func(a, b, c qset) bool {
+		return a.Union(b.Set).Union(c.Set).Equal(a.Union(b.Union(c.Set)))
+	}
+	if err := quick.Check(associativeUnion, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	idempotent := func(a qset) bool {
+		return a.Union(a.Set).Equal(a.Set) && a.Intersect(a.Set).Equal(a.Set)
+	}
+	if err := quick.Check(idempotent, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	absorption := func(a, b qset) bool {
+		return a.Union(a.Intersect(b.Set)).Equal(a.Set) &&
+			a.Intersect(a.Union(b.Set)).Equal(a.Set)
+	}
+	if err := quick.Check(absorption, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	subtractDisjoint := func(a, b qset) bool {
+		d := a.Subtract(b.Set)
+		return d.Intersect(b.Set).IsEmpty() && d.SubsetOf(a.Set) &&
+			d.Union(a.Intersect(b.Set)).Equal(a.Set)
+	}
+	if err := quick.Check(subtractDisjoint, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetConsistentWithMembership(t *testing.T) {
+	f := func(a, b qset) bool {
+		want := true
+		for _, x := range a.Slice() {
+			if !b.Has(x) {
+				want = false
+				break
+			}
+		}
+		return a.SubsetOf(b.Set) == want
+	}
+	if err := quick.Check(f, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCanFlowToIsPartialOrder(t *testing.T) {
+	reflexive := func(a qlabel) bool { return a.CanFlowTo(a.Label) }
+	if err := quick.Check(reflexive, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	antisymmetric := func(a, b qlabel) bool {
+		if a.CanFlowTo(b.Label) && b.CanFlowTo(a.Label) {
+			return a.Equal(b.Label)
+		}
+		return true
+	}
+	if err := quick.Check(antisymmetric, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	transitive := func(a, b, c qlabel) bool {
+		if a.CanFlowTo(b.Label) && b.CanFlowTo(c.Label) {
+			return a.CanFlowTo(c.Label)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinMeetAreBounds(t *testing.T) {
+	joinUB := func(a, b qlabel) bool {
+		j := a.Join(b.Label)
+		return a.CanFlowTo(j) && b.CanFlowTo(j)
+	}
+	if err := quick.Check(joinUB, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	meetLB := func(a, b qlabel) bool {
+		m := a.Meet(b.Label)
+		return m.CanFlowTo(a.Label) && m.CanFlowTo(b.Label)
+	}
+	if err := quick.Check(meetLB, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	// Least/greatest: every other bound is beyond the join/meet.
+	joinLeast := func(a, b, c qlabel) bool {
+		if a.CanFlowTo(c.Label) && b.CanFlowTo(c.Label) {
+			return a.Join(b.Label).CanFlowTo(c.Label)
+		}
+		return true
+	}
+	if err := quick.Check(joinLeast, qcfg); err != nil {
+		t.Error(err)
+	}
+
+	meetGreatest := func(a, b, c qlabel) bool {
+		if c.CanFlowTo(a.Label) && c.CanFlowTo(b.Label) {
+			return c.CanFlowTo(a.Meet(b.Label))
+		}
+		return true
+	}
+	if err := quick.Check(meetGreatest, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContaminationIndependenceMonotone(t *testing.T) {
+	// A part created under contamination independence is always at
+	// least as restrictive as the unit's output label demands: the
+	// result can never flow anywhere the raw output label could not.
+	f := func(req, out qlabel) bool {
+		got := req.WithContamination(out.Label)
+		return out.S.SubsetOf(got.S) && got.I.SubsetOf(out.I)
+	}
+	if err := quick.Check(f, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyInjectiveOnSamples(t *testing.T) {
+	f := func(a, b qlabel) bool {
+		if a.Equal(b.Label) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, qcfg); err != nil {
+		t.Error(err)
+	}
+}

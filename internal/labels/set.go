@@ -1,0 +1,244 @@
+// Package labels implements DEFC security labels and the can-flow-to
+// lattice (paper §3.1.1).
+//
+// A label is a pair (S, I) of tag sets: S holds confidentiality
+// ("sticky") tags and I holds integrity ("fragile") tags. Information
+// with label La may flow to a holder with label Lb iff
+//
+//	Sa ⊆ Sb  and  Ia ⊇ Ib
+//
+// Confidentiality tags accumulate as data is combined; integrity tags
+// are destroyed when data is mixed with data lacking them, unless a
+// privilege is exercised.
+package labels
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/tags"
+)
+
+// Set is an immutable, ordered set of tags. The zero value is the
+// empty set and is ready to use. All operations return new sets and
+// never mutate their receivers, so Sets may be shared freely between
+// goroutines without synchronisation.
+//
+// Representation: a sorted slice without duplicates. DEFC labels are
+// small (a handful of tags per part), so a sorted slice beats a map on
+// both footprint and iteration cost, and gives cheap subset tests by
+// merge-walk.
+type Set struct {
+	elems []tags.Tag // sorted ascending by Tag.Compare, no duplicates
+}
+
+// EmptySet is the canonical empty tag set.
+var EmptySet = Set{}
+
+// NewSet builds a set from the given tags, deduplicating as needed.
+func NewSet(ts ...tags.Tag) Set {
+	if len(ts) == 0 {
+		return Set{}
+	}
+	elems := make([]tags.Tag, len(ts))
+	copy(elems, ts)
+	sort.Slice(elems, func(i, j int) bool { return elems[i].Less(elems[j]) })
+	// Deduplicate in place.
+	out := elems[:1]
+	for _, t := range elems[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return Set{elems: out}
+}
+
+// Len returns the number of tags in the set.
+func (s Set) Len() int { return len(s.elems) }
+
+// IsEmpty reports whether the set has no tags.
+func (s Set) IsEmpty() bool { return len(s.elems) == 0 }
+
+// Has reports whether t is a member of s.
+func (s Set) Has(t tags.Tag) bool {
+	i := sort.Search(len(s.elems), func(i int) bool {
+		return !s.elems[i].Less(t)
+	})
+	return i < len(s.elems) && s.elems[i] == t
+}
+
+// Slice returns the members in ascending order. The returned slice is
+// a copy and may be modified by the caller.
+func (s Set) Slice() []tags.Tag {
+	out := make([]tags.Tag, len(s.elems))
+	copy(out, s.elems)
+	return out
+}
+
+// Add returns s ∪ {ts...}.
+func (s Set) Add(ts ...tags.Tag) Set {
+	if len(ts) == 0 {
+		return s
+	}
+	return s.Union(NewSet(ts...))
+}
+
+// Remove returns s \ {ts...}.
+func (s Set) Remove(ts ...tags.Tag) Set {
+	if len(ts) == 0 || len(s.elems) == 0 {
+		return s
+	}
+	return s.Subtract(NewSet(ts...))
+}
+
+// Union returns s ∪ o using a linear merge.
+func (s Set) Union(o Set) Set {
+	if o.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return o
+	}
+	out := make([]tags.Tag, 0, len(s.elems)+len(o.elems))
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch c := s.elems[i].Compare(o.elems[j]); {
+		case c < 0:
+			out = append(out, s.elems[i])
+			i++
+		case c > 0:
+			out = append(out, o.elems[j])
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.elems[i:]...)
+	out = append(out, o.elems[j:]...)
+	return Set{elems: out}
+}
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set {
+	if s.IsEmpty() || o.IsEmpty() {
+		return Set{}
+	}
+	out := make([]tags.Tag, 0, min(len(s.elems), len(o.elems)))
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch c := s.elems[i].Compare(o.elems[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return Set{}
+	}
+	return Set{elems: out}
+}
+
+// Subtract returns s \ o.
+func (s Set) Subtract(o Set) Set {
+	if s.IsEmpty() || o.IsEmpty() {
+		return s
+	}
+	out := make([]tags.Tag, 0, len(s.elems))
+	i, j := 0, 0
+	for i < len(s.elems) {
+		if j >= len(o.elems) {
+			out = append(out, s.elems[i:]...)
+			break
+		}
+		switch c := s.elems[i].Compare(o.elems[j]); {
+		case c < 0:
+			out = append(out, s.elems[i])
+			i++
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return Set{}
+	}
+	return Set{elems: out}
+}
+
+// SubsetOf reports s ⊆ o.
+func (s Set) SubsetOf(o Set) bool {
+	if len(s.elems) > len(o.elems) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.elems) {
+		if j >= len(o.elems) {
+			return false
+		}
+		switch c := s.elems[i].Compare(o.elems[j]); {
+		case c < 0:
+			return false // s has an element smaller than anything left in o
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// SupersetOf reports s ⊇ o.
+func (s Set) SupersetOf(o Set) bool { return o.SubsetOf(s) }
+
+// Equal reports whether the two sets have identical membership.
+func (s Set) Equal(o Set) bool {
+	if len(s.elems) != len(o.elems) {
+		return false
+	}
+	for i := range s.elems {
+		if s.elems[i] != o.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the membership as {tag(..), ...} in sorted order.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s.elems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Key returns a deterministic byte-string identifying the membership,
+// suitable for use as a map key (e.g. pooling managed-subscription
+// instances by contamination level).
+func (s Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.elems) * tags.IDLen)
+	for _, t := range s.elems {
+		id := t.ID()
+		b.Write(id[:])
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package labels
+
+import (
+	"testing"
+
+	"repro/internal/tags"
+)
+
+// pool returns n distinct tags from a deterministic store.
+func pool(t testing.TB, n int) []tags.Tag {
+	t.Helper()
+	s := tags.NewStore(1234)
+	out := make([]tags.Tag, n)
+	for i := range out {
+		out[i] = s.Create("t", "test")
+	}
+	return out
+}
+
+func TestNewSetDeduplicatesAndSorts(t *testing.T) {
+	p := pool(t, 3)
+	s := NewSet(p[2], p[0], p[2], p[1], p[0])
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	elems := s.Slice()
+	for i := 1; i < len(elems); i++ {
+		if !elems[i-1].Less(elems[i]) {
+			t.Fatalf("Slice not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestHas(t *testing.T) {
+	p := pool(t, 4)
+	s := NewSet(p[0], p[2])
+	if !s.Has(p[0]) || !s.Has(p[2]) {
+		t.Fatal("Has missed a member")
+	}
+	if s.Has(p[1]) || s.Has(p[3]) {
+		t.Fatal("Has reported a non-member")
+	}
+	if EmptySet.Has(p[0]) {
+		t.Fatal("empty set Has a member")
+	}
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	p := pool(t, 5)
+	a := NewSet(p[0], p[1], p[2])
+	b := NewSet(p[2], p[3])
+
+	u := a.Union(b)
+	if u.Len() != 4 {
+		t.Fatalf("Union Len = %d, want 4", u.Len())
+	}
+	for _, x := range []tags.Tag{p[0], p[1], p[2], p[3]} {
+		if !u.Has(x) {
+			t.Fatalf("Union missing %v", x)
+		}
+	}
+
+	i := a.Intersect(b)
+	if i.Len() != 1 || !i.Has(p[2]) {
+		t.Fatalf("Intersect = %v, want {p2}", i)
+	}
+
+	d := a.Subtract(b)
+	if d.Len() != 2 || !d.Has(p[0]) || !d.Has(p[1]) || d.Has(p[2]) {
+		t.Fatalf("Subtract = %v, want {p0,p1}", d)
+	}
+}
+
+func TestSetImmutability(t *testing.T) {
+	p := pool(t, 3)
+	a := NewSet(p[0])
+	_ = a.Add(p[1], p[2])
+	if a.Len() != 1 {
+		t.Fatal("Add mutated receiver")
+	}
+	_ = a.Remove(p[0])
+	if !a.Has(p[0]) {
+		t.Fatal("Remove mutated receiver")
+	}
+	_ = a.Union(NewSet(p[1]))
+	if a.Len() != 1 {
+		t.Fatal("Union mutated receiver")
+	}
+}
+
+func TestSubsetSuperset(t *testing.T) {
+	p := pool(t, 4)
+	small := NewSet(p[0], p[1])
+	big := NewSet(p[0], p[1], p[2])
+	other := NewSet(p[0], p[3])
+
+	if !small.SubsetOf(big) {
+		t.Fatal("small ⊆ big failed")
+	}
+	if big.SubsetOf(small) {
+		t.Fatal("big ⊆ small succeeded")
+	}
+	if !big.SupersetOf(small) {
+		t.Fatal("big ⊇ small failed")
+	}
+	if small.SubsetOf(other) || other.SubsetOf(small) {
+		t.Fatal("incomparable sets reported comparable")
+	}
+	if !EmptySet.SubsetOf(small) {
+		t.Fatal("∅ ⊆ small failed")
+	}
+	if !small.SubsetOf(small) {
+		t.Fatal("reflexivity failed")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	p := pool(t, 3)
+	a := NewSet(p[0], p[1])
+	b := NewSet(p[1], p[0])
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	if a.Equal(NewSet(p[0])) || a.Equal(NewSet(p[0], p[2])) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if !EmptySet.Equal(Set{}) {
+		t.Fatal("empty equality failed")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	p := pool(t, 3)
+	s := EmptySet.Add(p[0]).Add(p[1], p[1]).Remove(p[0])
+	if s.Len() != 1 || !s.Has(p[1]) {
+		t.Fatalf("chained Add/Remove = %v", s)
+	}
+	if got := s.Remove(p[2]); !got.Equal(s) {
+		t.Fatal("removing absent tag changed set")
+	}
+}
+
+func TestKeyDistinguishesSets(t *testing.T) {
+	p := pool(t, 3)
+	a := NewSet(p[0], p[1])
+	b := NewSet(p[0], p[2])
+	if a.Key() == b.Key() {
+		t.Fatal("distinct sets share Key")
+	}
+	if a.Key() != NewSet(p[1], p[0]).Key() {
+		t.Fatal("Key depends on construction order")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := pool(t, 2)
+	if EmptySet.String() != "{}" {
+		t.Fatalf("empty String = %q", EmptySet.String())
+	}
+	s := NewSet(p[0], p[1]).String()
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,237 @@
+// Package metrics provides the measurement instruments used by the
+// evaluation harness (paper §6.2): latency histograms with percentile
+// queries (Figures 6 and 9 report the 70th percentile), windowed
+// throughput sampling (Figures 5 and 8 report the median of 100 ms
+// windows), and heap usage snapshots (Figure 7).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a log-scaled latency histogram: 64 power-of-two major
+// buckets each split into 16 linear minor buckets, giving ≤6.25 %
+// relative quantile error over the full int64 nanosecond range with a
+// fixed 8 KiB footprint. It is safe for concurrent recording.
+type Histogram struct {
+	counts [64 * 16]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	major := 63 - bits.LeadingZeros64(uint64(v)|1)
+	var minor int64
+	if major >= 4 {
+		minor = (v >> (uint(major) - 4)) & 15
+	} else {
+		minor = v & 15
+	}
+	return major*16 + int(minor)
+}
+
+// bucketLow returns the lower bound of a bucket.
+func bucketLow(idx int) int64 {
+	major := idx / 16
+	minor := int64(idx % 16)
+	if major < 4 {
+		return minor
+	}
+	return (1 << uint(major)) + (minor << (uint(major) - 4))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the arithmetic mean of the samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Percentile returns the approximate p-th percentile (0 < p ≤ 100).
+// The paper reports the 70th percentile of trade latencies, ignoring
+// higher percentiles that are dominated by GC pauses and workload
+// spikes.
+func (h *Histogram) Percentile(p float64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot renders the key statistics.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("n=%d min=%v p50=%v p70=%v p99=%v max=%v mean=%v",
+		h.Count(),
+		time.Duration(h.Min()),
+		time.Duration(h.Percentile(50)),
+		time.Duration(h.Percentile(70)),
+		time.Duration(h.Percentile(99)),
+		time.Duration(h.Max()),
+		time.Duration(int64(h.Mean())))
+}
+
+// Throughput measures event rates over fixed windows: Add counts
+// events; a sampler goroutine (or explicit Sample calls) closes
+// windows. The paper reports the median of 100 ms windows.
+type Throughput struct {
+	count atomic.Uint64
+
+	mu      sync.Mutex
+	last    uint64
+	lastAt  time.Time
+	windows []float64 // events/second per closed window
+}
+
+// NewThroughput returns a throughput meter with the clock started.
+func NewThroughput() *Throughput {
+	return &Throughput{lastAt: time.Now()}
+}
+
+// Add counts n events.
+func (t *Throughput) Add(n uint64) { t.count.Add(n) }
+
+// Sample closes the current window, recording its rate.
+func (t *Throughput) Sample() {
+	now := time.Now()
+	cur := t.count.Load()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dt := now.Sub(t.lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	t.windows = append(t.windows, float64(cur-t.last)/dt)
+	t.last = cur
+	t.lastAt = now
+}
+
+// Run samples every interval until stop is closed. Call in a goroutine:
+//
+//	go th.Run(100*time.Millisecond, stop)
+func (t *Throughput) Run(interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			t.Sample()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Median returns the median window rate in events/second.
+func (t *Throughput) Median() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.windows) == 0 {
+		return 0
+	}
+	ws := append([]float64(nil), t.windows...)
+	sort.Float64s(ws)
+	mid := len(ws) / 2
+	if len(ws)%2 == 1 {
+		return ws[mid]
+	}
+	return (ws[mid-1] + ws[mid]) / 2
+}
+
+// Windows returns the number of closed windows.
+func (t *Throughput) Windows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.windows)
+}
+
+// Total returns the total event count.
+func (t *Throughput) Total() uint64 { return t.count.Load() }
+
+// HeapInUseMiB reports the live heap after a GC cycle, the Figure 7
+// measurement.
+func HeapInUseMiB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapInuse) / (1 << 20)
+}
+
+// HeapInUseMiBNoGC reports the instantaneous live heap without forcing
+// a collection (for steady-state sampling mid-run).
+func HeapInUseMiBNoGC() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapInuse) / (1 << 20)
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.Percentile(70) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1000 || h.Max() != 100000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-50500) > 1 {
+		t.Fatalf("Mean = %f", m)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var samples []int64
+	for i := 0; i < 100000; i++ {
+		// Latency-like distribution: microseconds to tens of ms.
+		v := int64(1000 + rng.ExpFloat64()*2e6)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	exact := func(p float64) int64 {
+		s := append([]int64(nil), samples...)
+		// nth element via sort.
+		sortInt64s(s)
+		ix := int(math.Ceil(p/100*float64(len(s)))) - 1
+		return s[ix]
+	}
+	for _, p := range []float64{50, 70, 90, 99} {
+		got, want := h.Percentile(p), exact(p)
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.08 {
+			t.Errorf("p%.0f = %d, exact %d (rel err %.3f)", p, got, want, rel)
+		}
+	}
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestHistogramQuickMonotonePercentiles(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(int64(v))
+		}
+		last := int64(0)
+		for p := 10.0; p <= 100; p += 10 {
+			cur := h.Percentile(p)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return h.Percentile(100) <= h.Max() && int64(0) <= h.Percentile(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(int64(w*10000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Count() != 1 {
+		t.Fatal("negative sample dropped")
+	}
+	if h.Percentile(50) < 0 {
+		t.Fatal("negative percentile")
+	}
+}
+
+func TestHistogramSnapshotRenders(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	if s := h.Snapshot(); s == "" {
+		t.Fatal("empty snapshot")
+	}
+}
+
+func TestThroughputWindows(t *testing.T) {
+	th := NewThroughput()
+	if th.Median() != 0 {
+		t.Fatal("empty median not zero")
+	}
+	th.Add(1000)
+	time.Sleep(20 * time.Millisecond)
+	th.Sample()
+	th.Add(3000)
+	time.Sleep(20 * time.Millisecond)
+	th.Sample()
+	if th.Windows() != 2 {
+		t.Fatalf("windows = %d", th.Windows())
+	}
+	if th.Total() != 4000 {
+		t.Fatalf("total = %d", th.Total())
+	}
+	med := th.Median()
+	if med <= 0 || med > 1e9 {
+		t.Fatalf("median = %f", med)
+	}
+}
+
+func TestThroughputMedianOddEven(t *testing.T) {
+	th := NewThroughput()
+	th.mu.Lock()
+	th.windows = []float64{100, 300, 200}
+	th.mu.Unlock()
+	if th.Median() != 200 {
+		t.Fatalf("odd median = %f", th.Median())
+	}
+	th.mu.Lock()
+	th.windows = []float64{100, 200, 300, 400}
+	th.mu.Unlock()
+	if th.Median() != 250 {
+		t.Fatalf("even median = %f", th.Median())
+	}
+}
+
+func TestThroughputRunSampler(t *testing.T) {
+	th := NewThroughput()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		th.Run(10*time.Millisecond, stop)
+		close(done)
+	}()
+	th.Add(500)
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	<-done
+	if th.Windows() < 2 {
+		t.Fatalf("sampler closed %d windows", th.Windows())
+	}
+}
+
+func TestHeapInUse(t *testing.T) {
+	if HeapInUseMiB() <= 0 {
+		t.Fatal("heap zero")
+	}
+	if HeapInUseMiBNoGC() <= 0 {
+		t.Fatal("heap (no GC) zero")
+	}
+}

@@ -1,0 +1,198 @@
+// Package priv implements DEFC privileges over tags and their
+// delegation rules (paper §3.1.3 and §3.1.5).
+//
+// A unit u's run-time privileges are four tag sets:
+//
+//	O+      — tags u may add to its own label components (t+)
+//	O−      — tags u may remove from its own label components (t−)
+//	O+auth  — tags whose t+ (and t+auth itself) u may delegate
+//	O−auth  — tags whose t− (and t−auth itself) u may delegate
+//
+// The separation of privilege from privilege delegation (O± vs O±auth)
+// is what lets DEFC pin down processing topologies: a unit can be given
+// t− without the ability to pass t− on.
+package priv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+// Right identifies one of the four privilege kinds.
+type Right uint8
+
+const (
+	// Plus is t+: the right to add t to one's own label components —
+	// raising one's secrecy (confidentiality) or endorsing (integrity).
+	Plus Right = iota
+	// Minus is t−: the right to remove t from one's own label
+	// components — declassification (confidentiality) or dropping to
+	// lower integrity.
+	Minus
+	// PlusAuth is t+auth: the right to delegate t+ (and t+auth).
+	PlusAuth
+	// MinusAuth is t−auth: the right to delegate t− (and t−auth).
+	MinusAuth
+
+	numRights = 4
+)
+
+// String returns the paper's shorthand for the right.
+func (r Right) String() string {
+	switch r {
+	case Plus:
+		return "t+"
+	case Minus:
+		return "t-"
+	case PlusAuth:
+		return "t+auth"
+	case MinusAuth:
+		return "t-auth"
+	default:
+		return fmt.Sprintf("Right(%d)", uint8(r))
+	}
+}
+
+// Valid reports whether r names one of the four privilege kinds.
+func (r Right) Valid() bool { return r < numRights }
+
+// AuthFor returns the authority right that governs delegation of r:
+// PlusAuth for Plus/PlusAuth, MinusAuth for Minus/MinusAuth.
+func (r Right) AuthFor() Right {
+	switch r {
+	case Plus, PlusAuth:
+		return PlusAuth
+	default:
+		return MinusAuth
+	}
+}
+
+// Grant names a single delegable privilege: right r over tag t.
+// Grants are the payload of privilege-carrying event parts (§3.1.5).
+type Grant struct {
+	Tag   tags.Tag
+	Right Right
+}
+
+// String renders the grant using the paper's shorthand.
+func (g Grant) String() string { return fmt.Sprintf("%v over %v", g.Right, g.Tag) }
+
+// ErrNotAuthorised is returned when a unit attempts an operation its
+// privilege sets do not permit.
+var ErrNotAuthorised = errors.New("priv: not authorised")
+
+// Owned is the mutable privilege state of one unit. The zero value
+// owns nothing. Owned is not safe for concurrent use; the unit runtime
+// serialises access per unit.
+type Owned struct {
+	sets [numRights]labels.Set
+}
+
+// NewOwned builds a privilege state from explicit sets.
+func NewOwned(plus, minus, plusAuth, minusAuth labels.Set) *Owned {
+	o := &Owned{}
+	o.sets[Plus] = plus
+	o.sets[Minus] = minus
+	o.sets[PlusAuth] = plusAuth
+	o.sets[MinusAuth] = minusAuth
+	return o
+}
+
+// Set returns the current membership of the given privilege set.
+func (o *Owned) Set(r Right) labels.Set {
+	if !r.Valid() {
+		return labels.EmptySet
+	}
+	return o.sets[r]
+}
+
+// Has reports whether the unit holds right r over tag t.
+func (o *Owned) Has(t tags.Tag, r Right) bool {
+	return r.Valid() && o.sets[r].Has(t)
+}
+
+// Grant adds right r over t to the owned state. It is the system-level
+// primitive used when a tag is created (creator receives t±auth) or a
+// delegation is accepted; it performs no authorisation check itself.
+func (o *Owned) Grant(t tags.Tag, r Right) {
+	if !r.Valid() {
+		return
+	}
+	o.sets[r] = o.sets[r].Add(t)
+}
+
+// Drop removes right r over t, if held.
+func (o *Owned) Drop(t tags.Tag, r Right) {
+	if !r.Valid() {
+		return
+	}
+	o.sets[r] = o.sets[r].Remove(t)
+}
+
+// GrantAll applies a list of grants (e.g. those carried by an event
+// part a unit has just read, §3.1.5).
+func (o *Owned) GrantAll(gs []Grant) {
+	for _, g := range gs {
+		o.Grant(g.Tag, g.Right)
+	}
+}
+
+// OwnsCompletely reports whether the unit has both t+ and t− —
+// "complete privilege over t" in the paper's terms.
+func (o *Owned) OwnsCompletely(t tags.Tag) bool {
+	return o.Has(t, Plus) && o.Has(t, Minus)
+}
+
+// CanDelegate reports whether the unit may delegate right r over tag t
+// to another unit: delegation of t± or t±auth requires holding the
+// corresponding t±auth.
+func (o *Owned) CanDelegate(t tags.Tag, r Right) bool {
+	return r.Valid() && o.Has(t, r.AuthFor())
+}
+
+// AuthoriseDelegation validates that the unit may attach grant g to an
+// event part (attachPrivilegeToPart: "the call succeeds if the caller
+// has t^{p auth}").
+func (o *Owned) AuthoriseDelegation(g Grant) error {
+	if !g.Right.Valid() {
+		return fmt.Errorf("%w: invalid right %v", ErrNotAuthorised, g.Right)
+	}
+	if g.Tag.IsZero() {
+		return fmt.Errorf("%w: zero tag", ErrNotAuthorised)
+	}
+	if !o.CanDelegate(g.Tag, g.Right) {
+		return fmt.Errorf("%w: delegating %v requires %v", ErrNotAuthorised, g, g.Right.AuthFor())
+	}
+	return nil
+}
+
+// OnCreateTag grants the creator's rights for a freshly created tag:
+// "When a tag t is successfully created for a unit u, then t−auth_u and
+// t+auth_u" (§3.1.3). Most creators then self-apply to obtain t±; the
+// applySelf flag performs that common step.
+func (o *Owned) OnCreateTag(t tags.Tag, applySelf bool) {
+	o.Grant(t, PlusAuth)
+	o.Grant(t, MinusAuth)
+	if applySelf {
+		// Self-delegation is authorised by the auth rights just granted.
+		o.Grant(t, Plus)
+		o.Grant(t, Minus)
+	}
+}
+
+// Clone returns an independent copy of the privilege state. Sets are
+// immutable, so the copy is shallow and O(1) per set.
+func (o *Owned) Clone() *Owned {
+	c := &Owned{}
+	c.sets = o.sets
+	return c
+}
+
+// String summarises the four sets.
+func (o *Owned) String() string {
+	return fmt.Sprintf("O+=%s O-=%s O+auth=%s O-auth=%s",
+		o.sets[Plus], o.sets[Minus], o.sets[PlusAuth], o.sets[MinusAuth])
+}

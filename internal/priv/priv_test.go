@@ -1,0 +1,178 @@
+package priv
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+func newTag(t *testing.T, store *tags.Store, name string) tags.Tag {
+	t.Helper()
+	return store.Create(name, "test")
+}
+
+func TestRightString(t *testing.T) {
+	cases := map[Right]string{
+		Plus: "t+", Minus: "t-", PlusAuth: "t+auth", MinusAuth: "t-auth",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+	if Right(9).Valid() {
+		t.Error("Right(9) reported valid")
+	}
+}
+
+func TestAuthFor(t *testing.T) {
+	if Plus.AuthFor() != PlusAuth || PlusAuth.AuthFor() != PlusAuth {
+		t.Error("AuthFor(+) != +auth")
+	}
+	if Minus.AuthFor() != MinusAuth || MinusAuth.AuthFor() != MinusAuth {
+		t.Error("AuthFor(-) != -auth")
+	}
+}
+
+func TestGrantAndHas(t *testing.T) {
+	s := tags.NewStore(1)
+	tg := newTag(t, s, "x")
+	o := &Owned{}
+	if o.Has(tg, Plus) {
+		t.Fatal("empty Owned has privilege")
+	}
+	o.Grant(tg, Plus)
+	if !o.Has(tg, Plus) || o.Has(tg, Minus) {
+		t.Fatal("Grant gave wrong rights")
+	}
+	o.Drop(tg, Plus)
+	if o.Has(tg, Plus) {
+		t.Fatal("Drop did not remove right")
+	}
+}
+
+func TestOnCreateTagGrantsAuthOnly(t *testing.T) {
+	s := tags.NewStore(2)
+	tg := newTag(t, s, "x")
+	o := &Owned{}
+	o.OnCreateTag(tg, false)
+	if !o.Has(tg, PlusAuth) || !o.Has(tg, MinusAuth) {
+		t.Fatal("creator lacks t±auth")
+	}
+	if o.Has(tg, Plus) || o.Has(tg, Minus) {
+		t.Fatal("creator granted t± without self-apply")
+	}
+}
+
+func TestOnCreateTagSelfApply(t *testing.T) {
+	s := tags.NewStore(3)
+	tg := newTag(t, s, "x")
+	o := &Owned{}
+	o.OnCreateTag(tg, true)
+	for _, r := range []Right{Plus, Minus, PlusAuth, MinusAuth} {
+		if !o.Has(tg, r) {
+			t.Fatalf("creator lacks %v after self-apply", r)
+		}
+	}
+	if !o.OwnsCompletely(tg) {
+		t.Fatal("OwnsCompletely false for full owner")
+	}
+}
+
+func TestDelegationRequiresAuth(t *testing.T) {
+	s := tags.NewStore(4)
+	tg := newTag(t, s, "x")
+
+	// A unit holding only t− cannot delegate it (this is the topology
+	// enforcement of §3.1.3: the Regulator can declassify but cannot
+	// pass declassification to the Broker).
+	holder := &Owned{}
+	holder.Grant(tg, Minus)
+	if holder.CanDelegate(tg, Minus) {
+		t.Fatal("t− holder can delegate without t−auth")
+	}
+	if err := holder.AuthoriseDelegation(Grant{Tag: tg, Right: Minus}); err == nil {
+		t.Fatal("AuthoriseDelegation succeeded without auth")
+	} else if !errors.Is(err, ErrNotAuthorised) {
+		t.Fatalf("error = %v, want ErrNotAuthorised", err)
+	}
+
+	// With t−auth the same delegation is allowed, including delegating
+	// the auth itself.
+	holder.Grant(tg, MinusAuth)
+	if !holder.CanDelegate(tg, Minus) || !holder.CanDelegate(tg, MinusAuth) {
+		t.Fatal("t−auth holder cannot delegate")
+	}
+	if err := holder.AuthoriseDelegation(Grant{Tag: tg, Right: Minus}); err != nil {
+		t.Fatalf("AuthoriseDelegation: %v", err)
+	}
+	// +auth does not follow from −auth.
+	if holder.CanDelegate(tg, Plus) || holder.CanDelegate(tg, PlusAuth) {
+		t.Fatal("−auth granted + delegation")
+	}
+}
+
+func TestAuthoriseDelegationRejectsZeroAndInvalid(t *testing.T) {
+	o := &Owned{}
+	if err := o.AuthoriseDelegation(Grant{Right: Plus}); err == nil {
+		t.Fatal("zero tag accepted")
+	}
+	s := tags.NewStore(5)
+	tg := newTag(t, s, "x")
+	if err := o.AuthoriseDelegation(Grant{Tag: tg, Right: Right(7)}); err == nil {
+		t.Fatal("invalid right accepted")
+	}
+}
+
+func TestGrantAll(t *testing.T) {
+	s := tags.NewStore(6)
+	a, b := newTag(t, s, "a"), newTag(t, s, "b")
+	o := &Owned{}
+	o.GrantAll([]Grant{{Tag: a, Right: Plus}, {Tag: b, Right: MinusAuth}})
+	if !o.Has(a, Plus) || !o.Has(b, MinusAuth) {
+		t.Fatal("GrantAll missed a grant")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := tags.NewStore(7)
+	a, b := newTag(t, s, "a"), newTag(t, s, "b")
+	o := &Owned{}
+	o.Grant(a, Plus)
+	c := o.Clone()
+	c.Grant(b, Minus)
+	o.Drop(a, Plus)
+	if !c.Has(a, Plus) {
+		t.Fatal("clone affected by original's Drop")
+	}
+	if o.Has(b, Minus) {
+		t.Fatal("original affected by clone's Grant")
+	}
+}
+
+func TestNewOwnedAndSet(t *testing.T) {
+	s := tags.NewStore(8)
+	a := newTag(t, s, "a")
+	o := NewOwned(labels.NewSet(a), labels.EmptySet, labels.EmptySet, labels.NewSet(a))
+	if !o.Has(a, Plus) || !o.Has(a, MinusAuth) || o.Has(a, Minus) {
+		t.Fatal("NewOwned populated wrong sets")
+	}
+	if o.Set(Plus).Len() != 1 || o.Set(Right(9)).Len() != 0 {
+		t.Fatal("Set accessor wrong")
+	}
+}
+
+func TestGrantIgnoresInvalidRight(t *testing.T) {
+	s := tags.NewStore(9)
+	a := newTag(t, s, "a")
+	o := &Owned{}
+	o.Grant(a, Right(200))
+	o.Drop(a, Right(200))
+	for _, r := range []Right{Plus, Minus, PlusAuth, MinusAuth} {
+		if o.Has(a, r) {
+			t.Fatal("invalid Grant leaked into a real set")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package tags implements DEFC security tags (paper §3.1.1).
+//
+// A tag represents an individual, indivisible concern about either the
+// confidentiality or the integrity of data. Tags are opaque values,
+// implemented as unique random bit-strings; units refer to them by
+// reference and cannot forge or modify them. Symbolic names (such as
+// "i-trader-77") exist only for diagnostics and never affect identity.
+package tags
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// IDLen is the length in bytes of a tag's random identity.
+//
+// The paper describes tags as "unique, random bit-strings"; 16 bytes
+// matches the uniqueness guarantee of a UUID while keeping Tag a small
+// comparable value usable as a map key.
+const IDLen = 16
+
+// ID is the raw identity of a tag. IDs are comparable and ordered
+// lexicographically (see Compare).
+type ID [IDLen]byte
+
+// Tag is an opaque capability-like reference to a security concern.
+// The zero Tag is invalid and never issued by a Store.
+//
+// Tag is a value type: copies are identical and interchangeable.
+// Possession of a Tag value alone confers no privilege over it
+// (privileges live in priv.Owned sets); it merely lets a unit name the
+// tag in API calls.
+type Tag struct {
+	id ID
+}
+
+// IsZero reports whether t is the invalid zero tag.
+func (t Tag) IsZero() bool { return t.id == ID{} }
+
+// ID returns the tag's raw identity.
+func (t Tag) ID() ID { return t.id }
+
+// Compare orders tags lexicographically by identity. It returns -1, 0
+// or +1 in the manner of bytes.Compare.
+func (t Tag) Compare(u Tag) int {
+	for i := 0; i < IDLen; i++ {
+		switch {
+		case t.id[i] < u.id[i]:
+			return -1
+		case t.id[i] > u.id[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether t orders before u.
+func (t Tag) Less(u Tag) bool { return t.Compare(u) < 0 }
+
+// String renders a short hex prefix of the identity; it intentionally
+// omits the symbolic name, which only the issuing Store knows.
+func (t Tag) String() string {
+	if t.IsZero() {
+		return "tag(zero)"
+	}
+	return "tag(" + hex.EncodeToString(t.id[:4]) + ")"
+}
+
+// ErrUnknownTag is returned by Store lookups for tags the store did not
+// issue.
+var ErrUnknownTag = errors.New("tags: unknown tag")
+
+// Info records a store's metadata about an issued tag.
+type Info struct {
+	Tag     Tag
+	Name    string // symbolic name, diagnostics only
+	Creator string // identity of the creating unit, diagnostics only
+	Seq     uint64 // issue sequence number within the store
+}
+
+// Store is the DEFCon tag store (§3.2 "Label/tag management"): it
+// issues fresh tags at runtime and records their metadata. A single
+// Store serves one DEFCon instance; units hold Tag values issued here.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	rng  *rand.Rand
+	seq  uint64
+	info map[Tag]Info
+}
+
+// NewStore returns a tag store whose identity stream is derived from
+// seed. Distinct stores with distinct seeds produce disjoint tag
+// populations with overwhelming probability; a fixed seed makes tests
+// reproducible.
+func NewStore(seed int64) *Store {
+	return &Store{
+		rng:  rand.New(rand.NewSource(seed)),
+		info: make(map[Tag]Info),
+	}
+}
+
+// Create issues a fresh, unique tag. name is a symbolic, diagnostics-only
+// label; creator identifies the requesting unit (§3.1.3: "Units can
+// request that tags be created for them at run-time by the system").
+func (s *Store) Create(name, creator string) Tag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var id ID
+		// Fill the identity from the store RNG. Two 64-bit reads cover
+		// the 16-byte ID exactly.
+		binary.BigEndian.PutUint64(id[0:8], s.rng.Uint64())
+		binary.BigEndian.PutUint64(id[8:16], s.rng.Uint64())
+		t := Tag{id: id}
+		if t.IsZero() {
+			continue // astronomically unlikely; the zero tag is reserved
+		}
+		if _, dup := s.info[t]; dup {
+			continue
+		}
+		s.seq++
+		s.info[t] = Info{Tag: t, Name: name, Creator: creator, Seq: s.seq}
+		return t
+	}
+}
+
+// FromID reconstructs a tag value from its raw identity. It is the
+// deserialisation half of inter-node event transfer: a tag's identity
+// IS its global name, so a faithfully transferred ID denotes the same
+// concern on every node. Possession of the value still confers no
+// privilege (privileges live in per-unit Owned sets).
+func FromID(id ID) Tag { return Tag{id: id} }
+
+// RegisterForeign records a tag minted on another node so local
+// diagnostics (Name, Lookup) can resolve it. Registering an existing
+// tag is a no-op; identity is global, metadata is advisory.
+func (s *Store) RegisterForeign(t Tag, name, origin string) {
+	if t.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.info[t]; ok {
+		return
+	}
+	s.seq++
+	s.info[t] = Info{Tag: t, Name: name, Creator: origin, Seq: s.seq}
+}
+
+// Lookup returns the metadata for a tag issued by this store.
+func (s *Store) Lookup(t Tag) (Info, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	in, ok := s.info[t]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %v", ErrUnknownTag, t)
+	}
+	return in, nil
+}
+
+// Name returns the symbolic name of t, or t.String() if the store does
+// not know the tag. Intended for log and error messages.
+func (s *Store) Name(t Tag) string {
+	if in, err := s.Lookup(t); err == nil && in.Name != "" {
+		return in.Name
+	}
+	return t.String()
+}
+
+// Count reports how many tags the store has issued.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.info)
+}

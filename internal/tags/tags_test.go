@@ -1,0 +1,135 @@
+package tags
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCreateIssuesUniqueTags(t *testing.T) {
+	s := NewStore(1)
+	seen := make(map[Tag]bool)
+	for i := 0; i < 10000; i++ {
+		tag := s.Create("t", "unit")
+		if tag.IsZero() {
+			t.Fatalf("Create returned zero tag at %d", i)
+		}
+		if seen[tag] {
+			t.Fatalf("duplicate tag at %d: %v", i, tag)
+		}
+		seen[tag] = true
+	}
+	if got := s.Count(); got != 10000 {
+		t.Fatalf("Count = %d, want 10000", got)
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	s := NewStore(2)
+	tag := s.Create("i-trader-77", "trader-77")
+	in, err := s.Lookup(tag)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if in.Name != "i-trader-77" || in.Creator != "trader-77" || in.Tag != tag {
+		t.Fatalf("Lookup = %+v", in)
+	}
+	if in.Seq != 1 {
+		t.Fatalf("Seq = %d, want 1", in.Seq)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	s := NewStore(3)
+	other := NewStore(4).Create("x", "u")
+	if _, err := s.Lookup(other); err == nil {
+		t.Fatal("Lookup of foreign tag succeeded, want error")
+	}
+	if _, err := s.Lookup(Tag{}); err == nil {
+		t.Fatal("Lookup of zero tag succeeded, want error")
+	}
+}
+
+func TestNameFallsBackToString(t *testing.T) {
+	s := NewStore(5)
+	tag := s.Create("dark-pool", "broker")
+	if got := s.Name(tag); got != "dark-pool" {
+		t.Fatalf("Name = %q, want dark-pool", got)
+	}
+	foreign := NewStore(6).Create("x", "u")
+	if got := s.Name(foreign); got != foreign.String() {
+		t.Fatalf("Name(foreign) = %q, want %q", got, foreign.String())
+	}
+}
+
+func TestCompareOrdersConsistently(t *testing.T) {
+	s := NewStore(7)
+	a, b := s.Create("a", "u"), s.Create("b", "u")
+	if a.Compare(a) != 0 {
+		t.Fatal("Compare(a,a) != 0")
+	}
+	if a.Compare(b) == 0 {
+		t.Fatal("distinct tags compare equal")
+	}
+	if a.Compare(b) != -b.Compare(a) {
+		t.Fatal("Compare is not antisymmetric")
+	}
+	if a.Less(b) == b.Less(a) {
+		t.Fatal("Less inconsistent")
+	}
+}
+
+func TestZeroTag(t *testing.T) {
+	var z Tag
+	if !z.IsZero() {
+		t.Fatal("zero Tag not IsZero")
+	}
+	if z.String() != "tag(zero)" {
+		t.Fatalf("String = %q", z.String())
+	}
+	s := NewStore(8)
+	tag := s.Create("t", "u")
+	if tag.IsZero() {
+		t.Fatal("issued tag is zero")
+	}
+	if tag.String() == "tag(zero)" {
+		t.Fatal("issued tag renders as zero")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, b := NewStore(42), NewStore(42)
+	for i := 0; i < 100; i++ {
+		if a.Create("t", "u") != b.Create("t", "u") {
+			t.Fatal("same-seed stores diverged")
+		}
+	}
+}
+
+func TestConcurrentCreate(t *testing.T) {
+	s := NewStore(9)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	got := make([][]Tag, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], s.Create("t", "u"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Tag]bool)
+	for _, tags := range got {
+		for _, tag := range tags {
+			if seen[tag] {
+				t.Fatal("concurrent Create produced duplicate")
+			}
+			seen[tag] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("issued %d tags, want %d", len(seen), workers*per)
+	}
+}

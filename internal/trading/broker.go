@@ -1,0 +1,341 @@
+package trading
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+// maxTradeLog bounds the Broker's completed-trade log retained for
+// audit responses.
+const maxTradeLog = 1024
+
+// orderTTL bounds how long an unfilled order rests in the book. Dark
+// pools routinely expire resting interest; here it also keeps the
+// latency measurement honest — a stale leftover crossing a much later
+// divergence wave would otherwise report book-wait time rather than
+// processing time.
+const orderTTL = 100 * time.Millisecond
+
+// Broker is the Local Broker unit (§6.1): it clears traders' orders
+// locally — the dark pool — by matching bids against asks (step 5) and
+// publishing trade events (step 6). Per the paper it processes orders
+// through a managed subscription: DEFCon routes every order to a pooled
+// instance contaminated at {b}, where the order book lives; the
+// broker's primary unit stays clean.
+//
+// Identity handling: reading an order part bestows [tr+, tr−]; the
+// instance raises its input label by tr (legal: it holds tr−), reads
+// the trader's name, and lowers again. Reading the name part bestows
+// [tr+auth, tr−auth], which later authorises the delegation to the
+// Regulator (step 7): an audit request arrives as an "audit_req" part
+// the Regulator added to the trade event, and the instance answers by
+// attaching a "delegation" part carrying [tr±] for both sides,
+// protected by the Regulator's tag.
+type Broker struct {
+	p    *Platform
+	unit *core.Unit
+
+	regTag tags.Tag // the Regulator's tag protecting delegations
+
+	trades    counter
+	delegates counter
+}
+
+// book is the dark-pool order book, living in the managed instance's
+// state at contamination {b}.
+type book struct {
+	bids map[string][]*restingOrder // symbol → FIFO
+	asks map[string][]*restingOrder
+	// log holds completed trades for audit responses.
+	log map[int64]*tradeRecord
+	ids int64
+}
+
+type restingOrder struct {
+	id      int64
+	symbol  string
+	price   int64
+	qty     int64
+	trader  string
+	tr      tags.Tag
+	stamp   int64 // originating tick time (latency accounting)
+	entered int64 // book-entry time (TTL accounting)
+}
+
+type tradeRecord struct {
+	buyer, seller     string
+	trBuyer, trSeller tags.Tag
+	symbol            string
+	price, qty        int64
+}
+
+// newBroker assembles the broker unit; wire() attaches its managed
+// subscriptions once the Regulator's tag exists.
+func newBroker(p *Platform, grants []priv.Grant) *Broker {
+	b := &Broker{p: p}
+	b.unit = p.Sys.NewUnit("local-broker", core.UnitConfig{Grants: grants})
+	return b
+}
+
+// wire registers the broker's managed subscriptions; called by the
+// platform once the Regulator (and its tag) exists.
+func (b *Broker) wire() error {
+	b.regTag = b.p.Regulator.RegTag()
+	_, err := b.unit.SubscribeManagedMulti(b.handle, core.ManagedOptions{
+		// The book must persist across orders: no reset; the instance
+		// holds the declassification privileges that make this sound.
+		ResetOnDrift: false,
+		// Pin the pool at {b} so public audit-request deliveries reach
+		// the same instance as the b-protected orders.
+		Pin: setOf(b.p.tagB),
+		// The book is a singleton aggregating every trader's orders:
+		// give it a deep queue so spike waves do not stall publishers.
+		QueueCap: 16384,
+	},
+		dispatch.MustFilter(dispatch.PartEq("type", "order")),
+		dispatch.MustFilter(dispatch.PartExists("audit_req")),
+	)
+	return err
+}
+
+// Trades reports completed trades.
+func (b *Broker) Trades() uint64 { return b.trades.load() }
+
+// Delegations reports audit delegations issued.
+func (b *Broker) Delegations() uint64 { return b.delegates.load() }
+
+// handle processes one delivery in the book instance.
+func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
+	st := u.State()
+	bk, _ := st["book"].(*book)
+	if bk == nil {
+		bk = &book{
+			bids: make(map[string][]*restingOrder),
+			asks: make(map[string][]*restingOrder),
+			log:  make(map[int64]*tradeRecord),
+		}
+		st["book"] = bk
+	}
+	if _, err := u.ReadPart(e, "audit_req"); err == nil {
+		b.handleAudit(u, e, bk)
+		return
+	}
+	b.handleOrder(u, e, bk)
+}
+
+// handleOrder implements step 5: read, learn the identity, rest the
+// order, match.
+func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *book) {
+	view, err := u.ReadOne(e, "order") // bestows tr+, tr−
+	if err != nil {
+		return
+	}
+	om, ok := view.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	o := &restingOrder{
+		id:      om.GetInt("id"),
+		symbol:  om.GetString("symbol"),
+		price:   om.GetInt("price"),
+		qty:     om.GetInt("qty"),
+		stamp:   e.Stamp,
+		entered: time.Now().UnixNano(),
+	}
+	if o.symbol == "" || o.price <= 0 {
+		return
+	}
+	// The per-order tag reference travels in the order data (§3.1.5);
+	// the privileges over it arrived via the part's attached grants.
+	if tv, ok := om.Get("tr"); ok {
+		o.tr, _ = tv.(tags.Tag)
+	}
+	if o.tr.IsZero() {
+		return
+	}
+	// Temporarily raise the input label to read the identity (the
+	// §3.1.4 pattern); we hold tr±, so this is a permitted standing
+	// declassification, immediately lowered again.
+	if err := u.ChangeInLabel(core.Confidentiality, core.Add, o.tr); err != nil {
+		return
+	}
+	if nv, err := u.ReadOne(e, "name"); err == nil { // bestows tr±auth
+		if s, ok := nv.Data.(string); ok {
+			o.trader = s
+		}
+	}
+	_ = u.ChangeInLabel(core.Confidentiality, core.Del, o.tr)
+	// Hygiene: tr± were only needed for the identity read; keeping them
+	// would grow the instance's privilege sets with every order. The
+	// tr±auth pair stays until the trade leaves the audit window.
+	u.DropPrivilege(o.tr, priv.Plus)
+	u.DropPrivilege(o.tr, priv.Minus)
+	if o.trader == "" {
+		return
+	}
+
+	side := om.GetString("side")
+	if side == "bid" {
+		bk.bids[o.symbol] = append(bk.bids[o.symbol], o)
+	} else {
+		bk.asks[o.symbol] = append(bk.asks[o.symbol], o)
+	}
+	expire(bk, o.symbol)
+	b.match(u, bk, o.symbol)
+}
+
+// expire drops resting orders that have sat unfilled in the book for
+// longer than orderTTL. Expiry is measured from book entry, not from
+// the originating tick: under transient overload an order may arrive
+// already "old" and must still get its chance to cross.
+func expire(bk *book, symbol string) {
+	cutoff := time.Now().Add(-orderTTL).UnixNano()
+	for len(bk.bids[symbol]) > 0 && bk.bids[symbol][0].entered < cutoff {
+		bk.bids[symbol] = bk.bids[symbol][1:]
+	}
+	for len(bk.asks[symbol]) > 0 && bk.asks[symbol][0].entered < cutoff {
+		bk.asks[symbol] = bk.asks[symbol][1:]
+	}
+}
+
+// match crosses resting bids and asks FIFO (price-compatible) and
+// publishes a trade event per cross.
+func (b *Broker) match(u *core.Unit, bk *book, symbol string) {
+	for len(bk.bids[symbol]) > 0 && len(bk.asks[symbol]) > 0 {
+		bid, ask := bk.bids[symbol][0], bk.asks[symbol][0]
+		if bid.price < ask.price {
+			return // book not crossed
+		}
+		bk.bids[symbol] = bk.bids[symbol][1:]
+		bk.asks[symbol] = bk.asks[symbol][1:]
+		b.publishTrade(u, bk, bid, ask)
+	}
+}
+
+// publishTrade implements step 6: the trade's price/symbol part is
+// declassified and public; the two identity parts are protected by the
+// per-order tags, so each trader recognises only its own trades while
+// the broker's publication leaks nothing else.
+func (b *Broker) publishTrade(u *core.Unit, bk *book, bid, ask *restingOrder) {
+	bk.ids++
+	tradeID := bk.ids
+	qty := min64(bid.qty, ask.qty)
+	rec := &tradeRecord{
+		buyer: bid.trader, seller: ask.trader,
+		trBuyer: bid.tr, trSeller: ask.tr,
+		symbol: bid.symbol, price: ask.price, qty: qty,
+	}
+	bk.log[tradeID] = rec
+	if len(bk.log) > maxTradeLog {
+		// Evict the oldest entry (IDs are dense and increasing) and
+		// renounce its delegation authority: past the audit window the
+		// broker has no business retaining it.
+		old := bk.log[tradeID-int64(maxTradeLog)]
+		delete(bk.log, tradeID-int64(maxTradeLog))
+		if old != nil {
+			b.dropAuths(u, old)
+		}
+	}
+
+	e := u.CreateEvent()
+	// Latency accounting: the trade inherits the older originating
+	// tick stamp of the two orders — conservative end-to-end latency.
+	e.Stamp = min64(bid.stamp, ask.stamp)
+	if err := u.AddPart(e, noTags, noTags, "type", "trade"); err != nil {
+		return
+	}
+	body := freeze.MapOf(
+		"id", tradeID,
+		"symbol", rec.symbol,
+		"price", rec.price,
+		"qty", qty,
+		"buy_order", bid.id,
+		"sell_order", ask.id,
+	)
+	if err := u.AddPart(e, noTags, noTags, "trade", body); err != nil {
+		return
+	}
+	if err := u.AddPart(e, setOf(bid.tr), noTags, "buyer", bid.trader); err != nil {
+		return
+	}
+	if err := u.AddPart(e, setOf(ask.tr), noTags, "seller", ask.trader); err != nil {
+		return
+	}
+	if hook := b.p.cfg.OnTrade; hook != nil {
+		hook(time.Now().UnixNano() - e.Stamp)
+	}
+	if err := u.Publish(e); err != nil {
+		return
+	}
+	b.trades.inc()
+}
+
+// handleAudit implements step 7's producer side: on an audit request
+// (an "audit_req" part the Regulator added to a trade event), attach a
+// delegation part to that same trade event, protected by the
+// Regulator's tag and carrying [tr±] for both sides. The release
+// machinery re-dispatches the augmented event to the Regulator.
+func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *book) {
+	tv, err := u.ReadOne(e, "trade")
+	if err != nil {
+		return
+	}
+	tm, ok := tv.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	rec := bk.log[tm.GetInt("id")]
+	if rec == nil {
+		return
+	}
+	regSet := setOf(b.regTag)
+	payload := freeze.MapOf(
+		"trade", tm.GetInt("id"),
+		"buyer_tag", rec.trBuyer,
+		"seller_tag", rec.trSeller,
+		"qty", rec.qty,
+	)
+	if err := u.AddPart(e, regSet, noTags, "delegation", payload); err != nil {
+		return
+	}
+	for _, g := range []priv.Grant{
+		{Tag: rec.trBuyer, Right: priv.Plus},
+		{Tag: rec.trBuyer, Right: priv.Minus},
+		{Tag: rec.trSeller, Right: priv.Plus},
+		{Tag: rec.trSeller, Right: priv.Minus},
+	} {
+		if err := u.AttachPrivilegeToPart(e, "delegation", regSet, noTags, g.Tag, g.Right); err != nil {
+			return
+		}
+	}
+	b.delegates.inc()
+	// Delegation done: the audit authority for this trade is spent.
+	b.dropAuths(u, rec)
+	delete(bk.log, tm.GetInt("id"))
+	// The managed runtime re-dispatches the modified event on return.
+}
+
+// dropAuths renounces the delegation authority retained for a completed
+// trade's two order tags.
+func (b *Broker) dropAuths(u *core.Unit, rec *tradeRecord) {
+	for _, tg := range []tags.Tag{rec.trBuyer, rec.trSeller} {
+		if tg.IsZero() {
+			continue
+		}
+		u.DropPrivilege(tg, priv.PlusAuth)
+		u.DropPrivilege(tg, priv.MinusAuth)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

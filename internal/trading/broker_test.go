@@ -1,0 +1,121 @@
+package trading
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestOrderBookExpiry(t *testing.T) {
+	bk := &book{
+		bids: map[string][]*restingOrder{},
+		asks: map[string][]*restingOrder{},
+	}
+	old := time.Now().Add(-2 * orderTTL).UnixNano()
+	fresh := time.Now().UnixNano()
+	bk.bids["S"] = []*restingOrder{
+		{id: 1, entered: old},
+		{id: 2, entered: fresh},
+	}
+	bk.asks["S"] = []*restingOrder{{id: 3, entered: old}}
+	expire(bk, "S")
+	if len(bk.bids["S"]) != 1 || bk.bids["S"][0].id != 2 {
+		t.Fatalf("stale bid not expired: %+v", bk.bids["S"])
+	}
+	if len(bk.asks["S"]) != 0 {
+		t.Fatal("stale ask not expired")
+	}
+}
+
+func TestBrokerPrivilegeHygiene(t *testing.T) {
+	// After a full run, the broker's privilege sets must stay bounded:
+	// per-order grants are renounced as orders complete and trades age
+	// out of the audit window.
+	p := runScenario(t, core.LabelsFreeze, 2, 900, func(c *Config) {
+		onePair(c)
+		c.AuditSampleEvery = 1
+	})
+	st := p.Stats()
+	if st.TradesCompleted < 10 {
+		t.Fatalf("too few trades (%d) to exercise hygiene", st.TradesCompleted)
+	}
+	// The book instance is registered with the system; find it via
+	// accounting and check its label state indirectly: the platform
+	// should still be responsive to a fresh wave (no quadratic stall).
+	trace := workload.NewTrace(p.Universe(), 321)
+	start := time.Now()
+	p.Replay(trace.Take(300))
+	if !p.Quiesce(10 * time.Second) {
+		t.Fatal("second wave did not quiesce")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("second wave implausibly slow: privilege accumulation?")
+	}
+}
+
+func TestMonitorDampsFeedback(t *testing.T) {
+	// With auditing on every trade (maximal feedback), matches must stay
+	// close to the genuine trigger count instead of cascading.
+	p := runScenario(t, core.LabelsFreeze, 2, 800, func(c *Config) {
+		onePair(c)
+		c.AuditSampleEvery = 1
+	})
+	st := p.Stats()
+	// Genuine triggers: 800 ticks on one pair = 400 B-ticks = 40 spikes,
+	// two monitors → ≈80 genuine matches. Allow modest feedback slack.
+	if st.MatchesEmitted > 200 {
+		t.Fatalf("feedback cascade: %d matches for ~80 genuine triggers", st.MatchesEmitted)
+	}
+	if st.MatchesEmitted < 40 {
+		t.Fatalf("damping too aggressive: %d matches", st.MatchesEmitted)
+	}
+}
+
+func TestAccountingCoversTradingUnits(t *testing.T) {
+	p := runScenario(t, core.LabelsFreeze, 2, 300, onePair)
+	acc := p.Sys.Accounting()
+	// exchange + broker(+instance) + regulator(+instances) + 2 traders
+	// + 2 monitors + bootstrap at least.
+	if len(acc) < 8 {
+		t.Fatalf("accounting covers %d units", len(acc))
+	}
+	var exchangeSeen bool
+	for _, u := range acc {
+		if u.Unit == "stock-exchange" {
+			exchangeSeen = true
+			if u.Published == 0 || u.APICalls == 0 {
+				t.Fatalf("exchange account empty: %+v", u)
+			}
+		}
+	}
+	if !exchangeSeen {
+		t.Fatal("exchange missing from accounting")
+	}
+}
+
+func TestNoTradesAcrossDistinctPairs(t *testing.T) {
+	// Traders on different pairs never cross: the dark pool matches per
+	// symbol only.
+	cfg := Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: 2,
+		Universe:   workload.NewUniverse(2),
+		Seed:       11,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Traders[0].Pair() == p.Traders[1].Pair() {
+		t.Skip("assignment put both traders on one pair")
+	}
+	trace := workload.NewTrace(p.Universe(), 99)
+	p.Replay(trace.Take(400))
+	p.Quiesce(5 * time.Second)
+	if got := p.Stats().TradesCompleted; got != 0 {
+		t.Fatalf("cross-pair trades: %d", got)
+	}
+}

@@ -1,0 +1,93 @@
+package trading
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/priv"
+	"repro/internal/workload"
+)
+
+// Exchange is the Stock Exchange unit: the source of stock tick events,
+// endorsed with the integrity tag s that it owns — Pair Monitors are
+// instantiated with read integrity s and therefore perceive only
+// exchange-endorsed ticks (§6.1).
+//
+// The unit is single-threaded by design (as noted in §6.2): ticks are
+// published from whatever goroutine drives Replay.
+type Exchange struct {
+	p    *Platform
+	unit *core.Unit
+
+	published counter
+
+	// cache retains recent tick events, modelling the ≈300 MiB of
+	// cached ticks in the paper's deployment (Figure 7).
+	mu      sync.Mutex
+	cache   []*events.Event
+	cacheIx int
+}
+
+// newExchange bootstraps the exchange with s+ and endorses its output.
+func newExchange(p *Platform, grants []priv.Grant) *Exchange {
+	x := &Exchange{p: p}
+	x.unit = p.Sys.NewUnit("stock-exchange", core.UnitConfig{Grants: grants})
+	// Endorse everything the exchange publishes (§3.1.4: adding s to
+	// Iout vouches for output without per-event calls).
+	if err := x.unit.ChangeOutLabel(core.Integrity, core.Add, p.tagS); err != nil {
+		panic("exchange endorsement failed: " + err.Error())
+	}
+	x.cache = make([]*events.Event, 0, p.cfg.TickCacheSize)
+	return x
+}
+
+// PublishTick publishes one tick event.
+//
+// Parts: type="tick" and body{symbol,price,seq}, both public with
+// integrity {s} attached automatically from the output label.
+func (x *Exchange) PublishTick(tk *workload.Tick) {
+	e := x.unit.CreateEvent()
+	if err := x.unit.AddPart(e, noTags, noTags, "type", "tick"); err != nil {
+		return
+	}
+	body := freeze.MapOf(
+		"symbol", tk.Symbol,
+		"price", tk.Price,
+		"seq", int64(tk.Seq),
+	)
+	if err := x.unit.AddPart(e, noTags, noTags, "body", body); err != nil {
+		return
+	}
+	if err := x.unit.Publish(e); err != nil {
+		return
+	}
+	x.published.inc()
+	x.remember(e)
+}
+
+// remember stores the event in the bounded tick cache.
+func (x *Exchange) remember(e *events.Event) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(x.cache) < cap(x.cache) {
+		x.cache = append(x.cache, e)
+		return
+	}
+	if len(x.cache) == 0 {
+		return
+	}
+	x.cache[x.cacheIx] = e
+	x.cacheIx = (x.cacheIx + 1) % len(x.cache)
+}
+
+// Published reports the number of ticks published.
+func (x *Exchange) Published() uint64 { return x.published.load() }
+
+// CacheLen reports the current tick-cache occupancy.
+func (x *Exchange) CacheLen() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.cache)
+}

@@ -1,0 +1,93 @@
+package trading
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/freeze"
+	"repro/internal/workload"
+)
+
+// TestForgedTicksDoNotReachMonitors verifies the §6.1 integrity
+// property: "Pair Monitor units are always instantiated with read
+// integrity s and are thus only able to perceive events published by
+// the Stock Exchange unit that owns s". A malicious trader feeding
+// fabricated prices into the market must be ignored.
+func TestForgedTicksDoNotReachMonitors(t *testing.T) {
+	p, err := New(Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: 2,
+		Universe:   workload.NewUniverse(1),
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	pair := p.Universe().Pairs[0]
+
+	// The attacker publishes fake ticks shaped exactly like real ones —
+	// same parts, same data, a price divergence that would trigger the
+	// pairs algorithm — but cannot endorse them with s.
+	mallory := p.Sys.NewUnit("mallory", core.UnitConfig{})
+	for i := 0; i < 40; i++ {
+		e := mallory.CreateEvent()
+		if err := mallory.AddPart(e, noTags, noTags, "type", "tick"); err != nil {
+			t.Fatal(err)
+		}
+		price := pair.BaseA
+		sym := pair.A
+		if i%2 == 1 {
+			sym = pair.B
+			price = pair.BaseB * 2 // would fire every monitor if accepted
+		}
+		body := freeze.MapOf("symbol", sym, "price", price, "seq", int64(i))
+		if err := mallory.AddPart(e, noTags, noTags, "body", body); err != nil {
+			t.Fatal(err)
+		}
+		if err := mallory.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Quiesce(5 * time.Second)
+	time.Sleep(30 * time.Millisecond)
+
+	st := p.Stats()
+	if st.MatchesEmitted != 0 || st.OrdersPlaced != 0 {
+		t.Fatalf("forged ticks moved the market: %d matches, %d orders",
+			st.MatchesEmitted, st.OrdersPlaced)
+	}
+
+	// Genuine endorsed ticks still work after the attack.
+	trace := workload.NewTrace(p.Universe(), 99)
+	p.Replay(trace.Take(300))
+	p.Quiesce(5 * time.Second)
+	if p.Stats().MatchesEmitted == 0 {
+		t.Fatal("genuine ticks no longer trigger")
+	}
+}
+
+// TestRepublishedTicksCarryEndorsement verifies step 9's flip side:
+// the Regulator owns s, so its republished local trades ARE perceived
+// by monitors (unlike mallory's forgeries).
+func TestRepublishedTicksCarryEndorsement(t *testing.T) {
+	p := runScenario(t, core.LabelsFreeze, 2, 600, func(c *Config) {
+		onePair(c)
+		c.AuditSampleEvery = 1
+	})
+	st := p.Stats()
+	if st.AuditsRequested == 0 {
+		t.Fatal("no audits, republication never exercised")
+	}
+	// Each monitor subscribes to both symbols of the single pair, so it
+	// receives every exchange tick; any surplus beyond TicksPublished
+	// is the regulator's endorsed feedback.
+	ticksDelivered := p.Traders[0].monitor.Usage().Deliveries +
+		p.Traders[1].monitor.Usage().Deliveries
+	perMonitor := ticksDelivered / 2
+	if perMonitor <= st.TicksPublished {
+		t.Fatalf("no republished ticks perceived: %d deliveries per monitor vs %d published",
+			perMonitor, st.TicksPublished)
+	}
+}

@@ -1,0 +1,148 @@
+package trading
+
+import (
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/workload"
+)
+
+// Monitor is a Pair Monitor unit (§6.1): it provides pairs trading as
+// a service for one trader, watching two symbols' ticks and emitting a
+// Match event when the expected price divergence occurs.
+//
+// Figure 4 choreography: the monitor runs confined to the trader's tag
+// t_i — everything it emits is visible only to that trader — and is
+// instantiated with read integrity {s}, so it perceives only events
+// endorsed by the Stock Exchange (or the Regulator's republished local
+// trades, step 9).
+//
+// Deviation note: the paper's step 1 delivers the pair configuration
+// via a t_i-protected Monitor event. A unit whose input integrity is
+// pinned to {s} cannot also receive the unendorsed configuration event,
+// so — like the paper's own implementation, which parameterises
+// monitors with "a stock pair and an investment threshold" — the
+// configuration travels through instantiateUnit instead. The t_i+
+// delegation of step 1 is preserved.
+type Monitor struct {
+	unit         *core.Unit
+	trader       string
+	pair         workload.Pair
+	thresholdBps int64
+
+	subA, subB uint64
+
+	lastA, lastB int64
+	// armed gates triggering on reversion confirmation: the monitor
+	// fires at most once per divergence episode and re-arms only after
+	// quietneed consecutive sub-threshold B-side ticks. The Regulator
+	// republishes sampled trades as ticks at the traded (diverged)
+	// price; without reversion confirmation that feedback would re-fire
+	// every monitor of the pair, amplifying one genuine divergence into
+	// an open-ended cascade.
+	armed       bool
+	quietStreak int
+
+	matches *counter // shared with the trader's counter
+}
+
+// quietNeed is the number of consecutive sub-threshold B-ticks required
+// to re-arm the trigger after a divergence episode.
+const quietNeed = 3
+
+// setupMonitor registers the monitor's tick subscriptions; the trader
+// calls it synchronously before the processing loop starts.
+func (m *Monitor) setup() error {
+	var err error
+	m.subA, err = m.unit.Subscribe(dispatch.MustFilter(dispatch.KeyEq("body", "symbol", m.pair.A)))
+	if err != nil {
+		return err
+	}
+	m.subB, err = m.unit.Subscribe(dispatch.MustFilter(dispatch.KeyEq("body", "symbol", m.pair.B)))
+	return err
+}
+
+// run is the monitor's processing loop.
+func (m *Monitor) run() {
+	for {
+		e, sub, err := m.unit.GetEvent()
+		if err != nil {
+			return
+		}
+		view, err := m.unit.ReadOne(e, "body")
+		if err != nil {
+			continue
+		}
+		body, ok := view.Data.(*freeze.Map)
+		if !ok {
+			continue
+		}
+		price := body.GetInt("price")
+		if price <= 0 {
+			continue
+		}
+		isB := sub != m.subA
+		if isB {
+			m.lastB = price
+		} else {
+			m.lastA = price
+		}
+		if m.lastA == 0 || m.lastB == 0 {
+			continue
+		}
+
+		// Pairs trade: deviation of the current price ratio from the
+		// pair's expected ratio, in basis points. All integer math:
+		// dev = |(pA/pB) / (baseA/baseB) − 1| · 10000.
+		ratioNow := m.lastA * 10000 * m.pair.BaseB
+		ratioMean := m.lastB * m.pair.BaseA
+		devBps := ratioNow/ratioMean - 10000
+		if devBps < 0 {
+			devBps = -devBps
+		}
+		if devBps < m.thresholdBps {
+			if isB {
+				m.quietStreak++
+				if m.quietStreak >= quietNeed {
+					m.armed = true
+				}
+			}
+			continue
+		}
+		m.quietStreak = 0
+		if m.armed {
+			m.armed = false
+			m.emitMatch(e, devBps)
+		}
+	}
+}
+
+// emitMatch publishes the Match event for the trader (step 3). Its
+// parts are contaminated with t_i by the monitor's output label, so
+// only the owning trader can perceive them.
+func (m *Monitor) emitMatch(trigger *events.Event, devBps int64) {
+	e := m.unit.CreateEventFrom(trigger)
+	// The spiked side (B, by workload construction) is overpriced:
+	// sell B, buy A; the order trades on B at its current price.
+	if err := m.unit.AddPart(e, noTags, noTags, "type", "match"); err != nil {
+		return
+	}
+	if err := m.unit.AddPart(e, noTags, noTags, "to", m.trader); err != nil {
+		return
+	}
+	body := freeze.MapOf(
+		"buy", m.pair.A,
+		"sell", m.pair.B,
+		"symbol", m.pair.B,
+		"price", m.lastB,
+		"dev_bps", devBps,
+	)
+	if err := m.unit.AddPart(e, noTags, noTags, "match", body); err != nil {
+		return
+	}
+	if err := m.unit.Publish(e); err != nil {
+		return
+	}
+	m.matches.inc()
+}

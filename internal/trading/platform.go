@@ -1,0 +1,272 @@
+// Package trading implements the paper's evaluation application (§6.1):
+// a stock trading platform of DEFCon processing units — Stock Exchange,
+// per-trader Pair Monitors, Traders, a dark-pool Local Broker and a
+// Regulator — wired with the tag/privilege choreography of Figure 4.
+//
+// Event vocabulary (all events carry a public scalar "type" part used
+// for indexable subscriptions):
+//
+//	tick       type="tick",  body{symbol,price,seq}           I={s}
+//	match      type="match", to=<trader>, match{...}          S={t_i}
+//	order      type="order", order{...}+[tr±] S={b},
+//	           name=<trader>+[tr+auth]                        S={b,tr}
+//	trade      type="trade", trade{...} public,
+//	           buyer=<name> S={tr_b}, seller=<name> S={tr_s}
+//	audit      type="audit", audit{trade}                     public
+//	           (answered by adding a "delegation" part to the trade)
+//	vol        vol{trader,qty}+[tr+]                          S={reg}
+//	warning    warning{to,msg}                                S={tr}
+//
+// The choreography follows Figure 4's steps 1–9; deviations forced by
+// under-specification in the paper are documented on the unit that
+// implements them.
+package trading
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isolation"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+	"repro/internal/workload"
+)
+
+// DefaultThresholdBps is the pairs-trade trigger threshold in basis
+// points of ratio deviation; workload.DivergeBps comfortably exceeds
+// it so engineered divergences always fire.
+const DefaultThresholdBps = 200
+
+// Config assembles a trading platform.
+type Config struct {
+	// Mode is the DEFCon security mode (the four curves of Figs 5–7).
+	Mode core.SecurityMode
+	// NumTraders is the trader population (the x-axis of Figs 5–7).
+	NumTraders int
+	// Universe defaults to workload.UniverseForTraders(NumTraders).
+	Universe *workload.Universe
+	// Seed drives pair assignment and the tag store.
+	Seed int64
+	// ThresholdBps is the pairs-trade trigger threshold (default 200).
+	ThresholdBps int64
+	// AuditSampleEvery has the Regulator audit every n-th trade
+	// (default 8; 0 disables auditing).
+	AuditSampleEvery uint64
+	// QuotaShares is the per-trader traded-volume quota above which the
+	// Regulator publishes a warning (default 5000).
+	QuotaShares int64
+	// TickCacheSize bounds the Stock Exchange's in-memory tick cache
+	// (default 4096) — the paper's deployment cached ≈300 MiB of tick
+	// events; the cache models that retained footprint.
+	TickCacheSize int
+	// QueueCap bounds unit delivery queues (default 512; queue buffers
+	// are allocated eagerly, so large trader populations scale memory
+	// with this knob).
+	QueueCap int
+	// Enforcer optionally shares a pre-built isolation enforcer.
+	Enforcer *isolation.Enforcer
+	// OnTrade, when set, receives the end-to-end latency in nanoseconds
+	// (trade production time minus originating tick time) of every
+	// completed trade — the Figure 6 measurement, taken at the Broker.
+	OnTrade func(latencyNs int64)
+}
+
+// Stats aggregate platform activity.
+type Stats struct {
+	TicksPublished   uint64
+	MatchesEmitted   uint64
+	OrdersPlaced     uint64
+	TradesCompleted  uint64
+	AuditsRequested  uint64
+	WarningsReceived uint64
+}
+
+// Platform is an assembled trading system.
+type Platform struct {
+	Sys       *core.System
+	Exchange  *Exchange
+	Broker    *Broker
+	Regulator *Regulator
+	Traders   []*Trader
+
+	cfg      Config
+	universe *workload.Universe
+	tagB     tags.Tag // dark-pool broker tag b
+	tagS     tags.Tag // exchange integrity tag s
+}
+
+// New assembles and starts a platform: units are created with the
+// bootstrap privileges of Figure 4 (the Stock Exchange and Regulator
+// own s; the Broker owns b) and traders instantiate their own Pair
+// Monitors, delegating their t_i privileges.
+func New(cfg Config) (*Platform, error) {
+	if cfg.NumTraders <= 0 {
+		return nil, fmt.Errorf("trading: NumTraders must be positive")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ThresholdBps == 0 {
+		cfg.ThresholdBps = DefaultThresholdBps
+	}
+	if cfg.AuditSampleEvery == 0 {
+		cfg.AuditSampleEvery = 8
+	}
+	if cfg.QuotaShares == 0 {
+		cfg.QuotaShares = 5000
+	}
+	if cfg.TickCacheSize == 0 {
+		cfg.TickCacheSize = 4096
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 512
+	}
+	if cfg.Universe == nil {
+		cfg.Universe = workload.UniverseForTraders(cfg.NumTraders)
+	}
+
+	sys := core.NewSystem(core.Config{
+		Mode:     cfg.Mode,
+		Seed:     cfg.Seed,
+		QueueCap: cfg.QueueCap,
+		Enforcer: cfg.Enforcer,
+	})
+	p := &Platform{Sys: sys, cfg: cfg, universe: cfg.Universe}
+
+	// Bootstrap tags: the platform operator mints the shared tags and
+	// hands out the Figure 4 ownerships. Using a throwaway bootstrap
+	// unit keeps tag creation on the unit API.
+	boot := sys.NewUnit("platform-bootstrap", core.UnitConfig{})
+	p.tagS = boot.CreateTagAuthOnly("i-exchange")
+	p.tagB = boot.CreateTagAuthOnly("dark-pool")
+
+	grantsOf := func(t tags.Tag, rights ...priv.Right) []priv.Grant {
+		gs := make([]priv.Grant, len(rights))
+		for i, r := range rights {
+			gs[i] = priv.Grant{Tag: t, Right: r}
+		}
+		return gs
+	}
+
+	p.Exchange = newExchange(p, grantsOf(p.tagS, priv.Plus))
+	p.Regulator = newRegulator(p, grantsOf(p.tagS, priv.Plus))
+	p.Broker = newBroker(p, grantsOf(p.tagB, priv.Plus, priv.Minus))
+	if err := p.Broker.wire(); err != nil {
+		sys.Close()
+		return nil, fmt.Errorf("trading: broker wiring: %w", err)
+	}
+	if err := p.Regulator.wire(); err != nil {
+		sys.Close()
+		return nil, fmt.Errorf("trading: regulator wiring: %w", err)
+	}
+
+	assignment := p.universe.AssignPairs(cfg.NumTraders, cfg.Seed+7)
+	p.Traders = make([]*Trader, cfg.NumTraders)
+	perPair := make([]int, len(p.universe.Pairs))
+	for i := range p.Traders {
+		pairIx := assignment[i]
+		// Alternate bid/ask within each pair's trader population so
+		// co-monitoring traders take opposite sides and the dark pool
+		// crosses (§6.1: co-located traders clear against each other).
+		side := "bid"
+		if perPair[pairIx]%2 == 1 {
+			side = "ask"
+		}
+		perPair[pairIx]++
+		tr, err := newTrader(p, i, p.universe.Pairs[pairIx], side)
+		if err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("trading: trader %d: %w", i, err)
+		}
+		p.Traders[i] = tr
+	}
+	return p, nil
+}
+
+// TagB exposes the dark-pool tag reference. Tag values are opaque and
+// confer no privilege; traders use the reference to protect order
+// parts (raising secrecy needs no privilege).
+func (p *Platform) TagB() tags.Tag { return p.tagB }
+
+// TagS exposes the exchange integrity tag reference.
+func (p *Platform) TagS() tags.Tag { return p.tagS }
+
+// Universe returns the platform's symbol universe.
+func (p *Platform) Universe() *workload.Universe { return p.universe }
+
+// Replay publishes ticks from the trace as fast as possible on the
+// caller's goroutine — the paper's single-threaded Stock Exchange
+// replaying "tick event traces as quickly as possible".
+func (p *Platform) Replay(ticks []workload.Tick) {
+	for i := range ticks {
+		p.Exchange.PublishTick(&ticks[i])
+	}
+}
+
+// ReplayPaced publishes ticks at the given rate (events/second), the
+// Figure 6/9 latency measurement regime.
+func (p *Platform) ReplayPaced(ticks []workload.Tick, rate float64) {
+	if rate <= 0 {
+		p.Replay(ticks)
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	next := time.Now()
+	for i := range ticks {
+		p.Exchange.PublishTick(&ticks[i])
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// Quiesce waits until all unit queues (including managed instances)
+// drain or the timeout expires.
+func (p *Platform) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p.Sys.TotalQueueLen() == 0 {
+			// Double-check after a beat: a handler may be mid-publish.
+			time.Sleep(2 * time.Millisecond)
+			if p.Sys.TotalQueueLen() == 0 {
+				return true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Stats snapshots platform activity.
+func (p *Platform) Stats() Stats {
+	var st Stats
+	st.TicksPublished = p.Exchange.Published()
+	st.TradesCompleted = p.Broker.Trades()
+	st.AuditsRequested = p.Regulator.Audits()
+	for _, t := range p.Traders {
+		st.MatchesEmitted += t.Matches()
+		st.OrdersPlaced += t.Orders()
+		st.WarningsReceived += t.Warnings()
+	}
+	return st
+}
+
+// Close shuts the platform down.
+func (p *Platform) Close() { p.Sys.Close() }
+
+// label helpers shared by the units.
+
+func setOf(ts ...tags.Tag) labels.Set { return labels.NewSet(ts...) }
+
+var noTags = labels.EmptySet
+
+// counter is a tiny atomic counter embedded in units.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) inc() uint64  { return c.v.Add(1) }
+func (c *counter) add(n uint64) { c.v.Add(n) }
+func (c *counter) load() uint64 { return c.v.Load() }

@@ -1,0 +1,252 @@
+package trading
+
+import (
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+// Regulator samples local trades on behalf of a regulatory body
+// (§6.1): it verifies per-trader traded volume against a quota,
+// learns trader identities only through on-demand privilege delegation
+// from the Broker (steps 7–8), warns traders that exceed the quota,
+// and republishes sampled local trades as integrity-endorsed ticks
+// (step 9) — it owns the integrity tag s for exactly that purpose.
+//
+// Information flow summary:
+//
+//	trade (public)  ──sample──▶ primary adds "audit_req", releases
+//	trade+audit_req ──────────▶ Broker book instance adds "delegation"
+//	                            (S={reg}, carries tr± for both sides)
+//	trade+delegation ─────────▶ managed instance @{reg}: raises by tr
+//	                            (input-only: it holds tr−), reads the
+//	                            names, publishes per-side "vol" events
+//	                            at S={reg}; instance resets afterwards
+//	vol (S={reg})  ───────────▶ primary (Sin={reg}) accumulates volume,
+//	                            publishes "warning" at S={tr} on breach
+type Regulator struct {
+	p    *Platform
+	unit *core.Unit
+
+	regTag tags.Tag
+
+	subTrade, subVol uint64
+
+	audits   counter
+	volsSeen counter
+
+	// primary-loop state (single goroutine): per-trader volume and
+	// warned set.
+	volumes map[string]int64
+	warned  map[string]bool
+	seen    uint64
+}
+
+// newRegulator assembles the regulator: it owns its tag reg, raises its
+// input to {reg} (it holds reg±), and endorses its output with s.
+func newRegulator(p *Platform, grants []priv.Grant) *Regulator {
+	r := &Regulator{
+		p:       p,
+		volumes: make(map[string]int64),
+		warned:  make(map[string]bool),
+	}
+	// The regulator aggregates every trade: give the singleton a deep
+	// queue so bursts do not stall the Broker.
+	r.unit = p.Sys.NewUnit("regulator", core.UnitConfig{Grants: grants, QueueCap: 16384})
+	r.regTag = r.unit.CreateTag("regulator")
+	if err := r.unit.ChangeInLabel(core.Confidentiality, core.Add, r.regTag); err != nil {
+		panic("regulator label: " + err.Error())
+	}
+	if err := r.unit.ChangeOutLabel(core.Integrity, core.Add, p.tagS); err != nil {
+		panic("regulator endorsement: " + err.Error())
+	}
+	return r
+}
+
+// RegTag exposes the regulator's tag reference (used by the Broker to
+// protect delegation parts; the reference conveys no privilege).
+func (r *Regulator) RegTag() tags.Tag { return r.regTag }
+
+// Audits reports audit requests issued.
+func (r *Regulator) Audits() uint64 { return r.audits.load() }
+
+// VolsSeen reports volume reports processed.
+func (r *Regulator) VolsSeen() uint64 { return r.volsSeen.load() }
+
+// wire registers subscriptions and starts the primary loop.
+func (r *Regulator) wire() error {
+	var err error
+	if r.subTrade, err = r.unit.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "trade"))); err != nil {
+		return err
+	}
+	if r.subVol, err = r.unit.Subscribe(dispatch.MustFilter(dispatch.PartExists("vol"))); err != nil {
+		return err
+	}
+	// Managed subscription for delegations: the trade event augmented
+	// with a "delegation" part re-dispatches here; instances run at
+	// {reg} and are reset after every (privilege-acquiring) delivery.
+	if _, err = r.unit.SubscribeManagedOpts(r.handleDelegation,
+		dispatch.MustFilter(dispatch.PartExists("delegation")),
+		core.ManagedOptions{ResetOnDrift: true, Pin: setOf(r.regTag)}); err != nil {
+		return err
+	}
+	r.p.Sys.Go(r.run)
+	return nil
+}
+
+// run is the primary loop: trade sampling and volume accounting.
+func (r *Regulator) run() {
+	for {
+		e, sub, err := r.unit.GetEvent()
+		if err != nil {
+			return
+		}
+		switch sub {
+		case r.subTrade:
+			r.handleTrade(e)
+		case r.subVol:
+			r.handleVol(e)
+		}
+	}
+}
+
+// handleTrade samples every n-th trade: it requests an audit by adding
+// a public "audit_req" part to the trade event (re-dispatched to the
+// Broker on release) and republishes the trade as an s-endorsed tick
+// (step 9).
+func (r *Regulator) handleTrade(e *events.Event) {
+	r.seen++
+	if r.p.cfg.AuditSampleEvery == 0 || r.seen%r.p.cfg.AuditSampleEvery != 0 {
+		return
+	}
+	tv, err := r.unit.ReadOne(e, "trade")
+	if err != nil {
+		return
+	}
+	tm, ok := tv.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+
+	// Step 9: republish the local trade as a valid stock tick. The
+	// regulator owns s, so monitors perceive it like an exchange tick.
+	// The republication is a fresh market event: it gets its own origin
+	// stamp, so second-generation trades do not inherit the first
+	// generation's latency.
+	tick := r.unit.CreateEvent()
+	if err := r.unit.AddPart(tick, noTags, noTags, "type", "tick"); err == nil {
+		body := freeze.MapOf(
+			"symbol", tm.GetString("symbol"),
+			"price", tm.GetInt("price"),
+			"seq", int64(0),
+		)
+		if r.unit.AddPart(tick, noTags, noTags, "body", body) == nil {
+			// Best-effort: the feedback edge must never stall the
+			// regulator behind congested monitor queues.
+			_ = r.unit.PublishBestEffort(tick)
+		}
+	}
+
+	// Step 7: request the identity delegation. The part is public; the
+	// Broker's pinned book instance answers on the same event.
+	if err := r.unit.AddPart(e, noTags, noTags, "audit_req", r.seen); err != nil {
+		return
+	}
+	r.audits.inc()
+	// The next GetEvent auto-releases the modified trade event,
+	// re-dispatching it to the Broker.
+}
+
+// handleDelegation runs in a managed instance at {reg}: it consumes the
+// privileges the Broker delegated, reads the trade's identity parts and
+// reports per-side volumes to the primary as {reg}-protected events.
+// Holding tr− makes the input-only raise (and hence the declassified
+// volume report) legal; the instance resets afterwards.
+func (r *Regulator) handleDelegation(u *core.Unit, e *events.Event, sub uint64) {
+	dv, err := u.ReadOne(e, "delegation") // bestows tr± for both sides
+	if err != nil {
+		return
+	}
+	dm, ok := dv.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	qty := dm.GetInt("qty")
+	sides := []struct {
+		tagKey, part string
+	}{
+		{"buyer_tag", "buyer"},
+		{"seller_tag", "seller"},
+	}
+	for _, side := range sides {
+		tv, ok := dm.Get(side.tagKey)
+		if !ok {
+			continue
+		}
+		tr, ok := tv.(tags.Tag)
+		if !ok || tr.IsZero() {
+			continue
+		}
+		if err := u.ChangeInLabel(core.Confidentiality, core.Add, tr); err != nil {
+			continue
+		}
+		nv, err := u.ReadOne(e, side.part)
+		_ = u.ChangeInLabel(core.Confidentiality, core.Del, tr)
+		if err != nil {
+			continue
+		}
+		name, _ := nv.Data.(string)
+		if name == "" {
+			continue
+		}
+		// Volume report to the primary, protected by reg; the trader's
+		// tag reference rides along for the eventual warning.
+		ve := u.CreateEventFrom(e)
+		payload := freeze.MapOf("trader", name, "qty", qty, "tr", tr)
+		if err := u.AddPart(ve, setOf(r.regTag), noTags, "vol", payload); err != nil {
+			continue
+		}
+		_ = u.Publish(ve)
+	}
+}
+
+// handleVol accumulates volume per trader and warns on quota breach
+// (step 8). The warning part is protected by the trader's own order
+// tag, so only that trader perceives it.
+func (r *Regulator) handleVol(e *events.Event) {
+	vv, err := r.unit.ReadOne(e, "vol")
+	if err != nil {
+		return
+	}
+	vm, ok := vv.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	r.volsSeen.inc()
+	name := vm.GetString("trader")
+	r.volumes[name] += vm.GetInt("qty")
+	if r.volumes[name] <= r.p.cfg.QuotaShares || r.warned[name] {
+		return
+	}
+	tv, ok := vm.Get("tr")
+	if !ok {
+		return
+	}
+	tr, ok := tv.(tags.Tag)
+	if !ok || tr.IsZero() {
+		return
+	}
+	r.warned[name] = true
+	we := r.unit.CreateEventFrom(e)
+	warning := freeze.MapOf(
+		"to", name,
+		"msg", "trading volume exceeded quota",
+	)
+	if err := r.unit.AddPart(we, setOf(tr), noTags, "warning", warning); err != nil {
+		return
+	}
+	_ = r.unit.Publish(we)
+}

@@ -1,0 +1,260 @@
+package trading
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+	"repro/internal/workload"
+)
+
+// maxLiveOrderTags bounds how many per-order tags a trader keeps in its
+// input label; older tags are dropped FIFO (the trader owns tr−, so
+// lowering is always permitted). Keeping recent tags lets the trader
+// read its trade confirmations and any Regulator warnings.
+const maxLiveOrderTags = 32
+
+// Trader encapsulates one trader's strategy (§6.1): it owns the unique
+// tag t_i protecting its strategy flow, instantiates its Pair Monitor
+// with delegated t_i+ (step 1), reacts to Match events by placing
+// orders into the dark pool (step 4), and recognises its own trades
+// and Regulator warnings (steps 6, 8).
+type Trader struct {
+	p    *Platform
+	unit *core.Unit
+
+	name string
+	idx  int
+	pair workload.Pair
+	side string // "bid" for even indices, "ask" for odd: orders cross
+	tag  tags.Tag
+
+	monitor *core.Unit
+	mon     *Monitor
+
+	subMatch, subBuy, subSell, subWarning uint64
+
+	orderSeq uint64
+	liveTags []tags.Tag
+
+	matches  counter
+	orders   counter
+	trades   counter
+	warnings counter
+}
+
+// newTrader assembles a trader, its tag and its monitor.
+func newTrader(p *Platform, idx int, pair workload.Pair, side string) (*Trader, error) {
+	t := &Trader{
+		p:    p,
+		idx:  idx,
+		name: fmt.Sprintf("trader-%04d", idx),
+		pair: pair,
+		side: side,
+	}
+	t.unit = p.Sys.NewUnit(t.name, core.UnitConfig{})
+
+	// Step 1: the trader owns its unique tag and raises its input label
+	// so everything tagged t_i flows to it; its output stays public so
+	// orders can reach the Broker. Raising input-only needs t_i± —
+	// which the creator holds.
+	t.tag = t.unit.CreateTag("t-" + t.name)
+	if err := t.unit.ChangeInLabel(core.Confidentiality, core.Add, t.tag); err != nil {
+		return nil, err
+	}
+
+	// Instantiate the confined Pair Monitor at read integrity {s},
+	// delegating t_i+ (step 1). The monitor inherits the trader's
+	// contamination, so its entire output is t_i-protected.
+	mon, err := t.unit.InstantiateUnit(t.name+"-monitor", labels.EmptySet, setOf(p.tagS),
+		[]priv.Grant{{Tag: t.tag, Right: priv.Plus}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.monitor = mon
+	t.mon = &Monitor{
+		unit:         mon,
+		trader:       t.name,
+		pair:         pair,
+		thresholdBps: p.cfg.ThresholdBps,
+		matches:      &t.matches,
+	}
+	if err := t.mon.setup(); err != nil {
+		return nil, err
+	}
+
+	// Subscriptions (all equality-indexable so the dispatcher's
+	// centralised filtering stays sub-linear in the trader count).
+	if t.subMatch, err = t.unit.Subscribe(dispatch.MustFilter(dispatch.PartEq("to", t.name))); err != nil {
+		return nil, err
+	}
+	// Trade confirmations arrive via the identity parts themselves:
+	// the filter is equality-indexed on this trader's name and the
+	// parts are tr-protected, so each trade reaches exactly its two
+	// counterparties — no broadcast, no leak.
+	if t.subBuy, err = t.unit.Subscribe(dispatch.MustFilter(dispatch.PartEq("buyer", t.name))); err != nil {
+		return nil, err
+	}
+	if t.subSell, err = t.unit.Subscribe(dispatch.MustFilter(dispatch.PartEq("seller", t.name))); err != nil {
+		return nil, err
+	}
+	if t.subWarning, err = t.unit.Subscribe(dispatch.MustFilter(dispatch.KeyEq("warning", "to", t.name))); err != nil {
+		return nil, err
+	}
+
+	p.Sys.Go(t.run)
+	p.Sys.Go(t.mon.run)
+	return t, nil
+}
+
+// Name returns the trader's platform name.
+func (t *Trader) Name() string { return t.name }
+
+// Tag returns the trader's strategy tag t_i.
+func (t *Trader) Tag() tags.Tag { return t.tag }
+
+// Pair returns the monitored symbol pair.
+func (t *Trader) Pair() workload.Pair { return t.pair }
+
+// Matches reports Match events emitted by the trader's monitor.
+func (t *Trader) Matches() uint64 { return t.matches.load() }
+
+// Orders reports orders placed.
+func (t *Trader) Orders() uint64 { return t.orders.load() }
+
+// Trades reports completed trades this trader recognised as its own.
+func (t *Trader) Trades() uint64 { return t.trades.load() }
+
+// Warnings reports Regulator warnings received.
+func (t *Trader) Warnings() uint64 { return t.warnings.load() }
+
+// run is the trader's processing loop.
+func (t *Trader) run() {
+	for {
+		e, sub, err := t.unit.GetEvent()
+		if err != nil {
+			return
+		}
+		switch sub {
+		case t.subMatch:
+			t.placeOrder(e)
+		case t.subBuy, t.subSell:
+			t.checkTrade(e)
+		case t.subWarning:
+			t.warnings.inc()
+		}
+	}
+}
+
+// placeOrder implements step 4: a bid/ask with the three-way protection
+// of Figure 1 — order details confined to the dark pool by b, the
+// trader identity additionally protected by a fresh per-order tag tr,
+// and the privilege payload that lets the Broker (and transitively the
+// Regulator) do their jobs:
+//
+//	order part (S={b})      carries [tr+, tr−]      — the Broker may
+//	    temporarily raise its input to read the identity and may
+//	    declassify what it is entitled to.
+//	name  part (S={b,tr})   carries [tr+auth, tr−auth] — the Broker may
+//	    delegate those privileges onwards to the Regulator (step 7's
+//	    "only possible as long as t+auth_r was included in the second
+//	    part of the bid order").
+func (t *Trader) placeOrder(match *events.Event) {
+	view, err := t.unit.ReadOne(match, "match")
+	if err != nil {
+		return
+	}
+	body, ok := view.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	symbol := body.GetString("symbol")
+	price := body.GetInt("price")
+	if symbol == "" || price <= 0 {
+		return
+	}
+
+	t.orderSeq++
+	orderID := int64(t.idx)*1_000_000 + int64(t.orderSeq)
+	tr := t.unit.CreateTag(fmt.Sprintf("tr-%s-%d", t.name, t.orderSeq))
+
+	// Keep tr in the input label so trade confirmations and warnings
+	// protected by it remain visible (bounded FIFO).
+	if err := t.unit.ChangeInLabel(core.Confidentiality, core.Add, tr); err == nil {
+		t.liveTags = append(t.liveTags, tr)
+		if len(t.liveTags) > maxLiveOrderTags {
+			old := t.liveTags[0]
+			t.liveTags = t.liveTags[1:]
+			_ = t.unit.ChangeInLabel(core.Confidentiality, core.Del, old)
+			// The order left the confirmation window: renounce its tag
+			// entirely so privilege sets stay bounded.
+			for _, r := range []priv.Right{priv.Plus, priv.Minus, priv.PlusAuth, priv.MinusAuth} {
+				t.unit.DropPrivilege(old, r)
+			}
+		}
+	}
+
+	e := t.unit.CreateEventFrom(match)
+	if err := t.unit.AddPart(e, noTags, noTags, "type", "order"); err != nil {
+		return
+	}
+	// The tr reference travels in the order data (§3.1.5: "this
+	// reference is carried in the data part of an event"); the
+	// reference alone conveys no privilege — the attached grants do.
+	order := freeze.MapOf(
+		"symbol", symbol,
+		"price", price,
+		"side", t.side,
+		"qty", int64(100),
+		"id", orderID,
+		"tr", tr,
+	)
+	bSet := setOf(t.p.tagB)
+	if err := t.unit.AddPart(e, bSet, noTags, "order", order); err != nil {
+		return
+	}
+	for _, r := range []priv.Right{priv.Plus, priv.Minus} {
+		if err := t.unit.AttachPrivilegeToPart(e, "order", bSet, noTags, tr, r); err != nil {
+			return
+		}
+	}
+	nameSet := setOf(t.p.tagB, tr)
+	if err := t.unit.AddPart(e, nameSet, noTags, "name", t.name); err != nil {
+		return
+	}
+	for _, r := range []priv.Right{priv.PlusAuth, priv.MinusAuth} {
+		if err := t.unit.AttachPrivilegeToPart(e, "name", nameSet, noTags, tr, r); err != nil {
+			return
+		}
+	}
+	if err := t.unit.Publish(e); err != nil {
+		return
+	}
+	t.orders.inc()
+}
+
+// checkTrade implements step 6's consumer side: the trader reads the
+// trade's identity parts; only parts protected by one of its own live
+// order tags are visible, so it recognises exactly its own trades.
+func (t *Trader) checkTrade(e *events.Event) {
+	mine := false
+	for _, part := range []string{"buyer", "seller"} {
+		views, err := t.unit.ReadPart(e, part)
+		if err != nil {
+			continue
+		}
+		for _, v := range views {
+			if v.Data == freeze.Value(t.name) {
+				mine = true
+			}
+		}
+	}
+	if mine {
+		t.trades.inc()
+	}
+}

@@ -1,0 +1,255 @@
+// Package units implements the runtime state of DEFCon processing-unit
+// instances: input/output labels, privilege sets, the per-instance
+// delivery queue and the (optional) isolation context.
+//
+// A unit instance is the paper's "unit" (§3.1.3–§3.1.4) plus, for
+// managed subscriptions, the per-contamination instances DEFCon creates
+// on the unit's behalf (§5, subscribeManaged). The label and privilege
+// bookkeeping lives here; the Table 1 API semantics live in the core
+// package, which drives instances.
+package units
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/events"
+	"repro/internal/isolation"
+	"repro/internal/labels"
+	"repro/internal/priv"
+)
+
+// ErrTerminated is returned by blocking operations once the system is
+// shut down or the instance retired.
+var ErrTerminated = errors.New("units: unit terminated")
+
+// Delivery is one event offered to an instance.
+type Delivery struct {
+	Event *events.Event
+	Sub   uint64 // matching subscription
+	Gen   uint64 // event generation at delivery time
+}
+
+// Instance is one executing unit instance.
+type Instance struct {
+	id   uint64
+	name string
+
+	// in/out are the instance's input and output labels (§3.1.4). They
+	// are read on every match (hot path) and written rarely, so they
+	// live behind atomic pointers.
+	in  atomic.Pointer[labels.Label]
+	out atomic.Pointer[labels.Label]
+
+	// privMu guards owned. Privilege reads happen on API calls of this
+	// instance's own goroutine; mutation also happens via privilege-
+	// carrying parts read during delivery processing.
+	privMu sync.Mutex
+	owned  *priv.Owned
+
+	// Iso is the instance's isolation context; nil outside the
+	// labels+freeze+isolation mode.
+	Iso *isolation.Isolate
+
+	queue    chan Delivery
+	done     <-chan struct{}
+	retired  atomic.Bool
+	enqueued atomic.Uint64
+
+	// creation snapshot, used to detect and undo contamination drift in
+	// pooled managed instances.
+	createdIn  labels.Label
+	createdOut labels.Label
+	createdOwn *priv.Owned
+
+	// state is scratch storage for managed handlers, wiped when the
+	// instance is re-virgined.
+	stateMu sync.Mutex
+	state   map[string]any
+}
+
+// Config assembles an instance.
+type Config struct {
+	ID       uint64
+	Name     string
+	In, Out  labels.Label
+	Owned    *priv.Owned
+	Iso      *isolation.Isolate
+	QueueCap int
+	Done     <-chan struct{}
+}
+
+// New creates an instance. A nil Owned starts with no privileges.
+func New(cfg Config) *Instance {
+	if cfg.Owned == nil {
+		cfg.Owned = &priv.Owned{}
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	inst := &Instance{
+		id:         cfg.ID,
+		name:       cfg.Name,
+		owned:      cfg.Owned,
+		Iso:        cfg.Iso,
+		queue:      make(chan Delivery, cfg.QueueCap),
+		done:       cfg.Done,
+		createdIn:  cfg.In,
+		createdOut: cfg.Out,
+		createdOwn: cfg.Owned.Clone(),
+	}
+	in, out := cfg.In, cfg.Out
+	inst.in.Store(&in)
+	inst.out.Store(&out)
+	return inst
+}
+
+// ReceiverID implements dispatch.Receiver.
+func (i *Instance) ReceiverID() uint64 { return i.id }
+
+// Name returns the instance's diagnostic name.
+func (i *Instance) Name() string { return i.name }
+
+// InputLabel returns the current input label (= contamination, §3.1.4).
+func (i *Instance) InputLabel() labels.Label { return *i.in.Load() }
+
+// OutputLabel returns the current output label.
+func (i *Instance) OutputLabel() labels.Label { return *i.out.Load() }
+
+// SetInputLabel replaces the input label. Privilege checking is the
+// caller's (core API's) duty.
+func (i *Instance) SetInputLabel(l labels.Label) { i.in.Store(&l) }
+
+// SetOutputLabel replaces the output label.
+func (i *Instance) SetOutputLabel(l labels.Label) { i.out.Store(&l) }
+
+// WithPrivileges runs fn with exclusive access to the instance's
+// privilege sets.
+func (i *Instance) WithPrivileges(fn func(o *priv.Owned)) {
+	i.privMu.Lock()
+	defer i.privMu.Unlock()
+	fn(i.owned)
+}
+
+// HasPrivilege reports whether the instance holds right r over tag t.
+func (i *Instance) HasPrivilege(t priv.Grant) bool {
+	i.privMu.Lock()
+	defer i.privMu.Unlock()
+	return i.owned.Has(t.Tag, t.Right)
+}
+
+// Enqueue implements dispatch.Receiver: with block set it waits for
+// queue space (natural backpressure towards the publisher); without it
+// a full queue drops the delivery. It fails once the instance or
+// system is shut down.
+func (i *Instance) Enqueue(e *events.Event, sub uint64, block bool) bool {
+	if i.retired.Load() {
+		return false
+	}
+	d := Delivery{Event: e, Sub: sub, Gen: e.Generation()}
+	if !block {
+		select {
+		case i.queue <- d:
+			i.enqueued.Add(1)
+			return true
+		default:
+			return false
+		}
+	}
+	select {
+	case i.queue <- d:
+		i.enqueued.Add(1)
+		return true
+	case <-i.done:
+		return false
+	}
+}
+
+// Next blocks until a delivery arrives, the system shuts down, or the
+// instance is retired.
+func (i *Instance) Next() (Delivery, error) {
+	select {
+	case d := <-i.queue:
+		return d, nil
+	case <-i.done:
+		// Drain-first: prefer a queued delivery over shutdown so close
+		// is not racy for already-delivered events.
+		select {
+		case d := <-i.queue:
+			return d, nil
+		default:
+			return Delivery{}, ErrTerminated
+		}
+	}
+}
+
+// TryNext is the non-blocking variant of Next.
+func (i *Instance) TryNext() (Delivery, bool) {
+	select {
+	case d := <-i.queue:
+		return d, true
+	default:
+		return Delivery{}, false
+	}
+}
+
+// QueueLen reports the number of waiting deliveries.
+func (i *Instance) QueueLen() int { return len(i.queue) }
+
+// Enqueued reports the total number of deliveries accepted.
+func (i *Instance) Enqueued() uint64 { return i.enqueued.Load() }
+
+// Retire marks the instance dead; subsequent Enqueues fail.
+func (i *Instance) Retire() { i.retired.Store(true) }
+
+// Retired reports whether the instance was retired.
+func (i *Instance) Retired() bool { return i.retired.Load() }
+
+// State returns the instance's scratch state map, creating it on first
+// use. Managed handlers persist state across deliveries here; the map
+// is wiped by Reset.
+func (i *Instance) State() map[string]any {
+	i.stateMu.Lock()
+	defer i.stateMu.Unlock()
+	if i.state == nil {
+		i.state = make(map[string]any)
+	}
+	return i.state
+}
+
+// Drifted reports whether the instance's labels or privileges have
+// changed since creation — i.e. whether processing contaminated it
+// beyond its pooled identity.
+func (i *Instance) Drifted() bool {
+	if !i.InputLabel().Equal(i.createdIn) || !i.OutputLabel().Equal(i.createdOut) {
+		return true
+	}
+	drifted := false
+	i.WithPrivileges(func(o *priv.Owned) {
+		for r := priv.Plus; r <= priv.MinusAuth; r++ {
+			if !o.Set(r).Equal(i.createdOwn.Set(r)) {
+				drifted = true
+				return
+			}
+		}
+	})
+	return drifted
+}
+
+// Reset re-virgins a pooled managed instance: labels, privileges and
+// scratch state return to their creation snapshot. Combined with
+// Drifted it gives the paper's "creates and reuses separate unit
+// instances with contaminations appropriate for the processing of
+// incoming events": a contaminated instance is indistinguishable from
+// a fresh one after Reset because no state survives.
+func (i *Instance) Reset() {
+	i.SetInputLabel(i.createdIn)
+	i.SetOutputLabel(i.createdOut)
+	i.privMu.Lock()
+	i.owned = i.createdOwn.Clone()
+	i.privMu.Unlock()
+	i.stateMu.Lock()
+	i.state = nil
+	i.stateMu.Unlock()
+}

@@ -1,0 +1,208 @@
+package units
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/labels"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+func testInstance(t *testing.T, done <-chan struct{}) *Instance {
+	t.Helper()
+	return New(Config{ID: 1, Name: "u", Done: done, QueueCap: 4})
+}
+
+func TestLabelsReadWrite(t *testing.T) {
+	store := tags.NewStore(1)
+	tg := store.Create("t", "u")
+	in := labels.Label{S: labels.NewSet(tg)}
+	i := New(Config{ID: 1, Name: "u", In: in})
+	if !i.InputLabel().Equal(in) {
+		t.Fatal("InputLabel mismatch")
+	}
+	if !i.OutputLabel().IsPublic() {
+		t.Fatal("OutputLabel not public by default")
+	}
+	out := labels.Label{I: labels.NewSet(tg)}
+	i.SetOutputLabel(out)
+	if !i.OutputLabel().Equal(out) {
+		t.Fatal("SetOutputLabel lost")
+	}
+}
+
+func TestEnqueueAndNext(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	i := testInstance(t, done)
+	e := events.New(7)
+	if !i.Enqueue(e, 3, true) {
+		t.Fatal("Enqueue failed")
+	}
+	d, err := i.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Event != e || d.Sub != 3 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if i.Enqueued() != 1 {
+		t.Fatal("Enqueued counter wrong")
+	}
+}
+
+func TestNextUnblocksOnShutdown(t *testing.T) {
+	done := make(chan struct{})
+	i := testInstance(t, done)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := i.Next()
+		errc <- err
+	}()
+	close(done)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrTerminated) {
+			t.Fatalf("Next after shutdown = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not unblock on shutdown")
+	}
+}
+
+func TestNextDrainsQueueBeforeShutdown(t *testing.T) {
+	done := make(chan struct{})
+	i := testInstance(t, done)
+	e := events.New(1)
+	i.Enqueue(e, 1, true)
+	close(done)
+	// The queued delivery should still be preferred over termination.
+	d, err := i.Next()
+	if err != nil || d.Event != e {
+		t.Fatalf("drain-first failed: %v %v", d, err)
+	}
+	if _, err := i.Next(); !errors.Is(err, ErrTerminated) {
+		t.Fatal("empty queue after shutdown did not terminate")
+	}
+}
+
+func TestEnqueueFailsWhenRetired(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	i := testInstance(t, done)
+	i.Retire()
+	if i.Enqueue(events.New(1), 1, true) {
+		t.Fatal("Enqueue succeeded on retired instance")
+	}
+	if !i.Retired() {
+		t.Fatal("Retired not reported")
+	}
+}
+
+func TestEnqueueFailsOnShutdownWhenFull(t *testing.T) {
+	done := make(chan struct{})
+	i := New(Config{ID: 1, Name: "u", Done: done, QueueCap: 1})
+	if !i.Enqueue(events.New(1), 1, true) {
+		t.Fatal("first enqueue failed")
+	}
+	// Queue full; enqueue should block until shutdown, then fail.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	if i.Enqueue(events.New(2), 1, true) {
+		t.Fatal("enqueue succeeded past capacity on shutdown")
+	}
+}
+
+func TestTryNext(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	i := testInstance(t, done)
+	if _, ok := i.TryNext(); ok {
+		t.Fatal("TryNext on empty queue returned delivery")
+	}
+	i.Enqueue(events.New(1), 1, true)
+	if i.QueueLen() != 1 {
+		t.Fatal("QueueLen wrong")
+	}
+	if _, ok := i.TryNext(); !ok {
+		t.Fatal("TryNext missed queued delivery")
+	}
+}
+
+func TestPrivilegesAccess(t *testing.T) {
+	store := tags.NewStore(2)
+	tg := store.Create("t", "u")
+	i := New(Config{ID: 1, Name: "u"})
+	if i.HasPrivilege(priv.Grant{Tag: tg, Right: priv.Plus}) {
+		t.Fatal("fresh instance has privilege")
+	}
+	i.WithPrivileges(func(o *priv.Owned) { o.Grant(tg, priv.Plus) })
+	if !i.HasPrivilege(priv.Grant{Tag: tg, Right: priv.Plus}) {
+		t.Fatal("granted privilege not visible")
+	}
+}
+
+func TestDriftAndReset(t *testing.T) {
+	store := tags.NewStore(3)
+	tg := store.Create("t", "u")
+	base := labels.Label{S: labels.NewSet(tg)}
+	i := New(Config{ID: 1, Name: "u", In: base, Out: base})
+	if i.Drifted() {
+		t.Fatal("fresh instance drifted")
+	}
+
+	// Label drift.
+	other := store.Create("o", "u")
+	i.SetInputLabel(labels.Label{S: labels.NewSet(tg, other)})
+	if !i.Drifted() {
+		t.Fatal("label change not detected as drift")
+	}
+	i.Reset()
+	if i.Drifted() || !i.InputLabel().Equal(base) {
+		t.Fatal("Reset did not restore labels")
+	}
+
+	// Privilege drift.
+	i.WithPrivileges(func(o *priv.Owned) { o.Grant(other, priv.Minus) })
+	if !i.Drifted() {
+		t.Fatal("privilege gain not detected as drift")
+	}
+	i.Reset()
+	if i.HasPrivilege(priv.Grant{Tag: other, Right: priv.Minus}) {
+		t.Fatal("Reset did not drop acquired privileges")
+	}
+
+	// State wipe.
+	i.State()["book"] = 42
+	i.Reset()
+	if len(i.State()) != 0 {
+		t.Fatal("Reset did not wipe state")
+	}
+}
+
+func TestResetPreservesCreationPrivileges(t *testing.T) {
+	store := tags.NewStore(4)
+	tg := store.Create("t", "u")
+	owned := &priv.Owned{}
+	owned.Grant(tg, priv.Minus)
+	i := New(Config{ID: 1, Name: "u", Owned: owned})
+	i.Reset()
+	if !i.HasPrivilege(priv.Grant{Tag: tg, Right: priv.Minus}) {
+		t.Fatal("Reset dropped creation privileges")
+	}
+}
+
+func TestDefaultQueueCap(t *testing.T) {
+	i := New(Config{ID: 1, Name: "u"})
+	if cap(i.queue) != 1024 {
+		t.Fatalf("default queue cap = %d", cap(i.queue))
+	}
+	if i.Name() != "u" || i.ReceiverID() != 1 {
+		t.Fatal("identity accessors wrong")
+	}
+}

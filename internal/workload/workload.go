@@ -1,0 +1,176 @@
+// Package workload generates the synthetic financial workload of the
+// paper's evaluation (§6.2): a stock-tick trace "derived from traces of
+// trades made on the London Stock Exchange" in shape — tick prices are
+// chosen so that the pairs-trading algorithm triggers for each pair
+// once every ten ticks — plus the Zipf assignment of traders to symbol
+// pairs ("some symbol pairs are well known to be correlated and, as a
+// result, the majority of Traders monitor their prices").
+//
+// Everything is deterministic under a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TriggerEvery is the tick period at which a pair's prices diverge
+// enough to trigger the pairs-trading algorithm (§6.2: "once every 10
+// ticks").
+const TriggerEvery = 10
+
+// DivergeBps is the price divergence applied on a trigger tick, in
+// basis points. It must exceed trading.DefaultThresholdBps by a
+// comfortable margin so every trigger fires.
+const DivergeBps = 500 // 5 %
+
+// Tick is one synthetic stock tick.
+type Tick struct {
+	Seq    uint64
+	Symbol string
+	// Price is in integer cents: event data stays in the immutable
+	// scalar kinds the freeze layer shares for free.
+	Price int64
+	// Trigger marks ticks engineered to fire the pairs algorithm;
+	// tests use it as ground truth.
+	Trigger bool
+}
+
+// Pair is a correlated symbol pair monitored by traders.
+type Pair struct {
+	A, B string
+	// BaseA and BaseB are the anchor prices; Mean = BaseA/BaseB is the
+	// expected price ratio the monitors watch.
+	BaseA, BaseB int64
+}
+
+// Universe is the tradable world: symbols, their base prices and the
+// correlated pairs.
+type Universe struct {
+	Symbols []string
+	Pairs   []Pair
+	base    map[string]int64
+}
+
+// NewUniverse builds numPairs correlated pairs (2·numPairs symbols).
+func NewUniverse(numPairs int) *Universe {
+	if numPairs < 1 {
+		numPairs = 1
+	}
+	u := &Universe{base: make(map[string]int64, numPairs*2)}
+	for i := 0; i < numPairs; i++ {
+		a := fmt.Sprintf("SYM%03dA", i)
+		b := fmt.Sprintf("SYM%03dB", i)
+		// Distinct bases so ratios differ across pairs.
+		pa := int64(10000 + 100*i)
+		pb := int64(5000 + 50*i)
+		u.Symbols = append(u.Symbols, a, b)
+		u.Pairs = append(u.Pairs, Pair{A: a, B: b, BaseA: pa, BaseB: pb})
+		u.base[a] = pa
+		u.base[b] = pb
+	}
+	return u
+}
+
+// BasePrice returns a symbol's anchor price.
+func (u *Universe) BasePrice(sym string) int64 { return u.base[sym] }
+
+// PairsFor returns how many pairs the universe holds.
+func (u *Universe) PairsFor() int { return len(u.Pairs) }
+
+// UniverseForTraders sizes a universe to a trader population: enough
+// pairs that the Zipf tail has somewhere to land, few enough that
+// popular pairs are shared by many traders (the paper's co-monitoring
+// effect).
+func UniverseForTraders(numTraders int) *Universe {
+	pairs := numTraders / 4
+	if pairs < 8 {
+		pairs = 8
+	}
+	if pairs > 512 {
+		pairs = 512
+	}
+	return NewUniverse(pairs)
+}
+
+// AssignPairs assigns each of numTraders a pair index drawn from a
+// Zipf distribution over the universe's pairs.
+func (u *Universe) AssignPairs(numTraders int, seed int64) []int {
+	out := make([]int, numTraders)
+	if len(u.Pairs) < 2 {
+		return out // single pair: everyone monitors it
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(len(u.Pairs)-1))
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// Trace is a deterministic tick stream over a universe.
+//
+// The stream round-robins pairs; within a pair, every TriggerEvery-th
+// visit diverges the B symbol's price by DivergeBps, firing every
+// monitor of that pair exactly once per TriggerEvery pair-visits.
+type Trace struct {
+	u      *Universe
+	rng    *rand.Rand
+	seq    uint64
+	pairIx int
+	sideB  bool
+	visits []uint64 // per-pair visit counts
+}
+
+// NewTrace starts a trace over the universe.
+func NewTrace(u *Universe, seed int64) *Trace {
+	return &Trace{
+		u:      u,
+		rng:    rand.New(rand.NewSource(seed)),
+		visits: make([]uint64, len(u.Pairs)),
+	}
+}
+
+// Next produces the next tick. Ticks alternate a pair's A and B sides
+// then move to the next pair, so both prices of a pair refresh within
+// two consecutive ticks — keeping the monitor's ratio view current.
+func (t *Trace) Next() Tick {
+	p := t.u.Pairs[t.pairIx]
+	var tick Tick
+	t.seq++
+	tick.Seq = t.seq
+	if !t.sideB {
+		// A-side tick: base price with ±0.2 % noise, never triggering.
+		noise := t.rng.Int63n(41) - 20 // ±20 bps
+		tick.Symbol = p.A
+		tick.Price = p.BaseA + p.BaseA*noise/10000
+		t.sideB = true
+		return tick
+	}
+	// B-side tick: every TriggerEvery-th visit diverges. The phase is
+	// staggered by pair index so divergence episodes spread across the
+	// trace instead of every pair spiking in the same rotation —
+	// correlated pairs diverge at uncorrelated times.
+	t.visits[t.pairIx]++
+	tick.Symbol = p.B
+	phase := uint64(t.pairIx % TriggerEvery)
+	if t.visits[t.pairIx]%TriggerEvery == phase {
+		tick.Price = p.BaseB + p.BaseB*DivergeBps/10000
+		tick.Trigger = true
+	} else {
+		noise := t.rng.Int63n(41) - 20
+		tick.Price = p.BaseB + p.BaseB*noise/10000
+	}
+	t.sideB = false
+	t.pairIx = (t.pairIx + 1) % len(t.u.Pairs)
+	return tick
+}
+
+// Take materialises the next n ticks.
+func (t *Trace) Take(n int) []Tick {
+	out := make([]Tick, n)
+	for i := range out {
+		out[i] = t.Next()
+	}
+	return out
+}

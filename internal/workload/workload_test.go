@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniverseShape(t *testing.T) {
+	u := NewUniverse(8)
+	if len(u.Pairs) != 8 || len(u.Symbols) != 16 {
+		t.Fatalf("universe: %d pairs, %d symbols", len(u.Pairs), len(u.Symbols))
+	}
+	seen := make(map[string]bool)
+	for _, s := range u.Symbols {
+		if seen[s] {
+			t.Fatalf("duplicate symbol %s", s)
+		}
+		seen[s] = true
+		if u.BasePrice(s) <= 0 {
+			t.Fatalf("symbol %s has no base price", s)
+		}
+	}
+	for _, p := range u.Pairs {
+		if p.BaseA == p.BaseB {
+			t.Fatal("degenerate pair ratio")
+		}
+	}
+	if NewUniverse(0).PairsFor() != 1 {
+		t.Fatal("zero-pair universe not clamped")
+	}
+}
+
+func TestUniverseForTradersScales(t *testing.T) {
+	small := UniverseForTraders(4)
+	if small.PairsFor() < 8 {
+		t.Fatal("small universe below floor")
+	}
+	big := UniverseForTraders(100000)
+	if big.PairsFor() > 512 {
+		t.Fatal("big universe above ceiling")
+	}
+	mid := UniverseForTraders(400)
+	if mid.PairsFor() != 100 {
+		t.Fatalf("mid universe = %d pairs, want 100", mid.PairsFor())
+	}
+}
+
+func TestAssignPairsZipfSkew(t *testing.T) {
+	u := NewUniverse(64)
+	assign := u.AssignPairs(10000, 42)
+	counts := make([]int, 64)
+	for _, ix := range assign {
+		if ix < 0 || ix >= 64 {
+			t.Fatalf("assignment out of range: %d", ix)
+		}
+		counts[ix]++
+	}
+	// Zipf: the most popular pair must dominate the median pair.
+	max, nonzero := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if max < len(assign)/10 {
+		t.Fatalf("top pair has %d/%d traders; expected heavy skew", max, len(assign))
+	}
+	if nonzero < 8 {
+		t.Fatalf("only %d pairs used; tail too thin", nonzero)
+	}
+}
+
+func TestAssignPairsDeterministic(t *testing.T) {
+	u := NewUniverse(16)
+	a := u.AssignPairs(100, 7)
+	b := u.AssignPairs(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed assignment diverged")
+		}
+	}
+}
+
+func TestTraceTriggersOncePerPeriod(t *testing.T) {
+	u := NewUniverse(4)
+	tr := NewTrace(u, 1)
+	// Each pair emits 2 ticks per visit (A then B); a full rotation is
+	// 8 ticks. After TriggerEvery rotations each pair has triggered
+	// exactly once.
+	perRotation := len(u.Pairs) * 2
+	ticks := tr.Take(perRotation * TriggerEvery * 3)
+
+	triggers := make(map[string]int)
+	for _, tk := range ticks {
+		if tk.Trigger {
+			triggers[tk.Symbol]++
+		}
+	}
+	if len(triggers) != len(u.Pairs) {
+		t.Fatalf("%d symbols triggered, want one per pair (%d)", len(triggers), len(u.Pairs))
+	}
+	for sym, n := range triggers {
+		if n != 3 {
+			t.Fatalf("symbol %s triggered %d times in 3 periods", sym, n)
+		}
+	}
+}
+
+func TestTraceTriggerMagnitudeExceedsThreshold(t *testing.T) {
+	u := NewUniverse(2)
+	tr := NewTrace(u, 1)
+	for _, tk := range tr.Take(200) {
+		base := u.BasePrice(tk.Symbol)
+		devBps := (tk.Price - base) * 10000 / base
+		if devBps < 0 {
+			devBps = -devBps
+		}
+		if tk.Trigger && devBps < 300 {
+			t.Fatalf("trigger tick deviates only %d bps", devBps)
+		}
+		if !tk.Trigger && devBps > 100 {
+			t.Fatalf("noise tick deviates %d bps", devBps)
+		}
+	}
+}
+
+func TestTraceSequencesAndDeterminism(t *testing.T) {
+	u := NewUniverse(3)
+	a := NewTrace(u, 5).Take(500)
+	b := NewTrace(u, 5).Take(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed traces diverged")
+		}
+		if a[i].Seq != uint64(i+1) {
+			t.Fatalf("tick %d has seq %d", i, a[i].Seq)
+		}
+	}
+	// Different seeds change noise but not structure.
+	c := NewTrace(u, 6).Take(500)
+	var differs bool
+	for i := range a {
+		if a[i].Price != c[i].Price {
+			differs = true
+		}
+		if a[i].Symbol != c[i].Symbol || a[i].Trigger != c[i].Trigger {
+			t.Fatal("seed changed trace structure")
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestTraceAlternatesPairSides(t *testing.T) {
+	u := NewUniverse(2)
+	tr := NewTrace(u, 1)
+	ticks := tr.Take(8)
+	// Expected order: P0.A, P0.B, P1.A, P1.B, P0.A, ...
+	want := []string{
+		u.Pairs[0].A, u.Pairs[0].B,
+		u.Pairs[1].A, u.Pairs[1].B,
+		u.Pairs[0].A, u.Pairs[0].B,
+		u.Pairs[1].A, u.Pairs[1].B,
+	}
+	for i, tk := range ticks {
+		if tk.Symbol != want[i] {
+			t.Fatalf("tick %d symbol %s, want %s", i, tk.Symbol, want[i])
+		}
+	}
+}
