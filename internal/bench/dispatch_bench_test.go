@@ -1,0 +1,184 @@
+package bench
+
+// Dispatch-path benchmarks across all four security modes.
+//
+// These measure the publish→match→admit→enqueue→consume pipeline at
+// the core.System level (label checks, freezing and cloning included),
+// complementing the dispatcher-local micro-benchmarks in
+// internal/dispatch. Each run reports:
+//
+//	ns/op     – per published event (inverse throughput)
+//	events/s  – publish throughput
+//	p99_ms    – 99th-percentile publish→consume latency
+//	allocs/op – allocations on the publish path (-benchmem)
+//
+// Run with:
+//
+//	go test ./internal/bench -run xxx -bench BenchmarkDispatch -benchmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/labels"
+	"repro/internal/metrics"
+)
+
+// dispatchBenchSubscribers is the number of consumer units, each on a
+// distinct equality-indexed symbol.
+const dispatchBenchSubscribers = 64
+
+// benchSystem assembles a system in the given mode with consumer
+// units that drain (and in clone mode recycle) their deliveries,
+// recording publish→consume latency.
+func benchSystem(tb testing.TB, mode core.SecurityMode) (*core.System, *core.Unit, *metrics.Histogram) {
+	tb.Helper()
+	sys := core.NewSystem(core.Config{
+		Mode:     mode,
+		Seed:     1,
+		QueueCap: 4096,
+		Enforcer: SharedEnforcer(),
+	})
+	h := metrics.NewHistogram()
+	var ready sync.WaitGroup
+	for i := 0; i < dispatchBenchSubscribers; i++ {
+		sym := fmt.Sprintf("SYM%04d", i)
+		ready.Add(1)
+		sys.SpawnUnit(fmt.Sprintf("consumer-%d", i), core.UnitConfig{}, func(u *core.Unit) {
+			if _, err := u.Subscribe(dispatch.MustFilter(dispatch.KeyEq("body", "symbol", sym))); err != nil {
+				panic(err)
+			}
+			ready.Done()
+			for {
+				e, _, err := u.GetEvent()
+				if err != nil {
+					return
+				}
+				h.Record(time.Now().UnixNano() - e.Stamp)
+				u.Recycle(e) // no-op outside labels+clone
+			}
+		})
+	}
+	ready.Wait()
+
+	pub := sys.NewUnit("publisher", core.UnitConfig{})
+	return sys, pub, h
+}
+
+// makeTick builds a tick-shaped event for one of the bench symbols.
+func makeTick(pub *core.Unit, i int) *events.Event {
+	e := pub.CreateEvent()
+	body := freeze.MapOf(
+		"symbol", fmt.Sprintf("SYM%04d", i%dispatchBenchSubscribers),
+		"price", int64(100+i%50),
+		"seq", int64(i),
+	)
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "tick"); err != nil {
+		panic(err)
+	}
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "body", body); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// benchModes lists the four security configurations in the paper's
+// legend order. The full-isolation mode rides along to keep the sweep
+// complete even though its extra cost lives in the API interceptors
+// rather than the dispatcher.
+var dispatchBenchModes = []core.SecurityMode{
+	core.NoSecurity,
+	core.LabelsFreeze,
+	core.LabelsClone,
+	core.LabelsFreezeIsolation,
+}
+
+// BenchmarkDispatchPublish measures single-event publishes through
+// the full system pipeline in every security mode.
+func BenchmarkDispatchPublish(b *testing.B) {
+	for _, mode := range dispatchBenchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			sys, pub, h := benchSystem(b, mode)
+			defer sys.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := pub.Publish(makeTick(pub, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			sys.Close()
+			if s := elapsed.Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "events/s")
+			}
+			b.ReportMetric(float64(h.Percentile(99))/1e6, "p99_ms")
+		})
+	}
+}
+
+// BenchmarkDispatchPublishBatch measures runs of 64 events through
+// PublishBatch — the amortised path a replaying feed uses.
+func BenchmarkDispatchPublishBatch(b *testing.B) {
+	const run = 64
+	for _, mode := range dispatchBenchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			sys, pub, h := benchSystem(b, mode)
+			defer sys.Close()
+			batch := make([]*events.Event, run)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = makeTick(pub, i*run+j)
+				}
+				if err := pub.PublishBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			sys.Close()
+			if s := elapsed.Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N*run)/s, "events/s")
+			}
+			b.ReportMetric(float64(h.Percentile(99))/1e6, "p99_ms")
+		})
+	}
+}
+
+// TestDispatchBenchHarness smoke-tests the harness shape itself so CI
+// catches bit-rot without running full benchmarks: publish a small
+// burst in every mode and require every consumer subscription to see
+// its share.
+func TestDispatchBenchHarness(t *testing.T) {
+	for _, mode := range dispatchBenchModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			sys, pub, h := benchSystem(t, mode)
+			defer sys.Close()
+			const n = 256
+			for i := 0; i < n; i++ {
+				if err := pub.Publish(makeTick(pub, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) && h.Count() < n {
+				time.Sleep(time.Millisecond)
+			}
+			if h.Count() != n {
+				t.Fatalf("consumed %d of %d deliveries", h.Count(), n)
+			}
+		})
+	}
+}

@@ -142,6 +142,15 @@ func (r *managedRouter) Enqueue(e *events.Event, sub uint64, block bool) bool {
 	return inst.inst.Enqueue(e, sub, block)
 }
 
+// EnqueueBatch implements dispatch.Receiver's batched path. The
+// router resolves each event's instance individually (events in one
+// batch may need different contamination levels), so one refusing
+// instance must not sink the deliveries bound for the others:
+// EnqueueSeq attempts every delivery and recycles refusals.
+func (r *managedRouter) EnqueueBatch(ds []events.QueuedDelivery, block bool) int {
+	return dispatch.EnqueueSeq(r, ds, block)
+}
+
 // neededLabel joins the labels of every part the owner could read at
 // its potential label: the contamination "appropriate for the
 // processing of the incoming event". Parts beyond the potential label

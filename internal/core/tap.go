@@ -32,6 +32,14 @@ type tapReceiver struct{ t *Tap }
 
 func (r tapReceiver) ReceiverID() uint64       { return r.t.id }
 func (r tapReceiver) InputLabel() labels.Label { return labels.Label{} }
+
+// EnqueueBatch implements dispatch.Receiver's batched path over the
+// tap channel; refused deliveries are recycled by EnqueueSeq per the
+// Receiver contract.
+func (r tapReceiver) EnqueueBatch(ds []events.QueuedDelivery, block bool) int {
+	return dispatch.EnqueueSeq(r, ds, block)
+}
+
 func (r tapReceiver) Enqueue(e *events.Event, sub uint64, block bool) bool {
 	if !block {
 		select {

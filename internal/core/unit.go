@@ -304,6 +304,42 @@ func (u *Unit) PublishBestEffort(e *events.Event) error {
 	return nil
 }
 
+// PublishBatch publishes a run of events in one call (batched
+// dispatch): each event is matched exactly as by Publish, and the
+// accepted deliveries reach every receiver through one batched queue
+// handoff. High-rate replay paths (the Stock Exchange feed) use it to
+// amortise per-event dispatch overhead. DEFC semantics are identical
+// to publishing the events one by one in order.
+func (u *Unit) PublishBatch(evs []*events.Event) error {
+	u.tax()
+	for _, e := range evs {
+		if e == nil {
+			return errors.New("core: PublishBatch with nil event")
+		}
+	}
+	u.acct.published.Add(uint64(len(evs)))
+	u.sys.disp.PublishBatch(evs, true)
+	return nil
+}
+
+// Recycle returns a clone-mode delivery to the clone pool. It is a
+// no-op outside the labels+clone mode and for events that did not
+// come from the pool. The caller asserts it retains no reference to
+// the event or its parts; data values already read remain valid.
+// Harness-style consumers that drain high event rates use it to keep
+// the clone mode's per-delivery copies off the garbage collector.
+func (u *Unit) Recycle(e *events.Event) {
+	if e == nil || !u.sys.mode.CloneDeliveries() {
+		return
+	}
+	u.mu.Lock()
+	if u.held != nil && u.held.ev == e {
+		u.held = nil
+	}
+	u.mu.Unlock()
+	e.Recycle()
+}
+
 // Release releases a delivered event after (partial) processing
 // (Table 1: release; §3.1.6): if the unit modified the event, the
 // dispatcher re-matches it so that newly added parts reach further

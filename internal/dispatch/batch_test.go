@@ -1,0 +1,157 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/labels"
+)
+
+// addScalar attaches a scalar part or fails the test.
+func addScalar(t *testing.T, e *events.Event, name string, v any) {
+	t.Helper()
+	if _, err := e.AddPart(name, labels.Label{}, v, "t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishBatchMatchesLikePublish(t *testing.T) {
+	d := newDispatcher(true)
+	msft := newRecv(labels.Label{})
+	goog := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartEq("symbol", "MSFT")), msft); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartEq("symbol", "GOOG")), goog); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*events.Event, 6)
+	for i := range batch {
+		e := events.New(uint64(i + 1))
+		sym := "MSFT"
+		if i%3 == 0 {
+			sym = "GOOG"
+		}
+		addScalar(t, e, "symbol", sym)
+		batch[i] = e
+	}
+	if n := d.PublishBatch(batch, true); n != 6 {
+		t.Fatalf("accepted %d, want 6", n)
+	}
+	if msft.count() != 4 || goog.count() != 2 {
+		t.Fatalf("deliveries msft=%d goog=%d", msft.count(), goog.count())
+	}
+	if st := d.Stats(); st.Published != 6 || st.Deliveries != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestPublishBatchPreservesPerReceiverOrder pins the stable-grouping
+// rule: gathering one receiver's deliveries must not reorder another
+// receiver's. The interleaving below (A then shared then A…) broke a
+// selection-swap grouping once: receiver B observed its second event
+// before its first.
+func TestPublishBatchPreservesPerReceiverOrder(t *testing.T) {
+	d := newDispatcher(true)
+	a := newRecv(labels.Label{})
+	bcast := newRecv(labels.Label{})
+	// a subscribes to its own symbol; bcast takes every event via a
+	// non-indexable filter, so the two groups interleave.
+	if _, err := d.Subscribe(MustFilter(PartEq("symbol", "A")), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("symbol")), bcast); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*events.Event, 8)
+	for i := range batch {
+		e := events.New(uint64(i + 1))
+		sym := "A"
+		if i%2 == 1 {
+			sym = "OTHER"
+		}
+		addScalar(t, e, "symbol", sym)
+		batch[i] = e
+	}
+	d.PublishBatch(batch, true)
+	if got := len(bcast.got); got != 8 {
+		t.Fatalf("broadcast receiver saw %d of 8", got)
+	}
+	for i, e := range bcast.got {
+		if e.ID() != uint64(i+1) {
+			ids := make([]uint64, len(bcast.got))
+			for j, ev := range bcast.got {
+				ids[j] = ev.ID()
+			}
+			t.Fatalf("broadcast receiver deliveries out of publish order: %v", ids)
+		}
+	}
+}
+
+func TestPublishBatchDedupsAcrossBatchAndRedispatch(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), r); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	addScalar(t, e, "p", "v")
+	if n := d.PublishBatch([]*events.Event{e}, true); n != 1 {
+		t.Fatalf("accepted %d", n)
+	}
+	// Re-batching the same event must not double-deliver.
+	if n := d.PublishBatch([]*events.Event{e}, true); n != 0 {
+		t.Fatalf("duplicate batch delivered %d", n)
+	}
+}
+
+func TestPublishBatchDropsPartless(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), r); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.PublishBatch([]*events.Event{events.New(1), nil}, true); n != 0 {
+		t.Fatalf("accepted %d", n)
+	}
+	if st := d.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d", st.Dropped)
+	}
+}
+
+// TestPublishBatchRecyclesRefusedClones: a dead receiver refuses its
+// batch deliveries; in clone mode the refused clones must return to
+// the pool (observable via Pooled turning false after the receiver's
+// Recycle).
+func TestPublishBatchRecyclesRefusedClones(t *testing.T) {
+	var id atomic.Uint64
+	id.Store(100)
+	d := New(Options{
+		CheckLabels:     true,
+		CloneDeliveries: true,
+		NextEventID:     func() uint64 { return id.Add(1) },
+	})
+	alive := newRecv(labels.Label{})
+	dead := newRecv(labels.Label{})
+	dead.dead = true
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), alive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("p")), dead); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	addScalar(t, e, "p", "v")
+	if n := d.PublishBatch([]*events.Event{e}, true); n != 1 {
+		t.Fatalf("accepted %d, want 1 (dead receiver refused)", n)
+	}
+	// The accepted clone is alive and pooled-flagged; the original is
+	// not pooled.
+	if len(alive.got) != 1 || !alive.got[0].Pooled() {
+		t.Fatal("accepted clone missing or not pool-flagged")
+	}
+	if e.Pooled() {
+		t.Fatal("original event must not be pool-flagged")
+	}
+}

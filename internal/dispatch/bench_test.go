@@ -1,0 +1,254 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/labels"
+	"repro/internal/tags"
+)
+
+// benchModes mirror the four security configurations of the paper's
+// Figures 5–7 at the dispatcher layer.
+var benchModes = []struct {
+	name string
+	opts Options
+}{
+	{"no-security", Options{}},
+	{"labels", Options{CheckLabels: true}},
+	{"labels+freeze", Options{CheckLabels: true, FreezeOnPublish: true}},
+	{"labels+clone", Options{CheckLabels: true, CloneDeliveries: true}},
+}
+
+// sinkReceiver swallows deliveries without synchronisation beyond an
+// atomic counter, so the benchmark measures dispatcher cost, not
+// receiver cost.
+type sinkReceiver struct {
+	id    uint64
+	label labels.Label
+	n     atomic.Uint64
+}
+
+func (s *sinkReceiver) ReceiverID() uint64       { return s.id }
+func (s *sinkReceiver) InputLabel() labels.Label { return s.label }
+func (s *sinkReceiver) Enqueue(e *events.Event, sub uint64, block bool) bool {
+	s.n.Add(1)
+	return true
+}
+
+func (s *sinkReceiver) EnqueueBatch(ds []events.QueuedDelivery, block bool) int {
+	s.n.Add(uint64(len(ds)))
+	return len(ds)
+}
+// benchSetup subscribes nSubs receivers, each on a distinct equality
+// symbol, plus one non-indexable scan subscription, and returns events
+// cycling over the symbols.
+func benchSetup(b *testing.B, opts Options, nSubs int, lbl labels.Label) (*Dispatcher, []*events.Event) {
+	b.Helper()
+	var eid atomic.Uint64
+	eid.Store(1 << 20)
+	if opts.CloneDeliveries {
+		opts.NextEventID = func() uint64 { return eid.Add(1) }
+	}
+	d := New(opts)
+	for i := 0; i < nSubs; i++ {
+		r := &sinkReceiver{id: recvID.Add(1), label: lbl}
+		sym := fmt.Sprintf("SYM%04d", i)
+		if _, err := d.Subscribe(MustFilter(PartEq("symbol", sym)), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	scan := &sinkReceiver{id: recvID.Add(1), label: lbl}
+	if _, err := d.Subscribe(MustFilter(PartExists("halt")), scan); err != nil {
+		b.Fatal(err)
+	}
+	evs := make([]*events.Event, 256)
+	for i := range evs {
+		e := events.New(uint64(i + 1))
+		sym := fmt.Sprintf("SYM%04d", i%nSubs)
+		if _, err := e.AddPart("symbol", lbl, sym, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.AddPart("price", lbl, int64(100+i), "bench"); err != nil {
+			b.Fatal(err)
+		}
+		evs[i] = e
+	}
+	return d, evs
+}
+
+// BenchmarkPublish measures the single-publisher hot path: one event
+// matched against 1024 indexed subscriptions plus one scan
+// subscription, in each security mode.
+func BenchmarkPublish(b *testing.B) {
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			var lbl labels.Label
+			if m.opts.CheckLabels {
+				store := tags.NewStore(42)
+				lbl = labels.Label{S: labels.NewSet(store.Create("bench-s", "bench"))}
+			}
+			d, evs := benchSetup(b, m.opts, 1024, lbl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Publish(evs[i%len(evs)])
+			}
+		})
+	}
+}
+
+// BenchmarkPublishParallel measures contended publishing: GOMAXPROCS
+// goroutines publishing concurrently against a static subscription
+// table — the scenario the sharded lock-free table targets.
+func BenchmarkPublishParallel(b *testing.B) {
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			var lbl labels.Label
+			if m.opts.CheckLabels {
+				store := tags.NewStore(42)
+				lbl = labels.Label{S: labels.NewSet(store.Create("bench-s", "bench"))}
+			}
+			d, evs := benchSetup(b, m.opts, 1024, lbl)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(recvID.Add(1)) // decorrelate goroutine starting points
+				for pb.Next() {
+					d.Publish(evs[i%len(evs)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPublishFanout measures a publish that matches many
+// receivers at once (64 subscribers on one symbol): the batched
+// delivery path.
+func BenchmarkPublishFanout(b *testing.B) {
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			var eid atomic.Uint64
+			eid.Store(1 << 20)
+			opts := m.opts
+			if opts.CloneDeliveries {
+				opts.NextEventID = func() uint64 { return eid.Add(1) }
+			}
+			d := New(opts)
+			for i := 0; i < 64; i++ {
+				r := &sinkReceiver{id: recvID.Add(1)}
+				if _, err := d.Subscribe(MustFilter(PartEq("symbol", "HOT")), r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := events.New(uint64(i + 1))
+				if _, err := e.AddPart("symbol", labels.Label{}, "HOT", "bench"); err != nil {
+					b.Fatal(err)
+				}
+				d.Publish(e)
+			}
+		})
+	}
+}
+
+// BenchmarkPublishDeliver measures the full publish→deliver path with
+// a fresh event per iteration (event creation included), so delivery
+// bookkeeping is not amortised away by re-published events.
+func BenchmarkPublishDeliver(b *testing.B) {
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			var eid atomic.Uint64
+			eid.Store(1 << 20)
+			opts := m.opts
+			if opts.CloneDeliveries {
+				opts.NextEventID = func() uint64 { return eid.Add(1) }
+			}
+			d := New(opts)
+			for i := 0; i < 512; i++ {
+				r := &sinkReceiver{id: recvID.Add(1)}
+				sym := fmt.Sprintf("SYM%04d", i)
+				if _, err := d.Subscribe(MustFilter(PartEq("symbol", sym)), r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := events.New(uint64(i + 1))
+				sym := fmt.Sprintf("SYM%04d", i%512)
+				if _, err := e.AddPart("symbol", labels.Label{}, sym, "bench"); err != nil {
+					b.Fatal(err)
+				}
+				d.Publish(e)
+			}
+		})
+	}
+}
+
+// BenchmarkPublishBatch measures the batched path: runs of 64 events
+// published in one PublishBatch call against 512 subscriptions, with
+// per-receiver grouped enqueue.
+func BenchmarkPublishBatch(b *testing.B) {
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			var eid atomic.Uint64
+			eid.Store(1 << 20)
+			opts := m.opts
+			if opts.CloneDeliveries {
+				opts.NextEventID = func() uint64 { return eid.Add(1) }
+			}
+			d := New(opts)
+			for i := 0; i < 512; i++ {
+				r := &sinkReceiver{id: recvID.Add(1)}
+				sym := fmt.Sprintf("SYM%04d", i)
+				if _, err := d.Subscribe(MustFilter(PartEq("symbol", sym)), r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch := make([]*events.Event, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					e := events.New(uint64(i*64 + j + 1))
+					sym := fmt.Sprintf("SYM%04d", (i*64+j)%512)
+					if _, err := e.AddPart("symbol", labels.Label{}, sym, "bench"); err != nil {
+						b.Fatal(err)
+					}
+					batch[j] = e
+				}
+				d.PublishBatch(batch, true)
+			}
+		})
+	}
+}
+
+// BenchmarkSubscribeChurn measures control-plane cost: subscribe +
+// unsubscribe under copy-on-write snapshots.
+func BenchmarkSubscribeChurn(b *testing.B) {
+	d := New(Options{CheckLabels: true})
+	for i := 0; i < 256; i++ {
+		r := &sinkReceiver{id: recvID.Add(1)}
+		sym := fmt.Sprintf("SYM%04d", i)
+		if _, err := d.Subscribe(MustFilter(PartEq("symbol", sym)), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := &sinkReceiver{id: recvID.Add(1)}
+	f := MustFilter(PartEq("symbol", "CHURN"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := d.Subscribe(f, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Unsubscribe(id)
+	}
+}

@@ -27,6 +27,15 @@ type Receiver interface {
 	// queue space: it drops and returns false instead (best-effort
 	// delivery). It returns false if the receiver is gone.
 	Enqueue(e *events.Event, sub uint64, block bool) bool
+	// EnqueueBatch hands several deliveries over in one call, letting
+	// the receiver amortise queue locking across them (PublishBatch).
+	// Implementations must attempt the deliveries in order and return
+	// the number accepted; with block false they drop what does not
+	// fit. A refused delivery's event belongs to the receiver to
+	// dispose of: it must call Event.Recycle on it (a no-op outside
+	// the clone pool) — the dispatcher cannot know which members of a
+	// partially accepted batch were dropped.
+	EnqueueBatch(ds []events.QueuedDelivery, block bool) int
 }
 
 // Options configure a Dispatcher for one security mode.
@@ -56,36 +65,86 @@ type Stats struct {
 	ScanChecks   uint64 // candidate subscriptions checked from the scan list
 }
 
-// subscription pairs a filter with its receiver.
+// subscription pairs a filter with its receiver. Subscriptions are
+// immutable after registration; shard snapshots share them.
 type subscription struct {
 	id     uint64
 	filter *Filter
 	recv   Receiver
-	// indexKey is the equality key this subscription is indexed under,
-	// or "" if it is on the linear scan list.
-	indexKey string
+	// indexKey is the equality-hash this subscription is indexed
+	// under; valid only when indexed is true.
+	indexKey uint64
+	indexed  bool
 	// tap marks a trusted system tap: matching ignores label admission.
 	// Only the node runtime (inter-node links, §7) registers taps;
 	// the unit-facing API cannot reach this flag.
 	tap bool
 }
 
+// numShards is the number of hash-selected subscription shards. A
+// power of two so shard selection is a mask; 16 keeps the copy-on-
+// write unit small while spreading writer contention.
+const (
+	numShards = 16
+	shardMask = numShards - 1
+)
+
+// snapshot is one shard's immutable subscription table. Readers load
+// it with a single atomic pointer read and never take a lock; writers
+// build a replacement and swap it in.
+type snapshot struct {
+	indexed map[uint64][]*subscription // equality-hash → subscriptions
+	scan    []*subscription            // non-indexable subscriptions
+}
+
+var emptySnapshot = &snapshot{}
+
+// shardCounters are per-shard statistics. Each shard pads its
+// counters to a cache line so publishers attributed to different
+// shards do not false-share.
+type shardCounters struct {
+	published    atomic.Uint64
+	dropped      atomic.Uint64
+	deliveries   atomic.Uint64
+	redispatches atomic.Uint64
+	indexHits    atomic.Uint64
+	scanChecks   atomic.Uint64
+	_            [16]byte // pad to 64 bytes
+}
+
+// shard is one slice of the subscription table. The pad between the
+// snapshot pointer and the counters puts them on separate cache
+// lines: stat increments by publishers must not invalidate the line
+// every other publisher loads for the lock-free snap read.
+type shard struct {
+	snap  atomic.Pointer[snapshot]
+	_     [56]byte
+	stats shardCounters
+}
+
 // Dispatcher routes published events to matching subscriptions with
-// label-checked admission. It is safe for concurrent use; matching runs
-// on the publisher's goroutine (cost attributed to the publishing
-// unit, as in the paper's single-threaded Stock Exchange).
+// label-checked admission. It is safe for concurrent use; matching
+// runs on the publisher's goroutine (cost attributed to the
+// publishing unit, as in the paper's single-threaded Stock Exchange)
+// and takes no locks: each shard's subscription table is an immutable
+// snapshot swapped atomically by Subscribe/Unsubscribe.
 type Dispatcher struct {
 	opts Options
 
-	mu      sync.RWMutex
-	subs    map[uint64]*subscription
-	indexed map[string][]*subscription // equality-indexed subscriptions
-	scan    []*subscription            // subscriptions without an indexable condition
+	shards [numShards]shard
+
+	// scanCount tracks the total number of scan-list subscriptions
+	// across all shards so publishes skip the scan walk entirely when
+	// every filter is indexable (the common case).
+	scanCount atomic.Int64
+
+	// ctl serialises the control plane (Subscribe/Unsubscribe): the
+	// per-shard copy-on-write happens under it. The hot path never
+	// touches it.
+	ctl  sync.Mutex
+	byID map[uint64]*subscription
 
 	nextSub atomic.Uint64
-
-	published, dropped, deliveries   atomic.Uint64
-	redispatches, indexHits, scanned atomic.Uint64
 }
 
 // New creates a dispatcher.
@@ -93,11 +152,14 @@ func New(opts Options) *Dispatcher {
 	if opts.CloneDeliveries && opts.NextEventID == nil {
 		panic("dispatch: CloneDeliveries requires NextEventID")
 	}
-	return &Dispatcher{
-		opts:    opts,
-		subs:    make(map[uint64]*subscription),
-		indexed: make(map[string][]*subscription),
+	d := &Dispatcher{
+		opts: opts,
+		byID: make(map[uint64]*subscription),
 	}
+	for i := range d.shards {
+		d.shards[i].snap.Store(emptySnapshot)
+	}
+	return d
 }
 
 // ErrNilReceiver rejects subscriptions without a destination.
@@ -128,42 +190,93 @@ func (d *Dispatcher) subscribe(f *Filter, recv Receiver, tap bool) (uint64, erro
 	sub := &subscription{id: id, filter: f, recv: recv, tap: tap}
 	if key, ok := f.IndexKey(); ok {
 		sub.indexKey = key
+		sub.indexed = true
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.subs[id] = sub
-	if sub.indexKey != "" {
-		d.indexed[sub.indexKey] = append(d.indexed[sub.indexKey], sub)
+
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	d.byID[id] = sub
+	sh := d.shardFor(sub)
+	old := sh.snap.Load()
+	next := &snapshot{indexed: old.indexed, scan: old.scan}
+	if sub.indexed {
+		next.indexed = copyIndexed(old.indexed, 1)
+		next.indexed[sub.indexKey] = appendCopy(old.indexed[sub.indexKey], sub)
 	} else {
-		d.scan = append(d.scan, sub)
+		next.scan = appendCopy(old.scan, sub)
+		d.scanCount.Add(1)
 	}
+	sh.snap.Store(next)
 	return id, nil
 }
 
 // Unsubscribe removes a subscription. Removing an unknown ID is a
 // no-op: a unit must not be able to probe the subscription table.
 func (d *Dispatcher) Unsubscribe(id uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	sub, ok := d.subs[id]
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	sub, ok := d.byID[id]
 	if !ok {
 		return
 	}
-	delete(d.subs, id)
-	if sub.indexKey != "" {
-		d.indexed[sub.indexKey] = removeSub(d.indexed[sub.indexKey], sub)
-		if len(d.indexed[sub.indexKey]) == 0 {
-			delete(d.indexed, sub.indexKey)
+	delete(d.byID, id)
+	sh := d.shardFor(sub)
+	old := sh.snap.Load()
+	next := &snapshot{indexed: old.indexed, scan: old.scan}
+	if sub.indexed {
+		next.indexed = copyIndexed(old.indexed, 0)
+		list := removeSub(next.indexed[sub.indexKey], sub)
+		if len(list) == 0 {
+			delete(next.indexed, sub.indexKey)
+		} else {
+			next.indexed[sub.indexKey] = list
 		}
 	} else {
-		d.scan = removeSub(d.scan, sub)
+		next.scan = removeSub(old.scan, sub)
+		d.scanCount.Add(-1)
 	}
+	sh.snap.Store(next)
 }
 
+// shardFor selects the shard owning a subscription: indexed
+// subscriptions live in the shard their equality hash selects (so a
+// publish probes exactly one shard per event key), scan subscriptions
+// are spread by subscription ID.
+func (d *Dispatcher) shardFor(sub *subscription) *shard {
+	if sub.indexed {
+		return &d.shards[sub.indexKey&shardMask]
+	}
+	return &d.shards[sub.id&shardMask]
+}
+
+// copyIndexed shallow-copies an index map for copy-on-write. The
+// bucket slices are shared with the old snapshot; the writer replaces
+// only the bucket it touches with a fresh slice.
+func copyIndexed(m map[uint64][]*subscription, extra int) map[uint64][]*subscription {
+	out := make(map[uint64][]*subscription, len(m)+extra)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// appendCopy returns a new slice with s appended; the input slice is
+// never mutated (it may be shared with live snapshots).
+func appendCopy(list []*subscription, s *subscription) []*subscription {
+	out := make([]*subscription, len(list)+1)
+	copy(out, list)
+	out[len(list)] = s
+	return out
+}
+
+// removeSub returns a new slice without s; the input slice is never
+// mutated (it may be shared with live snapshots).
 func removeSub(list []*subscription, s *subscription) []*subscription {
 	for i, x := range list {
 		if x == s {
-			return append(list[:i], list[i+1:]...)
+			out := make([]*subscription, 0, len(list)-1)
+			out = append(out, list[:i]...)
+			return append(out, list[i+1:]...)
 		}
 	}
 	return list
@@ -171,9 +284,9 @@ func removeSub(list []*subscription, s *subscription) []*subscription {
 
 // SubscriptionCount reports the number of live subscriptions.
 func (d *Dispatcher) SubscriptionCount() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.subs)
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	return len(d.byID)
 }
 
 // Publish dispatches an event to every matching subscription. Events
@@ -194,15 +307,18 @@ func (d *Dispatcher) PublishBestEffort(e *events.Event) int {
 }
 
 func (d *Dispatcher) publish(e *events.Event, block bool) int {
+	// Stats are attributed to the event's hash shard: any fixed slot
+	// would put every publisher on the same cache line.
+	stats := &d.shards[e.ID()&shardMask].stats
 	if e.Len() == 0 {
-		d.dropped.Add(1)
+		stats.dropped.Add(1)
 		return 0
 	}
 	if d.opts.FreezeOnPublish {
 		e.FreezeParts()
 	}
-	d.published.Add(1)
-	return d.matchAndDeliver(e, block)
+	stats.published.Add(1)
+	return d.matchAndDeliver(e, block, nil)
 }
 
 // Redispatch re-matches an event after a release that modified it
@@ -217,97 +333,134 @@ func (d *Dispatcher) Redispatch(e *events.Event) int {
 	if d.opts.FreezeOnPublish {
 		e.FreezeParts() // parts added along the main path
 	}
-	d.redispatches.Add(1)
-	return d.matchAndDeliver(e, true)
+	d.shards[e.ID()&shardMask].stats.redispatches.Add(1)
+	return d.matchAndDeliver(e, true, nil)
 }
 
-// matchAndDeliver finds matching subscriptions via the equality index
-// plus the scan list and enqueues the event once per receiver.
-func (d *Dispatcher) matchAndDeliver(e *events.Event, block bool) int {
-	keys := eventIndexKeys(e)
+// keyBufPool recycles the per-publish index-key scratch space.
+var keyBufPool = sync.Pool{
+	New: func() any { b := make([]uint64, 0, 8); return &b },
+}
 
-	d.mu.RLock()
-	// Collect candidates under the read lock; deliver after releasing
-	// it so slow receivers cannot block Subscribe/Unsubscribe.
-	var candidates []*subscription
-	for _, k := range keys {
-		if list := d.indexed[k]; len(list) > 0 {
-			candidates = append(candidates, list...)
-			d.indexHits.Add(uint64(len(list)))
-		}
-	}
-	if len(d.scan) > 0 {
-		candidates = append(candidates, d.scan...)
-		d.scanned.Add(uint64(len(d.scan)))
-	}
-	d.mu.RUnlock()
+// matchAndDeliver finds matching subscriptions via the per-shard
+// equality indexes plus the scan lists and enqueues the event once per
+// receiver. It runs entirely on immutable snapshots — no locks. When
+// batch is non-nil, accepted deliveries are appended to it instead of
+// being enqueued (the PublishBatch path); the caller flushes them
+// grouped by receiver.
+func (d *Dispatcher) matchAndDeliver(e *events.Event, block bool, batch *batchState) int {
+	kp := keyBufPool.Get().(*[]uint64)
+	keys := (*kp)[:0]
+	keys = appendEventKeys(keys, e)
 
 	delivered := 0
-	for _, sub := range candidates {
-		if !sub.filter.Matches(e, sub.recv.InputLabel(), d.opts.CheckLabels && !sub.tap) {
+	for _, k := range keys {
+		sh := &d.shards[k&shardMask]
+		snap := sh.snap.Load()
+		list := snap.indexed[k]
+		if len(list) == 0 {
 			continue
 		}
-		// One offer per receiver per event, across publish + releases.
-		if !e.MarkDelivered(sub.recv.ReceiverID()) {
-			continue
-		}
-		ev := e
-		if d.opts.CloneDeliveries {
-			ev = e.DeepCopy(d.opts.NextEventID())
-			// The clone remembers its own receiver so that a release
-			// of the clone does not bounce straight back.
-			ev.MarkDelivered(sub.recv.ReceiverID())
-		}
-		if sub.recv.Enqueue(ev, sub.id, block) {
-			delivered++
-			d.deliveries.Add(1)
+		sh.stats.indexHits.Add(uint64(len(list)))
+		for _, sub := range list {
+			delivered += d.offer(sub, e, block, &sh.stats, batch)
 		}
 	}
+	if d.scanCount.Load() > 0 {
+		for i := range d.shards {
+			sh := &d.shards[i]
+			snap := sh.snap.Load()
+			if len(snap.scan) == 0 {
+				continue
+			}
+			sh.stats.scanChecks.Add(uint64(len(snap.scan)))
+			for _, sub := range snap.scan {
+				delivered += d.offer(sub, e, block, &sh.stats, batch)
+			}
+		}
+	}
+
+	*kp = keys[:0]
+	keyBufPool.Put(kp)
 	return delivered
 }
 
-// eventIndexKeys derives the equality-index keys an event can satisfy:
-// one per scalar part datum and one per scalar entry of each map part.
-func eventIndexKeys(e *events.Event) []string {
-	var keys []string
-	for _, p := range e.Parts() {
-		if k, ok := indexValueKey(p.Name, "", p.Data); ok {
-			keys = append(keys, k)
+// offer matches one subscription against the event and, on success,
+// enqueues (or batches) the delivery. It returns 1 on an accepted
+// delivery, 0 otherwise.
+func (d *Dispatcher) offer(sub *subscription, e *events.Event, block bool, stats *shardCounters, batch *batchState) int {
+	if !sub.filter.Matches(e, sub.recv.InputLabel(), d.opts.CheckLabels && !sub.tap) {
+		return 0
+	}
+	// One offer per receiver per event, across publish + releases.
+	if !e.MarkDelivered(sub.recv.ReceiverID()) {
+		return 0
+	}
+	ev := e
+	if d.opts.CloneDeliveries {
+		ev = e.DeepCopyPooled(d.opts.NextEventID())
+		// The clone remembers its own receiver so that a release
+		// of the clone does not bounce straight back.
+		ev.MarkDelivered(sub.recv.ReceiverID())
+	}
+	if batch != nil {
+		batch.add(sub.recv, ev, sub.id)
+		return 1
+	}
+	if !sub.recv.Enqueue(ev, sub.id, block) {
+		if d.opts.CloneDeliveries {
+			ev.Recycle() // the clone never escaped
+		}
+		return 0
+	}
+	stats.deliveries.Add(1)
+	return 1
+}
+
+// appendEventKeys appends the equality-index hashes an event can
+// satisfy: one per scalar part datum and one per scalar entry of each
+// map part, deduplicated.
+func appendEventKeys(keys []uint64, e *events.Event) []uint64 {
+	e.EachPart(func(p *events.Part) bool {
+		if k, ok := hashIndexValue(p.Name, "", p.Data); ok {
+			keys = appendKeyDedup(keys, k)
 		}
 		if m, ok := p.Data.(*freeze.Map); ok {
 			name := p.Name
-			m.Each(func(k string, v freeze.Value) bool {
-				if ik, ok := indexValueKey(name, k, v); ok {
-					keys = append(keys, ik)
+			m.Each(func(mk string, v freeze.Value) bool {
+				if ik, ok := hashIndexValue(name, mk, v); ok {
+					keys = appendKeyDedup(keys, ik)
 				}
 				return true
 			})
 		}
-	}
-	// Deduplicate to avoid double candidate lists when two parts carry
-	// identical scalars.
-	if len(keys) > 1 {
-		seen := make(map[string]struct{}, len(keys))
-		out := keys[:0]
-		for _, k := range keys {
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
-				out = append(out, k)
-			}
-		}
-		keys = out
-	}
+		return true
+	})
 	return keys
 }
 
-// Stats snapshots the dispatcher counters.
-func (d *Dispatcher) Stats() Stats {
-	return Stats{
-		Published:    d.published.Load(),
-		Dropped:      d.dropped.Load(),
-		Deliveries:   d.deliveries.Load(),
-		Redispatches: d.redispatches.Load(),
-		IndexHits:    d.indexHits.Load(),
-		ScanChecks:   d.scanned.Load(),
+// appendKeyDedup appends k unless already present; key counts are
+// tiny, so the linear scan beats a map.
+func appendKeyDedup(keys []uint64, k uint64) []uint64 {
+	for _, x := range keys {
+		if x == k {
+			return keys
+		}
 	}
+	return append(keys, k)
+}
+
+// Stats snapshots the dispatcher counters, aggregated across shards.
+func (d *Dispatcher) Stats() Stats {
+	var s Stats
+	for i := range d.shards {
+		st := &d.shards[i].stats
+		s.Published += st.published.Load()
+		s.Dropped += st.dropped.Load()
+		s.Deliveries += st.deliveries.Load()
+		s.Redispatches += st.redispatches.Load()
+		s.IndexHits += st.indexHits.Load()
+		s.ScanChecks += st.scanChecks.Load()
+	}
+	return s
 }

@@ -34,6 +34,10 @@ func (f *fakeReceiver) Enqueue(e *events.Event, sub uint64, block bool) bool {
 	return true
 }
 
+func (f *fakeReceiver) EnqueueBatch(ds []events.QueuedDelivery, block bool) int {
+	return EnqueueSeq(f, ds, block)
+}
+
 func (f *fakeReceiver) count() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -126,50 +126,80 @@ func KeyEq(part, key string, v freeze.Value) Cond {
 // Conds returns a copy of the filter's conditions.
 func (f *Filter) Conds() []Cond { return append([]Cond(nil), f.conds...) }
 
-// IndexKey returns an equality condition usable for subscription
-// indexing — the first Eq condition on a part datum or map key — and
-// whether one exists. The dispatcher uses it to avoid scanning every
-// subscription on every publish (the centralised-filtering advantage
-// §6.2 attributes to DEFCon over Marketcetera).
-func (f *Filter) IndexKey() (string, bool) {
+// IndexKey returns the equality-index hash of the first Eq condition
+// on a part datum or map key, and whether one exists. The dispatcher
+// uses it to avoid scanning every subscription on every publish (the
+// centralised-filtering advantage §6.2 attributes to DEFCon over
+// Marketcetera). Hash collisions are harmless: index candidates are
+// always re-verified by the full filter match.
+func (f *Filter) IndexKey() (uint64, bool) {
 	for _, c := range f.conds {
 		if c.Op == Eq {
-			if k, ok := indexValueKey(c.Part, c.Key, c.Value); ok {
+			if k, ok := hashIndexValue(c.Part, c.Key, c.Value); ok {
 				return k, true
 			}
 		}
 	}
-	return "", false
+	return 0, false
 }
 
-// indexValueKey encodes (part, key, value) as a deterministic string.
-func indexValueKey(part, key string, v freeze.Value) (string, bool) {
-	var sb strings.Builder
-	sb.WriteString(part)
-	sb.WriteByte(0)
-	sb.WriteString(key)
-	sb.WriteByte(0)
+// FNV-1a, inlined so the per-publish key derivation allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvUint64(h uint64, n uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (n & 0xff)) * fnvPrime64
+		n >>= 8
+	}
+	return h
+}
+
+// hashIndexValue hashes (part, key, value) with a type discriminator,
+// mirroring the old string encoding without allocating it.
+func hashIndexValue(part, key string, v freeze.Value) (uint64, bool) {
+	h := uint64(fnvOffset64)
+	h = fnvString(h, part)
+	h = fnvByte(h, 0)
+	h = fnvString(h, key)
+	h = fnvByte(h, 0)
 	switch x := v.(type) {
 	case string:
-		sb.WriteByte('s')
-		sb.WriteString(x)
+		h = fnvByte(h, 's')
+		h = fnvString(h, x)
 	case bool:
 		if x {
-			sb.WriteString("b1")
+			h = fnvString(h, "b1")
 		} else {
-			sb.WriteString("b0")
+			h = fnvString(h, "b0")
 		}
 	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
 		n, _ := asInt(v)
-		fmt.Fprintf(&sb, "i%d", n)
+		h = fnvByte(h, 'i')
+		h = fnvUint64(h, uint64(n))
 	case tags.Tag:
 		id := x.ID()
-		sb.WriteByte('t')
-		sb.Write(id[:])
+		h = fnvByte(h, 't')
+		for _, b := range id {
+			h = fnvByte(h, b)
+		}
 	default:
-		return "", false // floats and containers are not indexable
+		return 0, false // floats and containers are not indexable
 	}
-	return sb.String(), true
+	return h, true
 }
 
 // Matches reports whether event e satisfies the filter for a subscriber
@@ -188,19 +218,12 @@ func (f *Filter) Matches(e *events.Event, in labels.Label, checkLabels bool) boo
 }
 
 func (f *Filter) condMatches(c Cond, e *events.Event, in labels.Label, checkLabels bool) bool {
-	var parts []*events.Part
+	pred := func(p *events.Part) bool { return evalCond(c, p.Data) }
 	if checkLabels {
-		parts = e.Visible(c.Part, in)
-	} else {
-		// Without label checks every same-named part is a candidate.
-		parts = e.Named(c.Part)
+		return e.AnyVisible(c.Part, in, pred)
 	}
-	for _, p := range parts {
-		if evalCond(c, p.Data) {
-			return true
-		}
-	}
-	return false
+	// Without label checks every same-named part is a candidate.
+	return e.AnyNamed(c.Part, pred)
 }
 
 // evalCond applies the operator to the addressed datum.

@@ -53,8 +53,9 @@ type Link struct {
 	dec    *gob.Decoder
 	tap    *core.Tap
 
-	sendMu sync.Mutex
-	closed atomic.Bool
+	sendMu  sync.Mutex
+	closed  atomic.Bool
+	closedc chan struct{} // closed exactly once by Close
 
 	exported atomic.Uint64
 	imported atomic.Uint64
@@ -67,35 +68,43 @@ type Link struct {
 // peer's own dispatcher enforces admission for its units).
 func (n *Node) Link(conn io.ReadWriteCloser, export *dispatch.Filter) (*Link, error) {
 	l := &Link{
-		node: n,
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
+		node:    n,
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		closedc: make(chan struct{}),
 	}
-	// Handshake: exchange names, then start pumping.
-	errc := make(chan error, 1)
-	go func() { errc <- l.enc.Encode(nodeHello{Name: n.Name, Proto: protoVersion}) }()
-	var hello nodeHello
-	if err := l.dec.Decode(&hello); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("distrib: handshake read: %w", err)
-	}
-	if err := <-errc; err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("distrib: handshake write: %w", err)
-	}
-	if hello.Proto != protoVersion {
-		conn.Close()
-		return nil, fmt.Errorf("distrib: protocol mismatch: %d != %d", hello.Proto, protoVersion)
-	}
-	l.remote = hello.Name
-
+	// Register the export tap BEFORE the handshake: a peer that has
+	// completed its handshake may publish immediately, and that event
+	// must already find this side's tap subscribed. (Registering after
+	// the hello exchange loses every event published in the window
+	// between the peer's Link returning and our NewTap call.)
 	tap, err := n.Sys.NewTap(export, 1024)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	l.tap = tap
+	// Handshake: exchange names, then start pumping.
+	errc := make(chan error, 1)
+	go func() { errc <- l.enc.Encode(nodeHello{Name: n.Name, Proto: protoVersion}) }()
+	var hello nodeHello
+	if err := l.dec.Decode(&hello); err != nil {
+		tap.Close()
+		conn.Close()
+		return nil, fmt.Errorf("distrib: handshake read: %w", err)
+	}
+	if err := <-errc; err != nil {
+		tap.Close()
+		conn.Close()
+		return nil, fmt.Errorf("distrib: handshake write: %w", err)
+	}
+	if hello.Proto != protoVersion {
+		tap.Close()
+		conn.Close()
+		return nil, fmt.Errorf("distrib: protocol mismatch: %d != %d", hello.Proto, protoVersion)
+	}
+	l.remote = hello.Name
 
 	n.mu.Lock()
 	n.links = append(n.links, l)
@@ -103,6 +112,21 @@ func (n *Node) Link(conn io.ReadWriteCloser, export *dispatch.Filter) (*Link, er
 
 	n.Sys.Go(l.sendLoop)
 	n.Sys.Go(l.recvLoop)
+	// Shutdown watcher: recvLoop blocks inside gob.Decode, which knows
+	// nothing about the system's done channel. Closing the connection
+	// here guarantees the decode aborts and recvLoop exits — without it
+	// System.Close deadlocks in wg.Wait whenever a link is idle (the
+	// send side may equally be wedged mid-Encode, so it cannot be
+	// relied on to close the connection). The watcher also exits when
+	// the link itself closes first, so churned links do not accumulate
+	// parked goroutines for the life of the system.
+	n.Sys.Go(func() {
+		select {
+		case <-n.Sys.Done():
+			l.Close()
+		case <-l.closedc:
+		}
+	})
 	return l, nil
 }
 
@@ -123,6 +147,7 @@ func (l *Link) Close() {
 	if !l.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(l.closedc)
 	l.tap.Close()
 	l.conn.Close()
 }

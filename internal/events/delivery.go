@@ -8,19 +8,46 @@ package events
 // deliveries. Keeping the set on the event itself — rather than in a
 // global table — avoids a contended map on the publish fast path and
 // lets the bookkeeping die with the event.
+//
+// Representation is hybrid: a plain slice while the set is small (the
+// overwhelmingly common case — an event reaches a handful of
+// receivers — where a linear scan beats a map on both allocation and
+// lookup cost), spilling into a map past deliveredSpill entries so a
+// high-fan-out event (hundreds of subscribers on one symbol) does not
+// degrade to quadratic duplicate checks under the event mutex.
+
+// deliveredSpill is the slice-to-map threshold of the delivered set.
+const deliveredSpill = 16
 
 // MarkDelivered records that the receiver has been offered this event.
 // It returns false if the receiver had already been recorded.
 func (e *Event) MarkDelivered(receiver uint64) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deliveredMap != nil {
+		if _, dup := e.deliveredMap[receiver]; dup {
+			return false
+		}
+		e.deliveredMap[receiver] = struct{}{}
+		return true
+	}
+	for _, r := range e.delivered {
+		if r == receiver {
+			return false
+		}
+	}
+	if len(e.delivered) >= deliveredSpill {
+		e.deliveredMap = make(map[uint64]struct{}, 2*deliveredSpill)
+		for _, r := range e.delivered {
+			e.deliveredMap[r] = struct{}{}
+		}
+		e.deliveredMap[receiver] = struct{}{}
+		return true
+	}
 	if e.delivered == nil {
-		e.delivered = make(map[uint64]struct{}, 4)
+		e.delivered = make([]uint64, 0, 4)
 	}
-	if _, dup := e.delivered[receiver]; dup {
-		return false
-	}
-	e.delivered[receiver] = struct{}{}
+	e.delivered = append(e.delivered, receiver)
 	return true
 }
 
@@ -29,8 +56,16 @@ func (e *Event) MarkDelivered(receiver uint64) bool {
 func (e *Event) WasDelivered(receiver uint64) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	_, ok := e.delivered[receiver]
-	return ok
+	if e.deliveredMap != nil {
+		_, ok := e.deliveredMap[receiver]
+		return ok
+	}
+	for _, r := range e.delivered {
+		if r == receiver {
+			return true
+		}
+	}
+	return false
 }
 
 // DeliveredCount reports how many distinct receivers have been offered
@@ -38,5 +73,8 @@ func (e *Event) WasDelivered(receiver uint64) bool {
 func (e *Event) DeliveredCount() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.deliveredMap != nil {
+		return len(e.deliveredMap)
+	}
 	return len(e.delivered)
 }

@@ -85,9 +85,14 @@ type Event struct {
 	// released event needs re-matching (§3.1.6).
 	gen atomic.Uint64
 
-	// delivered records receiver IDs this event has been offered to;
-	// see delivery.go.
-	delivered map[uint64]struct{}
+	// delivered records receiver IDs this event has been offered to
+	// (hybrid slice/map; see delivery.go).
+	delivered    []uint64
+	deliveredMap map[uint64]struct{}
+
+	// poolable marks a clone drawn from the clone pool that has not
+	// been recycled yet; see pool.go.
+	poolable bool
 }
 
 // New returns an empty event with the given identity.
@@ -200,6 +205,49 @@ func (e *Event) VisibleAll(in labels.Label) []*Part {
 		}
 	}
 	return out
+}
+
+// EachPart calls fn for every part in attach order, regardless of
+// label, until fn returns false. It is the allocation-free companion
+// of Parts for the trusted system layers: the dispatcher derives index
+// keys from it on every publish. fn must not call back into the event.
+func (e *Event) EachPart(fn func(*Part) bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, p := range e.parts {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// AnyNamed reports whether fn accepts any part with the given name,
+// regardless of label (trusted no-security matching). It does not
+// allocate. fn must not call back into the event.
+func (e *Event) AnyNamed(name string, fn func(*Part) bool) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, p := range e.parts {
+		if p.Name == name && fn(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyVisible reports whether fn accepts any part with the given name
+// that is readable at input label in (Sp ⊆ Sin ∧ Ip ⊇ Iin). It is the
+// allocation-free form of Visible used on the dispatcher's match path.
+// fn must not call back into the event.
+func (e *Event) AnyVisible(name string, in labels.Label, fn func(*Part) bool) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, p := range e.parts {
+		if p.Name == name && p.Label.CanFlowTo(in) && fn(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Parts returns a snapshot of all parts regardless of label. It is for

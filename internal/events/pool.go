@@ -1,0 +1,117 @@
+package events
+
+// Clone pooling.
+//
+// The labels+clone security mode hands every receiver a private deep
+// copy of the published event (§4.1's MVM-style copying cost). At
+// high rates that is one Event, one part slice and one Part per part
+// per delivery — all short-lived garbage. DeepCopy therefore draws
+// its Event and Part shells from sync.Pools, and Recycle returns
+// them once a clone is provably dead:
+//
+//   - the dispatcher recycles clones whose enqueue was refused (the
+//     clone never escaped), and
+//   - a sole-owner consumer (a benchmark harness draining its own
+//     queue, a managed instance that provably retains nothing) may
+//     recycle explicitly via Unit.Recycle.
+//
+// Only the shells are pooled: part Data is a fresh deep copy whose
+// ownership transfers to whoever read it, so a PartView taken before
+// a Recycle stays valid.
+
+import (
+	"sync"
+
+	"repro/internal/freeze"
+)
+
+// QueuedDelivery pairs an event with the subscription it matched; it
+// is the unit of the batched receiver handoff (Receiver.EnqueueBatch).
+type QueuedDelivery struct {
+	Event *Event
+	Sub   uint64
+}
+
+var (
+	eventPool = sync.Pool{New: func() any { return new(Event) }}
+	partPool  = sync.Pool{New: func() any { return new(Part) }}
+)
+
+// DeepCopyPooled clones the event and all part data with identical
+// labels and grants, drawing the Event and Part shells from the clone
+// pool. The result reports Pooled() true and may be returned with
+// Recycle once dead.
+func (e *Event) DeepCopyPooled(newID uint64) *Event {
+	ne := eventPool.Get().(*Event)
+	ne.id = newID
+	ne.poolable = true
+	e.mu.RLock()
+	ne.Stamp = e.Stamp
+	ne.nextSq = e.nextSq
+	if cap(ne.parts) < len(e.parts) {
+		ne.parts = make([]*Part, 0, len(e.parts))
+	}
+	for _, p := range e.parts {
+		np := partPool.Get().(*Part)
+		np.Name = p.Name
+		np.Label = p.Label
+		np.Data = freeze.CloneValue(p.Data)
+		np.Grants = append(np.Grants[:0], p.Grants...)
+		np.Seq = p.Seq
+		np.AddedBy = p.AddedBy
+		ne.parts = append(ne.parts, np)
+	}
+	e.mu.RUnlock()
+	return ne
+}
+
+// Pooled reports whether the event came from the clone pool and has
+// not been recycled.
+func (e *Event) Pooled() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.poolable
+}
+
+// Recycle returns a pooled clone (and its Part shells) to the pool.
+// It is a no-op on events that did not come from the pool, and is
+// idempotent — the first call wins.
+//
+// Contract: the caller asserts that no goroutine retains a reference
+// to the event or its *Part structs. Part Data values are NOT pooled;
+// previously read PartViews remain valid.
+func (e *Event) Recycle() {
+	e.mu.Lock()
+	if !e.poolable {
+		e.mu.Unlock()
+		return
+	}
+	e.poolable = false
+	parts := e.parts
+	e.id = 0
+	e.Stamp = 0
+	e.Origin = ""
+	e.Hops = 0
+	e.nextSq = 0
+	e.frozen = 0
+	e.gen.Store(0)
+	e.delivered = e.delivered[:0]
+	e.deliveredMap = nil
+	for i, p := range parts {
+		releasePart(p)
+		parts[i] = nil
+	}
+	e.parts = parts[:0]
+	e.mu.Unlock()
+	eventPool.Put(e)
+}
+
+// releasePart zeroes a Part shell and returns it to the pool, keeping
+// the Grants capacity for reuse. Grants hold no pointers, so the
+// retained capacity pins nothing.
+func releasePart(p *Part) {
+	grants := p.Grants[:0]
+	*p = Part{}
+	p.Grants = grants
+	partPool.Put(p)
+}

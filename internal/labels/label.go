@@ -2,6 +2,8 @@ package labels
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/tags"
 )
@@ -79,8 +81,18 @@ func (l Label) String() string {
 
 // Key returns a deterministic string identifying the label, suitable
 // for map keys. The S and I components are length-prefixed to avoid
-// ambiguity between, e.g., ({a,b}, {}) and ({a}, {b}).
+// ambiguity between, e.g., ({a,b}, {}) and ({a}, {b}). The component
+// keys are cached inside the sets, so repeated calls only concatenate.
 func (l Label) Key() string {
 	sk, ik := l.S.Key(), l.I.Key()
-	return fmt.Sprintf("%d:%s|%d:%s", l.S.Len(), sk, l.I.Len(), ik)
+	var b strings.Builder
+	b.Grow(len(sk) + len(ik) + 16)
+	b.WriteString(strconv.Itoa(l.S.Len()))
+	b.WriteByte(':')
+	b.WriteString(sk)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(l.I.Len()))
+	b.WriteByte(':')
+	b.WriteString(ik)
+	return b.String()
 }

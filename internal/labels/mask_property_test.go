@@ -1,0 +1,254 @@
+package labels
+
+// Property tests for the interned-tag bitmask fast path: every set
+// operation must agree with a reference implementation computed by
+// plain sorted-slice merges, regardless of whether the participating
+// tags hold fast-path intern indexes (< tags.InternWidth) or spill
+// beyond the boundary. The tag pool deliberately spans the boundary:
+// a fresh store mints enough tags that later ones are guaranteed
+// indexes ≥ InternWidth even if this test runs first in the process.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+// refSet is the trivial reference: a sorted, deduplicated tag slice.
+type refSet []tags.Tag
+
+func refFrom(s Set) refSet { return s.Slice() }
+
+func (a refSet) subsetOf(b refSet) bool {
+	i, j := 0, 0
+	for i < len(a) {
+		if j >= len(b) {
+			return false
+		}
+		switch c := a[i].Compare(b[j]); {
+		case c < 0:
+			return false
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+func (a refSet) union(b refSet) refSet {
+	out := refSet{}
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		default:
+			switch c := a[i].Compare(b[j]); {
+			case c < 0:
+				out = append(out, a[i])
+				i++
+			case c > 0:
+				out = append(out, b[j])
+				j++
+			default:
+				out = append(out, a[i])
+				i++
+				j++
+			}
+		}
+	}
+	return out
+}
+
+func (a refSet) intersect(b refSet) refSet {
+	out := refSet{}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := a[i].Compare(b[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (a refSet) subtract(b refSet) refSet {
+	out := refSet{}
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		default:
+			switch c := a[i].Compare(b[j]); {
+			case c < 0:
+				out = append(out, a[i])
+				i++
+			case c > 0:
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+	}
+	return out
+}
+
+func (a refSet) equal(b refSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMembers(t *testing.T, what string, got Set, want refSet) {
+	t.Helper()
+	if !refSet(got.Slice()).equal(want) {
+		t.Fatalf("%s: got %v want %v", what, got.Slice(), want)
+	}
+}
+
+// boundaryPool mints a tag pool that straddles the fast-path width:
+// whatever intern indexes are already taken in this process, the
+// later tags of the pool exceed tags.InternWidth.
+func boundaryPool(t *testing.T) []tags.Tag {
+	t.Helper()
+	store := tags.NewStore(424242)
+	pool := make([]tags.Tag, 0, tags.InternWidth+32)
+	for i := 0; i < tags.InternWidth+32; i++ {
+		pool = append(pool, store.Create("prop", "test"))
+	}
+	return pool
+}
+
+func randomSubset(rng *rand.Rand, pool []tags.Tag) []tags.Tag {
+	var out []tags.Tag
+	for _, tg := range pool {
+		if rng.Intn(4) == 0 {
+			out = append(out, tg)
+		}
+	}
+	return out
+}
+
+func TestSetOpsMatchReferenceAcrossInternBoundary(t *testing.T) {
+	pool := boundaryPool(t)
+	rng := rand.New(rand.NewSource(7))
+
+	// Three pool slices: fast-path-heavy (early tags), boundary-
+	// spanning, and beyond-width — every mix must agree.
+	regions := [][]tags.Tag{
+		pool[:16],
+		pool[tags.InternWidth-8 : tags.InternWidth+8],
+		pool[tags.InternWidth:],
+		pool,
+	}
+	for iter := 0; iter < 2000; iter++ {
+		ra := regions[rng.Intn(len(regions))]
+		rb := regions[rng.Intn(len(regions))]
+		a := NewSet(randomSubset(rng, ra)...)
+		b := NewSet(randomSubset(rng, rb)...)
+		refA, refB := refFrom(a), refFrom(b)
+
+		if got, want := a.SubsetOf(b), refA.subsetOf(refB); got != want {
+			t.Fatalf("SubsetOf mismatch: %v vs %v (a=%v b=%v)", got, want, refA, refB)
+		}
+		if got, want := a.SupersetOf(b), refB.subsetOf(refA); got != want {
+			t.Fatalf("SupersetOf mismatch: %v vs %v", got, want)
+		}
+		if got, want := a.Equal(b), refA.equal(refB); got != want {
+			t.Fatalf("Equal mismatch: %v vs %v", got, want)
+		}
+		sameMembers(t, "Union", a.Union(b), refA.union(refB))
+		sameMembers(t, "Intersect", a.Intersect(b), refA.intersect(refB))
+		sameMembers(t, "Subtract", a.Subtract(b), refA.subtract(refB))
+
+		// Membership agrees for every pool tag.
+		for _, tg := range ra {
+			inRef := refSet{tg}.subsetOf(refA)
+			if a.Has(tg) != inRef {
+				t.Fatalf("Has(%v) = %v, reference %v", tg, a.Has(tg), inRef)
+			}
+		}
+	}
+}
+
+func TestLabelLatticeMatchesReferenceAcrossInternBoundary(t *testing.T) {
+	pool := boundaryPool(t)
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 2000; iter++ {
+		la := Label{S: NewSet(randomSubset(rng, pool)...), I: NewSet(randomSubset(rng, pool)...)}
+		lb := Label{S: NewSet(randomSubset(rng, pool)...), I: NewSet(randomSubset(rng, pool)...)}
+		refFlow := refFrom(la.S).subsetOf(refFrom(lb.S)) && refFrom(lb.I).subsetOf(refFrom(la.I))
+		if got := la.CanFlowTo(lb); got != refFlow {
+			t.Fatalf("CanFlowTo mismatch: got %v want %v", got, refFlow)
+		}
+
+		join := la.Join(lb)
+		sameMembers(t, "Join.S", join.S, refFrom(la.S).union(refFrom(lb.S)))
+		sameMembers(t, "Join.I", join.I, refFrom(la.I).intersect(refFrom(lb.I)))
+
+		meet := la.Meet(lb)
+		sameMembers(t, "Meet.S", meet.S, refFrom(la.S).intersect(refFrom(lb.S)))
+		sameMembers(t, "Meet.I", meet.I, refFrom(la.I).union(refFrom(lb.I)))
+
+		// Lattice laws: X ≺ X⊔Y and X⊓Y ≺ X.
+		if !la.CanFlowTo(join) || !lb.CanFlowTo(join) {
+			t.Fatal("join is not an upper bound")
+		}
+		if !meet.CanFlowTo(la) || !meet.CanFlowTo(lb) {
+			t.Fatal("meet is not a lower bound")
+		}
+	}
+}
+
+// TestLateInternedTagStaysCorrect pins the soundness rule for tags
+// interned AFTER a set containing them was built: such sets are
+// permanently inexact and must keep falling back to the slice path,
+// even when compared against exact sets built later.
+func TestLateInternedTagStaysCorrect(t *testing.T) {
+	// A tag that was never interned (FromID without registration).
+	var id tags.ID
+	id[0] = 0xAB
+	id[15] = 0xCD
+	late := tags.FromID(id)
+
+	before := NewSet(late) // built while late is uninterned: inexact
+	if before.Has(late) != true {
+		t.Fatal("membership lost for uninterned tag")
+	}
+
+	// Now the tag gets interned (e.g. a foreign registration) and a
+	// second set is built; the two must still compare correctly.
+	store := tags.NewStore(99)
+	store.RegisterForeign(late, "late", "test")
+	after := NewSet(late)
+
+	if !before.Equal(after) || !before.SubsetOf(after) || !after.SubsetOf(before) {
+		t.Fatal("late-interned tag broke set comparisons")
+	}
+	if !before.Union(after).Equal(after) {
+		t.Fatal("late-interned tag broke union")
+	}
+}

@@ -15,6 +15,7 @@ package labels
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/tags"
 )
@@ -24,16 +25,82 @@ import (
 // never mutate their receivers, so Sets may be shared freely between
 // goroutines without synchronisation.
 //
-// Representation: a sorted slice without duplicates. DEFC labels are
-// small (a handful of tags per part), so a sorted slice beats a map on
-// both footprint and iteration cost, and gives cheap subset tests by
-// merge-walk.
+// Representation: a single pointer to an immutable header holding a
+// sorted slice without duplicates plus a cached bitmask over the
+// first tags.InternWidth interned tag indexes. DEFC labels are small
+// (a handful of tags per part), so the sorted slice beats a map on
+// footprint and iteration cost, and the bitmask turns the
+// subset/superset tests on the dispatch hot path into single word
+// operations. Copying a Set copies one word.
 type Set struct {
+	h *setHeader
+}
+
+// setHeader is the shared immutable backing of a non-empty Set. Only
+// the lazily computed key is mutated, under keyOnce.
+type setHeader struct {
 	elems []tags.Tag // sorted ascending by Tag.Compare, no duplicates
+	// mask has bit i set iff the set contains the tag with intern
+	// index i < tags.InternWidth, as observed at construction time.
+	mask uint64
+	// exact records that every element had an intern index below
+	// tags.InternWidth at construction time, i.e. mask is a complete
+	// encoding of the membership. Fast paths require exactness of all
+	// participating sets: intern indexes are assigned once and never
+	// change, so two exact masks are directly comparable.
+	exact bool
+
+	keyOnce sync.Once
+	key     string
 }
 
 // EmptySet is the canonical empty tag set.
 var EmptySet = Set{}
+
+// makeSet wraps a sorted, deduplicated element slice, computing the
+// fast-path mask. The caller must not retain elems.
+func makeSet(elems []tags.Tag) Set {
+	if len(elems) == 0 {
+		return Set{}
+	}
+	h := &setHeader{elems: elems, exact: true}
+	for _, t := range elems {
+		idx, ok := tags.InternIndex(t)
+		if ok && idx < tags.InternWidth {
+			h.mask |= 1 << idx
+		} else {
+			h.exact = false
+		}
+	}
+	return Set{h: h}
+}
+
+// mergedSet wraps the result of a set operation over a and b. When
+// both inputs are exact, every result element carries a fast-path
+// index, so the pre-combined mask is authoritative; otherwise the
+// mask is recomputed from the elements.
+func mergedSet(elems []tags.Tag, a, b Set, mask uint64) Set {
+	if len(elems) == 0 {
+		return Set{}
+	}
+	if a.exact() && b.exact() {
+		return Set{h: &setHeader{elems: elems, mask: mask, exact: true}}
+	}
+	return makeSet(elems)
+}
+
+// mask returns the fast-path bitmask (0 for the empty set).
+func (s Set) mask() uint64 {
+	if s.h == nil {
+		return 0
+	}
+	return s.h.mask
+}
+
+// exact reports whether the mask completely encodes the membership.
+func (s Set) exact() bool {
+	return s.h == nil || s.h.exact
+}
 
 // NewSet builds a set from the given tags, deduplicating as needed.
 func NewSet(ts ...tags.Tag) Set {
@@ -50,28 +117,56 @@ func NewSet(ts ...tags.Tag) Set {
 			out = append(out, t)
 		}
 	}
-	return Set{elems: out}
+	return makeSet(out)
 }
 
 // Len returns the number of tags in the set.
-func (s Set) Len() int { return len(s.elems) }
+func (s Set) Len() int {
+	if s.h == nil {
+		return 0
+	}
+	return len(s.h.elems)
+}
 
 // IsEmpty reports whether the set has no tags.
-func (s Set) IsEmpty() bool { return len(s.elems) == 0 }
+func (s Set) IsEmpty() bool { return s.h == nil || len(s.h.elems) == 0 }
+
+// items returns the backing slice (nil for the empty set). Callers
+// must not mutate it.
+func (s Set) items() []tags.Tag {
+	if s.h == nil {
+		return nil
+	}
+	return s.h.elems
+}
 
 // Has reports whether t is a member of s.
 func (s Set) Has(t tags.Tag) bool {
-	i := sort.Search(len(s.elems), func(i int) bool {
-		return !s.elems[i].Less(t)
+	if s.h == nil {
+		return false
+	}
+	if s.h.exact {
+		// Exact sets contain only tags with fast-path indexes; a tag
+		// without one cannot be a member, and index↔identity is a
+		// bijection, so the bit test is authoritative.
+		if idx, ok := tags.InternIndex(t); ok && idx < tags.InternWidth {
+			return s.h.mask&(1<<idx) != 0
+		}
+		return false
+	}
+	elems := s.h.elems
+	i := sort.Search(len(elems), func(i int) bool {
+		return !elems[i].Less(t)
 	})
-	return i < len(s.elems) && s.elems[i] == t
+	return i < len(elems) && elems[i] == t
 }
 
 // Slice returns the members in ascending order. The returned slice is
 // a copy and may be modified by the caller.
 func (s Set) Slice() []tags.Tag {
-	out := make([]tags.Tag, len(s.elems))
-	copy(out, s.elems)
+	elems := s.items()
+	out := make([]tags.Tag, len(elems))
+	copy(out, elems)
 	return out
 }
 
@@ -85,7 +180,7 @@ func (s Set) Add(ts ...tags.Tag) Set {
 
 // Remove returns s \ {ts...}.
 func (s Set) Remove(ts ...tags.Tag) Set {
-	if len(ts) == 0 || len(s.elems) == 0 {
+	if len(ts) == 0 || s.IsEmpty() {
 		return s
 	}
 	return s.Subtract(NewSet(ts...))
@@ -99,25 +194,37 @@ func (s Set) Union(o Set) Set {
 	if s.IsEmpty() {
 		return o
 	}
-	out := make([]tags.Tag, 0, len(s.elems)+len(o.elems))
+	// Containment short-circuits: labels converge quickly under
+	// repeated contamination joins, so the union usually IS one of the
+	// operands — return it without allocating.
+	if s.exact() && o.exact() {
+		switch union := s.mask() | o.mask(); union {
+		case s.mask():
+			return s
+		case o.mask():
+			return o
+		}
+	}
+	se, oe := s.h.elems, o.h.elems
+	out := make([]tags.Tag, 0, len(se)+len(oe))
 	i, j := 0, 0
-	for i < len(s.elems) && j < len(o.elems) {
-		switch c := s.elems[i].Compare(o.elems[j]); {
+	for i < len(se) && j < len(oe) {
+		switch c := se[i].Compare(oe[j]); {
 		case c < 0:
-			out = append(out, s.elems[i])
+			out = append(out, se[i])
 			i++
 		case c > 0:
-			out = append(out, o.elems[j])
+			out = append(out, oe[j])
 			j++
 		default:
-			out = append(out, s.elems[i])
+			out = append(out, se[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, s.elems[i:]...)
-	out = append(out, o.elems[j:]...)
-	return Set{elems: out}
+	out = append(out, se[i:]...)
+	out = append(out, oe[j:]...)
+	return mergedSet(out, s, o, s.mask()|o.mask())
 }
 
 // Intersect returns s ∩ o.
@@ -125,24 +232,32 @@ func (s Set) Intersect(o Set) Set {
 	if s.IsEmpty() || o.IsEmpty() {
 		return Set{}
 	}
-	out := make([]tags.Tag, 0, min(len(s.elems), len(o.elems)))
+	if s.exact() && o.exact() {
+		switch inter := s.mask() & o.mask(); inter {
+		case s.mask():
+			return s
+		case o.mask():
+			return o
+		case 0:
+			return Set{}
+		}
+	}
+	se, oe := s.h.elems, o.h.elems
+	out := make([]tags.Tag, 0, min(len(se), len(oe)))
 	i, j := 0, 0
-	for i < len(s.elems) && j < len(o.elems) {
-		switch c := s.elems[i].Compare(o.elems[j]); {
+	for i < len(se) && j < len(oe) {
+		switch c := se[i].Compare(oe[j]); {
 		case c < 0:
 			i++
 		case c > 0:
 			j++
 		default:
-			out = append(out, s.elems[i])
+			out = append(out, se[i])
 			i++
 			j++
 		}
 	}
-	if len(out) == 0 {
-		return Set{}
-	}
-	return Set{elems: out}
+	return mergedSet(out, s, o, s.mask()&o.mask())
 }
 
 // Subtract returns s \ o.
@@ -150,16 +265,25 @@ func (s Set) Subtract(o Set) Set {
 	if s.IsEmpty() || o.IsEmpty() {
 		return s
 	}
-	out := make([]tags.Tag, 0, len(s.elems))
+	if s.exact() && o.exact() {
+		switch diff := s.mask() &^ o.mask(); diff {
+		case s.mask():
+			return s // disjoint
+		case 0:
+			return Set{} // s ⊆ o
+		}
+	}
+	se, oe := s.h.elems, o.h.elems
+	out := make([]tags.Tag, 0, len(se))
 	i, j := 0, 0
-	for i < len(s.elems) {
-		if j >= len(o.elems) {
-			out = append(out, s.elems[i:]...)
+	for i < len(se) {
+		if j >= len(oe) {
+			out = append(out, se[i:]...)
 			break
 		}
-		switch c := s.elems[i].Compare(o.elems[j]); {
+		switch c := se[i].Compare(oe[j]); {
 		case c < 0:
-			out = append(out, s.elems[i])
+			out = append(out, se[i])
 			i++
 		case c > 0:
 			j++
@@ -168,23 +292,29 @@ func (s Set) Subtract(o Set) Set {
 			j++
 		}
 	}
-	if len(out) == 0 {
-		return Set{}
-	}
-	return Set{elems: out}
+	return mergedSet(out, s, o, s.mask()&^o.mask())
 }
 
 // SubsetOf reports s ⊆ o.
 func (s Set) SubsetOf(o Set) bool {
-	if len(s.elems) > len(o.elems) {
+	if s.IsEmpty() {
+		return true
+	}
+	if s.Len() > o.Len() {
 		return false
 	}
+	// Fast path: when both masks completely encode their memberships,
+	// the subset test is one word operation.
+	if s.exact() && o.exact() {
+		return s.mask()&^o.mask() == 0
+	}
+	se, oe := s.h.elems, o.h.elems
 	i, j := 0, 0
-	for i < len(s.elems) {
-		if j >= len(o.elems) {
+	for i < len(se) {
+		if j >= len(oe) {
 			return false
 		}
-		switch c := s.elems[i].Compare(o.elems[j]); {
+		switch c := se[i].Compare(oe[j]); {
 		case c < 0:
 			return false // s has an element smaller than anything left in o
 		case c > 0:
@@ -202,11 +332,21 @@ func (s Set) SupersetOf(o Set) bool { return o.SubsetOf(s) }
 
 // Equal reports whether the two sets have identical membership.
 func (s Set) Equal(o Set) bool {
-	if len(s.elems) != len(o.elems) {
+	if s.Len() != o.Len() {
 		return false
 	}
-	for i := range s.elems {
-		if s.elems[i] != o.elems[i] {
+	if s.IsEmpty() {
+		return true
+	}
+	if s.h == o.h {
+		return true
+	}
+	if s.exact() && o.exact() {
+		return s.mask() == o.mask()
+	}
+	se, oe := s.h.elems, o.h.elems
+	for i := range se {
+		if se[i] != oe[i] {
 			return false
 		}
 	}
@@ -220,7 +360,7 @@ func (s Set) String() string {
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, t := range s.elems {
+	for i, t := range s.h.elems {
 		if i > 0 {
 			b.WriteByte(',')
 		}
@@ -232,13 +372,21 @@ func (s Set) String() string {
 
 // Key returns a deterministic byte-string identifying the membership,
 // suitable for use as a map key (e.g. pooling managed-subscription
-// instances by contamination level).
+// instances by contamination level). The key is computed once per set
+// and cached; repeated calls return the same string without
+// rebuilding it.
 func (s Set) Key() string {
-	var b strings.Builder
-	b.Grow(len(s.elems) * tags.IDLen)
-	for _, t := range s.elems {
-		id := t.ID()
-		b.Write(id[:])
+	if s.h == nil {
+		return ""
 	}
-	return b.String()
+	s.h.keyOnce.Do(func() {
+		var b strings.Builder
+		b.Grow(len(s.h.elems) * tags.IDLen)
+		for _, t := range s.h.elems {
+			id := t.ID()
+			b.Write(id[:])
+		}
+		s.h.key = b.String()
+	})
+	return s.h.key
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -41,26 +42,19 @@ func TestHistogramPercentileAccuracy(t *testing.T) {
 		samples = append(samples, v)
 		h.Record(v)
 	}
+	// Sort once for exact percentiles (a per-call insertion sort here
+	// once dominated the package's test wall time).
+	sorted := append([]int64(nil), samples...)
+	slices.Sort(sorted)
 	exact := func(p float64) int64 {
-		s := append([]int64(nil), samples...)
-		// nth element via sort.
-		sortInt64s(s)
-		ix := int(math.Ceil(p/100*float64(len(s)))) - 1
-		return s[ix]
+		ix := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		return sorted[ix]
 	}
 	for _, p := range []float64{50, 70, 90, 99} {
 		got, want := h.Percentile(p), exact(p)
 		rel := math.Abs(float64(got-want)) / float64(want)
 		if rel > 0.08 {
 			t.Errorf("p%.0f = %d, exact %d (rel err %.3f)", p, got, want, rel)
-		}
-	}
-}
-
-func sortInt64s(s []int64) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
 }

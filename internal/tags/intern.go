@@ -1,0 +1,76 @@
+package tags
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Tag interning.
+//
+// Every tag issued (or registered) through a Store receives a dense,
+// process-wide intern index, assigned in first-seen order. The labels
+// package uses the first InternWidth indexes as bit positions of a
+// per-set bitmask, turning the subset/superset tests on the dispatch
+// hot path into single word operations (see labels.Set).
+//
+// Indexes are assigned exactly once per identity and never change:
+// stores seeded identically mint identical identity streams, so
+// re-creating a system with the same seed (as benchmarks do) reuses
+// the same intern slots instead of exhausting the fast-path width.
+//
+// Interning is a pure acceleration layer: a tag that was never
+// interned (e.g. one rebuilt via FromID and never registered) is still
+// fully functional — set operations fall back to the sorted-slice
+// path whenever any participating tag lacks a fast-path index.
+
+// InternWidth is the number of intern indexes that participate in the
+// labels bitmask fast path. Indexes at or beyond this width still get
+// assigned (they keep the order dense for diagnostics) but do not map
+// to mask bits.
+const InternWidth = 64
+
+var (
+	internMu    sync.Mutex
+	internNext  uint32
+	internCount atomic.Uint32
+	internTable sync.Map // ID -> uint32
+)
+
+// Intern assigns (or returns) the dense intern index of t. The zero
+// tag is never interned and reports index 0, false-like semantics via
+// InternIndex.
+func Intern(t Tag) uint32 {
+	if t.IsZero() {
+		return 0
+	}
+	if v, ok := internTable.Load(t.id); ok {
+		return v.(uint32)
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if v, ok := internTable.Load(t.id); ok {
+		return v.(uint32)
+	}
+	idx := internNext
+	internNext++
+	internTable.Store(t.id, idx)
+	internCount.Store(internNext)
+	return idx
+}
+
+// InternIndex returns t's intern index and whether t has been
+// interned. It never assigns.
+func InternIndex(t Tag) (uint32, bool) {
+	if t.IsZero() {
+		return 0, false
+	}
+	v, ok := internTable.Load(t.id)
+	if !ok {
+		return 0, false
+	}
+	return v.(uint32), true
+}
+
+// InternCount reports how many distinct tag identities have been
+// interned process-wide.
+func InternCount() int { return int(internCount.Load()) }

@@ -126,6 +126,7 @@ func (s *Store) Create(name, creator string) Tag {
 		}
 		s.seq++
 		s.info[t] = Info{Tag: t, Name: name, Creator: creator, Seq: s.seq}
+		Intern(t)
 		return t
 	}
 }
@@ -151,6 +152,7 @@ func (s *Store) RegisterForeign(t Tag, name, origin string) {
 	}
 	s.seq++
 	s.info[t] = Info{Tag: t, Name: name, Creator: origin, Seq: s.seq}
+	Intern(t)
 }
 
 // Lookup returns the metadata for a tag issued by this store.

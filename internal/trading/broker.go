@@ -64,15 +64,17 @@ type restingOrder struct {
 	qty     int64
 	trader  string
 	tr      tags.Tag
-	stamp   int64 // originating tick time (latency accounting)
-	entered int64 // book-entry time (TTL accounting)
+	strat   tags.Tag // trader's durable strategy tag (reference only)
+	stamp   int64    // originating tick time (latency accounting)
+	entered int64    // book-entry time (TTL accounting)
 }
 
 type tradeRecord struct {
-	buyer, seller     string
-	trBuyer, trSeller tags.Tag
-	symbol            string
-	price, qty        int64
+	buyer, seller           string
+	trBuyer, trSeller       tags.Tag
+	stratBuyer, stratSeller tags.Tag
+	symbol                  string
+	price, qty              int64
 }
 
 // newBroker assembles the broker unit; wire() attaches its managed
@@ -159,6 +161,9 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *book) {
 	if o.tr.IsZero() {
 		return
 	}
+	if sv, ok := om.Get("strat"); ok {
+		o.strat, _ = sv.(tags.Tag)
+	}
 	// Temporarily raise the input label to read the identity (the
 	// §3.1.4 pattern); we hold tr±, so this is a permitted standing
 	// declassification, immediately lowered again.
@@ -229,6 +234,7 @@ func (b *Broker) publishTrade(u *core.Unit, bk *book, bid, ask *restingOrder) {
 	rec := &tradeRecord{
 		buyer: bid.trader, seller: ask.trader,
 		trBuyer: bid.tr, trSeller: ask.tr,
+		stratBuyer: bid.strat, stratSeller: ask.strat,
 		symbol: bid.symbol, price: ask.price, qty: qty,
 	}
 	bk.log[tradeID] = rec
@@ -299,6 +305,8 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *book) {
 		"trade", tm.GetInt("id"),
 		"buyer_tag", rec.trBuyer,
 		"seller_tag", rec.trSeller,
+		"buyer_strat", rec.stratBuyer,
+		"seller_strat", rec.stratSeller,
 		"qty", rec.qty,
 	)
 	if err := u.AddPart(e, regSet, noTags, "delegation", payload); err != nil {

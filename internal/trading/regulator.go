@@ -176,10 +176,10 @@ func (r *Regulator) handleDelegation(u *core.Unit, e *events.Event, sub uint64) 
 	}
 	qty := dm.GetInt("qty")
 	sides := []struct {
-		tagKey, part string
+		tagKey, stratKey, part string
 	}{
-		{"buyer_tag", "buyer"},
-		{"seller_tag", "seller"},
+		{"buyer_tag", "buyer_strat", "buyer"},
+		{"seller_tag", "seller_strat", "seller"},
 	}
 	for _, side := range sides {
 		tv, ok := dm.Get(side.tagKey)
@@ -189,6 +189,10 @@ func (r *Regulator) handleDelegation(u *core.Unit, e *events.Event, sub uint64) 
 		tr, ok := tv.(tags.Tag)
 		if !ok || tr.IsZero() {
 			continue
+		}
+		var strat tags.Tag
+		if sv, ok := dm.Get(side.stratKey); ok {
+			strat, _ = sv.(tags.Tag)
 		}
 		if err := u.ChangeInLabel(core.Confidentiality, core.Add, tr); err != nil {
 			continue
@@ -203,9 +207,9 @@ func (r *Regulator) handleDelegation(u *core.Unit, e *events.Event, sub uint64) 
 			continue
 		}
 		// Volume report to the primary, protected by reg; the trader's
-		// tag reference rides along for the eventual warning.
+		// tag references ride along for the eventual warning.
 		ve := u.CreateEventFrom(e)
-		payload := freeze.MapOf("trader", name, "qty", qty, "tr", tr)
+		payload := freeze.MapOf("trader", name, "qty", qty, "tr", tr, "strat", strat)
 		if err := u.AddPart(ve, setOf(r.regTag), noTags, "vol", payload); err != nil {
 			continue
 		}
@@ -231,13 +235,24 @@ func (r *Regulator) handleVol(e *events.Event) {
 	if r.volumes[name] <= r.p.cfg.QuotaShares || r.warned[name] {
 		return
 	}
-	tv, ok := vm.Get("tr")
-	if !ok {
-		return
-	}
-	tr, ok := tv.(tags.Tag)
-	if !ok || tr.IsZero() {
-		return
+	// Protect the warning with the trader's durable strategy tag: the
+	// per-order tr leaves the trader's input label after a bounded
+	// number of further orders, so a warning issued after the regulator
+	// catches up on its queue would silently never be admitted. The
+	// strategy tag is held for the trader's lifetime and confines the
+	// warning exactly as tightly — only that trader's flow carries it.
+	// Fall back to the order tag for counterparties that did not
+	// disclose a strategy-tag reference.
+	guard, _ := vm.Get("strat")
+	gtag, _ := guard.(tags.Tag)
+	if gtag.IsZero() {
+		tv, ok := vm.Get("tr")
+		if !ok {
+			return
+		}
+		if gtag, ok = tv.(tags.Tag); !ok || gtag.IsZero() {
+			return
+		}
 	}
 	r.warned[name] = true
 	we := r.unit.CreateEventFrom(e)
@@ -245,7 +260,7 @@ func (r *Regulator) handleVol(e *events.Event) {
 		"to", name,
 		"msg", "trading volume exceeded quota",
 	)
-	if err := r.unit.AddPart(we, setOf(tr), noTags, "warning", warning); err != nil {
+	if err := r.unit.AddPart(we, setOf(gtag), noTags, "warning", warning); err != nil {
 		return
 	}
 	_ = r.unit.Publish(we)

@@ -213,6 +213,13 @@ func (t *Trader) placeOrder(match *events.Event) {
 		"qty", int64(100),
 		"id", orderID,
 		"tr", tr,
+		// The trader's durable strategy-tag reference rides along so a
+		// Regulator warning can be protected by a tag the trader is
+		// guaranteed to still hold: the per-order tr leaves the input
+		// label after maxLiveOrderTags further orders, and a warning
+		// protected by an evicted tr would silently never arrive. The
+		// reference conveys no privilege (§3.1.1: tags are opaque).
+		"strat", t.tag,
 	)
 	bSet := setOf(t.p.tagB)
 	if err := t.unit.AddPart(e, bSet, noTags, "order", order); err != nil {

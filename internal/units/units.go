@@ -52,7 +52,20 @@ type Instance struct {
 	// labels+freeze+isolation mode.
 	Iso *isolation.Isolate
 
-	queue    chan Delivery
+	// The delivery queue is a mutex-guarded ring buffer rather than a
+	// channel: a batched enqueue (EnqueueBatch) appends a whole run of
+	// deliveries under one lock acquisition, where a channel would pay
+	// per-send. Blocking waits park on the notEmpty/space token
+	// channels so they remain selectable against done (shutdown).
+	qmu    sync.Mutex
+	buf    []Delivery
+	qhead  int
+	qcount int
+	// notEmpty and space carry at most one wake-up token each;
+	// senders never block (see signal).
+	notEmpty chan struct{}
+	space    chan struct{}
+
 	done     <-chan struct{}
 	retired  atomic.Bool
 	enqueued atomic.Uint64
@@ -93,7 +106,9 @@ func New(cfg Config) *Instance {
 		name:       cfg.Name,
 		owned:      cfg.Owned,
 		Iso:        cfg.Iso,
-		queue:      make(chan Delivery, cfg.QueueCap),
+		buf:        make([]Delivery, cfg.QueueCap),
+		notEmpty:   make(chan struct{}, 1),
+		space:      make(chan struct{}, 1),
 		done:       cfg.Done,
 		createdIn:  cfg.In,
 		createdOut: cfg.Out,
@@ -139,6 +154,32 @@ func (i *Instance) HasPrivilege(t priv.Grant) bool {
 	return i.owned.Has(t.Tag, t.Right)
 }
 
+// signal deposits a wake-up token without blocking; a token already
+// present is enough.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// pushLocked appends to the ring; the caller holds qmu and has
+// checked capacity.
+func (i *Instance) pushLocked(d Delivery) {
+	i.buf[(i.qhead+i.qcount)%len(i.buf)] = d
+	i.qcount++
+}
+
+// popLocked removes the oldest delivery; the caller holds qmu and has
+// checked qcount > 0.
+func (i *Instance) popLocked() Delivery {
+	d := i.buf[i.qhead]
+	i.buf[i.qhead] = Delivery{} // drop the event reference
+	i.qhead = (i.qhead + 1) % len(i.buf)
+	i.qcount--
+	return d
+}
+
 // Enqueue implements dispatch.Receiver: with block set it waits for
 // queue space (natural backpressure towards the publisher); without it
 // a full queue drops the delivery. It fails once the instance or
@@ -148,37 +189,90 @@ func (i *Instance) Enqueue(e *events.Event, sub uint64, block bool) bool {
 		return false
 	}
 	d := Delivery{Event: e, Sub: sub, Gen: e.Generation()}
-	if !block {
-		select {
-		case i.queue <- d:
+	for {
+		i.qmu.Lock()
+		if i.qcount < len(i.buf) {
+			i.pushLocked(d)
+			i.qmu.Unlock()
+			signal(i.notEmpty)
 			i.enqueued.Add(1)
 			return true
-		default:
+		}
+		i.qmu.Unlock()
+		if !block {
+			return false
+		}
+		select {
+		case <-i.space:
+		case <-i.done:
 			return false
 		}
 	}
-	select {
-	case i.queue <- d:
-		i.enqueued.Add(1)
-		return true
-	case <-i.done:
-		return false
+}
+
+// EnqueueBatch implements dispatch.Receiver's batched path: the whole
+// run is appended under a single lock acquisition with one consumer
+// wake-up, so a receiver matched by k events of a publish batch pays
+// one queue synchronisation instead of k. Accepted deliveries are a
+// prefix of ds; the refused remainder is recycled per the Receiver
+// contract. With block set the call waits for space, aborting on
+// shutdown.
+func (i *Instance) EnqueueBatch(ds []events.QueuedDelivery, block bool) int {
+	if len(ds) == 0 {
+		return 0
 	}
+	accepted := 0
+	if !i.retired.Load() {
+		for {
+			i.qmu.Lock()
+			pushed := 0
+			for accepted < len(ds) && i.qcount < len(i.buf) {
+				q := ds[accepted]
+				i.pushLocked(Delivery{Event: q.Event, Sub: q.Sub, Gen: q.Event.Generation()})
+				accepted++
+				pushed++
+			}
+			i.qmu.Unlock()
+			if pushed > 0 {
+				signal(i.notEmpty)
+				i.enqueued.Add(uint64(pushed))
+			}
+			if accepted == len(ds) {
+				return accepted
+			}
+			if !block {
+				break
+			}
+			select {
+			case <-i.space:
+			case <-i.done:
+				// Shutdown while blocked: drop the remainder.
+				goto drop
+			}
+		}
+	}
+drop:
+	for _, q := range ds[accepted:] {
+		q.Event.Recycle() // no-op outside the clone pool
+	}
+	return accepted
 }
 
 // Next blocks until a delivery arrives, the system shuts down, or the
 // instance is retired.
 func (i *Instance) Next() (Delivery, error) {
-	select {
-	case d := <-i.queue:
-		return d, nil
-	case <-i.done:
-		// Drain-first: prefer a queued delivery over shutdown so close
-		// is not racy for already-delivered events.
-		select {
-		case d := <-i.queue:
+	for {
+		if d, ok := i.TryNext(); ok {
 			return d, nil
-		default:
+		}
+		select {
+		case <-i.notEmpty:
+		case <-i.done:
+			// Drain-first: prefer a queued delivery over shutdown so
+			// close is not racy for already-delivered events.
+			if d, ok := i.TryNext(); ok {
+				return d, nil
+			}
 			return Delivery{}, ErrTerminated
 		}
 	}
@@ -186,16 +280,32 @@ func (i *Instance) Next() (Delivery, error) {
 
 // TryNext is the non-blocking variant of Next.
 func (i *Instance) TryNext() (Delivery, bool) {
-	select {
-	case d := <-i.queue:
-		return d, true
-	default:
+	i.qmu.Lock()
+	if i.qcount == 0 {
+		i.qmu.Unlock()
 		return Delivery{}, false
 	}
+	d := i.popLocked()
+	remaining := i.qcount
+	i.qmu.Unlock()
+	signal(i.space)
+	if remaining > 0 {
+		// Pass the baton: further consumers (or a pending token lost
+		// to the capacity-1 channel) must still see the backlog.
+		signal(i.notEmpty)
+	}
+	return d, true
 }
 
 // QueueLen reports the number of waiting deliveries.
-func (i *Instance) QueueLen() int { return len(i.queue) }
+func (i *Instance) QueueLen() int {
+	i.qmu.Lock()
+	defer i.qmu.Unlock()
+	return i.qcount
+}
+
+// QueueCap reports the queue's capacity.
+func (i *Instance) QueueCap() int { return len(i.buf) }
 
 // Enqueued reports the total number of deliveries accepted.
 func (i *Instance) Enqueued() uint64 { return i.enqueued.Load() }

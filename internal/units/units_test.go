@@ -199,8 +199,8 @@ func TestResetPreservesCreationPrivileges(t *testing.T) {
 
 func TestDefaultQueueCap(t *testing.T) {
 	i := New(Config{ID: 1, Name: "u"})
-	if cap(i.queue) != 1024 {
-		t.Fatalf("default queue cap = %d", cap(i.queue))
+	if i.QueueCap() != 1024 {
+		t.Fatalf("default queue cap = %d", i.QueueCap())
 	}
 	if i.Name() != "u" || i.ReceiverID() != 1 {
 		t.Fatal("identity accessors wrong")
