@@ -1,0 +1,213 @@
+// Command benchjson converts `go test -bench` output (and optionally
+// a figure table produced by defcon-bench) into a machine-readable
+// JSON snapshot. CI's bench-snapshot job runs it to emit
+// BENCH_dispatch.json, which is uploaded as an artifact so the perf
+// trajectory of the dispatch pipeline is tracked per commit.
+//
+//	go test ./internal/dispatch -run xxx -bench . -benchmem | tee bench.txt
+//	defcon-bench -fig 5 -quick | tee fig5.txt
+//	benchjson -bench bench.txt -fig5 fig5.txt -o BENCH_dispatch.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit → value (ns/op, B/op, allocs/op, events/s, ...)
+}
+
+// FigPoint is one x-row of a defcon-bench figure table.
+type FigPoint struct {
+	X      int                `json:"x"`
+	Series map[string]float64 `json:"series"` // series name → value
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Commit     string      `json:"commit,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Figure     string      `json:"figure,omitempty"`
+	FigPoints  []FigPoint  `json:"fig_points,omitempty"`
+}
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
+		figPath   = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
+		outPath   = flag.String("o", "BENCH_dispatch.json", "output JSON path")
+	)
+	flag.Parse()
+
+	snap := Snapshot{Commit: os.Getenv("GITHUB_SHA")}
+
+	var benchSrc *os.File
+	if *benchPath == "" {
+		benchSrc = os.Stdin
+	} else {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		benchSrc = f
+	}
+	if err := parseBench(benchSrc, &snap); err != nil {
+		fatal(err)
+	}
+
+	if *figPath != "" {
+		f, err := os.Open(*figPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := parseFigure(f, &snap); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks, %d figure points to %s\n",
+		len(snap.Benchmarks), len(snap.FigPoints), *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parseBench consumes `go test -bench` output: metadata lines
+// (goos/goarch/cpu) and result lines of the form
+//
+//	BenchmarkName-8   1234567   272.9 ns/op   0 B/op   0 allocs/op
+func parseBench(src *os.File, snap *Snapshot) error {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value/unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	return sc.Err()
+}
+
+// parseFigure consumes a defcon-bench table:
+//
+//	# Figure 5 — caption
+//	x          series-a    series-b   (unit)
+//	100        59680.51    61993.43
+func parseFigure(src *os.File, snap *Snapshot) error {
+	sc := bufio.NewScanner(src)
+	var names []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			snap.Figure = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			continue
+		case strings.HasPrefix(line, "x"):
+			names = parseHeader(sc.Text())
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(names) == 0 || len(fields) < 2 {
+			continue
+		}
+		x, err := strconv.Atoi(fields[0])
+		if err != nil {
+			continue
+		}
+		pt := FigPoint{X: x, Series: map[string]float64{}}
+		for i, f := range fields[1:] {
+			if i >= len(names) {
+				break
+			}
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				pt.Series[names[i]] = v
+			}
+		}
+		snap.FigPoints = append(snap.FigPoints, pt)
+	}
+	return sc.Err()
+}
+
+// parseHeader recovers the series names from the header row emitted
+// by bench.Result.Format: names are right-aligned in columns wide
+// enough that consecutive names are separated by at least two spaces
+// (a name itself may contain a single space, e.g. "no security").
+func parseHeader(row string) []string {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(row), "x"))
+	if i := strings.LastIndex(rest, "("); i >= 0 {
+		rest = rest[:i]
+	}
+	var names []string
+	for _, cell := range splitOnRuns(rest) {
+		if cell != "" {
+			names = append(names, cell)
+		}
+	}
+	return names
+}
+
+// splitOnRuns splits on runs of two or more spaces.
+func splitOnRuns(s string) []string {
+	var out []string
+	for _, chunk := range strings.Split(s, "  ") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk != "" {
+			out = append(out, chunk)
+		}
+	}
+	return out
+}

@@ -104,14 +104,16 @@ func RunFig5(o DEFConOpts) (Result, error) {
 
 			trace := workload.NewTrace(workload.NewUniverse(o.FixedPairs), o.Seed+3)
 			deadline := time.Now().Add(o.Duration)
+			var run [64]workload.Tick
 			for time.Now().Before(deadline) {
-				// Publish in small batches to keep the deadline check
-				// off the per-event path.
-				for i := 0; i < 64; i++ {
-					tk := trace.Next()
-					p.Exchange.PublishTick(&tk)
+				// Publish in batched runs: keeps the deadline check off
+				// the per-event path and exercises the same
+				// PublishTicks→PublishBatch path the replay driver uses.
+				for i := range run {
+					run[i] = trace.Next()
 				}
-				th.Add(64)
+				p.Exchange.PublishTicks(run[:])
+				th.Add(uint64(len(run)))
 			}
 			close(stop)
 			th.Sample()

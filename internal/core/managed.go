@@ -37,6 +37,15 @@ type ManagedOptions struct {
 	// QueueCap bounds each instance's delivery queue (0 = system
 	// default).
 	QueueCap int
+	// KeepDeliveries opts out of the clone-mode auto-recycle. By
+	// default the managed runtime returns a labels+clone delivery to
+	// the clone pool once the handler has returned and any release
+	// re-dispatch has completed — at that point the delivery is
+	// provably dropped (see runInstance). A handler that retains the
+	// *events.Event or its *Part structs past return (rather than the
+	// data values read through the Table 1 API, which stay valid)
+	// must set KeepDeliveries. None of the stock units need it.
+	KeepDeliveries bool
 }
 
 // SubscribeManaged declares a managed subscription (Table 1:
@@ -216,8 +225,9 @@ func (r *managedRouter) instanceFor(needed labels.Label) *Unit {
 
 // runInstance is a managed instance's processing loop: deliver →
 // handler → release (re-dispatching modifications) → optional
-// re-virgining.
+// re-virgining → clone recycle.
 func (r *managedRouter) runInstance(inst *Unit) {
+	recycle := !r.opts.KeepDeliveries && r.sys.mode.CloneDeliveries()
 	for {
 		d, err := inst.inst.Next()
 		if err != nil {
@@ -229,6 +239,21 @@ func (r *managedRouter) runInstance(inst *Unit) {
 		}
 		if r.opts.ResetOnDrift && inst.inst.Drifted() {
 			inst.inst.Reset()
+		}
+		if recycle {
+			// Return-path proof that the delivery is dropped: in clone
+			// mode the dispatcher handed this router a private deep
+			// copy and routed it to exactly this instance (delivery
+			// dedup is per receiver); the handler has returned; and
+			// the re-dispatch above ran synchronously and hands other
+			// receivers fresh clones, never this one. Unless the
+			// handler retained the event shell itself — forbidden by
+			// the handler contract and opted out of via
+			// KeepDeliveries — no reference remains, so the clone goes
+			// back to the pool without harness cooperation. Data
+			// values already read stay valid (pool.go: only the
+			// shells are pooled).
+			d.Event.Recycle()
 		}
 	}
 }

@@ -293,3 +293,87 @@ func TestManagedModificationsRedispatch(t *testing.T) {
 		t.Fatalf("verdict not delivered: %v %v", v, err)
 	}
 }
+
+// TestManagedAutoRecyclesCloneDeliveries: in labels+clone mode the
+// managed runtime must return a delivery's private clone to the pool
+// once the handler has returned (and any release re-dispatch has run),
+// without the handler calling Recycle itself. Data values read before
+// the recycle stay valid.
+func TestManagedAutoRecyclesCloneDeliveries(t *testing.T) {
+	s := newSys(t, LabelsClone)
+	pub := s.NewUnit("pub", UnitConfig{})
+
+	type seen struct {
+		ev   *events.Event
+		data freeze.Value
+	}
+	got := make(chan seen, 1)
+	consumer := s.NewUnit("consumer", UnitConfig{})
+	if _, err := consumer.SubscribeManaged(func(u *Unit, e *events.Event, sub uint64) {
+		v, err := u.ReadOne(e, "payload")
+		if err != nil {
+			t.Errorf("ReadOne in handler: %v", err)
+			return
+		}
+		got <- seen{ev: e, data: v.Data}
+	}, dispatch.MustFilter(dispatch.PartEq("type", "note"))); err != nil {
+		t.Fatal(err)
+	}
+
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "note"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "payload", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+
+	d := <-got
+	if d.ev == e {
+		t.Fatal("clone mode delivered the original event")
+	}
+	// The clone must be recycled shortly after the handler returns.
+	waitFor(t, "auto-recycle", func() bool { return !d.ev.Pooled() })
+	if d.data != freeze.Value("hello") {
+		t.Fatalf("data read before recycle went invalid: %v", d.data)
+	}
+	// The original publisher-side event is not pooled and unaffected.
+	if e.Pooled() {
+		t.Fatal("original event must not be pool-flagged")
+	}
+}
+
+// TestManagedKeepDeliveriesSkipsAutoRecycle pins the opt-out: a
+// handler that retains the event shell sets KeepDeliveries and the
+// runtime leaves the clone alone.
+func TestManagedKeepDeliveriesSkipsAutoRecycle(t *testing.T) {
+	s := newSys(t, LabelsClone)
+	pub := s.NewUnit("pub", UnitConfig{})
+
+	got := make(chan *events.Event, 1)
+	consumer := s.NewUnit("consumer", UnitConfig{})
+	if _, err := consumer.SubscribeManagedOpts(func(u *Unit, e *events.Event, sub uint64) {
+		got <- e
+	}, dispatch.MustFilter(dispatch.PartEq("type", "note")),
+		ManagedOptions{ResetOnDrift: true, KeepDeliveries: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "note"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	clone := <-got
+	// Give the runtime a beat; the clone must stay pooled-flagged
+	// (i.e. alive, not recycled).
+	time.Sleep(20 * time.Millisecond)
+	if !clone.Pooled() {
+		t.Fatal("KeepDeliveries delivery was recycled")
+	}
+}

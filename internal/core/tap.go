@@ -96,3 +96,19 @@ func (s *System) Inject(e *events.Event) error {
 	s.disp.Publish(e)
 	return nil
 }
+
+// InjectBatch is Inject for a run of events: each is published exactly
+// as by Inject, in order, through the batched dispatch path — the
+// import loop of an inter-node link decodes a whole frame of peer
+// events and materialises it in one call, so every matched receiver
+// pays one queue handoff per frame instead of one per event.
+func (s *System) InjectBatch(evs []*events.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if s.Closed() {
+		return ErrClosed
+	}
+	s.disp.PublishBatch(evs, true)
+	return nil
+}

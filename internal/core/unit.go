@@ -222,13 +222,31 @@ func (u *Unit) ReadPart(e *events.Event, name string) ([]PartView, error) {
 }
 
 // ReadOne is ReadPart for the common single-version case; with several
-// visible versions it returns the most recently added.
+// visible versions it returns — and bestows the carried grants of —
+// the most recently added. Unlike ReadPart it allocates nothing: it
+// runs once per delivery in every consumer loop (monitors, traders,
+// the Broker book), so the per-event view slices ReadPart builds
+// would dominate the collector at replay rates.
 func (u *Unit) ReadOne(e *events.Event, name string) (PartView, error) {
-	views, err := u.ReadPart(e, name)
-	if err != nil {
-		return PartView{}, err
+	u.tax()
+	if e == nil {
+		return PartView{}, errors.New("core: ReadOne on nil event")
 	}
-	return views[len(views)-1], nil
+	var p *events.Part
+	if u.sys.mode.CheckLabels() {
+		p = e.LastVisible(name, u.inst.InputLabel())
+	} else {
+		p = e.LastNamed(name)
+	}
+	if p == nil {
+		return PartView{}, fmt.Errorf("%w: %q", ErrNoSuchPart, name)
+	}
+	if len(p.Grants) > 0 {
+		grants := p.Grants
+		u.inst.WithPrivileges(func(o *priv.Owned) { o.GrantAll(grants) })
+	}
+	u.acct.partsRead.Add(1)
+	return PartView{Label: p.Label, Data: p.Data}, nil
 }
 
 // AttachPrivilegeToPart attaches privilege right over tag t to part

@@ -252,3 +252,45 @@ func BenchmarkSubscribeChurn(b *testing.B) {
 		d.Unsubscribe(id)
 	}
 }
+
+// BenchmarkPublishWideLabels measures label admission at paper scale:
+// a 200-tag universe (one tag per trader, §6.2 — far past the old
+// 64-bit mask), 64 subscribers on one symbol each carrying the full
+// 200-tag input label, and events whose part labels draw pairs from
+// the universe. With the 256-bit mask every subset test is a few word
+// ops; with a narrower mask these sets are inexact and every check
+// walks the sorted-slice merge.
+func BenchmarkPublishWideLabels(b *testing.B) {
+	store := tags.NewStore(991199)
+	universe := make([]tags.Tag, 200)
+	for i := range universe {
+		universe[i] = store.Create("wide", "bench")
+	}
+	in := labels.Label{S: labels.NewSet(universe...)}
+
+	for _, m := range benchModes[1:2] { // labels mode: pure admission cost
+		b.Run(m.name, func(b *testing.B) {
+			d := New(m.opts)
+			for i := 0; i < 64; i++ {
+				r := &sinkReceiver{id: recvID.Add(1), label: in}
+				if _, err := d.Subscribe(MustFilter(PartEq("symbol", "WIDE")), r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			evs := make([]*events.Event, 256)
+			for i := range evs {
+				e := events.New(uint64(i + 1))
+				pl := labels.Label{S: labels.NewSet(universe[i%200], universe[(i*31+7)%200])}
+				if _, err := e.AddPart("symbol", pl, "WIDE", "bench"); err != nil {
+					b.Fatal(err)
+				}
+				evs[i] = e
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Publish(evs[i%len(evs)])
+			}
+		})
+	}
+}

@@ -94,10 +94,24 @@ const (
 // build a replacement and swap it in.
 type snapshot struct {
 	indexed map[uint64][]*subscription // equality-hash → subscriptions
-	scan    []*subscription            // non-indexable subscriptions
 }
 
 var emptySnapshot = &snapshot{}
+
+// scanTable is the dispatcher-wide immutable bucket table for
+// non-indexable ("scan") subscriptions, keyed by each filter's anchor
+// part name (Filter.ScanAnchor). A filter is a conjunction, so an
+// event lacking the anchor part can never match; bucketing by it
+// means a publish probes one bucket per distinct event part name
+// instead of walking every scan subscription across all shards
+// (the ROADMAP "per-part-name scan buckets" item). Like shard
+// snapshots it is copy-on-write: readers load the pointer, writers
+// swap a rebuilt map.
+type scanTable struct {
+	byPart map[string][]*subscription
+}
+
+var emptyScanTable = &scanTable{}
 
 // shardCounters are per-shard statistics. Each shard pads its
 // counters to a cache line so publishers attributed to different
@@ -133,9 +147,11 @@ type Dispatcher struct {
 
 	shards [numShards]shard
 
-	// scanCount tracks the total number of scan-list subscriptions
-	// across all shards so publishes skip the scan walk entirely when
-	// every filter is indexable (the common case).
+	// scan is the per-part-name bucket table for non-indexable
+	// subscriptions; scanCount tracks its total population so
+	// publishes skip the bucket probes entirely when every filter is
+	// indexable (the common case).
+	scan      atomic.Pointer[scanTable]
 	scanCount atomic.Int64
 
 	// ctl serialises the control plane (Subscribe/Unsubscribe): the
@@ -159,6 +175,7 @@ func New(opts Options) *Dispatcher {
 	for i := range d.shards {
 		d.shards[i].snap.Store(emptySnapshot)
 	}
+	d.scan.Store(emptyScanTable)
 	return d
 }
 
@@ -196,17 +213,20 @@ func (d *Dispatcher) subscribe(f *Filter, recv Receiver, tap bool) (uint64, erro
 	d.ctl.Lock()
 	defer d.ctl.Unlock()
 	d.byID[id] = sub
-	sh := d.shardFor(sub)
-	old := sh.snap.Load()
-	next := &snapshot{indexed: old.indexed, scan: old.scan}
 	if sub.indexed {
-		next.indexed = copyIndexed(old.indexed, 1)
+		sh := d.shardFor(sub)
+		old := sh.snap.Load()
+		next := &snapshot{indexed: copyIndexed(old.indexed, 1)}
 		next.indexed[sub.indexKey] = appendCopy(old.indexed[sub.indexKey], sub)
+		sh.snap.Store(next)
 	} else {
-		next.scan = appendCopy(old.scan, sub)
+		anchor := f.ScanAnchor()
+		old := d.scan.Load()
+		next := &scanTable{byPart: copyScan(old.byPart, 1)}
+		next.byPart[anchor] = appendCopy(old.byPart[anchor], sub)
+		d.scan.Store(next)
 		d.scanCount.Add(1)
 	}
-	sh.snap.Store(next)
 	return id, nil
 }
 
@@ -220,33 +240,38 @@ func (d *Dispatcher) Unsubscribe(id uint64) {
 		return
 	}
 	delete(d.byID, id)
-	sh := d.shardFor(sub)
-	old := sh.snap.Load()
-	next := &snapshot{indexed: old.indexed, scan: old.scan}
 	if sub.indexed {
-		next.indexed = copyIndexed(old.indexed, 0)
+		sh := d.shardFor(sub)
+		old := sh.snap.Load()
+		next := &snapshot{indexed: copyIndexed(old.indexed, 0)}
 		list := removeSub(next.indexed[sub.indexKey], sub)
 		if len(list) == 0 {
 			delete(next.indexed, sub.indexKey)
 		} else {
 			next.indexed[sub.indexKey] = list
 		}
+		sh.snap.Store(next)
 	} else {
-		next.scan = removeSub(old.scan, sub)
+		anchor := sub.filter.ScanAnchor()
+		old := d.scan.Load()
+		next := &scanTable{byPart: copyScan(old.byPart, 0)}
+		list := removeSub(next.byPart[anchor], sub)
+		if len(list) == 0 {
+			delete(next.byPart, anchor)
+		} else {
+			next.byPart[anchor] = list
+		}
+		d.scan.Store(next)
 		d.scanCount.Add(-1)
 	}
-	sh.snap.Store(next)
 }
 
-// shardFor selects the shard owning a subscription: indexed
-// subscriptions live in the shard their equality hash selects (so a
-// publish probes exactly one shard per event key), scan subscriptions
-// are spread by subscription ID.
+// shardFor selects the shard owning an indexed subscription: it lives
+// in the shard its equality hash selects, so a publish probes exactly
+// one shard per event key. Scan subscriptions live in the dispatcher-
+// wide scan table, not in shards.
 func (d *Dispatcher) shardFor(sub *subscription) *shard {
-	if sub.indexed {
-		return &d.shards[sub.indexKey&shardMask]
-	}
-	return &d.shards[sub.id&shardMask]
+	return &d.shards[sub.indexKey&shardMask]
 }
 
 // copyIndexed shallow-copies an index map for copy-on-write. The
@@ -254,6 +279,16 @@ func (d *Dispatcher) shardFor(sub *subscription) *shard {
 // only the bucket it touches with a fresh slice.
 func copyIndexed(m map[uint64][]*subscription, extra int) map[uint64][]*subscription {
 	out := make(map[uint64][]*subscription, len(m)+extra)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// copyScan shallow-copies the scan bucket table for copy-on-write,
+// with the same slice-sharing discipline as copyIndexed.
+func copyScan(m map[string][]*subscription, extra int) map[string][]*subscription {
+	out := make(map[string][]*subscription, len(m)+extra)
 	for k, v := range m {
 		out[k] = v
 	}
@@ -337,9 +372,32 @@ func (d *Dispatcher) Redispatch(e *events.Event) int {
 	return d.matchAndDeliver(e, true, nil)
 }
 
-// keyBufPool recycles the per-publish index-key scratch space.
-var keyBufPool = sync.Pool{
-	New: func() any { b := make([]uint64, 0, 8); return &b },
+// matchScratch is the per-publish scratch space: the event's index-key
+// hashes and (only when scan subscriptions exist) its distinct part
+// names for the scan bucket probes.
+type matchScratch struct {
+	keys  []uint64
+	names []string
+}
+
+// scratchPool recycles matchScratch across publishes so the hot path
+// allocates nothing.
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &matchScratch{
+			keys:  make([]uint64, 0, 8),
+			names: make([]string, 0, 8),
+		}
+	},
+}
+
+// release returns the scratch to the pool, dropping the name strings
+// so an idle pooled scratch does not pin event part names.
+func (m *matchScratch) release() {
+	m.keys = m.keys[:0]
+	clear(m.names)
+	m.names = m.names[:0]
+	scratchPool.Put(m)
 }
 
 // matchAndDeliver finds matching subscriptions via the per-shard
@@ -349,12 +407,11 @@ var keyBufPool = sync.Pool{
 // being enqueued (the PublishBatch path); the caller flushes them
 // grouped by receiver.
 func (d *Dispatcher) matchAndDeliver(e *events.Event, block bool, batch *batchState) int {
-	kp := keyBufPool.Get().(*[]uint64)
-	keys := (*kp)[:0]
-	keys = appendEventKeys(keys, e)
+	scr := scratchPool.Get().(*matchScratch)
+	scr.keys = appendEventKeys(scr.keys, e)
 
 	delivered := 0
-	for _, k := range keys {
+	for _, k := range scr.keys {
 		sh := &d.shards[k&shardMask]
 		snap := sh.snap.Load()
 		list := snap.indexed[k]
@@ -367,21 +424,25 @@ func (d *Dispatcher) matchAndDeliver(e *events.Event, block bool, batch *batchSt
 		}
 	}
 	if d.scanCount.Load() > 0 {
-		for i := range d.shards {
-			sh := &d.shards[i]
-			snap := sh.snap.Load()
-			if len(snap.scan) == 0 {
+		// Scan subscriptions are bucketed by their filter's anchor part
+		// name: probe one bucket per distinct part name of the event
+		// instead of walking every scan subscription.
+		tbl := d.scan.Load()
+		stats := &d.shards[e.ID()&shardMask].stats
+		scr.names = appendEventPartNames(scr.names, e)
+		for _, name := range scr.names {
+			list := tbl.byPart[name]
+			if len(list) == 0 {
 				continue
 			}
-			sh.stats.scanChecks.Add(uint64(len(snap.scan)))
-			for _, sub := range snap.scan {
-				delivered += d.offer(sub, e, block, &sh.stats, batch)
+			stats.scanChecks.Add(uint64(len(list)))
+			for _, sub := range list {
+				delivered += d.offer(sub, e, block, stats, batch)
 			}
 		}
 	}
 
-	*kp = keys[:0]
-	keyBufPool.Put(kp)
+	scr.release()
 	return delivered
 }
 
@@ -448,6 +509,23 @@ func appendKeyDedup(keys []uint64, k uint64) []uint64 {
 		}
 	}
 	return append(keys, k)
+}
+
+// appendEventPartNames appends the event's distinct part names for the
+// scan bucket probes. Part counts are tiny, so the linear dedup scan
+// beats a map; the scratch pool keeps the appends allocation-free in
+// steady state.
+func appendEventPartNames(names []string, e *events.Event) []string {
+	e.EachPart(func(p *events.Part) bool {
+		for _, n := range names {
+			if n == p.Name {
+				return true
+			}
+		}
+		names = append(names, p.Name)
+		return true
+	})
+	return names
 }
 
 // Stats snapshots the dispatcher counters, aggregated across shards.

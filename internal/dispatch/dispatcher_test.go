@@ -376,3 +376,75 @@ func mustMap(t *testing.T, pairs ...any) *freeze.Map {
 	}
 	return m
 }
+
+// TestScanBucketsProbeOnlyMatchingPartNames pins the per-part-name
+// scan buckets: a publish checks only the scan subscriptions whose
+// anchor part name appears among the event's parts, instead of
+// walking every scan subscription.
+func TestScanBucketsProbeOnlyMatchingPartNames(t *testing.T) {
+	d := newDispatcher(true)
+	halt := newRecv(labels.Label{})
+	audit := newRecv(labels.Label{})
+	// Two non-indexable subscriptions with different anchors.
+	if _, err := d.Subscribe(MustFilter(PartExists("halt")), halt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe(MustFilter(PartExists("audit")), audit); err != nil {
+		t.Fatal(err)
+	}
+
+	// An event with neither part probes no bucket at all.
+	e := events.New(1)
+	addScalar(t, e, "symbol", "MSFT")
+	d.Publish(e)
+	if st := d.Stats(); st.ScanChecks != 0 {
+		t.Fatalf("unrelated event checked %d scan subscriptions", st.ScanChecks)
+	}
+
+	// An event with the halt part checks exactly the halt bucket.
+	e = events.New(2)
+	addScalar(t, e, "halt", true)
+	d.Publish(e)
+	if st := d.Stats(); st.ScanChecks != 1 {
+		t.Fatalf("halt event checked %d scan subscriptions, want 1", st.ScanChecks)
+	}
+	if halt.count() != 1 || audit.count() != 0 {
+		t.Fatalf("deliveries halt=%d audit=%d", halt.count(), audit.count())
+	}
+
+	// Unsubscribing empties the bucket again.
+	d.Unsubscribe(1)
+	d.Unsubscribe(2)
+	e = events.New(3)
+	addScalar(t, e, "halt", true)
+	addScalar(t, e, "audit", true)
+	before := d.Stats().ScanChecks
+	d.Publish(e)
+	if st := d.Stats(); st.ScanChecks != before {
+		t.Fatalf("unsubscribed buckets still checked: %d → %d", before, st.ScanChecks)
+	}
+}
+
+// TestScanBucketMatchesMultiCondFilter: a scan filter is bucketed by
+// its FIRST condition's part name; events carrying that part still
+// have the full conjunction verified.
+func TestScanBucketMatchesMultiCondFilter(t *testing.T) {
+	d := newDispatcher(true)
+	r := newRecv(labels.Label{})
+	f := MustFilter(PartExists("alpha"), Cond{Part: "beta", Op: Gt, Value: int64(10)})
+	if _, err := d.Subscribe(f, r); err != nil {
+		t.Fatal(err)
+	}
+	e := events.New(1)
+	addScalar(t, e, "alpha", "x")
+	addScalar(t, e, "beta", int64(5))
+	if n := d.Publish(e); n != 0 {
+		t.Fatal("conjunction not verified")
+	}
+	e = events.New(2)
+	addScalar(t, e, "alpha", "x")
+	addScalar(t, e, "beta", int64(50))
+	if n := d.Publish(e); n != 1 {
+		t.Fatal("matching event missed via scan bucket")
+	}
+}

@@ -143,6 +143,15 @@ func (f *Filter) IndexKey() (uint64, bool) {
 	return 0, false
 }
 
+// ScanAnchor returns the part name a non-indexable subscription is
+// bucketed under in the dispatcher's scan table. A filter is a
+// conjunction and every condition requires a part with its name to be
+// present, so an event that lacks the anchor part can never match:
+// bucketing by the first condition's part name is sound. NewFilter
+// rejects empty condition lists and empty part names, so the anchor is
+// always a non-empty string.
+func (f *Filter) ScanAnchor() string { return f.conds[0].Part }
+
 // FNV-1a, inlined so the per-publish key derivation allocates nothing.
 const (
 	fnvOffset64 = 14695981039346656037

@@ -369,3 +369,62 @@ func TestInjectValidation(t *testing.T) {
 		t.Fatalf("inject after close = %v", err)
 	}
 }
+
+// TestBatchImportPreservesPublishOrder pins the frame path's ordering
+// contract: a run of events exported from one node must materialise on
+// the peer — through the frame decode buffer and the batched
+// InjectBatch publish — as the same events in the same order the
+// origin published them.
+func TestBatchImportPreservesPublishOrder(t *testing.T) {
+	a := newNode(t, "a", 1)
+	b := newNode(t, "b", 2)
+	if _, _, err := ConnectPipe(a, b,
+		dispatch.MustFilter(dispatch.PartExists("n")), // a exports
+		dispatch.MustFilter(dispatch.PartEq("none", "never")),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// Synchronous subscriber on b recording arrival order.
+	probe := b.Sys.NewUnit("probe", core.UnitConfig{QueueCap: 1024})
+	if _, err := probe.Subscribe(dispatch.MustFilter(dispatch.PartExists("n"))); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int64, 512)
+	b.Sys.Go(func() {
+		for {
+			e, _, err := probe.GetEvent()
+			if err != nil {
+				return
+			}
+			if v, err := probe.ReadOne(e, "n"); err == nil {
+				if n, ok := v.Data.(int64); ok {
+					order <- n
+				}
+			}
+		}
+	})
+
+	const total = 300
+	pub := a.Sys.NewUnit("pub", core.UnitConfig{})
+	for i := 0; i < total; i++ {
+		e := pub.CreateEvent()
+		if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "n", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for want := int64(0); want < total; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("import order diverges: got %d want %d", got, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out at event %d of %d", want, total)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/events"
 )
 
 // DefaultMaxHops bounds multi-hop forwarding: an event stops
@@ -40,7 +41,14 @@ type nodeHello struct {
 	Proto int
 }
 
-const protoVersion = 1
+// protoVersion 2 ships events in wireFrame batches; v1 peers (one
+// wireEvent per gob message) are rejected at the handshake.
+const protoVersion = 2
+
+// maxLinkBatch bounds how many events one frame carries. It caps both
+// the send loop's greedy drain (so one frame cannot grow without
+// bound under backlog) and the import loop's decode buffer.
+const maxLinkBatch = 64
 
 // Link is one live connection to a peer node: events matching the
 // export filter flow out (labels intact), events arriving flow into
@@ -160,57 +168,92 @@ func (n *Node) maxHops() int {
 	return DefaultMaxHops
 }
 
-// sendLoop forwards tapped events to the peer.
+// appendExport serialises one tapped event into the frame, applying
+// loop prevention: an event never travels back towards the node it
+// arrived from, and stops once it has spent the hop budget.
+func (l *Link) appendExport(frame *wireFrame, e *events.Event) {
+	if e.Origin == l.remote || int(e.Hops) >= l.node.maxHops() {
+		l.dropped.Add(1)
+		return
+	}
+	we, err := EncodeEvent(e, l.node.Name)
+	if err != nil {
+		l.dropped.Add(1)
+		return
+	}
+	we.Hops = e.Hops + 1
+	frame.Events = append(frame.Events, we)
+}
+
+// sendLoop forwards tapped events to the peer in frames: it blocks
+// for the first event, then greedily drains whatever else is already
+// queued on the tap (up to maxLinkBatch) into the same frame, so a
+// backlogged link pays one gob encode per frame instead of per event.
 func (l *Link) sendLoop() {
+	frame := wireFrame{Events: make([]wireEvent, 0, maxLinkBatch)}
 	for {
+		frame.Events = frame.Events[:0]
 		select {
 		case e := <-l.tap.Events():
-			// Loop prevention: never send an event back towards the
-			// node it arrived from, and stop once it has travelled the
-			// hop budget.
-			if e.Origin == l.remote || int(e.Hops) >= l.node.maxHops() {
-				l.dropped.Add(1)
-				continue
-			}
-			we, err := EncodeEvent(e, l.node.Name)
-			if err != nil {
-				l.dropped.Add(1)
-				continue
-			}
-			we.Hops = e.Hops + 1
-			l.sendMu.Lock()
-			err = l.enc.Encode(we)
-			l.sendMu.Unlock()
-			if err != nil {
-				l.Close()
-				return
-			}
-			l.exported.Add(1)
+			l.appendExport(&frame, e)
 		case <-l.node.Sys.Done():
 			l.Close()
 			return
 		}
+	drain:
+		for len(frame.Events) < maxLinkBatch {
+			select {
+			case e := <-l.tap.Events():
+				l.appendExport(&frame, e)
+			default:
+				break drain
+			}
+		}
+		if len(frame.Events) == 0 {
+			continue // everything was dropped by loop prevention
+		}
+		l.sendMu.Lock()
+		err := l.enc.Encode(frame)
+		l.sendMu.Unlock()
+		if err != nil {
+			l.Close()
+			return
+		}
+		l.exported.Add(uint64(len(frame.Events)))
 	}
 }
 
-// recvLoop materialises peer events into the local system.
+// recvLoop materialises peer events into the local system: each frame
+// is decoded into a batch buffer and published through the batched
+// dispatch path (InjectBatch), preserving the frame's event order.
 func (l *Link) recvLoop() {
+	batch := make([]*events.Event, 0, maxLinkBatch)
 	for {
-		var we wireEvent
-		if err := l.dec.Decode(&we); err != nil {
+		var frame wireFrame
+		if err := l.dec.Decode(&frame); err != nil {
 			l.Close()
 			return
 		}
-		e, err := DecodeEvent(we, l.node.Sys.NextEventID(), l.node.Sys.TagStore())
-		if err != nil {
-			l.dropped.Add(1)
+		batch = batch[:0]
+		for _, we := range frame.Events {
+			e, err := DecodeEvent(we, l.node.Sys.NextEventID(), l.node.Sys.TagStore())
+			if err != nil {
+				l.dropped.Add(1)
+				continue
+			}
+			batch = append(batch, e)
+		}
+		if len(batch) == 0 {
 			continue
 		}
-		if err := l.node.Sys.Inject(e); err != nil {
+		if err := l.node.Sys.InjectBatch(batch); err != nil {
 			l.Close()
 			return
 		}
-		l.imported.Add(1)
+		l.imported.Add(uint64(len(batch)))
+		// Drop the event references: the buffer lives for the life of
+		// the link and must not pin the previous frame's events.
+		clear(batch)
 	}
 }
 

@@ -69,12 +69,22 @@ type wirePart struct {
 	Grants []wireGrant
 }
 
-// wireEvent is a serialised event, the unit of inter-node transfer.
+// wireEvent is a serialised event.
 type wireEvent struct {
 	Origin string
 	Hops   uint8
 	Stamp  int64
 	Parts  []wirePart
+}
+
+// wireFrame is the unit of inter-node transfer (protocol v2): a run of
+// events shipped as one gob message. The send loop drains everything
+// already queued on its tap into one frame, and the import loop
+// materialises a whole frame through the batched publish path — one
+// encoder/decoder round and one queue handoff per frame instead of
+// per event.
+type wireFrame struct {
+	Events []wireEvent
 }
 
 // encodeValue converts a part datum for the wire.

@@ -193,6 +193,37 @@ func (e *Event) Named(name string) []*Part {
 	return out
 }
 
+// LastVisible returns the most recently added part with the given
+// name that is readable at input label in, or nil. It is the
+// allocation-free companion of Visible for the single-version common
+// case (Unit.ReadOne on the consumer hot path). Parts are immutable
+// once attached, so the pointer stays valid after the lock drops.
+func (e *Event) LastVisible(name string, in labels.Label) *Part {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i := len(e.parts) - 1; i >= 0; i-- {
+		p := e.parts[i]
+		if p.Name == name && p.Label.CanFlowTo(in) {
+			return p
+		}
+	}
+	return nil
+}
+
+// LastNamed returns the most recently added part with the given name
+// regardless of label, or nil — LastVisible for the trusted
+// no-security mode.
+func (e *Event) LastNamed(name string) *Part {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i := len(e.parts) - 1; i >= 0; i-- {
+		if e.parts[i].Name == name {
+			return e.parts[i]
+		}
+	}
+	return nil
+}
+
 // VisibleAll returns every part readable at input label in, in attach
 // order.
 func (e *Event) VisibleAll(in labels.Label) []*Part {

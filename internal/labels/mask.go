@@ -1,0 +1,72 @@
+package labels
+
+// The wide fast-path mask.
+//
+// A set's mask has bit i set iff the set contains the tag with intern
+// index i < tags.InternWidth (see internal/tags). The mask is a fixed
+// four-word (256-bit) array rather than a single uint64 so that
+// paper-scale workloads — which mint one tag per trader and per order
+// (§6.2) and blow straight past 64 identities — still resolve their
+// subset/superset/flow checks as a handful of word operations instead
+// of spilling to the sorted-slice merge path.
+//
+// All operations are unrolled over the four words: the arrays are
+// small enough that the compiler keeps them in registers, and the
+// unrolled forms avoid loop/bounds bookkeeping on the dispatch hot
+// path (every candidate admission check runs two subset tests).
+
+import "repro/internal/tags"
+
+// maskWords is the number of 64-bit words in the fast-path mask.
+const maskWords = 4
+
+// Compile-time guards: the unrolled mask operations below assume
+// exactly maskWords words, and the mask must cover exactly
+// tags.InternWidth bit positions. Either array has negative length —
+// a compile error — if the two constants drift apart.
+var (
+	_ [tags.InternWidth - 64*maskWords]struct{}
+	_ [64*maskWords - tags.InternWidth]struct{}
+)
+
+// setMask is the fast-path bitmask over interned tag indexes. The
+// zero value is the empty mask. Arrays are comparable, so equality is
+// the built-in ==.
+type setMask [maskWords]uint64
+
+// set sets bit idx; the caller guarantees idx < tags.InternWidth.
+func (m *setMask) set(idx uint32) {
+	m[idx>>6] |= 1 << (idx & 63)
+}
+
+// has reports whether bit idx is set; the caller guarantees
+// idx < tags.InternWidth.
+func (m *setMask) has(idx uint32) bool {
+	return m[idx>>6]&(1<<(idx&63)) != 0
+}
+
+// isZero reports whether no bit is set.
+func (m setMask) isZero() bool {
+	return m[0]|m[1]|m[2]|m[3] == 0
+}
+
+// or returns the bitwise union m ∪ o.
+func (m setMask) or(o setMask) setMask {
+	return setMask{m[0] | o[0], m[1] | o[1], m[2] | o[2], m[3] | o[3]}
+}
+
+// and returns the bitwise intersection m ∩ o.
+func (m setMask) and(o setMask) setMask {
+	return setMask{m[0] & o[0], m[1] & o[1], m[2] & o[2], m[3] & o[3]}
+}
+
+// andNot returns the bitwise difference m \ o.
+func (m setMask) andNot(o setMask) setMask {
+	return setMask{m[0] &^ o[0], m[1] &^ o[1], m[2] &^ o[2], m[3] &^ o[3]}
+}
+
+// subsetOf reports m ⊆ o as one fused word expression — no branch per
+// word, so the dispatch admission check stays branch-predictable.
+func (m setMask) subsetOf(o setMask) bool {
+	return m[0]&^o[0]|m[1]&^o[1]|m[2]&^o[2]|m[3]&^o[3] == 0
+}

@@ -156,11 +156,19 @@ func TestSetOpsMatchReferenceAcrossInternBoundary(t *testing.T) {
 	pool := boundaryPool(t)
 	rng := rand.New(rand.NewSource(7))
 
-	// Three pool slices: fast-path-heavy (early tags), boundary-
-	// spanning, and beyond-width — every mix must agree.
+	// Pool slices targeting every word boundary of the 4-word mask
+	// (indexes 63/64, 127/128, 191/192) and the fast-path width edge
+	// (255/256), plus fast-path-heavy, beyond-width and full-pool
+	// mixes — every combination must agree with the reference. (The
+	// positions line up with intern indexes exactly when this test
+	// mints the process's first tags; either way the property must
+	// hold.)
 	regions := [][]tags.Tag{
 		pool[:16],
-		pool[tags.InternWidth-8 : tags.InternWidth+8],
+		pool[56:72],   // word 0 / word 1 boundary
+		pool[120:136], // word 1 / word 2 boundary
+		pool[184:200], // word 2 / word 3 boundary
+		pool[tags.InternWidth-8 : tags.InternWidth+8], // width edge
 		pool[tags.InternWidth:],
 		pool,
 	}
@@ -250,5 +258,57 @@ func TestLateInternedTagStaysCorrect(t *testing.T) {
 	}
 	if !before.Union(after).Equal(after) {
 		t.Fatal("late-interned tag broke union")
+	}
+}
+
+// TestMaskWordBoundaryMembership pins the mask behaviour at the exact
+// word boundaries of the 4-word fast path: tags whose intern indexes
+// sit at 63/64, 127/128 and 255/256 (the last straddling the
+// fast-path width itself, so sets containing index 256 are inexact).
+// Tags are selected by their actual process-wide intern index, so the
+// test is immune to other tests having interned tags first.
+func TestMaskWordBoundaryMembership(t *testing.T) {
+	pool := boundaryPool(t)
+	byIdx := make(map[uint32]tags.Tag, len(pool))
+	for _, tg := range pool {
+		if ix, ok := tags.InternIndex(tg); ok {
+			byIdx[ix] = tg
+		}
+	}
+	var present []tags.Tag
+	for _, ix := range []uint32{62, 63, 64, 65, 126, 127, 128, 129, 254, 255, 256, 257} {
+		if tg, ok := byIdx[ix]; ok {
+			present = append(present, tg)
+		}
+	}
+	if len(present) < 4 {
+		t.Skipf("only %d boundary indexes landed in the pool", len(present))
+	}
+
+	all := NewSet(present...)
+	for _, tg := range present {
+		if !all.Has(tg) {
+			ix, _ := tags.InternIndex(tg)
+			t.Fatalf("membership lost for boundary index %d", ix)
+		}
+	}
+	for i, a := range present {
+		sa := NewSet(a)
+		for _, b := range present[i+1:] {
+			sb := NewSet(b)
+			u := sa.Union(sb)
+			switch {
+			case u.Len() != 2:
+				t.Fatalf("union of distinct singletons has %d members", u.Len())
+			case !sa.SubsetOf(u) || !sb.SubsetOf(u):
+				t.Fatal("operand not subset of its union")
+			case sa.SubsetOf(sb) || sb.SubsetOf(sa):
+				t.Fatal("distinct singletons report subset")
+			case !sa.Intersect(sb).IsEmpty():
+				t.Fatal("distinct singletons intersect")
+			case !u.Subtract(sa).Equal(sb):
+				t.Fatal("union minus operand is not the other operand")
+			}
+		}
 	}
 }

@@ -26,12 +26,12 @@ import (
 // goroutines without synchronisation.
 //
 // Representation: a single pointer to an immutable header holding a
-// sorted slice without duplicates plus a cached bitmask over the
-// first tags.InternWidth interned tag indexes. DEFC labels are small
-// (a handful of tags per part), so the sorted slice beats a map on
-// footprint and iteration cost, and the bitmask turns the
-// subset/superset tests on the dispatch hot path into single word
-// operations. Copying a Set copies one word.
+// sorted slice without duplicates plus a cached 256-bit bitmask
+// (setMask, four words) over the first tags.InternWidth interned tag
+// indexes. DEFC labels are small (a handful of tags per part), so the
+// sorted slice beats a map on footprint and iteration cost, and the
+// bitmask turns the subset/superset tests on the dispatch hot path
+// into a few unrolled word operations. Copying a Set copies one word.
 type Set struct {
 	h *setHeader
 }
@@ -42,7 +42,7 @@ type setHeader struct {
 	elems []tags.Tag // sorted ascending by Tag.Compare, no duplicates
 	// mask has bit i set iff the set contains the tag with intern
 	// index i < tags.InternWidth, as observed at construction time.
-	mask uint64
+	mask setMask
 	// exact records that every element had an intern index below
 	// tags.InternWidth at construction time, i.e. mask is a complete
 	// encoding of the membership. Fast paths require exactness of all
@@ -67,7 +67,7 @@ func makeSet(elems []tags.Tag) Set {
 	for _, t := range elems {
 		idx, ok := tags.InternIndex(t)
 		if ok && idx < tags.InternWidth {
-			h.mask |= 1 << idx
+			h.mask.set(idx)
 		} else {
 			h.exact = false
 		}
@@ -77,22 +77,29 @@ func makeSet(elems []tags.Tag) Set {
 
 // mergedSet wraps the result of a set operation over a and b. When
 // both inputs are exact, every result element carries a fast-path
-// index, so the pre-combined mask is authoritative; otherwise the
-// mask is recomputed from the elements.
-func mergedSet(elems []tags.Tag, a, b Set, mask uint64) Set {
+// index, so the pre-combined mask is authoritative. Otherwise the
+// result is marked inexact WITHOUT re-deriving a mask: an inexact
+// set's mask is never consulted, and re-probing the intern table for
+// every element (as a makeSet fallback would) turns each merge over a
+// spilled set into O(n) table lookups — the dominant cost of the
+// whole trading run before this was removed, because per-order tags
+// spill past the fast-path width by design and can never become
+// exact again. Inexactness therefore propagates through merges; only
+// construction from scratch (NewSet) re-examines intern indexes.
+func mergedSet(elems []tags.Tag, a, b Set, mask setMask) Set {
 	if len(elems) == 0 {
 		return Set{}
 	}
 	if a.exact() && b.exact() {
 		return Set{h: &setHeader{elems: elems, mask: mask, exact: true}}
 	}
-	return makeSet(elems)
+	return Set{h: &setHeader{elems: elems}}
 }
 
-// mask returns the fast-path bitmask (0 for the empty set).
-func (s Set) mask() uint64 {
+// mask returns the fast-path bitmask (zero for the empty set).
+func (s Set) mask() setMask {
 	if s.h == nil {
-		return 0
+		return setMask{}
 	}
 	return s.h.mask
 }
@@ -150,7 +157,7 @@ func (s Set) Has(t tags.Tag) bool {
 		// without one cannot be a member, and index↔identity is a
 		// bijection, so the bit test is authoritative.
 		if idx, ok := tags.InternIndex(t); ok && idx < tags.InternWidth {
-			return s.h.mask&(1<<idx) != 0
+			return s.h.mask.has(idx)
 		}
 		return false
 	}
@@ -198,7 +205,7 @@ func (s Set) Union(o Set) Set {
 	// repeated contamination joins, so the union usually IS one of the
 	// operands — return it without allocating.
 	if s.exact() && o.exact() {
-		switch union := s.mask() | o.mask(); union {
+		switch union := s.mask().or(o.mask()); union {
 		case s.mask():
 			return s
 		case o.mask():
@@ -224,7 +231,7 @@ func (s Set) Union(o Set) Set {
 	}
 	out = append(out, se[i:]...)
 	out = append(out, oe[j:]...)
-	return mergedSet(out, s, o, s.mask()|o.mask())
+	return mergedSet(out, s, o, s.mask().or(o.mask()))
 }
 
 // Intersect returns s ∩ o.
@@ -233,12 +240,12 @@ func (s Set) Intersect(o Set) Set {
 		return Set{}
 	}
 	if s.exact() && o.exact() {
-		switch inter := s.mask() & o.mask(); inter {
-		case s.mask():
+		switch inter := s.mask().and(o.mask()); {
+		case inter == s.mask():
 			return s
-		case o.mask():
+		case inter == o.mask():
 			return o
-		case 0:
+		case inter.isZero():
 			return Set{}
 		}
 	}
@@ -257,7 +264,7 @@ func (s Set) Intersect(o Set) Set {
 			j++
 		}
 	}
-	return mergedSet(out, s, o, s.mask()&o.mask())
+	return mergedSet(out, s, o, s.mask().and(o.mask()))
 }
 
 // Subtract returns s \ o.
@@ -266,10 +273,10 @@ func (s Set) Subtract(o Set) Set {
 		return s
 	}
 	if s.exact() && o.exact() {
-		switch diff := s.mask() &^ o.mask(); diff {
-		case s.mask():
+		switch diff := s.mask().andNot(o.mask()); {
+		case diff == s.mask():
 			return s // disjoint
-		case 0:
+		case diff.isZero():
 			return Set{} // s ⊆ o
 		}
 	}
@@ -292,7 +299,7 @@ func (s Set) Subtract(o Set) Set {
 			j++
 		}
 	}
-	return mergedSet(out, s, o, s.mask()&^o.mask())
+	return mergedSet(out, s, o, s.mask().andNot(o.mask()))
 }
 
 // SubsetOf reports s ⊆ o.
@@ -304,9 +311,9 @@ func (s Set) SubsetOf(o Set) bool {
 		return false
 	}
 	// Fast path: when both masks completely encode their memberships,
-	// the subset test is one word operation.
+	// the subset test is a handful of unrolled word operations.
 	if s.exact() && o.exact() {
-		return s.mask()&^o.mask() == 0
+		return s.mask().subsetOf(o.mask())
 	}
 	se, oe := s.h.elems, o.h.elems
 	i, j := 0, 0

@@ -1,0 +1,61 @@
+package labels
+
+// Benchmarks for set operations over a paper-scale tag universe (200
+// interned tags, one per trader): with the 256-bit mask all of these
+// are word operations on exact sets; past the mask width they fall
+// back to sorted-slice merges.
+
+import (
+	"testing"
+
+	"repro/internal/tags"
+)
+
+func wideUniverse(b *testing.B) []tags.Tag {
+	b.Helper()
+	store := tags.NewStore(771177)
+	out := make([]tags.Tag, 200)
+	for i := range out {
+		out[i] = store.Create("wide", "bench")
+	}
+	return out
+}
+
+func BenchmarkWideSubsetOf(b *testing.B) {
+	u := wideUniverse(b)
+	small := NewSet(u[7], u[93], u[181])
+	big := NewSet(u...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !small.SubsetOf(big) {
+			b.Fatal("subset lost")
+		}
+	}
+}
+
+func BenchmarkWideUnionContained(b *testing.B) {
+	u := wideUniverse(b)
+	small := NewSet(u[7], u[93], u[181])
+	big := NewSet(u...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := big.Union(small); got.Len() != 200 {
+			b.Fatal("union wrong")
+		}
+	}
+}
+
+func BenchmarkWideCanFlowTo(b *testing.B) {
+	u := wideUniverse(b)
+	part := Label{S: NewSet(u[7], u[93]), I: NewSet(u[181])}
+	in := Label{S: NewSet(u...), I: EmptySet}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !part.CanFlowTo(in) {
+			b.Fatal("flow lost")
+		}
+	}
+}

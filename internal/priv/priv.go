@@ -87,31 +87,62 @@ var ErrNotAuthorised = errors.New("priv: not authorised")
 // Owned is the mutable privilege state of one unit. The zero value
 // owns nothing. Owned is not safe for concurrent use; the unit runtime
 // serialises access per unit.
+//
+// Representation: one hash set per right. Long-lived service units
+// churn privileges at event rate — the Broker's book instance gains
+// two delegation-authority grants per order and renounces them as the
+// audit window passes, holding thousands of live tags in between —
+// so membership updates must be O(1), not a full copy of an immutable
+// set. The labels.Set views callers need (label arithmetic over O+
+// and O− in the managed router) are materialised on demand and cached
+// until the underlying right next changes; those two sets stay small
+// and change rarely compared to the auth sets.
 type Owned struct {
-	sets [numRights]labels.Set
+	sets [numRights]map[tags.Tag]struct{}
+	// views lazily caches the labels.Set materialisation of each
+	// right; views[r].h == nil means "not cached" for non-empty sets,
+	// so an extra valid flag tracks cache state.
+	views      [numRights]labels.Set
+	viewsValid [numRights]bool
 }
 
 // NewOwned builds a privilege state from explicit sets.
 func NewOwned(plus, minus, plusAuth, minusAuth labels.Set) *Owned {
 	o := &Owned{}
-	o.sets[Plus] = plus
-	o.sets[Minus] = minus
-	o.sets[PlusAuth] = plusAuth
-	o.sets[MinusAuth] = minusAuth
+	for r, s := range [...]labels.Set{plus, minus, plusAuth, minusAuth} {
+		for _, t := range s.Slice() {
+			o.Grant(t, Right(r))
+		}
+	}
 	return o
 }
 
-// Set returns the current membership of the given privilege set.
+// Set returns the current membership of the given privilege set as an
+// immutable labels.Set, materialising (and caching) it on first use
+// after a change. Callers must not assume the result reflects later
+// Grant/Drop calls.
 func (o *Owned) Set(r Right) labels.Set {
 	if !r.Valid() {
 		return labels.EmptySet
 	}
-	return o.sets[r]
+	if !o.viewsValid[r] {
+		ts := make([]tags.Tag, 0, len(o.sets[r]))
+		for t := range o.sets[r] {
+			ts = append(ts, t)
+		}
+		o.views[r] = labels.NewSet(ts...)
+		o.viewsValid[r] = true
+	}
+	return o.views[r]
 }
 
 // Has reports whether the unit holds right r over tag t.
 func (o *Owned) Has(t tags.Tag, r Right) bool {
-	return r.Valid() && o.sets[r].Has(t)
+	if !r.Valid() {
+		return false
+	}
+	_, ok := o.sets[r][t]
+	return ok
 }
 
 // Grant adds right r over t to the owned state. It is the system-level
@@ -121,7 +152,13 @@ func (o *Owned) Grant(t tags.Tag, r Right) {
 	if !r.Valid() {
 		return
 	}
-	o.sets[r] = o.sets[r].Add(t)
+	if o.sets[r] == nil {
+		o.sets[r] = make(map[tags.Tag]struct{}, 4)
+	}
+	if _, ok := o.sets[r][t]; !ok {
+		o.sets[r][t] = struct{}{}
+		o.viewsValid[r] = false
+	}
 }
 
 // Drop removes right r over t, if held.
@@ -129,7 +166,27 @@ func (o *Owned) Drop(t tags.Tag, r Right) {
 	if !r.Valid() {
 		return
 	}
-	o.sets[r] = o.sets[r].Remove(t)
+	if _, ok := o.sets[r][t]; ok {
+		delete(o.sets[r], t)
+		o.viewsValid[r] = false
+	}
+}
+
+// SameAs reports whether the two privilege states hold exactly the
+// same rights — the drift check for pooled managed instances, without
+// materialising set views.
+func (o *Owned) SameAs(p *Owned) bool {
+	for r := range o.sets {
+		if len(o.sets[r]) != len(p.sets[r]) {
+			return false
+		}
+		for t := range o.sets[r] {
+			if _, ok := p.sets[r][t]; !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // GrantAll applies a list of grants (e.g. those carried by an event
@@ -183,16 +240,35 @@ func (o *Owned) OnCreateTag(t tags.Tag, applySelf bool) {
 	}
 }
 
-// Clone returns an independent copy of the privilege state. Sets are
-// immutable, so the copy is shallow and O(1) per set.
+// Clone returns an independent copy of the privilege state. Cloning
+// happens on the rare control-plane paths (instance creation, pooled
+// instance reset), so the O(n) map copy is acceptable.
 func (o *Owned) Clone() *Owned {
 	c := &Owned{}
-	c.sets = o.sets
+	for r, s := range o.sets {
+		if len(s) == 0 {
+			continue
+		}
+		c.sets[r] = make(map[tags.Tag]struct{}, len(s))
+		for t := range s {
+			c.sets[r][t] = struct{}{}
+		}
+	}
 	return c
 }
 
-// String summarises the four sets.
+// String summarises the four sets. It builds throwaway views rather
+// than going through Set so that debug formatting never mutates the
+// view cache (keeping String a pure reader, as it was before the
+// map-backed representation).
 func (o *Owned) String() string {
+	view := func(r Right) labels.Set {
+		ts := make([]tags.Tag, 0, len(o.sets[r]))
+		for t := range o.sets[r] {
+			ts = append(ts, t)
+		}
+		return labels.NewSet(ts...)
+	}
 	return fmt.Sprintf("O+=%s O-=%s O+auth=%s O-auth=%s",
-		o.sets[Plus], o.sets[Minus], o.sets[PlusAuth], o.sets[MinusAuth])
+		view(Plus), view(Minus), view(PlusAuth), view(MinusAuth))
 }

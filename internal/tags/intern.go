@@ -27,7 +27,13 @@ import (
 // labels bitmask fast path. Indexes at or beyond this width still get
 // assigned (they keep the order dense for diagnostics) but do not map
 // to mask bits.
-const InternWidth = 64
+//
+// The width is 256 — four 64-bit words in the labels mask — so the
+// paper's own evaluation workload (one tag per trader plus one per
+// in-flight order, §6.2) stays on the word-op fast path at the
+// 100–400 trader sweep points instead of spilling to the sorted-slice
+// merge path after the 64th identity.
+const InternWidth = 256
 
 var (
 	internMu    sync.Mutex

@@ -1,0 +1,107 @@
+package trading
+
+// Batch-vs-single equivalence: PublishTicks (the batched replay path)
+// must deliver the same tick events in the same per-receiver order as
+// publishing each tick with PublishTick. A probe unit subscribed to
+// tick events records the sequence numbers it observes; the Regulator
+// republishes sampled trades as seq-0 ticks, so the probe filters to
+// the exchange's own seq ≥ 1 stream, which is what the two publish
+// paths must agree on.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/freeze"
+	"repro/internal/workload"
+)
+
+// tickSeqProbe subscribes a unit to tick events on p and returns a
+// function that waits for n exchange ticks and reports their seqs in
+// delivery order.
+func tickSeqProbe(t *testing.T, p *Platform) func(n int) []int64 {
+	t.Helper()
+	seqs := make(chan int64, 1<<16)
+	u := p.Sys.NewUnit("tick-probe", core.UnitConfig{QueueCap: 1 << 14})
+	// Subscribe synchronously so no tick published after this call can
+	// miss the probe.
+	if _, err := u.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "tick"))); err != nil {
+		t.Fatal(err)
+	}
+	p.Sys.Go(func() {
+		for {
+			e, _, err := u.GetEvent()
+			if err != nil {
+				return
+			}
+			if v, err := u.ReadOne(e, "body"); err == nil {
+				if m, ok := v.Data.(*freeze.Map); ok {
+					seqs <- m.GetInt("seq")
+				}
+			}
+			u.Recycle(e)
+		}
+	})
+	return func(n int) []int64 {
+		var out []int64
+		deadline := time.After(10 * time.Second)
+		for len(out) < n {
+			select {
+			case s := <-seqs:
+				if s >= 1 { // exchange stream only (republications carry seq 0)
+					out = append(out, s)
+				}
+			case <-deadline:
+				t.Fatalf("probe saw %d of %d exchange ticks", len(out), n)
+			}
+		}
+		return out
+	}
+}
+
+func TestPublishTicksMatchesSinglePublish(t *testing.T) {
+	const n = 500
+	for _, mode := range []core.SecurityMode{core.NoSecurity, core.LabelsFreeze, core.LabelsClone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(batch bool) []int64 {
+				p, err := New(Config{Mode: mode, NumTraders: 8, Seed: 11})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				wait := tickSeqProbe(t, p)
+				ticks := workload.NewTrace(p.Universe(), 5).Take(n)
+				if batch {
+					p.Exchange.PublishTicks(ticks)
+				} else {
+					for i := range ticks {
+						p.Exchange.PublishTick(&ticks[i])
+					}
+				}
+				if got := p.Exchange.Published(); got != n {
+					t.Fatalf("published %d of %d", got, n)
+				}
+				return wait(n)
+			}
+			single := run(false)
+			batched := run(true)
+			if len(single) != len(batched) {
+				t.Fatalf("delivery counts differ: %d vs %d", len(single), len(batched))
+			}
+			for i := range single {
+				if single[i] != batched[i] {
+					t.Fatalf("order diverges at %d: single=%d batched=%d", i, single[i], batched[i])
+				}
+			}
+			// The single-publish path is FIFO per receiver, so both
+			// streams must equal the publish order outright.
+			for i, s := range batched {
+				if s != int64(i+1) {
+					t.Fatalf("batched stream out of publish order at %d: %d", i, s)
+				}
+			}
+		})
+	}
+}

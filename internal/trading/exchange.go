@@ -1,7 +1,7 @@
 package trading
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/events"
@@ -10,13 +10,21 @@ import (
 	"repro/internal/workload"
 )
 
+// exchangeBatch is the number of ticks PublishTicks turns into one
+// PublishBatch call. 128 keeps the per-chunk event buffer small while
+// amortising the dispatch and queue handoff across enough events that
+// per-event overhead disappears from the replay profile.
+const exchangeBatch = 128
+
 // Exchange is the Stock Exchange unit: the source of stock tick events,
 // endorsed with the integrity tag s that it owns — Pair Monitors are
 // instantiated with read integrity s and therefore perceive only
 // exchange-endorsed ticks (§6.1).
 //
 // The unit is single-threaded by design (as noted in §6.2): ticks are
-// published from whatever goroutine drives Replay.
+// published from whatever goroutine drives Replay. The batch buffer
+// below relies on that — PublishTicks must not be called concurrently
+// with itself or PublishTick.
 type Exchange struct {
 	p    *Platform
 	unit *core.Unit
@@ -24,10 +32,16 @@ type Exchange struct {
 	published counter
 
 	// cache retains recent tick events, modelling the ≈300 MiB of
-	// cached ticks in the paper's deployment (Figure 7).
-	mu      sync.Mutex
-	cache   []*events.Event
-	cacheIx int
+	// cached ticks in the paper's deployment (Figure 7). It is an
+	// atomic-index ring: remember() runs once per published tick on
+	// the replay hot path, so it claims a slot with one atomic add
+	// and stores the event with one atomic pointer write — no lock.
+	cache    []atomic.Pointer[events.Event]
+	cacheSeq atomic.Uint64
+
+	// batch is the reusable event buffer for PublishTicks (the unit is
+	// single-threaded, so one buffer suffices).
+	batch []*events.Event
 }
 
 // newExchange bootstraps the exchange with s+ and endorses its output.
@@ -39,18 +53,19 @@ func newExchange(p *Platform, grants []priv.Grant) *Exchange {
 	if err := x.unit.ChangeOutLabel(core.Integrity, core.Add, p.tagS); err != nil {
 		panic("exchange endorsement failed: " + err.Error())
 	}
-	x.cache = make([]*events.Event, 0, p.cfg.TickCacheSize)
+	x.cache = make([]atomic.Pointer[events.Event], p.cfg.TickCacheSize)
+	x.batch = make([]*events.Event, 0, exchangeBatch)
 	return x
 }
 
-// PublishTick publishes one tick event.
+// makeTick builds one tick event.
 //
 // Parts: type="tick" and body{symbol,price,seq}, both public with
 // integrity {s} attached automatically from the output label.
-func (x *Exchange) PublishTick(tk *workload.Tick) {
+func (x *Exchange) makeTick(tk *workload.Tick) *events.Event {
 	e := x.unit.CreateEvent()
 	if err := x.unit.AddPart(e, noTags, noTags, "type", "tick"); err != nil {
-		return
+		return nil
 	}
 	body := freeze.MapOf(
 		"symbol", tk.Symbol,
@@ -58,6 +73,15 @@ func (x *Exchange) PublishTick(tk *workload.Tick) {
 		"seq", int64(tk.Seq),
 	)
 	if err := x.unit.AddPart(e, noTags, noTags, "body", body); err != nil {
+		return nil
+	}
+	return e
+}
+
+// PublishTick publishes one tick event.
+func (x *Exchange) PublishTick(tk *workload.Tick) {
+	e := x.makeTick(tk)
+	if e == nil {
 		return
 	}
 	if err := x.unit.Publish(e); err != nil {
@@ -67,19 +91,45 @@ func (x *Exchange) PublishTick(tk *workload.Tick) {
 	x.remember(e)
 }
 
+// PublishTicks publishes a run of ticks through the batched dispatch
+// path: events are built in chunks and handed to PublishBatch, so
+// every matched receiver pays one queue handoff per chunk instead of
+// one per tick. Delivery semantics are identical to calling
+// PublishTick for each tick in order — the replay driver and the
+// bench harness use it as their throughput path.
+func (x *Exchange) PublishTicks(tks []workload.Tick) {
+	for start := 0; start < len(tks); start += exchangeBatch {
+		end := min(start+exchangeBatch, len(tks))
+		batch := x.batch[:0]
+		for i := start; i < end; i++ {
+			if e := x.makeTick(&tks[i]); e != nil {
+				batch = append(batch, e)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if err := x.unit.PublishBatch(batch); err != nil {
+			return
+		}
+		x.published.add(uint64(len(batch)))
+		for _, e := range batch {
+			x.remember(e)
+		}
+		// Drop the event references before reuse: the buffer must not
+		// pin the previous chunk's events until the next replay.
+		clear(batch)
+		x.batch = batch[:0]
+	}
+}
+
 // remember stores the event in the bounded tick cache.
 func (x *Exchange) remember(e *events.Event) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	if len(x.cache) < cap(x.cache) {
-		x.cache = append(x.cache, e)
-		return
-	}
 	if len(x.cache) == 0 {
 		return
 	}
-	x.cache[x.cacheIx] = e
-	x.cacheIx = (x.cacheIx + 1) % len(x.cache)
+	ix := (x.cacheSeq.Add(1) - 1) % uint64(len(x.cache))
+	x.cache[ix].Store(e)
 }
 
 // Published reports the number of ticks published.
@@ -87,7 +137,9 @@ func (x *Exchange) Published() uint64 { return x.published.load() }
 
 // CacheLen reports the current tick-cache occupancy.
 func (x *Exchange) CacheLen() int {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return len(x.cache)
+	n := x.cacheSeq.Load()
+	if n > uint64(len(x.cache)) {
+		return len(x.cache)
+	}
+	return int(n)
 }

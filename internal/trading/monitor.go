@@ -63,58 +63,66 @@ func (m *Monitor) setup() error {
 	return err
 }
 
-// run is the monitor's processing loop.
+// run is the monitor's processing loop. The monitor never modifies
+// its deliveries and retains only scalars, so each event is recycled
+// after handling (a no-op outside the labels+clone mode).
 func (m *Monitor) run() {
 	for {
 		e, sub, err := m.unit.GetEvent()
 		if err != nil {
 			return
 		}
-		view, err := m.unit.ReadOne(e, "body")
-		if err != nil {
-			continue
-		}
-		body, ok := view.Data.(*freeze.Map)
-		if !ok {
-			continue
-		}
-		price := body.GetInt("price")
-		if price <= 0 {
-			continue
-		}
-		isB := sub != m.subA
-		if isB {
-			m.lastB = price
-		} else {
-			m.lastA = price
-		}
-		if m.lastA == 0 || m.lastB == 0 {
-			continue
-		}
+		m.handle(e, sub)
+		m.unit.Recycle(e)
+	}
+}
 
-		// Pairs trade: deviation of the current price ratio from the
-		// pair's expected ratio, in basis points. All integer math:
-		// dev = |(pA/pB) / (baseA/baseB) − 1| · 10000.
-		ratioNow := m.lastA * 10000 * m.pair.BaseB
-		ratioMean := m.lastB * m.pair.BaseA
-		devBps := ratioNow/ratioMean - 10000
-		if devBps < 0 {
-			devBps = -devBps
-		}
-		if devBps < m.thresholdBps {
-			if isB {
-				m.quietStreak++
-				if m.quietStreak >= quietNeed {
-					m.armed = true
-				}
+// handle processes one tick delivery.
+func (m *Monitor) handle(e *events.Event, sub uint64) {
+	view, err := m.unit.ReadOne(e, "body")
+	if err != nil {
+		return
+	}
+	body, ok := view.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	price := body.GetInt("price")
+	if price <= 0 {
+		return
+	}
+	isB := sub != m.subA
+	if isB {
+		m.lastB = price
+	} else {
+		m.lastA = price
+	}
+	if m.lastA == 0 || m.lastB == 0 {
+		return
+	}
+
+	// Pairs trade: deviation of the current price ratio from the
+	// pair's expected ratio, in basis points. All integer math:
+	// dev = |(pA/pB) / (baseA/baseB) − 1| · 10000.
+	ratioNow := m.lastA * 10000 * m.pair.BaseB
+	ratioMean := m.lastB * m.pair.BaseA
+	devBps := ratioNow/ratioMean - 10000
+	if devBps < 0 {
+		devBps = -devBps
+	}
+	if devBps < m.thresholdBps {
+		if isB {
+			m.quietStreak++
+			if m.quietStreak >= quietNeed {
+				m.armed = true
 			}
-			continue
 		}
-		m.quietStreak = 0
-		if m.armed {
-			m.armed = false
-			m.emitMatch(e, devBps)
-		}
+		return
+	}
+	m.quietStreak = 0
+	if m.armed {
+		m.armed = false
+		m.emitMatch(e, devBps)
 	}
 }
 

@@ -199,11 +199,11 @@ func (p *Platform) Universe() *workload.Universe { return p.universe }
 
 // Replay publishes ticks from the trace as fast as possible on the
 // caller's goroutine — the paper's single-threaded Stock Exchange
-// replaying "tick event traces as quickly as possible".
+// replaying "tick event traces as quickly as possible". It runs on
+// the batched publish path (PublishTicks), which delivers the same
+// events in the same order as per-tick publishing.
 func (p *Platform) Replay(ticks []workload.Tick) {
-	for i := range ticks {
-		p.Exchange.PublishTick(&ticks[i])
-	}
+	p.Exchange.PublishTicks(ticks)
 }
 
 // ReplayPaced publishes ticks at the given rate (events/second), the

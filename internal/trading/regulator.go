@@ -106,9 +106,16 @@ func (r *Regulator) run() {
 		}
 		switch sub {
 		case r.subTrade:
-			r.handleTrade(e)
+			if !r.handleTrade(e) {
+				// Unsampled trades are unmodified and unreferenced —
+				// the common case on the regulator's busiest stream.
+				// Sampled ones gain an "audit_req" part and must
+				// survive until the next GetEvent re-dispatches them.
+				r.unit.Recycle(e)
+			}
 		case r.subVol:
 			r.handleVol(e)
+			r.unit.Recycle(e)
 		}
 	}
 }
@@ -116,19 +123,20 @@ func (r *Regulator) run() {
 // handleTrade samples every n-th trade: it requests an audit by adding
 // a public "audit_req" part to the trade event (re-dispatched to the
 // Broker on release) and republishes the trade as an s-endorsed tick
-// (step 9).
-func (r *Regulator) handleTrade(e *events.Event) {
+// (step 9). It reports whether it modified the delivered event, so
+// the caller knows an unmodified delivery may be recycled.
+func (r *Regulator) handleTrade(e *events.Event) bool {
 	r.seen++
 	if r.p.cfg.AuditSampleEvery == 0 || r.seen%r.p.cfg.AuditSampleEvery != 0 {
-		return
+		return false
 	}
 	tv, err := r.unit.ReadOne(e, "trade")
 	if err != nil {
-		return
+		return false
 	}
 	tm, ok := tv.Data.(*freeze.Map)
 	if !ok {
-		return
+		return false
 	}
 
 	// Step 9: republish the local trade as a valid stock tick. The
@@ -153,11 +161,12 @@ func (r *Regulator) handleTrade(e *events.Event) {
 	// Step 7: request the identity delegation. The part is public; the
 	// Broker's pinned book instance answers on the same event.
 	if err := r.unit.AddPart(e, noTags, noTags, "audit_req", r.seen); err != nil {
-		return
+		return false
 	}
 	r.audits.inc()
 	// The next GetEvent auto-releases the modified trade event,
 	// re-dispatching it to the Broker.
+	return true
 }
 
 // handleDelegation runs in a managed instance at {reg}: it consumes the

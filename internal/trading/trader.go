@@ -133,7 +133,9 @@ func (t *Trader) Trades() uint64 { return t.trades.load() }
 // Warnings reports Regulator warnings received.
 func (t *Trader) Warnings() uint64 { return t.warnings.load() }
 
-// run is the trader's processing loop.
+// run is the trader's processing loop. No branch modifies the
+// delivered event (orders are fresh events), so each delivery is
+// recycled after handling (a no-op outside the labels+clone mode).
 func (t *Trader) run() {
 	for {
 		e, sub, err := t.unit.GetEvent()
@@ -148,6 +150,7 @@ func (t *Trader) run() {
 		case t.subWarning:
 			t.warnings.inc()
 		}
+		t.unit.Recycle(e)
 	}
 }
 

@@ -337,12 +337,7 @@ func (i *Instance) Drifted() bool {
 	}
 	drifted := false
 	i.WithPrivileges(func(o *priv.Owned) {
-		for r := priv.Plus; r <= priv.MinusAuth; r++ {
-			if !o.Set(r).Equal(i.createdOwn.Set(r)) {
-				drifted = true
-				return
-			}
-		}
+		drifted = !o.SameAs(i.createdOwn)
 	})
 	return drifted
 }
