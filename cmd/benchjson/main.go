@@ -48,6 +48,8 @@ func main() {
 		benchPath = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
 		figPath   = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
 		outPath   = flag.String("o", "BENCH_dispatch.json", "output JSON path")
+		require   = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
+		reqSeries = flag.String("require-series", "", "comma-separated figure series names that must be present")
 	)
 	flag.Parse()
 
@@ -79,6 +81,10 @@ func main() {
 		f.Close()
 	}
 
+	if err := checkRequired(&snap, *require, *reqSeries); err != nil {
+		fatal(err)
+	}
+
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -94,6 +100,66 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// checkRequired fails the conversion when an expected benchmark or
+// figure series is missing from the snapshot: a renamed or dropped
+// benchmark would otherwise silently vanish from the perf trajectory.
+func checkRequired(snap *Snapshot, benches, series string) error {
+	for _, want := range splitCSV(benches) {
+		found := false
+		for _, b := range snap.Benchmarks {
+			if benchMatches(b.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("required benchmark %q missing from input", want)
+		}
+	}
+	for _, want := range splitCSV(series) {
+		found := false
+		for _, pt := range snap.FigPoints {
+			if _, ok := pt.Series[want]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("required figure series %q missing from input", want)
+		}
+	}
+	return nil
+}
+
+// benchMatches reports whether a result line's name (e.g.
+// "BenchmarkAPITaxWarm-8" or "BenchmarkPublish/labels-8") names the
+// required benchmark exactly, counting sub-benchmarks of it. Exact
+// matching — not substring — so "APITaxWarm" is not satisfied by a
+// surviving "APITaxWarmBatch" when the warm benchmark itself is
+// dropped.
+func benchMatches(name, want string) bool {
+	base := strings.TrimPrefix(name, "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(base, "-"); i >= 0 {
+		if _, err := strconv.Atoi(base[i+1:]); err == nil {
+			base = base[:i]
+		}
+	}
+	want = strings.TrimPrefix(want, "Benchmark")
+	return base == want || strings.HasPrefix(base, want+"/")
+}
+
+// splitCSV splits a comma-separated flag value, dropping empties.
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // parseBench consumes `go test -bench` output: metadata lines

@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/events"
 	"repro/internal/freeze"
 	"repro/internal/labels"
 	"repro/internal/priv"
+	"repro/internal/units"
 )
 
 func newSys(t *testing.T, mode SecurityMode) *System {
@@ -278,6 +280,91 @@ func TestGetEventAutoReleaseRedispatches(t *testing.T) {
 	}
 	if lateGot.ID() != e.ID() {
 		t.Fatalf("late received event %d, want %d", lateGot.ID(), e.ID())
+	}
+}
+
+// TestGetEventsBatchDrain checks the batched getEvent: a burst drains
+// in order through one call, API-call metering counts every delivery,
+// and modified events from the batch are auto-released (re-dispatched)
+// by the next call exactly like GetEvent's single held delivery.
+func TestGetEventsBatchDrain(t *testing.T) {
+	s := newSys(t, LabelsFreeze)
+	pub := s.NewUnit("pub", UnitConfig{})
+	consumer := s.NewUnit("consumer", UnitConfig{})
+	late := s.NewUnit("late", UnitConfig{})
+
+	if _, err := consumer.Subscribe(dispatch.MustFilter(dispatch.PartExists("base"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.Subscribe(dispatch.MustFilter(dispatch.PartExists("extra"))); err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 5
+	ids := make([]uint64, 0, burst)
+	for i := 0; i < burst; i++ {
+		e := pub.CreateEvent()
+		if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "base", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, e.ID())
+	}
+
+	buf := make([]units.Delivery, 8)
+	drained := 0
+	var modified *events.Event
+	before := consumer.Usage().APICalls
+	for drained < burst {
+		n, err := consumer.GetEvents(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if buf[k].Event.ID() != ids[drained+k] {
+				t.Fatalf("delivery %d = event %d, want %d", drained+k, buf[k].Event.ID(), ids[drained+k])
+			}
+		}
+		if modified == nil {
+			// Modify the first delivery of the first batch: the next
+			// GetEvents must auto-release and re-dispatch it.
+			modified = buf[0].Event
+			if err := consumer.AddPart(modified, labels.EmptySet, labels.EmptySet, "extra", "w"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		drained += n
+	}
+	// One metered call per batched delivery, plus the consumer's own
+	// AddPart above.
+	if got := consumer.Usage().APICalls - before; got != uint64(drained)+1 {
+		t.Fatalf("metered %d API calls for %d batched deliveries + 1 AddPart", got, drained)
+	}
+
+	// Force one more GetEvents so the held batch (with the modified
+	// event) is auto-released.
+	e := pub.CreateEvent()
+	if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "base", "tail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := consumer.GetEvents(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	lateGot, _, err := late.GetEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lateGot.ID() != modified.ID() {
+		t.Fatalf("late received event %d, want modified %d", lateGot.ID(), modified.ID())
+	}
+	if st := s.DispatchStats(); st.Redispatches != 1 {
+		t.Fatalf("redispatches = %d, want 1 (only the modified delivery)", st.Redispatches)
 	}
 }
 

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/events"
+	"repro/internal/isolation"
+	"repro/internal/labels"
+)
+
+// findDecision returns the first target ID of the given kind/decision.
+func findDecision(t *testing.T, a *isolation.Analysis, kind isolation.TargetKind, d isolation.Decision) int {
+	t.Helper()
+	for i := range a.Catalog.Targets {
+		if a.Catalog.Targets[i].Kind == kind && a.Decisions[i] == d {
+			return i
+		}
+	}
+	t.Fatalf("no target with kind %v decision %v", kind, d)
+	return -1
+}
+
+// TestManagedIsolateReuseConcurrent drives one pooled managed
+// instance's isolate from two sides at once: the instance's own
+// processing loop taxes it on every handler API call while its
+// deliveries keep drifting and re-virgining the instance (recycled
+// pooled reuse), and a separate goroutine hammers the same isolate
+// with direct APITax/GetStatic/SetStatic interceptor calls — the shape
+// the replica slot array must survive without a lock. Run under -race
+// in CI; correctness checks: deliveries all processed, replica writes
+// never observed torn, the isolate persists across Reset (warm path
+// kept), and copies are charged once.
+func TestManagedIsolateReuseConcurrent(t *testing.T) {
+	a := isolation.Analyze(isolation.NewJDKCatalog())
+	enf := isolation.NewEnforcer(a)
+	rid := findDecision(t, a, isolation.StaticField, isolation.InterceptReplicate)
+	did := findDecision(t, a, isolation.StaticField, isolation.InterceptDeferredSet)
+
+	s := NewSystem(Config{Mode: LabelsFreezeIsolation, Enforcer: enf, QueueCap: 1024})
+	defer s.Close()
+
+	owner := s.NewUnit("owner", UnitConfig{})
+	drift := owner.CreateTag("drift")
+
+	var isoPtr atomic.Pointer[isolation.Isolate]
+	var handled atomic.Uint64
+	_, err := owner.SubscribeManagedOpts(func(u *Unit, e *events.Event, sub uint64) {
+		isoPtr.CompareAndSwap(nil, u.inst.Iso)
+		if _, err := u.ReadOne(e, "body"); err != nil {
+			t.Errorf("ReadOne: %v", err)
+			return
+		}
+		// Contaminate the instance so the managed runtime re-virgins it
+		// after this delivery: the next delivery exercises genuine
+		// pooled reuse of the same isolate.
+		if err := u.ChangeOutLabel(Confidentiality, Add, drift); err != nil {
+			t.Errorf("ChangeOutLabel: %v", err)
+		}
+		handled.Add(1)
+	}, dispatch.MustFilter(dispatch.PartEq("type", "tick")), ManagedOptions{ResetOnDrift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub := s.NewUnit("pub", UnitConfig{})
+	const deliveries = 400
+
+	// Hammer the pooled isolate with direct interceptor calls as soon
+	// as the first delivery captures it.
+	stop := make(chan struct{})
+	hammerDone := make(chan struct{})
+	go func() {
+		defer close(hammerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			iso := isoPtr.Load()
+			if iso == nil {
+				continue
+			}
+			enf.APITax(iso)
+			if err := enf.SetStatic(iso, did, int64(i)); err != nil {
+				t.Errorf("SetStatic: %v", err)
+				return
+			}
+			if v, err := enf.GetStatic(iso, did); err != nil {
+				t.Errorf("GetStatic(deferred): %v", err)
+				return
+			} else if _, ok := v.(int64); !ok {
+				t.Errorf("torn deferred replica: %T", v)
+				return
+			}
+			if _, err := enf.GetStatic(iso, rid); err != nil {
+				t.Errorf("GetStatic(replicate): %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < deliveries; i++ {
+		e := pub.CreateEvent()
+		if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "type", "tick"); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.AddPart(e, labels.EmptySet, labels.EmptySet, "body", "payload"); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all deliveries handled", func() bool { return handled.Load() == deliveries })
+	close(stop)
+	<-hammerDone
+
+	iso := isoPtr.Load()
+	if iso == nil {
+		t.Fatal("no pooled instance captured")
+	}
+	st := iso.Stats()
+	if st.APICalls == 0 || st.FieldReads == 0 {
+		t.Fatalf("isolate did no interceptor work: %+v", st)
+	}
+	// The isolate persisted across every Reset: one cold pass total, so
+	// each replicated hot-path field was copied exactly once.
+	if st.FieldCopies > uint64(enf.ReplicaSlotCount()) {
+		t.Fatalf("FieldCopies = %d exceeds slot count %d (replicas recopied)",
+			st.FieldCopies, enf.ReplicaSlotCount())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/labels"
 	"repro/internal/priv"
+	"repro/internal/units"
 )
 
 // ManagedHandler processes one delivery inside a managed-subscription
@@ -223,37 +224,56 @@ func (r *managedRouter) instanceFor(needed labels.Label) *Unit {
 	return inst
 }
 
+// managedDrainBatch bounds how many deliveries runInstance drains per
+// queue synchronisation.
+const managedDrainBatch = 16
+
 // runInstance is a managed instance's processing loop: deliver →
 // handler → release (re-dispatching modifications) → optional
-// re-virgining → clone recycle.
+// re-virgining → clone recycle. Deliveries are drained in batches
+// (one queue synchronisation per run) but processed strictly in order
+// with per-delivery release/reset semantics, so handler observable
+// behaviour is identical to the one-at-a-time loop.
+//
+// The instance's isolation context persists across deliveries — and
+// across Reset — by design: pooled reuse keeps the isolate on the
+// memoized warm interceptor path, and its replicas belong to the
+// owner's code identity, not to event contamination (see
+// units.Instance.Reset).
 func (r *managedRouter) runInstance(inst *Unit) {
 	recycle := !r.opts.KeepDeliveries && r.sys.mode.CloneDeliveries()
+	var buf [managedDrainBatch]units.Delivery
 	for {
-		d, err := inst.inst.Next()
+		n, err := inst.inst.NextBatch(buf[:])
 		if err != nil {
 			return
 		}
-		r.handler(inst, d.Event, d.Sub)
-		if d.Event.Generation() != d.Gen {
-			r.sys.disp.Redispatch(d.Event)
-		}
-		if r.opts.ResetOnDrift && inst.inst.Drifted() {
-			inst.inst.Reset()
-		}
-		if recycle {
-			// Return-path proof that the delivery is dropped: in clone
-			// mode the dispatcher handed this router a private deep
-			// copy and routed it to exactly this instance (delivery
-			// dedup is per receiver); the handler has returned; and
-			// the re-dispatch above ran synchronously and hands other
-			// receivers fresh clones, never this one. Unless the
-			// handler retained the event shell itself — forbidden by
-			// the handler contract and opted out of via
-			// KeepDeliveries — no reference remains, so the clone goes
-			// back to the pool without harness cooperation. Data
-			// values already read stay valid (pool.go: only the
-			// shells are pooled).
-			d.Event.Recycle()
+		for k := 0; k < n; k++ {
+			d := buf[k]
+			buf[k] = units.Delivery{}
+			r.handler(inst, d.Event, d.Sub)
+			if d.Event.Generation() != d.Gen {
+				r.sys.disp.Redispatch(d.Event)
+			}
+			if r.opts.ResetOnDrift && inst.inst.Drifted() {
+				inst.inst.Reset()
+			}
+			if recycle {
+				// Return-path proof that the delivery is dropped: in
+				// clone mode the dispatcher handed this router a
+				// private deep copy and routed it to exactly this
+				// instance (delivery dedup is per receiver); the
+				// handler has returned; and the re-dispatch above ran
+				// synchronously and hands other receivers fresh
+				// clones, never this one. Unless the handler retained
+				// the event shell itself — forbidden by the handler
+				// contract and opted out of via KeepDeliveries — no
+				// reference remains, so the clone goes back to the
+				// pool without harness cooperation. Data values
+				// already read stay valid (pool.go: only the shells
+				// are pooled).
+				d.Event.Recycle()
+			}
 		}
 	}
 }

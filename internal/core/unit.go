@@ -63,8 +63,9 @@ type Unit struct {
 	inst *units.Instance
 	name string
 
-	mu   sync.Mutex
-	held *heldDelivery
+	mu        sync.Mutex
+	held      *heldDelivery
+	heldBatch []heldDelivery // deliveries returned by the last GetEvents
 
 	subsMu sync.Mutex
 	subs   []uint64
@@ -112,6 +113,20 @@ func (u *Unit) tax() {
 	u.acct.apiCalls.Add(1)
 	if u.sys.enf != nil && u.inst.Iso != nil {
 		u.sys.enf.APITax(u.inst.Iso)
+	}
+}
+
+// taxN meters n API calls through one interceptor traversal — the
+// batched tax entry of the batch delivery paths (PublishBatch,
+// GetEvents): a batch of n events enters and leaves the §4 API region
+// once, amortising the traversal while accounting every call.
+func (u *Unit) taxN(n int) {
+	if n <= 0 {
+		return
+	}
+	u.acct.apiCalls.Add(uint64(n))
+	if u.sys.enf != nil && u.inst.Iso != nil {
+		u.sys.enf.APITaxN(u.inst.Iso, n)
 	}
 }
 
@@ -327,14 +342,16 @@ func (u *Unit) PublishBestEffort(e *events.Event) error {
 // accepted deliveries reach every receiver through one batched queue
 // handoff. High-rate replay paths (the Stock Exchange feed) use it to
 // amortise per-event dispatch overhead. DEFC semantics are identical
-// to publishing the events one by one in order.
+// to publishing the events one by one in order — the batch is metered
+// as len(evs) API calls through one amortised interceptor traversal.
 func (u *Unit) PublishBatch(evs []*events.Event) error {
-	u.tax()
 	for _, e := range evs {
 		if e == nil {
 			return errors.New("core: PublishBatch with nil event")
 		}
 	}
+	// Validated: meter the batch only for publishes that will happen.
+	u.taxN(len(evs))
 	u.acct.published.Add(uint64(len(evs)))
 	u.sys.disp.PublishBatch(evs, true)
 	return nil
@@ -350,12 +367,35 @@ func (u *Unit) Recycle(e *events.Event) {
 	if e == nil || !u.sys.mode.CloneDeliveries() {
 		return
 	}
-	u.mu.Lock()
-	if u.held != nil && u.held.ev == e {
-		u.held = nil
-	}
-	u.mu.Unlock()
+	// Detach the event from the held state: the recycled shell may be
+	// reused by the clone pool before the next GetEvents, and a stale
+	// held entry would compare generations of an event this unit no
+	// longer owns.
+	u.dropHeld(e)
 	e.Recycle()
+}
+
+// dropHeld detaches e from the unit's held delivery state (the single
+// held delivery and the held batch), returning the generation e was
+// delivered at and whether it was held. Batch entries are nilled in
+// place — O(1), no splice on the hot consumer path — and skipped by
+// autoRelease.
+func (u *Unit) dropHeld(e *events.Event) (uint64, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.held != nil && u.held.ev == e {
+		gen := u.held.gen
+		u.held = nil
+		return gen, true
+	}
+	for idx := range u.heldBatch {
+		if u.heldBatch[idx].ev == e {
+			gen := u.heldBatch[idx].gen
+			u.heldBatch[idx].ev = nil
+			return gen, true
+		}
+	}
+	return 0, false
 }
 
 // Release releases a delivered event after (partial) processing
@@ -367,13 +407,7 @@ func (u *Unit) Release(e *events.Event) error {
 	if e == nil {
 		return errors.New("core: Release of nil event")
 	}
-	u.mu.Lock()
-	held := u.held
-	if held != nil && held.ev == e {
-		u.held = nil
-	}
-	u.mu.Unlock()
-	if held != nil && held.ev == e && held.gen == e.Generation() {
+	if gen, was := u.dropHeld(e); was && gen == e.Generation() {
 		return nil // unmodified: nothing to re-dispatch
 	}
 	u.sys.disp.Redispatch(e)
@@ -411,18 +445,53 @@ func (u *Unit) GetEvent() (*events.Event, uint64, error) {
 	return d.Event, d.Sub, nil
 }
 
-// autoRelease releases the currently held delivery, re-dispatching if
-// it was modified.
+// GetEvents is the batched getEvent: it blocks until at least one
+// delivery arrives, then opportunistically drains up to len(buf)
+// queued deliveries through one queue synchronisation and one
+// amortised interceptor traversal (metered as one API call per
+// returned delivery). Every delivery returned by the previous
+// GetEvent/GetEvents call is released implicitly, with modified events
+// re-dispatched — the same release-on-next-get semantics GetEvent
+// gives its single delivery. High-rate consumer loops (the Pair
+// Monitors on the tick feed) use it so a burst of k deliveries costs
+// one tax traversal instead of k.
+func (u *Unit) GetEvents(buf []units.Delivery) (int, error) {
+	u.autoRelease()
+	n, err := u.inst.NextBatch(buf)
+	if err != nil {
+		u.tax() // the call is metered even when it reports termination
+		return 0, err
+	}
+	u.taxN(n)
+	u.mu.Lock()
+	u.heldBatch = u.heldBatch[:0]
+	for _, d := range buf[:n] {
+		u.heldBatch = append(u.heldBatch, heldDelivery{ev: d.Event, gen: d.Gen})
+	}
+	u.mu.Unlock()
+	return n, nil
+}
+
+// autoRelease releases the currently held delivery (and any held batch
+// from GetEvents), re-dispatching whatever was modified.
 func (u *Unit) autoRelease() {
 	u.mu.Lock()
 	held := u.held
 	u.held = nil
-	u.mu.Unlock()
-	if held == nil {
-		return
+	var modified []*events.Event
+	for _, h := range u.heldBatch {
+		// nil entries were detached by Recycle/Release (dropHeld).
+		if h.ev != nil && h.ev.Generation() != h.gen {
+			modified = append(modified, h.ev)
+		}
 	}
-	if held.ev.Generation() != held.gen {
+	u.heldBatch = u.heldBatch[:0]
+	u.mu.Unlock()
+	if held != nil && held.ev.Generation() != held.gen {
 		u.sys.disp.Redispatch(held.ev)
+	}
+	for _, e := range modified {
+		u.sys.disp.Redispatch(e)
 	}
 }
 

@@ -313,6 +313,25 @@ func (a *Analysis) ApplyProfile(hot []int, maxFields, maxNatives int) int {
 	return moved
 }
 
+// ReplicaSlots assigns every intercepted static field a dense replica
+// slot — the index of its per-isolate copy in the Isolate slot array.
+// Slot assignment happens at plan-compilation time (NewEnforcer): the
+// returned table is a snapshot of the current decisions, so later
+// ApplyProfile calls do not shift slots under a live enforcer. Returns
+// slotOf (indexed by target ID, -1 = no replica) and the slot count.
+func (a *Analysis) ReplicaSlots() ([]int32, int) {
+	slotOf := make([]int32, len(a.Decisions))
+	n := int32(0)
+	for i, d := range a.Decisions {
+		slotOf[i] = -1
+		if a.Catalog.Targets[i].Kind == StaticField && d.Intercepted() {
+			slotOf[i] = n
+			n++
+		}
+	}
+	return slotOf, int(n)
+}
+
 // InterceptedIDs returns the IDs of all targets with runtime
 // interceptors, in ascending order.
 func (a *Analysis) InterceptedIDs() []int {

@@ -3,7 +3,6 @@ package isolation
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -32,58 +31,135 @@ type Stats struct {
 
 // Isolate is one unit's isolation context: the per-isolate replicas of
 // intercepted static fields plus interceptor accounting. An isolate is
-// owned by a single unit instance; the field store is still locked
-// because managed-subscription instances may be pooled across
-// deliveries.
+// owned by a single unit instance; the replica store uses atomic slot
+// pointers rather than a lock because managed-subscription instances
+// may be pooled across deliveries and benchmark/race harnesses drive
+// one isolate from several goroutines.
 type Isolate struct {
 	Name string
 
-	mu     sync.Mutex
-	fields map[int]any // per-isolate replicas, keyed by target ID
+	// slots holds the per-isolate replicas of intercepted static
+	// fields, indexed by the dense slot the compiled plan assigned at
+	// NewEnforcer time (Analysis.ReplicaSlots). nil means "not yet
+	// replicated": reads fall back to the shared default. Each slot is
+	// an atomic pointer — a load observes either nil or a fully
+	// published replica, so no mutex is needed even when a pooled
+	// isolate is touched from more than one goroutine.
+	slots []atomic.Pointer[any]
 
 	// apiDepth > 0 marks execution inside a DEFCon API call: native
 	// targets reached on that path are trusted (call 'D' in Figure 3).
 	apiDepth atomic.Int32
 
+	// warm flips to true after the first full (cold) APITax traversal:
+	// every replicated hot-path field now has a slot, so subsequent
+	// traversals take the memoized warm pass.
+	warm atomic.Bool
+
+	// warmReads/warmNatives are the per-traversal interceptor counts of
+	// the compiled plan, snapshotted at NewIsolate time so Stats can
+	// expand the coalesced warm counters without reaching back into the
+	// enforcer. Written once at creation, read-only afterwards.
+	warmReads, warmNatives uint64
+
 	stats struct {
 		fieldReads, fieldCopies, fieldWrites      atomic.Uint64
 		nativeCalls, blockedNatives, blockedSyncs atomic.Uint64
 		blockedFields, apiCalls                   atomic.Uint64
+		// Coalesced warm-pass accounting: a warm traversal bumps
+		// warmSweeps once and warmCalls by the number of API calls it
+		// meters (APITaxN batches n calls into one sweep). Stats()
+		// expands them into FieldReads/NativeCalls/APICalls.
+		warmSweeps, warmCalls atomic.Uint64
 	}
 }
 
 // Stats snapshots the interceptor accounting.
+//
+// Snapshot semantics: each counter is individually atomic but the group
+// is read without a global lock, so a snapshot taken while another
+// goroutine is mid-traversal may mix before/after values of different
+// counters (e.g. APICalls already bumped, FieldReads not yet). Every
+// counter is monotone, so two quiescent snapshots always difference
+// correctly; consumers that need a consistent cut must quiesce the
+// isolate first. The warm pass coalesces its per-traversal work into
+// two counters (one sweep, n metered calls); Stats expands them here —
+// FieldReads/NativeCalls grow by the plan's per-traversal interceptor
+// counts per sweep (a batched APITaxN traverses once for n calls), and
+// APICalls reflects every metered call, warm or cold. FieldCopies only
+// ever moves on the cold path: a replica is copied exactly once.
 func (iso *Isolate) Stats() Stats {
+	sweeps := iso.stats.warmSweeps.Load()
 	return Stats{
-		FieldReads:     iso.stats.fieldReads.Load(),
+		FieldReads:     iso.stats.fieldReads.Load() + sweeps*iso.warmReads,
 		FieldCopies:    iso.stats.fieldCopies.Load(),
 		FieldWrites:    iso.stats.fieldWrites.Load(),
-		NativeCalls:    iso.stats.nativeCalls.Load(),
+		NativeCalls:    iso.stats.nativeCalls.Load() + sweeps*iso.warmNatives,
 		BlockedNatives: iso.stats.blockedNatives.Load(),
 		BlockedSyncs:   iso.stats.blockedSyncs.Load(),
 		BlockedFields:  iso.stats.blockedFields.Load(),
-		APICalls:       iso.stats.apiCalls.Load(),
+		APICalls:       iso.stats.apiCalls.Load() + iso.stats.warmCalls.Load(),
 	}
 }
 
 // Enforcer executes an Analysis plan at runtime. It is shared by all
 // isolates of a DEFCon instance and is safe for concurrent use.
+//
+// The enforcer compiles its interceptor plan once, at construction: the
+// per-target decisions are snapshotted, every intercepted static field
+// gets a dense replica slot, and the hot-path targets are resolved into
+// typed plan entries. Mutating the Analysis afterwards (ApplyProfile)
+// does not affect an already-built enforcer — rebuild to apply.
 type Enforcer struct {
 	analysis *Analysis
+
+	// decisions is the plan-time snapshot of the analysis verdicts; the
+	// steady-state paths never consult the live Analysis.
+	decisions []Decision
 
 	// defaults holds the shared initial value of every static-field
 	// target; replicas are copied from here on demand.
 	defaults []any
 
-	// hotPath is the deterministic set of intercepted targets woven
-	// into the DEFCon API fast path. Each unit API call traverses these
+	// slotOf maps target ID → dense replica slot (-1 = no replica);
+	// numSlots sizes each isolate's slot array.
+	slotOf   []int32
+	numSlots int
+
+	// nameIndex resolves Class.Member → target ID in O(1).
+	nameIndex map[string]int
+
+	// plan is the compiled interceptor hot path woven into the DEFCon
+	// API fast path: each entry carries its pre-resolved decision, kind
+	// and replica slot, so a traversal never calls lookup or switches
+	// on a live Decision. Each unit API call traverses these
 	// interceptors — the measurable cost of isolation in Figures 5–7.
-	hotPath []hotTarget
+	plan []planEntry
+
+	// warmPlan is the field subset of the plan in traversal order; the
+	// memoized warm pass sweeps it checking replica existence.
+	warmPlan []warmEntry
+
+	// planReads/planNatives are the per-traversal interceptor counts,
+	// copied into each isolate for coalesced accounting.
+	planReads, planNatives uint64
 }
 
-type hotTarget struct {
-	id   int
+// planEntry is one pre-dispatched interceptor on the compiled hot path.
+type planEntry struct {
+	id   int32
+	slot int32 // replica slot for fields, -1 for natives
 	kind TargetKind
+	d    Decision
+}
+
+// warmEntry is one field interceptor of the warm sweep. required marks
+// InterceptReplicate entries, whose replica must exist for the memoized
+// pass to be valid; deferred-copy entries may legitimately still read
+// the shared default (nil slot).
+type warmEntry struct {
+	slot     int32
+	required bool
 }
 
 // hotPathSize is how many woven interceptors a single DEFCon API call
@@ -92,14 +168,19 @@ type hotTarget struct {
 // reproduces that order of cost with real work.
 const hotPathSize = 24
 
-// NewEnforcer builds the runtime enforcement layer from an analysis.
+// NewEnforcer builds the runtime enforcement layer from an analysis,
+// compiling the interceptor plan (decision snapshot, replica slots,
+// typed hot-path entries) so the steady-state traversal is lock-free.
 func NewEnforcer(a *Analysis) *Enforcer {
 	e := &Enforcer{
-		analysis: a,
-		defaults: make([]any, len(a.Catalog.Targets)),
+		analysis:  a,
+		decisions: append([]Decision(nil), a.Decisions...),
+		defaults:  make([]any, len(a.Catalog.Targets)),
+		nameIndex: make(map[string]int, len(a.Catalog.Targets)),
 	}
 	for i := range a.Catalog.Targets {
 		t := &a.Catalog.Targets[i]
+		e.nameIndex[t.FullName()] = i
 		if t.Kind == StaticField {
 			// Seed a plausible default: primitive fields get an int,
 			// the rest a small shared string.
@@ -110,6 +191,8 @@ func NewEnforcer(a *Analysis) *Enforcer {
 			}
 		}
 	}
+	e.slotOf, e.numSlots = a.ReplicaSlots()
+
 	// Select the API hot path: alternate replicated fields and guarded
 	// natives from the interceptor plan, in deterministic ID order.
 	var fields, natives []int
@@ -121,12 +204,32 @@ func NewEnforcer(a *Analysis) *Enforcer {
 			natives = append(natives, id)
 		}
 	}
-	for i := 0; len(e.hotPath) < hotPathSize && (i < len(fields) || i < len(natives)); i++ {
+	add := func(id int) {
+		e.plan = append(e.plan, planEntry{
+			id:   int32(id),
+			slot: e.slotOf[id],
+			kind: a.Catalog.Targets[id].Kind,
+			d:    e.decisions[id],
+		})
+	}
+	for i := 0; len(e.plan) < hotPathSize && (i < len(fields) || i < len(natives)); i++ {
 		if i < len(fields) {
-			e.hotPath = append(e.hotPath, hotTarget{fields[i], StaticField})
+			add(fields[i])
 		}
-		if len(e.hotPath) < hotPathSize && i < len(natives) {
-			e.hotPath = append(e.hotPath, hotTarget{natives[i], NativeMethod})
+		if len(e.plan) < hotPathSize && i < len(natives) {
+			add(natives[i])
+		}
+	}
+	for _, p := range e.plan {
+		switch p.kind {
+		case StaticField:
+			e.planReads++
+			e.warmPlan = append(e.warmPlan, warmEntry{
+				slot:     p.slot,
+				required: p.d == InterceptReplicate,
+			})
+		case NativeMethod:
+			e.planNatives++
 		}
 	}
 	return e
@@ -134,7 +237,12 @@ func NewEnforcer(a *Analysis) *Enforcer {
 
 // NewIsolate creates a fresh isolation context for a unit instance.
 func (e *Enforcer) NewIsolate(name string) *Isolate {
-	return &Isolate{Name: name, fields: make(map[int]any)}
+	return &Isolate{
+		Name:        name,
+		slots:       make([]atomic.Pointer[any], e.numSlots),
+		warmReads:   e.planReads,
+		warmNatives: e.planNatives,
+	}
 }
 
 // EnterAPI marks the isolate as executing inside a trusted DEFCon API
@@ -161,24 +269,25 @@ func (e *Enforcer) GetStatic(iso *Isolate, id int) (any, error) {
 		return e.defaults[id], nil
 	case InterceptReplicate:
 		// On-demand deep copy, per-isolate reference (§4.2 "Automatic
-		// runtime injection": copy on get access).
+		// runtime injection": copy on get access). The slot CAS keeps
+		// the copy unique under concurrent first reads: the loser
+		// observes the winner's replica, as with the old lock.
 		iso.stats.fieldReads.Add(1)
-		iso.mu.Lock()
-		defer iso.mu.Unlock()
-		v, ok := iso.fields[id]
-		if !ok {
-			v = copyFieldValue(e.defaults[id])
-			iso.fields[id] = v
-			iso.stats.fieldCopies.Add(1)
+		slot := &iso.slots[e.slotOf[id]]
+		if p := slot.Load(); p != nil {
+			return *p, nil
 		}
-		return v, nil
+		v := copyFieldValue(e.defaults[id])
+		if slot.CompareAndSwap(nil, &v) {
+			iso.stats.fieldCopies.Add(1)
+			return v, nil
+		}
+		return *slot.Load(), nil
 	case InterceptDeferredSet:
 		// Primitive/constant types defer the copy to the first set.
 		iso.stats.fieldReads.Add(1)
-		iso.mu.Lock()
-		defer iso.mu.Unlock()
-		if v, ok := iso.fields[id]; ok {
-			return v, nil
+		if p := iso.slots[e.slotOf[id]].Load(); p != nil {
+			return *p, nil
 		}
 		return e.defaults[id], nil
 	case DEFConOnly:
@@ -209,9 +318,7 @@ func (e *Enforcer) SetStatic(iso *Isolate, id int, v any) error {
 	switch d {
 	case InterceptReplicate, InterceptDeferredSet:
 		iso.stats.fieldWrites.Add(1)
-		iso.mu.Lock()
-		defer iso.mu.Unlock()
-		iso.fields[id] = v
+		iso.slots[e.slotOf[id]].Store(&v)
 		return nil
 	case WhitelistedHeuristic, WhitelistedManual:
 		// White-listed fields are constants; a write from unit code is
@@ -277,52 +384,101 @@ func (e *Enforcer) SyncOn(iso *Isolate, v any) error {
 
 // APITax runs the interceptors woven into one DEFCon API call: the
 // per-call cost of isolation that Figures 5–7 measure in the
-// labels+freeze+isolation mode. The work is real — per-isolate map
-// lookups, copy-on-first-read, guard checks and counters.
-func (e *Enforcer) APITax(iso *Isolate) {
-	iso.stats.apiCalls.Add(1)
-	done := e.EnterAPI(iso)
-	defer done()
-	for _, h := range e.hotPath {
-		switch h.kind {
-		case StaticField:
-			_, _ = e.GetStatic(iso, h.id)
-		case NativeMethod:
-			_ = e.InvokeNative(iso, h.id)
-		}
+// labels+freeze+isolation mode. The first traversal of an isolate is
+// cold — full interceptor semantics, copying replicated fields into
+// their slots; every later traversal takes the memoized warm pass.
+func (e *Enforcer) APITax(iso *Isolate) { e.APITaxN(iso, 1) }
+
+// APITaxN meters n API calls through one interceptor traversal — the
+// batched entry used by Unit's batch delivery paths (PublishBatch,
+// GetEvents): a batch of n events enters and leaves the API region
+// once, amortising the traversal bookkeeping while still accounting
+// all n calls.
+func (e *Enforcer) APITaxN(iso *Isolate, n int) {
+	if n <= 0 {
+		return
+	}
+	if iso.warm.Load() && e.warmTax(iso, uint64(n)) {
+		return
+	}
+	e.coldTax(iso)
+	if n > 1 {
+		e.warmTax(iso, uint64(n-1))
 	}
 }
 
+// warmTax is the memoized warm pass: guard checks and accounting only.
+// It performs zero mutex acquisitions, zero map operations and exactly
+// two atomic adds per traversal — the per-entry work is an atomic slot
+// load (the value unit code would observe through the woven getter)
+// plus the pre-dispatched guard verdicts, which the compiled plan has
+// already resolved: a replicated field is valid while its replica
+// exists, and a guarded native is permitted because the traversal is a
+// DEFCon API path by construction. Reports false — without counting
+// anything — if a required replica is missing, sending the caller back
+// to the cold path.
+func (e *Enforcer) warmTax(iso *Isolate, n uint64) bool {
+	for _, w := range e.warmPlan {
+		if iso.slots[w.slot].Load() == nil && w.required {
+			return false
+		}
+	}
+	iso.stats.warmSweeps.Add(1)
+	iso.stats.warmCalls.Add(n)
+	return true
+}
+
+// coldTax is the first, uncached traversal of an isolate: it runs every
+// plan entry through the full interceptor (copying replicated fields
+// into their slots, checking native guards inside the API region) with
+// per-interceptor accounting, then memoizes the isolate as warm — the
+// cold pass has materialised every required replica, and replicas are
+// never removed, so warmth is permanent.
+func (e *Enforcer) coldTax(iso *Isolate) {
+	iso.stats.apiCalls.Add(1)
+	done := e.EnterAPI(iso)
+	for _, p := range e.plan {
+		switch p.kind {
+		case StaticField:
+			_, _ = e.GetStatic(iso, int(p.id))
+		case NativeMethod:
+			_ = e.InvokeNative(iso, int(p.id))
+		}
+	}
+	done()
+	iso.warm.Store(true)
+}
+
 // HotPathLen reports the number of interceptors on the API fast path.
-func (e *Enforcer) HotPathLen() int { return len(e.hotPath) }
+func (e *Enforcer) HotPathLen() int { return len(e.plan) }
 
 // HotPathIDs returns the IDs of the targets on the API fast path, in
 // traversal order; profiling uses them as its heat ranking.
 func (e *Enforcer) HotPathIDs() []int {
-	out := make([]int, len(e.hotPath))
-	for i, h := range e.hotPath {
-		out[i] = h.id
+	out := make([]int, len(e.plan))
+	for i, p := range e.plan {
+		out[i] = int(p.id)
 	}
 	return out
 }
 
+// ReplicaSlotCount reports the number of per-isolate replica slots the
+// compiled plan assigned (one per intercepted static field).
+func (e *Enforcer) ReplicaSlotCount() int { return e.numSlots }
+
 // TargetID resolves a fully qualified member name (Class.Member) to
-// its target ID.
+// its target ID via the name index built at NewEnforcer time.
 func (e *Enforcer) TargetID(fullName string) (int, bool) {
-	for i := range e.analysis.Catalog.Targets {
-		if e.analysis.Catalog.Targets[i].FullName() == fullName {
-			return i, true
-		}
-	}
-	return 0, false
+	id, ok := e.nameIndex[fullName]
+	return id, ok
 }
 
-// lookup resolves a target ID to its decision and descriptor.
+// lookup resolves a target ID to its plan-time decision and descriptor.
 func (e *Enforcer) lookup(id int) (Decision, *Target, error) {
-	if id < 0 || id >= len(e.analysis.Catalog.Targets) {
+	if id < 0 || id >= len(e.decisions) {
 		return Undecided, nil, fmt.Errorf("%w: unknown target %d", ErrNotLoaded, id)
 	}
-	return e.analysis.Decisions[id], &e.analysis.Catalog.Targets[id], nil
+	return e.decisions[id], &e.analysis.Catalog.Targets[id], nil
 }
 
 // copyFieldValue deep-copies a field default for per-isolate

@@ -220,6 +220,209 @@ func TestAPITaxPerformsRealWork(t *testing.T) {
 	}
 }
 
+// TestWarmColdEquivalence checks the memoized warm pass against the
+// cold path: after warming, every hot-path target must yield the same
+// replica values through GetStatic as a freshly cold-taxed isolate,
+// and blocked targets must fail identically on both.
+func TestWarmColdEquivalence(t *testing.T) {
+	e := newEnforcer(t)
+	warm := e.NewIsolate("warm")
+	for i := 0; i < 4; i++ { // one cold + three warm traversals
+		e.APITax(warm)
+	}
+	cold := e.NewIsolate("cold")
+	e.APITax(cold)
+
+	for _, id := range e.HotPathIDs() {
+		switch e.analysis.Catalog.Targets[id].Kind {
+		case StaticField:
+			wv, werr := e.GetStatic(warm, id)
+			cv, cerr := e.GetStatic(cold, id)
+			if (werr == nil) != (cerr == nil) {
+				t.Fatalf("target %d: warm err %v, cold err %v", id, werr, cerr)
+			}
+			if wv != cv {
+				t.Fatalf("target %d: warm value %v, cold value %v", id, wv, cv)
+			}
+		case NativeMethod:
+			// Outside the API region the guard must re-engage on both:
+			// warmth memoizes the traversal, not the guard verdicts of
+			// direct unit access.
+			werr := e.InvokeNative(warm, id)
+			cerr := e.InvokeNative(cold, id)
+			if !errors.Is(werr, ErrSecurity) || !errors.Is(cerr, ErrSecurity) {
+				t.Fatalf("target %d: guarded native outside API: warm %v, cold %v", id, werr, cerr)
+			}
+		}
+	}
+
+	// Writes land in replicas on both paths.
+	fid := pickTarget(t, e, StaticField, InterceptReplicate)
+	if err := e.SetStatic(warm, fid, "mine"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.GetStatic(warm, fid); v != any("mine") {
+		t.Fatalf("warm isolate lost its write: %v", v)
+	}
+	if v, _ := e.GetStatic(cold, fid); v == any("mine") {
+		t.Fatal("write leaked across isolates")
+	}
+}
+
+// TestAPITaxWarmAccounting pins the coalesced warm counters: warm
+// traversals stay visible in APICalls and expand into per-interceptor
+// counts, while FieldCopies is charged exactly once.
+func TestAPITaxWarmAccounting(t *testing.T) {
+	e := newEnforcer(t)
+	iso := e.NewIsolate("u")
+	e.APITax(iso) // cold
+	cold := iso.Stats()
+	e.APITax(iso) // warm
+	e.APITax(iso) // warm
+	st := iso.Stats()
+	if st.APICalls != 3 {
+		t.Fatalf("APICalls = %d, want 3", st.APICalls)
+	}
+	if st.FieldCopies != cold.FieldCopies {
+		t.Fatalf("warm pass copied fields: %d -> %d", cold.FieldCopies, st.FieldCopies)
+	}
+	if want := 3 * cold.FieldReads; st.FieldReads != want {
+		t.Fatalf("FieldReads = %d, want %d (3 traversals)", st.FieldReads, want)
+	}
+	if want := 3 * cold.NativeCalls; st.NativeCalls != want {
+		t.Fatalf("NativeCalls = %d, want %d (3 traversals)", st.NativeCalls, want)
+	}
+}
+
+// TestAPITaxNBatch checks the batched tax entry: n API calls are
+// metered through at most two traversals (one cold + one warm sweep),
+// with copies still charged once.
+func TestAPITaxNBatch(t *testing.T) {
+	e := newEnforcer(t)
+	// Reference: one cold traversal's worth of interceptor counts.
+	ref := e.NewIsolate("ref")
+	e.APITax(ref)
+	perTraversal := ref.Stats().FieldReads
+	if perTraversal == 0 {
+		t.Fatal("cold traversal read no fields")
+	}
+
+	iso := e.NewIsolate("u")
+	e.APITaxN(iso, 64)
+	st := iso.Stats()
+	if st.APICalls != 64 {
+		t.Fatalf("APICalls = %d, want 64", st.APICalls)
+	}
+	// Exactly one cold traversal plus one amortised warm sweep — not
+	// 64 traversals.
+	if st.FieldReads != 2*perTraversal {
+		t.Fatalf("FieldReads = %d, want %d (two traversals)", st.FieldReads, 2*perTraversal)
+	}
+	copies := st.FieldCopies
+	e.APITaxN(iso, 100)
+	st = iso.Stats()
+	if st.APICalls != 164 {
+		t.Fatalf("APICalls = %d, want 164", st.APICalls)
+	}
+	if st.FieldCopies != copies {
+		t.Fatalf("batched warm pass recopied fields: %d -> %d", copies, st.FieldCopies)
+	}
+	if e.APITaxN(iso, 0); iso.Stats().APICalls != 164 {
+		t.Fatal("APITaxN(0) metered calls")
+	}
+}
+
+// TestReplicaSlotAssignment checks the plan-time slot table: every
+// intercepted static field gets a unique dense slot, nothing else gets
+// one.
+func TestReplicaSlotAssignment(t *testing.T) {
+	a := Analyze(NewJDKCatalog())
+	slotOf, n := a.ReplicaSlots()
+	if len(slotOf) != len(a.Catalog.Targets) {
+		t.Fatalf("slot table covers %d of %d targets", len(slotOf), len(a.Catalog.Targets))
+	}
+	seen := make(map[int32]int)
+	for id, slot := range slotOf {
+		intercepted := a.Catalog.Targets[id].Kind == StaticField && a.Decisions[id].Intercepted()
+		if intercepted != (slot >= 0) {
+			t.Fatalf("target %d: intercepted=%v but slot=%d", id, intercepted, slot)
+		}
+		if slot >= 0 {
+			if slot >= int32(n) {
+				t.Fatalf("slot %d out of range [0,%d)", slot, n)
+			}
+			if prev, dup := seen[slot]; dup {
+				t.Fatalf("slot %d assigned to both %d and %d", slot, prev, id)
+			}
+			seen[slot] = id
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("assigned %d slots, table reports %d", len(seen), n)
+	}
+	e := NewEnforcer(a)
+	if e.ReplicaSlotCount() != n {
+		t.Fatalf("enforcer slot count %d, analysis %d", e.ReplicaSlotCount(), n)
+	}
+}
+
+// TestConcurrentTaxAndFieldAccess hammers one isolate from several
+// goroutines mixing APITax, APITaxN, GetStatic and SetStatic — the
+// pooled managed-instance shape. Run under -race in CI; correctness
+// checks: replica identity per isolate, copies counted once, API-call
+// accounting exact.
+func TestConcurrentTaxAndFieldAccess(t *testing.T) {
+	e := newEnforcer(t)
+	iso := e.NewIsolate("pooled")
+	rid := pickTarget(t, e, StaticField, InterceptReplicate)
+	did := pickTarget(t, e, StaticField, InterceptDeferredSet)
+
+	const workers = 8
+	const iters = 200
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					e.APITax(iso)
+				case 1:
+					e.APITaxN(iso, 4)
+				case 2:
+					if _, err := e.GetStatic(iso, rid); err != nil {
+						done <- err
+						return
+					}
+					if err := e.SetStatic(iso, did, int64(w)); err != nil {
+						done <- err
+						return
+					}
+				case 3:
+					if v, err := e.GetStatic(iso, did); err != nil {
+						done <- err
+						return
+					} else if _, ok := v.(int64); !ok {
+						done <- errors.New("torn deferred-set replica")
+						return
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := iso.Stats()
+	// Each worker meters iters/4 single + iters/4 batched-by-4 calls.
+	wantCalls := uint64(workers * (iters/4 + iters/4*4))
+	if st.APICalls != wantCalls {
+		t.Fatalf("APICalls = %d, want %d", st.APICalls, wantCalls)
+	}
+}
+
 func TestIsolatesAreIndependentUnderConcurrency(t *testing.T) {
 	e := newEnforcer(t)
 	id := pickTarget(t, e, StaticField, InterceptReplicate)

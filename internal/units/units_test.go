@@ -134,6 +134,121 @@ func TestTryNext(t *testing.T) {
 	}
 }
 
+func TestNextBatchDrainsInOrder(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	i := testInstance(t, done) // QueueCap 4
+	evs := []*events.Event{events.New(1), events.New(2), events.New(3)}
+	for k, e := range evs {
+		if !i.Enqueue(e, uint64(k), true) {
+			t.Fatal("Enqueue failed")
+		}
+	}
+	buf := make([]Delivery, 8)
+	n, err := i.NextBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("drained %d, want 3", n)
+	}
+	for k := 0; k < n; k++ {
+		if buf[k].Event != evs[k] || buf[k].Sub != uint64(k) {
+			t.Fatalf("delivery %d = %+v", k, buf[k])
+		}
+	}
+	if i.QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestNextBatchBoundedByBuffer(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	i := testInstance(t, done)
+	for k := 0; k < 4; k++ {
+		if !i.Enqueue(events.New(uint64(k+1)), 0, true) {
+			t.Fatal("Enqueue failed")
+		}
+	}
+	buf := make([]Delivery, 2)
+	if n, err := i.NextBatch(buf); err != nil || n != 2 {
+		t.Fatalf("first drain = %d, %v", n, err)
+	}
+	if i.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2", i.QueueLen())
+	}
+	if n := i.TryNextBatch(buf); n != 2 {
+		t.Fatalf("second drain = %d, want 2", n)
+	}
+	if n := i.TryNextBatch(buf); n != 0 {
+		t.Fatalf("empty drain = %d, want 0", n)
+	}
+	// A zero-length buffer is a caller bug: error, never a silent
+	// (0, nil) busy-loop.
+	if _, err := i.NextBatch(nil); err == nil {
+		t.Fatal("NextBatch(nil) succeeded")
+	}
+}
+
+func TestNextBatchFreesSpaceForBlockedSender(t *testing.T) {
+	done := make(chan struct{})
+	defer close(done)
+	i := testInstance(t, done) // QueueCap 4
+	for k := 0; k < 4; k++ {
+		i.Enqueue(events.New(uint64(k+1)), 0, true)
+	}
+	sent := make(chan struct{})
+	go func() {
+		i.Enqueue(events.New(99), 0, true) // blocks on the full queue
+		close(sent)
+	}()
+	buf := make([]Delivery, 4)
+	if n, err := i.NextBatch(buf); err != nil || n != 4 {
+		t.Fatalf("drain = %d, %v", n, err)
+	}
+	select {
+	case <-sent:
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch drain did not wake the blocked sender")
+	}
+}
+
+func TestNextBatchUnblocksOnShutdown(t *testing.T) {
+	done := make(chan struct{})
+	i := testInstance(t, done)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := i.NextBatch(make([]Delivery, 4))
+		errc <- err
+	}()
+	close(done)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrTerminated) {
+			t.Fatalf("NextBatch = %v, want ErrTerminated", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("NextBatch did not unblock on shutdown")
+	}
+}
+
+func TestNextBatchDrainsBeforeShutdown(t *testing.T) {
+	done := make(chan struct{})
+	i := testInstance(t, done)
+	i.Enqueue(events.New(1), 0, true)
+	i.Enqueue(events.New(2), 0, true)
+	close(done)
+	buf := make([]Delivery, 8)
+	n, err := i.NextBatch(buf)
+	if err != nil || n != 2 {
+		t.Fatalf("drain after shutdown = %d, %v; want 2 queued deliveries first", n, err)
+	}
+	if _, err := i.NextBatch(buf); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("empty NextBatch after shutdown = %v", err)
+	}
+}
+
 func TestPrivilegesAccess(t *testing.T) {
 	store := tags.NewStore(2)
 	tg := store.Create("t", "u")
