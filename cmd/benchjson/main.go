@@ -1,12 +1,13 @@
 // Command benchjson converts `go test -bench` output (and optionally
-// a figure table produced by defcon-bench) into a machine-readable
+// figure tables produced by defcon-bench) into a machine-readable
 // JSON snapshot. CI's bench-snapshot job runs it to emit
 // BENCH_dispatch.json, which is uploaded as an artifact so the perf
 // trajectory of the dispatch pipeline is tracked per commit.
 //
 //	go test ./internal/dispatch -run xxx -bench . -benchmem | tee bench.txt
 //	defcon-bench -fig 5 -quick | tee fig5.txt
-//	benchjson -bench bench.txt -fig5 fig5.txt -o BENCH_dispatch.json
+//	defcon-bench -fig ob -quick | tee figob.txt
+//	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt -o BENCH_dispatch.json
 package main
 
 import (
@@ -41,15 +42,21 @@ type Snapshot struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Figure     string      `json:"figure,omitempty"`
 	FigPoints  []FigPoint  `json:"fig_points,omitempty"`
+	// Order-book workload series (fills/s per mode), kept separate
+	// from the Figure 5 points because the series names coincide.
+	OrderBookFigure string     `json:"orderbook_figure,omitempty"`
+	OrderBookPoints []FigPoint `json:"orderbook_points,omitempty"`
 }
 
 func main() {
 	var (
-		benchPath = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
-		figPath   = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
-		outPath   = flag.String("o", "BENCH_dispatch.json", "output JSON path")
-		require   = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
-		reqSeries = flag.String("require-series", "", "comma-separated figure series names that must be present")
+		benchPath   = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
+		figPath     = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
+		figOBPath   = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
+		outPath     = flag.String("o", "BENCH_dispatch.json", "output JSON path")
+		require     = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
+		reqSeries   = flag.String("require-series", "", "comma-separated figure series names that must be present")
+		reqOBSeries = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
 	)
 	flag.Parse()
 
@@ -71,17 +78,17 @@ func main() {
 	}
 
 	if *figPath != "" {
-		f, err := os.Open(*figPath)
-		if err != nil {
-			fatal(err)
+		if snap.Figure, snap.FigPoints = parseFigureFile(*figPath); len(snap.FigPoints) == 0 {
+			fatal(fmt.Errorf("no figure points parsed from %s", *figPath))
 		}
-		if err := parseFigure(f, &snap); err != nil {
-			fatal(err)
+	}
+	if *figOBPath != "" {
+		if snap.OrderBookFigure, snap.OrderBookPoints = parseFigureFile(*figOBPath); len(snap.OrderBookPoints) == 0 {
+			fatal(fmt.Errorf("no order-book points parsed from %s", *figOBPath))
 		}
-		f.Close()
 	}
 
-	if err := checkRequired(&snap, *require, *reqSeries); err != nil {
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries); err != nil {
 		fatal(err)
 	}
 
@@ -105,7 +112,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -118,16 +125,24 @@ func checkRequired(snap *Snapshot, benches, series string) error {
 			return fmt.Errorf("required benchmark %q missing from input", want)
 		}
 	}
+	if err := requireSeries(snap.FigPoints, series, "figure"); err != nil {
+		return err
+	}
+	return requireSeries(snap.OrderBookPoints, obSeries, "order-book")
+}
+
+// requireSeries checks each named series appears in at least one point.
+func requireSeries(points []FigPoint, series, what string) error {
 	for _, want := range splitCSV(series) {
 		found := false
-		for _, pt := range snap.FigPoints {
+		for _, pt := range points {
 			if _, ok := pt.Series[want]; ok {
 				found = true
 				break
 			}
 		}
 		if !found {
-			return fmt.Errorf("required figure series %q missing from input", want)
+			return fmt.Errorf("required %s series %q missing from input", what, want)
 		}
 	}
 	return nil
@@ -206,13 +221,29 @@ func parseBench(src *os.File, snap *Snapshot) error {
 	return sc.Err()
 }
 
+// parseFigureFile opens and parses one defcon-bench table file.
+func parseFigureFile(path string) (string, []FigPoint) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	figure, points, err := parseFigure(f)
+	if err != nil {
+		fatal(err)
+	}
+	return figure, points
+}
+
 // parseFigure consumes a defcon-bench table:
 //
 //	# Figure 5 — caption
 //	x          series-a    series-b   (unit)
 //	100        59680.51    61993.43
-func parseFigure(src *os.File, snap *Snapshot) error {
+func parseFigure(src *os.File) (string, []FigPoint, error) {
 	sc := bufio.NewScanner(src)
+	var figure string
+	var points []FigPoint
 	var names []string
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -220,7 +251,7 @@ func parseFigure(src *os.File, snap *Snapshot) error {
 		case line == "":
 			continue
 		case strings.HasPrefix(line, "#"):
-			snap.Figure = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			figure = strings.TrimSpace(strings.TrimPrefix(line, "#"))
 			continue
 		case strings.HasPrefix(line, "x"):
 			names = parseHeader(sc.Text())
@@ -243,9 +274,9 @@ func parseFigure(src *os.File, snap *Snapshot) error {
 				pt.Series[names[i]] = v
 			}
 		}
-		snap.FigPoints = append(snap.FigPoints, pt)
+		points = append(points, pt)
 	}
-	return sc.Err()
+	return figure, points, sc.Err()
 }
 
 // parseHeader recovers the series names from the header row emitted

@@ -7,6 +7,7 @@
 //	defcon-bench -fig 6 -traders 200,400,800     # custom sweep
 //	defcon-bench -fig 8 -agents 2,5,10,20        # baseline throughput
 //	defcon-bench -fig 9 -inprocess               # serialisation-only ablation
+//	defcon-bench -fig ob -ops 50000              # order-book fill rate
 //	defcon-bench -analysis                       # §4.2 pipeline counts
 //	defcon-bench -fig all -quick                 # fast smoke of everything
 //
@@ -30,11 +31,12 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9 or all")
-		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob or all")
+		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
 		agents    = flag.String("agents", "", "comma-separated agent counts (figures 8-9)")
 		duration  = flag.Duration("duration", 2*time.Second, "measurement duration per throughput point")
 		rate      = flag.Float64("rate", 0, "offered tick rate for latency figures (0 = default)")
+		ops       = flag.Int("ops", 0, "order-flow length per order-book point (0 = default)")
 		inprocess = flag.Bool("inprocess", false, "host baseline agents on goroutines instead of processes")
 		quick     = flag.Bool("quick", false, "small fast sweep (smoke test scale)")
 		analysis  = flag.Bool("analysis", false, "print the §4.2 isolation-analysis report")
@@ -51,12 +53,14 @@ func main() {
 
 	dopts := bench.DEFConOpts{Duration: *duration}
 	bopts := bench.BaselineOpts{Duration: *duration}
+	oopts := bench.OrderBookOpts{Ops: *ops}
 	if *rate > 0 {
 		dopts.LatencyRate = *rate
 		bopts.LatencyRate = *rate
 	}
 	if *traders != "" {
 		dopts.Traders = parseInts(*traders)
+		oopts.Traders = parseInts(*traders)
 	}
 	if *agents != "" {
 		bopts.ThroughputAgents = parseInts(*agents)
@@ -74,6 +78,8 @@ func main() {
 		bopts.LatencyAgents = []int{5, 10, 20}
 		bopts.Duration = 500 * time.Millisecond
 		bopts.LatencyTicks = 1000
+		oopts.Traders = []int{16, 32}
+		oopts.Ops = 8000
 	}
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
@@ -87,6 +93,7 @@ func main() {
 		{"7", func() (bench.Result, error) { return bench.RunFig7(dopts) }},
 		{"8", func() (bench.Result, error) { return bench.RunFig8(bopts) }},
 		{"9", func() (bench.Result, error) { return bench.RunFig9(bopts) }},
+		{"ob", func() (bench.Result, error) { return bench.RunOrderBook(oopts) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -102,7 +109,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9 or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob or all)\n", *fig)
 		os.Exit(2)
 	}
 }

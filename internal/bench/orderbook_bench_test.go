@@ -1,0 +1,105 @@
+package bench
+
+// Order-book workload benchmark: the dark pool clearing order flow
+// through the price-time book in every security mode, reporting
+//
+//	fills/s    – completed fills per wall-clock second
+//	depth_p99  – 99th-percentile book depth (resting orders) sampled
+//	             after each processed order
+//	ns/op      – per submitted order-flow op
+//
+// Run with:
+//
+//	go test ./internal/bench -run xxx -bench BenchmarkOrderBook -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+const orderBookBenchTraders = 48
+
+// runOrderBookOnce replays n flow ops and returns fills, depth
+// histogram and elapsed wall time.
+func runOrderBookOnce(tb testing.TB, mode core.SecurityMode, n int) (uint64, *metrics.Histogram, time.Duration) {
+	tb.Helper()
+	h := metrics.NewHistogram()
+	p, err := trading.New(trading.Config{
+		Mode:        mode,
+		NumTraders:  orderBookBenchTraders,
+		Universe:    workload.NewUniverse(4),
+		Seed:        1,
+		OrderTTL:    time.Minute,
+		Enforcer:    SharedEnforcer(),
+		OnBookDepth: func(d int) { h.Record(int64(d)) },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer p.Close()
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+		Traders:       orderBookBenchTraders,
+		AggressionPct: 50,
+	}, 7)
+	ops := flow.Take(n)
+	start := time.Now()
+	p.ReplayOrders(ops)
+	if !p.Quiesce(60 * time.Second) {
+		tb.Fatal("order-book bench did not quiesce")
+	}
+	return p.Broker.Trades(), h, time.Since(start)
+}
+
+func BenchmarkOrderBook(b *testing.B) {
+	for _, mode := range dispatchBenchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			fills, h, elapsed := runOrderBookOnce(b, mode, b.N)
+			b.StopTimer()
+			if s := elapsed.Seconds(); s > 0 {
+				b.ReportMetric(float64(fills)/s, "fills/s")
+			}
+			b.ReportMetric(float64(h.Percentile(99)), "depth_p99")
+		})
+	}
+}
+
+// TestOrderBookBenchHarness smoke-tests the harness (and RunOrderBook)
+// at tiny scale so CI catches bit-rot without a full benchmark run.
+func TestOrderBookBenchHarness(t *testing.T) {
+	fills, h, _ := runOrderBookOnce(t, core.LabelsFreeze, 2000)
+	if fills == 0 {
+		t.Fatal("harness produced no fills")
+	}
+	if h.Count() == 0 {
+		t.Fatal("depth histogram empty")
+	}
+	res, err := RunOrderBook(OrderBookOpts{
+		Traders: []int{8},
+		Modes:   []core.SecurityMode{core.NoSecurity, core.LabelsFreezeIsolation},
+		Ops:     1500,
+		Pairs:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series: %+v", res.Series)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Fatalf("series %s has no fill rate: %+v", s.Name, s.Points)
+		}
+	}
+	// The table must round-trip through the benchjson header parser:
+	// render and eyeball the row count.
+	if out := res.Format(); len(out) == 0 {
+		t.Fatal("empty format")
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// OrderBookOpts parameterise the order-book workload sweep: the
+// dark pool clearing a limit/market/cancel order-flow trace through
+// the price-time book, per security mode. This is the scenario that
+// stresses the per-fill label merges and per-book-mutation isolation
+// tax directly, without the pairs-monitor stage in front.
+type OrderBookOpts struct {
+	// Traders lists the x-axis points (default 16..128).
+	Traders []int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Ops is the order-flow length per measurement point (default
+	// 30,000).
+	Ops int
+	// Pairs sizes the symbol universe (default 8 pairs, 16 symbols).
+	Pairs int
+	// Flow shapes the trace; the Traders field is overridden per
+	// point. Zero-value fields take workload defaults.
+	Flow workload.FlowConfig
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (o *OrderBookOpts) defaults() {
+	if len(o.Traders) == 0 {
+		o.Traders = []int{16, 32, 64, 128}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Ops == 0 {
+		o.Ops = 30000
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunOrderBook measures dark-pool fill throughput on the order-flow
+// workload: fills/s per security mode as the trader population grows.
+// The replay driver pushes the trace as fast as the platform accepts
+// it; the measurement covers replay plus drain (Quiesce), so the
+// number is end-to-end fills per wall-clock second.
+func RunOrderBook(o OrderBookOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Order book",
+		Caption: "dark-pool fill rate vs number of traders on the order-flow workload",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Name: mode.String(), Unit: "fills/s"}
+		for _, n := range o.Traders {
+			p, err := trading.New(trading.Config{
+				Mode:       mode,
+				NumTraders: n,
+				Universe:   workload.NewUniverse(o.Pairs),
+				Seed:       o.Seed,
+				// Flow replay outpaces wall-clock expiry wildly; a
+				// long TTL keeps the measurement about matching, not
+				// eviction of a backlogged queue.
+				OrderTTL: time.Minute,
+				Enforcer: SharedEnforcer(),
+			})
+			if err != nil {
+				return res, err
+			}
+			flowCfg := o.Flow
+			flowCfg.Traders = n
+			flow := workload.NewOrderFlow(p.Universe(), flowCfg, o.Seed+5)
+			ops := flow.Take(o.Ops)
+			start := time.Now()
+			p.ReplayOrders(ops)
+			if !p.Quiesce(30 * time.Second) {
+				p.Close()
+				return res, fmt.Errorf("order-book point %s/%d did not quiesce", mode, n)
+			}
+			elapsed := time.Since(start)
+			fills := p.Broker.Trades()
+			p.Close()
+			s.Points = append(s.Points, Point{X: n, Y: float64(fills) / elapsed.Seconds()})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

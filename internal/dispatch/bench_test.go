@@ -42,6 +42,7 @@ func (s *sinkReceiver) EnqueueBatch(ds []events.QueuedDelivery, block bool) int 
 	s.n.Add(uint64(len(ds)))
 	return len(ds)
 }
+
 // benchSetup subscribes nSubs receivers, each on a distinct equality
 // symbol, plus one non-indexable scan subscription, and returns events
 // cycling over the symbols.

@@ -1,0 +1,65 @@
+package orderbook
+
+// Engine micro-benchmarks. BookFillRoundtrip is the zero-alloc claim:
+// steady-state rest+cross pairs must not allocate. BookSweep measures
+// a taker clearing a ladder of small makers — the partial-fill hot
+// path the order-flow workload exercises.
+//
+//	go test ./internal/orderbook -run xxx -bench BenchmarkBook -benchmem
+
+import (
+	"testing"
+)
+
+func BenchmarkBookFillRoundtrip(b *testing.B) {
+	bk := New()
+	ow := Owner{Name: "bench"}
+	id := int64(0)
+	for i := 0; i < 64; i++ { // warm the pools
+		id += 2
+		bk.Limit(id, Ask, 100, 7, ow, id, nil)
+		bk.Limit(id+1, Bid, 100, 7, ow, id+1, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id += 2
+		bk.Limit(id, Ask, 100, 7, ow, id, nil)
+		if f, _ := bk.Limit(id+1, Bid, 100, 7, ow, id+1, nil); f != 7 {
+			b.Fatal("missed cross")
+		}
+	}
+}
+
+func BenchmarkBookSweep(b *testing.B) {
+	bk := New()
+	ow := Owner{Name: "bench"}
+	id := int64(0)
+	const makers = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < makers; j++ {
+			id++
+			bk.Limit(id, Ask, int64(100+j%4), 10, ow, id, nil)
+		}
+		id++
+		if f := bk.Market(Bid, makers*10, nil); f != makers*10 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkBookCancel(b *testing.B) {
+	bk := New()
+	ow := Owner{Name: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(i + 1)
+		bk.Limit(id, Bid, int64(90+i%8), 5, ow, id, nil)
+		if !bk.Cancel(id) {
+			b.Fatal("cancel missed")
+		}
+	}
+}

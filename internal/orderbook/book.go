@@ -1,0 +1,542 @@
+// Package orderbook implements the dark pool's matching engine: a
+// price-time-priority limit order book with partial fills.
+//
+// Each Book holds one symbol's resting interest as two ladders of
+// price levels — bids best (highest) first, asks best (lowest) first —
+// with a FIFO queue of orders inside every level. An incoming order
+// matches against the best opposite levels in price order and against
+// orders within a level in arrival order; whatever quantity remains of
+// a limit order rests at its price. Cancels and amends address resting
+// orders by ID; TTL expiry is folded into the level structure (orders
+// within a level age head-first, so expiry pops stale heads without
+// scanning).
+//
+// The engine is written for the Broker's managed-instance hot path
+// (one goroutine per book, see trading.Broker): it is deliberately
+// NOT safe for concurrent use, and it recycles order and level structs
+// through internal free lists so that a steady-state fill performs no
+// allocation — the labels+freeze+isolation fast path stays zero-alloc
+// per fill.
+package orderbook
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tags"
+)
+
+// Side is the side of the book an order belongs to.
+type Side int8
+
+const (
+	// Bid is buying interest: priced descending, crosses asks at or
+	// below its limit.
+	Bid Side = iota
+	// Ask is selling interest: priced ascending, crosses bids at or
+	// above its limit.
+	Ask
+)
+
+// Opposite returns the other side.
+func (s Side) Opposite() Side { return 1 - s }
+
+// String renders the side in the event vocabulary's spelling.
+func (s Side) String() string {
+	if s == Bid {
+		return "bid"
+	}
+	return "ask"
+}
+
+// SideOf parses the event vocabulary's side spelling.
+func SideOf(s string) (Side, bool) {
+	switch s {
+	case "bid":
+		return Bid, true
+	case "ask":
+		return Ask, true
+	}
+	return 0, false
+}
+
+// Owner is opaque counterparty metadata the trading layer threads
+// through the book: the engine never inspects it, but every fill and
+// eviction hands it back so the Broker can publish trades and release
+// per-order delegation authority without a side lookup.
+type Owner struct {
+	// Name is the owning trader's platform name.
+	Name string
+	// Tag is the per-order confidentiality tag tr protecting the
+	// owner's identity parts.
+	Tag tags.Tag
+	// Strat is the owner's durable strategy-tag reference.
+	Strat tags.Tag
+	// Stamp is the originating tick time (latency accounting).
+	Stamp int64
+}
+
+// Order is one resting order. Orders are owned by the book and pooled:
+// pointers handed to FillFunc and eviction callbacks are valid only
+// for the duration of the callback.
+type Order struct {
+	ID    int64
+	Side  Side
+	Price int64
+	// Qty is the remaining open quantity. Inside a FillFunc callback
+	// it is already reduced by the fill, so Qty == 0 means the fill
+	// completed the order.
+	Qty int64
+	// Entered is the book-entry time (TTL accounting). Within a level
+	// it is non-decreasing head→tail, which is what lets Expire pop
+	// stale orders without scanning whole queues.
+	Entered int64
+	Owner   Owner
+
+	level      *level
+	prev, next *Order
+}
+
+// level is one price level: a FIFO queue of resting orders plus
+// aggregates. Levels are pooled alongside orders.
+type level struct {
+	price      int64
+	head, tail *Order
+	count      int
+	qty        int64
+	free       *level
+}
+
+// ladder is one side's price levels, kept sorted best-first, plus
+// side-wide aggregates so depth queries are O(1).
+type ladder struct {
+	levels []*level
+	count  int
+	qty    int64
+}
+
+// FillFunc observes one fill during matching: maker is the resting
+// order (its Qty already reduced by qty), price is the maker's level
+// price, qty the filled quantity. The callback must not call back into
+// the Book, and must not retain maker past its return.
+type FillFunc func(maker *Order, price, qty int64)
+
+// EvictFunc observes one TTL eviction; same pointer rules as FillFunc.
+type EvictFunc func(*Order)
+
+// Book is one symbol's limit order book. Not safe for concurrent use.
+type Book struct {
+	bids, asks ladder
+	byID       map[int64]*Order
+
+	freeOrders *Order
+	freeLevels *level
+}
+
+// New creates an empty book.
+func New() *Book {
+	return &Book{byID: make(map[int64]*Order)}
+}
+
+// ladderFor returns the ladder holding side's resting orders.
+func (b *Book) ladderFor(s Side) *ladder {
+	if s == Bid {
+		return &b.bids
+	}
+	return &b.asks
+}
+
+// crosses reports whether a taker at takerPrice crosses a maker level
+// at makerPrice.
+func crosses(taker Side, takerPrice, makerPrice int64) bool {
+	if taker == Bid {
+		return takerPrice >= makerPrice
+	}
+	return takerPrice <= makerPrice
+}
+
+// better reports whether price a has strictly higher priority than b
+// on side s.
+func better(s Side, a, b int64) bool {
+	if s == Bid {
+		return a > b
+	}
+	return a < b
+}
+
+// Limit submits a limit order: it matches against the opposite side
+// while the book crosses, then rests any residual at its price level.
+// Non-positive price or quantity and duplicate IDs are rejected whole
+// (no partial application). Returns the filled quantity and whether a
+// residual rested.
+func (b *Book) Limit(id int64, side Side, price, qty int64, ow Owner, now int64, fill FillFunc) (filled int64, rested bool) {
+	if price <= 0 || qty <= 0 || b.byID[id] != nil {
+		return 0, false
+	}
+	filled = b.take(side, price, true, qty, fill)
+	if rem := qty - filled; rem > 0 {
+		b.rest(id, side, price, rem, ow, now)
+		return filled, true
+	}
+	return filled, false
+}
+
+// Market submits a market order: it matches against the opposite side
+// regardless of price until the quantity is done or the book is empty;
+// any remainder is discarded, never rested.
+func (b *Book) Market(side Side, qty int64, fill FillFunc) (filled int64) {
+	if qty <= 0 {
+		return 0
+	}
+	return b.take(side, 0, false, qty, fill)
+}
+
+// Cancel removes the resting order with the given ID. Returns false if
+// no such order rests (already filled, expired or never rested) — a
+// canceled order can never fill afterwards.
+func (b *Book) Cancel(id int64) bool {
+	o := b.byID[id]
+	if o == nil {
+		return false
+	}
+	b.removeResting(o)
+	return true
+}
+
+// Amend modifies a resting order. A quantity reduction at the same
+// price amends in place and keeps time priority; a reprice or quantity
+// increase loses priority — the order is pulled and re-enters as fresh
+// interest (it may immediately match, reported through fill). Returns
+// the re-entry fill quantity and whether the order existed.
+func (b *Book) Amend(id int64, price, qty int64, now int64, fill FillFunc) (filled int64, ok bool) {
+	o := b.byID[id]
+	if o == nil || price <= 0 || qty <= 0 {
+		return 0, false
+	}
+	if price == o.Price && qty <= o.Qty {
+		delta := o.Qty - qty
+		o.Qty = qty
+		o.level.qty -= delta
+		b.ladderFor(o.Side).qty -= delta
+		return 0, true
+	}
+	side, ow := o.Side, o.Owner
+	b.removeResting(o)
+	filled, _ = b.Limit(id, side, price, qty, ow, now, fill)
+	return filled, true
+}
+
+// Lookup returns the resting order with the given ID, or nil. The
+// pointer is owned by the book: valid only until the next mutating
+// call.
+func (b *Book) Lookup(id int64) *Order { return b.byID[id] }
+
+// Expire removes every resting order entered before cutoff, invoking
+// evict for each. Orders age head-first within a level, so each level
+// pays only for its stale prefix. Returns the number evicted.
+func (b *Book) Expire(cutoff int64, evict EvictFunc) int {
+	return b.expireSide(&b.bids, cutoff, evict) + b.expireSide(&b.asks, cutoff, evict)
+}
+
+func (b *Book) expireSide(lad *ladder, cutoff int64, evict EvictFunc) int {
+	removed := 0
+	for i := 0; i < len(lad.levels); {
+		lv := lad.levels[i]
+		for lv.head != nil && lv.head.Entered < cutoff {
+			o := lv.head
+			if evict != nil {
+				evict(o)
+			}
+			lv.head = o.next
+			if lv.head == nil {
+				lv.tail = nil
+			} else {
+				lv.head.prev = nil
+			}
+			lv.count--
+			lv.qty -= o.Qty
+			lad.count--
+			lad.qty -= o.Qty
+			delete(b.byID, o.ID)
+			b.recycleOrder(o)
+			removed++
+		}
+		if lv.count == 0 {
+			lad.removeAt(i)
+			b.recycleLevel(lv)
+		} else {
+			i++
+		}
+	}
+	return removed
+}
+
+// take matches an incoming taker against the opposite ladder. priced
+// limits matching to levels the taker's price crosses; market orders
+// pass priced=false and sweep everything.
+func (b *Book) take(side Side, price int64, priced bool, qty int64, fill FillFunc) int64 {
+	opp := b.ladderFor(side.Opposite())
+	var filled int64
+	for qty > 0 && len(opp.levels) > 0 {
+		lv := opp.levels[0]
+		if priced && !crosses(side, price, lv.price) {
+			break
+		}
+		for qty > 0 && lv.head != nil {
+			maker := lv.head
+			n := maker.Qty
+			if qty < n {
+				n = qty
+			}
+			maker.Qty -= n
+			lv.qty -= n
+			opp.qty -= n
+			qty -= n
+			filled += n
+			if fill != nil {
+				fill(maker, lv.price, n)
+			}
+			if maker.Qty == 0 {
+				lv.head = maker.next
+				if lv.head == nil {
+					lv.tail = nil
+				} else {
+					lv.head.prev = nil
+				}
+				lv.count--
+				opp.count--
+				delete(b.byID, maker.ID)
+				b.recycleOrder(maker)
+			}
+		}
+		if lv.count == 0 {
+			opp.removeAt(0)
+			b.recycleLevel(lv)
+		}
+	}
+	return filled
+}
+
+// rest enters a residual at its price level, creating the level if
+// needed.
+func (b *Book) rest(id int64, side Side, price, qty int64, ow Owner, now int64) {
+	lad := b.ladderFor(side)
+	i, found := lad.locate(side, price)
+	var lv *level
+	if found {
+		lv = lad.levels[i]
+	} else {
+		lv = b.newLevel(price)
+		lad.levels = append(lad.levels, nil)
+		copy(lad.levels[i+1:], lad.levels[i:])
+		lad.levels[i] = lv
+	}
+	o := b.newOrder()
+	o.ID, o.Side, o.Price, o.Qty, o.Entered, o.Owner = id, side, price, qty, now, ow
+	o.level = lv
+	if lv.tail == nil {
+		lv.head, lv.tail = o, o
+	} else {
+		o.prev = lv.tail
+		lv.tail.next = o
+		lv.tail = o
+	}
+	lv.count++
+	lv.qty += qty
+	lad.count++
+	lad.qty += qty
+	b.byID[id] = o
+}
+
+// removeResting unlinks a resting order (cancel/amend path) and
+// recycles it, dropping its level if emptied.
+func (b *Book) removeResting(o *Order) {
+	lv := o.level
+	if o.prev != nil {
+		o.prev.next = o.next
+	} else {
+		lv.head = o.next
+	}
+	if o.next != nil {
+		o.next.prev = o.prev
+	} else {
+		lv.tail = o.prev
+	}
+	lv.count--
+	lv.qty -= o.Qty
+	lad := b.ladderFor(o.Side)
+	lad.count--
+	lad.qty -= o.Qty
+	delete(b.byID, o.ID)
+	if lv.count == 0 {
+		if i, found := lad.locate(o.Side, lv.price); found {
+			lad.removeAt(i)
+		}
+		b.recycleLevel(lv)
+	}
+	b.recycleOrder(o)
+}
+
+// locate finds the index of price in the ladder, or the insertion
+// index preserving best-first order.
+func (l *ladder) locate(side Side, price int64) (int, bool) {
+	i := sort.Search(len(l.levels), func(i int) bool {
+		return !better(side, l.levels[i].price, price)
+	})
+	if i < len(l.levels) && l.levels[i].price == price {
+		return i, true
+	}
+	return i, false
+}
+
+// removeAt drops the level at index i, keeping slice capacity.
+func (l *ladder) removeAt(i int) {
+	copy(l.levels[i:], l.levels[i+1:])
+	l.levels[len(l.levels)-1] = nil
+	l.levels = l.levels[:len(l.levels)-1]
+}
+
+// pooling
+
+func (b *Book) newOrder() *Order {
+	if o := b.freeOrders; o != nil {
+		b.freeOrders = o.next
+		*o = Order{}
+		return o
+	}
+	return &Order{}
+}
+
+func (b *Book) recycleOrder(o *Order) {
+	*o = Order{next: b.freeOrders}
+	b.freeOrders = o
+}
+
+func (b *Book) newLevel(price int64) *level {
+	if lv := b.freeLevels; lv != nil {
+		b.freeLevels = lv.free
+		*lv = level{price: price}
+		return lv
+	}
+	return &level{price: price}
+}
+
+func (b *Book) recycleLevel(lv *level) {
+	*lv = level{free: b.freeLevels}
+	b.freeLevels = lv
+}
+
+// accessors
+
+// Best returns the side's best price and that level's total quantity.
+func (b *Book) Best(side Side) (price, qty int64, ok bool) {
+	lad := b.ladderFor(side)
+	if len(lad.levels) == 0 {
+		return 0, 0, false
+	}
+	lv := lad.levels[0]
+	return lv.price, lv.qty, true
+}
+
+// Resting reports one side's resting order count and total quantity.
+func (b *Book) Resting(side Side) (orders int, qty int64) {
+	lad := b.ladderFor(side)
+	return lad.count, lad.qty
+}
+
+// RestingOrders reports the total resting order count across both
+// sides — the book's depth, as the bench harness samples it.
+func (b *Book) RestingOrders() int { return b.bids.count + b.asks.count }
+
+// Levels reports the number of populated price levels on a side.
+func (b *Book) Levels(side Side) int { return len(b.ladderFor(side).levels) }
+
+// snapshots
+
+// OrderSnap is one resting order in a snapshot.
+type OrderSnap struct {
+	ID, Qty int64
+}
+
+// LevelSnap is one price level in a snapshot, orders in time priority.
+type LevelSnap struct {
+	Side   Side
+	Price  int64
+	Orders []OrderSnap
+}
+
+// Snapshot copies the book's resting state: bid levels best-first,
+// then ask levels best-first. Tests use it to compare book states
+// across replay paths.
+func (b *Book) Snapshot() []LevelSnap {
+	out := make([]LevelSnap, 0, len(b.bids.levels)+len(b.asks.levels))
+	for _, side := range [2]Side{Bid, Ask} {
+		for _, lv := range b.ladderFor(side).levels {
+			ls := LevelSnap{Side: side, Price: lv.price, Orders: make([]OrderSnap, 0, lv.count)}
+			for o := lv.head; o != nil; o = o.next {
+				ls.Orders = append(ls.Orders, OrderSnap{ID: o.ID, Qty: o.Qty})
+			}
+			out = append(out, ls)
+		}
+	}
+	return out
+}
+
+// Validate checks every structural invariant of the book; property and
+// fuzz tests call it after each operation. It returns the first
+// violation found, or nil.
+func (b *Book) Validate() error {
+	total := 0
+	for _, side := range [2]Side{Bid, Ask} {
+		lad := b.ladderFor(side)
+		count, qty := 0, int64(0)
+		for i, lv := range lad.levels {
+			if i > 0 && !better(side, lad.levels[i-1].price, lv.price) {
+				return fmt.Errorf("%v ladder out of order at %d: %d then %d", side, i, lad.levels[i-1].price, lv.price)
+			}
+			if lv.count == 0 || lv.head == nil {
+				return fmt.Errorf("%v level %d empty but present", side, lv.price)
+			}
+			lvCount, lvQty := 0, int64(0)
+			var prev *Order
+			for o := lv.head; o != nil; o = o.next {
+				if o.prev != prev {
+					return fmt.Errorf("order %d has broken back-link", o.ID)
+				}
+				if o.level != lv || o.Side != side || o.Price != lv.price {
+					return fmt.Errorf("order %d misfiled: side=%v price=%d in %v level %d", o.ID, o.Side, o.Price, side, lv.price)
+				}
+				if o.Qty <= 0 {
+					return fmt.Errorf("order %d rests with qty %d", o.ID, o.Qty)
+				}
+				if b.byID[o.ID] != o {
+					return fmt.Errorf("order %d not indexed", o.ID)
+				}
+				lvCount++
+				lvQty += o.Qty
+				prev = o
+			}
+			if lv.tail != prev {
+				return fmt.Errorf("%v level %d tail mismatch", side, lv.price)
+			}
+			if lvCount != lv.count || lvQty != lv.qty {
+				return fmt.Errorf("%v level %d aggregates: count %d/%d qty %d/%d", side, lv.price, lvCount, lv.count, lvQty, lv.qty)
+			}
+			count += lvCount
+			qty += lvQty
+		}
+		if count != lad.count || qty != lad.qty {
+			return fmt.Errorf("%v ladder aggregates: count %d/%d qty %d/%d", side, count, lad.count, qty, lad.qty)
+		}
+		total += count
+	}
+	if total != len(b.byID) {
+		return fmt.Errorf("index holds %d orders, ladders hold %d", len(b.byID), total)
+	}
+	if bb, _, okB := b.Best(Bid); okB {
+		if ba, _, okA := b.Best(Ask); okA && bb >= ba {
+			return fmt.Errorf("book crossed: best bid %d >= best ask %d", bb, ba)
+		}
+	}
+	return nil
+}

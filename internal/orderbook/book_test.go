@@ -1,0 +1,264 @@
+package orderbook
+
+import (
+	"testing"
+)
+
+type fill struct {
+	maker      int64
+	price, qty int64
+}
+
+// collect returns a FillFunc appending to *out.
+func collect(out *[]fill) FillFunc {
+	return func(m *Order, price, qty int64) {
+		*out = append(*out, fill{maker: m.ID, price: price, qty: qty})
+	}
+}
+
+func mustValid(t *testing.T, b *Book) {
+	t.Helper()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPricePriorityAcrossLevels(t *testing.T) {
+	b := New()
+	b.Limit(1, Ask, 105, 10, Owner{}, 1, nil)
+	b.Limit(2, Ask, 103, 10, Owner{}, 2, nil)
+	b.Limit(3, Ask, 104, 10, Owner{}, 3, nil)
+	mustValid(t, b)
+
+	var fills []fill
+	filled, rested := b.Limit(4, Bid, 104, 25, Owner{}, 4, collect(&fills))
+	if filled != 20 || !rested {
+		t.Fatalf("filled=%d rested=%v", filled, rested)
+	}
+	want := []fill{{2, 103, 10}, {3, 104, 10}}
+	if len(fills) != len(want) {
+		t.Fatalf("fills %+v", fills)
+	}
+	for i := range want {
+		if fills[i] != want[i] {
+			t.Fatalf("fill %d = %+v, want %+v", i, fills[i], want[i])
+		}
+	}
+	// The 105 ask never crossed; the bid's residual rests at 104.
+	if price, qty, ok := b.Best(Bid); !ok || price != 104 || qty != 5 {
+		t.Fatalf("residual: price=%d qty=%d ok=%v", price, qty, ok)
+	}
+	mustValid(t, b)
+}
+
+func TestResidualRestsAtItsLevel(t *testing.T) {
+	b := New()
+	b.Limit(1, Ask, 100, 30, Owner{}, 1, nil)
+	var fills []fill
+	filled, rested := b.Limit(2, Bid, 101, 50, Owner{}, 2, collect(&fills))
+	if filled != 30 || !rested {
+		t.Fatalf("filled=%d rested=%v", filled, rested)
+	}
+	price, qty, ok := b.Best(Bid)
+	if !ok || price != 101 || qty != 20 {
+		t.Fatalf("residual best bid %d qty %d ok=%v", price, qty, ok)
+	}
+	if o := b.Lookup(2); o == nil || o.Qty != 20 || o.Price != 101 {
+		t.Fatalf("residual lookup %+v", o)
+	}
+	mustValid(t, b)
+}
+
+func TestTimePriorityWithinLevel(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 100, 10, Owner{}, 1, nil)
+	b.Limit(2, Bid, 100, 10, Owner{}, 2, nil)
+	b.Limit(3, Bid, 100, 10, Owner{}, 3, nil)
+	var fills []fill
+	b.Limit(4, Ask, 100, 15, Owner{}, 4, collect(&fills))
+	if len(fills) != 2 || fills[0].maker != 1 || fills[0].qty != 10 || fills[1].maker != 2 || fills[1].qty != 5 {
+		t.Fatalf("fills %+v", fills)
+	}
+	if o := b.Lookup(2); o == nil || o.Qty != 5 {
+		t.Fatal("partially filled maker lost or wrong qty")
+	}
+	mustValid(t, b)
+}
+
+func TestCancelThenFillImpossible(t *testing.T) {
+	b := New()
+	b.Limit(1, Ask, 100, 10, Owner{}, 1, nil)
+	b.Limit(2, Ask, 100, 10, Owner{}, 2, nil)
+	if !b.Cancel(1) {
+		t.Fatal("cancel failed")
+	}
+	if b.Cancel(1) {
+		t.Fatal("double cancel succeeded")
+	}
+	var fills []fill
+	b.Limit(3, Bid, 100, 20, Owner{}, 3, collect(&fills))
+	for _, f := range fills {
+		if f.maker == 1 {
+			t.Fatalf("canceled order filled: %+v", f)
+		}
+	}
+	if len(fills) != 1 || fills[0].maker != 2 {
+		t.Fatalf("fills %+v", fills)
+	}
+	mustValid(t, b)
+}
+
+func TestMarketSweepsAndDiscardsRemainder(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 99, 10, Owner{}, 1, nil)
+	b.Limit(2, Bid, 98, 10, Owner{}, 2, nil)
+	var fills []fill
+	filled := b.Market(Ask, 50, collect(&fills))
+	if filled != 20 {
+		t.Fatalf("market filled %d", filled)
+	}
+	if n, q := b.Resting(Bid); n != 0 || q != 0 {
+		t.Fatalf("bids remain: %d/%d", n, q)
+	}
+	if n, _ := b.Resting(Ask); n != 0 {
+		t.Fatal("market remainder rested")
+	}
+	if fills[0].maker != 1 || fills[0].price != 99 || fills[1].maker != 2 || fills[1].price != 98 {
+		t.Fatalf("fills %+v", fills)
+	}
+	mustValid(t, b)
+}
+
+func TestAmendQtyDownKeepsPriority(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 100, 30, Owner{}, 1, nil)
+	b.Limit(2, Bid, 100, 30, Owner{}, 2, nil)
+	if _, ok := b.Amend(1, 100, 10, 3, nil); !ok {
+		t.Fatal("amend failed")
+	}
+	var fills []fill
+	b.Limit(3, Ask, 100, 10, Owner{}, 4, collect(&fills))
+	if len(fills) != 1 || fills[0].maker != 1 {
+		t.Fatalf("amended order lost priority: %+v", fills)
+	}
+	mustValid(t, b)
+}
+
+func TestAmendRepriceLosesPriorityAndMayFill(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 100, 10, Owner{}, 1, nil)
+	b.Limit(2, Ask, 105, 10, Owner{}, 2, nil)
+	var fills []fill
+	filled, ok := b.Amend(1, 105, 10, 3, collect(&fills))
+	if !ok || filled != 10 {
+		t.Fatalf("reprice-to-cross: filled=%d ok=%v", filled, ok)
+	}
+	if len(fills) != 1 || fills[0].maker != 2 {
+		t.Fatalf("fills %+v", fills)
+	}
+	if b.RestingOrders() != 0 {
+		t.Fatal("book not empty after crossing amend")
+	}
+	mustValid(t, b)
+}
+
+func TestExpirePopsStaleHeads(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 100, 10, Owner{}, 10, nil)
+	b.Limit(2, Bid, 100, 10, Owner{}, 20, nil)
+	b.Limit(3, Bid, 99, 10, Owner{}, 5, nil)
+	b.Limit(4, Ask, 110, 10, Owner{}, 12, nil)
+	var evicted []int64
+	n := b.Expire(15, func(o *Order) { evicted = append(evicted, o.ID) })
+	if n != 3 {
+		t.Fatalf("expired %d, want 3 (ids %v)", n, evicted)
+	}
+	for _, id := range []int64{1, 3, 4} {
+		if b.Lookup(id) != nil {
+			t.Fatalf("stale order %d survived", id)
+		}
+	}
+	if b.Lookup(2) == nil {
+		t.Fatal("fresh order evicted")
+	}
+	if b.Levels(Bid) != 1 || b.Levels(Ask) != 0 {
+		t.Fatalf("levels after expiry: %d bid, %d ask", b.Levels(Bid), b.Levels(Ask))
+	}
+	mustValid(t, b)
+}
+
+func TestRejects(t *testing.T) {
+	b := New()
+	if f, r := b.Limit(1, Bid, 0, 10, Owner{}, 1, nil); f != 0 || r {
+		t.Fatal("zero price accepted")
+	}
+	if f, r := b.Limit(1, Bid, 100, 0, Owner{}, 1, nil); f != 0 || r {
+		t.Fatal("zero qty accepted")
+	}
+	b.Limit(1, Bid, 100, 10, Owner{}, 1, nil)
+	if f, r := b.Limit(1, Bid, 101, 10, Owner{}, 2, nil); f != 0 || r {
+		t.Fatal("duplicate id accepted")
+	}
+	if b.Market(Ask, 0, nil) != 0 {
+		t.Fatal("zero-qty market filled")
+	}
+	if _, ok := b.Amend(99, 100, 10, 1, nil); ok {
+		t.Fatal("amend of unknown id succeeded")
+	}
+	mustValid(t, b)
+}
+
+func TestSnapshotShape(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 100, 10, Owner{}, 1, nil)
+	b.Limit(2, Bid, 99, 20, Owner{}, 2, nil)
+	b.Limit(3, Ask, 101, 30, Owner{}, 3, nil)
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap[0].Side != Bid || snap[0].Price != 100 || snap[1].Price != 99 {
+		t.Fatalf("bid order wrong: %+v", snap[:2])
+	}
+	if snap[2].Side != Ask || snap[2].Price != 101 || snap[2].Orders[0].Qty != 30 {
+		t.Fatalf("ask snap wrong: %+v", snap[2])
+	}
+}
+
+// TestSteadyStateFillDoesNotAllocate pins the zero-alloc fill claim:
+// once the pools are warm, a rest+cross round trip performs no heap
+// allocation. A small tolerance absorbs rare map-internal rehashing.
+func TestSteadyStateFillDoesNotAllocate(t *testing.T) {
+	b := New()
+	id := int64(0)
+	round := func() {
+		id += 2
+		b.Limit(id, Ask, 100, 7, Owner{Name: "maker"}, id, nil)
+		if f, _ := b.Limit(id+1, Bid, 100, 7, Owner{Name: "taker"}, id+1, nil); f != 7 {
+			t.Fatalf("round fill %d", f)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm pools and map buckets
+		round()
+	}
+	if avg := testing.AllocsPerRun(200, round); avg > 0.1 {
+		t.Fatalf("steady-state fill allocates %.2f per round", avg)
+	}
+	mustValid(t, b)
+}
+
+func TestPoolRecyclingReusesStructs(t *testing.T) {
+	b := New()
+	b.Limit(1, Bid, 100, 10, Owner{Name: "x"}, 1, nil)
+	o1 := b.Lookup(1)
+	b.Cancel(1)
+	b.Limit(2, Bid, 90, 5, Owner{Name: "y"}, 2, nil)
+	o2 := b.Lookup(2)
+	if o1 != o2 {
+		t.Fatal("order struct not recycled")
+	}
+	if o2.Owner.Name != "y" || o2.Price != 90 {
+		t.Fatalf("recycled order carries stale state: %+v", o2)
+	}
+	mustValid(t, b)
+}

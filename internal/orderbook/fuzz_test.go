@@ -1,0 +1,123 @@
+package orderbook
+
+// Native fuzz target over encoded order streams. Each 4-byte chunk
+// decodes to one operation; the engine must never panic, never report
+// a non-positive or oversized fill, and must satisfy every structural
+// invariant (Validate) after every operation. The declarative model
+// from quick_test.go rides along as the matching oracle.
+//
+// CI runs a short smoke (`go test -fuzz=FuzzMatch -fuzztime=30s`) as a
+// non-blocking job; locally let it run longer.
+
+import (
+	"testing"
+)
+
+// fuzzOp decodes one op from 4 bytes:
+//
+//	b0: bits 0-2 kind (0-3 limit, 4 market, 5 cancel, 6 amend,
+//	    7 expire), bit 3 side
+//	b1: price offset into a narrow crossing band
+//	b2: quantity
+//	b3: target selector for cancel/amend
+func FuzzMatch(f *testing.F) {
+	f.Add([]byte{0x00, 10, 5, 0, 0x08, 10, 5, 0})                  // bid meets ask at one price
+	f.Add([]byte{0x00, 1, 20, 0, 0x08, 60, 20, 0, 0x04, 0, 50, 0}) // passive pair swept by market
+	f.Add([]byte{0x00, 30, 9, 0, 0x05, 30, 9, 0, 0x06, 31, 4, 0})  // cancel then amend
+	f.Add([]byte{0x01, 32, 40, 0, 0x09, 31, 7, 0, 0x09, 30, 7, 1, 0x07, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			data = data[:1024] // keep the O(n²) oracle affordable
+		}
+		b := New()
+		ref := &refBook{}
+		var issued []int64
+		var id int64
+		for i := 0; i+4 <= len(data); i += 4 {
+			kind := data[i] & 0x07
+			side := Side((data[i] >> 3) & 1)
+			price := int64(100 + int(data[i+1])%32)
+			qty := int64(1 + int(data[i+2])%64)
+			now := int64(i + 1)
+
+			var got, want []fill
+			switch {
+			case kind <= 3: // limit
+				id++
+				filled, rested := b.Limit(id, side, price, qty, Owner{}, now, collect(&got))
+				want = ref.limit(id, side, price, qty)
+				issued = append(issued, id)
+				var residual int64
+				if o := b.Lookup(id); o != nil {
+					residual = o.Qty
+				}
+				if filled < 0 || filled > qty {
+					t.Fatalf("op %d: limit filled %d of %d", i, filled, qty)
+				}
+				if rested != (residual > 0) || filled+residual != qty {
+					t.Fatalf("op %d: conservation broken: filled %d residual %d qty %d", i, filled, residual, qty)
+				}
+			case kind == 4: // market
+				filled := b.Market(side, qty, collect(&got))
+				want = ref.market(side, qty)
+				if filled < 0 || filled > qty {
+					t.Fatalf("op %d: market filled %d of %d", i, filled, qty)
+				}
+			case kind == 5: // cancel
+				if len(issued) == 0 {
+					continue
+				}
+				target := issued[int(data[i+3])%len(issued)]
+				if b.Cancel(target) != ref.cancel(target) {
+					t.Fatalf("op %d: cancel(%d) diverges from model", i, target)
+				}
+			case kind == 6: // amend
+				if len(issued) == 0 {
+					continue
+				}
+				target := issued[int(data[i+3])%len(issued)]
+				mo := ref.lookup(target)
+				_, ok := b.Amend(target, price, qty, now, collect(&got))
+				if ok != (mo != nil) {
+					t.Fatalf("op %d: amend(%d) diverges from model", i, target)
+				}
+				if mo != nil {
+					if price == mo.price && qty <= mo.qty {
+						mo.qty = qty
+					} else {
+						s := mo.side
+						ref.cancel(target)
+						want = ref.limit(target, s, price, qty)
+					}
+				}
+			default: // expire everything entered before the stream midpoint
+				cutoff := int64(len(data) / 2)
+				evicted := 0
+				b.Expire(cutoff, func(o *Order) {
+					if o.Qty <= 0 {
+						t.Fatalf("op %d: evicted order %d with qty %d", i, o.ID, o.Qty)
+					}
+					evicted++
+					ref.cancel(o.ID)
+				})
+				_ = evicted
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("op %d: %d fills, model wants %d (%+v vs %+v)", i, len(got), len(want), got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("op %d: fill %d = %+v, model wants %+v", i, k, got[k], want[k])
+				}
+				if got[k].qty <= 0 {
+					t.Fatalf("op %d: non-positive fill %+v", i, got[k])
+				}
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,355 @@
+package orderbook
+
+// Property-based tests of the matching engine against a naive
+// reference model, in the style of labels/quick_test.go: random
+// operation sequences are replayed through both the Book and an
+// O(n²) declarative model, and the fill streams and final resting
+// states must agree exactly. The model IS the spec — best price
+// first, arrival order within a price, fills never exceed either
+// side's open interest.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// refOrder is one resting order in the reference model.
+type refOrder struct {
+	id    int64
+	side  Side
+	price int64
+	qty   int64
+	seq   int // arrival order, the time component of priority
+}
+
+// refBook is the declarative reference: a flat slice of resting
+// orders, matched by scanning for the best-priced earliest-arrived
+// opposite order each fill.
+type refBook struct {
+	rest []refOrder
+	seq  int
+}
+
+func (r *refBook) lookup(id int64) *refOrder {
+	for i := range r.rest {
+		if r.rest[i].id == id {
+			return &r.rest[i]
+		}
+	}
+	return nil
+}
+
+// take matches an incoming taker, returning its fills in order.
+func (r *refBook) take(side Side, price int64, priced bool, qty int64) []fill {
+	var fills []fill
+	for qty > 0 {
+		best := -1
+		for i := range r.rest {
+			o := &r.rest[i]
+			if o.side != side.Opposite() {
+				continue
+			}
+			if priced && !crosses(side, price, o.price) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			bo := &r.rest[best]
+			if better(o.side, o.price, bo.price) || (o.price == bo.price && o.seq < bo.seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		o := &r.rest[best]
+		n := o.qty
+		if qty < n {
+			n = qty
+		}
+		o.qty -= n
+		qty -= n
+		fills = append(fills, fill{maker: o.id, price: o.price, qty: n})
+		if o.qty == 0 {
+			r.rest = append(r.rest[:best], r.rest[best+1:]...)
+		}
+	}
+	return fills
+}
+
+func (r *refBook) limit(id int64, side Side, price, qty int64) []fill {
+	if price <= 0 || qty <= 0 || r.lookup(id) != nil {
+		return nil
+	}
+	fills := r.take(side, price, true, qty)
+	var done int64
+	for _, f := range fills {
+		done += f.qty
+	}
+	if rem := qty - done; rem > 0 {
+		r.seq++
+		r.rest = append(r.rest, refOrder{id: id, side: side, price: price, qty: rem, seq: r.seq})
+	}
+	return fills
+}
+
+func (r *refBook) market(side Side, qty int64) []fill {
+	if qty <= 0 {
+		return nil
+	}
+	return r.take(side, 0, false, qty)
+}
+
+func (r *refBook) cancel(id int64) bool {
+	for i := range r.rest {
+		if r.rest[i].id == id {
+			r.rest = append(r.rest[:i], r.rest[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// flatten renders the model's resting state in the Book's snapshot
+// order: bids best-first, asks best-first, arrival order within a
+// level.
+func (r *refBook) flatten() []LevelSnap {
+	var out []LevelSnap
+	for _, side := range [2]Side{Bid, Ask} {
+		// Collect this side's distinct prices, best first.
+		var prices []int64
+		for _, o := range r.rest {
+			if o.side != side {
+				continue
+			}
+			seen := false
+			for _, p := range prices {
+				if p == o.price {
+					seen = true
+				}
+			}
+			if !seen {
+				prices = append(prices, o.price)
+			}
+		}
+		for i := 1; i < len(prices); i++ {
+			for j := i; j > 0 && better(side, prices[j], prices[j-1]); j-- {
+				prices[j], prices[j-1] = prices[j-1], prices[j]
+			}
+		}
+		for _, p := range prices {
+			ls := LevelSnap{Side: side, Price: p}
+			// Arrival order within the level = ascending seq.
+			lo := -1
+			for {
+				next := -1
+				for i := range r.rest {
+					o := &r.rest[i]
+					if o.side != side || o.price != p || o.seq <= lo {
+						continue
+					}
+					if next < 0 || o.seq < r.rest[next].seq {
+						next = i
+					}
+				}
+				if next < 0 {
+					break
+				}
+				lo = r.rest[next].seq
+				ls.Orders = append(ls.Orders, OrderSnap{ID: r.rest[next].id, Qty: r.rest[next].qty})
+			}
+			out = append(out, ls)
+		}
+	}
+	return out
+}
+
+// qop is one generated operation.
+type qop struct {
+	kind   int // 0,1 = limit; 2 = market; 3 = cancel; 4 = amend
+	side   Side
+	price  int64
+	qty    int64
+	target int // index into previously issued ids
+}
+
+// qops wraps an op sequence to implement quick.Generator.
+type qops struct{ ops []qop }
+
+// Generate draws 20–100 ops over a narrow price band so books overlap
+// and cross frequently.
+func (qops) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 20 + r.Intn(81)
+	ops := make([]qop, n)
+	for i := range ops {
+		ops[i] = qop{
+			kind:   r.Intn(5),
+			side:   Side(r.Intn(2)),
+			price:  int64(95 + r.Intn(11)),
+			qty:    int64(1 + r.Intn(40)),
+			target: r.Intn(n),
+		}
+	}
+	return reflect.ValueOf(qops{ops: ops})
+}
+
+// replayBoth runs one op sequence through engine and model, failing t
+// on the first divergence. It returns the engine for further checks.
+func replayBoth(t *testing.T, ops []qop) *Book {
+	t.Helper()
+	b := New()
+	ref := &refBook{}
+	var issued []int64
+	canceled := make(map[int64]bool)
+	var id int64
+	for i, op := range ops {
+		var got, want []fill
+		switch op.kind {
+		case 0, 1:
+			id++
+			got = nil
+			gotFilled, rested := b.Limit(id, op.side, op.price, op.qty, Owner{}, int64(i+1), collect(&got))
+			want = ref.limit(id, op.side, op.price, op.qty)
+			issued = append(issued, id)
+			// Conservation: filled + rested residual == submitted qty.
+			var residual int64
+			if o := b.Lookup(id); o != nil {
+				residual = o.Qty
+			}
+			if rested != (residual > 0) || gotFilled+residual != op.qty {
+				t.Fatalf("op %d: conservation broken: filled %d + residual %d != qty %d (rested=%v)",
+					i, gotFilled, residual, op.qty, rested)
+			}
+		case 2:
+			got = nil
+			b.Market(op.side, op.qty, collect(&got))
+			want = ref.market(op.side, op.qty)
+		case 3:
+			if len(issued) == 0 {
+				continue
+			}
+			target := issued[op.target%len(issued)]
+			gotOK := b.Cancel(target)
+			wantOK := ref.cancel(target)
+			if gotOK != wantOK {
+				t.Fatalf("op %d: cancel(%d) engine=%v model=%v", i, target, gotOK, wantOK)
+			}
+			if gotOK {
+				canceled[target] = true
+			}
+		case 4:
+			if len(issued) == 0 {
+				continue
+			}
+			target := issued[op.target%len(issued)]
+			// Model the amend as the engine defines it: qty-down in
+			// place, otherwise cancel + re-enter.
+			mo := ref.lookup(target)
+			got = nil
+			_, gotOK := b.Amend(target, op.price, op.qty, int64(i+1), collect(&got))
+			if (mo != nil) != gotOK {
+				t.Fatalf("op %d: amend(%d) engine=%v model=%v", i, target, gotOK, mo != nil)
+			}
+			if mo == nil {
+				continue
+			}
+			if op.price == mo.price && op.qty <= mo.qty {
+				mo.qty = op.qty
+				want = nil
+			} else {
+				side := mo.side
+				ref.cancel(target)
+				want = ref.limit(target, side, op.price, op.qty)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("op %d (%+v): %d fills, model wants %d\n got: %+v\nwant: %+v", i, op, len(got), len(want), got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("op %d: fill %d = %+v, model wants %+v", i, k, got[k], want[k])
+			}
+		}
+		// Cancel-then-fill impossible: no fill may name a canceled maker.
+		for _, f := range got {
+			if canceled[f.maker] {
+				t.Fatalf("op %d: canceled order %d filled", i, f.maker)
+			}
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	gotSnap, wantSnap := b.Snapshot(), ref.flatten()
+	if len(gotSnap) != len(wantSnap) {
+		t.Fatalf("final books diverge:\n got: %+v\nwant: %+v", gotSnap, wantSnap)
+	}
+	for i := range gotSnap {
+		if !reflect.DeepEqual(gotSnap[i], wantSnap[i]) {
+			t.Fatalf("final level %d diverges:\n got: %+v\nwant: %+v", i, gotSnap[i], wantSnap[i])
+		}
+	}
+	return b
+}
+
+var qcfg = &quick.Config{MaxCount: 250}
+
+// TestQuickEngineMatchesReferenceModel is the main property: for
+// arbitrary op sequences the engine's fill stream and final resting
+// state equal the declarative model's — which implies price-time
+// priority is never violated, filled quantity equals the crossing
+// interest, and residuals rest at the correct level.
+func TestQuickEngineMatchesReferenceModel(t *testing.T) {
+	f := func(o qops) bool {
+		replayBoth(t, o.ops)
+		return true
+	}
+	if err := quick.Check(f, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFilledNeverExceedsCrossingInterest spells out the
+// conservation property directly: a taker's total fill equals
+// min(its quantity, the opposite interest it crosses).
+func TestQuickFilledNeverExceedsCrossingInterest(t *testing.T) {
+	f := func(o qops) bool {
+		b := New()
+		var id int64
+		for i, op := range o.ops {
+			if op.kind == 3 || op.kind == 4 {
+				continue
+			}
+			// Crossing interest visible to this taker right now.
+			var crossable int64
+			opp := b.ladderFor(op.side.Opposite())
+			for _, lv := range opp.levels {
+				if op.kind == 2 || crosses(op.side, op.price, lv.price) {
+					crossable += lv.qty
+				}
+			}
+			want := op.qty
+			if crossable < want {
+				want = crossable
+			}
+			var filled int64
+			id++
+			if op.kind == 2 {
+				filled = b.Market(op.side, op.qty, nil)
+			} else {
+				filled, _ = b.Limit(id, op.side, op.price, op.qty, Owner{}, int64(i+1), nil)
+			}
+			if filled != want {
+				t.Fatalf("op %d: filled %d, crossing interest math says %d", i, filled, want)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg); err != nil {
+		t.Error(err)
+	}
+}

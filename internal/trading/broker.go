@@ -1,12 +1,14 @@
 package trading
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/events"
 	"repro/internal/freeze"
+	"repro/internal/orderbook"
 	"repro/internal/priv"
 	"repro/internal/tags"
 )
@@ -29,6 +31,14 @@ const orderTTL = 100 * time.Millisecond
 // instance contaminated at {b}, where the order book lives; the
 // broker's primary unit stays clean.
 //
+// Matching is price-time priority with partial fills: each symbol's
+// resting interest lives in an orderbook.Book (sorted price levels,
+// FIFO within a level), and every partial fill publishes one trade
+// event whose identity parts merge both counterparties' tr tags.
+// Orders carry an "ordtype" — limit, market or cancel — and cancels
+// withdraw resting interest by order ID after an ownership check
+// against the identity the canceller disclosed.
+//
 // Identity handling: reading an order part bestows [tr+, tr−]; the
 // instance raises its input label by tr (legal: it holds tr−), reads
 // the trader's name, and lowers again. Reading the name part bestows
@@ -37,44 +47,110 @@ const orderTTL = 100 * time.Millisecond
 // the Regulator added to the trade event, and the instance answers by
 // attaching a "delegation" part carrying [tr±] for both sides,
 // protected by the Regulator's tag.
+//
+// With partial fills one order's tag can back several trade records at
+// once, so the tr±auth pair is reference-counted (see brokerBook.auths)
+// and renounced only when the last referent — the resting order itself
+// or a logged trade — is gone.
 type Broker struct {
 	p    *Platform
 	unit *core.Unit
 
 	regTag tags.Tag // the Regulator's tag protecting delegations
 
+	// mu serialises book access between the managed instance's handler
+	// and external snapshot readers (tests, benchmarks). The handler
+	// path takes it once per delivery; orders are orders of magnitude
+	// rarer than ticks, so the uncontended lock is noise next to the
+	// identity-read label churn.
+	mu sync.Mutex
+	bk *brokerBook // the live instance's state (nil until first order)
+
 	trades    counter
+	partials  counter
+	cancels   counter
+	expired   counter
 	delegates counter
 }
 
-// book is the dark-pool order book, living in the managed instance's
+// brokerBook is the dark-pool state, living in the managed instance's
 // state at contamination {b}.
-type book struct {
-	bids map[string][]*restingOrder // symbol → FIFO
-	asks map[string][]*restingOrder
-	// log holds completed trades for audit responses.
-	log map[int64]*tradeRecord
-	ids int64
+type brokerBook struct {
+	books map[string]*orderbook.Book // per-symbol price-time books
+	log   tradeLog
+	// auths reference-counts the delegation authority (tr±auth) held
+	// per order tag: one reference while the order is live in a book,
+	// one per trade record in the audit window. The privileges are
+	// renounced when the count reaches zero.
+	auths map[tags.Tag]int
+	ids   int64
 }
 
-type restingOrder struct {
-	id      int64
-	symbol  string
-	price   int64
-	qty     int64
-	trader  string
-	tr      tags.Tag
-	strat   tags.Tag // trader's durable strategy tag (reference only)
-	stamp   int64    // originating tick time (latency accounting)
-	entered int64    // book-entry time (TTL accounting)
+func newBrokerBook() *brokerBook {
+	return &brokerBook{
+		books: make(map[string]*orderbook.Book),
+		auths: make(map[tags.Tag]int),
+	}
 }
 
+// book returns the symbol's order book, creating it on first use.
+func (bk *brokerBook) book(symbol string) *orderbook.Book {
+	b := bk.books[symbol]
+	if b == nil {
+		b = orderbook.New()
+		bk.books[symbol] = b
+	}
+	return b
+}
+
+// tradeRecord is one completed trade retained for audit responses.
 type tradeRecord struct {
+	id                      int64 // 0 = empty/consumed slot
 	buyer, seller           string
 	trBuyer, trSeller       tags.Tag
 	stratBuyer, stratSeller tags.Tag
 	symbol                  string
 	price, qty              int64
+}
+
+// tradeLog is the bounded audit-window store. Trade IDs are dense and
+// increasing, so the log is a ring indexed by ID: storing trade N
+// lands on the slot trade N−maxTradeLog occupied, making the eviction
+// O(1) — the previous map-backed log paid O(log) map ops per trade
+// once the window was full (the ROADMAP item this PR retires).
+type tradeLog struct {
+	recs [maxTradeLog]tradeRecord
+}
+
+// put stores rec, returning the evicted record if the slot still held
+// a live entry from maxTradeLog trades ago.
+func (l *tradeLog) put(rec tradeRecord) (evicted tradeRecord, ok bool) {
+	slot := &l.recs[rec.id%maxTradeLog]
+	evicted, ok = *slot, slot.id != 0
+	*slot = rec
+	return evicted, ok
+}
+
+// get returns the record for a trade ID, or nil if it has been evicted
+// or consumed. IDs the broker never issued — including negative ones a
+// crafted audit request could carry, which would make the ring index
+// panic — miss harmlessly.
+func (l *tradeLog) get(id int64) *tradeRecord {
+	if id <= 0 {
+		return nil
+	}
+	rec := &l.recs[id%maxTradeLog]
+	if rec.id != id {
+		return nil
+	}
+	return rec
+}
+
+// consume clears a record once its delegation has been issued.
+func (l *tradeLog) consume(id int64) {
+	if rec := l.get(id); rec != nil {
+		*rec = tradeRecord{}
+	}
 }
 
 // newBroker assembles the broker unit; wire() attaches its managed
@@ -106,23 +182,66 @@ func (b *Broker) wire() error {
 	return err
 }
 
-// Trades reports completed trades.
+// Trades reports completed fills (one trade event each).
 func (b *Broker) Trades() uint64 { return b.trades.load() }
+
+// PartialFills reports fills that left a residual on at least one
+// side — impossible under whole-quantity matching, so a positive count
+// is direct evidence the book fills partially.
+func (b *Broker) PartialFills() uint64 { return b.partials.load() }
+
+// Cancels reports resting orders withdrawn by their owners.
+func (b *Broker) Cancels() uint64 { return b.cancels.load() }
+
+// Expired reports resting orders dropped by TTL expiry.
+func (b *Broker) Expired() uint64 { return b.expired.load() }
 
 // Delegations reports audit delegations issued.
 func (b *Broker) Delegations() uint64 { return b.delegates.load() }
 
+// BookDepths snapshots the per-symbol resting-order counts.
+func (b *Broker) BookDepths() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int)
+	if b.bk == nil {
+		return out
+	}
+	for sym, bo := range b.bk.books {
+		if n := bo.RestingOrders(); n > 0 {
+			out[sym] = n
+		}
+	}
+	return out
+}
+
+// SnapshotBooks copies every non-empty book's resting state — the
+// deterministic-replay tests compare these across publish paths.
+func (b *Broker) SnapshotBooks() map[string][]orderbook.LevelSnap {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string][]orderbook.LevelSnap)
+	if b.bk == nil {
+		return out
+	}
+	for sym, bo := range b.bk.books {
+		if snap := bo.Snapshot(); len(snap) > 0 {
+			out[sym] = snap
+		}
+	}
+	return out
+}
+
 // handle processes one delivery in the book instance.
 func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	st := u.State()
-	bk, _ := st["book"].(*book)
+	bk, _ := st["book"].(*brokerBook)
 	if bk == nil {
-		bk = &book{
-			bids: make(map[string][]*restingOrder),
-			asks: make(map[string][]*restingOrder),
-			log:  make(map[int64]*tradeRecord),
-		}
+		bk = newBrokerBook()
 		st["book"] = bk
+		b.bk = bk
 	}
 	if _, err := u.ReadPart(e, "audit_req"); err == nil {
 		b.handleAudit(u, e, bk)
@@ -131,9 +250,23 @@ func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
 	b.handleOrder(u, e, bk)
 }
 
-// handleOrder implements step 5: read, learn the identity, rest the
-// order, match.
-func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *book) {
+// takerOrder is the in-flight view of the order being processed.
+type takerOrder struct {
+	id         int64
+	symbol     string
+	side       orderbook.Side
+	price, qty int64
+	ordtype    string
+	target     int64
+	trader     string
+	tr, strat  tags.Tag
+	stamp      int64
+	rem        int64 // remaining unfilled quantity, updated per fill
+}
+
+// handleOrder implements step 5: read, learn the identity, then run
+// the matching engine — expiry, cancel/market/limit, fills.
+func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 	view, err := u.ReadOne(e, "order") // bestows tr+, tr−
 	if err != nil {
 		return
@@ -142,23 +275,43 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *book) {
 	if !ok {
 		return
 	}
-	o := &restingOrder{
+	o := takerOrder{
 		id:      om.GetInt("id"),
 		symbol:  om.GetString("symbol"),
 		price:   om.GetInt("price"),
 		qty:     om.GetInt("qty"),
+		ordtype: om.GetString("ordtype"),
+		target:  om.GetInt("target"),
 		stamp:   e.Stamp,
-		entered: time.Now().UnixNano(),
 	}
-	if o.symbol == "" || o.price <= 0 {
-		return
+	if o.ordtype == "" {
+		o.ordtype = "limit"
 	}
 	// The per-order tag reference travels in the order data (§3.1.5);
-	// the privileges over it arrived via the part's attached grants.
+	// the privileges over it arrived via the part's attached grants —
+	// which means even a malformed order may have bestowed tr±, so
+	// every rejection below must shed them (and the auth pair, in case
+	// grants were attached to other parts) or the instance's privilege
+	// sets grow with each junk order.
 	if tv, ok := om.Get("tr"); ok {
 		o.tr, _ = tv.(tags.Tag)
 	}
 	if o.tr.IsZero() {
+		return
+	}
+	reject := func() {
+		u.DropPrivilege(o.tr, priv.Plus)
+		u.DropPrivilege(o.tr, priv.Minus)
+		b.dropAuthPair(u, o.tr)
+	}
+	if o.symbol == "" {
+		reject()
+		return
+	}
+	var sideOK bool
+	o.side, sideOK = orderbook.SideOf(om.GetString("side"))
+	if !sideOK && o.ordtype != "cancel" {
+		reject()
 		return
 	}
 	if sv, ok := om.Get("strat"); ok {
@@ -168,6 +321,7 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *book) {
 	// §3.1.4 pattern); we hold tr±, so this is a permitted standing
 	// declassification, immediately lowered again.
 	if err := u.ChangeInLabel(core.Confidentiality, core.Add, o.tr); err != nil {
+		reject()
 		return
 	}
 	if nv, err := u.ReadOne(e, "name"); err == nil { // bestows tr±auth
@@ -178,103 +332,145 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *book) {
 	_ = u.ChangeInLabel(core.Confidentiality, core.Del, o.tr)
 	// Hygiene: tr± were only needed for the identity read; keeping them
 	// would grow the instance's privilege sets with every order. The
-	// tr±auth pair stays until the trade leaves the audit window.
+	// tr±auth pair stays as long as the order or one of its trades can
+	// still be audited (reference-counted below).
 	u.DropPrivilege(o.tr, priv.Plus)
 	u.DropPrivilege(o.tr, priv.Minus)
 	if o.trader == "" {
+		// The name read may still have bestowed the auth pair; an
+		// identity-less order can never be audited, so renounce it.
+		b.dropAuthPair(u, o.tr)
 		return
 	}
 
-	side := om.GetString("side")
-	if side == "bid" {
-		bk.bids[o.symbol] = append(bk.bids[o.symbol], o)
-	} else {
-		bk.asks[o.symbol] = append(bk.asks[o.symbol], o)
+	now := time.Now().UnixNano()
+	book := bk.book(o.symbol)
+	// TTL expiry folds into order processing: stale heads are popped
+	// before the incoming order sees the book, and each eviction
+	// releases the dead order's delegation authority — interest that
+	// never traded leaves no privilege residue.
+	if n := book.Expire(now-int64(b.p.cfg.OrderTTL), func(ro *orderbook.Order) {
+		b.releaseAuth(u, bk, ro.Owner.Tag)
+	}); n > 0 {
+		b.expired.add(uint64(n))
 	}
-	expire(bk, o.symbol)
-	b.match(u, bk, o.symbol)
-}
 
-// expire drops resting orders that have sat unfilled in the book for
-// longer than orderTTL. Expiry is measured from book entry, not from
-// the originating tick: under transient overload an order may arrive
-// already "old" and must still get its chance to cross.
-func expire(bk *book, symbol string) {
-	cutoff := time.Now().Add(-orderTTL).UnixNano()
-	for len(bk.bids[symbol]) > 0 && bk.bids[symbol][0].entered < cutoff {
-		bk.bids[symbol] = bk.bids[symbol][1:]
-	}
-	for len(bk.asks[symbol]) > 0 && bk.asks[symbol][0].entered < cutoff {
-		bk.asks[symbol] = bk.asks[symbol][1:]
-	}
-}
-
-// match crosses resting bids and asks FIFO (price-compatible) and
-// publishes a trade event per cross.
-func (b *Broker) match(u *core.Unit, bk *book, symbol string) {
-	for len(bk.bids[symbol]) > 0 && len(bk.asks[symbol]) > 0 {
-		bid, ask := bk.bids[symbol][0], bk.asks[symbol][0]
-		if bid.price < ask.price {
-			return // book not crossed
+	switch o.ordtype {
+	case "cancel":
+		// Ownership check: only the identity that placed an order may
+		// withdraw it. The canceller's own tr carried the identity; it
+		// backs no resting interest, so its authority drops right away.
+		if ro := book.Lookup(o.target); ro != nil && ro.Owner.Name == o.trader {
+			t := ro.Owner.Tag
+			book.Cancel(o.target)
+			b.releaseAuth(u, bk, t)
+			b.cancels.inc()
 		}
-		bk.bids[symbol] = bk.bids[symbol][1:]
-		bk.asks[symbol] = bk.asks[symbol][1:]
-		b.publishTrade(u, bk, bid, ask)
+		b.dropAuthPair(u, o.tr)
+	case "market":
+		if o.qty <= 0 {
+			b.dropAuthPair(u, o.tr)
+			break
+		}
+		bk.auths[o.tr]++ // live while matching: fills log against it
+		o.rem = o.qty
+		book.Market(o.side, o.qty, func(maker *orderbook.Order, price, qty int64) {
+			b.publishFill(u, bk, maker, &o, price, qty)
+		})
+		b.releaseAuth(u, bk, o.tr) // never rests
+	default: // limit
+		if o.price <= 0 || o.qty <= 0 {
+			b.dropAuthPair(u, o.tr)
+			break
+		}
+		bk.auths[o.tr]++
+		o.rem = o.qty
+		ow := orderbook.Owner{Name: o.trader, Tag: o.tr, Strat: o.strat, Stamp: o.stamp}
+		_, rested := book.Limit(o.id, o.side, o.price, o.qty, ow, now, func(maker *orderbook.Order, price, qty int64) {
+			b.publishFill(u, bk, maker, &o, price, qty)
+		})
+		if !rested {
+			b.releaseAuth(u, bk, o.tr)
+		}
+	}
+	if hook := b.p.cfg.OnBookDepth; hook != nil {
+		hook(book.RestingOrders())
 	}
 }
 
-// publishTrade implements step 6: the trade's price/symbol part is
-// declassified and public; the two identity parts are protected by the
-// per-order tags, so each trader recognises only its own trades while
-// the broker's publication leaks nothing else.
-func (b *Broker) publishTrade(u *core.Unit, bk *book, bid, ask *restingOrder) {
+// publishFill implements step 6 once per fill: the trade's price and
+// symbol are declassified and public; the two identity parts are
+// protected by the counterparties' per-order tags, so each trader
+// recognises only its own fills while the broker's publication leaks
+// nothing else. The maker pointer is the engine's pooled struct —
+// everything needed later is copied into the trade record here.
+func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, maker *orderbook.Order, taker *takerOrder, price, qty int64) {
+	taker.rem -= qty
 	bk.ids++
-	tradeID := bk.ids
-	qty := min64(bid.qty, ask.qty)
-	rec := &tradeRecord{
-		buyer: bid.trader, seller: ask.trader,
-		trBuyer: bid.tr, trSeller: ask.tr,
-		stratBuyer: bid.strat, stratSeller: ask.strat,
-		symbol: bid.symbol, price: ask.price, qty: qty,
+	rec := tradeRecord{id: bk.ids, symbol: taker.symbol, price: price, qty: qty}
+	var buyOrder, sellOrder int64
+	if taker.side == orderbook.Bid {
+		rec.buyer, rec.trBuyer, rec.stratBuyer = taker.trader, taker.tr, taker.strat
+		rec.seller, rec.trSeller, rec.stratSeller = maker.Owner.Name, maker.Owner.Tag, maker.Owner.Strat
+		buyOrder, sellOrder = taker.id, maker.ID
+	} else {
+		rec.buyer, rec.trBuyer, rec.stratBuyer = maker.Owner.Name, maker.Owner.Tag, maker.Owner.Strat
+		rec.seller, rec.trSeller, rec.stratSeller = taker.trader, taker.tr, taker.strat
+		buyOrder, sellOrder = maker.ID, taker.id
 	}
-	bk.log[tradeID] = rec
-	if len(bk.log) > maxTradeLog {
-		// Evict the oldest entry (IDs are dense and increasing) and
-		// renounce its delegation authority: past the audit window the
-		// broker has no business retaining it.
-		old := bk.log[tradeID-int64(maxTradeLog)]
-		delete(bk.log, tradeID-int64(maxTradeLog))
-		if old != nil {
-			b.dropAuths(u, old)
-		}
+	// The audit window retains delegation authority for both sides.
+	bk.auths[rec.trBuyer]++
+	bk.auths[rec.trSeller]++
+	if old, ok := bk.log.put(rec); ok {
+		// O(1) ring eviction: past the audit window the broker has no
+		// business retaining the old trade or its authority.
+		b.releaseAuth(u, bk, old.trBuyer)
+		b.releaseAuth(u, bk, old.trSeller)
+	}
+	if maker.Qty > 0 || taker.rem > 0 {
+		b.partials.inc()
+	}
+	// The maker's live reference ends with its last fill.
+	if maker.Qty == 0 {
+		b.releaseAuth(u, bk, maker.Owner.Tag)
 	}
 
 	e := u.CreateEvent()
 	// Latency accounting: the trade inherits the older originating
 	// tick stamp of the two orders — conservative end-to-end latency.
-	e.Stamp = min64(bid.stamp, ask.stamp)
+	e.Stamp = min(maker.Owner.Stamp, taker.stamp)
+	if e.Stamp == 0 {
+		e.Stamp = max(maker.Owner.Stamp, taker.stamp)
+	}
 	if err := u.AddPart(e, noTags, noTags, "type", "trade"); err != nil {
 		return
 	}
 	body := freeze.MapOf(
-		"id", tradeID,
+		"id", rec.id,
 		"symbol", rec.symbol,
-		"price", rec.price,
+		"price", price,
 		"qty", qty,
-		"buy_order", bid.id,
-		"sell_order", ask.id,
+		"buy_order", buyOrder,
+		"sell_order", sellOrder,
 	)
 	if err := u.AddPart(e, noTags, noTags, "trade", body); err != nil {
 		return
 	}
-	if err := u.AddPart(e, setOf(bid.tr), noTags, "buyer", bid.trader); err != nil {
+	if err := u.AddPart(e, setOf(rec.trBuyer), noTags, "buyer", rec.buyer); err != nil {
 		return
 	}
-	if err := u.AddPart(e, setOf(ask.tr), noTags, "seller", ask.trader); err != nil {
+	if err := u.AddPart(e, setOf(rec.trSeller), noTags, "seller", rec.seller); err != nil {
 		return
 	}
 	if hook := b.p.cfg.OnTrade; hook != nil {
 		hook(time.Now().UnixNano() - e.Stamp)
+	}
+	if hook := b.p.cfg.OnFill; hook != nil {
+		hook(Fill{
+			TradeID: rec.id, Symbol: rec.symbol,
+			Price: price, Qty: qty,
+			BuyOrder: buyOrder, SellOrder: sellOrder,
+		})
 	}
 	if err := u.Publish(e); err != nil {
 		return
@@ -287,7 +483,7 @@ func (b *Broker) publishTrade(u *core.Unit, bk *book, bid, ask *restingOrder) {
 // delegation part to that same trade event, protected by the
 // Regulator's tag and carrying [tr±] for both sides. The release
 // machinery re-dispatches the augmented event to the Regulator.
-func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *book) {
+func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *brokerBook) {
 	tv, err := u.ReadOne(e, "trade")
 	if err != nil {
 		return
@@ -296,13 +492,13 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *book) {
 	if !ok {
 		return
 	}
-	rec := bk.log[tm.GetInt("id")]
+	rec := bk.log.get(tm.GetInt("id"))
 	if rec == nil {
 		return
 	}
 	regSet := setOf(b.regTag)
 	payload := freeze.MapOf(
-		"trade", tm.GetInt("id"),
+		"trade", rec.id,
 		"buyer_tag", rec.trBuyer,
 		"seller_tag", rec.trSeller,
 		"buyer_strat", rec.stratBuyer,
@@ -324,26 +520,32 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *book) {
 	}
 	b.delegates.inc()
 	// Delegation done: the audit authority for this trade is spent.
-	b.dropAuths(u, rec)
-	delete(bk.log, tm.GetInt("id"))
+	trBuyer, trSeller, id := rec.trBuyer, rec.trSeller, rec.id
+	bk.log.consume(id)
+	b.releaseAuth(u, bk, trBuyer)
+	b.releaseAuth(u, bk, trSeller)
 	// The managed runtime re-dispatches the modified event on return.
 }
 
-// dropAuths renounces the delegation authority retained for a completed
-// trade's two order tags.
-func (b *Broker) dropAuths(u *core.Unit, rec *tradeRecord) {
-	for _, tg := range []tags.Tag{rec.trBuyer, rec.trSeller} {
-		if tg.IsZero() {
-			continue
-		}
-		u.DropPrivilege(tg, priv.PlusAuth)
-		u.DropPrivilege(tg, priv.MinusAuth)
+// releaseAuth drops one reference to a tag's delegation authority and
+// renounces tr±auth when the last referent is gone.
+func (b *Broker) releaseAuth(u *core.Unit, bk *brokerBook, t tags.Tag) {
+	if t.IsZero() {
+		return
 	}
+	if n := bk.auths[t]; n > 1 {
+		bk.auths[t] = n - 1
+		return
+	}
+	delete(bk.auths, t)
+	b.dropAuthPair(u, t)
 }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
+// dropAuthPair renounces a tag's tr±auth outright.
+func (b *Broker) dropAuthPair(u *core.Unit, t tags.Tag) {
+	if t.IsZero() {
+		return
 	}
-	return b
+	u.DropPrivilege(t, priv.PlusAuth)
+	u.DropPrivilege(t, priv.MinusAuth)
 }

@@ -8,24 +8,60 @@ import (
 	"repro/internal/workload"
 )
 
-func TestOrderBookExpiry(t *testing.T) {
-	bk := &book{
-		bids: map[string][]*restingOrder{},
-		asks: map[string][]*restingOrder{},
+// TestTradeLogRingAcrossWrap pins the O(1) ring-indexed audit window:
+// storing trade N evicts exactly trade N−maxTradeLog, lookups answer
+// correctly on both sides of the wrap boundary, and consuming a record
+// removes it without disturbing its slot-sharing successors.
+func TestTradeLogRingAcrossWrap(t *testing.T) {
+	var log tradeLog
+	const total = maxTradeLog + maxTradeLog/2
+	var evictions []int64
+	for id := int64(1); id <= total; id++ {
+		old, ok := log.put(tradeRecord{id: id, qty: id * 10})
+		if ok {
+			evictions = append(evictions, old.id)
+			if old.id != id-maxTradeLog {
+				t.Fatalf("storing %d evicted %d, want %d", id, old.id, id-maxTradeLog)
+			}
+		} else if id > maxTradeLog {
+			t.Fatalf("storing %d evicted nothing past the window", id)
+		}
 	}
-	old := time.Now().Add(-2 * orderTTL).UnixNano()
-	fresh := time.Now().UnixNano()
-	bk.bids["S"] = []*restingOrder{
-		{id: 1, entered: old},
-		{id: 2, entered: fresh},
+	if len(evictions) != total-maxTradeLog {
+		t.Fatalf("%d evictions, want %d", len(evictions), total-maxTradeLog)
 	}
-	bk.asks["S"] = []*restingOrder{{id: 3, entered: old}}
-	expire(bk, "S")
-	if len(bk.bids["S"]) != 1 || bk.bids["S"][0].id != 2 {
-		t.Fatalf("stale bid not expired: %+v", bk.bids["S"])
+	// Audit responses across the boundary: everything inside the
+	// window answers, everything evicted does not.
+	for _, id := range []int64{1, 100, total - maxTradeLog} {
+		if log.get(id) != nil {
+			t.Fatalf("evicted trade %d still answers audits", id)
+		}
 	}
-	if len(bk.asks["S"]) != 0 {
-		t.Fatal("stale ask not expired")
+	for _, id := range []int64{total - maxTradeLog + 1, maxTradeLog, maxTradeLog + 1, total} {
+		rec := log.get(id)
+		if rec == nil || rec.id != id || rec.qty != id*10 {
+			t.Fatalf("live trade %d lost across wrap: %+v", id, rec)
+		}
+	}
+	// Consume one audited trade: it stops answering, neighbours stay.
+	log.consume(maxTradeLog + 7)
+	if log.get(maxTradeLog+7) != nil {
+		t.Fatal("consumed trade still answers")
+	}
+	if log.get(maxTradeLog+8) == nil {
+		t.Fatal("consume disturbed a neighbour")
+	}
+	// A consumed slot must not report an eviction when overwritten.
+	if _, ok := log.put(tradeRecord{id: maxTradeLog + 7 + maxTradeLog}); ok {
+		t.Fatal("overwriting a consumed slot reported an eviction")
+	}
+	// IDs the broker never issued — including negative ones a crafted
+	// audit request could carry — must miss, not panic the ring index.
+	for _, id := range []int64{-1, -maxTradeLog - 5, 0} {
+		if log.get(id) != nil {
+			t.Fatalf("bogus trade id %d answered", id)
+		}
+		log.consume(id)
 	}
 }
 

@@ -1,0 +1,430 @@
+package trading
+
+// Order-flow workload integration: the dark pool's price-time book
+// under limit/market/cancel flow — partial fills in every security
+// mode, ownership-checked cancels, deterministic batch-vs-single
+// replay equivalence, and a concurrent hammer for the -race job.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/orderbook"
+	"repro/internal/workload"
+)
+
+// flowScenario builds a platform, replays a generated order flow and
+// quiesces.
+func flowScenario(t *testing.T, mode core.SecurityMode, traders, ops int, tweak func(*Config)) *Platform {
+	t.Helper()
+	cfg := Config{
+		Mode:             mode,
+		NumTraders:       traders,
+		Universe:         workload.NewUniverse(2),
+		Seed:             11,
+		AuditSampleEvery: 4,
+		QueueCap:         1024,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+		Traders:       traders,
+		AggressionPct: 55,
+	}, 17)
+	p.ReplayOrders(flow.Take(ops))
+	if !p.Quiesce(15 * time.Second) {
+		t.Fatal("platform did not quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+	return p
+}
+
+// TestOrderFlowPartialFillsAllModes is the headline scenario: crossing
+// order flow produces partial fills in all four security modes. Every
+// fill exhausts at least one side, so fills can never exceed orders —
+// but the pre-book engine (whole-quantity FIFO matching) was bounded
+// by orders/2, and the book comfortably beats that while reporting
+// explicit residual-leaving fills.
+func TestOrderFlowPartialFillsAllModes(t *testing.T) {
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := flowScenario(t, mode, 8, 3000, nil)
+			st := p.Stats()
+			if st.OrdersPlaced == 0 {
+				t.Fatal("no orders placed")
+			}
+			if st.TradesCompleted == 0 {
+				t.Fatal("no fills")
+			}
+			if st.PartialFills == 0 {
+				t.Fatal("no partial fills on mixed-size crossing flow")
+			}
+			if 2*st.TradesCompleted <= st.OrdersPlaced {
+				t.Fatalf("fills %d do not beat the whole-quantity bound (orders %d)",
+					st.TradesCompleted, st.OrdersPlaced)
+			}
+			if st.TradesCompleted > st.OrdersPlaced {
+				t.Fatalf("impossible: fills %d exceed orders %d", st.TradesCompleted, st.OrdersPlaced)
+			}
+			if st.CancelsRequested == 0 {
+				t.Fatal("flow placed no cancels")
+			}
+		})
+	}
+}
+
+// TestOrderFlowAuditsStillFlow checks the step 7–8 choreography holds
+// under partial fills: one order's tag backs several trades, and the
+// reference-counted delegation authority keeps every in-window audit
+// answerable.
+func TestOrderFlowAuditsStillFlow(t *testing.T) {
+	p := flowScenario(t, core.LabelsFreeze, 4, 2500, func(c *Config) {
+		c.AuditSampleEvery = 1 // audit every fill
+	})
+	st := p.Stats()
+	if st.AuditsRequested == 0 {
+		t.Fatal("no audits requested")
+	}
+	deleg := p.Broker.Delegations()
+	if deleg == 0 {
+		t.Fatal("no delegations issued")
+	}
+	// Every audit of an in-window trade must be answered; only trades
+	// evicted past the ring (impossible here: sample==1 keeps pace) or
+	// re-audited may miss. Allow a small slack for trades still in
+	// flight when replay ended.
+	if deleg*10 < st.AuditsRequested*9 {
+		t.Fatalf("only %d of %d audits answered", deleg, st.AuditsRequested)
+	}
+	if p.Regulator.VolsSeen() == 0 {
+		t.Fatal("no volume reports reached the regulator")
+	}
+}
+
+// manualOps builds a hand-rolled op sequence for the cancel tests.
+func manualOps(symbol string, ops ...workload.OrderOp) []workload.OrderOp {
+	for i := range ops {
+		ops[i].Seq = uint64(i + 1)
+		ops[i].Symbol = symbol
+	}
+	return ops
+}
+
+// TestCancelPreventsFill pins cancel-then-fill-impossible end to end:
+// a resting order withdrawn by its owner can never trade afterwards.
+func TestCancelPreventsFill(t *testing.T) {
+	cfg := Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: 2,
+		Universe:   workload.NewUniverse(1),
+		Seed:       5,
+		OrderTTL:   time.Hour,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+	const id = int64(1)<<40 + 1
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: id, Side: "bid", Price: base, Qty: 100},
+		workload.OrderOp{Trader: 0, Kind: workload.OpCancel, Target: id},
+		workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: id + 1, Side: "ask", Price: base, Qty: 100},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+	st := p.Stats()
+	if st.CancelsDone != 1 {
+		t.Fatalf("cancel not honoured: %d", st.CancelsDone)
+	}
+	if st.TradesCompleted != 0 {
+		t.Fatalf("canceled order traded: %d fills", st.TradesCompleted)
+	}
+	// The ask must now be resting alone.
+	depths := p.Broker.BookDepths()
+	if depths[sym] != 1 {
+		t.Fatalf("book depth %v, want 1 resting ask", depths)
+	}
+}
+
+// TestCancelOwnershipChecked: only the identity that placed an order
+// may withdraw it — a foreign cancel is ignored and the order still
+// fills.
+func TestCancelOwnershipChecked(t *testing.T) {
+	cfg := Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: 2,
+		Universe:   workload.NewUniverse(1),
+		Seed:       5,
+		OrderTTL:   time.Hour,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+	const id = int64(1)<<40 + 1
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: id, Side: "bid", Price: base, Qty: 100},
+		workload.OrderOp{Trader: 1, Kind: workload.OpCancel, Target: id}, // not the owner
+		workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: id + 1, Side: "ask", Price: base, Qty: 100},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+	st := p.Stats()
+	if st.CancelsDone != 0 {
+		t.Fatal("foreign cancel was honoured")
+	}
+	if st.TradesCompleted != 1 {
+		t.Fatalf("order did not fill after rejected foreign cancel: %d", st.TradesCompleted)
+	}
+}
+
+// fillRecorder collects the Broker's fill stream race-safely.
+type fillRecorder struct {
+	mu    sync.Mutex
+	fills []Fill
+}
+
+func (r *fillRecorder) hook() func(Fill) {
+	return func(f Fill) {
+		r.mu.Lock()
+		r.fills = append(r.fills, f)
+		r.mu.Unlock()
+	}
+}
+
+func (r *fillRecorder) snapshot() []Fill {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Fill(nil), r.fills...)
+}
+
+// TestReplayOrdersEquivalence: the same order-flow seed through the
+// batched publish path and the single-publish path yields identical
+// fill sequences and final book state — in all four security modes.
+func TestReplayOrdersEquivalence(t *testing.T) {
+	const ops = 1500
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(batched bool) ([]Fill, map[string][]orderbook.LevelSnap) {
+				rec := &fillRecorder{}
+				p, err := New(Config{
+					Mode:             mode,
+					NumTraders:       6,
+					Universe:         workload.NewUniverse(2),
+					Seed:             11,
+					AuditSampleEvery: 4,
+					// Expiry is wall-clock; pin it far out so timing
+					// differences between the paths cannot perturb the
+					// book.
+					OrderTTL: time.Hour,
+					OnFill:   rec.hook(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+					Traders:       6,
+					AggressionPct: 50,
+				}, 23)
+				trace := flow.Take(ops)
+				if batched {
+					p.ReplayOrders(trace)
+				} else {
+					p.ReplayOrdersSingle(trace)
+				}
+				if !p.Quiesce(15 * time.Second) {
+					t.Fatal("no quiesce")
+				}
+				time.Sleep(50 * time.Millisecond)
+				return rec.snapshot(), p.Broker.SnapshotBooks()
+			}
+			singleFills, singleBooks := run(false)
+			batchFills, batchBooks := run(true)
+			if len(singleFills) == 0 {
+				t.Fatal("no fills to compare")
+			}
+			if len(singleFills) != len(batchFills) {
+				t.Fatalf("fill counts diverge: single %d, batched %d", len(singleFills), len(batchFills))
+			}
+			for i := range singleFills {
+				if singleFills[i] != batchFills[i] {
+					t.Fatalf("fill %d diverges: single %+v, batched %+v", i, singleFills[i], batchFills[i])
+				}
+			}
+			if !reflect.DeepEqual(singleBooks, batchBooks) {
+				t.Fatalf("final books diverge:\nsingle: %+v\nbatched: %+v", singleBooks, batchBooks)
+			}
+		})
+	}
+}
+
+// TestMalformedOrdersAndForgedAuditsAreHarmless: junk input must
+// neither kill the book instance nor leave privilege residue — a
+// forged audit request with a negative trade ID (which would panic a
+// naive ring index) and malformed orders (empty symbol, bogus side)
+// are shed, and genuine flow still clears afterwards.
+func TestMalformedOrdersAndForgedAuditsAreHarmless(t *testing.T) {
+	p, err := New(Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: 2,
+		Universe:   workload.NewUniverse(1),
+		Seed:       5,
+		OrderTTL:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+
+	mallory := p.Sys.NewUnit("mallory", core.UnitConfig{})
+	forged := mallory.CreateEvent()
+	for _, part := range []struct {
+		name string
+		data freeze.Value
+	}{
+		{"type", "trade"},
+		{"trade", freeze.MapOf("id", int64(-5))},
+		{"audit_req", int64(1)},
+	} {
+		if err := mallory.AddPart(forged, noTags, noTags, part.name, part.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mallory.Publish(forged); err != nil {
+		t.Fatal(err)
+	}
+
+	tr0 := p.Traders[0]
+	for i, bad := range []*events.Event{
+		tr0.buildOrderEvent(nil, 900001, "", "bid", "limit", base, 10, 0),
+		tr0.buildOrderEvent(nil, 900002, sym, "sideways", "limit", base, 10, 0),
+		tr0.buildOrderEvent(nil, 900003, sym, "bid", "limit", -base, 10, 0),
+	} {
+		if bad == nil {
+			t.Fatalf("malformed order %d not built", i)
+		}
+		if err := tr0.unit.Publish(bad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("junk wave did not quiesce")
+	}
+
+	const id = int64(1)<<40 + 1
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: id, Side: "bid", Price: base, Qty: 100},
+		workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: id + 1, Side: "ask", Price: base, Qty: 100},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := p.Stats().TradesCompleted; got != 1 {
+		t.Fatalf("book instance no longer clears genuine flow: %d trades", got)
+	}
+}
+
+// TestConcurrentBookHammer drives one symbol's book from several
+// concurrent replay goroutines (disjoint trader ranges) while
+// snapshot readers poll — the -race CI job runs this against the
+// managed-instance delivery path end to end.
+func TestConcurrentBookHammer(t *testing.T) {
+	const (
+		lanes      = 4
+		perLane    = 2
+		opsPerLane = 800
+	)
+	p, err := New(Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: lanes * perLane,
+		Universe:   workload.NewUniverse(1),
+		Seed:       3,
+		QueueCap:   2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+				Traders:       perLane,
+				AggressionPct: 50,
+			}, int64(100+lane))
+			ops := flow.Take(opsPerLane)
+			for i := range ops {
+				// One symbol, disjoint trader lanes.
+				ops[i].Symbol = sym
+				ops[i].Trader += lane * perLane
+			}
+			p.ReplayOrders(ops)
+		}(lane)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+		default:
+			p.Broker.BookDepths()
+			p.Broker.SnapshotBooks()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		break
+	}
+	if !p.Quiesce(15 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := p.Stats()
+	if st.TradesCompleted == 0 {
+		t.Fatal("hammer produced no fills")
+	}
+	// Snapshot and depth views agree after the dust settles.
+	depths := p.Broker.BookDepths()
+	snaps := p.Broker.SnapshotBooks()
+	for s, n := range depths {
+		count := 0
+		for _, lv := range snaps[s] {
+			count += len(lv.Orders)
+		}
+		if count != n {
+			t.Fatalf("symbol %s: depth %d vs snapshot %d", s, n, count)
+		}
+	}
+}

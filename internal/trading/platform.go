@@ -68,10 +68,30 @@ type Config struct {
 	QueueCap int
 	// Enforcer optionally shares a pre-built isolation enforcer.
 	Enforcer *isolation.Enforcer
+	// OrderTTL bounds how long unfilled orders rest in the dark pool's
+	// books (default orderTTL, 100ms). Deterministic-replay tests
+	// raise it so wall-clock expiry cannot perturb the fill sequence.
+	OrderTTL time.Duration
 	// OnTrade, when set, receives the end-to-end latency in nanoseconds
 	// (trade production time minus originating tick time) of every
 	// completed trade — the Figure 6 measurement, taken at the Broker.
 	OnTrade func(latencyNs int64)
+	// OnFill, when set, receives every fill in publication order —
+	// deterministic-replay tests compare these streams across publish
+	// paths. Called from the Broker's book instance; keep it cheap.
+	OnFill func(Fill)
+	// OnBookDepth, when set, receives the touched symbol's resting
+	// order count after each processed order — the order-book bench
+	// samples depth through it.
+	OnBookDepth func(depth int)
+}
+
+// Fill describes one completed fill (one published trade event).
+type Fill struct {
+	TradeID             int64
+	Symbol              string
+	Price, Qty          int64
+	BuyOrder, SellOrder int64
 }
 
 // Stats aggregate platform activity.
@@ -79,7 +99,11 @@ type Stats struct {
 	TicksPublished   uint64
 	MatchesEmitted   uint64
 	OrdersPlaced     uint64
+	CancelsRequested uint64
+	CancelsDone      uint64
 	TradesCompleted  uint64
+	PartialFills     uint64
+	OrdersExpired    uint64
 	AuditsRequested  uint64
 	WarningsReceived uint64
 }
@@ -123,6 +147,9 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 512
+	}
+	if cfg.OrderTTL == 0 {
+		cfg.OrderTTL = orderTTL
 	}
 	if cfg.Universe == nil {
 		cfg.Universe = workload.UniverseForTraders(cfg.NumTraders)
@@ -224,6 +251,34 @@ func (p *Platform) ReplayPaced(ticks []workload.Tick, rate float64) {
 	}
 }
 
+// ReplayOrders drives a pre-generated order-flow trace through the
+// trader units on the caller's goroutine: consecutive same-trader runs
+// are published as one batch (the amortised path, mirroring
+// PublishTicks), and ops reach the dark pool in trace order — which
+// makes the Broker's fill sequence deterministic for a given trace.
+func (p *Platform) ReplayOrders(ops []workload.OrderOp) {
+	p.replayOrders(ops, true)
+}
+
+// ReplayOrdersSingle is ReplayOrders on the one-publish-per-op path;
+// delivery order (and hence fills and final book state) must be
+// identical to the batched path.
+func (p *Platform) ReplayOrdersSingle(ops []workload.OrderOp) {
+	p.replayOrders(ops, false)
+}
+
+func (p *Platform) replayOrders(ops []workload.OrderOp, batched bool) {
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && ops[j].Trader == ops[i].Trader {
+			j++
+		}
+		t := p.Traders[ops[i].Trader%len(p.Traders)]
+		t.placeFlow(ops[i:j], batched)
+		i = j
+	}
+}
+
 // Quiesce waits until all unit queues (including managed instances)
 // drain or the timeout expires.
 func (p *Platform) Quiesce(timeout time.Duration) bool {
@@ -246,10 +301,14 @@ func (p *Platform) Stats() Stats {
 	var st Stats
 	st.TicksPublished = p.Exchange.Published()
 	st.TradesCompleted = p.Broker.Trades()
+	st.PartialFills = p.Broker.PartialFills()
+	st.CancelsDone = p.Broker.Cancels()
+	st.OrdersExpired = p.Broker.Expired()
 	st.AuditsRequested = p.Regulator.Audits()
 	for _, t := range p.Traders {
 		st.MatchesEmitted += t.Matches()
 		st.OrdersPlaced += t.Orders()
+		st.CancelsRequested += t.CancelsRequested()
 		st.WarningsReceived += t.Warnings()
 	}
 	return st

@@ -2,6 +2,7 @@ package trading
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
@@ -24,6 +25,11 @@ const maxLiveOrderTags = 32
 // with delegated t_i+ (step 1), reacts to Match events by placing
 // orders into the dark pool (step 4), and recognises its own trades
 // and Regulator warnings (steps 6, 8).
+//
+// Besides the monitor-driven flow, a trader is also the publishing
+// principal for order-flow traces (Platform.ReplayOrders): limit,
+// market and cancel operations enter the dark pool through the same
+// tag/privilege choreography, from the replay driver's goroutine.
 type Trader struct {
 	p    *Platform
 	unit *core.Unit
@@ -40,10 +46,17 @@ type Trader struct {
 	subMatch, subBuy, subSell, subWarning uint64
 
 	orderSeq uint64
+
+	// tagMu guards the live-tag window (and the input-label surgery it
+	// implies): the trader's own loop places monitor-driven orders
+	// while the replay driver places flow orders, and label changes
+	// are read-modify-write.
+	tagMu    sync.Mutex
 	liveTags []tags.Tag
 
 	matches  counter
 	orders   counter
+	cancels  counter
 	trades   counter
 	warnings counter
 }
@@ -124,8 +137,11 @@ func (t *Trader) Pair() workload.Pair { return t.pair }
 // Matches reports Match events emitted by the trader's monitor.
 func (t *Trader) Matches() uint64 { return t.matches.load() }
 
-// Orders reports orders placed.
+// Orders reports orders placed (limit and market; cancels excluded).
 func (t *Trader) Orders() uint64 { return t.orders.load() }
+
+// CancelsRequested reports cancel operations published.
+func (t *Trader) CancelsRequested() uint64 { return t.cancels.load() }
 
 // Trades reports completed trades this trader recognised as its own.
 func (t *Trader) Trades() uint64 { return t.trades.load() }
@@ -154,11 +170,35 @@ func (t *Trader) run() {
 	}
 }
 
-// placeOrder implements step 4: a bid/ask with the three-way protection
-// of Figure 1 — order details confined to the dark pool by b, the
-// trader identity additionally protected by a fresh per-order tag tr,
-// and the privilege payload that lets the Broker (and transitively the
-// Regulator) do their jobs:
+// trackOrderTag mints the bookkeeping for a fresh per-order tag: it
+// joins the trader's input label so confirmations and warnings
+// protected by it remain visible (bounded FIFO window), and the oldest
+// tag beyond the window is renounced entirely so privilege sets stay
+// bounded.
+func (t *Trader) trackOrderTag(tr tags.Tag) {
+	t.tagMu.Lock()
+	defer t.tagMu.Unlock()
+	if err := t.unit.ChangeInLabel(core.Confidentiality, core.Add, tr); err != nil {
+		return
+	}
+	t.liveTags = append(t.liveTags, tr)
+	if len(t.liveTags) > maxLiveOrderTags {
+		old := t.liveTags[0]
+		t.liveTags = t.liveTags[1:]
+		_ = t.unit.ChangeInLabel(core.Confidentiality, core.Del, old)
+		// The order left the confirmation window: renounce its tag
+		// entirely so privilege sets stay bounded.
+		for _, r := range []priv.Right{priv.Plus, priv.Minus, priv.PlusAuth, priv.MinusAuth} {
+			t.unit.DropPrivilege(old, r)
+		}
+	}
+}
+
+// buildOrderEvent assembles one order event with the three-way
+// protection of Figure 1 — order details confined to the dark pool by
+// b, the trader identity additionally protected by a fresh per-order
+// tag tr, and the privilege payload that lets the Broker (and
+// transitively the Regulator) do their jobs:
 //
 //	order part (S={b})      carries [tr+, tr−]      — the Broker may
 //	    temporarily raise its input to read the identity and may
@@ -167,6 +207,65 @@ func (t *Trader) run() {
 //	    delegate those privileges onwards to the Regulator (step 7's
 //	    "only possible as long as t+auth_r was included in the second
 //	    part of the bid order").
+//
+// trigger, when non-nil, donates its origin stamp (latency accounting
+// along the tick→match→order→trade chain).
+func (t *Trader) buildOrderEvent(trigger *events.Event, id int64, symbol, side, ordtype string, price, qty, target int64) *events.Event {
+	tr := t.unit.CreateTag(fmt.Sprintf("tr-%s-%d", t.name, id))
+	t.trackOrderTag(tr)
+
+	var e *events.Event
+	if trigger != nil {
+		e = t.unit.CreateEventFrom(trigger)
+	} else {
+		e = t.unit.CreateEvent()
+	}
+	if err := t.unit.AddPart(e, noTags, noTags, "type", "order"); err != nil {
+		return nil
+	}
+	// The tr reference travels in the order data (§3.1.5: "this
+	// reference is carried in the data part of an event"); the
+	// reference alone conveys no privilege — the attached grants do.
+	order := freeze.MapOf(
+		"symbol", symbol,
+		"price", price,
+		"side", side,
+		"qty", qty,
+		"id", id,
+		"ordtype", ordtype,
+		"target", target,
+		"tr", tr,
+		// The trader's durable strategy-tag reference rides along so a
+		// Regulator warning can be protected by a tag the trader is
+		// guaranteed to still hold: the per-order tr leaves the input
+		// label after maxLiveOrderTags further orders, and a warning
+		// protected by an evicted tr would silently never arrive. The
+		// reference conveys no privilege (§3.1.1: tags are opaque).
+		"strat", t.tag,
+	)
+	bSet := setOf(t.p.tagB)
+	if err := t.unit.AddPart(e, bSet, noTags, "order", order); err != nil {
+		return nil
+	}
+	for _, r := range []priv.Right{priv.Plus, priv.Minus} {
+		if err := t.unit.AttachPrivilegeToPart(e, "order", bSet, noTags, tr, r); err != nil {
+			return nil
+		}
+	}
+	nameSet := setOf(t.p.tagB, tr)
+	if err := t.unit.AddPart(e, nameSet, noTags, "name", t.name); err != nil {
+		return nil
+	}
+	for _, r := range []priv.Right{priv.PlusAuth, priv.MinusAuth} {
+		if err := t.unit.AttachPrivilegeToPart(e, "name", nameSet, noTags, tr, r); err != nil {
+			return nil
+		}
+	}
+	return e
+}
+
+// placeOrder implements step 4: the monitor's Match event becomes a
+// limit order for the divergence's overpriced side.
 func (t *Trader) placeOrder(match *events.Event) {
 	view, err := t.unit.ReadOne(match, "match")
 	if err != nil {
@@ -184,68 +283,72 @@ func (t *Trader) placeOrder(match *events.Event) {
 
 	t.orderSeq++
 	orderID := int64(t.idx)*1_000_000 + int64(t.orderSeq)
-	tr := t.unit.CreateTag(fmt.Sprintf("tr-%s-%d", t.name, t.orderSeq))
-
-	// Keep tr in the input label so trade confirmations and warnings
-	// protected by it remain visible (bounded FIFO).
-	if err := t.unit.ChangeInLabel(core.Confidentiality, core.Add, tr); err == nil {
-		t.liveTags = append(t.liveTags, tr)
-		if len(t.liveTags) > maxLiveOrderTags {
-			old := t.liveTags[0]
-			t.liveTags = t.liveTags[1:]
-			_ = t.unit.ChangeInLabel(core.Confidentiality, core.Del, old)
-			// The order left the confirmation window: renounce its tag
-			// entirely so privilege sets stay bounded.
-			for _, r := range []priv.Right{priv.Plus, priv.Minus, priv.PlusAuth, priv.MinusAuth} {
-				t.unit.DropPrivilege(old, r)
-			}
-		}
-	}
-
-	e := t.unit.CreateEventFrom(match)
-	if err := t.unit.AddPart(e, noTags, noTags, "type", "order"); err != nil {
+	e := t.buildOrderEvent(match, orderID, symbol, t.side, "limit", price, 100, 0)
+	if e == nil {
 		return
-	}
-	// The tr reference travels in the order data (§3.1.5: "this
-	// reference is carried in the data part of an event"); the
-	// reference alone conveys no privilege — the attached grants do.
-	order := freeze.MapOf(
-		"symbol", symbol,
-		"price", price,
-		"side", t.side,
-		"qty", int64(100),
-		"id", orderID,
-		"tr", tr,
-		// The trader's durable strategy-tag reference rides along so a
-		// Regulator warning can be protected by a tag the trader is
-		// guaranteed to still hold: the per-order tr leaves the input
-		// label after maxLiveOrderTags further orders, and a warning
-		// protected by an evicted tr would silently never arrive. The
-		// reference conveys no privilege (§3.1.1: tags are opaque).
-		"strat", t.tag,
-	)
-	bSet := setOf(t.p.tagB)
-	if err := t.unit.AddPart(e, bSet, noTags, "order", order); err != nil {
-		return
-	}
-	for _, r := range []priv.Right{priv.Plus, priv.Minus} {
-		if err := t.unit.AttachPrivilegeToPart(e, "order", bSet, noTags, tr, r); err != nil {
-			return
-		}
-	}
-	nameSet := setOf(t.p.tagB, tr)
-	if err := t.unit.AddPart(e, nameSet, noTags, "name", t.name); err != nil {
-		return
-	}
-	for _, r := range []priv.Right{priv.PlusAuth, priv.MinusAuth} {
-		if err := t.unit.AttachPrivilegeToPart(e, "name", nameSet, noTags, tr, r); err != nil {
-			return
-		}
 	}
 	if err := t.unit.Publish(e); err != nil {
 		return
 	}
 	t.orders.inc()
+}
+
+// flowEvent turns one order-flow op into an order event. Cancels reuse
+// the full choreography — the fresh tr protects the canceller's
+// identity part, which the Broker checks against the resting order's
+// owner before withdrawing it.
+func (t *Trader) flowEvent(op *workload.OrderOp) *events.Event {
+	switch op.Kind {
+	case workload.OpCancel:
+		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "cancel", 0, 0, op.Target)
+	case workload.OpMarket:
+		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "market", 0, op.Qty, 0)
+	default:
+		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "limit", op.Price, op.Qty, 0)
+	}
+}
+
+// placeFlow publishes one run of order-flow ops from this trader, as a
+// single batch (the replay driver's amortised path) or one publish per
+// op; both deliver identically in order.
+func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
+	var placed, cancels uint64
+	if batched && len(ops) > 1 {
+		batch := make([]*events.Event, 0, len(ops))
+		for i := range ops {
+			if e := t.flowEvent(&ops[i]); e != nil {
+				batch = append(batch, e)
+				if ops[i].Kind == workload.OpCancel {
+					cancels++
+				} else {
+					placed++
+				}
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		if err := t.unit.PublishBatch(batch); err != nil {
+			return
+		}
+	} else {
+		for i := range ops {
+			e := t.flowEvent(&ops[i])
+			if e == nil {
+				continue
+			}
+			if err := t.unit.Publish(e); err != nil {
+				return
+			}
+			if ops[i].Kind == workload.OpCancel {
+				cancels++
+			} else {
+				placed++
+			}
+		}
+	}
+	t.orders.add(placed)
+	t.cancels.add(cancels)
 }
 
 // checkTrade implements step 6's consumer side: the trader reads the

@@ -1,0 +1,247 @@
+package workload
+
+// Order-flow traces: a deterministic stream of limit/market/cancel
+// operations over a universe's symbols, the workload that exercises
+// the dark pool's limit order book directly (price levels, partial
+// fills, cancels) rather than through the pairs-trading monitors.
+//
+// The shape follows the usual order-flow decomposition of equity
+// microstructure traces: a configurable fraction of aggressive orders
+// that cross the touch (and so generate fills, often partial), passive
+// orders layered a bounded number of ticks behind the touch (book
+// depth), and cancels of recent resting interest. Ops arrive in short
+// per-trader bursts so the batched publish path has runs to amortise.
+//
+// Everything is deterministic under a seed.
+
+import "math/rand"
+
+// OrderKind classifies one order-flow operation.
+type OrderKind uint8
+
+const (
+	// OpLimit is a limit order: matches what it crosses, rests the
+	// residual.
+	OpLimit OrderKind = iota
+	// OpMarket is a market order: sweeps the opposite side up to its
+	// quantity, never rests.
+	OpMarket
+	// OpCancel withdraws a previously issued resting order by ID.
+	OpCancel
+)
+
+// String renders the kind in the event vocabulary's spelling.
+func (k OrderKind) String() string {
+	switch k {
+	case OpMarket:
+		return "market"
+	case OpCancel:
+		return "cancel"
+	default:
+		return "limit"
+	}
+}
+
+// flowIDBase offsets flow-assigned order IDs away from the ID space
+// traders mint for monitor-driven orders (idx·1e6 + seq), so the two
+// order populations never collide in a book.
+const flowIDBase = int64(1) << 40
+
+// OrderOp is one operation of an order-flow trace.
+type OrderOp struct {
+	Seq    uint64
+	Trader int // index into the platform's trader population
+	Kind   OrderKind
+	ID     int64 // order ID for limit/market (unique per trace)
+	Target int64 // resting order ID a cancel refers to
+	Symbol string
+	Side   string // "bid" or "ask"
+	Price  int64  // limit price in cents; 0 for market/cancel
+	Qty    int64  // shares; 0 for cancel
+}
+
+// FlowConfig shapes an order-flow trace. The zero value of any field
+// selects its default.
+type FlowConfig struct {
+	// Traders is the population ops are spread over (default 1).
+	Traders int
+	// AggressionPct is the percentage of orders priced through the
+	// touch — the crossing flow that generates (partial) fills
+	// (default 40).
+	AggressionPct int
+	// MarketPct is the percentage of aggressive orders submitted as
+	// market rather than marketable-limit orders (default 25).
+	MarketPct int
+	// CancelPct is the percentage of ops that withdraw recent resting
+	// interest (default 10).
+	CancelPct int
+	// Depth is how many price ticks behind the anchor passive orders
+	// may rest — the book's depth in levels per side (default 8).
+	Depth int
+	// BurstMax bounds the consecutive ops one trader emits before the
+	// flow moves on (default 4); batched replay publishes each burst
+	// as one PublishBatch.
+	BurstMax int
+	// QtyUnit is the base quantity unit: passive orders carry 1–4
+	// units, aggressive orders 1–10, so takers routinely outsize the
+	// makers they cross and fills split (default 100).
+	QtyUnit int64
+}
+
+func (c *FlowConfig) defaults() {
+	if c.Traders <= 0 {
+		c.Traders = 1
+	}
+	if c.AggressionPct == 0 {
+		c.AggressionPct = 40
+	}
+	if c.MarketPct == 0 {
+		c.MarketPct = 25
+	}
+	if c.CancelPct == 0 {
+		c.CancelPct = 10
+	}
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	if c.BurstMax <= 0 {
+		c.BurstMax = 4
+	}
+	if c.QtyUnit <= 0 {
+		c.QtyUnit = 100
+	}
+}
+
+// flowRef remembers one resting order a trader could cancel.
+type flowRef struct {
+	id     int64
+	symbol string
+}
+
+// recentCap bounds each trader's cancellable-order memory.
+const recentCap = 16
+
+// OrderFlow is a deterministic order-flow trace over a universe.
+type OrderFlow struct {
+	u   *Universe
+	cfg FlowConfig
+	rng *rand.Rand
+
+	seq       uint64
+	trader    int
+	symbol    string
+	burstLeft int
+
+	recent [][]flowRef // per-trader ring of recent resting orders
+}
+
+// NewOrderFlow starts a trace over the universe's symbols.
+func NewOrderFlow(u *Universe, cfg FlowConfig, seed int64) *OrderFlow {
+	cfg.defaults()
+	return &OrderFlow{
+		u:      u,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		recent: make([][]flowRef, cfg.Traders),
+	}
+}
+
+// tickOf is the price increment for a symbol: ~5 bps of the anchor,
+// floor 1 cent.
+func tickOf(base int64) int64 {
+	if t := base / 2000; t > 1 {
+		return t
+	}
+	return 1
+}
+
+// Next produces the next operation.
+func (f *OrderFlow) Next() OrderOp {
+	if f.burstLeft == 0 {
+		f.trader = f.rng.Intn(f.cfg.Traders)
+		f.burstLeft = 1 + f.rng.Intn(f.cfg.BurstMax)
+		f.symbol = f.u.Symbols[f.rng.Intn(len(f.u.Symbols))]
+	}
+	f.burstLeft--
+	f.seq++
+	op := OrderOp{Seq: f.seq, Trader: f.trader, Symbol: f.symbol}
+
+	if f.rng.Intn(100) < f.cfg.CancelPct {
+		if ref, ok := f.popRecent(f.trader); ok {
+			op.Kind = OpCancel
+			op.Target = ref.id
+			op.Symbol = ref.symbol
+			return op
+		}
+	}
+
+	op.ID = flowIDBase + int64(f.seq)
+	side := "bid"
+	if f.rng.Intn(2) == 1 {
+		side = "ask"
+	}
+	op.Side = side
+	base := f.u.BasePrice(op.Symbol)
+	tick := tickOf(base)
+
+	if f.rng.Intn(100) < f.cfg.AggressionPct {
+		// Aggressive: cross the anchor by 1..Depth ticks, sized to
+		// outweigh typical passive orders so fills split.
+		op.Qty = f.cfg.QtyUnit * int64(1+f.rng.Intn(10))
+		if f.rng.Intn(100) < f.cfg.MarketPct {
+			op.Kind = OpMarket
+			return op
+		}
+		op.Kind = OpLimit
+		through := tick * int64(1+f.rng.Intn(f.cfg.Depth))
+		if side == "bid" {
+			op.Price = base + through
+		} else {
+			op.Price = base - through
+		}
+		return op
+	}
+
+	// Passive: rest 1..Depth ticks behind the anchor.
+	op.Kind = OpLimit
+	op.Qty = f.cfg.QtyUnit * int64(1+f.rng.Intn(4))
+	behind := tick * int64(1+f.rng.Intn(f.cfg.Depth))
+	if side == "bid" {
+		op.Price = base - behind
+	} else {
+		op.Price = base + behind
+	}
+	f.pushRecent(f.trader, flowRef{id: op.ID, symbol: op.Symbol})
+	return op
+}
+
+// Take materialises the next n operations.
+func (f *OrderFlow) Take(n int) []OrderOp {
+	out := make([]OrderOp, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}
+
+// pushRecent remembers a resting order for later cancellation.
+func (f *OrderFlow) pushRecent(trader int, ref flowRef) {
+	r := f.recent[trader]
+	if len(r) >= recentCap {
+		copy(r, r[1:])
+		r = r[:recentCap-1]
+	}
+	f.recent[trader] = append(r, ref)
+}
+
+// popRecent withdraws a random remembered order, if any.
+func (f *OrderFlow) popRecent(trader int) (flowRef, bool) {
+	r := f.recent[trader]
+	if len(r) == 0 {
+		return flowRef{}, false
+	}
+	i := f.rng.Intn(len(r))
+	ref := r[i]
+	f.recent[trader] = append(r[:i], r[i+1:]...)
+	return ref, true
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestOrderFlowDeterministic(t *testing.T) {
+	u := NewUniverse(4)
+	a := NewOrderFlow(u, FlowConfig{Traders: 8}, 7).Take(2000)
+	b := NewOrderFlow(u, FlowConfig{Traders: 8}, 7).Take(2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed flows diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewOrderFlow(u, FlowConfig{Traders: 8}, 8).Take(2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical flows")
+	}
+}
+
+func TestOrderFlowShape(t *testing.T) {
+	u := NewUniverse(4)
+	cfg := FlowConfig{Traders: 8}
+	ops := NewOrderFlow(u, cfg, 11).Take(10000)
+	kinds := map[OrderKind]int{}
+	issued := map[int64]bool{}
+	for i := range ops {
+		op := &ops[i]
+		kinds[op.Kind]++
+		if op.Seq != uint64(i+1) {
+			t.Fatalf("op %d has seq %d", i, op.Seq)
+		}
+		if op.Trader < 0 || op.Trader >= 8 {
+			t.Fatalf("op %d trader %d out of range", i, op.Trader)
+		}
+		if u.BasePrice(op.Symbol) == 0 {
+			t.Fatalf("op %d has unknown symbol %q", i, op.Symbol)
+		}
+		switch op.Kind {
+		case OpCancel:
+			if !issued[op.Target] {
+				t.Fatalf("op %d cancels never-issued order %d", i, op.Target)
+			}
+			if op.ID != 0 || op.Qty != 0 {
+				t.Fatalf("cancel op carries order fields: %+v", op)
+			}
+		case OpMarket:
+			if op.Qty <= 0 || op.Price != 0 || op.ID < flowIDBase {
+				t.Fatalf("bad market op %+v", op)
+			}
+		case OpLimit:
+			if op.Qty <= 0 || op.Price <= 0 || op.ID < flowIDBase {
+				t.Fatalf("bad limit op %+v", op)
+			}
+			if issued[op.ID] {
+				t.Fatalf("op %d reuses ID %d", i, op.ID)
+			}
+			issued[op.ID] = true
+			// Limit prices stay within Depth+1 ticks of the anchor.
+			base := u.BasePrice(op.Symbol)
+			tick := tickOf(base)
+			dev := op.Price - base
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev == 0 || dev > tick*int64(cfg.Depth+8) {
+				t.Fatalf("op %d priced %d ticks off anchor", i, dev/tick)
+			}
+		}
+		if op.Side != "" && op.Side != "bid" && op.Side != "ask" {
+			t.Fatalf("op %d side %q", i, op.Side)
+		}
+	}
+	if kinds[OpLimit] < 6000 || kinds[OpMarket] < 200 || kinds[OpCancel] < 200 {
+		t.Fatalf("kind mix off: %+v", kinds)
+	}
+}
+
+func TestOrderFlowBurstsBoundedAndBatched(t *testing.T) {
+	u := NewUniverse(2)
+	cfg := FlowConfig{Traders: 16, BurstMax: 4}
+	ops := NewOrderFlow(u, cfg, 3).Take(5000)
+	run, runs, maxRun := 1, 0, 0
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Trader == ops[i-1].Trader {
+			run++
+			continue
+		}
+		runs++
+		if run > maxRun {
+			maxRun = run
+		}
+		run = 1
+	}
+	// Bursts exist (so the batched publish path has runs to amortise)
+	// and stay bounded: consecutive same-trader bursts can merge, but
+	// at 16 traders the odds of long merged runs are negligible.
+	if maxRun < 2 {
+		t.Fatal("flow never bursts")
+	}
+	if maxRun > 4*cfg.BurstMax {
+		t.Fatalf("burst run of %d ops", maxRun)
+	}
+	if runs < 1000 {
+		t.Fatalf("only %d trader switches in 5000 ops", runs)
+	}
+}
+
+func TestOrderFlowAggressionCrossesAnchor(t *testing.T) {
+	u := NewUniverse(2)
+	ops := NewOrderFlow(u, FlowConfig{Traders: 4, AggressionPct: 50}, 9).Take(8000)
+	above, below := 0, 0
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind != OpLimit {
+			continue
+		}
+		base := u.BasePrice(op.Symbol)
+		if op.Side == "bid" && op.Price > base {
+			above++ // marketable bid: crosses any anchor-or-better ask
+		}
+		if op.Side == "ask" && op.Price < base {
+			below++
+		}
+	}
+	if above < 500 || below < 500 {
+		t.Fatalf("aggressive flow too thin: %d marketable bids, %d marketable asks", above, below)
+	}
+}
