@@ -7,7 +7,9 @@
 //	go test ./internal/dispatch -run xxx -bench . -benchmem | tee bench.txt
 //	defcon-bench -fig 5 -quick | tee fig5.txt
 //	defcon-bench -fig ob -quick | tee figob.txt
-//	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt -o BENCH_dispatch.json
+//	defcon-bench -fig obshard -shards 1,2 | tee figobshard.txt
+//	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt \
+//	  -figobshard figobshard.txt -o BENCH_dispatch.json
 package main
 
 import (
@@ -46,17 +48,23 @@ type Snapshot struct {
 	// from the Figure 5 points because the series names coincide.
 	OrderBookFigure string     `json:"orderbook_figure,omitempty"`
 	OrderBookPoints []FigPoint `json:"orderbook_points,omitempty"`
+	// Shard-scaling series (fills/s per mode, x = broker shard
+	// count) from `defcon-bench -fig obshard`.
+	ObShardFigure string     `json:"obshard_figure,omitempty"`
+	ObShardPoints []FigPoint `json:"obshard_points,omitempty"`
 }
 
 func main() {
 	var (
-		benchPath   = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
-		figPath     = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
-		figOBPath   = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
-		outPath     = flag.String("o", "BENCH_dispatch.json", "output JSON path")
-		require     = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
-		reqSeries   = flag.String("require-series", "", "comma-separated figure series names that must be present")
-		reqOBSeries = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
+		benchPath      = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
+		figPath        = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
+		figOBPath      = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
+		figShardPath   = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
+		outPath        = flag.String("o", "BENCH_dispatch.json", "output JSON path")
+		require        = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
+		reqSeries      = flag.String("require-series", "", "comma-separated figure series names that must be present")
+		reqOBSeries    = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
+		reqShardSeries = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
 	)
 	flag.Parse()
 
@@ -87,8 +95,13 @@ func main() {
 			fatal(fmt.Errorf("no order-book points parsed from %s", *figOBPath))
 		}
 	}
+	if *figShardPath != "" {
+		if snap.ObShardFigure, snap.ObShardPoints = parseFigureFile(*figShardPath); len(snap.ObShardPoints) == 0 {
+			fatal(fmt.Errorf("no shard-scaling points parsed from %s", *figShardPath))
+		}
+	}
 
-	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries); err != nil {
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries); err != nil {
 		fatal(err)
 	}
 
@@ -112,7 +125,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series, obSeries string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -128,7 +141,10 @@ func checkRequired(snap *Snapshot, benches, series, obSeries string) error {
 	if err := requireSeries(snap.FigPoints, series, "figure"); err != nil {
 		return err
 	}
-	return requireSeries(snap.OrderBookPoints, obSeries, "order-book")
+	if err := requireSeries(snap.OrderBookPoints, obSeries, "order-book"); err != nil {
+		return err
+	}
+	return requireSeries(snap.ObShardPoints, shardSeries, "shard-scaling")
 }
 
 // requireSeries checks each named series appears in at least one point.

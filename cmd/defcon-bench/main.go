@@ -8,6 +8,7 @@
 //	defcon-bench -fig 8 -agents 2,5,10,20        # baseline throughput
 //	defcon-bench -fig 9 -inprocess               # serialisation-only ablation
 //	defcon-bench -fig ob -ops 50000              # order-book fill rate
+//	defcon-bench -fig obshard -shards 1,2,4,8    # pool shard scaling
 //	defcon-bench -analysis                       # §4.2 pipeline counts
 //	defcon-bench -fig all -quick                 # fast smoke of everything
 //
@@ -31,8 +32,9 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,obshard or all")
 		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
+		shards    = flag.String("shards", "", "comma-separated broker shard counts (figure obshard)")
 		agents    = flag.String("agents", "", "comma-separated agent counts (figures 8-9)")
 		duration  = flag.Duration("duration", 2*time.Second, "measurement duration per throughput point")
 		rate      = flag.Float64("rate", 0, "offered tick rate for latency figures (0 = default)")
@@ -54,6 +56,7 @@ func main() {
 	dopts := bench.DEFConOpts{Duration: *duration}
 	bopts := bench.BaselineOpts{Duration: *duration}
 	oopts := bench.OrderBookOpts{Ops: *ops}
+	sopts := bench.OrderBookShardOpts{Ops: *ops}
 	if *rate > 0 {
 		dopts.LatencyRate = *rate
 		bopts.LatencyRate = *rate
@@ -61,6 +64,9 @@ func main() {
 	if *traders != "" {
 		dopts.Traders = parseInts(*traders)
 		oopts.Traders = parseInts(*traders)
+	}
+	if *shards != "" {
+		sopts.Shards = parseInts(*shards)
 	}
 	if *agents != "" {
 		bopts.ThroughputAgents = parseInts(*agents)
@@ -80,6 +86,10 @@ func main() {
 		bopts.LatencyTicks = 1000
 		oopts.Traders = []int{16, 32}
 		oopts.Ops = 8000
+		if *shards == "" {
+			sopts.Shards = []int{1, 2}
+		}
+		sopts.Ops = 12000
 	}
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
@@ -94,6 +104,7 @@ func main() {
 		{"8", func() (bench.Result, error) { return bench.RunFig8(bopts) }},
 		{"9", func() (bench.Result, error) { return bench.RunFig9(bopts) }},
 		{"ob", func() (bench.Result, error) { return bench.RunOrderBook(oopts) }},
+		{"obshard", func() (bench.Result, error) { return bench.RunOrderBookShards(sopts) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -109,7 +120,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,obshard or all)\n", *fig)
 		os.Exit(2)
 	}
 }

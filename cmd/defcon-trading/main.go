@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/orderbook"
 	"repro/internal/trading"
 	"repro/internal/workload"
 )
@@ -27,6 +28,8 @@ func main() {
 		rate    = flag.Float64("rate", 0, "offered tick rate (0 = as fast as possible)")
 		mode    = flag.String("mode", "isolation", "security mode: none|freeze|clone|isolation")
 		quota   = flag.Int64("quota", 2000, "per-trader volume quota (shares)")
+		shards  = flag.Int("shards", 0, "broker pool size (0 = GOMAXPROCS-scaled)")
+		stp     = flag.String("stp", "off", "self-trade prevention: off|cancel-resting|cancel-incoming")
 	)
 	flag.Parse()
 
@@ -44,13 +47,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	var policy orderbook.STP
+	switch *stp {
+	case "off":
+		policy = orderbook.STPAllow
+	case "cancel-resting":
+		policy = orderbook.STPCancelResting
+	case "cancel-incoming":
+		policy = orderbook.STPCancelIncoming
+	default:
+		fmt.Fprintf(os.Stderr, "unknown self-trade policy %q\n", *stp)
+		os.Exit(2)
+	}
 
 	lat := metrics.NewHistogram()
 	p, err := trading.New(trading.Config{
-		Mode:        m,
-		NumTraders:  *traders,
-		QuotaShares: *quota,
-		OnTrade:     func(ns int64) { lat.Record(ns) },
+		Mode:            m,
+		NumTraders:      *traders,
+		QuotaShares:     *quota,
+		BrokerShards:    *shards,
+		SelfTradePolicy: policy,
+		// Histogram.Record is atomic, so the hook needs no extra lock
+		// even though shards invoke it concurrently.
+		OnTrade: func(ns int64) { lat.Record(ns) },
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -58,8 +77,8 @@ func main() {
 	}
 	defer p.Close()
 
-	fmt.Printf("DEFCon trading platform: %d traders, mode %v, %d pairs\n",
-		*traders, m, p.Universe().PairsFor())
+	fmt.Printf("DEFCon trading platform: %d traders, mode %v, %d pairs, %d broker shard(s)\n",
+		*traders, m, p.Universe().PairsFor(), p.BrokerShards())
 
 	trace := workload.NewTrace(p.Universe(), 42)
 	start := time.Now()
@@ -78,7 +97,17 @@ func main() {
 	fmt.Printf("  matches emitted:    %d\n", st.MatchesEmitted)
 	fmt.Printf("  orders placed:      %d\n", st.OrdersPlaced)
 	fmt.Printf("  trades completed:   %d\n", st.TradesCompleted)
+	if st.SelfTradeCancels > 0 {
+		fmt.Printf("  self-trade cancels: %d\n", st.SelfTradeCancels)
+	}
 	fmt.Printf("  audits requested:   %d\n", st.AuditsRequested)
+	for _, sh := range p.Broker.Shards() {
+		if sh.Trades() == 0 {
+			continue
+		}
+		fmt.Printf("    shard %d:          %d trades, %d books\n",
+			sh.Shard(), sh.Trades(), len(sh.BookDepths()))
+	}
 	fmt.Printf("  warnings delivered: %d\n", st.WarningsReceived)
 	fmt.Printf("  trade latency:      %s\n", lat.Snapshot())
 	fmt.Printf("  heap in use:        %.1f MiB\n", metrics.HeapInUseMiB())

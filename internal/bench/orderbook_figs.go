@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -54,6 +55,123 @@ func (o *OrderBookOpts) defaults() {
 // The replay driver pushes the trace as fast as the platform accepts
 // it; the measurement covers replay plus drain (Quiesce), so the
 // number is end-to-end fills per wall-clock second.
+// OrderBookShardOpts parameterise the shard-scaling sweep: aggregate
+// dark-pool fill throughput on a multi-symbol order flow as the
+// broker pool grows, per security mode. Replay runs on several
+// publisher lanes so the single replay goroutine is not the ceiling
+// the pool is measured against.
+type OrderBookShardOpts struct {
+	// Shards lists the x-axis points (default 1,2,4,8).
+	Shards []int
+	// Traders is the fixed trader population (default 48).
+	Traders int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Ops is the order-flow length per measurement point (default
+	// 60,000).
+	Ops int
+	// Pairs sizes the symbol universe (default 16 pairs, 32 symbols).
+	Pairs int
+	// Lanes is the number of concurrent replay drivers (default 4).
+	Lanes int
+	// Flow shapes the trace; the Traders field is overridden. Zero-
+	// value fields take workload defaults.
+	Flow workload.FlowConfig
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (o *OrderBookShardOpts) defaults() {
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 2, 4, 8}
+	}
+	if o.Traders == 0 {
+		o.Traders = 48
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Ops == 0 {
+		o.Ops = 60000
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 16
+	}
+	if o.Lanes == 0 {
+		o.Lanes = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunOrderBookShards measures aggregate fills/s as the broker pool
+// widens (the `-fig obshard` sweep): the same multi-symbol trace is
+// split across Lanes concurrent replay drivers by trader range, so
+// matching — not the replay goroutine — is the measured resource.
+// Scaling requires hardware parallelism: on a single-core host the
+// series stays flat by construction.
+func RunOrderBookShards(o OrderBookShardOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Order book shard scaling",
+		Caption: "aggregate dark-pool fill rate vs broker shard count on the multi-symbol order-flow workload",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Name: mode.String(), Unit: "fills/s"}
+		for _, shards := range o.Shards {
+			p, err := trading.New(trading.Config{
+				Mode:         mode,
+				NumTraders:   o.Traders,
+				Universe:     workload.NewUniverse(o.Pairs),
+				Seed:         o.Seed,
+				BrokerShards: shards,
+				OrderTTL:     time.Minute,
+				QueueCap:     4096,
+				Enforcer:     SharedEnforcer(),
+			})
+			if err != nil {
+				return res, err
+			}
+			flowCfg := o.Flow
+			flowCfg.Traders = o.Traders
+			flow := workload.NewOrderFlow(p.Universe(), flowCfg, o.Seed+5)
+			ops := flow.Take(o.Ops)
+			// Partition by trader so each lane publishes disjoint
+			// principals; per-symbol ordering across lanes is not
+			// preserved, which is fine for a throughput measurement.
+			lanes := make([][]workload.OrderOp, o.Lanes)
+			for _, op := range ops {
+				l := op.Trader * o.Lanes / o.Traders % o.Lanes
+				lanes[l] = append(lanes[l], op)
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			for _, laneOps := range lanes {
+				if len(laneOps) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(laneOps []workload.OrderOp) {
+					defer wg.Done()
+					p.ReplayOrders(laneOps)
+				}(laneOps)
+			}
+			wg.Wait()
+			if !p.Quiesce(60 * time.Second) {
+				p.Close()
+				return res, fmt.Errorf("obshard point %s/%d did not quiesce", mode, shards)
+			}
+			elapsed := time.Since(start)
+			fills := p.Broker.Trades()
+			p.Close()
+			s.Points = append(s.Points, Point{X: shards, Y: float64(fills) / elapsed.Seconds()})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
 func RunOrderBook(o OrderBookOpts) (Result, error) {
 	o.defaults()
 	res := Result{

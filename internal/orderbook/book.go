@@ -124,6 +124,24 @@ type FillFunc func(maker *Order, price, qty int64)
 // EvictFunc observes one TTL eviction; same pointer rules as FillFunc.
 type EvictFunc func(*Order)
 
+// STP is a self-trade prevention policy: what happens when an incoming
+// order would cross resting interest with the same Owner.Name. Orders
+// with an empty owner name (engine-level tests) never self-match.
+type STP uint8
+
+const (
+	// STPAllow lets an owner trade with itself (the default; wash
+	// trades are the surveillance layer's problem, not the engine's).
+	STPAllow STP = iota
+	// STPCancelResting withdraws the owner's resting order and keeps
+	// matching the incoming one against the rest of the book.
+	STPCancelResting
+	// STPCancelIncoming stops matching at the first self-cross and
+	// discards the incoming order's remainder (fills already made
+	// stand; a limit residual does NOT rest).
+	STPCancelIncoming
+)
+
 // Book is one symbol's limit order book. Not safe for concurrent use.
 type Book struct {
 	bids, asks ladder
@@ -170,25 +188,44 @@ func better(s Side, a, b int64) bool {
 // (no partial application). Returns the filled quantity and whether a
 // residual rested.
 func (b *Book) Limit(id int64, side Side, price, qty int64, ow Owner, now int64, fill FillFunc) (filled int64, rested bool) {
+	filled, rested, _ = b.LimitSTP(id, side, price, qty, ow, now, STPAllow, nil, fill)
+	return filled, rested
+}
+
+// LimitSTP is Limit with a self-trade prevention policy: stpCancel
+// observes each resting order withdrawn under STPCancelResting (same
+// pointer rules as EvictFunc). ok reports whether the order was
+// accepted at all (false: non-positive price/qty or duplicate ID) —
+// callers keeping quantity ledgers need the distinction from an
+// accepted order that neither filled nor rested.
+func (b *Book) LimitSTP(id int64, side Side, price, qty int64, ow Owner, now int64, stp STP, stpCancel EvictFunc, fill FillFunc) (filled int64, rested, ok bool) {
 	if price <= 0 || qty <= 0 || b.byID[id] != nil {
-		return 0, false
+		return 0, false, false
 	}
-	filled = b.take(side, price, true, qty, fill)
-	if rem := qty - filled; rem > 0 {
+	filled, stopped := b.take(side, price, true, qty, ow.Name, stp, stpCancel, fill)
+	if rem := qty - filled; rem > 0 && !stopped {
 		b.rest(id, side, price, rem, ow, now)
-		return filled, true
+		return filled, true, true
 	}
-	return filled, false
+	return filled, false, true
 }
 
 // Market submits a market order: it matches against the opposite side
 // regardless of price until the quantity is done or the book is empty;
 // any remainder is discarded, never rested.
 func (b *Book) Market(side Side, qty int64, fill FillFunc) (filled int64) {
+	filled, _ = b.MarketSTP(side, qty, "", STPAllow, nil, fill)
+	return filled
+}
+
+// MarketSTP is Market with a self-trade prevention policy; owner is
+// the incoming order's Owner.Name for the self-cross comparison.
+func (b *Book) MarketSTP(side Side, qty int64, owner string, stp STP, stpCancel EvictFunc, fill FillFunc) (filled int64, ok bool) {
 	if qty <= 0 {
-		return 0
+		return 0, false
 	}
-	return b.take(side, 0, false, qty, fill)
+	filled, _ = b.take(side, 0, false, qty, owner, stp, stpCancel, fill)
+	return filled, true
 }
 
 // Cancel removes the resting order with the given ID. Returns false if
@@ -209,6 +246,13 @@ func (b *Book) Cancel(id int64) bool {
 // interest (it may immediately match, reported through fill). Returns
 // the re-entry fill quantity and whether the order existed.
 func (b *Book) Amend(id int64, price, qty int64, now int64, fill FillFunc) (filled int64, ok bool) {
+	return b.AmendSTP(id, price, qty, now, STPAllow, nil, fill)
+}
+
+// AmendSTP is Amend with a self-trade prevention policy applied to the
+// re-entry path (an amend that loses priority may cross the owner's
+// other resting orders).
+func (b *Book) AmendSTP(id int64, price, qty int64, now int64, stp STP, stpCancel EvictFunc, fill FillFunc) (filled int64, ok bool) {
 	o := b.byID[id]
 	if o == nil || price <= 0 || qty <= 0 {
 		return 0, false
@@ -222,7 +266,7 @@ func (b *Book) Amend(id int64, price, qty int64, now int64, fill FillFunc) (fill
 	}
 	side, ow := o.Side, o.Owner
 	b.removeResting(o)
-	filled, _ = b.Limit(id, side, price, qty, ow, now, fill)
+	filled, _, _ = b.LimitSTP(id, side, price, qty, ow, now, stp, stpCancel, fill)
 	return filled, true
 }
 
@@ -273,10 +317,13 @@ func (b *Book) expireSide(lad *ladder, cutoff int64, evict EvictFunc) int {
 
 // take matches an incoming taker against the opposite ladder. priced
 // limits matching to levels the taker's price crosses; market orders
-// pass priced=false and sweep everything.
-func (b *Book) take(side Side, price int64, priced bool, qty int64, fill FillFunc) int64 {
+// pass priced=false and sweep everything. owner/stp implement
+// self-trade prevention: a maker whose Owner.Name equals owner is
+// withdrawn (STPCancelResting, reported through stpCancel) or stops
+// the taker outright (STPCancelIncoming, reported through stopped —
+// the caller must then discard the remainder instead of resting it).
+func (b *Book) take(side Side, price int64, priced bool, qty int64, owner string, stp STP, stpCancel EvictFunc, fill FillFunc) (filled int64, stopped bool) {
 	opp := b.ladderFor(side.Opposite())
-	var filled int64
 	for qty > 0 && len(opp.levels) > 0 {
 		lv := opp.levels[0]
 		if priced && !crosses(side, price, lv.price) {
@@ -284,6 +331,30 @@ func (b *Book) take(side Side, price int64, priced bool, qty int64, fill FillFun
 		}
 		for qty > 0 && lv.head != nil {
 			maker := lv.head
+			if stp != STPAllow && owner != "" && maker.Owner.Name == owner {
+				if stp == STPCancelIncoming {
+					// The self-crossed maker keeps the level non-empty,
+					// so no empty level escapes the early return.
+					return filled, true
+				}
+				// STPCancelResting: withdraw the maker and keep going.
+				lv.head = maker.next
+				if lv.head == nil {
+					lv.tail = nil
+				} else {
+					lv.head.prev = nil
+				}
+				lv.count--
+				lv.qty -= maker.Qty
+				opp.count--
+				opp.qty -= maker.Qty
+				delete(b.byID, maker.ID)
+				if stpCancel != nil {
+					stpCancel(maker)
+				}
+				b.recycleOrder(maker)
+				continue
+			}
 			n := maker.Qty
 			if qty < n {
 				n = qty
@@ -314,7 +385,7 @@ func (b *Book) take(side Side, price int64, priced bool, qty int64, fill FillFun
 			b.recycleLevel(lv)
 		}
 	}
-	return filled
+	return filled, false
 }
 
 // rest enters a residual at its price level, creating the level if

@@ -1,0 +1,258 @@
+package orderbook
+
+// Table-driven self-trade prevention tests. Each scenario scripts the
+// book to a known state, submits the incoming order under each policy,
+// and pins fills, STP cancels, the incoming residual and the final
+// resting set — including the partial-fill-then-self-cross edge where
+// the taker first fills against a counterparty and only then meets its
+// own resting interest.
+
+import (
+	"testing"
+)
+
+// stpRest is one pre-scripted resting order.
+type stpRest struct {
+	id    int64
+	owner string
+	side  Side
+	price int64
+	qty   int64
+}
+
+// stpWant pins one policy's expected outcome.
+type stpWant struct {
+	fills      []fill  // observed fill stream, in order
+	stpCancels []int64 // IDs withdrawn by STPCancelResting, in order
+	restedQty  int64   // residual resting for the incoming order (0 = none)
+	restingIDs []int64 // every order left in the book, any side
+}
+
+func TestSelfTradePreventionTable(t *testing.T) {
+	const taker = "alice"
+	cases := []struct {
+		name    string
+		resting []stpRest
+		// incoming limit order (id 100) from taker.
+		side       Side
+		price, qty int64
+		want       map[STP]stpWant
+	}{
+		{
+			// Pure self-cross: the only crossing interest is the
+			// taker's own.
+			name:    "self-only cross",
+			resting: []stpRest{{id: 1, owner: taker, side: Ask, price: 100, qty: 10}},
+			side:    Bid, price: 100, qty: 10,
+			want: map[STP]stpWant{
+				STPAllow: {
+					fills:      []fill{{maker: 1, price: 100, qty: 10}},
+					restingIDs: nil,
+				},
+				STPCancelResting: {
+					stpCancels: []int64{1},
+					restedQty:  10,
+					restingIDs: []int64{100},
+				},
+				STPCancelIncoming: {
+					// Incoming discarded whole; the resting ask stays.
+					restingIDs: []int64{1},
+				},
+			},
+		},
+		{
+			// Partial-fill-then-self-cross: bob's ask has time priority
+			// at the level, alice's own ask sits behind it. The taker
+			// fills bob first, then meets itself.
+			name: "partial fill then self cross",
+			resting: []stpRest{
+				{id: 1, owner: "bob", side: Ask, price: 100, qty: 6},
+				{id: 2, owner: taker, side: Ask, price: 100, qty: 6},
+				{id: 3, owner: "carol", side: Ask, price: 101, qty: 6},
+			},
+			side: Bid, price: 101, qty: 15,
+			want: map[STP]stpWant{
+				STPAllow: {
+					fills: []fill{
+						{maker: 1, price: 100, qty: 6},
+						{maker: 2, price: 100, qty: 6},
+						{maker: 3, price: 101, qty: 3},
+					},
+					restingIDs: []int64{3},
+				},
+				STPCancelResting: {
+					// Own ask withdrawn mid-sweep; matching continues
+					// into carol's level.
+					fills: []fill{
+						{maker: 1, price: 100, qty: 6},
+						{maker: 3, price: 101, qty: 6},
+					},
+					stpCancels: []int64{2},
+					restedQty:  3,
+					restingIDs: []int64{100},
+				},
+				STPCancelIncoming: {
+					// Bob's fill stands; the remainder dies at the
+					// self-cross and must NOT rest even though the
+					// taker priced through carol's level too.
+					fills:      []fill{{maker: 1, price: 100, qty: 6}},
+					restingIDs: []int64{2, 3},
+				},
+			},
+		},
+		{
+			// Self interest deeper than the taker's limit never
+			// triggers any policy.
+			name: "own order behind the limit",
+			resting: []stpRest{
+				{id: 1, owner: "bob", side: Ask, price: 100, qty: 5},
+				{id: 2, owner: taker, side: Ask, price: 103, qty: 5},
+			},
+			side: Bid, price: 100, qty: 8,
+			want: map[STP]stpWant{
+				STPAllow: {
+					fills:      []fill{{maker: 1, price: 100, qty: 5}},
+					restedQty:  3,
+					restingIDs: []int64{2, 100},
+				},
+				STPCancelResting: {
+					fills:      []fill{{maker: 1, price: 100, qty: 5}},
+					restedQty:  3,
+					restingIDs: []int64{2, 100},
+				},
+				STPCancelIncoming: {
+					fills:      []fill{{maker: 1, price: 100, qty: 5}},
+					restedQty:  3,
+					restingIDs: []int64{2, 100},
+				},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		for _, stp := range []STP{STPAllow, STPCancelResting, STPCancelIncoming} {
+			want, ok := tc.want[stp]
+			if !ok {
+				continue
+			}
+			t.Run(tc.name+"/"+stpName(stp), func(t *testing.T) {
+				b := New()
+				for i, r := range tc.resting {
+					if _, rested := b.Limit(r.id, r.side, r.price, r.qty, Owner{Name: r.owner}, int64(i+1), nil); !rested {
+						t.Fatalf("scripted order %d did not rest", r.id)
+					}
+				}
+				var got []fill
+				var cancels []int64
+				_, _, ok := b.LimitSTP(100, tc.side, tc.price, tc.qty, Owner{Name: taker}, 50, stp,
+					func(o *Order) { cancels = append(cancels, o.ID) },
+					collect(&got))
+				if !ok {
+					t.Fatal("incoming order rejected")
+				}
+				if len(got) != len(want.fills) {
+					t.Fatalf("fills %+v, want %+v", got, want.fills)
+				}
+				for i := range got {
+					if got[i] != want.fills[i] {
+						t.Fatalf("fill %d = %+v, want %+v", i, got[i], want.fills[i])
+					}
+				}
+				if len(cancels) != len(want.stpCancels) {
+					t.Fatalf("stp cancels %v, want %v", cancels, want.stpCancels)
+				}
+				for i := range cancels {
+					if cancels[i] != want.stpCancels[i] {
+						t.Fatalf("stp cancel %d = %d, want %d", i, cancels[i], want.stpCancels[i])
+					}
+				}
+				var restedQty int64
+				if o := b.Lookup(100); o != nil {
+					restedQty = o.Qty
+				}
+				if restedQty != want.restedQty {
+					t.Fatalf("incoming residual %d, want %d", restedQty, want.restedQty)
+				}
+				for _, id := range want.restingIDs {
+					if b.Lookup(id) == nil {
+						t.Fatalf("order %d missing from book", id)
+					}
+				}
+				if got, wantN := b.RestingOrders(), len(want.restingIDs); got != wantN {
+					t.Fatalf("%d orders resting, want %d", got, wantN)
+				}
+				if err := b.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func stpName(s STP) string {
+	switch s {
+	case STPCancelResting:
+		return "cancel-resting"
+	case STPCancelIncoming:
+		return "cancel-incoming"
+	default:
+		return "allow"
+	}
+}
+
+// TestSelfTradePreventionMarketAndAmend covers the two non-limit entry
+// points: a market order under STP, and an amend whose re-entry
+// self-crosses.
+func TestSelfTradePreventionMarketAndAmend(t *testing.T) {
+	t.Run("market cancel-resting sweeps through own order", func(t *testing.T) {
+		b := New()
+		b.Limit(1, Ask, 100, 5, Owner{Name: "alice"}, 1, nil)
+		b.Limit(2, Ask, 101, 5, Owner{Name: "bob"}, 2, nil)
+		var got []fill
+		var cancels []int64
+		filled, ok := b.MarketSTP(Bid, 8, "alice", STPCancelResting,
+			func(o *Order) { cancels = append(cancels, o.ID) }, collect(&got))
+		if !ok || filled != 5 {
+			t.Fatalf("filled %d ok=%v, want 5 from bob only", filled, ok)
+		}
+		if len(cancels) != 1 || cancels[0] != 1 {
+			t.Fatalf("stp cancels %v, want [1]", cancels)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("market cancel-incoming stops at own order", func(t *testing.T) {
+		b := New()
+		b.Limit(1, Ask, 100, 5, Owner{Name: "alice"}, 1, nil)
+		b.Limit(2, Ask, 101, 5, Owner{Name: "bob"}, 2, nil)
+		filled, ok := b.MarketSTP(Bid, 8, "alice", STPCancelIncoming, nil, nil)
+		if !ok || filled != 0 {
+			t.Fatalf("filled %d, want 0 (stopped at own best ask)", filled)
+		}
+		if b.RestingOrders() != 2 {
+			t.Fatalf("resting %d, want both asks untouched", b.RestingOrders())
+		}
+	})
+	t.Run("amend re-entry self-crosses", func(t *testing.T) {
+		b := New()
+		b.Limit(1, Bid, 99, 5, Owner{Name: "alice"}, 1, nil)
+		b.Limit(2, Ask, 101, 5, Owner{Name: "alice"}, 2, nil)
+		// Reprice alice's ask through her own bid under cancel-incoming:
+		// the re-entering order dies at the self-cross; the bid stays.
+		var got []fill
+		filled, ok := b.AmendSTP(2, 99, 5, 3, STPCancelIncoming, nil, collect(&got))
+		if !ok || filled != 0 || len(got) != 0 {
+			t.Fatalf("amend self-cross filled %d (%+v)", filled, got)
+		}
+		if b.Lookup(2) != nil {
+			t.Fatal("amended order still resting after cancel-incoming self-cross")
+		}
+		if b.Lookup(1) == nil {
+			t.Fatal("counterparty-free bid vanished")
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package trading
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -13,8 +15,12 @@ import (
 	"repro/internal/tags"
 )
 
-// maxTradeLog bounds the Broker's completed-trade log retained for
-// audit responses.
+// maxTradeLog bounds the completed-trade log retained for audit
+// responses, per symbol: trade IDs are dense per symbol (see symBook),
+// so each symbol's audit window holds its own last maxTradeLog fills
+// regardless of how busy the rest of the shard is — and regardless of
+// how many shards the pool runs, which is what keeps the log contents
+// identical across pool sizes.
 const maxTradeLog = 1024
 
 // orderTTL bounds how long an unfilled order rests in the book. Dark
@@ -24,20 +30,31 @@ const maxTradeLog = 1024
 // processing time.
 const orderTTL = 100 * time.Millisecond
 
-// Broker is the Local Broker unit (§6.1): it clears traders' orders
-// locally — the dark pool — by matching bids against asks (step 5) and
-// publishing trade events (step 6). Per the paper it processes orders
-// through a managed subscription: DEFCon routes every order to a pooled
-// instance contaminated at {b}, where the order book lives; the
-// broker's primary unit stays clean.
+// Broker is one shard of the Local Broker pool (§6.1): it clears the
+// orders of its symbol partition locally — the dark pool — by matching
+// bids against asks (step 5) and publishing trade events (step 6).
+// Per the paper it processes orders through a managed subscription:
+// DEFCon routes every order to a pooled instance contaminated at {b},
+// where the order book lives; the shard's primary unit stays clean.
+//
+// Sharding: every order and trade event carries a public "oshard"
+// part, the symbol's deterministic route (RouteSymbol). Each shard's
+// managed subscription filters on its own shard index first, so the
+// dispatcher's equality index delivers each symbol's flow to exactly
+// one shard and different symbols match concurrently with no shared
+// mutable state between shards. The shard re-derives the route from
+// the symbol it reads and rejects mismatches (see handleOrder), so a
+// forged oshard part cannot split one symbol's book across shards.
 //
 // Matching is price-time priority with partial fills: each symbol's
 // resting interest lives in an orderbook.Book (sorted price levels,
 // FIFO within a level), and every partial fill publishes one trade
 // event whose identity parts merge both counterparties' tr tags.
-// Orders carry an "ordtype" — limit, market or cancel — and cancels
-// withdraw resting interest by order ID after an ownership check
-// against the identity the canceller disclosed.
+// Orders carry an "ordtype" — limit, market, cancel or amend — and
+// cancels/amends address resting orders by ID after an ownership check
+// against the identity the requester disclosed. The shard optionally
+// applies a self-trade prevention policy (Config.SelfTradePolicy)
+// before any fill that would cross an owner with itself.
 //
 // Identity handling: reading an order part bestows [tr+, tr−]; the
 // instance raises its input label by tr (legal: it holds tr−), reads
@@ -51,10 +68,17 @@ const orderTTL = 100 * time.Millisecond
 // With partial fills one order's tag can back several trade records at
 // once, so the tr±auth pair is reference-counted (see brokerBook.auths)
 // and renounced only when the last referent — the resting order itself
-// or a logged trade — is gone.
+// or a logged trade — is gone. The counts need no cross-shard
+// coordination: an order belongs to exactly one symbol, a symbol
+// routes to exactly one shard, and every referent of its tag (the
+// resting order, its fills' trade records, the audit delegations)
+// lives in that shard's instance.
 type Broker struct {
 	p    *Platform
 	unit *core.Unit
+
+	shard   int // this shard's index in the pool
+	nshards int // pool size, for the route re-check
 
 	regTag tags.Tag // the Regulator's tag protecting delegations
 
@@ -66,41 +90,75 @@ type Broker struct {
 	mu sync.Mutex
 	bk *brokerBook // the live instance's state (nil until first order)
 
-	trades    counter
-	partials  counter
-	cancels   counter
-	expired   counter
-	delegates counter
+	trades     counter
+	partials   counter
+	cancels    counter
+	amends     counter
+	stpCancels counter
+	expired    counter
+	delegates  counter
+	misroutes  counter
 }
 
 // brokerBook is the dark-pool state, living in the managed instance's
 // state at contamination {b}.
 type brokerBook struct {
-	books map[string]*orderbook.Book // per-symbol price-time books
-	log   tradeLog
+	syms map[string]*symBook // per-symbol book + audit log + ledger
 	// auths reference-counts the delegation authority (tr±auth) held
 	// per order tag: one reference while the order is live in a book,
 	// one per trade record in the audit window. The privileges are
 	// renounced when the count reaches zero.
 	auths map[tags.Tag]int
-	ids   int64
 }
 
 func newBrokerBook() *brokerBook {
 	return &brokerBook{
-		books: make(map[string]*orderbook.Book),
+		syms:  make(map[string]*symBook),
 		auths: make(map[tags.Tag]int),
 	}
 }
 
-// book returns the symbol's order book, creating it on first use.
-func (bk *brokerBook) book(symbol string) *orderbook.Book {
-	b := bk.books[symbol]
-	if b == nil {
-		b = orderbook.New()
-		bk.books[symbol] = b
+// symBook is one symbol's matching state. Trade IDs are namespaced per
+// symbol — id = ns<<32 | seq with seq dense from 1 — so the fill and
+// audit streams a symbol produces are identical no matter how many
+// shards the pool runs or what else the shard clears: the cross-shard
+// equivalence proofs compare them directly.
+type symBook struct {
+	book   *orderbook.Book
+	log    tradeLog
+	ns     int64 // platform-wide symbol namespace (symbolNS)
+	seq    int64 // per-symbol dense trade counter
+	ledger symLedger
+}
+
+// nextID mints the next trade ID in this symbol's namespace.
+func (sb *symBook) nextID() int64 {
+	sb.seq++
+	return sb.ns<<32 | sb.seq
+}
+
+// symLedger is the per-symbol quantity-conservation ledger: every
+// accepted order's quantity is accounted to exactly one of fills
+// (twice: maker and taker), explicit cancels (including self-trade
+// prevention and the cancel-half of an amend), TTL expiry, discards
+// (market remainders, STP-cancel-incoming remainders) or resting
+// interest. CheckConservation pins the balance.
+type symLedger struct {
+	submitted int64 // accepted limit/market/amend quantity
+	filled    int64 // filled quantity, counted once per fill
+	canceled  int64 // withdrawn remainders (cancel, STP, amend-out)
+	expired   int64 // TTL-evicted remainders
+	discarded int64 // never-rested remainders
+}
+
+// sym returns the symbol's matching state, creating it on first use.
+func (b *Broker) sym(bk *brokerBook, symbol string) *symBook {
+	sb := bk.syms[symbol]
+	if sb == nil {
+		sb = &symBook{book: orderbook.New(), ns: b.p.symbolNS(symbol)}
+		bk.syms[symbol] = sb
 	}
-	return b
+	return sb
 }
 
 // tradeRecord is one completed trade retained for audit responses.
@@ -113,19 +171,40 @@ type tradeRecord struct {
 	price, qty              int64
 }
 
-// tradeLog is the bounded audit-window store. Trade IDs are dense and
-// increasing, so the log is a ring indexed by ID: storing trade N
-// lands on the slot trade N−maxTradeLog occupied, making the eviction
-// O(1) — the previous map-backed log paid O(log) map ops per trade
-// once the window was full (the ROADMAP item this PR retires).
+// tradeSeqMask extracts the dense per-symbol sequence from a
+// namespaced trade ID.
+const tradeSeqMask = int64(1)<<32 - 1
+
+// tradeLog is the bounded per-symbol audit-window store. A symbol's
+// trade sequence numbers are dense and increasing, so the log is a
+// ring indexed by the ID's sequence bits: storing trade N lands on the
+// slot trade N−maxTradeLog of the same symbol occupied, making the
+// eviction O(1) with no map in sight. The backing slice grows lazily
+// with the symbol's actual trade count up to maxTradeLog slots — a
+// quiet symbol costs a handful of records, not the full window (the
+// Figure 7 heap series sweeps hundreds of symbols).
 type tradeLog struct {
-	recs [maxTradeLog]tradeRecord
+	recs []tradeRecord
+}
+
+// slotOf maps a trade ID to its ring slot.
+func slotOf(id int64) int64 { return (id & tradeSeqMask) % maxTradeLog }
+
+// slot returns the record slot for a trade ID, growing the ring to
+// reach it. IDs are dense per symbol, so growth is at most one slot
+// per put until the ring wraps at maxTradeLog.
+func (l *tradeLog) slot(id int64) *tradeRecord {
+	idx := slotOf(id)
+	for int64(len(l.recs)) <= idx {
+		l.recs = append(l.recs, tradeRecord{})
+	}
+	return &l.recs[idx]
 }
 
 // put stores rec, returning the evicted record if the slot still held
 // a live entry from maxTradeLog trades ago.
 func (l *tradeLog) put(rec tradeRecord) (evicted tradeRecord, ok bool) {
-	slot := &l.recs[rec.id%maxTradeLog]
+	slot := l.slot(rec.id)
 	evicted, ok = *slot, slot.id != 0
 	*slot = rec
 	return evicted, ok
@@ -139,7 +218,11 @@ func (l *tradeLog) get(id int64) *tradeRecord {
 	if id <= 0 {
 		return nil
 	}
-	rec := &l.recs[id%maxTradeLog]
+	idx := slotOf(id)
+	if idx >= int64(len(l.recs)) {
+		return nil
+	}
+	rec := &l.recs[idx]
 	if rec.id != id {
 		return nil
 	}
@@ -153,16 +236,19 @@ func (l *tradeLog) consume(id int64) {
 	}
 }
 
-// newBroker assembles the broker unit; wire() attaches its managed
+// newBroker assembles one broker shard; wire() attaches its managed
 // subscriptions once the Regulator's tag exists.
-func newBroker(p *Platform, grants []priv.Grant) *Broker {
-	b := &Broker{p: p}
-	b.unit = p.Sys.NewUnit("local-broker", core.UnitConfig{Grants: grants})
+func newBroker(p *Platform, shard, nshards int, grants []priv.Grant) *Broker {
+	b := &Broker{p: p, shard: shard, nshards: nshards}
+	b.unit = p.Sys.NewUnit(fmt.Sprintf("local-broker-%d", shard), core.UnitConfig{Grants: grants})
 	return b
 }
 
-// wire registers the broker's managed subscriptions; called by the
-// platform once the Regulator (and its tag) exists.
+// wire registers the shard's managed subscriptions; called by the
+// pool once the Regulator (and its tag) exists. The shard-index
+// equality condition comes first so the dispatcher indexes both
+// subscriptions under this shard's oshard hash: a publish only probes
+// the shards its event actually routes to.
 func (b *Broker) wire() error {
 	b.regTag = b.p.Regulator.RegTag()
 	_, err := b.unit.SubscribeManagedMulti(b.handle, core.ManagedOptions{
@@ -172,15 +258,24 @@ func (b *Broker) wire() error {
 		// Pin the pool at {b} so public audit-request deliveries reach
 		// the same instance as the b-protected orders.
 		Pin: setOf(b.p.tagB),
-		// The book is a singleton aggregating every trader's orders:
-		// give it a deep queue so spike waves do not stall publishers.
+		// Each shard aggregates its partition's order flow: give it a
+		// deep queue so spike waves do not stall publishers.
 		QueueCap: 16384,
 	},
-		dispatch.MustFilter(dispatch.PartEq("type", "order")),
-		dispatch.MustFilter(dispatch.PartExists("audit_req")),
+		dispatch.MustFilter(
+			dispatch.PartEq("oshard", int64(b.shard)),
+			dispatch.PartEq("type", "order"),
+		),
+		dispatch.MustFilter(
+			dispatch.PartEq("oshard", int64(b.shard)),
+			dispatch.PartExists("audit_req"),
+		),
 	)
 	return err
 }
+
+// Shard returns this broker's shard index.
+func (b *Broker) Shard() int { return b.shard }
 
 // Trades reports completed fills (one trade event each).
 func (b *Broker) Trades() uint64 { return b.trades.load() }
@@ -193,11 +288,23 @@ func (b *Broker) PartialFills() uint64 { return b.partials.load() }
 // Cancels reports resting orders withdrawn by their owners.
 func (b *Broker) Cancels() uint64 { return b.cancels.load() }
 
+// Amends reports resting orders amended by their owners.
+func (b *Broker) Amends() uint64 { return b.amends.load() }
+
+// SelfTradeCancels reports resting orders withdrawn by the self-trade
+// prevention policy.
+func (b *Broker) SelfTradeCancels() uint64 { return b.stpCancels.load() }
+
 // Expired reports resting orders dropped by TTL expiry.
 func (b *Broker) Expired() uint64 { return b.expired.load() }
 
 // Delegations reports audit delegations issued.
 func (b *Broker) Delegations() uint64 { return b.delegates.load() }
+
+// Misroutes reports order events that reached this shard carrying a
+// symbol that routes elsewhere — always zero unless an oshard part was
+// forged; such orders are rejected, not processed.
+func (b *Broker) Misroutes() uint64 { return b.misroutes.load() }
 
 // BookDepths snapshots the per-symbol resting-order counts.
 func (b *Broker) BookDepths() map[string]int {
@@ -207,8 +314,8 @@ func (b *Broker) BookDepths() map[string]int {
 	if b.bk == nil {
 		return out
 	}
-	for sym, bo := range b.bk.books {
-		if n := bo.RestingOrders(); n > 0 {
+	for sym, sb := range b.bk.syms {
+		if n := sb.book.RestingOrders(); n > 0 {
 			out[sym] = n
 		}
 	}
@@ -216,7 +323,8 @@ func (b *Broker) BookDepths() map[string]int {
 }
 
 // SnapshotBooks copies every non-empty book's resting state — the
-// deterministic-replay tests compare these across publish paths.
+// deterministic-replay tests compare these across publish paths and
+// across pool sizes.
 func (b *Broker) SnapshotBooks() map[string][]orderbook.LevelSnap {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -224,12 +332,94 @@ func (b *Broker) SnapshotBooks() map[string][]orderbook.LevelSnap {
 	if b.bk == nil {
 		return out
 	}
-	for sym, bo := range b.bk.books {
-		if snap := bo.Snapshot(); len(snap) > 0 {
+	for sym, sb := range b.bk.syms {
+		if snap := sb.book.Snapshot(); len(snap) > 0 {
 			out[sym] = snap
 		}
 	}
 	return out
+}
+
+// TradeRec is one audit-window entry in a TradeLogSnapshot.
+type TradeRec struct {
+	ID            int64
+	Symbol        string
+	Buyer, Seller string
+	Price, Qty    int64
+}
+
+// TradeLogSnapshot copies the live audit window per symbol, ordered by
+// trade sequence — the cross-shard equivalence proof compares these
+// between pool sizes.
+func (b *Broker) TradeLogSnapshot() map[string][]TradeRec {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string][]TradeRec)
+	if b.bk == nil {
+		return out
+	}
+	for sym, sb := range b.bk.syms {
+		var recs []TradeRec
+		for i := range sb.log.recs {
+			r := &sb.log.recs[i]
+			if r.id == 0 {
+				continue
+			}
+			recs = append(recs, TradeRec{
+				ID: r.id, Symbol: r.symbol,
+				Buyer: r.buyer, Seller: r.seller,
+				Price: r.price, Qty: r.qty,
+			})
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+		out[sym] = recs
+	}
+	return out
+}
+
+// ValidateBooks runs the engine's structural invariant checker over
+// every book in the shard; the chaos suite calls it at every quiescent
+// point.
+func (b *Broker) ValidateBooks() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bk == nil {
+		return nil
+	}
+	for sym, sb := range b.bk.syms {
+		if err := sb.book.Validate(); err != nil {
+			return fmt.Errorf("shard %d, symbol %s: %w", b.shard, sym, err)
+		}
+	}
+	return nil
+}
+
+// CheckConservation verifies the per-symbol quantity balance: every
+// accepted share is either filled (counted on both sides), canceled,
+// expired, discarded or still resting. Any leak — a fill that
+// double-counts, a cancel that loses quantity, an amend that mints
+// shares — trips it.
+func (b *Broker) CheckConservation() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bk == nil {
+		return nil
+	}
+	for sym, sb := range b.bk.syms {
+		_, bidQty := sb.book.Resting(orderbook.Bid)
+		_, askQty := sb.book.Resting(orderbook.Ask)
+		resting := bidQty + askQty
+		l := sb.ledger
+		if got := 2*l.filled + l.canceled + l.expired + l.discarded + resting; got != l.submitted {
+			return fmt.Errorf(
+				"shard %d, symbol %s: conservation broken: submitted %d != 2*filled %d + canceled %d + expired %d + discarded %d + resting %d",
+				b.shard, sym, l.submitted, l.filled, l.canceled, l.expired, l.discarded, resting)
+		}
+	}
+	return nil
 }
 
 // handle processes one delivery in the book instance.
@@ -250,7 +440,9 @@ func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
 	b.handleOrder(u, e, bk)
 }
 
-// takerOrder is the in-flight view of the order being processed.
+// takerOrder is the in-flight view of the order being processed. For
+// amends it describes the re-entering resting order (the amended order
+// becomes the taker of its own re-entry fills).
 type takerOrder struct {
 	id         int64
 	symbol     string
@@ -265,7 +457,7 @@ type takerOrder struct {
 }
 
 // handleOrder implements step 5: read, learn the identity, then run
-// the matching engine — expiry, cancel/market/limit, fills.
+// the matching engine — expiry, cancel/amend/market/limit, fills.
 func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 	view, err := u.ReadOne(e, "order") // bestows tr+, tr−
 	if err != nil {
@@ -308,9 +500,19 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 		reject()
 		return
 	}
+	// Shard-routing integrity: the oshard part steered delivery here,
+	// but it is event data a unit could forge. Re-derive the route
+	// from the symbol actually read; processing a misrouted order
+	// would open a second book for the symbol on the wrong shard and
+	// split its crossing interest.
+	if RouteSymbol(o.symbol, b.nshards) != b.shard {
+		b.misroutes.inc()
+		reject()
+		return
+	}
 	var sideOK bool
 	o.side, sideOK = orderbook.SideOf(om.GetString("side"))
-	if !sideOK && o.ordtype != "cancel" {
+	if !sideOK && o.ordtype != "cancel" && o.ordtype != "amend" {
 		reject()
 		return
 	}
@@ -344,15 +546,24 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 	}
 
 	now := time.Now().UnixNano()
-	book := bk.book(o.symbol)
+	sb := b.sym(bk, o.symbol)
+	book := sb.book
 	// TTL expiry folds into order processing: stale heads are popped
 	// before the incoming order sees the book, and each eviction
 	// releases the dead order's delegation authority — interest that
 	// never traded leaves no privilege residue.
 	if n := book.Expire(now-int64(b.p.cfg.OrderTTL), func(ro *orderbook.Order) {
+		sb.ledger.expired += ro.Qty
 		b.releaseAuth(u, bk, ro.Owner.Tag)
 	}); n > 0 {
 		b.expired.add(uint64(n))
+	}
+
+	stp := b.p.cfg.SelfTradePolicy
+	stpCancel := func(ro *orderbook.Order) {
+		sb.ledger.canceled += ro.Qty
+		b.releaseAuth(u, bk, ro.Owner.Tag)
+		b.stpCancels.inc()
 	}
 
 	switch o.ordtype {
@@ -362,9 +573,56 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 		// backs no resting interest, so its authority drops right away.
 		if ro := book.Lookup(o.target); ro != nil && ro.Owner.Name == o.trader {
 			t := ro.Owner.Tag
+			sb.ledger.canceled += ro.Qty
 			book.Cancel(o.target)
 			b.releaseAuth(u, bk, t)
 			b.cancels.inc()
+		}
+		b.dropAuthPair(u, o.tr)
+	case "amend":
+		// Ownership-checked like cancel; the amend request's own tag
+		// never backs interest, so its authority drops at the end.
+		if o.price <= 0 || o.qty <= 0 {
+			b.dropAuthPair(u, o.tr)
+			break
+		}
+		ro := book.Lookup(o.target)
+		if ro == nil || ro.Owner.Name != o.trader {
+			b.dropAuthPair(u, o.tr)
+			break
+		}
+		// Copy everything before the engine call: ro is pooled and
+		// invalid once AmendSTP touches the book. The amended order
+		// becomes the taker of its own re-entry fills, under its
+		// ORIGINAL identity and tag — the amend event's identity only
+		// authorised the change.
+		prevQty := ro.Qty
+		at := takerOrder{
+			id: o.target, symbol: o.symbol, side: ro.Side,
+			ordtype: "amend", trader: ro.Owner.Name,
+			tr: ro.Owner.Tag, strat: ro.Owner.Strat,
+			stamp: ro.Owner.Stamp, rem: o.qty,
+		}
+		filled, ok := book.AmendSTP(o.target, o.price, o.qty, now, stp, stpCancel,
+			func(maker *orderbook.Order, price, qty int64) {
+				b.publishFill(u, bk, sb, maker, &at, price, qty)
+			})
+		if ok {
+			// Ledger: an amend is a cancel of the old remainder plus a
+			// fresh submission of the new quantity (this also covers
+			// the in-place quantity reduction: prev out, new in).
+			sb.ledger.canceled += prevQty
+			sb.ledger.submitted += o.qty
+			var residual int64
+			if cur := book.Lookup(o.target); cur != nil {
+				residual = cur.Qty
+			} else {
+				// Fully filled on re-entry (or discarded by the STP
+				// policy): the live delegation reference ends here.
+				b.releaseAuth(u, bk, at.tr)
+			}
+			sb.ledger.discarded += o.qty - filled - residual
+			b.amends.inc()
 		}
 		b.dropAuthPair(u, o.tr)
 	case "market":
@@ -374,9 +632,14 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 		}
 		bk.auths[o.tr]++ // live while matching: fills log against it
 		o.rem = o.qty
-		book.Market(o.side, o.qty, func(maker *orderbook.Order, price, qty int64) {
-			b.publishFill(u, bk, maker, &o, price, qty)
-		})
+		filled, ok := book.MarketSTP(o.side, o.qty, o.trader, stp, stpCancel,
+			func(maker *orderbook.Order, price, qty int64) {
+				b.publishFill(u, bk, sb, maker, &o, price, qty)
+			})
+		if ok {
+			sb.ledger.submitted += o.qty
+			sb.ledger.discarded += o.qty - filled
+		}
 		b.releaseAuth(u, bk, o.tr) // never rests
 	default: // limit
 		if o.price <= 0 || o.qty <= 0 {
@@ -386,9 +649,16 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 		bk.auths[o.tr]++
 		o.rem = o.qty
 		ow := orderbook.Owner{Name: o.trader, Tag: o.tr, Strat: o.strat, Stamp: o.stamp}
-		_, rested := book.Limit(o.id, o.side, o.price, o.qty, ow, now, func(maker *orderbook.Order, price, qty int64) {
-			b.publishFill(u, bk, maker, &o, price, qty)
-		})
+		filled, rested, ok := book.LimitSTP(o.id, o.side, o.price, o.qty, ow, now, stp, stpCancel,
+			func(maker *orderbook.Order, price, qty int64) {
+				b.publishFill(u, bk, sb, maker, &o, price, qty)
+			})
+		if ok {
+			sb.ledger.submitted += o.qty
+			if !rested {
+				sb.ledger.discarded += o.qty - filled
+			}
+		}
 		if !rested {
 			b.releaseAuth(u, bk, o.tr)
 		}
@@ -404,10 +674,10 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 // recognises only its own fills while the broker's publication leaks
 // nothing else. The maker pointer is the engine's pooled struct —
 // everything needed later is copied into the trade record here.
-func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, maker *orderbook.Order, taker *takerOrder, price, qty int64) {
+func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, sb *symBook, maker *orderbook.Order, taker *takerOrder, price, qty int64) {
 	taker.rem -= qty
-	bk.ids++
-	rec := tradeRecord{id: bk.ids, symbol: taker.symbol, price: price, qty: qty}
+	sb.ledger.filled += qty
+	rec := tradeRecord{id: sb.nextID(), symbol: taker.symbol, price: price, qty: qty}
 	var buyOrder, sellOrder int64
 	if taker.side == orderbook.Bid {
 		rec.buyer, rec.trBuyer, rec.stratBuyer = taker.trader, taker.tr, taker.strat
@@ -421,7 +691,7 @@ func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, maker *orderbook.Orde
 	// The audit window retains delegation authority for both sides.
 	bk.auths[rec.trBuyer]++
 	bk.auths[rec.trSeller]++
-	if old, ok := bk.log.put(rec); ok {
+	if old, ok := sb.log.put(rec); ok {
 		// O(1) ring eviction: past the audit window the broker has no
 		// business retaining the old trade or its authority.
 		b.releaseAuth(u, bk, old.trBuyer)
@@ -443,6 +713,11 @@ func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, maker *orderbook.Orde
 		e.Stamp = max(maker.Owner.Stamp, taker.stamp)
 	}
 	if err := u.AddPart(e, noTags, noTags, "type", "trade"); err != nil {
+		return
+	}
+	// The shard route rides along publicly so an audit request on this
+	// trade re-dispatches back to exactly this shard's instance.
+	if err := u.AddPart(e, noTags, noTags, "oshard", int64(b.shard)); err != nil {
 		return
 	}
 	body := freeze.MapOf(
@@ -492,7 +767,11 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *brokerBook) {
 	if !ok {
 		return
 	}
-	rec := bk.log.get(tm.GetInt("id"))
+	sb := bk.syms[tm.GetString("symbol")]
+	if sb == nil {
+		return
+	}
+	rec := sb.log.get(tm.GetInt("id"))
 	if rec == nil {
 		return
 	}
@@ -521,7 +800,7 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *brokerBook) {
 	b.delegates.inc()
 	// Delegation done: the audit authority for this trade is spent.
 	trBuyer, trSeller, id := rec.trBuyer, rec.trSeller, rec.id
-	bk.log.consume(id)
+	sb.log.consume(id)
 	b.releaseAuth(u, bk, trBuyer)
 	b.releaseAuth(u, bk, trSeller)
 	// The managed runtime re-dispatches the modified event on return.

@@ -221,9 +221,22 @@ func (r *fillRecorder) snapshot() []Fill {
 	return append([]Fill(nil), r.fills...)
 }
 
+// bySymbol groups a fill stream into per-symbol sequences, the unit
+// of determinism under the sharded pool: each symbol's fills are
+// totally ordered, fills of different symbols may interleave freely
+// (they clear on concurrent shards).
+func bySymbol(fills []Fill) map[string][]Fill {
+	out := make(map[string][]Fill)
+	for _, f := range fills {
+		out[f.Symbol] = append(out[f.Symbol], f)
+	}
+	return out
+}
+
 // TestReplayOrdersEquivalence: the same order-flow seed through the
 // batched publish path and the single-publish path yields identical
-// fill sequences and final book state — in all four security modes.
+// per-symbol fill sequences and final book state — in all four
+// security modes, at the default pool size.
 func TestReplayOrdersEquivalence(t *testing.T) {
 	const ops = 1500
 	for _, mode := range []core.SecurityMode{
@@ -272,10 +285,9 @@ func TestReplayOrdersEquivalence(t *testing.T) {
 			if len(singleFills) != len(batchFills) {
 				t.Fatalf("fill counts diverge: single %d, batched %d", len(singleFills), len(batchFills))
 			}
-			for i := range singleFills {
-				if singleFills[i] != batchFills[i] {
-					t.Fatalf("fill %d diverges: single %+v, batched %+v", i, singleFills[i], batchFills[i])
-				}
+			single, batched := bySymbol(singleFills), bySymbol(batchFills)
+			if !reflect.DeepEqual(single, batched) {
+				t.Fatalf("per-symbol fill sequences diverge:\nsingle: %+v\nbatched: %+v", single, batched)
 			}
 			if !reflect.DeepEqual(singleBooks, batchBooks) {
 				t.Fatalf("final books diverge:\nsingle: %+v\nbatched: %+v", singleBooks, batchBooks)

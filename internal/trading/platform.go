@@ -24,12 +24,15 @@ package trading
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/isolation"
 	"repro/internal/labels"
+	"repro/internal/orderbook"
 	"repro/internal/priv"
 	"repro/internal/tags"
 	"repro/internal/workload"
@@ -66,6 +69,16 @@ type Config struct {
 	// are allocated eagerly, so large trader populations scale memory
 	// with this knob).
 	QueueCap int
+	// BrokerShards is the dark-pool pool size: matching is partitioned
+	// across this many broker units by a deterministic symbol→shard
+	// map (RouteSymbol), each clearing its symbols in its own pinned
+	// instance. Default: GOMAXPROCS, clamped to [1, 8]. Per-symbol
+	// behaviour (fill sequences, book states, trade logs) is identical
+	// at every pool size; only cross-symbol interleaving changes.
+	BrokerShards int
+	// SelfTradePolicy is applied by the broker shards before any fill
+	// that would cross an owner with itself (default orderbook.STPAllow).
+	SelfTradePolicy orderbook.STP
 	// Enforcer optionally shares a pre-built isolation enforcer.
 	Enforcer *isolation.Enforcer
 	// OrderTTL bounds how long unfilled orders rest in the dark pool's
@@ -75,14 +88,19 @@ type Config struct {
 	// OnTrade, when set, receives the end-to-end latency in nanoseconds
 	// (trade production time minus originating tick time) of every
 	// completed trade — the Figure 6 measurement, taken at the Broker.
+	// Like all broker hooks it may be invoked concurrently from
+	// different shards; the callback must synchronise its own state.
 	OnTrade func(latencyNs int64)
-	// OnFill, when set, receives every fill in publication order —
-	// deterministic-replay tests compare these streams across publish
-	// paths. Called from the Broker's book instance; keep it cheap.
+	// OnFill, when set, receives every fill — in publication order per
+	// symbol; fills of different symbols may interleave arbitrarily
+	// (and concurrently) across shards. Deterministic-replay tests
+	// compare the per-symbol streams across publish paths and pool
+	// sizes. Called from the owning shard's book instance; keep it
+	// cheap and synchronised.
 	OnFill func(Fill)
 	// OnBookDepth, when set, receives the touched symbol's resting
 	// order count after each processed order — the order-book bench
-	// samples depth through it.
+	// samples depth through it. Same concurrency caveat as OnFill.
 	OnBookDepth func(depth int)
 }
 
@@ -101,6 +119,9 @@ type Stats struct {
 	OrdersPlaced     uint64
 	CancelsRequested uint64
 	CancelsDone      uint64
+	AmendsRequested  uint64
+	AmendsDone       uint64
+	SelfTradeCancels uint64
 	TradesCompleted  uint64
 	PartialFills     uint64
 	OrdersExpired    uint64
@@ -112,7 +133,7 @@ type Stats struct {
 type Platform struct {
 	Sys       *core.System
 	Exchange  *Exchange
-	Broker    *Broker
+	Broker    *BrokerPool
 	Regulator *Regulator
 	Traders   []*Trader
 
@@ -120,6 +141,27 @@ type Platform struct {
 	universe *workload.Universe
 	tagB     tags.Tag // dark-pool broker tag b
 	tagS     tags.Tag // exchange integrity tag s
+
+	// symNS assigns each symbol a stable namespace for per-symbol
+	// trade IDs (symBook): universe symbols get their universe index,
+	// so IDs are identical across pool sizes; unknown symbols are
+	// assigned on first trade.
+	nsMu  sync.Mutex
+	symNS map[string]int64
+}
+
+// defaultBrokerShards scales the pool to the host: one shard per
+// GOMAXPROCS, clamped to [1, 8] — past eight shards the replay drivers
+// and the dispatcher, not matching, dominate.
+func defaultBrokerShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 // New assembles and starts a platform: units are created with the
@@ -151,6 +193,12 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.OrderTTL == 0 {
 		cfg.OrderTTL = orderTTL
 	}
+	if cfg.BrokerShards == 0 {
+		cfg.BrokerShards = defaultBrokerShards()
+	}
+	if cfg.BrokerShards < 1 {
+		return nil, fmt.Errorf("trading: BrokerShards must be positive")
+	}
 	if cfg.Universe == nil {
 		cfg.Universe = workload.UniverseForTraders(cfg.NumTraders)
 	}
@@ -162,6 +210,10 @@ func New(cfg Config) (*Platform, error) {
 		Enforcer: cfg.Enforcer,
 	})
 	p := &Platform{Sys: sys, cfg: cfg, universe: cfg.Universe}
+	p.symNS = make(map[string]int64, len(p.universe.Symbols))
+	for i, s := range p.universe.Symbols {
+		p.symNS[s] = int64(i + 1)
+	}
 
 	// Bootstrap tags: the platform operator mints the shared tags and
 	// hands out the Figure 4 ownerships. Using a throwaway bootstrap
@@ -180,7 +232,9 @@ func New(cfg Config) (*Platform, error) {
 
 	p.Exchange = newExchange(p, grantsOf(p.tagS, priv.Plus))
 	p.Regulator = newRegulator(p, grantsOf(p.tagS, priv.Plus))
-	p.Broker = newBroker(p, grantsOf(p.tagB, priv.Plus, priv.Minus))
+	p.Broker = newBrokerPool(p, cfg.BrokerShards, func() []priv.Grant {
+		return grantsOf(p.tagB, priv.Plus, priv.Minus)
+	})
 	if err := p.Broker.wire(); err != nil {
 		sys.Close()
 		return nil, fmt.Errorf("trading: broker wiring: %w", err)
@@ -223,6 +277,23 @@ func (p *Platform) TagS() tags.Tag { return p.tagS }
 
 // Universe returns the platform's symbol universe.
 func (p *Platform) Universe() *workload.Universe { return p.universe }
+
+// BrokerShards reports the dark-pool pool size.
+func (p *Platform) BrokerShards() int { return p.cfg.BrokerShards }
+
+// symbolNS returns a symbol's stable trade-ID namespace: the universe
+// index for known symbols (identical across pool sizes), a fresh
+// assignment for anything else.
+func (p *Platform) symbolNS(symbol string) int64 {
+	p.nsMu.Lock()
+	defer p.nsMu.Unlock()
+	if ns, ok := p.symNS[symbol]; ok {
+		return ns
+	}
+	ns := int64(len(p.symNS) + 1)
+	p.symNS[symbol] = ns
+	return ns
+}
 
 // Replay publishes ticks from the trace as fast as possible on the
 // caller's goroutine — the paper's single-threaded Stock Exchange
@@ -303,12 +374,15 @@ func (p *Platform) Stats() Stats {
 	st.TradesCompleted = p.Broker.Trades()
 	st.PartialFills = p.Broker.PartialFills()
 	st.CancelsDone = p.Broker.Cancels()
+	st.AmendsDone = p.Broker.Amends()
+	st.SelfTradeCancels = p.Broker.SelfTradeCancels()
 	st.OrdersExpired = p.Broker.Expired()
 	st.AuditsRequested = p.Regulator.Audits()
 	for _, t := range p.Traders {
 		st.MatchesEmitted += t.Matches()
 		st.OrdersPlaced += t.Orders()
 		st.CancelsRequested += t.CancelsRequested()
+		st.AmendsRequested += t.AmendsRequested()
 		st.WarningsReceived += t.Warnings()
 	}
 	return st

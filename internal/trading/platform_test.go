@@ -1,6 +1,7 @@
 package trading
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -168,10 +169,16 @@ func TestIsolationModeStillTrades(t *testing.T) {
 }
 
 func TestOnTradeHookReportsPlausibleLatency(t *testing.T) {
+	// The hook may fire concurrently from different broker shards.
+	var mu sync.Mutex
 	var latencies []int64
 	p := runScenario(t, core.LabelsFreeze, 2, 300, func(c *Config) {
 		onePair(c)
-		c.OnTrade = func(ns int64) { latencies = append(latencies, ns) }
+		c.OnTrade = func(ns int64) {
+			mu.Lock()
+			latencies = append(latencies, ns)
+			mu.Unlock()
+		}
 	})
 	if p.Stats().TradesCompleted == 0 {
 		t.Fatal("no trades")

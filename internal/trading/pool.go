@@ -1,0 +1,161 @@
+package trading
+
+// The symbol-sharded broker pool: N Broker units, each owning a
+// disjoint symbol partition via the deterministic RouteSymbol map,
+// each clearing its partition in its own pinned managed instance —
+// so order flow for different symbols matches concurrently in every
+// security mode, with no shared mutable state between shards.
+// DESIGN-dispatch.md §9 documents the architecture and the proofs the
+// shard_test.go suite pins.
+
+import (
+	"fmt"
+
+	"repro/internal/orderbook"
+	"repro/internal/priv"
+)
+
+// RouteSymbol maps a symbol to its owning broker shard: FNV-1a of the
+// symbol modulo the pool size. The map is deterministic and depends
+// only on (symbol, shards) — traders stamp it onto order events as
+// the public "oshard" part, shards re-derive it for the integrity
+// check, and tests replay it to prove delivery isolation.
+func RouteSymbol(symbol string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(symbol); i++ {
+		h = (h ^ uint64(symbol[i])) * prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// BrokerPool is the symbol-partitioned dark pool: the platform-facing
+// façade over its broker shards. Aggregate accessors sum or union the
+// shards; symbol partitions are disjoint, so the unions never merge.
+type BrokerPool struct {
+	shards []*Broker
+}
+
+// newBrokerPool assembles n broker shards; grants mints each shard's
+// bootstrap privilege set (the Figure 4 b-ownership).
+func newBrokerPool(p *Platform, n int, grants func() []priv.Grant) *BrokerPool {
+	bp := &BrokerPool{shards: make([]*Broker, n)}
+	for i := range bp.shards {
+		bp.shards[i] = newBroker(p, i, n, grants())
+	}
+	return bp
+}
+
+// wire attaches every shard's managed subscriptions.
+func (bp *BrokerPool) wire() error {
+	for _, b := range bp.shards {
+		if err := b.wire(); err != nil {
+			return fmt.Errorf("shard %d: %w", b.shard, err)
+		}
+	}
+	return nil
+}
+
+// NumShards reports the pool size.
+func (bp *BrokerPool) NumShards() int { return len(bp.shards) }
+
+// Shards exposes the shard slice (read-only by convention); tests use
+// it for per-shard assertions.
+func (bp *BrokerPool) Shards() []*Broker { return bp.shards }
+
+// ShardFor returns the shard owning a symbol.
+func (bp *BrokerPool) ShardFor(symbol string) *Broker {
+	return bp.shards[RouteSymbol(symbol, len(bp.shards))]
+}
+
+// Trades reports completed fills across the pool.
+func (bp *BrokerPool) Trades() uint64 { return bp.sum((*Broker).Trades) }
+
+// PartialFills reports residual-leaving fills across the pool.
+func (bp *BrokerPool) PartialFills() uint64 { return bp.sum((*Broker).PartialFills) }
+
+// Cancels reports owner-withdrawn orders across the pool.
+func (bp *BrokerPool) Cancels() uint64 { return bp.sum((*Broker).Cancels) }
+
+// Amends reports owner-amended orders across the pool.
+func (bp *BrokerPool) Amends() uint64 { return bp.sum((*Broker).Amends) }
+
+// SelfTradeCancels reports STP-withdrawn orders across the pool.
+func (bp *BrokerPool) SelfTradeCancels() uint64 { return bp.sum((*Broker).SelfTradeCancels) }
+
+// Expired reports TTL-evicted orders across the pool.
+func (bp *BrokerPool) Expired() uint64 { return bp.sum((*Broker).Expired) }
+
+// Delegations reports audit delegations issued across the pool.
+func (bp *BrokerPool) Delegations() uint64 { return bp.sum((*Broker).Delegations) }
+
+// Misroutes reports rejected misrouted orders across the pool; always
+// zero unless an oshard part was forged.
+func (bp *BrokerPool) Misroutes() uint64 { return bp.sum((*Broker).Misroutes) }
+
+func (bp *BrokerPool) sum(f func(*Broker) uint64) uint64 {
+	var n uint64
+	for _, b := range bp.shards {
+		n += f(b)
+	}
+	return n
+}
+
+// BookDepths unions the per-symbol resting-order counts across shards.
+func (bp *BrokerPool) BookDepths() map[string]int {
+	out := make(map[string]int)
+	for _, b := range bp.shards {
+		for sym, n := range b.BookDepths() {
+			out[sym] = n
+		}
+	}
+	return out
+}
+
+// SnapshotBooks unions the per-symbol book snapshots across shards.
+func (bp *BrokerPool) SnapshotBooks() map[string][]orderbook.LevelSnap {
+	out := make(map[string][]orderbook.LevelSnap)
+	for _, b := range bp.shards {
+		for sym, snap := range b.SnapshotBooks() {
+			out[sym] = snap
+		}
+	}
+	return out
+}
+
+// TradeLogSnapshot unions the per-symbol audit windows across shards.
+func (bp *BrokerPool) TradeLogSnapshot() map[string][]TradeRec {
+	out := make(map[string][]TradeRec)
+	for _, b := range bp.shards {
+		for sym, recs := range b.TradeLogSnapshot() {
+			out[sym] = recs
+		}
+	}
+	return out
+}
+
+// ValidateBooks runs the engine invariant checker over every shard.
+func (bp *BrokerPool) ValidateBooks() error {
+	for _, b := range bp.shards {
+		if err := b.ValidateBooks(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConservation verifies the quantity balance on every shard.
+func (bp *BrokerPool) CheckConservation() error {
+	for _, b := range bp.shards {
+		if err := b.CheckConservation(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,698 @@
+package trading
+
+// Proof obligations of the symbol-sharded broker pool:
+//
+//   - sharded-vs-single equivalence: the same multi-symbol trace
+//     through a 1-shard and an 8-shard pool yields identical
+//     per-symbol fill sequences, final book snapshots and trade-log
+//     contents, in all four security modes;
+//   - shard routing: RouteSymbol is a deterministic partition, order
+//     events only ever reach their symbol's shard, and a forged
+//     oshard part is rejected rather than processed;
+//   - a deterministic chaos suite interleaving limit/market/cancel/
+//     amend/TTL-expiry across shards with per-shard pauses, auditing
+//     orderbook.Validate plus quantity conservation at every
+//     quiescent point;
+//   - a cross-shard -race hammer (the multi-symbol sibling of
+//     TestConcurrentBookHammer);
+//   - trading-layer self-trade prevention and amend choreography
+//     (ownership checks, qty-down-keeps-priority, reprice re-entry).
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/orderbook"
+	"repro/internal/priv"
+	"repro/internal/workload"
+)
+
+// noAudits keeps the Regulator from sampling (and thereby consuming
+// audit-window entries), so trade logs stay comparable across runs.
+const noAudits = uint64(1) << 60
+
+// shardedFlowConfig is the multi-symbol trace the equivalence and
+// routing tests replay: skewed symbol draw, all five op kinds.
+func shardedFlowConfig(traders int) workload.FlowConfig {
+	return workload.FlowConfig{
+		Traders:       traders,
+		AggressionPct: 50,
+		CancelPct:     10,
+		AmendPct:      10,
+		SymbolSkew:    1.2,
+	}
+}
+
+// TestShardedVsSingleEquivalence is the headline proof: replaying the
+// same OrderFlow trace through a 1-shard and an 8-shard pool must
+// produce bit-identical per-symbol fill sequences (IDs included —
+// trade IDs are per-symbol, not per-shard), final book snapshots and
+// audit-window trade logs, in all four security modes. This is the
+// paper's per-symbol determinism argument extended across shards: the
+// partition moves work, never semantics.
+func TestShardedVsSingleEquivalence(t *testing.T) {
+	const ops = 1800
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(shards int) (map[string][]Fill, map[string][]orderbook.LevelSnap, map[string][]TradeRec, int) {
+				rec := &fillRecorder{}
+				p, err := New(Config{
+					Mode:             mode,
+					NumTraders:       6,
+					Universe:         workload.NewUniverse(8), // 16 symbols
+					Seed:             11,
+					BrokerShards:     shards,
+					AuditSampleEvery: noAudits,
+					OrderTTL:         time.Hour,
+					QueueCap:         2048,
+					OnFill:           rec.hook(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				flow := workload.NewOrderFlow(p.Universe(), shardedFlowConfig(6), 23)
+				p.ReplayOrders(flow.Take(ops))
+				if !p.Quiesce(20 * time.Second) {
+					t.Fatal("no quiesce")
+				}
+				time.Sleep(50 * time.Millisecond)
+				active := 0
+				for _, sh := range p.Broker.Shards() {
+					if sh.Trades() > 0 {
+						active++
+					}
+				}
+				return bySymbol(rec.snapshot()), p.Broker.SnapshotBooks(), p.Broker.TradeLogSnapshot(), active
+			}
+			fills1, books1, logs1, _ := run(1)
+			fills8, books8, logs8, active := run(8)
+			if len(fills1) == 0 {
+				t.Fatal("no fills to compare")
+			}
+			if active < 2 {
+				t.Fatalf("8-shard pool cleared trades on %d shard(s): partition degenerate", active)
+			}
+			if !reflect.DeepEqual(fills1, fills8) {
+				t.Fatalf("per-symbol fill sequences diverge between 1 and 8 shards:\n1: %+v\n8: %+v", fills1, fills8)
+			}
+			if !reflect.DeepEqual(books1, books8) {
+				t.Fatalf("final books diverge between 1 and 8 shards:\n1: %+v\n8: %+v", books1, books8)
+			}
+			if !reflect.DeepEqual(logs1, logs8) {
+				t.Fatalf("trade logs diverge between 1 and 8 shards:\n1: %+v\n8: %+v", logs1, logs8)
+			}
+		})
+	}
+}
+
+// TestShardRoutingProperty pins the pure routing map: deterministic,
+// in range, total (every symbol routes somewhere) — and a realistic
+// universe actually spreads across shards instead of collapsing onto
+// one.
+func TestShardRoutingProperty(t *testing.T) {
+	f := func(sym string, n uint8) bool {
+		shards := int(n%8) + 1
+		r := RouteSymbol(sym, shards)
+		return r >= 0 && r < shards && r == RouteSymbol(sym, shards)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if got := RouteSymbol("ANY", 1); got != 0 {
+		t.Fatalf("single-shard route = %d", got)
+	}
+	u := workload.NewUniverse(16) // 32 symbols
+	seen := map[int]bool{}
+	for _, s := range u.Symbols {
+		seen[RouteSymbol(s, 4)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("32 symbols landed on only %d of 4 shards", len(seen))
+	}
+}
+
+// TestShardRoutingDeliveryIsolation replays a multi-symbol flow
+// through a 4-shard pool and proves the delivery-level property: every
+// shard's books and trade logs only ever contain symbols that route to
+// it, and no shard observed a misrouted order.
+func TestShardRoutingDeliveryIsolation(t *testing.T) {
+	const shards = 4
+	p, err := New(Config{
+		Mode:             core.LabelsFreeze,
+		NumTraders:       6,
+		Universe:         workload.NewUniverse(8),
+		Seed:             7,
+		BrokerShards:     shards,
+		AuditSampleEvery: 4,
+		OrderTTL:         time.Hour,
+		QueueCap:         2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	flow := workload.NewOrderFlow(p.Universe(), shardedFlowConfig(6), 29)
+	p.ReplayOrders(flow.Take(3000))
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	if p.Stats().TradesCompleted == 0 {
+		t.Fatal("no trades")
+	}
+	for i, sh := range p.Broker.Shards() {
+		for sym := range sh.BookDepths() {
+			if RouteSymbol(sym, shards) != i {
+				t.Fatalf("shard %d holds a book for %s, which routes to %d", i, sym, RouteSymbol(sym, shards))
+			}
+		}
+		for sym := range sh.TradeLogSnapshot() {
+			if RouteSymbol(sym, shards) != i {
+				t.Fatalf("shard %d logged trades for %s, which routes to %d", i, sym, RouteSymbol(sym, shards))
+			}
+		}
+	}
+	if n := p.Broker.Misroutes(); n != 0 {
+		t.Fatalf("%d misrouted orders under honest traders", n)
+	}
+}
+
+// forgedOrderEvent builds a well-formed order event with an explicit —
+// possibly wrong — oshard part, mirroring Trader.buildOrderEvent. The
+// routing integrity check must reject it at the receiving shard.
+func forgedOrderEvent(tr *Trader, oshard int64, id int64, symbol, side string, price, qty int64) *events.Event {
+	tg := tr.unit.CreateTag(fmt.Sprintf("tr-forged-%d", id))
+	tr.trackOrderTag(tg)
+	e := tr.unit.CreateEvent()
+	if tr.unit.AddPart(e, noTags, noTags, "type", "order") != nil {
+		return nil
+	}
+	if tr.unit.AddPart(e, noTags, noTags, "oshard", oshard) != nil {
+		return nil
+	}
+	order := freeze.MapOf(
+		"symbol", symbol, "price", price, "side", side, "qty", qty,
+		"id", id, "ordtype", "limit", "target", int64(0),
+		"tr", tg, "strat", tr.tag,
+	)
+	bSet := setOf(tr.p.tagB)
+	if tr.unit.AddPart(e, bSet, noTags, "order", order) != nil {
+		return nil
+	}
+	for _, r := range []priv.Right{priv.Plus, priv.Minus} {
+		if tr.unit.AttachPrivilegeToPart(e, "order", bSet, noTags, tg, r) != nil {
+			return nil
+		}
+	}
+	nameSet := setOf(tr.p.tagB, tg)
+	if tr.unit.AddPart(e, nameSet, noTags, "name", tr.name) != nil {
+		return nil
+	}
+	for _, r := range []priv.Right{priv.PlusAuth, priv.MinusAuth} {
+		if tr.unit.AttachPrivilegeToPart(e, "name", nameSet, noTags, tg, r) != nil {
+			return nil
+		}
+	}
+	return e
+}
+
+// TestForgedShardRouteRejected: an order whose oshard part points at
+// the wrong shard is rejected by that shard's route re-check — it
+// never opens a book on the wrong shard, and the counterparty flow it
+// tried to dodge cannot fill against it.
+func TestForgedShardRouteRejected(t *testing.T) {
+	const shards = 4
+	p, err := New(Config{
+		Mode:         core.LabelsFreeze,
+		NumTraders:   2,
+		Universe:     workload.NewUniverse(1),
+		Seed:         5,
+		BrokerShards: shards,
+		OrderTTL:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+	home := RouteSymbol(sym, shards)
+	wrong := (home + 1) % shards
+
+	forged := forgedOrderEvent(p.Traders[0], int64(wrong), int64(1)<<40+1, sym, "bid", base, 100)
+	if forged == nil {
+		t.Fatal("forged event not built")
+	}
+	if err := p.Traders[0].unit.Publish(forged); err != nil {
+		t.Fatal(err)
+	}
+	// A genuine crossing ask: it must find an empty book, not the
+	// forged bid.
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: int64(1)<<40 + 2, Side: "ask", Price: base, Qty: 100},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	if got := p.Broker.Shards()[wrong].Misroutes(); got != 1 {
+		t.Fatalf("wrong shard counted %d misroutes, want 1", got)
+	}
+	if got := p.Stats().TradesCompleted; got != 0 {
+		t.Fatalf("forged-route order traded: %d fills", got)
+	}
+	if depths := p.Broker.Shards()[wrong].BookDepths(); len(depths) != 0 {
+		t.Fatalf("wrong shard opened books: %v", depths)
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedPoolChaos is the deterministic chaos suite: a seeded
+// multi-symbol flow of all five op kinds over 8 symbols × 4 shards,
+// with one shard's flow paused and then released as a burst each wave
+// and TTL expiry interleaved between waves. After every quiescent
+// point the full structural audit runs: orderbook.Validate on every
+// book plus per-symbol quantity conservation.
+func TestShardedPoolChaos(t *testing.T) {
+	const (
+		shards     = 4
+		seed       = 99
+		waves      = 6
+		opsPerWave = 1200
+		ttl        = 50 * time.Millisecond
+	)
+	p, err := New(Config{
+		Mode:             core.LabelsFreeze,
+		NumTraders:       8,
+		Universe:         workload.NewUniverse(4), // 8 symbols
+		Seed:             seed,
+		BrokerShards:     shards,
+		OrderTTL:         ttl,
+		QueueCap:         4096,
+		SelfTradePolicy:  orderbook.STPCancelResting,
+		AuditSampleEvery: noAudits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+		Traders:       8,
+		AggressionPct: 50,
+		CancelPct:     12,
+		AmendPct:      12,
+		SymbolSkew:    1.3,
+	}, seed)
+
+	for wave := 0; wave < waves; wave++ {
+		ops := flow.Take(opsPerWave)
+		// Per-shard pause: the designated shard receives nothing while
+		// its peers clear their flow, then its backlog lands at once.
+		paused := wave % shards
+		var deferred, main []workload.OrderOp
+		for _, op := range ops {
+			if RouteSymbol(op.Symbol, shards) == paused {
+				deferred = append(deferred, op)
+			} else {
+				main = append(main, op)
+			}
+		}
+		p.ReplayOrders(main)
+		time.Sleep(10 * time.Millisecond)
+		p.ReplayOrders(deferred)
+		if !p.Quiesce(20 * time.Second) {
+			t.Fatalf("wave %d did not quiesce", wave)
+		}
+		time.Sleep(30 * time.Millisecond)
+		// Quiescent point: full structural + conservation audit.
+		if err := p.Broker.ValidateBooks(); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		if err := p.Broker.CheckConservation(); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		if wave%2 == 1 {
+			// Let resting interest go stale so the next wave's orders
+			// trigger TTL eviction mid-chaos.
+			time.Sleep(ttl + 20*time.Millisecond)
+		}
+	}
+
+	st := p.Stats()
+	if st.TradesCompleted == 0 || st.CancelsDone == 0 || st.AmendsDone == 0 || st.OrdersExpired == 0 {
+		t.Fatalf("chaos missed an op class: %+v", st)
+	}
+	if n := p.Broker.Misroutes(); n != 0 {
+		t.Fatalf("%d misroutes under honest chaos", n)
+	}
+	active := 0
+	for _, sh := range p.Broker.Shards() {
+		if sh.Trades() > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("chaos cleared trades on %d shard(s)", active)
+	}
+}
+
+// TestShardedPoolHammer is the cross-shard -race hammer: four
+// concurrent replay lanes (disjoint trader and order-ID ranges) drive
+// a skewed multi-symbol flow across a 4-shard pool while snapshot,
+// depth and trade-log readers poll every shard. The CI race job runs
+// this against the managed-instance delivery path end to end.
+func TestShardedPoolHammer(t *testing.T) {
+	const (
+		shards     = 4
+		lanes      = 4
+		perLane    = 2
+		opsPerLane = 700
+	)
+	p, err := New(Config{
+		Mode:             core.LabelsFreeze,
+		NumTraders:       lanes * perLane,
+		Universe:         workload.NewUniverse(8),
+		Seed:             3,
+		BrokerShards:     shards,
+		QueueCap:         4096,
+		AuditSampleEvery: 4,
+		SelfTradePolicy:  orderbook.STPCancelResting,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+				Traders:       perLane,
+				AggressionPct: 55,
+				CancelPct:     10,
+				AmendPct:      10,
+				SymbolSkew:    1.2,
+			}, int64(100+lane))
+			ops := flow.Take(opsPerLane)
+			for i := range ops {
+				ops[i].Trader += lane * perLane
+				// Disjoint ID ranges so lanes cannot collide in a book.
+				if ops[i].ID != 0 {
+					ops[i].ID += int64(lane) << 30
+				}
+				if ops[i].Target != 0 {
+					ops[i].Target += int64(lane) << 30
+				}
+			}
+			p.ReplayOrders(ops)
+		}(lane)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+		default:
+			p.Broker.BookDepths()
+			p.Broker.SnapshotBooks()
+			p.Broker.TradeLogSnapshot()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		break
+	}
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if p.Stats().TradesCompleted == 0 {
+		t.Fatal("hammer produced no fills")
+	}
+	if err := p.Broker.ValidateBooks(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot and depth views agree after the dust settles.
+	depths := p.Broker.BookDepths()
+	snaps := p.Broker.SnapshotBooks()
+	for s, n := range depths {
+		count := 0
+		for _, lv := range snaps[s] {
+			count += len(lv.Orders)
+		}
+		if count != n {
+			t.Fatalf("symbol %s: depth %d vs snapshot %d", s, n, count)
+		}
+	}
+}
+
+// stpScenario replays the partial-fill-then-self-cross script under a
+// policy: trader 1's ask has time priority, trader 0's own ask rests
+// behind it, then trader 0 crosses with an oversized bid.
+func stpScenario(t *testing.T, policy orderbook.STP) *Platform {
+	t.Helper()
+	p, err := New(Config{
+		Mode:             core.LabelsFreeze,
+		NumTraders:       2,
+		Universe:         workload.NewUniverse(1),
+		Seed:             5,
+		BrokerShards:     1,
+		OrderTTL:         time.Hour,
+		SelfTradePolicy:  policy,
+		AuditSampleEvery: noAudits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+	const idBase = int64(1) << 40
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 1, Side: "ask", Price: base, Qty: 60},
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 2, Side: "ask", Price: base, Qty: 60},
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 3, Side: "bid", Price: base, Qty: 150},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+	return p
+}
+
+// TestSelfTradePolicyEndToEnd pins the three policies through the
+// whole choreography — including the partial-fill-then-self-cross
+// edge, where the first fill against the counterparty must stand under
+// every policy.
+func TestSelfTradePolicyEndToEnd(t *testing.T) {
+	sym := workload.NewUniverse(1).Pairs[0].A
+	cases := []struct {
+		name       string
+		policy     orderbook.STP
+		trades     uint64
+		stpCancels uint64
+		// resting: remaining depth for the symbol and the qty of the
+		// single expected survivor.
+		depth       int
+		survivorQty int64
+	}{
+		// Allow: bid fills both asks (60+60), residual 30 bid rests.
+		{"allow", orderbook.STPAllow, 2, 0, 1, 30},
+		// Cancel-resting: fill 60 from trader 1, own ask withdrawn,
+		// residual 90 bid rests.
+		{"cancel-resting", orderbook.STPCancelResting, 1, 1, 1, 90},
+		// Cancel-incoming: fill 60 from trader 1, then the incoming
+		// remainder dies at the self-cross; the own ask 60 stays.
+		{"cancel-incoming", orderbook.STPCancelIncoming, 1, 0, 1, 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := stpScenario(t, tc.policy)
+			st := p.Stats()
+			if st.TradesCompleted != tc.trades {
+				t.Fatalf("trades %d, want %d", st.TradesCompleted, tc.trades)
+			}
+			if st.SelfTradeCancels != tc.stpCancels {
+				t.Fatalf("stp cancels %d, want %d", st.SelfTradeCancels, tc.stpCancels)
+			}
+			snaps := p.Broker.SnapshotBooks()[sym]
+			resting := 0
+			var qty int64
+			for _, lv := range snaps {
+				for _, o := range lv.Orders {
+					resting++
+					qty = o.Qty
+				}
+			}
+			if resting != tc.depth || qty != tc.survivorQty {
+				t.Fatalf("resting %d orders (last qty %d), want %d order of qty %d: %+v",
+					resting, qty, tc.depth, tc.survivorQty, snaps)
+			}
+			if err := p.Broker.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAmendFlowEndToEnd drives the trading-layer amend choreography:
+// quantity reduction keeps time priority, reprice re-enters and can
+// fill, and a foreign amend is rejected by the ownership check.
+func TestAmendFlowEndToEnd(t *testing.T) {
+	newP := func(t *testing.T) (*Platform, string, int64, *fillRecorder) {
+		rec := &fillRecorder{}
+		p, err := New(Config{
+			Mode:             core.LabelsFreeze,
+			NumTraders:       2,
+			Universe:         workload.NewUniverse(1),
+			Seed:             5,
+			BrokerShards:     1,
+			OrderTTL:         time.Hour,
+			AuditSampleEvery: noAudits,
+			OnFill:           rec.hook(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		sym := p.Universe().Pairs[0].A
+		return p, sym, p.Universe().BasePrice(sym), rec
+	}
+	const idBase = int64(1) << 40
+
+	t.Run("qty-down keeps priority", func(t *testing.T) {
+		p, sym, base, rec := newP(t)
+		p.ReplayOrdersSingle(manualOps(sym,
+			workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 1, Side: "ask", Price: base, Qty: 100},
+			workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 2, Side: "ask", Price: base, Qty: 100},
+			workload.OrderOp{Trader: 0, Kind: workload.OpAmend, Target: idBase + 1, Price: base, Qty: 40},
+			workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 3, Side: "bid", Price: base, Qty: 40},
+		))
+		if !p.Quiesce(5 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		time.Sleep(30 * time.Millisecond)
+		st := p.Stats()
+		if st.AmendsDone != 1 {
+			t.Fatalf("amends done %d, want 1", st.AmendsDone)
+		}
+		fills := rec.snapshot()
+		if len(fills) != 1 || fills[0].SellOrder != idBase+1 || fills[0].Qty != 40 {
+			t.Fatalf("amended order lost time priority: fills %+v", fills)
+		}
+		if err := p.Broker.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("reprice re-enters and fills", func(t *testing.T) {
+		p, sym, base, rec := newP(t)
+		p.ReplayOrdersSingle(manualOps(sym,
+			workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 1, Side: "ask", Price: base + 2, Qty: 50},
+			workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 2, Side: "bid", Price: base - 2, Qty: 50},
+			// Reprice the bid through the ask: it loses priority,
+			// re-enters, and crosses immediately.
+			workload.OrderOp{Trader: 0, Kind: workload.OpAmend, Target: idBase + 2, Price: base + 2, Qty: 50},
+		))
+		if !p.Quiesce(5 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		time.Sleep(30 * time.Millisecond)
+		st := p.Stats()
+		if st.AmendsDone != 1 || st.TradesCompleted != 1 {
+			t.Fatalf("amends %d trades %d, want 1/1", st.AmendsDone, st.TradesCompleted)
+		}
+		fills := rec.snapshot()
+		if len(fills) != 1 || fills[0].BuyOrder != idBase+2 || fills[0].Price != base+2 {
+			t.Fatalf("reprice fills wrong: %+v", fills)
+		}
+		if err := p.Broker.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("foreign amend rejected", func(t *testing.T) {
+		p, sym, base, rec := newP(t)
+		p.ReplayOrdersSingle(manualOps(sym,
+			workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 1, Side: "ask", Price: base, Qty: 100},
+			// Trader 1 tries to shrink trader 0's order before crossing
+			// it — the ownership check must ignore the amend.
+			workload.OrderOp{Trader: 1, Kind: workload.OpAmend, Target: idBase + 1, Price: base, Qty: 1},
+			workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 2, Side: "bid", Price: base, Qty: 100},
+		))
+		if !p.Quiesce(5 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		time.Sleep(30 * time.Millisecond)
+		st := p.Stats()
+		if st.AmendsDone != 0 {
+			t.Fatal("foreign amend was honoured")
+		}
+		fills := rec.snapshot()
+		if len(fills) != 1 || fills[0].Qty != 100 {
+			t.Fatalf("order did not fill whole after rejected foreign amend: %+v", fills)
+		}
+	})
+}
+
+// TestShardedAuditsFlow re-runs the step 7–8 choreography on a
+// 4-shard pool: audit requests re-dispatch to the shard owning the
+// trade's symbol (via the trade event's oshard part), so delegations
+// keep flowing when the log is partitioned.
+func TestShardedAuditsFlow(t *testing.T) {
+	p, err := New(Config{
+		Mode:             core.LabelsFreeze,
+		NumTraders:       4,
+		Universe:         workload.NewUniverse(4),
+		Seed:             17,
+		BrokerShards:     4,
+		AuditSampleEvery: 1,
+		OrderTTL:         time.Hour,
+		QueueCap:         2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+		Traders:       4,
+		AggressionPct: 55,
+	}, 17)
+	p.ReplayOrders(flow.Take(2500))
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(80 * time.Millisecond)
+	st := p.Stats()
+	if st.AuditsRequested == 0 {
+		t.Fatal("no audits requested")
+	}
+	deleg := p.Broker.Delegations()
+	if deleg == 0 {
+		t.Fatal("no delegations issued")
+	}
+	if deleg*10 < st.AuditsRequested*9 {
+		t.Fatalf("only %d of %d audits answered across shards", deleg, st.AuditsRequested)
+	}
+	if p.Regulator.VolsSeen() == 0 {
+		t.Fatal("no volume reports reached the regulator")
+	}
+}

@@ -57,6 +57,7 @@ type Trader struct {
 	matches  counter
 	orders   counter
 	cancels  counter
+	amends   counter
 	trades   counter
 	warnings counter
 }
@@ -143,6 +144,9 @@ func (t *Trader) Orders() uint64 { return t.orders.load() }
 // CancelsRequested reports cancel operations published.
 func (t *Trader) CancelsRequested() uint64 { return t.cancels.load() }
 
+// AmendsRequested reports amend operations published.
+func (t *Trader) AmendsRequested() uint64 { return t.amends.load() }
+
 // Trades reports completed trades this trader recognised as its own.
 func (t *Trader) Trades() uint64 { return t.trades.load() }
 
@@ -223,6 +227,18 @@ func (t *Trader) buildOrderEvent(trigger *events.Event, id int64, symbol, side, 
 	if err := t.unit.AddPart(e, noTags, noTags, "type", "order"); err != nil {
 		return nil
 	}
+	// The public shard-route part steers the order to the broker shard
+	// owning its symbol (the per-shard subscription filters key on it).
+	// It leaks at most log2(shards) bits of the symbol's hash — the
+	// symbol universe itself is public, and the order's existence is
+	// already observable through the public type part; price, size,
+	// side and identity stay under {b} and {b,tr} as before. The shard
+	// re-derives the route from the b-protected symbol and rejects
+	// mismatches, so forging this part cannot split a symbol's book.
+	if err := t.unit.AddPart(e, noTags, noTags, "oshard",
+		int64(RouteSymbol(symbol, t.p.cfg.BrokerShards))); err != nil {
+		return nil
+	}
 	// The tr reference travels in the order data (§3.1.5: "this
 	// reference is carried in the data part of an event"); the
 	// reference alone conveys no privilege — the attached grants do.
@@ -293,14 +309,16 @@ func (t *Trader) placeOrder(match *events.Event) {
 	t.orders.inc()
 }
 
-// flowEvent turns one order-flow op into an order event. Cancels reuse
-// the full choreography — the fresh tr protects the canceller's
-// identity part, which the Broker checks against the resting order's
-// owner before withdrawing it.
+// flowEvent turns one order-flow op into an order event. Cancels and
+// amends reuse the full choreography — the fresh tr protects the
+// requester's identity part, which the Broker checks against the
+// resting order's owner before acting on it.
 func (t *Trader) flowEvent(op *workload.OrderOp) *events.Event {
 	switch op.Kind {
 	case workload.OpCancel:
 		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "cancel", 0, 0, op.Target)
+	case workload.OpAmend:
+		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "amend", op.Price, op.Qty, op.Target)
 	case workload.OpMarket:
 		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "market", 0, op.Qty, 0)
 	default:
@@ -312,17 +330,23 @@ func (t *Trader) flowEvent(op *workload.OrderOp) *events.Event {
 // single batch (the replay driver's amortised path) or one publish per
 // op; both deliver identically in order.
 func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
-	var placed, cancels uint64
+	var placed, cancels, amends uint64
+	count := func(k workload.OrderKind) {
+		switch k {
+		case workload.OpCancel:
+			cancels++
+		case workload.OpAmend:
+			amends++
+		default:
+			placed++
+		}
+	}
 	if batched && len(ops) > 1 {
 		batch := make([]*events.Event, 0, len(ops))
 		for i := range ops {
 			if e := t.flowEvent(&ops[i]); e != nil {
 				batch = append(batch, e)
-				if ops[i].Kind == workload.OpCancel {
-					cancels++
-				} else {
-					placed++
-				}
+				count(ops[i].Kind)
 			}
 		}
 		if len(batch) == 0 {
@@ -340,15 +364,12 @@ func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
 			if err := t.unit.Publish(e); err != nil {
 				return
 			}
-			if ops[i].Kind == workload.OpCancel {
-				cancels++
-			} else {
-				placed++
-			}
+			count(ops[i].Kind)
 		}
 	}
 	t.orders.add(placed)
 	t.cancels.add(cancels)
+	t.amends.add(amends)
 }
 
 // checkTrade implements step 6's consumer side: the trader reads the

@@ -28,6 +28,10 @@ const (
 	OpMarket
 	// OpCancel withdraws a previously issued resting order by ID.
 	OpCancel
+	// OpAmend modifies a previously issued resting order by ID: a
+	// quantity reduction at the same price keeps time priority, any
+	// other change re-enters as fresh interest.
+	OpAmend
 )
 
 // String renders the kind in the event vocabulary's spelling.
@@ -37,6 +41,8 @@ func (k OrderKind) String() string {
 		return "market"
 	case OpCancel:
 		return "cancel"
+	case OpAmend:
+		return "amend"
 	default:
 		return "limit"
 	}
@@ -75,6 +81,15 @@ type FlowConfig struct {
 	// CancelPct is the percentage of ops that withdraw recent resting
 	// interest (default 10).
 	CancelPct int
+	// AmendPct is the percentage of ops that amend recent resting
+	// interest — reprice toward or away from the touch, or resize
+	// (default 0, so existing trace seeds replay byte-identically).
+	AmendPct int
+	// SymbolSkew, when > 1, draws each burst's symbol from a Zipf
+	// distribution with parameter s = SymbolSkew over the universe's
+	// symbols instead of uniformly — the hot-symbol concentration a
+	// sharded matching pool has to survive. 0 keeps the uniform draw.
+	SymbolSkew float64
 	// Depth is how many price ticks behind the anchor passive orders
 	// may rest — the book's depth in levels per side (default 8).
 	Depth int
@@ -123,9 +138,10 @@ const recentCap = 16
 
 // OrderFlow is a deterministic order-flow trace over a universe.
 type OrderFlow struct {
-	u   *Universe
-	cfg FlowConfig
-	rng *rand.Rand
+	u    *Universe
+	cfg  FlowConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf // non-nil iff SymbolSkew > 1
 
 	seq       uint64
 	trader    int
@@ -138,12 +154,16 @@ type OrderFlow struct {
 // NewOrderFlow starts a trace over the universe's symbols.
 func NewOrderFlow(u *Universe, cfg FlowConfig, seed int64) *OrderFlow {
 	cfg.defaults()
-	return &OrderFlow{
+	f := &OrderFlow{
 		u:      u,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(seed)),
 		recent: make([][]flowRef, cfg.Traders),
 	}
+	if cfg.SymbolSkew > 1 && len(u.Symbols) > 1 {
+		f.zipf = rand.NewZipf(f.rng, cfg.SymbolSkew, 1, uint64(len(u.Symbols)-1))
+	}
+	return f
 }
 
 // tickOf is the price increment for a symbol: ~5 bps of the anchor,
@@ -160,7 +180,11 @@ func (f *OrderFlow) Next() OrderOp {
 	if f.burstLeft == 0 {
 		f.trader = f.rng.Intn(f.cfg.Traders)
 		f.burstLeft = 1 + f.rng.Intn(f.cfg.BurstMax)
-		f.symbol = f.u.Symbols[f.rng.Intn(len(f.u.Symbols))]
+		if f.zipf != nil {
+			f.symbol = f.u.Symbols[f.zipf.Uint64()]
+		} else {
+			f.symbol = f.u.Symbols[f.rng.Intn(len(f.u.Symbols))]
+		}
 	}
 	f.burstLeft--
 	f.seq++
@@ -171,6 +195,29 @@ func (f *OrderFlow) Next() OrderOp {
 			op.Kind = OpCancel
 			op.Target = ref.id
 			op.Symbol = ref.symbol
+			return op
+		}
+	}
+	if f.cfg.AmendPct > 0 && f.rng.Intn(100) < f.cfg.AmendPct {
+		if ref, ok := f.peekRecent(f.trader); ok {
+			// Amend keeps the order alive (under a possibly new price),
+			// so the ref stays in the cancel memory; an amend or cancel
+			// whose target already filled is ignored downstream, like a
+			// stale cancel.
+			op.Kind = OpAmend
+			op.Target = ref.id
+			op.Symbol = ref.symbol
+			base := f.u.BasePrice(ref.symbol)
+			tick := tickOf(base)
+			op.Qty = f.cfg.QtyUnit * int64(1+f.rng.Intn(4))
+			// Reprice within the passive band on either side of the
+			// anchor; amends that cross the touch re-enter and fill.
+			off := tick * int64(1+f.rng.Intn(f.cfg.Depth))
+			if f.rng.Intn(2) == 1 {
+				op.Price = base + off
+			} else {
+				op.Price = base - off
+			}
 			return op
 		}
 	}
@@ -232,6 +279,15 @@ func (f *OrderFlow) pushRecent(trader int, ref flowRef) {
 		r = r[:recentCap-1]
 	}
 	f.recent[trader] = append(r, ref)
+}
+
+// peekRecent picks a random remembered order without forgetting it.
+func (f *OrderFlow) peekRecent(trader int) (flowRef, bool) {
+	r := f.recent[trader]
+	if len(r) == 0 {
+		return flowRef{}, false
+	}
+	return r[f.rng.Intn(len(r))], true
 }
 
 // popRecent withdraws a random remembered order, if any.

@@ -84,6 +84,79 @@ func TestOrderFlowShape(t *testing.T) {
 	}
 }
 
+func TestOrderFlowAmendOps(t *testing.T) {
+	u := NewUniverse(4)
+	ops := NewOrderFlow(u, FlowConfig{Traders: 8, AmendPct: 15}, 11).Take(10000)
+	issued := map[int64]string{}
+	amends := 0
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == OpLimit {
+			issued[op.ID] = op.Symbol
+		}
+		if op.Kind != OpAmend {
+			continue
+		}
+		amends++
+		sym, ok := issued[op.Target]
+		if !ok {
+			t.Fatalf("op %d amends never-issued order %d", i, op.Target)
+		}
+		if sym != op.Symbol {
+			t.Fatalf("op %d amends order %d under symbol %q, issued under %q", i, op.Target, op.Symbol, sym)
+		}
+		if op.Qty <= 0 || op.Price <= 0 || op.ID != 0 {
+			t.Fatalf("bad amend op %+v", op)
+		}
+	}
+	if amends < 400 {
+		t.Fatalf("only %d amends in 10000 ops at AmendPct 15", amends)
+	}
+	// AmendPct 0 (the default) must not consume extra randomness: the
+	// zero-config stream stays byte-identical to the pre-amend shape,
+	// which established seeds depend on.
+	a := NewOrderFlow(u, FlowConfig{Traders: 8}, 7).Take(500)
+	b := NewOrderFlow(u, FlowConfig{Traders: 8, AmendPct: 0}, 7).Take(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zero AmendPct perturbed the trace at %d", i)
+		}
+	}
+}
+
+func TestOrderFlowSymbolSkew(t *testing.T) {
+	u := NewUniverse(16) // 32 symbols
+	count := func(skew float64) map[string]int {
+		ops := NewOrderFlow(u, FlowConfig{Traders: 8, SymbolSkew: skew}, 13).Take(20000)
+		m := map[string]int{}
+		for i := range ops {
+			m[ops[i].Symbol]++
+		}
+		return m
+	}
+	top := func(m map[string]int) int {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	uniform, skewed := count(0), count(1.4)
+	if topU, topS := top(uniform), top(skewed); topS < 2*topU {
+		t.Fatalf("skew 1.4 top symbol %d ops vs uniform %d: no concentration", topS, topU)
+	}
+	// Skewed flows stay deterministic under a seed.
+	a := NewOrderFlow(u, FlowConfig{Traders: 8, SymbolSkew: 1.4}, 13).Take(2000)
+	b := NewOrderFlow(u, FlowConfig{Traders: 8, SymbolSkew: 1.4}, 13).Take(2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed skewed flows diverged at %d", i)
+		}
+	}
+}
+
 func TestOrderFlowBurstsBoundedAndBatched(t *testing.T) {
 	u := NewUniverse(2)
 	cfg := FlowConfig{Traders: 16, BurstMax: 4}
