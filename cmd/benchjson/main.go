@@ -8,8 +8,9 @@
 //	defcon-bench -fig 5 -quick | tee fig5.txt
 //	defcon-bench -fig ob -quick | tee figob.txt
 //	defcon-bench -fig obshard -shards 1,2 | tee figobshard.txt
+//	defcon-bench -fig mdfeed -subs 100,1000 | tee figmdfeed.txt
 //	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt \
-//	  -figobshard figobshard.txt -o BENCH_dispatch.json
+//	  -figobshard figobshard.txt -figmdfeed figmdfeed.txt -o BENCH_dispatch.json
 package main
 
 import (
@@ -52,6 +53,10 @@ type Snapshot struct {
 	// count) from `defcon-bench -fig obshard`.
 	ObShardFigure string     `json:"obshard_figure,omitempty"`
 	ObShardPoints []FigPoint `json:"obshard_points,omitempty"`
+	// Market-data fanout series (delivered deltas/s per mode ×
+	// conflation, x = subscribers) from `defcon-bench -fig mdfeed`.
+	MDFeedFigure string     `json:"mdfeed_figure,omitempty"`
+	MDFeedPoints []FigPoint `json:"mdfeed_points,omitempty"`
 }
 
 func main() {
@@ -60,11 +65,13 @@ func main() {
 		figPath        = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
 		figOBPath      = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
 		figShardPath   = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
+		figMDPath      = flag.String("figmdfeed", "", "optional file holding the defcon-bench market-data fanout table")
 		outPath        = flag.String("o", "BENCH_dispatch.json", "output JSON path")
 		require        = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
 		reqSeries      = flag.String("require-series", "", "comma-separated figure series names that must be present")
 		reqOBSeries    = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
 		reqShardSeries = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
+		reqMDSeries    = flag.String("require-mdfeed-series", "", "comma-separated market-data fanout series names that must be present")
 	)
 	flag.Parse()
 
@@ -100,8 +107,13 @@ func main() {
 			fatal(fmt.Errorf("no shard-scaling points parsed from %s", *figShardPath))
 		}
 	}
+	if *figMDPath != "" {
+		if snap.MDFeedFigure, snap.MDFeedPoints = parseFigureFile(*figMDPath); len(snap.MDFeedPoints) == 0 {
+			fatal(fmt.Errorf("no market-data fanout points parsed from %s", *figMDPath))
+		}
+	}
 
-	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries); err != nil {
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries); err != nil {
 		fatal(err)
 	}
 
@@ -125,7 +137,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -144,7 +156,10 @@ func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries string
 	if err := requireSeries(snap.OrderBookPoints, obSeries, "order-book"); err != nil {
 		return err
 	}
-	return requireSeries(snap.ObShardPoints, shardSeries, "shard-scaling")
+	if err := requireSeries(snap.ObShardPoints, shardSeries, "shard-scaling"); err != nil {
+		return err
+	}
+	return requireSeries(snap.MDFeedPoints, mdSeries, "market-data fanout")
 }
 
 // requireSeries checks each named series appears in at least one point.

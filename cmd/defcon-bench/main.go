@@ -9,6 +9,7 @@
 //	defcon-bench -fig 9 -inprocess               # serialisation-only ablation
 //	defcon-bench -fig ob -ops 50000              # order-book fill rate
 //	defcon-bench -fig obshard -shards 1,2,4,8    # pool shard scaling
+//	defcon-bench -fig mdfeed -subs 100,1000,10000 # market-data fanout
 //	defcon-bench -analysis                       # §4.2 pipeline counts
 //	defcon-bench -fig all -quick                 # fast smoke of everything
 //
@@ -32,9 +33,10 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,obshard or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,obshard,mdfeed or all")
 		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
 		shards    = flag.String("shards", "", "comma-separated broker shard counts (figure obshard)")
+		subs      = flag.String("subs", "", "comma-separated subscriber counts (figure mdfeed)")
 		agents    = flag.String("agents", "", "comma-separated agent counts (figures 8-9)")
 		duration  = flag.Duration("duration", 2*time.Second, "measurement duration per throughput point")
 		rate      = flag.Float64("rate", 0, "offered tick rate for latency figures (0 = default)")
@@ -57,6 +59,7 @@ func main() {
 	bopts := bench.BaselineOpts{Duration: *duration}
 	oopts := bench.OrderBookOpts{Ops: *ops}
 	sopts := bench.OrderBookShardOpts{Ops: *ops}
+	mopts := bench.MDFeedOpts{Ops: *ops}
 	if *rate > 0 {
 		dopts.LatencyRate = *rate
 		bopts.LatencyRate = *rate
@@ -67,6 +70,9 @@ func main() {
 	}
 	if *shards != "" {
 		sopts.Shards = parseInts(*shards)
+	}
+	if *subs != "" {
+		mopts.Subscribers = parseInts(*subs)
 	}
 	if *agents != "" {
 		bopts.ThroughputAgents = parseInts(*agents)
@@ -90,6 +96,11 @@ func main() {
 			sopts.Shards = []int{1, 2}
 		}
 		sopts.Ops = 12000
+		if *subs == "" {
+			mopts.Subscribers = []int{16, 64}
+		}
+		mopts.Ops = 2000
+		mopts.Traders = 8
 	}
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
@@ -105,6 +116,7 @@ func main() {
 		{"9", func() (bench.Result, error) { return bench.RunFig9(bopts) }},
 		{"ob", func() (bench.Result, error) { return bench.RunOrderBook(oopts) }},
 		{"obshard", func() (bench.Result, error) { return bench.RunOrderBookShards(sopts) }},
+		{"mdfeed", func() (bench.Result, error) { return bench.RunMDFeed(mopts) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -120,7 +132,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,obshard or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,obshard,mdfeed or all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,44 @@
+package bench
+
+// Market-data fanout harness smoke: RunMDFeed at a small subscriber
+// count must produce conflated and unbounded series for every
+// requested mode with positive sustained delivery — and its built-in
+// amortization assertion (label checks == fanned batches × classes)
+// must hold, which is what the CI guard pins.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMDFeedBenchHarness(t *testing.T) {
+	res, err := RunMDFeed(MDFeedOpts{
+		Subscribers: []int{16},
+		Modes:       []core.SecurityMode{core.NoSecurity, core.LabelsFreeze},
+		Ops:         1500,
+		Traders:     8,
+		Workers:     2,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 { // 2 modes × {conflated, unbounded}
+		t.Fatalf("series: %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Name) > 24 {
+			t.Fatalf("series name %q overflows the 24-char table column", s.Name)
+		}
+		if len(s.Points) != 1 {
+			t.Fatalf("%s: points %d", s.Name, len(s.Points))
+		}
+		if s.Points[0].Y <= 0 {
+			t.Fatalf("%s: no sustained delivery: %+v", s.Name, s.Points[0])
+		}
+	}
+	if res.Format() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mdfeed"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// MDFeedOpts parameterise the market-data fanout sweep: sustained
+// delivered deltas/s on one symbol's L2 feed as the subscriber
+// population grows, conflation on vs off, per security mode. This is
+// the headline "heavy traffic" figure — the trader sweeps top out at
+// hundreds of consumers; this one targets 10k+ subscribers per
+// symbol, which is only affordable because the label check runs once
+// per (batch, class) and delivery is a shared-pointer append.
+type MDFeedOpts struct {
+	// Subscribers lists the x-axis points (default 100, 1000, 10000).
+	Subscribers []int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Ops is the order-flow length per measurement point (default
+	// 20,000).
+	Ops int
+	// Pairs sizes the symbol universe (default 1 pair, 2 symbols).
+	Pairs int
+	// Traders is the order-flow population (default 16).
+	Traders int
+	// Workers is the consumer poll-loop pool size (default
+	// GOMAXPROCS clamped to [1, 8]).
+	Workers int
+	// Mix shapes the subscriber population (default: workload
+	// defaults plus 20% unentitled, so the flow check has a class to
+	// refuse).
+	Mix workload.SubscriberMix
+	// Seed fixes workload and population.
+	Seed int64
+}
+
+func (o *MDFeedOpts) defaults() {
+	if len(o.Subscribers) == 0 {
+		o.Subscribers = []int{100, 1000, 10000}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Ops == 0 {
+		o.Ops = 20000
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 1
+	}
+	if o.Traders == 0 {
+		o.Traders = 16
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Mix == (workload.SubscriberMix{}) {
+		o.Mix = workload.SubscriberMix{UnentitledPct: 20}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// shortMode compresses mode names so "<mode> conflated" fits the
+// Result table's 24-character series column.
+func shortMode(m core.SecurityMode) string {
+	switch m {
+	case core.NoSecurity:
+		return "no-sec"
+	case core.LabelsFreeze:
+		return "l+f"
+	case core.LabelsClone:
+		return "l+clone"
+	case core.LabelsFreezeIsolation:
+		return "l+f+iso"
+	default:
+		return m.String()
+	}
+}
+
+// RunMDFeed measures the market-data fanout (the `-fig mdfeed`
+// sweep): a fast/slow/churning subscriber population polls one
+// symbol's feed while the dark pool clears an order-flow trace, and
+// the point is total delivered deltas (in-sequence plus recovery)
+// per wall-clock second, replay through final drain. Each point also
+// verifies the amortization invariant — label checks exactly equal
+// fanned-out batches × label classes, independent of the subscriber
+// count.
+func RunMDFeed(o MDFeedOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Market-data fanout",
+		Caption: "delivered L2 deltas/s vs subscribers on one symbol's feed, conflation on vs off (unbounded queues)",
+	}
+	for _, mode := range o.Modes {
+		for _, conflate := range []bool{true, false} {
+			suffix := " conflated"
+			if !conflate {
+				suffix = " unbounded"
+			}
+			s := Series{Name: shortMode(mode) + suffix, Unit: "deltas/s"}
+			for _, n := range o.Subscribers {
+				y, err := runMDFeedPoint(&o, mode, conflate, n)
+				if err != nil {
+					return res, fmt.Errorf("mdfeed point %s/%d: %w", s.Name, n, err)
+				}
+				s.Points = append(s.Points, Point{X: n, Y: y})
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+func runMDFeedPoint(o *MDFeedOpts, mode core.SecurityMode, conflate bool, n int) (float64, error) {
+	p, err := trading.New(trading.Config{
+		Mode:       mode,
+		NumTraders: o.Traders,
+		Universe:   workload.NewUniverse(o.Pairs),
+		Seed:       o.Seed,
+		OrderTTL:   time.Minute,
+		QueueCap:   4096,
+		Enforcer:   SharedEnforcer(),
+		MarketData: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+
+	sym := p.Universe().Symbols[0]
+	feed := p.MD.Feed(sym)
+	profiles := workload.Subscribers(n, o.Mix, o.Seed+9)
+	subOpts := func(pr workload.SubscriberProfile) mdfeed.SubOptions {
+		so := mdfeed.SubOptions{NoConflate: !conflate}
+		if pr.Entitled {
+			so.Label = p.MDLabel()
+		}
+		return so
+	}
+	subs := make([]*mdfeed.Subscription, n)
+	for i, pr := range profiles {
+		subs[i] = feed.Subscribe(subOpts(pr))
+	}
+	classes := feed.Classes()
+
+	// Consumer pool: each worker polls its subscriber stripe in
+	// rounds, draining per the profile's cadence and churning
+	// (unsubscribe + rejoin through snapshot recovery) where the
+	// profile says so.
+	var applied atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local uint64
+			count := func(mdfeed.Delta) { local++ }
+			for round := 1; !stop.Load(); round++ {
+				for i := w; i < n; i += o.Workers {
+					pr := profiles[i]
+					if pr.Kind == workload.SubChurn && round%pr.ChurnEvery == 0 {
+						feed.Unsubscribe(subs[i])
+						subs[i] = feed.Subscribe(subOpts(pr))
+					}
+					if round%pr.PollEvery == 0 {
+						subs[i].Drain(count)
+					}
+				}
+				applied.Add(local)
+				local = 0
+			}
+			// Final pass: drain whatever the cutover left queued.
+			for i := w; i < n; i += o.Workers {
+				subs[i].Drain(count)
+			}
+			applied.Add(local)
+		}(w)
+	}
+
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+		Traders:       o.Traders,
+		AggressionPct: 55,
+	}, o.Seed+5)
+	ops := flow.Take(o.Ops)
+	start := time.Now()
+	p.ReplayOrders(ops)
+	if !p.Quiesce(120 * time.Second) {
+		stop.Store(true)
+		wg.Wait()
+		return 0, fmt.Errorf("did not quiesce")
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if feed.Deltas() == 0 {
+		return 0, fmt.Errorf("feed emitted no deltas")
+	}
+	// Amortization invariant: one CanFlowTo per fanned-out batch per
+	// label class — never per subscriber.
+	fanned := feed.Batches() - feed.LostBatches()
+	if mode.CheckLabels() {
+		if got, want := feed.LabelChecks(), fanned*uint64(classes); got != want {
+			return 0, fmt.Errorf("label checks %d != fanned batches %d × classes %d",
+				got, fanned, classes)
+		}
+	} else if feed.LabelChecks() != 0 {
+		return 0, fmt.Errorf("label checks %d with security off", feed.LabelChecks())
+	}
+	return float64(applied.Load()) / elapsed.Seconds(), nil
+}

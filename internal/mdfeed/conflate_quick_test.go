@@ -1,0 +1,109 @@
+package mdfeed
+
+// Satellite: property test that conflation is lossless-in-the-limit —
+// a conflated stream (arbitrary ring overflows, gaps, reconnects)
+// applied on top of snapshot recovery converges to exactly the book
+// state the unconflated delta stream produces. testing/quick drives
+// the op mix, subscriber ring size and drain cadence from random
+// seeds; the seeded cases below pin the gap/reconnect corners the
+// quick config might miss.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// convergenceRound drives one randomized session: a tiny-ring
+// conflating subscriber that drains rarely, an unbounded subscriber
+// that drains always, and a churner that unsubscribes/resubscribes —
+// all must land on the live book state at quiesce.
+func convergenceRound(t *testing.T, seed int64, ops int, ring int, drainEvery int, journal int) bool {
+	t.Helper()
+	f := NewFeed("Q", 1, Options{SyncFanout: true, BatchMax: 4, Journal: journal})
+	d := newDriver(f, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+
+	slow := f.Subscribe(SubOptions{Queue: ring})
+	full := f.Subscribe(SubOptions{Queue: ring, NoConflate: true})
+	churn := f.Subscribe(SubOptions{Queue: ring})
+	mSlow, mFull, mChurn := NewMirror(), NewMirror(), NewMirror()
+
+	for i := 0; i < ops; i++ {
+		d.step()
+		if i%drainEvery == 0 {
+			slow.Drain(mSlow.Apply)
+		}
+		full.Drain(mFull.Apply)
+		if rng.Intn(20) == 0 { // reconnect: drop all state, rejoin late
+			f.Unsubscribe(churn)
+			churn = f.Subscribe(SubOptions{Queue: ring})
+			mChurn = NewMirror()
+		} else if rng.Intn(3) == 0 {
+			churn.Drain(mChurn.Apply)
+		}
+	}
+	slow.Drain(mSlow.Apply)
+	full.Drain(mFull.Apply)
+	churn.Drain(mChurn.Apply)
+
+	truth := BookState(d.book)
+	if !mFull.Equal(truth) {
+		t.Logf("seed %d: unconflated diverged\ngot:\n%vwant:\n%v", seed, mFull, truth)
+		return false
+	}
+	if !mSlow.Equal(truth) {
+		t.Logf("seed %d: conflated diverged\ngot:\n%vwant:\n%v", seed, mSlow, truth)
+		return false
+	}
+	if !mChurn.Equal(truth) {
+		t.Logf("seed %d: reconnecting diverged\ngot:\n%vwant:\n%v", seed, mChurn, truth)
+		return false
+	}
+	// The unconflated subscriber saw the full stream; the conflated
+	// one converged to the same state — the conflation property.
+	if full.Delivered() != f.Deltas() {
+		t.Logf("seed %d: unconflated delivered %d of %d", seed, full.Delivered(), f.Deltas())
+		return false
+	}
+	return true
+}
+
+// TestQuickConflationConverges: testing/quick over random seeds and
+// shapes.
+func TestQuickConflationConverges(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}
+	prop := func(seed int64, rawRing, rawDrain, rawJournal uint8) bool {
+		ring := 1 + int(rawRing)%8
+		drainEvery := 1 + int(rawDrain)%50
+		journal := 2 + int(rawJournal)%64
+		return convergenceRound(t, seed, 400, ring, drainEvery, journal)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeededGapReconnect pins the named corners: journal smaller than
+// any realistic gap (always snapshot recovery), journal larger than
+// the whole session (always replay), drain-once-at-the-end, and
+// frequent reconnects.
+func TestSeededGapReconnect(t *testing.T) {
+	cases := []struct {
+		name                           string
+		seed                           int64
+		ops, ring, drainEvery, journal int
+	}{
+		{"snapshot-recovery-only", 2, 600, 1, 600, 2},
+		{"journal-replay-only", 3, 600, 1, 600, 8192},
+		{"tiny-ring-constant-overflow", 4, 800, 1, 7, 64},
+		{"balanced", 5, 500, 4, 16, 128},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if !convergenceRound(t, c.seed, c.ops, c.ring, c.drainEvery, c.journal) {
+				t.Fatal("did not converge")
+			}
+		})
+	}
+}

@@ -1,0 +1,744 @@
+// Package mdfeed implements the conflated, delta-encoded market-data
+// fanout: a per-symbol L2 feed fed by the order book's level-delta
+// hook, serving tens of thousands of subscribers per symbol.
+//
+// The pipeline has three stages with strictly bounded coupling:
+//
+//  1. Ingest (matching thread). The owning broker shard's book calls
+//     IngestLevel for every level change; the feed stages the raw
+//     change into a reused pending buffer — no lock, no allocation.
+//     At the end of each processed order the shard calls Flush: under
+//     one short lock the staged changes are coalesced to latest-state
+//     per level, sequence-numbered, journaled, classified as
+//     add/modify/delete against the feed's live mirror, and sealed
+//     into an immutable pooled Batch. The batch is offered to the
+//     fanout ring with a non-blocking send — the matching path NEVER
+//     waits on consumers.
+//
+//  2. Fanout (one goroutine per feed, or inline in SyncFanout mode).
+//     Subscribers are grouped into label classes (identical input
+//     labels); per batch the DEFC flow check runs ONCE PER CLASS —
+//     batch.Label.CanFlowTo(class.label) — not once per subscriber,
+//     then the shared immutable batch pointer is appended to each
+//     subscriber's preallocated ring. Steady-state delivery is a
+//     pointer write and a refcount increment: zero allocations per
+//     subscriber.
+//
+//  3. Drain (consumer threads, poll-based). Drain applies batches in
+//     sequence order. A subscriber that falls behind — ring overflow
+//     (conflation), a dropped fanout batch, or a late join — detects
+//     the sequence gap and recovers: if the gap fits the journal it
+//     replays the missed deltas; otherwise it receives a Reset marker
+//     followed by the mirror's latest-state-per-level snapshot, which
+//     is exactly conflation-to-current-state with memory bounded by
+//     the book's level count, never by the backlog.
+//
+// Label soundness (DESIGN-dispatch.md §10): every delta in a batch
+// derives from order events whose book-visible parts are confined to
+// the dark-pool label {b}; the batch label is the join of its inputs,
+// declassified once by the broker (which owns b±) to the feed's
+// entitlement label. Because the label is constant across a batch and
+// subscribers in a class share one input label, one check per
+// (batch, class) decides delivery for every subscriber exactly as
+// per-subscriber checks would.
+package mdfeed
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/orderbook"
+)
+
+// Kind classifies one delta.
+type Kind uint8
+
+const (
+	// Add reports a price level coming into existence.
+	Add Kind = iota
+	// Modify reports an existing level's aggregates changing.
+	Modify
+	// Delete reports a level emptying out.
+	Delete
+	// Reset is a recovery marker: the subscriber's state is stale
+	// beyond repair from deltas; discard it — a latest-state snapshot
+	// (a run of Add deltas sharing the Reset's sequence) follows.
+	Reset
+)
+
+// Delta is one sequence-numbered L2 book change. Sequence numbers are
+// dense per feed (per symbol), starting at 1.
+type Delta struct {
+	Seq    uint64
+	Kind   Kind
+	Side   orderbook.Side
+	Price  int64
+	Qty    int64
+	Orders int32
+}
+
+// Batch is a sealed, immutable run of consecutive deltas shared by
+// every subscriber it is delivered to. Batches are pooled: the feed
+// holds one reference while fanning out and each delivered subscriber
+// holds one until it drains the batch.
+type Batch struct {
+	First, Last uint64
+	Label       labels.Label
+	Deltas      []Delta
+
+	feed *Feed
+	refs atomic.Int32
+}
+
+// release drops one reference, recycling the batch at zero.
+func (b *Batch) release() {
+	if b.refs.Add(-1) == 0 {
+		select {
+		case b.feed.free <- b:
+		default:
+		}
+	}
+}
+
+// Options tune one feed. The zero value of any field selects its
+// default.
+type Options struct {
+	// Label is the batch label: the declassified join of the feed's
+	// inputs (see package comment). Subscribers receive a batch iff
+	// Label.CanFlowTo(subscriber label).
+	Label labels.Label
+	// CheckLabels enables the DEFC flow check (false reproduces the
+	// no-security mode: every class receives everything).
+	CheckLabels bool
+	// Journal is the delta-journal ring size — the largest sequence
+	// gap recoverable by replay instead of snapshot (default 4096).
+	Journal int
+	// FanoutRing bounds the sealed-batch queue between the matching
+	// thread and the fanout goroutine (default 256). On overflow the
+	// batch is dropped, not waited for; subscribers recover via the
+	// sequence gap.
+	FanoutRing int
+	// BatchMax bounds deltas per sealed batch (default 512).
+	BatchMax int
+	// DefaultQueue is the subscriber ring capacity when SubOptions
+	// leaves it zero (default 64).
+	DefaultQueue int
+	// SyncFanout runs fanout inline in Flush instead of on a
+	// goroutine. Deterministic — for tests and single-threaded
+	// benchmarks; the matching path then does pay fanout cost.
+	SyncFanout bool
+}
+
+func (o *Options) defaults() {
+	if o.Journal <= 0 {
+		o.Journal = 4096
+	}
+	if o.FanoutRing <= 0 {
+		o.FanoutRing = 256
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 512
+	}
+	if o.DefaultQueue <= 0 {
+		o.DefaultQueue = 64
+	}
+}
+
+// staged is one raw level change awaiting Flush.
+type staged struct {
+	side   orderbook.Side
+	price  int64
+	qty    int64
+	orders int32
+}
+
+// levelKey identifies a price level.
+type levelKey struct {
+	Side  orderbook.Side
+	Price int64
+}
+
+// levelVal is a level's mirrored aggregates.
+type levelVal struct {
+	Qty    int64
+	Orders int32
+}
+
+// subClass groups subscribers sharing one input label; the per-batch
+// flow check runs once per class.
+type subClass struct {
+	label labels.Label
+	subs  []*Subscription
+}
+
+// Feed is one symbol's market-data feed.
+type Feed struct {
+	symbol string
+	ns     int64
+	opts   Options
+
+	// pending stages raw level changes between Flush calls; touched
+	// only by the ingest (matching) thread.
+	pending []staged
+
+	// mu guards seq, mirror and journal — written by Flush, read by
+	// recovery and snapshots.
+	mu      sync.RWMutex
+	seq     uint64
+	mirror  map[levelKey]levelVal
+	journal []Delta
+
+	// fanout plumbing.
+	queue    chan *Batch
+	free     chan *Batch
+	inflight atomic.Int64
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+
+	// submu guards the class table.
+	submu   sync.RWMutex
+	classes map[string]*subClass
+	order   []*subClass // stable iteration order for fanout
+
+	// counters.
+	batches     atomic.Uint64
+	deltas      atomic.Uint64
+	labelChecks atomic.Uint64
+	labelDenied atomic.Uint64
+	conflations atomic.Uint64
+	lostBatches atomic.Uint64
+}
+
+// NewFeed builds a feed for one symbol; ns is the symbol's platform
+// namespace (the trade-ID namespace, so feed identities line up with
+// the matching layer's per-symbol streams).
+func NewFeed(symbol string, ns int64, opts Options) *Feed {
+	opts.defaults()
+	f := &Feed{
+		symbol:  symbol,
+		ns:      ns,
+		opts:    opts,
+		mirror:  make(map[levelKey]levelVal),
+		journal: make([]Delta, opts.Journal),
+		queue:   make(chan *Batch, opts.FanoutRing),
+		free:    make(chan *Batch, 64),
+		classes: make(map[string]*subClass),
+	}
+	if !opts.SyncFanout {
+		f.wg.Add(1)
+		go f.fanoutLoop()
+	}
+	return f
+}
+
+// Symbol returns the feed's symbol.
+func (f *Feed) Symbol() string { return f.symbol }
+
+// NS returns the feed's per-symbol namespace.
+func (f *Feed) NS() int64 { return f.ns }
+
+// Seq returns the last assigned delta sequence number.
+func (f *Feed) Seq() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.seq
+}
+
+// Batches reports sealed batches.
+func (f *Feed) Batches() uint64 { return f.batches.Load() }
+
+// Deltas reports sequence-numbered deltas emitted.
+func (f *Feed) Deltas() uint64 { return f.deltas.Load() }
+
+// LabelChecks reports CanFlowTo evaluations performed by the fanout —
+// the amortization proof: this scales with batches × label classes,
+// never with subscribers.
+func (f *Feed) LabelChecks() uint64 { return f.labelChecks.Load() }
+
+// LabelDenied reports batch×class pairs refused by the flow check.
+func (f *Feed) LabelDenied() uint64 { return f.labelDenied.Load() }
+
+// Conflations reports subscriber ring overflows resolved by dropping
+// the backlog in favour of recovery.
+func (f *Feed) Conflations() uint64 { return f.conflations.Load() }
+
+// LostBatches reports batches dropped on fanout-ring overflow.
+func (f *Feed) LostBatches() uint64 { return f.lostBatches.Load() }
+
+// IngestLevel stages one raw level change; its signature matches
+// orderbook.DepthFunc so a book's depth hook can be pointed straight
+// at it. Must be called from the single ingest thread (the owning
+// broker shard's instance goroutine). Steady state appends into a
+// reused buffer: no lock, no allocation.
+func (f *Feed) IngestLevel(side orderbook.Side, price, qty int64, orders int) {
+	f.pending = append(f.pending, staged{side: side, price: price, qty: qty, orders: int32(orders)})
+}
+
+// Flush seals the staged changes into sequence-numbered delta batches
+// and offers them to the fanout. Called by the ingest thread at each
+// batch boundary (once per processed order). Never blocks on
+// consumers.
+func (f *Feed) Flush() {
+	if len(f.pending) == 0 {
+		return
+	}
+	// Coalesce to latest-state-per-level, preserving first-touch
+	// order: a level filled five times in one order emits one delta.
+	// The scan is quadratic in the per-order touch count, which the
+	// book bounds at a handful of levels.
+	pend := f.pending
+	var sealed *Batch
+	f.mu.Lock()
+	for i := range pend {
+		last := true
+		for j := i + 1; j < len(pend); j++ {
+			if pend[j].side == pend[i].side && pend[j].price == pend[i].price {
+				last = false
+				break
+			}
+		}
+		if !last {
+			continue
+		}
+		d, ok := f.classify(&pend[i])
+		if !ok {
+			continue
+		}
+		f.seq++
+		d.Seq = f.seq
+		f.journal[(f.seq-1)%uint64(len(f.journal))] = d
+		if sealed == nil {
+			sealed = f.newBatch()
+		}
+		sealed.Deltas = append(sealed.Deltas, d)
+		if len(sealed.Deltas) >= f.opts.BatchMax {
+			f.seal(sealed)
+			sealed = nil
+		}
+	}
+	if sealed != nil {
+		f.seal(sealed)
+	}
+	f.mu.Unlock()
+	f.pending = f.pending[:0]
+}
+
+// classify turns a coalesced raw change into a typed delta against
+// the live mirror, updating the mirror; ok is false when the change
+// nets out to nothing (a level that appeared and vanished within the
+// batch, or settled back to its prior state).
+func (f *Feed) classify(s *staged) (Delta, bool) {
+	k := levelKey{s.side, s.price}
+	cur, exists := f.mirror[k]
+	if s.qty == 0 {
+		if !exists {
+			return Delta{}, false
+		}
+		delete(f.mirror, k)
+		return Delta{Kind: Delete, Side: s.side, Price: s.price}, true
+	}
+	v := levelVal{Qty: s.qty, Orders: s.orders}
+	if exists && cur == v {
+		return Delta{}, false
+	}
+	f.mirror[k] = v
+	kind := Add
+	if exists {
+		kind = Modify
+	}
+	return Delta{Kind: kind, Side: s.side, Price: s.price, Qty: s.qty, Orders: s.orders}, true
+}
+
+// newBatch draws a batch from the free ring (allocating only when the
+// pipeline grows).
+func (f *Feed) newBatch() *Batch {
+	select {
+	case b := <-f.free:
+		b.Deltas = b.Deltas[:0]
+		return b
+	default:
+		return &Batch{feed: f, Deltas: make([]Delta, 0, f.opts.BatchMax)}
+	}
+}
+
+// seal stamps and publishes one batch. Called with f.mu held; the
+// queue send is non-blocking so the matching path cannot stall.
+func (f *Feed) seal(b *Batch) {
+	b.First = b.Deltas[0].Seq
+	b.Last = b.Deltas[len(b.Deltas)-1].Seq
+	b.Label = f.opts.Label
+	b.refs.Store(1)
+	f.batches.Add(1)
+	f.deltas.Add(uint64(len(b.Deltas)))
+	if f.opts.SyncFanout {
+		f.fanout(b)
+		return
+	}
+	if f.stopped.Load() {
+		b.release()
+		return
+	}
+	f.inflight.Add(1)
+	select {
+	case f.queue <- b:
+	default:
+		// Fanout is behind the matching engine; drop rather than
+		// block — subscribers see the gap and recover.
+		f.inflight.Add(-1)
+		f.lostBatches.Add(1)
+		b.release()
+	}
+}
+
+// fanoutLoop drains sealed batches onto subscriber rings.
+func (f *Feed) fanoutLoop() {
+	defer f.wg.Done()
+	for b := range f.queue {
+		f.fanout(b)
+		f.inflight.Add(-1)
+	}
+}
+
+// fanout delivers one batch: one flow check per label class, then a
+// shared pointer append per subscriber.
+func (f *Feed) fanout(b *Batch) {
+	f.submu.RLock()
+	for _, c := range f.order {
+		if f.opts.CheckLabels {
+			f.labelChecks.Add(1)
+			if !b.Label.CanFlowTo(c.label) {
+				f.labelDenied.Add(1)
+				continue
+			}
+		}
+		for _, s := range c.subs {
+			b.refs.Add(1)
+			if !s.push(b) {
+				b.release()
+			}
+		}
+	}
+	f.submu.RUnlock()
+	b.release() // the producer reference
+}
+
+// Close stops the fanout goroutine and releases queued batches. The
+// ingest thread must have stopped calling IngestLevel/Flush.
+func (f *Feed) Close() {
+	if f.stopped.Swap(true) {
+		return
+	}
+	if !f.opts.SyncFanout {
+		close(f.queue)
+		f.wg.Wait()
+	}
+}
+
+// Quiesce waits until every sealed batch has been fanned out.
+func (f *Feed) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for f.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return true
+}
+
+// SubOptions configure one subscription.
+type SubOptions struct {
+	// Label is the subscriber's input label for the per-class flow
+	// check.
+	Label labels.Label
+	// Queue is the subscriber ring capacity (default: the feed's
+	// DefaultQueue).
+	Queue int
+	// NoConflate disables conflation: on ring overflow the backlog
+	// grows without bound instead of collapsing to latest state — the
+	// unbounded-queue strawman the benchmark compares against.
+	NoConflate bool
+}
+
+// Subscription is one consumer's handle. Delivery is poll-based:
+// call Drain from the (single) consumer goroutine.
+type Subscription struct {
+	feed  *Feed
+	label labels.Label
+
+	mu       sync.Mutex
+	ring     []*Batch
+	head     uint64
+	tail     uint64
+	overflow []*Batch
+	gapped   bool
+	closed   bool
+	conflate bool
+
+	// consumer-thread state.
+	lastSeq  uint64
+	seenLost uint64
+
+	delivered atomic.Uint64
+	recovered atomic.Uint64
+}
+
+// Subscribe registers a consumer. A subscriber joining a feed with
+// history starts gapped: its first Drain performs snapshot (or
+// journal) recovery — the late-joiner path.
+func (f *Feed) Subscribe(o SubOptions) *Subscription {
+	if o.Queue <= 0 {
+		o.Queue = f.opts.DefaultQueue
+	}
+	s := &Subscription{
+		feed:     f,
+		label:    o.Label,
+		ring:     make([]*Batch, o.Queue),
+		conflate: !o.NoConflate,
+	}
+	f.mu.RLock()
+	s.gapped = f.seq != 0
+	f.mu.RUnlock()
+	s.seenLost = f.lostBatches.Load()
+	key := o.Label.Key()
+	f.submu.Lock()
+	c := f.classes[key]
+	if c == nil {
+		c = &subClass{label: o.Label}
+		f.classes[key] = c
+		f.order = append(f.order, c)
+	}
+	c.subs = append(c.subs, s)
+	f.submu.Unlock()
+	return s
+}
+
+// Unsubscribe removes the consumer and releases anything queued.
+func (f *Feed) Unsubscribe(s *Subscription) {
+	key := s.label.Key()
+	f.submu.Lock()
+	if c := f.classes[key]; c != nil {
+		for i, x := range c.subs {
+			if x == s {
+				c.subs[i] = c.subs[len(c.subs)-1]
+				c.subs[len(c.subs)-1] = nil
+				c.subs = c.subs[:len(c.subs)-1]
+				break
+			}
+		}
+	}
+	f.submu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.dropQueuedLocked()
+	s.mu.Unlock()
+}
+
+// Classes reports the number of live label classes.
+func (f *Feed) Classes() int {
+	f.submu.RLock()
+	defer f.submu.RUnlock()
+	return len(f.order)
+}
+
+// Subscribers reports the number of live subscriptions.
+func (f *Feed) Subscribers() int {
+	f.submu.RLock()
+	defer f.submu.RUnlock()
+	n := 0
+	for _, c := range f.order {
+		n += len(c.subs)
+	}
+	return n
+}
+
+// push offers a batch to the subscriber's ring from the fanout.
+// Reports whether the subscriber keeps the reference.
+func (s *Subscription) push(b *Batch) bool {
+	s.mu.Lock()
+	if s.closed || (s.gapped && s.conflate) {
+		// Already due a recovery that will land at the feed's current
+		// state; intermediate batches are superseded.
+		s.mu.Unlock()
+		return false
+	}
+	if s.tail-s.head < uint64(len(s.ring)) {
+		s.ring[s.tail%uint64(len(s.ring))] = b
+		s.tail++
+		s.mu.Unlock()
+		return true
+	}
+	if !s.conflate {
+		s.overflow = append(s.overflow, b)
+		s.mu.Unlock()
+		return true
+	}
+	// Conflate: collapse the whole backlog into one future recovery —
+	// bounded memory no matter how far behind the consumer is.
+	s.dropQueuedLocked()
+	s.gapped = true
+	s.mu.Unlock()
+	s.feed.conflations.Add(1)
+	return false
+}
+
+// dropQueuedLocked releases every queued batch. Caller holds s.mu.
+func (s *Subscription) dropQueuedLocked() {
+	for s.head != s.tail {
+		b := s.ring[s.head%uint64(len(s.ring))]
+		s.ring[s.head%uint64(len(s.ring))] = nil
+		s.head++
+		b.release()
+	}
+	for i, b := range s.overflow {
+		b.release()
+		s.overflow[i] = nil
+	}
+	s.overflow = s.overflow[:0]
+}
+
+// pop takes the next queued batch, or reports a pending recovery.
+func (s *Subscription) pop() (b *Batch, gapped, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gapped {
+		s.gapped = false
+		return nil, true, true
+	}
+	if s.head != s.tail {
+		b = s.ring[s.head%uint64(len(s.ring))]
+		s.ring[s.head%uint64(len(s.ring))] = nil
+		s.head++
+		return b, false, true
+	}
+	if len(s.overflow) > 0 {
+		b = s.overflow[0]
+		copy(s.overflow, s.overflow[1:])
+		s.overflow[len(s.overflow)-1] = nil
+		s.overflow = s.overflow[:len(s.overflow)-1]
+		return b, false, true
+	}
+	return nil, false, false
+}
+
+// Drain applies everything queued, in sequence order, through apply.
+// It returns the number of deltas applied and whether a recovery
+// (journal replay or Reset+snapshot) happened. Steady state — no
+// gaps — applies shared batch memory and allocates nothing.
+func (s *Subscription) Drain(apply func(Delta)) (n int, recovered bool) {
+	for {
+		b, gapped, ok := s.pop()
+		if !ok {
+			// Tail-gap check: a batch dropped on fanout-ring overflow
+			// leaves no later batch behind it to expose the sequence
+			// gap, so compare loss epochs once the queue is empty.
+			if lost := s.feed.lostBatches.Load(); lost != s.seenLost {
+				s.seenLost = lost
+				if r := s.feed.recover(s, apply); r > 0 {
+					n += r
+					recovered = true
+				}
+				continue
+			}
+			return n, recovered
+		}
+		if gapped {
+			n += s.feed.recover(s, apply)
+			recovered = true
+			continue
+		}
+		if b.Last <= s.lastSeq {
+			// Stale: superseded by an earlier recovery.
+			b.release()
+			continue
+		}
+		if b.First != s.lastSeq+1 {
+			// Lost batch (fanout overflow) or late join: recover.
+			b.release()
+			n += s.feed.recover(s, apply)
+			recovered = true
+			continue
+		}
+		for i := range b.Deltas {
+			apply(b.Deltas[i])
+		}
+		n += len(b.Deltas)
+		s.lastSeq = b.Last
+		s.delivered.Add(uint64(len(b.Deltas)))
+		b.release()
+	}
+}
+
+// Delivered reports deltas applied in sequence (excluding recovery).
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
+
+// Recovered reports deltas applied through recovery paths.
+func (s *Subscription) Recovered() uint64 { return s.recovered.Load() }
+
+// LastSeq reports the consumer's applied high-water mark. Consumer
+// thread only.
+func (s *Subscription) LastSeq() uint64 { return s.lastSeq }
+
+// recover brings a gapped subscriber to the feed's current state:
+// journal replay when the gap fits, otherwise Reset + latest-state
+// snapshot. Runs under the feed's read lock, so the recovered state
+// is a consistent batch-boundary cut.
+func (f *Feed) recover(s *Subscription, apply func(Delta)) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	cur := f.seq
+	if cur <= s.lastSeq {
+		return 0
+	}
+	n := 0
+	if cur-s.lastSeq <= uint64(len(f.journal)) {
+		for q := s.lastSeq + 1; q <= cur; q++ {
+			apply(f.journal[(q-1)%uint64(len(f.journal))])
+			n++
+		}
+	} else {
+		apply(Delta{Seq: cur, Kind: Reset})
+		n++
+		n += f.snapshotLocked(cur, apply)
+	}
+	s.lastSeq = cur
+	s.recovered.Add(uint64(n))
+	return n
+}
+
+// SnapshotInto streams the feed's latest-state-per-level snapshot —
+// a Reset marker then one Add per populated level, all stamped with
+// the snapshot sequence — and returns that sequence. Late joiners
+// that want an explicit snapshot-then-deltas handshake call this;
+// Drain afterwards replays (or recovers past) everything newer.
+func (f *Feed) SnapshotInto(apply func(Delta)) uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	cur := f.seq
+	apply(Delta{Seq: cur, Kind: Reset})
+	f.snapshotLocked(cur, apply)
+	return cur
+}
+
+// snapshotLocked emits one Add per mirrored level in deterministic
+// (side, then price) order. Caller holds f.mu.
+func (f *Feed) snapshotLocked(seq uint64, apply func(Delta)) int {
+	keys := make([]levelKey, 0, len(f.mirror))
+	for k := range f.mirror {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Side != keys[j].Side {
+			return keys[i].Side < keys[j].Side
+		}
+		return keys[i].Price < keys[j].Price
+	})
+	for _, k := range keys {
+		v := f.mirror[k]
+		apply(Delta{Seq: seq, Kind: Add, Side: k.Side, Price: k.Price, Qty: v.Qty, Orders: v.Orders})
+	}
+	return len(keys)
+}

@@ -1,0 +1,426 @@
+package mdfeed
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/labels"
+	"repro/internal/orderbook"
+	"repro/internal/tags"
+)
+
+// driver couples a live book to a feed the way a broker shard does:
+// depth hook staged into the feed, one Flush per op.
+type driver struct {
+	book *orderbook.Book
+	feed *Feed
+	ids  []int64
+	next int64
+	now  int64
+	rng  *rand.Rand
+}
+
+func newDriver(f *Feed, seed int64) *driver {
+	d := &driver{book: orderbook.New(), feed: f, next: 1, rng: rand.New(rand.NewSource(seed))}
+	d.book.SetDepthHook(f.IngestLevel)
+	return d
+}
+
+// step runs one random book op and flushes the feed.
+func (d *driver) step() {
+	d.now++
+	side := orderbook.Side(d.rng.Intn(2))
+	price := int64(100 + d.rng.Intn(12))
+	qty := int64(1 + d.rng.Intn(6))
+	switch d.rng.Intn(8) {
+	case 0, 1, 2, 3:
+		id := d.next
+		d.next++
+		if _, rested := d.book.Limit(id, side, price, qty, orderbook.Owner{Name: "t"}, d.now, nil); rested {
+			d.ids = append(d.ids, id)
+		}
+	case 4:
+		d.book.Market(side, qty, nil)
+	case 5:
+		if len(d.ids) > 0 {
+			j := d.rng.Intn(len(d.ids))
+			d.book.Cancel(d.ids[j])
+			d.ids = append(d.ids[:j], d.ids[j+1:]...)
+		}
+	case 6:
+		if len(d.ids) > 0 {
+			d.book.Amend(d.ids[d.rng.Intn(len(d.ids))], price, qty, d.now, nil)
+		}
+	case 7:
+		d.book.Expire(d.now-int64(d.rng.Intn(30)), nil)
+	}
+	d.feed.Flush()
+}
+
+func drainInto(t *testing.T, s *Subscription, m *L2Mirror) (int, bool) {
+	t.Helper()
+	return s.Drain(m.Apply)
+}
+
+// TestFeedTracksBook: a subscriber draining every batch reconstructs
+// the book's exact level state, continuously.
+func TestFeedTracksBook(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true})
+	d := newDriver(f, 7)
+	s := f.Subscribe(SubOptions{Queue: 1024})
+	m := NewMirror()
+	for i := 0; i < 3000; i++ {
+		d.step()
+		if _, recovered := drainInto(t, s, m); recovered {
+			t.Fatalf("op %d: live subscriber should never need recovery", i)
+		}
+		if truth := BookState(d.book); !m.Equal(truth) {
+			t.Fatalf("op %d: mirror diverged\nmirror:\n%vtruth:\n%v", i, m, truth)
+		}
+	}
+	if f.Deltas() == 0 || f.Batches() == 0 {
+		t.Fatalf("no traffic: %d deltas / %d batches", f.Deltas(), f.Batches())
+	}
+	if s.Delivered() != f.Deltas() {
+		t.Fatalf("delivered %d != emitted %d", s.Delivered(), f.Deltas())
+	}
+}
+
+// TestSequenceDense: emitted deltas are densely sequence-numbered
+// from 1 with batches covering [First..Last] exactly.
+func TestSequenceDense(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, BatchMax: 3})
+	d := newDriver(f, 13)
+	s := f.Subscribe(SubOptions{Queue: 4096})
+	var want uint64
+	apply := func(dl Delta) {
+		want++
+		if dl.Seq != want {
+			t.Fatalf("seq %d, want %d", dl.Seq, want)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		d.step()
+	}
+	if _, recovered := s.Drain(apply); recovered {
+		t.Fatal("unexpected recovery")
+	}
+	if want != f.Seq() {
+		t.Fatalf("applied %d, feed at %d", want, f.Seq())
+	}
+}
+
+// TestLateJoinerSnapshot: subscribing after history starts gapped and
+// the first Drain recovers straight to the live book state.
+func TestLateJoinerSnapshot(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, Journal: 8})
+	d := newDriver(f, 21)
+	for i := 0; i < 800; i++ {
+		d.step()
+	}
+	s := f.Subscribe(SubOptions{})
+	m := NewMirror()
+	n, recovered := drainInto(t, s, m)
+	if !recovered || n == 0 {
+		t.Fatalf("late joiner: n=%d recovered=%v", n, recovered)
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatalf("late joiner diverged\nmirror:\n%vtruth:\n%v", m, truth)
+	}
+	if s.LastSeq() != f.Seq() {
+		t.Fatalf("lastSeq %d != feed seq %d", s.LastSeq(), f.Seq())
+	}
+	// And the subscriber is live from here on.
+	for i := 0; i < 200; i++ {
+		d.step()
+		if _, rec := drainInto(t, s, m); rec {
+			t.Fatalf("op %d after join: unexpected recovery", i)
+		}
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatal("post-join stream diverged")
+	}
+}
+
+// TestConflationBoundedAndRecovers: a slow subscriber's ring
+// overflows, the backlog is dropped (bounded memory), and the next
+// Drain lands on the live state via journal replay.
+func TestConflationBoundedAndRecovers(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, BatchMax: 4})
+	d := newDriver(f, 33)
+	s := f.Subscribe(SubOptions{Queue: 2})
+	m := NewMirror()
+	for i := 0; i < 600; i++ {
+		d.step()
+	}
+	if f.Conflations() == 0 {
+		t.Fatal("expected ring overflow conflation")
+	}
+	// Bounded: nothing beyond the ring is retained.
+	s.mu.Lock()
+	queued := int(s.tail-s.head) + len(s.overflow)
+	s.mu.Unlock()
+	if queued > 2 {
+		t.Fatalf("conflating subscriber retains %d batches", queued)
+	}
+	sawReset := false
+	n, recovered := s.Drain(func(dl Delta) {
+		if dl.Kind == Reset {
+			sawReset = true
+		}
+		m.Apply(dl)
+	})
+	if !recovered {
+		t.Fatalf("n=%d: expected recovery after conflation", n)
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatalf("recovered mirror diverged\nmirror:\n%vtruth:\n%v", m, truth)
+	}
+	// Default journal (4096) easily covers 600 ops: replay, not reset.
+	if sawReset {
+		t.Fatal("journal replay path should not emit Reset")
+	}
+}
+
+// TestTinyJournalFallsBackToSnapshot: when the gap outruns the
+// journal, recovery is Reset + latest-state snapshot.
+func TestTinyJournalFallsBackToSnapshot(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, Journal: 4})
+	d := newDriver(f, 44)
+	s := f.Subscribe(SubOptions{Queue: 1})
+	for i := 0; i < 500; i++ {
+		d.step()
+	}
+	m := NewMirror()
+	sawReset := false
+	_, recovered := s.Drain(func(dl Delta) {
+		if dl.Kind == Reset {
+			sawReset = true
+		}
+		m.Apply(dl)
+	})
+	if !recovered || !sawReset {
+		t.Fatalf("recovered=%v sawReset=%v: want snapshot recovery", recovered, sawReset)
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatalf("snapshot recovery diverged\nmirror:\n%vtruth:\n%v", m, truth)
+	}
+}
+
+// TestUnconflatedKeepsEverything: NoConflate spills past the ring and
+// delivers the full stream with no recovery.
+func TestUnconflatedKeepsEverything(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, BatchMax: 4})
+	d := newDriver(f, 55)
+	s := f.Subscribe(SubOptions{Queue: 2, NoConflate: true})
+	for i := 0; i < 400; i++ {
+		d.step()
+	}
+	m := NewMirror()
+	_, recovered := drainInto(t, s, m)
+	if recovered {
+		t.Fatal("unconflated stream should never recover")
+	}
+	if s.Delivered() != f.Deltas() {
+		t.Fatalf("delivered %d != emitted %d", s.Delivered(), f.Deltas())
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatal("unconflated mirror diverged")
+	}
+}
+
+// TestLabelChecksScaleWithBatches is the amortization proof from the
+// acceptance criteria: many subscribers in few label classes cost one
+// CanFlowTo per (batch, class) — checks == batches × classes no
+// matter the subscriber count — and denied classes receive nothing.
+func TestLabelChecksScaleWithBatches(t *testing.T) {
+	store := tags.NewStore(1)
+	md := store.Create("mdfeed", "boot")
+	feedLabel := labels.New(labels.NewSet(md), labels.NewSet())
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, Label: feedLabel, CheckLabels: true})
+
+	const perClass = 50
+	entitled := make([]*Subscription, perClass)
+	public := make([]*Subscription, perClass)
+	for i := range entitled {
+		entitled[i] = f.Subscribe(SubOptions{Label: feedLabel, Queue: 4096})
+		public[i] = f.Subscribe(SubOptions{Queue: 4096}) // Public: S={md} ⊄ {} denies
+	}
+	if f.Classes() != 2 || f.Subscribers() != 2*perClass {
+		t.Fatalf("classes=%d subs=%d", f.Classes(), f.Subscribers())
+	}
+
+	d := newDriver(f, 66)
+	for i := 0; i < 400; i++ {
+		d.step()
+	}
+	batches := f.Batches()
+	if batches == 0 {
+		t.Fatal("no batches")
+	}
+	if got, want := f.LabelChecks(), 2*batches; got != want {
+		t.Fatalf("labelChecks=%d, want batches×classes=%d (batches=%d)", got, want, batches)
+	}
+	if got, want := f.LabelDenied(), batches; got != want {
+		t.Fatalf("labelDenied=%d, want %d", got, want)
+	}
+	m := NewMirror()
+	if _, rec := drainInto(t, entitled[0], m); rec {
+		t.Fatal("entitled subscriber should stream live")
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatal("entitled mirror diverged")
+	}
+	for i, s := range public {
+		if n, _ := s.Drain(func(Delta) {}); n != 0 || s.Delivered() != 0 {
+			t.Fatalf("public[%d] received %d deltas across the flow check", i, n)
+		}
+	}
+}
+
+// TestNoSecuritySkipsChecks: with CheckLabels off every class
+// receives everything and no checks run.
+func TestNoSecuritySkipsChecks(t *testing.T) {
+	store := tags.NewStore(1)
+	md := store.Create("mdfeed", "boot")
+	f := NewFeed("ACME", 1, Options{SyncFanout: true,
+		Label: labels.New(labels.NewSet(md), labels.NewSet())})
+	a := f.Subscribe(SubOptions{Queue: 4096})
+	d := newDriver(f, 77)
+	for i := 0; i < 200; i++ {
+		d.step()
+	}
+	if f.LabelChecks() != 0 {
+		t.Fatalf("labelChecks=%d with security off", f.LabelChecks())
+	}
+	m := NewMirror()
+	drainInto(t, a, m)
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatal("mirror diverged")
+	}
+}
+
+// TestUnsubscribeReleasesQueued: unsubscribing releases held batches
+// and stops delivery.
+func TestUnsubscribeReleasesQueued(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true})
+	d := newDriver(f, 88)
+	s := f.Subscribe(SubOptions{Queue: 1024})
+	for i := 0; i < 100; i++ {
+		d.step()
+	}
+	f.Unsubscribe(s)
+	if f.Subscribers() != 0 {
+		t.Fatalf("subscribers=%d after unsubscribe", f.Subscribers())
+	}
+	before := f.Batches()
+	for i := 0; i < 100; i++ {
+		d.step()
+	}
+	if f.Batches() == before {
+		t.Fatal("feed stopped sealing")
+	}
+	if n, _ := s.Drain(func(Delta) {}); n != 0 {
+		t.Fatalf("closed subscription drained %d deltas", n)
+	}
+}
+
+// TestSnapshotInto: the explicit snapshot handshake hands a late
+// joiner the current state and a cursor Drain continues from.
+func TestSnapshotInto(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true})
+	d := newDriver(f, 99)
+	for i := 0; i < 300; i++ {
+		d.step()
+	}
+	m := NewMirror()
+	at := f.SnapshotInto(m.Apply)
+	if at != f.Seq() {
+		t.Fatalf("snapshot at %d, feed at %d", at, f.Seq())
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatal("snapshot diverged")
+	}
+}
+
+// TestZeroAllocSteadyState pins the acceptance criterion: ingest →
+// flush → fanout → drain allocates nothing per delta once the
+// pipeline is warm.
+func TestZeroAllocSteadyState(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{SyncFanout: true, CheckLabels: true})
+	s := f.Subscribe(SubOptions{Queue: 16})
+	var applied int
+	apply := func(Delta) { applied++ }
+	// Warm: touch both qty states so the mirror map and free ring are
+	// fully grown.
+	for i := 0; i < 64; i++ {
+		f.IngestLevel(orderbook.Bid, 100, int64(5+i%2), 1)
+		f.Flush()
+		s.Drain(apply)
+	}
+	qty := int64(0)
+	avg := testing.AllocsPerRun(500, func() {
+		qty++
+		f.IngestLevel(orderbook.Bid, 100, 5+qty%2, 1)
+		f.Flush()
+		s.Drain(apply)
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state delivery allocates %.2f/op", avg)
+	}
+	if applied == 0 {
+		t.Fatal("nothing applied")
+	}
+}
+
+// TestHubRoutesAndAggregates: per-symbol feeds are create-on-demand,
+// namespaced, and counters aggregate.
+func TestHubRoutesAndAggregates(t *testing.T) {
+	h := NewHub(HubConfig{SyncFanout: true, NS: func(sym string) int64 { return int64(len(sym)) }})
+	fa := h.Feed("A")
+	fbb := h.Feed("BB")
+	if h.Feed("A") != fa {
+		t.Fatal("Feed not idempotent")
+	}
+	if fa.NS() != 1 || fbb.NS() != 2 {
+		t.Fatalf("ns: %d, %d", fa.NS(), fbb.NS())
+	}
+	if h.Lookup("CCC") != nil || h.Symbols() != 2 {
+		t.Fatal("lookup/symbols wrong")
+	}
+	da := newDriver(fa, 5)
+	db := newDriver(fbb, 6)
+	for i := 0; i < 100; i++ {
+		da.step()
+		db.step()
+	}
+	st := h.Stats()
+	if st.Feeds != 2 || st.Deltas != fa.Deltas()+fbb.Deltas() {
+		t.Fatalf("stats %+v", st)
+	}
+	h.Close()
+}
+
+// TestAsyncFanoutDelivers exercises the real (goroutine) fanout path
+// end to end with Quiesce.
+func TestAsyncFanoutDelivers(t *testing.T) {
+	f := NewFeed("ACME", 1, Options{})
+	defer f.Close()
+	d := newDriver(f, 111)
+	s := f.Subscribe(SubOptions{Queue: 8192, NoConflate: true})
+	for i := 0; i < 1000; i++ {
+		d.step()
+	}
+	if !f.Quiesce(5 * time.Second) {
+		t.Fatal("fanout did not drain")
+	}
+	m := NewMirror()
+	_, recovered := drainInto(t, s, m)
+	if f.LostBatches() == 0 && recovered {
+		t.Fatal("recovery without batch loss")
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatalf("async mirror diverged\nmirror:\n%vtruth:\n%v", m, truth)
+	}
+}

@@ -1,0 +1,148 @@
+package mdfeed
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/labels"
+)
+
+// HubConfig configures a Hub; per-feed knobs carry over to every feed
+// it creates.
+type HubConfig struct {
+	// Label, CheckLabels, Journal, FanoutRing, BatchMax, DefaultQueue
+	// and SyncFanout are applied to each feed; see Options.
+	Label        labels.Label
+	CheckLabels  bool
+	Journal      int
+	FanoutRing   int
+	BatchMax     int
+	DefaultQueue int
+	SyncFanout   bool
+	// NS maps a symbol to its per-symbol namespace (the trading
+	// platform's trade-ID namespace). Nil numbers feeds in creation
+	// order.
+	NS func(symbol string) int64
+}
+
+// Hub owns one feed per symbol, created on demand — the trading
+// platform holds one Hub and each broker shard draws the feeds for
+// the symbols it owns.
+type Hub struct {
+	cfg HubConfig
+
+	mu    sync.RWMutex
+	feeds map[string]*Feed
+	next  int64
+}
+
+// NewHub builds a hub.
+func NewHub(cfg HubConfig) *Hub {
+	return &Hub{cfg: cfg, feeds: make(map[string]*Feed)}
+}
+
+// Feed returns the symbol's feed, creating it on first use.
+func (h *Hub) Feed(symbol string) *Feed {
+	h.mu.RLock()
+	f := h.feeds[symbol]
+	h.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if f = h.feeds[symbol]; f != nil {
+		return f
+	}
+	ns := h.next
+	h.next++
+	if h.cfg.NS != nil {
+		ns = h.cfg.NS(symbol)
+	}
+	f = NewFeed(symbol, ns, Options{
+		Label:        h.cfg.Label,
+		CheckLabels:  h.cfg.CheckLabels,
+		Journal:      h.cfg.Journal,
+		FanoutRing:   h.cfg.FanoutRing,
+		BatchMax:     h.cfg.BatchMax,
+		DefaultQueue: h.cfg.DefaultQueue,
+		SyncFanout:   h.cfg.SyncFanout,
+	})
+	h.feeds[symbol] = f
+	return f
+}
+
+// Lookup returns the symbol's feed without creating it.
+func (h *Hub) Lookup(symbol string) *Feed {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.feeds[symbol]
+}
+
+// Symbols reports live feed count.
+func (h *Hub) Symbols() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.feeds)
+}
+
+// Each visits every live feed.
+func (h *Hub) Each(fn func(*Feed)) {
+	h.mu.RLock()
+	feeds := make([]*Feed, 0, len(h.feeds))
+	for _, f := range h.feeds {
+		feeds = append(feeds, f)
+	}
+	h.mu.RUnlock()
+	for _, f := range feeds {
+		fn(f)
+	}
+}
+
+// Quiesce waits for every feed's fanout to drain.
+func (h *Hub) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	ok := true
+	h.Each(func(f *Feed) {
+		left := time.Until(deadline)
+		if left < 0 {
+			left = 0
+		}
+		if !f.Quiesce(left) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Close stops every feed's fanout. Ingest must have stopped first
+// (the trading platform closes its dispatch system, then the hub).
+func (h *Hub) Close() {
+	h.Each(func(f *Feed) { f.Close() })
+}
+
+// Stats aggregates counters across feeds.
+type Stats struct {
+	Feeds       int
+	Batches     uint64
+	Deltas      uint64
+	LabelChecks uint64
+	LabelDenied uint64
+	Conflations uint64
+	LostBatches uint64
+}
+
+// Stats sums per-feed counters.
+func (h *Hub) Stats() Stats {
+	var s Stats
+	h.Each(func(f *Feed) {
+		s.Feeds++
+		s.Batches += f.Batches()
+		s.Deltas += f.Deltas()
+		s.LabelChecks += f.LabelChecks()
+		s.LabelDenied += f.LabelDenied()
+		s.Conflations += f.Conflations()
+		s.LostBatches += f.LostBatches()
+	})
+	return s
+}

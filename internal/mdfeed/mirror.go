@@ -1,0 +1,122 @@
+package mdfeed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/orderbook"
+)
+
+// L2Mirror is a consumer-side book image maintained purely from
+// deltas — the state a subscriber reconstructs. It doubles as the
+// test oracle: a mirror fed any recovery path must land bit-identical
+// to one fed the live stream.
+type L2Mirror struct {
+	levels map[levelKey]levelVal
+	seq    uint64
+}
+
+// NewMirror returns an empty mirror.
+func NewMirror() *L2Mirror {
+	return &L2Mirror{levels: make(map[levelKey]levelVal)}
+}
+
+// Apply folds one delta into the mirror. Reset discards all state
+// (the snapshot that follows rebuilds it).
+func (m *L2Mirror) Apply(d Delta) {
+	switch d.Kind {
+	case Reset:
+		for k := range m.levels {
+			delete(m.levels, k)
+		}
+	case Delete:
+		delete(m.levels, levelKey{d.Side, d.Price})
+	default:
+		m.levels[levelKey{d.Side, d.Price}] = levelVal{Qty: d.Qty, Orders: d.Orders}
+	}
+	m.seq = d.Seq
+}
+
+// Seq reports the last applied sequence number.
+func (m *L2Mirror) Seq() uint64 { return m.seq }
+
+// Len reports populated levels.
+func (m *L2Mirror) Len() int { return len(m.levels) }
+
+// Level is one materialized price level.
+type Level struct {
+	Side   orderbook.Side
+	Price  int64
+	Qty    int64
+	Orders int32
+}
+
+// Levels returns the mirrored book in deterministic (side, price)
+// order.
+func (m *L2Mirror) Levels() []Level {
+	out := make([]Level, 0, len(m.levels))
+	for k, v := range m.levels {
+		out = append(out, Level{Side: k.Side, Price: k.Price, Qty: v.Qty, Orders: v.Orders})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Side != out[j].Side {
+			return out[i].Side < out[j].Side
+		}
+		return out[i].Price < out[j].Price
+	})
+	return out
+}
+
+// Equal reports whether two mirrors hold identical level state
+// (sequence numbers excluded: recovery legitimately skips them).
+func (m *L2Mirror) Equal(o *L2Mirror) bool {
+	if len(m.levels) != len(o.levels) {
+		return false
+	}
+	for k, v := range m.levels {
+		if o.levels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the mirror for test failure messages.
+func (m *L2Mirror) String() string {
+	var sb strings.Builder
+	for _, lv := range m.Levels() {
+		fmt.Fprintf(&sb, "%v %d: qty=%d orders=%d\n", lv.Side, lv.Price, lv.Qty, lv.Orders)
+	}
+	return sb.String()
+}
+
+// BookState captures a live book's level state through the zero-alloc
+// visitor — the ground truth every subscriber mirror must converge
+// to.
+func BookState(b *orderbook.Book) *L2Mirror {
+	m := NewMirror()
+	for _, side := range [2]orderbook.Side{orderbook.Bid, orderbook.Ask} {
+		s := side
+		b.VisitDepth(s, func(price, qty int64, orders int) bool {
+			m.levels[levelKey{s, price}] = levelVal{Qty: qty, Orders: int32(orders)}
+			return true
+		})
+	}
+	return m
+}
+
+// FromLevelSnaps aggregates a copying orderbook snapshot (e.g. the
+// broker's SnapshotBooks output) into mirror form, for comparing a
+// subscriber's view against the matching layer's.
+func FromLevelSnaps(snaps []orderbook.LevelSnap) *L2Mirror {
+	m := NewMirror()
+	for _, ls := range snaps {
+		var qty int64
+		for _, o := range ls.Orders {
+			qty += o.Qty
+		}
+		m.levels[levelKey{ls.Side, ls.Price}] = levelVal{Qty: qty, Orders: int32(len(ls.Orders))}
+	}
+	return m
+}

@@ -121,6 +121,16 @@ type ladder struct {
 // the Book, and must not retain maker past its return.
 type FillFunc func(maker *Order, price, qty int64)
 
+// DepthFunc observes one price-level change: after any mutation that
+// alters a level's aggregates the book reports the level's NEW state —
+// qty == 0 (and orders == 0) means the level is gone. The callback is
+// invoked with plain scalars and no per-call allocation, making it the
+// zero-alloc substitute for polling Snapshot on the matching hot path;
+// it must not call back into the Book. A batch of fills sweeping one
+// level reports once with the level's settled state, not once per
+// fill.
+type DepthFunc func(side Side, price, qty int64, orders int)
+
 // EvictFunc observes one TTL eviction; same pointer rules as FillFunc.
 type EvictFunc func(*Order)
 
@@ -149,6 +159,27 @@ type Book struct {
 
 	freeOrders *Order
 	freeLevels *level
+
+	depthHook DepthFunc
+}
+
+// SetDepthHook installs the level-delta observer (nil disables it).
+// The market-data feed hangs off this hook; with it unset every
+// mutation pays exactly one nil check.
+func (b *Book) SetDepthHook(fn DepthFunc) { b.depthHook = fn }
+
+// noteLevel reports a level's new aggregate state to the depth hook.
+func (b *Book) noteLevel(s Side, lv *level) {
+	if b.depthHook != nil {
+		b.depthHook(s, lv.price, lv.qty, lv.count)
+	}
+}
+
+// noteGone reports a level's removal to the depth hook.
+func (b *Book) noteGone(s Side, price int64) {
+	if b.depthHook != nil {
+		b.depthHook(s, price, 0, 0)
+	}
 }
 
 // New creates an empty book.
@@ -262,6 +293,9 @@ func (b *Book) AmendSTP(id int64, price, qty int64, now int64, stp STP, stpCance
 		o.Qty = qty
 		o.level.qty -= delta
 		b.ladderFor(o.Side).qty -= delta
+		if delta != 0 {
+			b.noteLevel(o.Side, o.level)
+		}
 		return 0, true
 	}
 	side, ow := o.Side, o.Owner
@@ -279,13 +313,15 @@ func (b *Book) Lookup(id int64) *Order { return b.byID[id] }
 // evict for each. Orders age head-first within a level, so each level
 // pays only for its stale prefix. Returns the number evicted.
 func (b *Book) Expire(cutoff int64, evict EvictFunc) int {
-	return b.expireSide(&b.bids, cutoff, evict) + b.expireSide(&b.asks, cutoff, evict)
+	return b.expireSide(Bid, cutoff, evict) + b.expireSide(Ask, cutoff, evict)
 }
 
-func (b *Book) expireSide(lad *ladder, cutoff int64, evict EvictFunc) int {
+func (b *Book) expireSide(side Side, cutoff int64, evict EvictFunc) int {
+	lad := b.ladderFor(side)
 	removed := 0
 	for i := 0; i < len(lad.levels); {
 		lv := lad.levels[i]
+		n0 := lv.count
 		for lv.head != nil && lv.head.Entered < cutoff {
 			o := lv.head
 			if evict != nil {
@@ -307,8 +343,12 @@ func (b *Book) expireSide(lad *ladder, cutoff int64, evict EvictFunc) int {
 		}
 		if lv.count == 0 {
 			lad.removeAt(i)
+			b.noteGone(side, lv.price)
 			b.recycleLevel(lv)
 		} else {
+			if lv.count != n0 {
+				b.noteLevel(side, lv)
+			}
 			i++
 		}
 	}
@@ -323,18 +363,23 @@ func (b *Book) expireSide(lad *ladder, cutoff int64, evict EvictFunc) int {
 // the taker outright (STPCancelIncoming, reported through stopped —
 // the caller must then discard the remainder instead of resting it).
 func (b *Book) take(side Side, price int64, priced bool, qty int64, owner string, stp STP, stpCancel EvictFunc, fill FillFunc) (filled int64, stopped bool) {
-	opp := b.ladderFor(side.Opposite())
+	mside := side.Opposite()
+	opp := b.ladderFor(mside)
 	for qty > 0 && len(opp.levels) > 0 {
 		lv := opp.levels[0]
 		if priced && !crosses(side, price, lv.price) {
 			break
 		}
+		q0, c0 := lv.qty, lv.count
 		for qty > 0 && lv.head != nil {
 			maker := lv.head
 			if stp != STPAllow && owner != "" && maker.Owner.Name == owner {
 				if stp == STPCancelIncoming {
 					// The self-crossed maker keeps the level non-empty,
 					// so no empty level escapes the early return.
+					if lv.qty != q0 || lv.count != c0 {
+						b.noteLevel(mside, lv)
+					}
 					return filled, true
 				}
 				// STPCancelResting: withdraw the maker and keep going.
@@ -382,7 +427,10 @@ func (b *Book) take(side Side, price int64, priced bool, qty int64, owner string
 		}
 		if lv.count == 0 {
 			opp.removeAt(0)
+			b.noteGone(mside, lv.price)
 			b.recycleLevel(lv)
+		} else if lv.qty != q0 || lv.count != c0 {
+			b.noteLevel(mside, lv)
 		}
 	}
 	return filled, false
@@ -417,6 +465,7 @@ func (b *Book) rest(id int64, side Side, price, qty int64, ow Owner, now int64) 
 	lad.count++
 	lad.qty += qty
 	b.byID[id] = o
+	b.noteLevel(side, lv)
 }
 
 // removeResting unlinks a resting order (cancel/amend path) and
@@ -443,7 +492,10 @@ func (b *Book) removeResting(o *Order) {
 		if i, found := lad.locate(o.Side, lv.price); found {
 			lad.removeAt(i)
 		}
+		b.noteGone(o.Side, lv.price)
 		b.recycleLevel(lv)
+	} else {
+		b.noteLevel(o.Side, lv)
 	}
 	b.recycleOrder(o)
 }
@@ -521,6 +573,20 @@ func (b *Book) RestingOrders() int { return b.bids.count + b.asks.count }
 
 // Levels reports the number of populated price levels on a side.
 func (b *Book) Levels(side Side) int { return len(b.ladderFor(side).levels) }
+
+// VisitDepth walks one side's populated price levels best-first,
+// reporting each level's aggregate state without copying anything —
+// the zero-alloc form of Snapshot for readers that need depth, not
+// per-order detail (the market-data feed's snapshot primer, depth
+// sampling in benchmarks). fn returns false to stop early. The
+// callback must not mutate the book.
+func (b *Book) VisitDepth(side Side, fn func(price, qty int64, orders int) bool) {
+	for _, lv := range b.ladderFor(side).levels {
+		if !fn(lv.price, lv.qty, lv.count) {
+			return
+		}
+	}
+}
 
 // snapshots
 

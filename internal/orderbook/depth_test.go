@@ -1,0 +1,176 @@
+package orderbook
+
+// Depth-hook coverage: a mirror maintained purely from DepthFunc
+// callbacks must track the book's true level aggregates through every
+// mutation path — rest, fills (partial and sweeping), cancel, amend
+// (in-place and re-entry), TTL expiry and self-trade withdrawal — and
+// VisitDepth must agree with the copying Snapshot it replaces.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lvKey identifies one price level in a mirror.
+type lvKey struct {
+	side  Side
+	price int64
+}
+
+// lvVal is one mirrored level's aggregates.
+type lvVal struct {
+	qty    int64
+	orders int
+}
+
+// depthMirror rebuilds level state from hook callbacks alone.
+type depthMirror map[lvKey]lvVal
+
+func (m depthMirror) apply(side Side, price, qty int64, orders int) {
+	k := lvKey{side, price}
+	if qty == 0 {
+		delete(m, k)
+		return
+	}
+	m[k] = lvVal{qty, orders}
+}
+
+// bookDepth reads the book's true level state through VisitDepth.
+func bookDepth(b *Book) depthMirror {
+	out := make(depthMirror)
+	for _, side := range [2]Side{Bid, Ask} {
+		b.VisitDepth(side, func(price, qty int64, orders int) bool {
+			out[lvKey{side, price}] = lvVal{qty, orders}
+			return true
+		})
+	}
+	return out
+}
+
+// snapshotDepth aggregates the copying Snapshot to level state.
+func snapshotDepth(b *Book) depthMirror {
+	out := make(depthMirror)
+	for _, ls := range b.Snapshot() {
+		var qty int64
+		for _, o := range ls.Orders {
+			qty += o.Qty
+		}
+		out[lvKey{ls.Side, ls.Price}] = lvVal{qty, len(ls.Orders)}
+	}
+	return out
+}
+
+func equalMirrors(a, b depthMirror) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDepthHookTracksBook drives a seeded random op mix and checks the
+// hook-built mirror against VisitDepth and Snapshot after every op.
+func TestDepthHookTracksBook(t *testing.T) {
+	for _, stp := range []STP{STPAllow, STPCancelResting, STPCancelIncoming} {
+		rng := rand.New(rand.NewSource(11))
+		b := New()
+		mirror := make(depthMirror)
+		b.SetDepthHook(mirror.apply)
+		var ids []int64
+		nextID := int64(1)
+		owners := []string{"alice", "bob"}
+		now := int64(0)
+		for i := 0; i < 4000; i++ {
+			now++
+			side := Side(rng.Intn(2))
+			price := int64(100 + rng.Intn(10))
+			qty := int64(1 + rng.Intn(5))
+			ow := Owner{Name: owners[rng.Intn(len(owners))]}
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // limit
+				id := nextID
+				nextID++
+				if _, rested, ok := b.LimitSTP(id, side, price, qty, ow, now, stp, nil, nil); ok && rested {
+					ids = append(ids, id)
+				}
+			case 5: // market
+				b.MarketSTP(side, qty, ow.Name, stp, nil, nil)
+			case 6: // cancel
+				if len(ids) > 0 {
+					j := rng.Intn(len(ids))
+					b.Cancel(ids[j])
+					ids = append(ids[:j], ids[j+1:]...)
+				}
+			case 7: // amend (reprice or resize)
+				if len(ids) > 0 {
+					b.AmendSTP(ids[rng.Intn(len(ids))], price, qty, now, stp, nil, nil)
+				}
+			case 8: // amend down in place
+				if len(ids) > 0 {
+					id := ids[rng.Intn(len(ids))]
+					if o := b.Lookup(id); o != nil {
+						b.Amend(id, o.Price, 1, now, nil)
+					}
+				}
+			case 9: // expire a random prefix
+				b.Expire(now-int64(rng.Intn(40)), nil)
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatalf("stp=%d op %d: %v", stp, i, err)
+			}
+			truth := bookDepth(b)
+			if !equalMirrors(mirror, truth) {
+				t.Fatalf("stp=%d op %d: hook mirror diverged:\nmirror %v\ntruth  %v", stp, i, mirror, truth)
+			}
+			if snap := snapshotDepth(b); !equalMirrors(truth, snap) {
+				t.Fatalf("stp=%d op %d: VisitDepth disagrees with Snapshot:\nvisit %v\nsnap  %v", stp, i, truth, snap)
+			}
+		}
+	}
+}
+
+// TestDepthHookZeroAlloc pins the hot-path claim: fills with the hook
+// installed allocate nothing in steady state.
+func TestDepthHookZeroAlloc(t *testing.T) {
+	b := New()
+	var calls int
+	b.SetDepthHook(func(Side, int64, int64, int) { calls++ })
+	// Warm the free lists.
+	for i := int64(0); i < 64; i++ {
+		b.Limit(i+1, Bid, 100, 5, Owner{Name: "w"}, 0, nil)
+		b.Market(Ask, 5, nil)
+	}
+	id := int64(1 << 20)
+	avg := testing.AllocsPerRun(200, func() {
+		id++
+		b.Limit(id, Bid, 100, 5, Owner{Name: "w"}, 0, nil)
+		b.Market(Ask, 5, nil)
+	})
+	if avg > 0 {
+		t.Fatalf("fill roundtrip with depth hook allocates %.2f/op", avg)
+	}
+	if calls == 0 {
+		t.Fatal("depth hook never fired")
+	}
+}
+
+// TestVisitDepthEarlyStop checks the visitor's stop contract.
+func TestVisitDepthEarlyStop(t *testing.T) {
+	b := New()
+	for i := int64(0); i < 5; i++ {
+		b.Limit(i+1, Bid, 100+i, 1, Owner{}, 0, nil)
+	}
+	var seen []int64
+	b.VisitDepth(Bid, func(price, _ int64, _ int) bool {
+		seen = append(seen, price)
+		return len(seen) < 2
+	})
+	// Bids are best-first: highest prices first.
+	if len(seen) != 2 || seen[0] != 104 || seen[1] != 103 {
+		t.Fatalf("early stop visited %v", seen)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/events"
 	"repro/internal/freeze"
+	"repro/internal/mdfeed"
 	"repro/internal/orderbook"
 	"repro/internal/priv"
 	"repro/internal/tags"
@@ -129,6 +130,10 @@ type symBook struct {
 	ns     int64 // platform-wide symbol namespace (symbolNS)
 	seq    int64 // per-symbol dense trade counter
 	ledger symLedger
+	// feed is the symbol's L2 delta feed (nil unless Config.MarketData):
+	// the book's depth hook stages level changes into it and handleOrder
+	// flushes one sequence-numbered batch per processed order.
+	feed *mdfeed.Feed
 }
 
 // nextID mints the next trade ID in this symbol's namespace.
@@ -156,6 +161,10 @@ func (b *Broker) sym(bk *brokerBook, symbol string) *symBook {
 	sb := bk.syms[symbol]
 	if sb == nil {
 		sb = &symBook{book: orderbook.New(), ns: b.p.symbolNS(symbol)}
+		if b.p.MD != nil {
+			sb.feed = b.p.MD.Feed(symbol)
+			sb.book.SetDepthHook(sb.feed.IngestLevel)
+		}
 		bk.syms[symbol] = sb
 	}
 	return sb
@@ -665,6 +674,12 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 	}
 	if hook := b.p.cfg.OnBookDepth; hook != nil {
 		hook(book.RestingOrders())
+	}
+	if sb.feed != nil {
+		// Seal everything this order changed — expiry, withdrawals,
+		// fills, resting — into one delta batch. The flush never
+		// blocks on market-data consumers.
+		sb.feed.Flush()
 	}
 }
 

@@ -1,0 +1,190 @@
+package trading
+
+// Market-data integration (satellite: sequence-gap recovery): the
+// per-symbol L2 feed published by the broker shards must give a late
+// joiner — snapshot at seq S, deltas S+1.. — exactly the book state a
+// live subscriber assembled from the full delta stream, in all four
+// security modes; and the per-batch label check must admit entitled
+// subscribers, refuse public ones, and cost one check per
+// (batch, class) regardless of population.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mdfeed"
+	"repro/internal/workload"
+)
+
+// mdScenario drives a crossing order flow with the feed on and a live
+// (never-gapping) subscriber per symbol attached before the first
+// order; returns the platform and the live mirrors.
+func mdScenario(t *testing.T, mode core.SecurityMode, ops int) (*Platform, map[string]*mdfeed.L2Mirror) {
+	t.Helper()
+	cfg := Config{
+		Mode:         mode,
+		NumTraders:   8,
+		Universe:     workload.NewUniverse(2),
+		Seed:         11,
+		QueueCap:     1024,
+		MarketData:   true,
+		MDSyncFanout: true,
+		// Wall-clock TTL expiry would race the assertions below: the
+		// feed tracks it faithfully, but the book could change between
+		// quiesce and compare.
+		OrderTTL: time.Minute,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	mirrors := make(map[string]*mdfeed.L2Mirror)
+	type sub struct {
+		s *mdfeed.Subscription
+		m *mdfeed.L2Mirror
+	}
+	subs := make(map[string]sub)
+	for _, sym := range p.Universe().Symbols {
+		f := p.MD.Feed(sym)
+		subs[sym] = sub{
+			s: f.Subscribe(mdfeed.SubOptions{Label: p.MDLabel(), Queue: 1 << 16, NoConflate: true}),
+			m: mdfeed.NewMirror(),
+		}
+	}
+
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+		Traders:       8,
+		AggressionPct: 55,
+	}, 17)
+	p.ReplayOrders(flow.Take(ops))
+	if !p.Quiesce(15 * time.Second) {
+		t.Fatal("platform did not quiesce")
+	}
+
+	for sym, su := range subs {
+		if _, recovered := su.s.Drain(su.m.Apply); recovered {
+			t.Fatalf("%s: live subscriber needed recovery on the sync fanout path", sym)
+		}
+		if got, want := su.s.LastSeq(), p.MD.Feed(sym).Seq(); got != want {
+			t.Fatalf("%s: live subscriber at seq %d, feed at %d", sym, got, want)
+		}
+		mirrors[sym] = su.m
+	}
+	return p, mirrors
+}
+
+// TestMDFeedLateJoinerAllModes: a subscriber joining after the whole
+// session recovers (snapshot at S + deltas S+1..) to a state
+// bit-identical to the live subscriber's — and both match the
+// broker's own book snapshot.
+func TestMDFeedLateJoinerAllModes(t *testing.T) {
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, liveMirrors := mdScenario(t, mode, 4000)
+			books := p.Broker.SnapshotBooks()
+			if p.MD.Stats().Deltas == 0 {
+				t.Fatal("feed emitted nothing")
+			}
+			for _, sym := range p.Universe().Symbols {
+				f := p.MD.Feed(sym)
+				late := f.Subscribe(mdfeed.SubOptions{Label: p.MDLabel()})
+				m := mdfeed.NewMirror()
+				if _, recovered := late.Drain(m.Apply); !recovered && f.Seq() > 0 {
+					t.Fatalf("%s: late joiner did not take the recovery path", sym)
+				}
+				if got, want := late.LastSeq(), f.Seq(); got != want {
+					t.Fatalf("%s: late joiner at seq %d, feed at %d", sym, got, want)
+				}
+				if !m.Equal(liveMirrors[sym]) {
+					t.Fatalf("%s: late joiner differs from live subscriber\nlate:\n%vlive:\n%v",
+						sym, m, liveMirrors[sym])
+				}
+				if truth := mdfeed.FromLevelSnaps(books[sym]); !m.Equal(truth) {
+					t.Fatalf("%s: subscriber state differs from broker book\nsub:\n%vbook:\n%v",
+						sym, m, truth)
+				}
+			}
+		})
+	}
+}
+
+// TestMDFeedEntitlement: public subscribers are refused by the
+// per-batch flow check in every label-checking mode and admitted with
+// security off — and checks scale with batches × classes, not with
+// the subscriber population.
+func TestMDFeedEntitlement(t *testing.T) {
+	for _, mode := range []core.SecurityMode{core.NoSecurity, core.LabelsFreeze} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{
+				Mode:         mode,
+				NumTraders:   8,
+				Universe:     workload.NewUniverse(1),
+				Seed:         11,
+				QueueCap:     1024,
+				MarketData:   true,
+				MDSyncFanout: true,
+				OrderTTL:     time.Minute,
+			}
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			sym := p.Universe().Symbols[0]
+			f := p.MD.Feed(sym)
+			const pop = 40
+			entitled := make([]*mdfeed.Subscription, pop)
+			public := make([]*mdfeed.Subscription, pop)
+			for i := 0; i < pop; i++ {
+				entitled[i] = f.Subscribe(mdfeed.SubOptions{Label: p.MDLabel(), Queue: 1 << 15, NoConflate: true})
+				public[i] = f.Subscribe(mdfeed.SubOptions{Queue: 1 << 15, NoConflate: true})
+			}
+			flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{Traders: 8, AggressionPct: 55}, 17)
+			p.ReplayOrders(flow.Take(2000))
+			if !p.Quiesce(15 * time.Second) {
+				t.Fatal("no quiesce")
+			}
+			if f.Batches() == 0 {
+				t.Fatal("no batches")
+			}
+			var pubN int
+			for _, s := range public {
+				n, _ := s.Drain(func(mdfeed.Delta) {})
+				pubN += n
+			}
+			var entN int
+			for _, s := range entitled {
+				n, _ := s.Drain(func(mdfeed.Delta) {})
+				entN += n
+			}
+			if entN == 0 {
+				t.Fatal("entitled subscribers received nothing")
+			}
+			if mode.CheckLabels() {
+				if pubN != 0 {
+					t.Fatalf("public subscribers crossed the flow check: %d deltas", pubN)
+				}
+				// Two classes (entitled, public): exactly 2 checks per
+				// batch, for 80 subscribers.
+				if got, want := f.LabelChecks(), 2*f.Batches(); got != want {
+					t.Fatalf("labelChecks=%d, want batches×classes=%d", got, want)
+				}
+				if f.LabelDenied() != f.Batches() {
+					t.Fatalf("labelDenied=%d, want %d", f.LabelDenied(), f.Batches())
+				}
+			} else {
+				if pubN == 0 {
+					t.Fatal("no-security mode should deliver to everyone")
+				}
+				if f.LabelChecks() != 0 {
+					t.Fatalf("labelChecks=%d with security off", f.LabelChecks())
+				}
+			}
+		})
+	}
+}

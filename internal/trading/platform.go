@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isolation"
 	"repro/internal/labels"
+	"repro/internal/mdfeed"
 	"repro/internal/orderbook"
 	"repro/internal/priv"
 	"repro/internal/tags"
@@ -102,6 +103,21 @@ type Config struct {
 	// order count after each processed order — the order-book bench
 	// samples depth through it. Same concurrency caveat as OnFill.
 	OnBookDepth func(depth int)
+	// MarketData enables the per-symbol L2 delta feed: each broker
+	// shard publishes sequence-numbered book deltas for its owned
+	// symbols through Platform.MD (see internal/mdfeed). Off by
+	// default — the feed staging buffer costs a few appends per fill
+	// even with no subscribers.
+	MarketData bool
+	// MDSyncFanout runs feed fanout inline on the shard instead of on
+	// per-feed goroutines — deterministic delivery for tests.
+	MDSyncFanout bool
+	// MDJournal, MDFanoutRing, MDBatchMax and MDSubscriberQueue tune
+	// the feed (zero = mdfeed defaults).
+	MDJournal         int
+	MDFanoutRing      int
+	MDBatchMax        int
+	MDSubscriberQueue int
 }
 
 // Fill describes one completed fill (one published trade event).
@@ -137,10 +153,15 @@ type Platform struct {
 	Regulator *Regulator
 	Traders   []*Trader
 
+	// MD is the market-data hub (nil unless Config.MarketData): one
+	// L2 delta feed per symbol, fed by the owning broker shard.
+	MD *mdfeed.Hub
+
 	cfg      Config
 	universe *workload.Universe
 	tagB     tags.Tag // dark-pool broker tag b
 	tagS     tags.Tag // exchange integrity tag s
+	tagMD    tags.Tag // market-data entitlement tag md
 
 	// symNS assigns each symbol a stable namespace for per-symbol
 	// trade IDs (symBook): universe symbols get their universe index,
@@ -222,6 +243,26 @@ func New(cfg Config) (*Platform, error) {
 	p.tagS = boot.CreateTagAuthOnly("i-exchange")
 	p.tagB = boot.CreateTagAuthOnly("dark-pool")
 
+	if cfg.MarketData {
+		// The feed's batch label is the md entitlement: deltas derive
+		// from {b}-confined order parts, and the broker — which owns
+		// b± — declassifies each sealed batch to S={md} (one label per
+		// batch; see DESIGN-dispatch.md §10). Subscribers present
+		// S={md}; Public subscribers fail the flow check in every
+		// label-checking mode.
+		p.tagMD = boot.CreateTagAuthOnly("mdfeed")
+		p.MD = mdfeed.NewHub(mdfeed.HubConfig{
+			Label:        labels.New(setOf(p.tagMD), noTags),
+			CheckLabels:  cfg.Mode.CheckLabels(),
+			Journal:      cfg.MDJournal,
+			FanoutRing:   cfg.MDFanoutRing,
+			BatchMax:     cfg.MDBatchMax,
+			DefaultQueue: cfg.MDSubscriberQueue,
+			SyncFanout:   cfg.MDSyncFanout,
+			NS:           p.symbolNS,
+		})
+	}
+
 	grantsOf := func(t tags.Tag, rights ...priv.Right) []priv.Grant {
 		gs := make([]priv.Grant, len(rights))
 		for i, r := range rights {
@@ -274,6 +315,16 @@ func (p *Platform) TagB() tags.Tag { return p.tagB }
 
 // TagS exposes the exchange integrity tag reference.
 func (p *Platform) TagS() tags.Tag { return p.tagS }
+
+// TagMD exposes the market-data entitlement tag (zero unless
+// Config.MarketData).
+func (p *Platform) TagMD() tags.Tag { return p.tagMD }
+
+// MDLabel is the subscriber label an entitled market-data consumer
+// presents: S={md}, I=∅.
+func (p *Platform) MDLabel() labels.Label {
+	return labels.New(setOf(p.tagMD), noTags)
+}
 
 // Universe returns the platform's symbol universe.
 func (p *Platform) Universe() *workload.Universe { return p.universe }
@@ -359,6 +410,9 @@ func (p *Platform) Quiesce(timeout time.Duration) bool {
 			// Double-check after a beat: a handler may be mid-publish.
 			time.Sleep(2 * time.Millisecond)
 			if p.Sys.TotalQueueLen() == 0 {
+				if p.MD != nil && !p.MD.Quiesce(time.Until(deadline)) {
+					return false
+				}
 				return true
 			}
 		}
@@ -388,8 +442,14 @@ func (p *Platform) Stats() Stats {
 	return st
 }
 
-// Close shuts the platform down.
-func (p *Platform) Close() { p.Sys.Close() }
+// Close shuts the platform down: dispatch first (stops all ingest
+// into the feeds), then the market-data fanout.
+func (p *Platform) Close() {
+	p.Sys.Close()
+	if p.MD != nil {
+		p.MD.Close()
+	}
+}
 
 // label helpers shared by the units.
 

@@ -1,0 +1,109 @@
+package workload
+
+// Market-data subscriber populations: the consumer side of the
+// fanout benchmark. A population mixes the three consumer shapes that
+// stress different feed paths — fast pollers that drain every batch
+// (the steady-state zero-alloc path), slow pollers that overflow
+// their rings and exercise conflation/recovery, and churners that
+// disconnect and rejoin (the late-joiner snapshot path). A fraction
+// of the population can be unentitled, populating a second label
+// class so the per-(batch, class) check has something to refuse.
+//
+// Everything is deterministic under a seed.
+
+import "math/rand"
+
+// SubKind classifies one subscriber's consumption behaviour.
+type SubKind uint8
+
+const (
+	// SubFast drains on every poll round.
+	SubFast SubKind = iota
+	// SubSlow drains only every PollEvery rounds — far behind a busy
+	// feed, it lives on conflation.
+	SubSlow
+	// SubChurn unsubscribes and rejoins every ChurnEvery rounds,
+	// re-entering through snapshot recovery each time.
+	SubChurn
+)
+
+// String names the kind for series labels.
+func (k SubKind) String() string {
+	switch k {
+	case SubSlow:
+		return "slow"
+	case SubChurn:
+		return "churn"
+	default:
+		return "fast"
+	}
+}
+
+// SubscriberProfile describes one subscriber in a population.
+type SubscriberProfile struct {
+	Kind SubKind
+	// PollEvery is the drain cadence in poll rounds (1 for fast
+	// subscribers; > 1 for slow ones).
+	PollEvery int
+	// ChurnEvery is the reconnect cadence in poll rounds (churners
+	// only).
+	ChurnEvery int
+	// Entitled subscribers present the feed's entitlement label;
+	// unentitled ones present Public and are refused by the flow
+	// check in label-checking modes.
+	Entitled bool
+}
+
+// SubscriberMix shapes a population. Percentages are of the total
+// population; the remainder after Slow and Churn is Fast.
+type SubscriberMix struct {
+	// SlowPct and ChurnPct set the slow/churning fractions (defaults
+	// 20 and 10; fast gets the rest).
+	SlowPct  int
+	ChurnPct int
+	// SlowMax bounds the slow drain cadence: slow subscribers poll
+	// every 2..SlowMax rounds (default 64).
+	SlowMax int
+	// ChurnMax bounds the reconnect cadence: churners rejoin every
+	// 8..ChurnMax rounds (default 256).
+	ChurnMax int
+	// UnentitledPct is the fraction presenting the Public label
+	// (default 0).
+	UnentitledPct int
+}
+
+func (m *SubscriberMix) defaults() {
+	if m.SlowPct == 0 && m.ChurnPct == 0 {
+		m.SlowPct, m.ChurnPct = 20, 10
+	}
+	if m.SlowMax < 2 {
+		m.SlowMax = 64
+	}
+	if m.ChurnMax < 8 {
+		m.ChurnMax = 256
+	}
+}
+
+// Subscribers builds a deterministic population of n profiles.
+func Subscribers(n int, mix SubscriberMix, seed int64) []SubscriberProfile {
+	mix.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SubscriberProfile, n)
+	for i := range out {
+		p := SubscriberProfile{Kind: SubFast, PollEvery: 1, Entitled: true}
+		switch r := rng.Intn(100); {
+		case r < mix.SlowPct:
+			p.Kind = SubSlow
+			p.PollEvery = 2 + rng.Intn(mix.SlowMax-1)
+		case r < mix.SlowPct+mix.ChurnPct:
+			p.Kind = SubChurn
+			p.PollEvery = 1
+			p.ChurnEvery = 8 + rng.Intn(mix.ChurnMax-7)
+		}
+		if mix.UnentitledPct > 0 && rng.Intn(100) < mix.UnentitledPct {
+			p.Entitled = false
+		}
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+// TestSubscribersDeterministic: same seed, same population.
+func TestSubscribersDeterministic(t *testing.T) {
+	a := Subscribers(500, SubscriberMix{UnentitledPct: 25}, 9)
+	b := Subscribers(500, SubscriberMix{UnentitledPct: 25}, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("profile %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if c := Subscribers(500, SubscriberMix{UnentitledPct: 25}, 10); func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+// TestSubscribersMixShape: the default mix lands near 70/20/10 and
+// cadences stay in their documented ranges.
+func TestSubscribersMixShape(t *testing.T) {
+	pop := Subscribers(10000, SubscriberMix{UnentitledPct: 30}, 4)
+	counts := map[SubKind]int{}
+	unent := 0
+	for _, p := range pop {
+		counts[p.Kind]++
+		switch p.Kind {
+		case SubFast:
+			if p.PollEvery != 1 || p.ChurnEvery != 0 {
+				t.Fatalf("fast profile malformed: %+v", p)
+			}
+		case SubSlow:
+			if p.PollEvery < 2 || p.PollEvery > 64 {
+				t.Fatalf("slow cadence out of range: %+v", p)
+			}
+		case SubChurn:
+			if p.ChurnEvery < 8 || p.ChurnEvery > 256 {
+				t.Fatalf("churn cadence out of range: %+v", p)
+			}
+		}
+		if !p.Entitled {
+			unent++
+		}
+	}
+	within := func(got, wantPct, tolPct int) bool {
+		want := len(pop) * wantPct / 100
+		tol := len(pop) * tolPct / 100
+		return got >= want-tol && got <= want+tol
+	}
+	if !within(counts[SubFast], 70, 3) || !within(counts[SubSlow], 20, 3) || !within(counts[SubChurn], 10, 3) {
+		t.Fatalf("mix off: fast=%d slow=%d churn=%d", counts[SubFast], counts[SubSlow], counts[SubChurn])
+	}
+	if !within(unent, 30, 3) {
+		t.Fatalf("unentitled off: %d", unent)
+	}
+}
