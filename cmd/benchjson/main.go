@@ -9,8 +9,10 @@
 //	defcon-bench -fig ob -quick | tee figob.txt
 //	defcon-bench -fig obshard -shards 1,2 | tee figobshard.txt
 //	defcon-bench -fig mdfeed -subs 100,1000 | tee figmdfeed.txt
+//	defcon-bench -fig objournal -quick | tee figobjournal.txt
 //	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt \
-//	  -figobshard figobshard.txt -figmdfeed figmdfeed.txt -o BENCH_dispatch.json
+//	  -figobshard figobshard.txt -figmdfeed figmdfeed.txt \
+//	  -figobjournal figobjournal.txt -o BENCH_dispatch.json
 package main
 
 import (
@@ -57,21 +59,27 @@ type Snapshot struct {
 	// conflation, x = subscribers) from `defcon-bench -fig mdfeed`.
 	MDFeedFigure string     `json:"mdfeed_figure,omitempty"`
 	MDFeedPoints []FigPoint `json:"mdfeed_points,omitempty"`
+	// Journal-overhead series (orders/s, "<mode> off" vs "<mode> on",
+	// x = traders) from `defcon-bench -fig objournal`.
+	ObJournalFigure string     `json:"objournal_figure,omitempty"`
+	ObJournalPoints []FigPoint `json:"objournal_points,omitempty"`
 }
 
 func main() {
 	var (
-		benchPath      = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
-		figPath        = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
-		figOBPath      = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
-		figShardPath   = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
-		figMDPath      = flag.String("figmdfeed", "", "optional file holding the defcon-bench market-data fanout table")
-		outPath        = flag.String("o", "BENCH_dispatch.json", "output JSON path")
-		require        = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
-		reqSeries      = flag.String("require-series", "", "comma-separated figure series names that must be present")
-		reqOBSeries    = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
-		reqShardSeries = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
-		reqMDSeries    = flag.String("require-mdfeed-series", "", "comma-separated market-data fanout series names that must be present")
+		benchPath        = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
+		figPath          = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
+		figOBPath        = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
+		figShardPath     = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
+		figMDPath        = flag.String("figmdfeed", "", "optional file holding the defcon-bench market-data fanout table")
+		figJournalPath   = flag.String("figobjournal", "", "optional file holding the defcon-bench journal-overhead table")
+		outPath          = flag.String("o", "BENCH_dispatch.json", "output JSON path")
+		require          = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
+		reqSeries        = flag.String("require-series", "", "comma-separated figure series names that must be present")
+		reqOBSeries      = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
+		reqShardSeries   = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
+		reqMDSeries      = flag.String("require-mdfeed-series", "", "comma-separated market-data fanout series names that must be present")
+		reqJournalSeries = flag.String("require-journal-series", "", "comma-separated journal-overhead series names that must be present (keeps the bench-snapshot artifact carrying the journal-on/off comparison)")
 	)
 	flag.Parse()
 
@@ -113,7 +121,13 @@ func main() {
 		}
 	}
 
-	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries); err != nil {
+	if *figJournalPath != "" {
+		if snap.ObJournalFigure, snap.ObJournalPoints = parseFigureFile(*figJournalPath); len(snap.ObJournalPoints) == 0 {
+			fatal(fmt.Errorf("no journal-overhead points parsed from %s", *figJournalPath))
+		}
+	}
+
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries); err != nil {
 		fatal(err)
 	}
 
@@ -137,7 +151,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -159,7 +173,10 @@ func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSer
 	if err := requireSeries(snap.ObShardPoints, shardSeries, "shard-scaling"); err != nil {
 		return err
 	}
-	return requireSeries(snap.MDFeedPoints, mdSeries, "market-data fanout")
+	if err := requireSeries(snap.MDFeedPoints, mdSeries, "market-data fanout"); err != nil {
+		return err
+	}
+	return requireSeries(snap.ObJournalPoints, journalSeries, "journal-overhead")
 }
 
 // requireSeries checks each named series appears in at least one point.

@@ -33,7 +33,7 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,obshard,mdfeed or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,mdfeed or all")
 		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
 		shards    = flag.String("shards", "", "comma-separated broker shard counts (figure obshard)")
 		subs      = flag.String("subs", "", "comma-separated subscriber counts (figure mdfeed)")
@@ -58,6 +58,7 @@ func main() {
 	dopts := bench.DEFConOpts{Duration: *duration}
 	bopts := bench.BaselineOpts{Duration: *duration}
 	oopts := bench.OrderBookOpts{Ops: *ops}
+	jopts := bench.OrderBookJournalOpts{Ops: *ops}
 	sopts := bench.OrderBookShardOpts{Ops: *ops}
 	mopts := bench.MDFeedOpts{Ops: *ops}
 	if *rate > 0 {
@@ -67,6 +68,7 @@ func main() {
 	if *traders != "" {
 		dopts.Traders = parseInts(*traders)
 		oopts.Traders = parseInts(*traders)
+		jopts.Traders = parseInts(*traders)
 	}
 	if *shards != "" {
 		sopts.Shards = parseInts(*shards)
@@ -92,6 +94,8 @@ func main() {
 		bopts.LatencyTicks = 1000
 		oopts.Traders = []int{16, 32}
 		oopts.Ops = 8000
+		jopts.Traders = []int{16}
+		jopts.Ops = 6000
 		if *shards == "" {
 			sopts.Shards = []int{1, 2}
 		}
@@ -115,6 +119,7 @@ func main() {
 		{"8", func() (bench.Result, error) { return bench.RunFig8(bopts) }},
 		{"9", func() (bench.Result, error) { return bench.RunFig9(bopts) }},
 		{"ob", func() (bench.Result, error) { return bench.RunOrderBook(oopts) }},
+		{"objournal", func() (bench.Result, error) { return bench.RunOrderBookJournal(jopts) }},
 		{"obshard", func() (bench.Result, error) { return bench.RunOrderBookShards(sopts) }},
 		{"mdfeed", func() (bench.Result, error) { return bench.RunMDFeed(mopts) }},
 	}
@@ -132,7 +137,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,obshard,mdfeed or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,mdfeed or all)\n", *fig)
 		os.Exit(2)
 	}
 }

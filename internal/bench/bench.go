@@ -43,12 +43,12 @@ func (r Result) Format() string {
 	if len(r.Series) == 0 {
 		return b.String()
 	}
-	// Header. 24-wide columns fit the longest mode name
-	// ("labels+freeze+isolation") with the two-space separation the
-	// benchjson parser keys on.
+	// Header. 28-wide columns fit the longest series name
+	// ("labels+freeze+isolation off") with the two-space separation
+	// the benchjson parser keys on.
 	fmt.Fprintf(&b, "%-10s", "x")
 	for _, s := range r.Series {
-		fmt.Fprintf(&b, " %24s", s.Name)
+		fmt.Fprintf(&b, " %28s", s.Name)
 	}
 	fmt.Fprintf(&b, "   (%s)\n", r.Series[0].Unit)
 	// Collect x values from the first series (all series share them).
@@ -56,9 +56,9 @@ func (r Result) Format() string {
 		fmt.Fprintf(&b, "%-10d", r.Series[0].Points[i].X)
 		for _, s := range r.Series {
 			if i < len(s.Points) {
-				fmt.Fprintf(&b, " %24.2f", s.Points[i].Y)
+				fmt.Fprintf(&b, " %28.2f", s.Points[i].Y)
 			} else {
-				fmt.Fprintf(&b, " %24s", "-")
+				fmt.Fprintf(&b, " %28s", "-")
 			}
 		}
 		b.WriteByte('\n')

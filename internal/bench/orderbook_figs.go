@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/trading"
 	"repro/internal/workload"
 )
@@ -168,6 +169,105 @@ func RunOrderBookShards(o OrderBookShardOpts) (Result, error) {
 			s.Points = append(s.Points, Point{X: shards, Y: float64(fills) / elapsed.Seconds()})
 		}
 		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// OrderBookJournalOpts parameterise the journal-overhead sweep: the
+// order-flow workload with the per-shard crash journal off vs on, per
+// security mode. The journal backend is an in-memory FS, so the
+// number isolates the matching-thread tax of framing, CRC and
+// group-commit hand-off — the part PR 7's ≤15% overhead budget is
+// about — rather than disk bandwidth.
+type OrderBookJournalOpts struct {
+	// Traders lists the x-axis points (default 32, 64).
+	Traders []int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Ops is the order-flow length per measurement point (default
+	// 30,000).
+	Ops int
+	// Pairs sizes the symbol universe (default 8 pairs, 16 symbols).
+	Pairs int
+	// CheckpointEvery sets the snapshot cadence for the journal-on
+	// arm (default 4096 records per shard).
+	CheckpointEvery int
+	// Flow shapes the trace; Traders is overridden per point.
+	Flow workload.FlowConfig
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (o *OrderBookJournalOpts) defaults() {
+	if len(o.Traders) == 0 {
+		o.Traders = []int{32, 64}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Ops == 0 {
+		o.Ops = 30000
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunOrderBookJournal measures end-to-end order throughput (replay +
+// drain) with journaling off and on (the `-fig objournal` sweep). Two
+// series per mode — "<mode> off" and "<mode> on" — so the overhead at
+// any point is a same-X division.
+func RunOrderBookJournal(o OrderBookJournalOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Order book journal overhead",
+		Caption: "orders/s on the order-flow workload, crash journal off vs on (in-memory FS, group commit)",
+	}
+	for _, mode := range o.Modes {
+		for _, journaled := range []bool{false, true} {
+			name := mode.String() + " off"
+			if journaled {
+				name = mode.String() + " on"
+			}
+			s := Series{Name: name, Unit: "orders/s"}
+			for _, n := range o.Traders {
+				cfg := trading.Config{
+					Mode:       mode,
+					NumTraders: n,
+					Universe:   workload.NewUniverse(o.Pairs),
+					Seed:       o.Seed,
+					OrderTTL:   time.Minute,
+					Enforcer:   SharedEnforcer(),
+				}
+				if journaled {
+					cfg.JournalFS = journal.NewMemFS()
+					cfg.JournalNoSync = true
+					cfg.JournalCheckpointEvery = o.CheckpointEvery
+					cfg.JournalStagingCap = 1 << 15
+				}
+				p, err := trading.New(cfg)
+				if err != nil {
+					return res, err
+				}
+				flowCfg := o.Flow
+				flowCfg.Traders = n
+				flow := workload.NewOrderFlow(p.Universe(), flowCfg, o.Seed+5)
+				ops := flow.Take(o.Ops)
+				start := time.Now()
+				p.ReplayOrders(ops)
+				if !p.Quiesce(30 * time.Second) {
+					p.Close()
+					return res, fmt.Errorf("objournal point %s/%d did not quiesce", s.Name, n)
+				}
+				elapsed := time.Since(start)
+				p.Close()
+				s.Points = append(s.Points, Point{X: n, Y: float64(len(ops)) / elapsed.Seconds()})
+			}
+			res.Series = append(res.Series, s)
+		}
 	}
 	return res, nil
 }

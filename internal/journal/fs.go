@@ -1,0 +1,311 @@
+package journal
+
+// Filesystem abstraction. The journal never touches the os package
+// directly: every byte it persists flows through an FS, which is what
+// makes the crash/torn-write fault-injection suite possible — CrashFS
+// wraps any FS and kills writes at an exact byte offset, the way a
+// power cut tears a page mid-write. DirFS is the production backend;
+// MemFS backs tests and the fuzz target (byte-level corruption needs
+// cheap whole-file access).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is an append-only output stream.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes previous writes durable (fsync). Group commit calls
+	// it once per batch unless the writer runs with NoSync.
+	Sync() error
+	Close() error
+}
+
+// FS is the flat directory the journal lives in: segment and
+// checkpoint files for every shard side by side, no subdirectories.
+type FS interface {
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// ReadFile returns name's full content.
+	ReadFile(name string) ([]byte, error)
+	// List returns every file name, in no particular order.
+	List() ([]string, error)
+	// Rename atomically moves old to new (the checkpoint publish
+	// step: tmp write + rename keeps a torn checkpoint from ever
+	// carrying the final name on a well-behaved filesystem).
+	Rename(oldName, newName string) error
+	// Remove deletes a file; removing a missing file is not an error.
+	Remove(name string) error
+}
+
+// DirFS is the os-backed FS rooted at a directory.
+type DirFS struct{ dir string }
+
+// NewDirFS creates (if needed) and opens a journal directory.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+func (d *DirFS) Create(name string) (File, error) {
+	return os.Create(filepath.Join(d.dir, name))
+}
+
+func (d *DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+func (d *DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (d *DirFS) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(d.dir, oldName), filepath.Join(d.dir, newName))
+}
+
+func (d *DirFS) Remove(name string) error {
+	err := os.Remove(filepath.Join(d.dir, name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// MemFS is an in-memory FS. It is safe for concurrent use, and it
+// exposes the raw bytes of every file so tests can corrupt them with
+// byte precision.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory journal directory.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+type memFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("journal: %s: %w", name, os.ErrNotExist)
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("journal: %s: %w", oldName, os.ErrNotExist)
+	}
+	delete(m.files, oldName)
+	m.files[newName] = b
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+// Corrupt XORs one byte of a file (a bit-rot/torn-page stand-in).
+func (m *MemFS) Corrupt(name string, off int, xor byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok || off < 0 || off >= len(b) || xor == 0 {
+		return false
+	}
+	b[off] ^= xor
+	return true
+}
+
+// Truncate cuts a file to n bytes (a lost-tail stand-in).
+func (m *MemFS) Truncate(name string, n int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok || n < 0 || n >= len(b) {
+		return false
+	}
+	m.files[name] = b[:n]
+	return true
+}
+
+// Size reports a file's length, or -1 if absent.
+func (m *MemFS) Size(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.files[name]; ok {
+		return len(b)
+	}
+	return -1
+}
+
+// CrashFS wraps an FS with a write budget: once budget bytes have
+// been written through it (across all files), the write that crosses
+// the boundary is applied only up to the boundary — a torn write —
+// and every later operation fails with ErrCrashed. Renames and
+// removes past the boundary are dropped too, so a checkpoint can die
+// between its tmp write and its publish. Recovery then runs against
+// the underlying FS, exactly as a restart would find the disk.
+type CrashFS struct {
+	mu     sync.Mutex
+	inner  FS
+	budget int64 // remaining writable bytes; <0 = unlimited
+	dead   bool
+}
+
+// ErrCrashed is returned by every CrashFS operation after the write
+// budget is exhausted.
+var ErrCrashed = fmt.Errorf("journal: simulated crash")
+
+// NewCrashFS wraps inner with an unlimited budget; arm it with
+// KillAfter.
+func NewCrashFS(inner FS) *CrashFS {
+	return &CrashFS{inner: inner, budget: -1}
+}
+
+// KillAfter arms the crash: n more bytes may be written, then the
+// torn write happens and the FS dies.
+func (c *CrashFS) KillAfter(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = n
+	c.dead = n <= 0
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+type crashFile struct {
+	c     *CrashFS
+	inner File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	f.c.mu.Lock()
+	if f.c.dead {
+		f.c.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	n := len(p)
+	torn := false
+	if f.c.budget >= 0 {
+		if int64(n) >= f.c.budget {
+			n = int(f.c.budget)
+			f.c.dead = true
+			torn = true
+		}
+		f.c.budget -= int64(n)
+	}
+	f.c.mu.Unlock()
+	if n > 0 {
+		if _, err := f.inner.Write(p[:n]); err != nil {
+			return 0, err
+		}
+	}
+	if torn {
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+func (f *crashFile) Sync() error {
+	if f.c.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.Sync()
+}
+
+func (f *crashFile) Close() error { return f.inner.Close() }
+
+func (c *CrashFS) Create(name string) (File, error) {
+	if c.Crashed() {
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{c: c, inner: f}, nil
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) { return c.inner.ReadFile(name) }
+func (c *CrashFS) List() ([]string, error)              { return c.inner.List() }
+
+func (c *CrashFS) Rename(oldName, newName string) error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return c.inner.Rename(oldName, newName)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return c.inner.Remove(name)
+}
+
+// Inner returns the wrapped FS — what the disk holds after the crash,
+// which is what recovery reads.
+func (c *CrashFS) Inner() FS { return c.inner }

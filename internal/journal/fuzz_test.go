@@ -1,0 +1,144 @@
+package journal
+
+// FuzzJournalRecover: arbitrary byte-level damage to a valid journal
+// — truncation, bit flips, whole-file deletion, at fuzz-chosen
+// offsets — must never panic Recover, and whatever state Recover does
+// return must be exactly what the writer appended: the checkpoint
+// blob for its LSN and a contiguous, bit-identical record tail. That
+// prefix property is what makes trading-level recovery a prefix
+// replay of the reference run, so a divergence here IS a diverging
+// book.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// ckptBlob is the deterministic checkpoint payload for a given LSN.
+func ckptBlob(lsn uint64) []byte {
+	return []byte(fmt.Sprintf("checkpoint-state-%06d", lsn))
+}
+
+// buildReferenceJournal writes 45 records with checkpoints at LSN 10,
+// 20 and 30 and returns the raw files. Retention keeps the newest two
+// checkpoints and the segments behind them, so the corpus holds
+// multiple fallback targets.
+func buildReferenceJournal(tb testing.TB) map[string][]byte {
+	fs := NewMemFS()
+	w := NewWriter(fs, 0, Options{})
+	for lsn := uint64(1); lsn <= 45; lsn++ {
+		if _, ok := w.Append(payload(lsn)); !ok {
+			tb.Fatalf("append %d shed", lsn)
+		}
+		if lsn%10 == 0 && lsn <= 30 {
+			if !w.Checkpoint(lsn, ckptBlob(lsn)) {
+				tb.Fatalf("checkpoint %d refused", lsn)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatalf("close: %v", err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	files := make(map[string][]byte, len(names))
+	for _, n := range names {
+		b, err := fs.ReadFile(n)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		files[n] = append([]byte(nil), b...)
+	}
+	return files
+}
+
+func FuzzJournalRecover(f *testing.F) {
+	ref := buildReferenceJournal(f)
+	// Stable file order so a fuzz byte selects the same file forever.
+	var names []string
+	for n := range ref {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+
+	// Seed corpus: one exemplar per damage class (see testdata/fuzz).
+	f.Add([]byte{})                                      // pristine
+	f.Add([]byte{0, 0, 0, 0, 5, 0})                      // truncate a file near its end
+	f.Add([]byte{1, 1, 0, 0, 40, 0x20})                  // flip a bit mid-segment
+	f.Add([]byte{2, 2, 0, 0, 0, 0})                      // delete a whole file
+	f.Add([]byte{0, 1, 0, 0, 9, 0xff, 1, 0, 0, 0, 3, 0}) // header flip + truncate
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(names) == 0 {
+			t.Skip("no reference files")
+		}
+		fs := NewMemFS()
+		for n, b := range ref {
+			w, _ := fs.Create(n)
+			w.Write(append([]byte(nil), b...))
+			w.Close()
+		}
+		// Each 6-byte chunk is one damage op: [file, kind, off3, arg].
+		for len(ops) >= 6 {
+			name := names[int(ops[0])%len(names)]
+			off := int(ops[2])<<16 | int(ops[3])<<8 | int(ops[4])
+			switch ops[1] % 3 {
+			case 0:
+				if sz := fs.Size(name); sz > 0 {
+					fs.Truncate(name, off%sz)
+				}
+			case 1:
+				if sz := fs.Size(name); sz > 0 {
+					xor := ops[5]
+					if xor == 0 {
+						xor = 1
+					}
+					fs.Corrupt(name, off%sz, xor)
+				}
+			case 2:
+				fs.Remove(name)
+			}
+			ops = ops[6:]
+		}
+
+		rec, err := Recover(fs, 0)
+		if err != nil {
+			// Typed, non-panicking refusal is allowed; silent garbage
+			// is not.
+			return
+		}
+		// Whatever survived must be a consistent prefix of what was
+		// written: checkpoint blob bit-identical for its LSN, records
+		// bit-identical and contiguous behind it.
+		if rec.Checkpoint != nil {
+			if rec.CheckpointLSN == 0 || rec.CheckpointLSN > 30 || rec.CheckpointLSN%10 != 0 {
+				t.Fatalf("recovered impossible checkpoint LSN %d", rec.CheckpointLSN)
+			}
+			if !bytes.Equal(rec.Checkpoint, ckptBlob(rec.CheckpointLSN)) {
+				t.Fatalf("checkpoint payload at LSN %d diverges from what was written", rec.CheckpointLSN)
+			}
+		} else if rec.CheckpointLSN != 0 {
+			t.Fatalf("no checkpoint but CheckpointLSN=%d", rec.CheckpointLSN)
+		}
+		for i, r := range rec.Records {
+			lsn := rec.CheckpointLSN + uint64(i) + 1
+			if lsn > 45 {
+				t.Fatalf("recovered record beyond last appended LSN: %d", lsn)
+			}
+			if !bytes.Equal(r, payload(lsn)) {
+				t.Fatalf("record at LSN %d diverges from what was written", lsn)
+			}
+		}
+		if want := rec.CheckpointLSN + uint64(len(rec.Records)); rec.LastLSN != want {
+			t.Fatalf("LastLSN %d inconsistent with checkpoint %d + %d records",
+				rec.LastLSN, rec.CheckpointLSN, len(rec.Records))
+		}
+	})
+}

@@ -1,0 +1,739 @@
+// Package journal implements the crash-safe, append-only order
+// journal behind the trading platform's event-sourced recovery
+// (DESIGN-dispatch.md §12).
+//
+// Layout: one flat directory holds, per broker shard, a chain of
+// segment files of CRC-framed records plus checkpoint files. A
+// record's meaning is opaque here — the trading layer encodes matched
+// order/audit events; this package owns durability, framing and the
+// recovery scan.
+//
+//	seg-<shard>-<startLSN>.jnl   records startLSN+1, startLSN+2, …
+//	ckpt-<shard>-<lsn>.ckp       full state after applying record lsn
+//
+// Writing is group-committed off the matching thread: Append stages a
+// record into a bounded ring and never blocks; a committer goroutine
+// drains the ring, writes frames and fsyncs once per batch. When the
+// ring overflows, the record is shed and the loss marked — the next
+// committed frame is a gap marker, so recovery knows the tail after
+// it is not replayable (the shed-and-mark policy; the next checkpoint,
+// being a full state snapshot, heals the journal). A checkpoint
+// request rides the same FIFO ring, which is what guarantees the
+// segment started at checkpoint LSN L contains exactly the records
+// after L.
+//
+// Recovery never panics on a damaged journal: it picks the newest
+// checkpoint that validates (falling back past torn or corrupt ones),
+// then replays the contiguous record tail, truncating at the first
+// torn frame, CRC mismatch, gap marker or LSN discontinuity — every
+// fault is surfaced as a typed error in the Report, never as a crash.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Typed fault classes surfaced by recovery (wrapped with file/offset
+// context in Report.Faults).
+var (
+	// ErrTornTail marks a frame cut short by a crash mid-write; the
+	// journal is truncated to the last whole frame before it.
+	ErrTornTail = errors.New("journal: torn tail")
+	// ErrBadCRC marks a whole-sized frame whose checksum does not
+	// match — bit rot or a torn page inside the file.
+	ErrBadCRC = errors.New("journal: frame CRC mismatch")
+	// ErrPartialCheckpoint marks a checkpoint file that is truncated,
+	// corrupt or mislabeled; recovery falls back to the previous one.
+	ErrPartialCheckpoint = errors.New("journal: partial or corrupt checkpoint")
+	// ErrShedGap marks a gap marker: records after it were shed under
+	// backpressure, so the tail beyond is not replayable.
+	ErrShedGap = errors.New("journal: shed gap marker")
+	// ErrSegmentGap marks a missing segment or an LSN discontinuity
+	// between frames; the tail beyond it is not replayable.
+	ErrSegmentGap = errors.New("journal: segment gap")
+	// ErrClosed is returned by operations on a closed writer.
+	ErrClosed = errors.New("journal: writer closed")
+)
+
+const (
+	segMagic  = "DFJS"
+	ckptMagic = "DFJC"
+	version   = 1
+
+	segHeaderLen  = 20 // magic + u32 version + u32 shard + u64 startLSN
+	frameHdrLen   = 16 // u32 len|flags + u32 crc + u64 lsn
+	ckptHeaderLen = 28 // magic + u32 version + u32 shard + u64 lsn + u32 len + u32 crc
+
+	// gapFlag marks a gap-marker frame in the length word.
+	gapFlag = uint32(1) << 31
+	// maxFrame bounds a single record; anything larger in a length
+	// word is damage, not data.
+	maxFrame = 1 << 24
+)
+
+func segName(shard int, startLSN uint64) string {
+	return fmt.Sprintf("seg-%03d-%016x.jnl", shard, startLSN)
+}
+
+func ckptName(shard int, lsn uint64) string {
+	return fmt.Sprintf("ckpt-%03d-%016x.ckp", shard, lsn)
+}
+
+// parseName decodes a segment or checkpoint file name; kind is "seg"
+// or "ckpt".
+func parseName(name string) (kind string, shard int, lsn uint64, ok bool) {
+	var ext string
+	switch {
+	case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".jnl"):
+		kind, ext = "seg", ".jnl"
+	case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ckp"):
+		kind, ext = "ckpt", ".ckp"
+	default:
+		return "", 0, 0, false
+	}
+	body := strings.TrimSuffix(name[len(kind)+1:], ext)
+	dash := strings.IndexByte(body, '-')
+	if dash <= 0 {
+		return "", 0, 0, false
+	}
+	sh, err := strconv.Atoi(body[:dash])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	lsn, err = strconv.ParseUint(body[dash+1:], 16, 64)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	return kind, sh, lsn, true
+}
+
+// Metrics counts writer-side activity; all fields are cumulative.
+type Metrics struct {
+	// Appended records accepted into the staging ring.
+	Appended uint64
+	// Shed records dropped because the ring was full (each run of
+	// sheds produces one gap marker).
+	Shed uint64
+	// GapMarkers written.
+	GapMarkers uint64
+	// Commits is the number of group-commit batches written.
+	Commits uint64
+	// Checkpoints requested and CheckpointsWritten published.
+	Checkpoints        uint64
+	CheckpointsWritten uint64
+}
+
+// Options tune a Writer.
+type Options struct {
+	// NoSync skips fsync on group commit and checkpoint publish —
+	// for CI and benchmarks, where the process outlives the test but
+	// the host is not expected to lose power.
+	NoSync bool
+	// StagingCap bounds the staging ring (default 1024 records).
+	StagingCap int
+}
+
+// entry is one staged unit of work for the committer.
+type entry struct {
+	lsn     uint64
+	payload []byte
+	gapFrom uint64 // >0: gap marker covering [gapFrom, lsn]
+	ckpt    bool   // checkpoint request: payload is the state blob
+}
+
+// Writer is one shard's journal appender. Append and Checkpoint are
+// called from the shard's matching thread and never block on IO; a
+// committer goroutine owns the files.
+type Writer struct {
+	fs    FS
+	shard int
+	opts  Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []entry
+	inFlight bool
+	nextLSN  uint64
+	startLSN uint64
+	started  bool // first batch processed; StartAt refused after
+	gapFrom  uint64
+	gapN     uint64
+	closed   bool
+	err      error // sticky commit error (simulated or real crash)
+	m        Metrics
+
+	cur  File // current segment (committer-owned)
+	done chan struct{}
+}
+
+// NewWriter starts a shard journal writer on fs. The first segment is
+// created lazily, at the LSN pinned by StartAt (or 0).
+func NewWriter(fs FS, shard int, opts Options) *Writer {
+	if opts.StagingCap <= 0 {
+		opts.StagingCap = 1024
+	}
+	w := &Writer{fs: fs, shard: shard, opts: opts, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+// StartAt pins the writer's first LSN — the recovery resume point.
+// It must be called before the first Append; later calls are ignored.
+func (w *Writer) StartAt(lsn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started || w.m.Appended > 0 {
+		return
+	}
+	w.nextLSN = lsn
+	w.startLSN = lsn
+}
+
+// Append stages one record. It returns the record's LSN and whether
+// it was accepted; ok == false means the staging ring was full (or
+// the writer is dead) and the record was shed — the loss is marked in
+// the journal so recovery never replays past it.
+func (w *Writer) Append(payload []byte) (lsn uint64, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextLSN++
+	lsn = w.nextLSN
+	if w.closed || w.err != nil || len(w.buf) >= w.opts.StagingCap {
+		if w.gapN == 0 {
+			w.gapFrom = lsn
+		}
+		w.gapN++
+		w.m.Shed++
+		return lsn, false
+	}
+	if w.gapN > 0 {
+		w.buf = append(w.buf, entry{lsn: w.gapFrom + w.gapN - 1, gapFrom: w.gapFrom})
+		w.m.GapMarkers++
+		w.gapFrom, w.gapN = 0, 0
+	}
+	w.buf = append(w.buf, entry{lsn: lsn, payload: payload})
+	w.m.Appended++
+	w.cond.Signal()
+	return lsn, true
+}
+
+// Checkpoint stages a full-state snapshot taken after applying record
+// lsn. It rides the same FIFO ring as records, so the rotated segment
+// holds exactly the records after lsn. Checkpoints bypass the shed
+// policy (they are rare and heal shed gaps).
+func (w *Writer) Checkpoint(lsn uint64, payload []byte) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.err != nil {
+		return false
+	}
+	w.buf = append(w.buf, entry{lsn: lsn, payload: payload, ckpt: true})
+	w.m.Checkpoints++
+	w.cond.Signal()
+	return true
+}
+
+// Flush blocks until everything staged so far is committed (and
+// synced, unless NoSync). It returns the sticky commit error, if any.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for (len(w.buf) > 0 || w.inFlight) && w.err == nil {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Metrics snapshots the writer counters.
+func (w *Writer) Metrics() Metrics {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.m
+}
+
+// LastLSN reports the most recently assigned LSN.
+func (w *Writer) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Err reports the sticky commit error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes and stops the committer. Idempotent and safe to call
+// concurrently; every call reports the sticky commit error.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// run is the committer goroutine: drain the ring, write frames,
+// handle checkpoint requests, sync once per batch.
+func (w *Writer) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for len(w.buf) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.buf) == 0 && w.closed {
+			w.mu.Unlock()
+			if w.cur != nil {
+				w.cur.Close()
+			}
+			return
+		}
+		batch := w.buf
+		w.buf = nil
+		w.inFlight = true
+		w.started = true
+		w.mu.Unlock()
+
+		err := w.commit(batch)
+
+		w.mu.Lock()
+		w.inFlight = false
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.m.Commits++
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// commit writes one drained batch.
+func (w *Writer) commit(batch []entry) error {
+	wrote := false
+	for _, e := range batch {
+		if e.ckpt {
+			// Frames before the checkpoint in this batch are
+			// superseded by it; no need to sync them first.
+			if err := w.writeCheckpoint(e.lsn, e.payload); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := w.writeFrame(e); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if wrote && !w.opts.NoSync {
+		if err := w.cur.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFrame appends one record (or gap-marker) frame to the current
+// segment, creating the segment lazily.
+func (w *Writer) writeFrame(e entry) error {
+	if w.cur == nil {
+		if err := w.openSegment(w.startLSN); err != nil {
+			return err
+		}
+	}
+	payload := e.payload
+	lenFlags := uint32(len(payload))
+	if e.gapFrom > 0 {
+		var gp [8]byte
+		binary.LittleEndian.PutUint64(gp[:], e.gapFrom)
+		payload = gp[:]
+		lenFlags = uint32(len(payload)) | gapFlag
+	}
+	frame := make([]byte, frameHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], lenFlags)
+	binary.LittleEndian.PutUint64(frame[8:16], e.lsn)
+	copy(frame[frameHdrLen:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	_, err := w.cur.Write(frame)
+	return err
+}
+
+// openSegment starts the segment whose records follow LSN start.
+func (w *Writer) openSegment(start uint64) error {
+	f, err := w.fs.Create(segName(w.shard, start))
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, segHeaderLen)
+	copy(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(w.shard))
+	binary.LittleEndian.PutUint64(hdr[12:20], start)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	w.cur = f
+	return nil
+}
+
+// writeCheckpoint publishes a checkpoint (tmp + sync + rename), then
+// rotates to a fresh segment at its LSN and prunes superseded files.
+func (w *Writer) writeCheckpoint(lsn uint64, payload []byte) error {
+	name := ckptName(w.shard, lsn)
+	tmp := name + ".tmp"
+	f, err := w.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, ckptHeaderLen)
+	copy(hdr[0:4], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(w.shard))
+	binary.LittleEndian.PutUint64(hdr[12:20], lsn)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := w.fs.Rename(tmp, name); err != nil {
+		return err
+	}
+	w.m.CheckpointsWritten++
+	// Rotate: the new segment carries exactly the records after lsn.
+	if w.cur != nil {
+		w.cur.Close()
+		w.cur = nil
+	}
+	if err := w.openSegment(lsn); err != nil {
+		return err
+	}
+	w.startLSN = lsn
+	w.prune(lsn)
+	return nil
+}
+
+// prune removes superseded files: checkpoints older than the previous
+// one (two are retained so recovery can fall back past a torn latest)
+// and segments no retained checkpoint needs.
+func (w *Writer) prune(latest uint64) {
+	names, err := w.fs.List()
+	if err != nil {
+		return // advisory; recovery tolerates stale files
+	}
+	var ckpts, segs []uint64
+	for _, n := range names {
+		kind, shard, lsn, ok := parseName(n)
+		if !ok || shard != w.shard {
+			continue
+		}
+		switch kind {
+		case "ckpt":
+			ckpts = append(ckpts, lsn)
+		case "seg":
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	floor := latest
+	for i, lsn := range ckpts {
+		if i == 1 {
+			floor = lsn // previous checkpoint: oldest retained
+		}
+		if i >= 2 {
+			w.fs.Remove(ckptName(w.shard, lsn))
+		}
+	}
+	// Keep the newest segment at or below the floor (it carries the
+	// floor checkpoint's tail) and everything after it.
+	var keep uint64
+	hasKeep := false
+	for _, s := range segs {
+		if s <= floor && (!hasKeep || s > keep) {
+			keep, hasKeep = s, true
+		}
+	}
+	for _, s := range segs {
+		if hasKeep && s < keep {
+			w.fs.Remove(segName(w.shard, s))
+		}
+	}
+}
+
+// Report is the recovery audit trail: what was replayed, what was
+// damaged, and how each damage class was handled.
+type Report struct {
+	// RecoveredRecords replayed from the journal tail.
+	RecoveredRecords uint64
+	// TornTail counts frames cut short by a crash (truncated to the
+	// last whole frame).
+	TornTail int
+	// BadCRC counts whole-sized frames failing their checksum.
+	BadCRC int
+	// CheckpointFallbacks counts invalid checkpoints skipped on the
+	// way to a valid (or empty) state.
+	CheckpointFallbacks int
+	// GapStop reports the scan stopped at a shed gap marker.
+	GapStop bool
+	// SegmentGap reports a missing segment or LSN discontinuity.
+	SegmentGap bool
+	// Faults carries one typed, contextualised error per anomaly.
+	Faults []error
+}
+
+// Recovered is one shard's recovered journal state.
+type Recovered struct {
+	Shard int
+	// CheckpointLSN and Checkpoint hold the newest valid checkpoint
+	// (nil Checkpoint = none; start from the empty state at LSN 0).
+	CheckpointLSN uint64
+	Checkpoint    []byte
+	// Records are the contiguous replayable tail payloads, LSNs
+	// CheckpointLSN+1 … LastLSN.
+	Records [][]byte
+	// LastLSN is the resume point for a new Writer.
+	LastLSN uint64
+	Report  Report
+}
+
+// Recover scans a shard's journal directory and returns the newest
+// consistent state: the best valid checkpoint plus the contiguous
+// record tail behind it. Damage — torn frames, corrupt CRCs, partial
+// checkpoints, shed gaps, missing segments — degrades the result
+// (shorter tail, older checkpoint, empty state) and is reported, but
+// never panics and never yields records that differ from what was
+// appended.
+func Recover(fs FS, shard int) (*Recovered, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, fmt.Errorf("journal: recover shard %d: %w", shard, err)
+	}
+	rec := &Recovered{Shard: shard}
+	var ckpts, segs []uint64
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			if kind, sh, _, ok := parseName(strings.TrimSuffix(n, ".tmp")); ok && kind == "ckpt" && sh == shard {
+				// A checkpoint died before publish; its rename never
+				// happened so it supersedes nothing. Note and ignore.
+				rec.Report.Faults = append(rec.Report.Faults,
+					fmt.Errorf("%w: unpublished %s", ErrPartialCheckpoint, n))
+			}
+			continue
+		}
+		kind, sh, lsn, ok := parseName(n)
+		if !ok || sh != shard {
+			continue
+		}
+		switch kind {
+		case "ckpt":
+			ckpts = append(ckpts, lsn)
+		case "seg":
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	for _, lsn := range ckpts {
+		payload, err := readCheckpoint(fs, shard, lsn)
+		if err != nil {
+			rec.Report.CheckpointFallbacks++
+			rec.Report.Faults = append(rec.Report.Faults, err)
+			continue
+		}
+		rec.CheckpointLSN, rec.Checkpoint = lsn, payload
+		break
+	}
+	rec.LastLSN = rec.CheckpointLSN
+
+	// Find the segment chain start: the newest segment at or below
+	// the checkpoint LSN carries its tail.
+	start := -1
+	for i, s := range segs {
+		if s <= rec.CheckpointLSN {
+			start = i
+		}
+	}
+	if start == -1 {
+		if len(segs) > 0 {
+			// Only segments strictly ahead of the checkpoint survive:
+			// their records cannot connect to the recovered state.
+			rec.Report.SegmentGap = true
+			rec.Report.Faults = append(rec.Report.Faults,
+				fmt.Errorf("%w: no segment covers checkpoint %d", ErrSegmentGap, rec.CheckpointLSN))
+		}
+		return rec, nil
+	}
+
+	expect := rec.CheckpointLSN + 1
+	for _, s := range segs[start:] {
+		if s+1 > expect {
+			rec.Report.SegmentGap = true
+			rec.Report.Faults = append(rec.Report.Faults,
+				fmt.Errorf("%w: segment %s starts past LSN %d", ErrSegmentGap, segName(shard, s), expect))
+			break
+		}
+		cont := scanSegment(fs, shard, s, &expect, rec)
+		if !cont {
+			break
+		}
+	}
+	rec.Report.RecoveredRecords = uint64(len(rec.Records))
+	rec.LastLSN = expect - 1
+	return rec, nil
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(fs FS, shard int, lsn uint64) ([]byte, error) {
+	name := ckptName(shard, lsn)
+	b, err := fs.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPartialCheckpoint, name, err)
+	}
+	if len(b) < ckptHeaderLen || string(b[0:4]) != ckptMagic ||
+		binary.LittleEndian.Uint32(b[4:8]) != version ||
+		int(binary.LittleEndian.Uint32(b[8:12])) != shard ||
+		binary.LittleEndian.Uint64(b[12:20]) != lsn {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrPartialCheckpoint, name)
+	}
+	n := binary.LittleEndian.Uint32(b[20:24])
+	if uint64(n) != uint64(len(b)-ckptHeaderLen) {
+		return nil, fmt.Errorf("%w: %s: truncated (%d of %d payload bytes)",
+			ErrPartialCheckpoint, name, len(b)-ckptHeaderLen, n)
+	}
+	payload := b[ckptHeaderLen:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[24:28]) {
+		return nil, fmt.Errorf("%w: %s: payload CRC mismatch", ErrPartialCheckpoint, name)
+	}
+	return payload, nil
+}
+
+// scanSegment replays one segment's frames into rec, skipping records
+// at or before the checkpoint. It returns whether the chain may
+// continue into the next segment (false on any stop condition).
+func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered) bool {
+	name := segName(shard, start)
+	b, err := fs.ReadFile(name)
+	if err != nil {
+		rec.Report.SegmentGap = true
+		rec.Report.Faults = append(rec.Report.Faults, fmt.Errorf("%w: %s: %v", ErrSegmentGap, name, err))
+		return false
+	}
+	if len(b) < segHeaderLen || string(b[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(b[4:8]) != version ||
+		int(binary.LittleEndian.Uint32(b[8:12])) != shard ||
+		binary.LittleEndian.Uint64(b[12:20]) != start {
+		rec.Report.TornTail++
+		rec.Report.Faults = append(rec.Report.Faults, fmt.Errorf("%w: %s: bad segment header", ErrTornTail, name))
+		return false
+	}
+	off := segHeaderLen
+	for off < len(b) {
+		rem := len(b) - off
+		if rem < frameHdrLen {
+			rec.Report.TornTail++
+			rec.Report.Faults = append(rec.Report.Faults,
+				fmt.Errorf("%w: %s: %d trailing bytes at offset %d", ErrTornTail, name, rem, off))
+			return false
+		}
+		lenFlags := binary.LittleEndian.Uint32(b[off : off+4])
+		n := int(lenFlags &^ gapFlag)
+		if n > maxFrame || frameHdrLen+n > rem {
+			rec.Report.TornTail++
+			rec.Report.Faults = append(rec.Report.Faults,
+				fmt.Errorf("%w: %s: frame at offset %d claims %d bytes, %d remain", ErrTornTail, name, off, n, rem-frameHdrLen))
+			return false
+		}
+		frame := b[off : off+frameHdrLen+n]
+		if crc32.ChecksumIEEE(frame[8:]) != binary.LittleEndian.Uint32(frame[4:8]) {
+			if off+frameHdrLen+n == len(b) {
+				rec.Report.TornTail++
+				rec.Report.Faults = append(rec.Report.Faults,
+					fmt.Errorf("%w: %s: final frame at offset %d fails CRC", ErrTornTail, name, off))
+			} else {
+				rec.Report.BadCRC++
+				rec.Report.Faults = append(rec.Report.Faults,
+					fmt.Errorf("%w: %s: frame at offset %d", ErrBadCRC, name, off))
+			}
+			return false
+		}
+		lsn := binary.LittleEndian.Uint64(frame[8:16])
+		if lenFlags&gapFlag != 0 {
+			if lsn >= *expect {
+				rec.Report.GapStop = true
+				from := binary.LittleEndian.Uint64(frame[frameHdrLen:])
+				rec.Report.Faults = append(rec.Report.Faults,
+					fmt.Errorf("%w: %s: records %d..%d shed", ErrShedGap, name, from, lsn))
+				return false
+			}
+			off += frameHdrLen + n
+			continue
+		}
+		switch {
+		case lsn < *expect:
+			// Pre-checkpoint record: superseded, skip.
+		case lsn > *expect:
+			rec.Report.SegmentGap = true
+			rec.Report.Faults = append(rec.Report.Faults,
+				fmt.Errorf("%w: %s: LSN %d where %d expected", ErrSegmentGap, name, lsn, *expect))
+			return false
+		default:
+			payload := make([]byte, n)
+			copy(payload, frame[frameHdrLen:])
+			rec.Records = append(rec.Records, payload)
+			*expect++
+		}
+		off += frameHdrLen + n
+	}
+	return true
+}
+
+// Shards lists the shard indexes that have journal files on fs — the
+// recovery entry point uses it to reject a shard-count mismatch.
+func Shards(fs FS) ([]int, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	for _, n := range names {
+		if _, sh, _, ok := parseName(strings.TrimSuffix(n, ".tmp")); ok {
+			seen[sh] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for sh := range seen {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,521 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func payload(lsn uint64) []byte {
+	return []byte(fmt.Sprintf("record-%06d-payload", lsn))
+}
+
+// appendN appends records with LSNs base+1..base+n and flushes.
+func appendN(t *testing.T, w *Writer, base uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		lsn, ok := w.Append(payload(base + uint64(i) + 1))
+		if !ok {
+			t.Fatalf("append %d shed unexpectedly", i)
+		}
+		if lsn != base+uint64(i)+1 {
+			t.Fatalf("append %d: lsn %d, want %d", i, lsn, base+uint64(i)+1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func mustRecover(t *testing.T, fs FS, shard int) *Recovered {
+	t.Helper()
+	rec, err := Recover(fs, shard)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return rec
+}
+
+func TestWriterRecoverRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, 3, Options{})
+	appendN(t, w, 0, 25)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rec := mustRecover(t, fs, 3)
+	if rec.CheckpointLSN != 0 || rec.Checkpoint != nil {
+		t.Fatalf("unexpected checkpoint: lsn=%d", rec.CheckpointLSN)
+	}
+	if len(rec.Records) != 25 || rec.LastLSN != 25 {
+		t.Fatalf("got %d records, last=%d", len(rec.Records), rec.LastLSN)
+	}
+	for i, r := range rec.Records {
+		if !bytes.Equal(r, payload(uint64(i)+1)) {
+			t.Fatalf("record %d mismatch: %q", i, r)
+		}
+	}
+	if len(rec.Report.Faults) != 0 {
+		t.Fatalf("clean journal reported faults: %v", rec.Report.Faults)
+	}
+	m := w.Metrics()
+	if m.Appended != 25 || m.Shed != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestCloseIsIdempotentAndConcurrent(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, 0, Options{})
+	appendN(t, w, 0, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	rec := mustRecover(t, fs, 0)
+	if len(rec.Records) != 3 {
+		t.Fatalf("got %d records after close", len(rec.Records))
+	}
+}
+
+func TestCheckpointRotationRetentionAndTail(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, 1, Options{})
+	appendN(t, w, 0, 10)
+	if !w.Checkpoint(10, []byte("state@10")) {
+		t.Fatal("checkpoint 10 refused")
+	}
+	appendN(t, w, 10, 10)
+	if !w.Checkpoint(20, []byte("state@20")) {
+		t.Fatal("checkpoint 20 refused")
+	}
+	appendN(t, w, 20, 5)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	m := w.Metrics()
+	if m.CheckpointsWritten != 2 {
+		t.Fatalf("checkpoints written: %+v", m)
+	}
+
+	rec := mustRecover(t, fs, 1)
+	if rec.CheckpointLSN != 20 || string(rec.Checkpoint) != "state@20" {
+		t.Fatalf("checkpoint: lsn=%d payload=%q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 5 || rec.LastLSN != 25 {
+		t.Fatalf("tail: %d records, last=%d", len(rec.Records), rec.LastLSN)
+	}
+	for i, r := range rec.Records {
+		if !bytes.Equal(r, payload(uint64(i)+21)) {
+			t.Fatalf("tail record %d mismatch: %q", i, r)
+		}
+	}
+
+	// Retention: two checkpoints and the segments they need; seg-0 is
+	// superseded by checkpoint 10 and pruned.
+	names, _ := fs.List()
+	want := map[string]bool{
+		ckptName(1, 10): true, ckptName(1, 20): true,
+		segName(1, 10): true, segName(1, 20): true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("retained files: %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected retained file %s (all: %v)", n, names)
+		}
+	}
+}
+
+func TestTornTailTruncatesToLastValidFrame(t *testing.T) {
+	build := func() (*MemFS, string) {
+		fs := NewMemFS()
+		w := NewWriter(fs, 0, Options{})
+		appendN(t, w, 0, 8)
+		w.Close()
+		return fs, segName(0, 0)
+	}
+	fs, seg := build()
+	full := fs.Size(seg)
+	frame := frameHdrLen + len(payload(1)) // fixed-size payloads
+
+	// Cut the file at every byte inside the final frame: recovery must
+	// keep exactly 7 records and flag a torn tail.
+	for cut := full - frame + 1; cut < full; cut++ {
+		fs, seg := build()
+		if !fs.Truncate(seg, cut) {
+			t.Fatalf("truncate to %d failed", cut)
+		}
+		rec := mustRecover(t, fs, 0)
+		if len(rec.Records) != 7 || rec.LastLSN != 7 {
+			t.Fatalf("cut=%d: %d records, last=%d", cut, len(rec.Records), rec.LastLSN)
+		}
+		if rec.Report.TornTail != 1 || !errors.Is(rec.Report.Faults[0], ErrTornTail) {
+			t.Fatalf("cut=%d: report %+v", cut, rec.Report)
+		}
+	}
+
+	// Cut inside the segment header: nothing recoverable, still no panic.
+	fs, seg = build()
+	fs.Truncate(seg, segHeaderLen-3)
+	rec := mustRecover(t, fs, 0)
+	if len(rec.Records) != 0 || rec.Report.TornTail != 1 {
+		t.Fatalf("header cut: %d records, report %+v", len(rec.Records), rec.Report)
+	}
+}
+
+func TestBadCRCStopsScan(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, 0, Options{})
+	appendN(t, w, 0, 8)
+	w.Close()
+	seg := segName(0, 0)
+	frame := frameHdrLen + len(payload(1))
+	// Flip a payload byte in the 4th frame (not the final one).
+	off := segHeaderLen + 3*frame + frameHdrLen + 2
+	if !fs.Corrupt(seg, off, 0x40) {
+		t.Fatalf("corrupt at %d failed", off)
+	}
+	rec := mustRecover(t, fs, 0)
+	if len(rec.Records) != 3 || rec.LastLSN != 3 {
+		t.Fatalf("%d records, last=%d", len(rec.Records), rec.LastLSN)
+	}
+	if rec.Report.BadCRC != 1 || !errors.Is(rec.Report.Faults[0], ErrBadCRC) {
+		t.Fatalf("report %+v", rec.Report)
+	}
+}
+
+func TestPartialCheckpointFallsBack(t *testing.T) {
+	build := func() *MemFS {
+		fs := NewMemFS()
+		w := NewWriter(fs, 2, Options{})
+		appendN(t, w, 0, 10)
+		w.Checkpoint(10, []byte("state@10"))
+		appendN(t, w, 10, 10)
+		w.Checkpoint(20, []byte("state@20"))
+		appendN(t, w, 20, 5)
+		w.Close()
+		return fs
+	}
+
+	// Corrupt the newest checkpoint's payload: recovery falls back to
+	// checkpoint 10 and replays records 11..25 across both segments.
+	fs := build()
+	if !fs.Corrupt(ckptName(2, 20), ckptHeaderLen+1, 0x01) {
+		t.Fatal("corrupt ckpt failed")
+	}
+	rec := mustRecover(t, fs, 2)
+	if rec.CheckpointLSN != 10 || string(rec.Checkpoint) != "state@10" {
+		t.Fatalf("fallback checkpoint: lsn=%d payload=%q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 15 || rec.LastLSN != 25 {
+		t.Fatalf("tail: %d records, last=%d", len(rec.Records), rec.LastLSN)
+	}
+	if rec.Report.CheckpointFallbacks != 1 || !errors.Is(rec.Report.Faults[0], ErrPartialCheckpoint) {
+		t.Fatalf("report %+v", rec.Report)
+	}
+
+	// Truncate it instead: same fallback.
+	fs = build()
+	fs.Truncate(ckptName(2, 20), ckptHeaderLen+3)
+	rec = mustRecover(t, fs, 2)
+	if rec.CheckpointLSN != 10 || rec.Report.CheckpointFallbacks != 1 {
+		t.Fatalf("truncated ckpt: lsn=%d report %+v", rec.CheckpointLSN, rec.Report)
+	}
+
+	// Corrupt both: recovery degrades to the empty state but the full
+	// journal is gone (segment 0 was pruned) — no tail, two fallbacks,
+	// still no panic.
+	fs = build()
+	fs.Corrupt(ckptName(2, 20), ckptHeaderLen+1, 0x01)
+	fs.Corrupt(ckptName(2, 10), ckptHeaderLen+1, 0x01)
+	rec = mustRecover(t, fs, 2)
+	if rec.CheckpointLSN != 0 || rec.Checkpoint != nil {
+		t.Fatalf("double fallback: lsn=%d", rec.CheckpointLSN)
+	}
+	if rec.Report.CheckpointFallbacks != 2 || !rec.Report.SegmentGap {
+		t.Fatalf("double fallback report: %+v", rec.Report)
+	}
+}
+
+// gateFS blocks every file write while the test holds the gate, so
+// the committer can be pinned mid-batch and the staging ring filled.
+type gateFS struct {
+	FS
+	gate sync.Mutex
+}
+
+type gateFile struct {
+	File
+	fs *gateFS
+}
+
+func (g *gateFS) Create(name string) (File, error) {
+	f, err := g.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, fs: g}, nil
+}
+
+func (f *gateFile) Write(p []byte) (int, error) {
+	f.fs.gate.Lock()
+	f.fs.gate.Unlock()
+	return f.File.Write(p)
+}
+
+func TestShedAndMarkGapStopsRecovery(t *testing.T) {
+	mem := NewMemFS()
+	gfs := &gateFS{FS: mem}
+	gfs.gate.Lock()
+	w := NewWriter(gfs, 0, Options{StagingCap: 4})
+
+	// First record is drained into a batch that blocks on the gate.
+	w.Append(payload(1))
+	waitDraining := func() {
+		for {
+			w.mu.Lock()
+			idle := len(w.buf) == 0 && w.inFlight
+			w.mu.Unlock()
+			if idle {
+				return
+			}
+		}
+	}
+	waitDraining()
+
+	// Fill the staging ring, then overflow it: 2..5 accepted, 6..8 shed.
+	var firstShed uint64
+	for lsn := uint64(2); lsn <= 8; lsn++ {
+		got, ok := w.Append(payload(lsn))
+		if got != lsn {
+			t.Fatalf("lsn %d, want %d", got, lsn)
+		}
+		if wantOK := lsn <= 5; ok != wantOK {
+			t.Fatalf("append %d: ok=%v", lsn, ok)
+		}
+		if !ok && firstShed == 0 {
+			firstShed = lsn
+		}
+	}
+	gfs.gate.Unlock()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// The next accepted append carries the gap marker ahead of it.
+	if _, ok := w.Append(payload(9)); !ok {
+		t.Fatal("post-gap append shed")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	m := w.Metrics()
+	if m.Shed != 3 || m.GapMarkers != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+
+	// Recovery replays 1..5 and stops at the gap: record 9 was written
+	// but is beyond the marked loss, so it must not be replayed.
+	rec := mustRecover(t, mem, 0)
+	if len(rec.Records) != 5 || rec.LastLSN != 5 {
+		t.Fatalf("%d records, last=%d", len(rec.Records), rec.LastLSN)
+	}
+	if !rec.Report.GapStop || !errors.Is(rec.Report.Faults[0], ErrShedGap) {
+		t.Fatalf("report %+v", rec.Report)
+	}
+}
+
+func TestCheckpointHealsShedGap(t *testing.T) {
+	mem := NewMemFS()
+	gfs := &gateFS{FS: mem}
+	gfs.gate.Lock()
+	w := NewWriter(gfs, 0, Options{StagingCap: 2})
+	w.Append(payload(1))
+	for {
+		w.mu.Lock()
+		idle := len(w.buf) == 0 && w.inFlight
+		w.mu.Unlock()
+		if idle {
+			break
+		}
+	}
+	w.Append(payload(2))
+	w.Append(payload(3))
+	w.Append(payload(4)) // shed
+	w.Append(payload(5)) // shed
+	gfs.gate.Unlock()
+	w.Flush()
+	// A checkpoint after the loss is a full state snapshot: it heals
+	// the gap, and records after it replay normally.
+	w.Checkpoint(5, []byte("healed@5"))
+	w.Append(payload(6))
+	w.Close()
+
+	rec := mustRecover(t, mem, 0)
+	if rec.CheckpointLSN != 5 || string(rec.Checkpoint) != "healed@5" {
+		t.Fatalf("checkpoint: lsn=%d payload=%q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], payload(6)) || rec.LastLSN != 6 {
+		t.Fatalf("tail: %d records, last=%d", len(rec.Records), rec.LastLSN)
+	}
+	if rec.Report.GapStop {
+		t.Fatalf("healed gap still stops recovery: %+v", rec.Report)
+	}
+}
+
+func TestStartAtResumesLSNs(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, 0, Options{})
+	appendN(t, w, 0, 5)
+	w.Checkpoint(5, []byte("state@5"))
+	appendN(t, w, 5, 2)
+	w.Close()
+
+	rec := mustRecover(t, fs, 0)
+	if rec.LastLSN != 7 {
+		t.Fatalf("last=%d", rec.LastLSN)
+	}
+
+	// A new writer resumes where recovery left off; its records chain
+	// onto the recovered state without colliding.
+	w2 := NewWriter(fs, 0, Options{})
+	w2.StartAt(rec.LastLSN)
+	if lsn, ok := w2.Append(payload(8)); !ok || lsn != 8 {
+		t.Fatalf("resume append: lsn=%d ok=%v", lsn, ok)
+	}
+	w2.Flush()
+	w2.Checkpoint(8, []byte("state@8"))
+	appendN(t, w2, 8, 2)
+	w2.Close()
+
+	rec2 := mustRecover(t, fs, 0)
+	if rec2.CheckpointLSN != 8 || string(rec2.Checkpoint) != "state@8" {
+		t.Fatalf("resumed checkpoint: lsn=%d", rec2.CheckpointLSN)
+	}
+	if len(rec2.Records) != 2 || rec2.LastLSN != 10 {
+		t.Fatalf("resumed tail: %d records, last=%d", len(rec2.Records), rec2.LastLSN)
+	}
+}
+
+// TestCrashSweep kills the filesystem at a sweep of byte budgets —
+// tearing segment frames, checkpoint tmp files, and renames at
+// arbitrary offsets — and requires recovery to always yield a clean
+// prefix of the appended history, never a panic, never divergence.
+func TestCrashSweep(t *testing.T) {
+	const n = 30
+	run := func(fs FS) {
+		w := NewWriter(fs, 0, Options{})
+		for i := uint64(1); i <= n; i++ {
+			w.Append(payload(i))
+			if i%10 == 0 {
+				w.Flush()
+				w.Checkpoint(i, []byte(fmt.Sprintf("state@%d", i)))
+			}
+		}
+		w.Flush()
+		w.Close()
+	}
+
+	// Reference run to size the sweep.
+	ref := NewMemFS()
+	run(ref)
+	total := 0
+	names, _ := ref.List()
+	for _, nm := range names {
+		total += ref.Size(nm)
+	}
+	// Checkpoint blobs and pruned files add bytes beyond what survives;
+	// pad the sweep to cover every write the run issues.
+	total = total * 3
+
+	for kill := 0; kill <= total; kill += 11 {
+		mem := NewMemFS()
+		cfs := NewCrashFS(mem)
+		cfs.KillAfter(int64(kill))
+		run(cfs)
+
+		rec, err := Recover(mem, 0)
+		if err != nil {
+			t.Fatalf("kill=%d: recover: %v", kill, err)
+		}
+		if rec.CheckpointLSN%10 != 0 || rec.CheckpointLSN > n {
+			t.Fatalf("kill=%d: checkpoint lsn %d", kill, rec.CheckpointLSN)
+		}
+		if rec.CheckpointLSN > 0 {
+			want := fmt.Sprintf("state@%d", rec.CheckpointLSN)
+			if string(rec.Checkpoint) != want {
+				t.Fatalf("kill=%d: checkpoint payload %q, want %q", kill, rec.Checkpoint, want)
+			}
+		}
+		if rec.LastLSN > n {
+			t.Fatalf("kill=%d: last=%d beyond history", kill, rec.LastLSN)
+		}
+		for i, r := range rec.Records {
+			want := payload(rec.CheckpointLSN + uint64(i) + 1)
+			if !bytes.Equal(r, want) {
+				t.Fatalf("kill=%d: record %d = %q, want %q", kill, i, r, want)
+			}
+		}
+	}
+}
+
+func TestShardsListsJournalledShards(t *testing.T) {
+	fs := NewMemFS()
+	for _, sh := range []int{0, 2, 5} {
+		w := NewWriter(fs, sh, Options{})
+		w.Append(payload(1))
+		w.Close()
+	}
+	got, err := Shards(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("shards: %v", got)
+	}
+}
+
+// TestDirFSRoundTrip runs the writer → checkpoint → recover cycle on
+// the production os-backed FS: create/rename/remove/list semantics on
+// a real directory, fsync included.
+func TestDirFSRoundTrip(t *testing.T) {
+	fs, err := NewDirFS(t.TempDir() + "/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(fs, 2, Options{})
+	appendN(t, w, 0, 12)
+	if !w.Checkpoint(12, []byte("disk-ckpt")) {
+		t.Fatal("checkpoint refused")
+	}
+	appendN(t, w, 12, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := mustRecover(t, fs, 2)
+	if rec.CheckpointLSN != 12 || string(rec.Checkpoint) != "disk-ckpt" {
+		t.Fatalf("checkpoint lsn=%d payload=%q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 5 || rec.LastLSN != 17 {
+		t.Fatalf("tail: %d records, last LSN %d", len(rec.Records), rec.LastLSN)
+	}
+	for i, r := range rec.Records {
+		if string(r) != string(payload(uint64(13+i))) {
+			t.Fatalf("record %d diverges: %q", i, r)
+		}
+	}
+	shards, err := Shards(fs)
+	if err != nil || len(shards) != 1 || shards[0] != 2 {
+		t.Fatalf("Shards = %v, %v", shards, err)
+	}
+}

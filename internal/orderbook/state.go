@@ -1,0 +1,66 @@
+package orderbook
+
+// Full-state dump/restore: the checkpoint path of the crash-safe
+// journal (DESIGN-dispatch.md §12). Snapshot carries only what tests
+// compare (IDs and quantities); a checkpoint must carry everything a
+// live book needs — owners, entry times for TTL, prices per order —
+// in an order that reproduces price-time priority exactly.
+
+import "fmt"
+
+// OrderState is one resting order's complete externalized state.
+type OrderState struct {
+	ID      int64
+	Side    Side
+	Price   int64
+	Qty     int64
+	Entered int64
+	Owner   Owner
+}
+
+// Dump externalizes every resting order in deterministic priority
+// order: bid levels best-first, then ask levels best-first, FIFO
+// within each level. Feeding the result to Restore in the same order
+// reproduces the book exactly — including time priority and TTL ages.
+func (b *Book) Dump() []OrderState {
+	out := make([]OrderState, 0, b.bids.count+b.asks.count)
+	for _, side := range [2]Side{Bid, Ask} {
+		for _, lv := range b.ladderFor(side).levels {
+			for o := lv.head; o != nil; o = o.next {
+				out = append(out, OrderState{
+					ID: o.ID, Side: o.Side, Price: o.Price, Qty: o.Qty,
+					Entered: o.Entered, Owner: o.Owner,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Restore rebuilds the book from a Dump. The book must be empty;
+// orders enter in slice order, so a priority-ordered dump restores
+// priority exactly. Invalid input — non-positive price or quantity,
+// duplicate IDs, or a state that fails Validate (e.g. a crossed book
+// from a corrupted checkpoint) — returns an error; the caller should
+// discard the book and fall back.
+func (b *Book) Restore(orders []OrderState) error {
+	if len(b.byID) != 0 {
+		return fmt.Errorf("orderbook: restore into non-empty book (%d resting)", len(b.byID))
+	}
+	for i, os := range orders {
+		if os.Price <= 0 || os.Qty <= 0 {
+			return fmt.Errorf("orderbook: restore order %d (id %d): price=%d qty=%d", i, os.ID, os.Price, os.Qty)
+		}
+		if os.Side != Bid && os.Side != Ask {
+			return fmt.Errorf("orderbook: restore order %d (id %d): bad side %d", i, os.ID, os.Side)
+		}
+		if b.byID[os.ID] != nil {
+			return fmt.Errorf("orderbook: restore order %d: duplicate id %d", i, os.ID)
+		}
+		b.rest(os.ID, os.Side, os.Price, os.Qty, os.Owner, os.Entered)
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("orderbook: restored state invalid: %w", err)
+	}
+	return nil
+}

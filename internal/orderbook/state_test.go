@@ -1,0 +1,107 @@
+package orderbook
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildRandomBook drives a seeded op mix into a fresh book and
+// returns it.
+func buildRandomBook(t *testing.T, seed int64, ops int) *Book {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := New()
+	id := int64(1)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			side := Side(rng.Intn(2))
+			price := int64(90 + rng.Intn(21))
+			qty := int64(1 + rng.Intn(50))
+			ow := Owner{Name: "t", Stamp: int64(i)}
+			b.Limit(id, side, price, qty, ow, int64(i), nil)
+			id++
+		case 6:
+			b.Market(Side(rng.Intn(2)), int64(1+rng.Intn(30)), nil)
+		case 7:
+			b.Cancel(int64(rng.Int63n(id)))
+		case 8:
+			b.Amend(int64(rng.Int63n(id)), int64(90+rng.Intn(21)), int64(1+rng.Intn(50)), int64(i), nil)
+		case 9:
+			b.Expire(int64(i-20), nil)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("seed %d: built book invalid: %v", seed, err)
+	}
+	return b
+}
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		src := buildRandomBook(t, seed, 400)
+		dump := src.Dump()
+
+		dst := New()
+		if err := dst.Restore(dump); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		if !reflect.DeepEqual(dst.Snapshot(), src.Snapshot()) {
+			t.Fatalf("seed %d: snapshots diverge after restore", seed)
+		}
+		if !reflect.DeepEqual(dst.Dump(), dump) {
+			t.Fatalf("seed %d: dump not idempotent through restore", seed)
+		}
+
+		// Time priority and TTL state must survive: the same follow-up
+		// ops produce identical fills and end states on both books.
+		type fillRec struct{ ID, Price, Qty int64 }
+		var fa, fb []fillRec
+		rec := func(out *[]fillRec) FillFunc {
+			return func(m *Order, p, q int64) { *out = append(*out, fillRec{m.ID, p, q}) }
+		}
+		for i, bk := range []*Book{src, dst} {
+			out := []*[]fillRec{&fa, &fb}[i]
+			bk.Expire(380, nil)
+			bk.Market(Bid, 75, rec(out))
+			bk.Limit(1_000_001, Ask, 95, 40, Owner{Name: "x"}, 500, rec(out))
+			bk.Limit(1_000_002, Bid, 101, 60, Owner{Name: "y"}, 501, rec(out))
+		}
+		if !reflect.DeepEqual(fa, fb) {
+			t.Fatalf("seed %d: post-restore fills diverge:\n%v\n%v", seed, fa, fb)
+		}
+		if !reflect.DeepEqual(src.Snapshot(), dst.Snapshot()) {
+			t.Fatalf("seed %d: post-restore books diverge", seed)
+		}
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	good := OrderState{ID: 1, Side: Bid, Price: 100, Qty: 5}
+	cases := []struct {
+		name   string
+		orders []OrderState
+	}{
+		{"zero qty", []OrderState{{ID: 1, Side: Bid, Price: 100, Qty: 0}}},
+		{"zero price", []OrderState{{ID: 1, Side: Bid, Price: 0, Qty: 5}}},
+		{"bad side", []OrderState{{ID: 1, Side: 7, Price: 100, Qty: 5}}},
+		{"dup id", []OrderState{good, {ID: 1, Side: Ask, Price: 110, Qty: 5}}},
+		{"crossed", []OrderState{
+			{ID: 1, Side: Bid, Price: 110, Qty: 5},
+			{ID: 2, Side: Ask, Price: 100, Qty: 5},
+		}},
+	}
+	for _, tc := range cases {
+		if err := New().Restore(tc.orders); err == nil {
+			t.Errorf("%s: restore accepted invalid state", tc.name)
+		}
+	}
+	b := New()
+	if err := b.Restore([]OrderState{good}); err != nil {
+		t.Fatalf("valid restore failed: %v", err)
+	}
+	if err := b.Restore([]OrderState{{ID: 2, Side: Ask, Price: 110, Qty: 5}}); err == nil {
+		t.Error("restore into non-empty book accepted")
+	}
+}

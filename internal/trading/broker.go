@@ -10,6 +10,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/events"
 	"repro/internal/freeze"
+	"repro/internal/journal"
 	"repro/internal/mdfeed"
 	"repro/internal/orderbook"
 	"repro/internal/priv"
@@ -90,6 +91,16 @@ type Broker struct {
 	// identity-read label churn.
 	mu sync.Mutex
 	bk *brokerBook // the live instance's state (nil until first order)
+
+	// jw is the shard's order journal (nil = journaling off): every
+	// accepted order and audit consumption appends one record under
+	// b.mu, post-routing and pre-match, so the journal is exactly the
+	// deterministic input stream of this shard's matching state.
+	// jsince counts records since the last checkpoint; jlast is the
+	// LSN of the most recent append (accepted or shed).
+	jw     *journal.Writer
+	jsince int
+	jlast  uint64
 
 	trades     counter
 	partials   counter
@@ -431,17 +442,20 @@ func (b *Broker) CheckConservation() error {
 	return nil
 }
 
-// handle processes one delivery in the book instance.
+// handle processes one delivery in the book instance. b.bk is the
+// authoritative state reference — Recover installs a rebuilt book
+// there before traffic resumes — and the managed instance's state map
+// mirrors it, keeping the contamination story intact (the books live
+// in the pinned instance at {b}).
 func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	st := u.State()
-	bk, _ := st["book"].(*brokerBook)
+	bk := b.bk
 	if bk == nil {
 		bk = newBrokerBook()
-		st["book"] = bk
 		b.bk = bk
 	}
+	u.State()["book"] = bk
 	if _, err := u.ReadPart(e, "audit_req"); err == nil {
 		b.handleAudit(u, e, bk)
 		return
@@ -555,6 +569,28 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 	}
 
 	now := time.Now().UnixNano()
+	if b.jw != nil {
+		// Journal the accepted order — post-routing, pre-match, with
+		// the identity/tag metadata and the wall clock the matching
+		// below will use (journalling now is what keeps TTL expiry
+		// deterministic under replay). A full staging ring sheds the
+		// record and the writer marks the loss in the journal.
+		b.jlast, _ = b.jw.Append(encodeOrderRec(&o, now))
+		b.jsince++
+	}
+	b.applyOrder(u, bk, &o, now)
+	b.maybeCheckpoint(bk)
+}
+
+// applyOrder runs the matching engine for one validated order — the
+// deterministic core shared by live processing (u is the instance
+// unit) and journal replay (u == nil). Under replay every privilege
+// operation and event publish is skipped — recovered owners' tags
+// hold no delegation privileges in the new system; crash recovery is
+// deliberately fail-safe about delegation authority — but the books,
+// ledgers, trade logs and auth refcounts evolve bit-identically to
+// the pre-crash run, and fills still reach the OnFill hook.
+func (b *Broker) applyOrder(u *core.Unit, bk *brokerBook, o *takerOrder, now int64) {
 	sb := b.sym(bk, o.symbol)
 	book := sb.book
 	// TTL expiry folds into order processing: stale heads are popped
@@ -643,7 +679,7 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 		o.rem = o.qty
 		filled, ok := book.MarketSTP(o.side, o.qty, o.trader, stp, stpCancel,
 			func(maker *orderbook.Order, price, qty int64) {
-				b.publishFill(u, bk, sb, maker, &o, price, qty)
+				b.publishFill(u, bk, sb, maker, o, price, qty)
 			})
 		if ok {
 			sb.ledger.submitted += o.qty
@@ -660,7 +696,7 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 		ow := orderbook.Owner{Name: o.trader, Tag: o.tr, Strat: o.strat, Stamp: o.stamp}
 		filled, rested, ok := book.LimitSTP(o.id, o.side, o.price, o.qty, ow, now, stp, stpCancel,
 			func(maker *orderbook.Order, price, qty int64) {
-				b.publishFill(u, bk, sb, maker, &o, price, qty)
+				b.publishFill(u, bk, sb, maker, o, price, qty)
 			})
 		if ok {
 			sb.ledger.submitted += o.qty
@@ -672,7 +708,7 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 			b.releaseAuth(u, bk, o.tr)
 		}
 	}
-	if hook := b.p.cfg.OnBookDepth; hook != nil {
+	if hook := b.p.cfg.OnBookDepth; hook != nil && u != nil {
 		hook(book.RestingOrders())
 	}
 	if sb.feed != nil {
@@ -718,6 +754,22 @@ func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, sb *symBook, maker *o
 	// The maker's live reference ends with its last fill.
 	if maker.Qty == 0 {
 		b.releaseAuth(u, bk, maker.Owner.Tag)
+	}
+
+	if u == nil {
+		// Journal replay: no unit, no trade event, no latency sample —
+		// but the fill stream still reaches OnFill in publication
+		// order, which is how the recovery-equivalence tests observe
+		// the replayed tail.
+		if hook := b.p.cfg.OnFill; hook != nil {
+			hook(Fill{
+				TradeID: rec.id, Symbol: rec.symbol,
+				Price: price, Qty: qty,
+				BuyOrder: buyOrder, SellOrder: sellOrder,
+			})
+		}
+		b.trades.inc()
+		return
 	}
 
 	e := u.CreateEvent()
@@ -812,13 +864,71 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *brokerBook) {
 			return
 		}
 	}
+	if b.jw != nil {
+		// Audit consumption mutates the trade log and auth refcounts,
+		// so it journals like an order: replay must consume the same
+		// trades to reproduce the log and refcount state.
+		b.jlast, _ = b.jw.Append(encodeAuditRec(rec.symbol, rec.id))
+		b.jsince++
+	}
+	b.consumeAudit(u, bk, sb, rec)
+	b.maybeCheckpoint(bk)
+	// The managed runtime re-dispatches the modified event on return.
+}
+
+// consumeAudit retires an audited trade from the log and releases the
+// audit-window references — the deterministic state mutation shared by
+// live delegation and journal replay (u == nil).
+func (b *Broker) consumeAudit(u *core.Unit, bk *brokerBook, sb *symBook, rec *tradeRecord) {
 	b.delegates.inc()
 	// Delegation done: the audit authority for this trade is spent.
 	trBuyer, trSeller, id := rec.trBuyer, rec.trSeller, rec.id
 	sb.log.consume(id)
 	b.releaseAuth(u, bk, trBuyer)
 	b.releaseAuth(u, bk, trSeller)
-	// The managed runtime re-dispatches the modified event on return.
+}
+
+// maybeCheckpoint snapshots the shard's full state into the journal
+// once enough records have accumulated since the last checkpoint.
+// Called with b.mu held, right after the state mutation the latest
+// record describes — so the checkpoint LSN is exactly the last
+// assigned LSN and the rotated segment holds only later records.
+func (b *Broker) maybeCheckpoint(bk *brokerBook) {
+	every := b.p.cfg.JournalCheckpointEvery
+	if b.jw == nil || every <= 0 || b.jsince < every {
+		return
+	}
+	b.jsince = 0
+	b.jw.Checkpoint(b.jlast, encodeCheckpoint(b, bk))
+}
+
+// ForceCheckpoint snapshots the shard's state into the journal now,
+// regardless of the checkpoint cadence; no-op with journaling off or
+// before the first order. The chaos suite and the CI smoke use it to
+// pin checkpoint+tail recovery at chosen points.
+func (b *Broker) ForceCheckpoint() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.jw == nil || b.bk == nil {
+		return
+	}
+	b.jsince = 0
+	b.jw.Checkpoint(b.jw.LastLSN(), encodeCheckpoint(b, b.bk))
+}
+
+// AuthRefs copies the shard's delegation-authority refcounts — the
+// recovery-equivalence tests compare them across crash boundaries.
+func (b *Broker) AuthRefs() map[tags.Tag]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[tags.Tag]int)
+	if b.bk == nil {
+		return out
+	}
+	for t, n := range b.bk.auths {
+		out[t] = n
+	}
+	return out
 }
 
 // releaseAuth drops one reference to a tag's delegation authority and
@@ -835,9 +945,12 @@ func (b *Broker) releaseAuth(u *core.Unit, bk *brokerBook, t tags.Tag) {
 	b.dropAuthPair(u, t)
 }
 
-// dropAuthPair renounces a tag's tr±auth outright.
+// dropAuthPair renounces a tag's tr±auth outright. With u == nil
+// (journal replay) there is no privilege to renounce: recovered tags
+// never re-acquire tr±auth in the new system, so the rebuilt instance
+// holds no delegation authority it could leak.
 func (b *Broker) dropAuthPair(u *core.Unit, t tags.Tag) {
-	if t.IsZero() {
+	if u == nil || t.IsZero() {
 		return
 	}
 	u.DropPrivilege(t, priv.PlusAuth)

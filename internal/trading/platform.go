@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isolation"
+	"repro/internal/journal"
 	"repro/internal/labels"
 	"repro/internal/mdfeed"
 	"repro/internal/orderbook"
@@ -118,6 +119,28 @@ type Config struct {
 	MDFanoutRing      int
 	MDBatchMax        int
 	MDSubscriberQueue int
+	// JournalDir enables crash-safe event sourcing: each broker shard
+	// appends its accepted orders to a per-shard CRC-framed journal in
+	// this directory, with periodic full-state checkpoints. Recover
+	// rebuilds the pool from the directory after a crash
+	// (DESIGN-dispatch.md §12). Empty = journaling off.
+	JournalDir string
+	// JournalFS overrides JournalDir with an injectable filesystem —
+	// the fault-injection suites run on journal.MemFS and
+	// journal.CrashFS.
+	JournalFS journal.FS
+	// JournalNoSync skips fsync on group commit (CI and benchmarks:
+	// crash-consistent format without the sync latency).
+	JournalNoSync bool
+	// JournalCheckpointEvery checkpoints a shard after this many
+	// journal records (default 4096; negative = only explicit
+	// ForceCheckpoint calls).
+	JournalCheckpointEvery int
+	// JournalStagingCap bounds the per-shard staging ring between the
+	// matching thread and the group-commit goroutine (default 1024);
+	// overflow sheds records and marks the loss in the journal rather
+	// than ever blocking matching.
+	JournalStagingCap int
 }
 
 // Fill describes one completed fill (one published trade event).
@@ -162,6 +185,14 @@ type Platform struct {
 	tagB     tags.Tag // dark-pool broker tag b
 	tagS     tags.Tag // exchange integrity tag s
 	tagMD    tags.Tag // market-data entitlement tag md
+
+	// jfs is the resolved journal filesystem (nil = journaling off);
+	// closeOnce makes Close idempotent and concurrency-safe; closed
+	// lets Quiesce return immediately once shutdown has begun (the
+	// queues will never drain further).
+	jfs       journal.FS
+	closeOnce sync.Once
+	closed    atomic.Bool
 
 	// symNS assigns each symbol a stable namespace for per-symbol
 	// trade IDs (symBook): universe symbols get their universe index,
@@ -223,6 +254,13 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.Universe == nil {
 		cfg.Universe = workload.UniverseForTraders(cfg.NumTraders)
 	}
+	if cfg.JournalCheckpointEvery == 0 {
+		cfg.JournalCheckpointEvery = 4096
+	}
+	jfs, err := resolveJournalFS(&cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	sys := core.NewSystem(core.Config{
 		Mode:     cfg.Mode,
@@ -276,12 +314,26 @@ func New(cfg Config) (*Platform, error) {
 	p.Broker = newBrokerPool(p, cfg.BrokerShards, func() []priv.Grant {
 		return grantsOf(p.tagB, priv.Plus, priv.Minus)
 	})
+	if jfs != nil {
+		// One journal writer per shard: appends happen on the shard's
+		// matching path under b.mu, group commit runs on the writer's
+		// own goroutine, so matching never blocks on IO.
+		p.jfs = jfs
+		for _, b := range p.Broker.shards {
+			b.jw = journal.NewWriter(jfs, b.shard, journal.Options{
+				NoSync:     cfg.JournalNoSync,
+				StagingCap: cfg.JournalStagingCap,
+			})
+		}
+	}
 	if err := p.Broker.wire(); err != nil {
 		sys.Close()
+		p.closeJournals()
 		return nil, fmt.Errorf("trading: broker wiring: %w", err)
 	}
 	if err := p.Regulator.wire(); err != nil {
 		sys.Close()
+		p.closeJournals()
 		return nil, fmt.Errorf("trading: regulator wiring: %w", err)
 	}
 
@@ -301,6 +353,7 @@ func New(cfg Config) (*Platform, error) {
 		tr, err := newTrader(p, i, p.universe.Pairs[pairIx], side)
 		if err != nil {
 			sys.Close()
+			p.closeJournals()
 			return nil, fmt.Errorf("trading: trader %d: %w", i, err)
 		}
 		p.Traders[i] = tr
@@ -406,6 +459,12 @@ func (p *Platform) replayOrders(ops []workload.OrderOp, batched bool) {
 func (p *Platform) Quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
+		if p.closed.Load() {
+			// Shutdown already began: the dispatchers are gone and
+			// nothing else will drain. Report quiescent rather than
+			// spinning until the deadline.
+			return true
+		}
 		if p.Sys.TotalQueueLen() == 0 {
 			// Double-check after a beat: a handler may be mid-publish.
 			time.Sleep(2 * time.Millisecond)
@@ -443,12 +502,92 @@ func (p *Platform) Stats() Stats {
 }
 
 // Close shuts the platform down: dispatch first (stops all ingest
-// into the feeds), then the market-data fanout.
+// into the feeds and the journals), then the market-data fanout, then
+// the journal writers (their final group commit flushes everything
+// the shards appended). Idempotent and safe to call concurrently —
+// including concurrently with in-flight publishes, which core.System
+// drains before its close returns.
 func (p *Platform) Close() {
-	p.Sys.Close()
-	if p.MD != nil {
-		p.MD.Close()
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		p.Sys.Close()
+		if p.MD != nil {
+			p.MD.Close()
+		}
+		p.closeJournals()
+	})
+}
+
+// closeJournals stops every shard's journal writer, flushing staged
+// records. Writer.Close is itself idempotent.
+func (p *Platform) closeJournals() error {
+	var first error
+	for _, b := range p.Broker.shards {
+		if b.jw == nil {
+			continue
+		}
+		if err := b.jw.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
+}
+
+// SyncJournal blocks until every record staged so far is committed
+// (and synced, unless JournalNoSync); it returns the first shard's
+// sticky commit error, if any. Tests and operators call it to pin a
+// durability point without closing the platform.
+func (p *Platform) SyncJournal() error {
+	var first error
+	for _, b := range p.Broker.shards {
+		if b.jw == nil {
+			continue
+		}
+		if err := b.jw.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CheckpointJournal forces a full-state checkpoint on every shard
+// (see Broker.ForceCheckpoint) and waits for it to commit.
+func (p *Platform) CheckpointJournal() error {
+	for _, b := range p.Broker.shards {
+		b.ForceCheckpoint()
+	}
+	return p.SyncJournal()
+}
+
+// JournalMetrics snapshots each shard's journal writer counters, in
+// shard order; nil when journaling is off.
+func (p *Platform) JournalMetrics() []journal.Metrics {
+	if p.jfs == nil {
+		return nil
+	}
+	out := make([]journal.Metrics, len(p.Broker.shards))
+	for i, b := range p.Broker.shards {
+		if b.jw != nil {
+			out[i] = b.jw.Metrics()
+		}
+	}
+	return out
+}
+
+// resolveJournalFS picks the journal filesystem from a config:
+// JournalFS wins, else JournalDir opens a DirFS, else nil (off).
+func resolveJournalFS(cfg *Config) (journal.FS, error) {
+	if cfg.JournalFS != nil {
+		return cfg.JournalFS, nil
+	}
+	if cfg.JournalDir == "" {
+		return nil, nil
+	}
+	fs, err := journal.NewDirFS(cfg.JournalDir)
+	if err != nil {
+		return nil, fmt.Errorf("trading: journal dir: %w", err)
+	}
+	return fs, nil
 }
 
 // label helpers shared by the units.
@@ -460,6 +599,7 @@ var noTags = labels.EmptySet
 // counter is a tiny atomic counter embedded in units.
 type counter struct{ v atomic.Uint64 }
 
-func (c *counter) inc() uint64  { return c.v.Add(1) }
-func (c *counter) add(n uint64) { c.v.Add(n) }
-func (c *counter) load() uint64 { return c.v.Load() }
+func (c *counter) inc() uint64    { return c.v.Add(1) }
+func (c *counter) add(n uint64)   { c.v.Add(n) }
+func (c *counter) load() uint64   { return c.v.Load() }
+func (c *counter) store(n uint64) { c.v.Store(n) }

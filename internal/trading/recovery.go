@@ -1,0 +1,591 @@
+package trading
+
+// Event-sourced crash recovery (DESIGN-dispatch.md §12). The trading
+// layer owns what the journal stores: order records are the decoded,
+// validated takerOrder (post-routing, pre-match) plus the wall clock
+// the matching used — together the exact deterministic input of a
+// shard's matching state — and checkpoints are the full serialized
+// brokerBook (books via orderbook.Dump, trade-log rings, conservation
+// ledgers, auth refcounts, observability counters). Recover rebuilds
+// a fresh Platform from the newest valid checkpoint plus a replay of
+// the journal tail through the same applyOrder/consumeAudit code the
+// live path runs, which is what makes recovery-equals-replay a
+// checkable invariant rather than a hope.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/journal"
+	"repro/internal/orderbook"
+	"repro/internal/tags"
+)
+
+// Typed recovery errors, layered above the journal's fault classes.
+var (
+	// ErrNoJournal: Recover called without JournalDir/JournalFS.
+	ErrNoJournal = errors.New("trading: recovery needs JournalDir or JournalFS")
+	// ErrShardMismatch: the journal was written by a pool with more
+	// shards than the recovering config — symbol routing would misfile
+	// every book, so recovery refuses.
+	ErrShardMismatch = errors.New("trading: journal shard count exceeds BrokerShards")
+	// ErrCheckpointDecode: a checkpoint passed its CRC but does not
+	// decode — version skew, not disk damage; refusing beats silently
+	// discarding state.
+	ErrCheckpointDecode = errors.New("trading: checkpoint decode failed")
+	// ErrRecordDecode: a journal record passed its CRC but does not
+	// decode; replaying past it would diverge, so recovery refuses.
+	ErrRecordDecode = errors.New("trading: journal record decode failed")
+)
+
+// ShardRecovery is one shard's recovery outcome.
+type ShardRecovery struct {
+	Shard         int
+	CheckpointLSN uint64
+	LastLSN       uint64
+	journal.Report
+}
+
+// RecoveryReport aggregates what Recover found and fixed.
+type RecoveryReport struct {
+	Shards []ShardRecovery
+}
+
+// RecoveredRecords totals the journal records replayed across shards.
+func (r *RecoveryReport) RecoveredRecords() uint64 {
+	var n uint64
+	for i := range r.Shards {
+		n += r.Shards[i].Report.RecoveredRecords
+	}
+	return n
+}
+
+// TornTails totals torn-frame truncations across shards.
+func (r *RecoveryReport) TornTails() int {
+	n := 0
+	for i := range r.Shards {
+		n += r.Shards[i].Report.TornTail
+	}
+	return n
+}
+
+// CheckpointFallbacks totals invalid checkpoints skipped across shards.
+func (r *RecoveryReport) CheckpointFallbacks() int {
+	n := 0
+	for i := range r.Shards {
+		n += r.Shards[i].Report.CheckpointFallbacks
+	}
+	return n
+}
+
+// Faults flattens every shard's typed fault list.
+func (r *RecoveryReport) Faults() []error {
+	var out []error
+	for i := range r.Shards {
+		out = append(out, r.Shards[i].Report.Faults...)
+	}
+	return out
+}
+
+// Recover rebuilds a platform from its journal directory: it
+// assembles a fresh Platform from cfg (which must carry the same
+// Mode, Seed, shard count and matching knobs as the crashed run, and
+// name the journal via JournalDir or JournalFS), loads every shard's
+// newest valid checkpoint, replays the journal tail through the live
+// matching code, and resumes journaling at the recovered LSN. The
+// rebuilt pool reproduces the pre-crash books, per-symbol trade logs,
+// conservation ledgers and auth refcounts bit-identically up to the
+// journal's consistent prefix; replayed fills are delivered to
+// cfg.OnFill in publication order. Damage found in the journal is
+// repaired (truncated tails, checkpoint fallbacks) and itemized in
+// the report, never panicked on.
+func Recover(cfg Config) (*Platform, *RecoveryReport, error) {
+	fs, err := resolveJournalFS(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fs == nil {
+		return nil, nil, ErrNoJournal
+	}
+	cfg.JournalFS, cfg.JournalDir = fs, ""
+
+	if cfg.BrokerShards == 0 {
+		cfg.BrokerShards = defaultBrokerShards()
+	}
+	shards, err := journal.Shards(fs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trading: recover: %w", err)
+	}
+	for _, sh := range shards {
+		if sh >= cfg.BrokerShards {
+			return nil, nil, fmt.Errorf("%w: journal has shard %d, pool has %d shards",
+				ErrShardMismatch, sh, cfg.BrokerShards)
+		}
+	}
+
+	p, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &RecoveryReport{}
+	for _, b := range p.Broker.shards {
+		sr, err := b.recover(fs)
+		if err != nil {
+			p.Close()
+			return nil, nil, fmt.Errorf("trading: recover shard %d: %w", b.shard, err)
+		}
+		report.Shards = append(report.Shards, sr)
+	}
+	return p, report, nil
+}
+
+// recover rebuilds one shard's state from fs and resumes its writer.
+// Called before any traffic reaches the fresh platform.
+func (b *Broker) recover(fs journal.FS) (ShardRecovery, error) {
+	rst, err := journal.Recover(fs, b.shard)
+	if err != nil {
+		return ShardRecovery{}, err
+	}
+	sr := ShardRecovery{
+		Shard:         b.shard,
+		CheckpointLSN: rst.CheckpointLSN,
+		LastLSN:       rst.LastLSN,
+		Report:        rst.Report,
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := newBrokerBook()
+	if rst.Checkpoint != nil {
+		bk, err = b.decodeCheckpoint(rst.Checkpoint)
+		if err != nil {
+			return ShardRecovery{}, fmt.Errorf("%w: %v", ErrCheckpointDecode, err)
+		}
+	}
+	for i, rec := range rst.Records {
+		if err := b.replayRecord(bk, rec); err != nil {
+			return ShardRecovery{}, fmt.Errorf("%w: record %d (LSN %d): %v",
+				ErrRecordDecode, i, rst.CheckpointLSN+uint64(i)+1, err)
+		}
+	}
+	if rst.Checkpoint != nil || len(rst.Records) > 0 {
+		b.bk = bk
+	}
+	if b.jw != nil {
+		b.jw.StartAt(rst.LastLSN)
+		b.jlast = rst.LastLSN
+	}
+	return sr, nil
+}
+
+// replayRecord applies one journal record to the rebuilding state
+// through the same code the live path runs, with no unit: privilege
+// choreography and event publication are skipped, state mutation is
+// bit-identical.
+func (b *Broker) replayRecord(bk *brokerBook, rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	switch rec[0] {
+	case recOrder:
+		o, now, err := decodeOrderRec(rec)
+		if err != nil {
+			return err
+		}
+		b.applyOrder(nil, bk, &o, now)
+	case recAudit:
+		symbol, id, err := decodeAuditRec(rec)
+		if err != nil {
+			return err
+		}
+		if sb := bk.syms[symbol]; sb != nil {
+			if r := sb.log.get(id); r != nil {
+				b.consumeAudit(nil, bk, sb, r)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown record kind %d", rec[0])
+	}
+	return nil
+}
+
+// record and checkpoint codecs — fixed-width little-endian, no
+// reflection, and decoders that fail with errors instead of panics on
+// any malformed input (the fuzz target feeds them damage the CRC
+// framing happened to miss).
+
+const (
+	recOrder = 1
+	recAudit = 2
+
+	ckptVersion = 1
+)
+
+// ordtype wire codes.
+var ordtypeCode = map[string]byte{"limit": 0, "market": 1, "cancel": 2, "amend": 3}
+var ordtypeName = [4]string{"limit", "market", "cancel", "amend"}
+
+// enc is an append-only byte encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) i64(v int64) {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(v))
+	e.b = append(e.b, w[:]...)
+}
+func (e *enc) u64(v uint64) { e.i64(int64(v)) }
+func (e *enc) str(s string) {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], uint32(len(s)))
+	e.b = append(e.b, w[:]...)
+	e.b = append(e.b, s...)
+}
+func (e *enc) tag(t tags.Tag) {
+	id := t.ID()
+	e.b = append(e.b, id[:]...)
+}
+
+// dec is a bounds-checked byte decoder: the first out-of-range read
+// latches err and every later read returns zero values.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated at offset %d of %d", d.off, len(d.b))
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) u64() uint64 { return uint64(d.i64()) }
+
+func (d *dec) str() string {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint32(d.b[d.off:]))
+	d.off += 4
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) tag() tags.Tag {
+	var id tags.ID
+	if d.err != nil || d.off+len(id) > len(d.b) {
+		d.fail()
+		return tags.Tag{}
+	}
+	copy(id[:], d.b[d.off:])
+	d.off += len(id)
+	return tags.FromID(id)
+}
+
+// encodeOrderRec serializes one accepted order plus the matching wall
+// clock.
+func encodeOrderRec(o *takerOrder, now int64) []byte {
+	e := enc{b: make([]byte, 0, 96+len(o.symbol)+len(o.trader))}
+	e.u8(recOrder)
+	e.u8(ordtypeCode[o.ordtype])
+	e.u8(byte(o.side))
+	e.i64(now)
+	e.i64(o.id)
+	e.i64(o.price)
+	e.i64(o.qty)
+	e.i64(o.target)
+	e.i64(o.stamp)
+	e.tag(o.tr)
+	e.tag(o.strat)
+	e.str(o.symbol)
+	e.str(o.trader)
+	return e.b
+}
+
+func decodeOrderRec(b []byte) (takerOrder, int64, error) {
+	d := dec{b: b}
+	if d.u8() != recOrder {
+		return takerOrder{}, 0, fmt.Errorf("not an order record")
+	}
+	ot := d.u8()
+	var o takerOrder
+	o.side = orderbook.Side(int8(d.u8()))
+	now := d.i64()
+	o.id = d.i64()
+	o.price = d.i64()
+	o.qty = d.i64()
+	o.target = d.i64()
+	o.stamp = d.i64()
+	o.tr = d.tag()
+	o.strat = d.tag()
+	o.symbol = d.str()
+	o.trader = d.str()
+	if d.err != nil {
+		return takerOrder{}, 0, d.err
+	}
+	if int(ot) >= len(ordtypeName) {
+		return takerOrder{}, 0, fmt.Errorf("bad ordtype code %d", ot)
+	}
+	o.ordtype = ordtypeName[ot]
+	if d.off != len(b) {
+		return takerOrder{}, 0, fmt.Errorf("%d trailing bytes", len(b)-d.off)
+	}
+	return o, now, nil
+}
+
+// encodeAuditRec serializes one audit consumption.
+func encodeAuditRec(symbol string, tradeID int64) []byte {
+	e := enc{b: make([]byte, 0, 16+len(symbol))}
+	e.u8(recAudit)
+	e.i64(tradeID)
+	e.str(symbol)
+	return e.b
+}
+
+func decodeAuditRec(b []byte) (string, int64, error) {
+	d := dec{b: b}
+	if d.u8() != recAudit {
+		return "", 0, fmt.Errorf("not an audit record")
+	}
+	id := d.i64()
+	symbol := d.str()
+	if d.err != nil {
+		return "", 0, d.err
+	}
+	if d.off != len(b) {
+		return "", 0, fmt.Errorf("%d trailing bytes", len(b)-d.off)
+	}
+	return symbol, id, nil
+}
+
+// encodeCheckpoint serializes a shard's complete matching state.
+// Symbols and auth tags are emitted in sorted order so identical
+// states encode to identical bytes. Called with b.mu held.
+func encodeCheckpoint(b *Broker, bk *brokerBook) []byte {
+	e := enc{b: make([]byte, 0, 4096)}
+	e.u8(ckptVersion)
+	for _, c := range []*counter{
+		&b.trades, &b.partials, &b.cancels, &b.amends,
+		&b.stpCancels, &b.expired, &b.delegates, &b.misroutes,
+	} {
+		e.u64(c.load())
+	}
+
+	syms := make([]string, 0, len(bk.syms))
+	for s := range bk.syms {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	e.i64(int64(len(syms)))
+	for _, s := range syms {
+		sb := bk.syms[s]
+		e.str(s)
+		e.i64(sb.ns)
+		e.i64(sb.seq)
+		e.i64(sb.ledger.submitted)
+		e.i64(sb.ledger.filled)
+		e.i64(sb.ledger.canceled)
+		e.i64(sb.ledger.expired)
+		e.i64(sb.ledger.discarded)
+
+		dump := sb.book.Dump()
+		e.i64(int64(len(dump)))
+		for i := range dump {
+			o := &dump[i]
+			e.i64(o.ID)
+			e.u8(byte(o.Side))
+			e.i64(o.Price)
+			e.i64(o.Qty)
+			e.i64(o.Entered)
+			e.str(o.Owner.Name)
+			e.tag(o.Owner.Tag)
+			e.tag(o.Owner.Strat)
+			e.i64(o.Owner.Stamp)
+		}
+
+		// The trade-log ring is stored slot-for-slot (empty and
+		// consumed slots included) so the restored ring is the same
+		// ring, not a compaction of it.
+		e.i64(int64(len(sb.log.recs)))
+		for i := range sb.log.recs {
+			r := &sb.log.recs[i]
+			e.i64(r.id)
+			e.str(r.buyer)
+			e.str(r.seller)
+			e.tag(r.trBuyer)
+			e.tag(r.trSeller)
+			e.tag(r.stratBuyer)
+			e.tag(r.stratSeller)
+			e.str(r.symbol)
+			e.i64(r.price)
+			e.i64(r.qty)
+		}
+	}
+
+	auths := make([]tags.Tag, 0, len(bk.auths))
+	for t := range bk.auths {
+		auths = append(auths, t)
+	}
+	sort.Slice(auths, func(i, j int) bool {
+		a, b := auths[i].ID(), auths[j].ID()
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	e.i64(int64(len(auths)))
+	for _, t := range auths {
+		e.tag(t)
+		e.i64(int64(bk.auths[t]))
+	}
+	return e.b
+}
+
+// decodeCheckpoint rebuilds a brokerBook from a checkpoint blob,
+// wiring each symbol's feed exactly as live creation would. Called
+// with b.mu held on a traffic-free shard.
+func (b *Broker) decodeCheckpoint(blob []byte) (*brokerBook, error) {
+	d := dec{b: blob}
+	if v := d.u8(); v != ckptVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", v, ckptVersion)
+	}
+	counters := [8]*counter{
+		&b.trades, &b.partials, &b.cancels, &b.amends,
+		&b.stpCancels, &b.expired, &b.delegates, &b.misroutes,
+	}
+	var cvals [8]uint64
+	for i := range cvals {
+		cvals[i] = d.u64()
+	}
+
+	bk := newBrokerBook()
+	nsyms := d.i64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nsyms < 0 || nsyms > int64(len(blob)) {
+		return nil, fmt.Errorf("implausible symbol count %d", nsyms)
+	}
+	for i := int64(0); i < nsyms; i++ {
+		symbol := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		sb := b.sym(bk, symbol)
+		sb.ns = d.i64()
+		sb.seq = d.i64()
+		sb.ledger.submitted = d.i64()
+		sb.ledger.filled = d.i64()
+		sb.ledger.canceled = d.i64()
+		sb.ledger.expired = d.i64()
+		sb.ledger.discarded = d.i64()
+
+		norders := d.i64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if norders < 0 || norders > int64(len(blob)) {
+			return nil, fmt.Errorf("%s: implausible order count %d", symbol, norders)
+		}
+		dump := make([]orderbook.OrderState, norders)
+		for j := range dump {
+			o := &dump[j]
+			o.ID = d.i64()
+			o.Side = orderbook.Side(int8(d.u8()))
+			o.Price = d.i64()
+			o.Qty = d.i64()
+			o.Entered = d.i64()
+			o.Owner.Name = d.str()
+			o.Owner.Tag = d.tag()
+			o.Owner.Strat = d.tag()
+			o.Owner.Stamp = d.i64()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if err := sb.book.Restore(dump); err != nil {
+			return nil, err
+		}
+
+		nlog := d.i64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nlog < 0 || nlog > maxTradeLog {
+			return nil, fmt.Errorf("%s: implausible log length %d", symbol, nlog)
+		}
+		sb.log.recs = make([]tradeRecord, nlog)
+		for j := range sb.log.recs {
+			r := &sb.log.recs[j]
+			r.id = d.i64()
+			r.buyer = d.str()
+			r.seller = d.str()
+			r.trBuyer = d.tag()
+			r.trSeller = d.tag()
+			r.stratBuyer = d.tag()
+			r.stratSeller = d.tag()
+			r.symbol = d.str()
+			r.price = d.i64()
+			r.qty = d.i64()
+		}
+	}
+
+	nauths := d.i64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nauths < 0 || nauths > int64(len(blob)) {
+		return nil, fmt.Errorf("implausible auth count %d", nauths)
+	}
+	for i := int64(0); i < nauths; i++ {
+		t := d.tag()
+		n := d.i64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("non-positive auth refcount %d", n)
+		}
+		bk.auths[t] = int(n)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(blob) {
+		return nil, fmt.Errorf("%d trailing bytes", len(blob)-d.off)
+	}
+	for i, c := range counters {
+		c.store(cvals[i])
+	}
+	return bk, nil
+}

@@ -1,0 +1,456 @@
+package trading
+
+// Crash-recovery proofs (DESIGN-dispatch.md §12): recovery equals
+// replay in all four security modes, every injected fault class
+// (torn tail, bad CRC, partial checkpoint, full crash at arbitrary
+// byte offsets) recovers without panic, and the platform lifecycle
+// is idempotent under concurrent shutdown.
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/workload"
+)
+
+// recoveryFlowCfg mirrors shardedFlowConfig: all five op kinds over a
+// skewed multi-symbol draw.
+func recoveryFlowCfg() workload.FlowConfig {
+	return workload.FlowConfig{
+		Traders:       6,
+		AggressionPct: 50,
+		CancelPct:     10,
+		AmendPct:      10,
+		SymbolSkew:    1.2,
+	}
+}
+
+// recoveryCfg assembles the shared platform config for the recovery
+// suites; fs == nil runs journal-off (the reference).
+func recoveryCfg(mode core.SecurityMode, fs journal.FS, rec *fillRecorder) Config {
+	cfg := Config{
+		Mode:             mode,
+		NumTraders:       6,
+		Universe:         workload.NewUniverse(8), // 16 symbols
+		Seed:             11,
+		BrokerShards:     2,
+		AuditSampleEvery: noAudits,
+		OrderTTL:         time.Hour,
+		QueueCap:         2048,
+		JournalFS:        fs,
+		JournalNoSync:    true,
+		// Low cadence so runs cross several checkpoints and recovery
+		// exercises checkpoint+tail, not just tail.
+		JournalCheckpointEvery: 150,
+		// Roomy staging so scheduler hiccups cannot shed records and
+		// perturb the equivalence comparison.
+		JournalStagingCap: 1 << 16,
+	}
+	if rec != nil {
+		cfg.OnFill = rec.hook()
+	}
+	return cfg
+}
+
+// TestRecoveryEquivalence is the tentpole proof: checkpoint + journal
+// tail replay reproduces bit-identical per-symbol fill sequences,
+// book snapshots, trade logs, auth refcounts and conservation ledgers
+// in all four security modes.
+func TestRecoveryEquivalence(t *testing.T) {
+	const ops = 1500
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(fs journal.FS) (*fillRecorder, Config, map[string][]Fill, interface{}, interface{}, []map[string]int) {
+				rec := &fillRecorder{}
+				cfg := recoveryCfg(mode, fs, rec)
+				p, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flow := workload.NewOrderFlow(p.Universe(), recoveryFlowCfg(), 23)
+				p.ReplayOrders(flow.Take(ops))
+				if !p.Quiesce(20 * time.Second) {
+					t.Fatal("no quiesce")
+				}
+				time.Sleep(50 * time.Millisecond)
+				books := p.Broker.SnapshotBooks()
+				logs := p.Broker.TradeLogSnapshot()
+				var auths []map[string]int
+				for _, sh := range p.Broker.Shards() {
+					m := make(map[string]int)
+					for tg, n := range sh.AuthRefs() {
+						id := tg.ID()
+						m[string(id[:])] = n
+					}
+					auths = append(auths, m)
+				}
+				p.Close()
+				return rec, cfg, bySymbol(rec.snapshot()), books, logs, auths
+			}
+
+			// Reference: journal off.
+			_, _, refFills, refBooks, refLogs, _ := run(nil)
+			if len(refFills) == 0 {
+				t.Fatal("no fills to compare")
+			}
+
+			// Journaled run: behavior must be identical to the reference.
+			fs := journal.NewMemFS()
+			_, cfg, liveFills, liveBooks, liveLogs, liveAuths := run(fs)
+			if !reflect.DeepEqual(refFills, liveFills) {
+				t.Fatal("journal-on run diverges from journal-off reference (fills)")
+			}
+			if !reflect.DeepEqual(refBooks, liveBooks) || !reflect.DeepEqual(refLogs, liveLogs) {
+				t.Fatal("journal-on run diverges from journal-off reference (state)")
+			}
+
+			// Recover a fresh platform from the journal alone.
+			recRec := &fillRecorder{}
+			cfg.OnFill = recRec.hook()
+			p2, report, err := Recover(cfg)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer p2.Close()
+			if got := p2.Broker.SnapshotBooks(); !reflect.DeepEqual(got, refBooks) {
+				t.Fatalf("recovered books diverge:\nref: %+v\ngot: %+v", refBooks, got)
+			}
+			if got := p2.Broker.TradeLogSnapshot(); !reflect.DeepEqual(got, refLogs) {
+				t.Fatalf("recovered trade logs diverge:\nref: %+v\ngot: %+v", refLogs, got)
+			}
+			for i, sh := range p2.Broker.Shards() {
+				m := make(map[string]int)
+				for tg, n := range sh.AuthRefs() {
+					id := tg.ID()
+					m[string(id[:])] = n
+				}
+				if !reflect.DeepEqual(m, liveAuths[i]) {
+					t.Fatalf("shard %d auth refcounts diverge after recovery", i)
+				}
+			}
+			if err := p2.Broker.ValidateBooks(); err != nil {
+				t.Fatalf("recovered books invalid: %v", err)
+			}
+			if err := p2.Broker.CheckConservation(); err != nil {
+				t.Fatalf("recovered conservation broken: %v", err)
+			}
+			if report.RecoveredRecords() == 0 {
+				t.Fatal("recovery replayed no records (checkpoint cadence too coarse?)")
+			}
+			if n := len(report.Faults()); n != 0 {
+				t.Fatalf("clean journal reported %d faults: %v", n, report.Faults())
+			}
+
+			// The fills emitted during recovery replay must be exactly
+			// the suffix of the reference stream after each symbol's
+			// last checkpoint.
+			for sym, got := range bySymbol(recRec.snapshot()) {
+				ref := refFills[sym]
+				if len(got) > len(ref) {
+					t.Fatalf("%s: recovery replayed %d fills, reference has %d", sym, len(got), len(ref))
+				}
+				if !reflect.DeepEqual(got, ref[len(ref)-len(got):]) {
+					t.Fatalf("%s: replayed fills are not a suffix of the reference stream", sym)
+				}
+			}
+
+			// The recovered platform keeps trading: fresh flow clears
+			// against recovered books and conservation still holds.
+			before := p2.Broker.Trades()
+			flow2 := workload.NewOrderFlow(p2.Universe(), recoveryFlowCfg(), 31)
+			p2.ReplayOrders(flow2.Take(400))
+			if !p2.Quiesce(20 * time.Second) {
+				t.Fatal("no quiesce after recovery")
+			}
+			time.Sleep(50 * time.Millisecond)
+			if p2.Broker.Trades() == before {
+				t.Fatal("recovered platform completed no new trades")
+			}
+			if err := p2.Broker.CheckConservation(); err != nil {
+				t.Fatalf("conservation broken after post-recovery traffic: %v", err)
+			}
+			if err := p2.Broker.ValidateBooks(); err != nil {
+				t.Fatalf("books invalid after post-recovery traffic: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoveryWithAudits covers the audit-consumption records: a
+// recovered trade log must reflect exactly the delegations the
+// pre-crash run issued, so an audited (consumed) trade stays consumed
+// after recovery.
+func TestRecoveryWithAudits(t *testing.T) {
+	fs := journal.NewMemFS()
+	cfg := recoveryCfg(core.LabelsFreeze, fs, nil)
+	cfg.AuditSampleEvery = 3
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := workload.NewOrderFlow(p.Universe(), recoveryFlowCfg(), 43)
+	p.ReplayOrders(flow.Take(1200))
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if p.Broker.Delegations() == 0 {
+		t.Fatal("no delegations issued; audit path unexercised")
+	}
+	liveLogs := p.Broker.TradeLogSnapshot()
+	liveDelegs := p.Broker.Delegations()
+	p.Close()
+
+	p2, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer p2.Close()
+	if got := p2.Broker.TradeLogSnapshot(); !reflect.DeepEqual(got, liveLogs) {
+		t.Fatal("recovered trade logs diverge from pre-crash logs under auditing")
+	}
+	if got := p2.Broker.Delegations(); got != liveDelegs {
+		t.Fatalf("recovered delegation count %d, want %d", got, liveDelegs)
+	}
+}
+
+// journalFiles lists fs entries with the given suffix, sorted (the
+// fixed-width hex LSN in the names makes lexical order LSN order).
+func journalFiles(t *testing.T, fs *journal.MemFS, suffix string) []string {
+	t.Helper()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, n := range names {
+		if strings.HasSuffix(n, suffix) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// buildJournaledRun produces a journal with two forced checkpoints
+// and a live tail, returning the filesystem and the config to recover
+// with.
+func buildJournaledRun(t *testing.T) (*journal.MemFS, Config) {
+	t.Helper()
+	fs := journal.NewMemFS()
+	cfg := recoveryCfg(core.LabelsFreeze, fs, nil)
+	cfg.JournalCheckpointEvery = -1 // only explicit checkpoints
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := workload.NewOrderFlow(p.Universe(), recoveryFlowCfg(), 59)
+	drive := func(n int) {
+		p.ReplayOrders(flow.Take(n))
+		if !p.Quiesce(20 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	drive(400)
+	if err := p.CheckpointJournal(); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	drive(400)
+	if err := p.CheckpointJournal(); err != nil {
+		t.Fatalf("checkpoint 2: %v", err)
+	}
+	drive(300)
+	p.Close()
+	return fs, cfg
+}
+
+// TestRecoveryFaultClasses injects each damage class the fault matrix
+// names — torn tail, bad CRC mid-segment, partial checkpoint — and
+// requires recovery to detect it, degrade cleanly and keep every
+// structural and conservation invariant.
+func TestRecoveryFaultClasses(t *testing.T) {
+	check := func(t *testing.T, cfg Config) *RecoveryReport {
+		t.Helper()
+		p, report, err := Recover(cfg)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		defer p.Close()
+		if err := p.Broker.ValidateBooks(); err != nil {
+			t.Fatalf("recovered books invalid: %v", err)
+		}
+		if err := p.Broker.CheckConservation(); err != nil {
+			t.Fatalf("recovered conservation broken: %v", err)
+		}
+		return report
+	}
+
+	t.Run("torn tail", func(t *testing.T) {
+		fs, cfg := buildJournaledRun(t)
+		for _, seg := range journalFiles(t, fs, ".jnl") {
+			if n := fs.Size(seg); n > 8 {
+				fs.Truncate(seg, n-5)
+			}
+		}
+		report := check(t, cfg)
+		if report.TornTails() == 0 {
+			t.Fatalf("torn tails not reported: %+v", report)
+		}
+	})
+
+	t.Run("bad crc", func(t *testing.T) {
+		fs, cfg := buildJournaledRun(t)
+		for _, seg := range journalFiles(t, fs, ".jnl") {
+			if fs.Size(seg) > 64 {
+				fs.Corrupt(seg, 40, 0x20)
+			}
+		}
+		report := check(t, cfg)
+		found := 0
+		for i := range report.Shards {
+			found += report.Shards[i].BadCRC + report.Shards[i].TornTail
+		}
+		if found == 0 {
+			t.Fatalf("corrupted frames not reported: %+v", report)
+		}
+	})
+
+	t.Run("partial checkpoint", func(t *testing.T) {
+		fs, cfg := buildJournaledRun(t)
+		ckpts := journalFiles(t, fs, ".ckp")
+		if len(ckpts) < 2 {
+			t.Fatalf("expected retained checkpoints, have %v", ckpts)
+		}
+		// Tear the NEWEST checkpoint of every shard mid-payload;
+		// recovery must fall back to the previous one and replay the
+		// longer tail to the same end state.
+		seen := map[string]bool{}
+		for i := len(ckpts) - 1; i >= 0; i-- {
+			shard := ckpts[i][:strings.LastIndex(ckpts[i], "-")]
+			if !seen[shard] {
+				seen[shard] = true
+				fs.Truncate(ckpts[i], fs.Size(ckpts[i])/2)
+			}
+		}
+		report := check(t, cfg)
+		if report.CheckpointFallbacks() == 0 {
+			t.Fatalf("checkpoint fallback not reported: %+v", report)
+		}
+	})
+}
+
+// TestRecoveryCrashSweep kills the filesystem at a sweep of byte
+// budgets while a live workload runs — tearing group commits and
+// checkpoint publishes at arbitrary offsets — then recovers from
+// whatever survived. Recovery must never panic, always satisfy the
+// structural and conservation invariants, and every replayed fill
+// must be bit-identical to the live run's fill with the same trade ID.
+func TestRecoveryCrashSweep(t *testing.T) {
+	// Size the sweep from a pristine run.
+	pristine, _ := buildJournaledRun(t)
+	total := 0
+	names, _ := pristine.List()
+	for _, n := range names {
+		total += pristine.Size(n)
+	}
+
+	for i := 1; i <= 5; i++ {
+		kill := int64(total * i / 6)
+		mem := journal.NewMemFS()
+		cfs := journal.NewCrashFS(mem)
+		cfs.KillAfter(kill)
+
+		liveRec := &fillRecorder{}
+		cfg := recoveryCfg(core.LabelsFreeze, cfs, liveRec)
+		cfg.JournalCheckpointEvery = 150
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flow := workload.NewOrderFlow(p.Universe(), recoveryFlowCfg(), 59)
+		p.ReplayOrders(flow.Take(1100))
+		if !p.Quiesce(20 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		time.Sleep(30 * time.Millisecond)
+		liveTrades := p.Broker.Trades()
+		p.Close()
+		if !cfs.Crashed() {
+			t.Fatalf("kill=%d: budget never exhausted (journal smaller than sweep?)", kill)
+		}
+
+		// Recovery reads the post-crash disk, not the dead CrashFS.
+		recRec := &fillRecorder{}
+		cfg.JournalFS = mem
+		cfg.OnFill = recRec.hook()
+		p2, report, err := Recover(cfg)
+		if err != nil {
+			t.Fatalf("kill=%d: recover: %v", kill, err)
+		}
+		if err := p2.Broker.ValidateBooks(); err != nil {
+			t.Fatalf("kill=%d: recovered books invalid: %v", kill, err)
+		}
+		if err := p2.Broker.CheckConservation(); err != nil {
+			t.Fatalf("kill=%d: recovered conservation broken: %v", kill, err)
+		}
+		if got := p2.Broker.Trades(); got > liveTrades {
+			t.Fatalf("kill=%d: recovered %d trades, live run had %d", kill, got, liveTrades)
+		}
+		// Bit-identity of the replayed window against the live stream.
+		liveByID := make(map[int64]Fill)
+		for _, f := range liveRec.snapshot() {
+			liveByID[f.TradeID] = f
+		}
+		for _, f := range recRec.snapshot() {
+			ref, ok := liveByID[f.TradeID]
+			if !ok || !reflect.DeepEqual(f, ref) {
+				t.Fatalf("kill=%d: replayed fill %+v diverges from live fill %+v", kill, f, ref)
+			}
+		}
+		_ = report
+		p2.Close()
+	}
+}
+
+// TestPlatformCloseIdempotent pins the lifecycle satellite: Close is
+// idempotent and safe to call concurrently — including concurrently
+// with in-flight publishes — and Quiesce after Close returns.
+func TestPlatformCloseIdempotent(t *testing.T) {
+	fs := journal.NewMemFS()
+	cfg := recoveryCfg(core.LabelsFreeze, fs, nil)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := workload.NewOrderFlow(p.Universe(), recoveryFlowCfg(), 61)
+	ops := flow.Take(2000)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// In-flight publishes racing the close: placeFlow returns
+		// errors after shutdown instead of panicking.
+		defer wg.Done()
+		p.ReplayOrders(ops)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	p.Close() // and once more, sequentially
+	if !p.Quiesce(time.Second) {
+		t.Fatal("quiesce after close did not drain")
+	}
+}

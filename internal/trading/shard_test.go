@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/freeze"
+	"repro/internal/journal"
 	"repro/internal/orderbook"
 	"repro/internal/priv"
 	"repro/internal/workload"
@@ -286,7 +287,12 @@ func TestForgedShardRouteRejected(t *testing.T) {
 // with one shard's flow paused and then released as a burst each wave
 // and TTL expiry interleaved between waves. After every quiescent
 // point the full structural audit runs: orderbook.Validate on every
-// book plus per-symbol quantity conservation.
+// book plus per-symbol quantity conservation. On top of that,
+// workload.CrashSchedule picks seeded kill waves: at those quiescent
+// points every shard's in-memory state is dropped, the pool is
+// rebuilt from its journal via Recover, and the recovered state must
+// match the pre-kill snapshot bit for bit before the next wave lands
+// on it.
 func TestShardedPoolChaos(t *testing.T) {
 	const (
 		shards     = 4
@@ -295,7 +301,7 @@ func TestShardedPoolChaos(t *testing.T) {
 		opsPerWave = 1200
 		ttl        = 50 * time.Millisecond
 	)
-	p, err := New(Config{
+	cfg := Config{
 		Mode:             core.LabelsFreeze,
 		NumTraders:       8,
 		Universe:         workload.NewUniverse(4), // 8 symbols
@@ -305,11 +311,22 @@ func TestShardedPoolChaos(t *testing.T) {
 		QueueCap:         4096,
 		SelfTradePolicy:  orderbook.STPCancelResting,
 		AuditSampleEvery: noAudits,
-	})
+		JournalFS:        journal.NewMemFS(),
+		JournalNoSync:    true,
+		// Coarse enough that recovery always replays a real tail, fine
+		// enough that later waves recover from checkpoint+tail.
+		JournalCheckpointEvery: 1500,
+		JournalStagingCap:      1 << 16,
+	}
+	p, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer p.Close()
+	defer func() { p.Close() }()
+	kills := map[int]workload.CrashPoint{}
+	for _, cp := range workload.CrashSchedule(seed, waves, shards) {
+		kills[cp.Wave] = cp
+	}
 	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
 		Traders:       8,
 		AggressionPct: 50,
@@ -344,6 +361,35 @@ func TestShardedPoolChaos(t *testing.T) {
 		}
 		if err := p.Broker.CheckConservation(); err != nil {
 			t.Fatalf("wave %d: %v", wave, err)
+		}
+		if cp, ok := kills[wave]; ok {
+			// Kill/recover wave: snapshot, drop everything in memory,
+			// rebuild from the journal alone, and re-audit before the
+			// next wave trades against the recovered books.
+			books := p.Broker.SnapshotBooks()
+			logs := p.Broker.TradeLogSnapshot()
+			shardTrades := p.Broker.Shards()[cp.Shard].Trades()
+			p.Close()
+			p2, _, err := Recover(cfg)
+			if err != nil {
+				t.Fatalf("wave %d: recover: %v", wave, err)
+			}
+			p = p2
+			if got := p.Broker.SnapshotBooks(); !reflect.DeepEqual(got, books) {
+				t.Fatalf("wave %d: recovered books diverge from pre-kill snapshot", wave)
+			}
+			if got := p.Broker.TradeLogSnapshot(); !reflect.DeepEqual(got, logs) {
+				t.Fatalf("wave %d: recovered trade logs diverge from pre-kill snapshot", wave)
+			}
+			if got := p.Broker.Shards()[cp.Shard].Trades(); got != shardTrades {
+				t.Fatalf("wave %d: shard %d recovered %d trades, had %d", wave, cp.Shard, got, shardTrades)
+			}
+			if err := p.Broker.ValidateBooks(); err != nil {
+				t.Fatalf("wave %d post-recovery: %v", wave, err)
+			}
+			if err := p.Broker.CheckConservation(); err != nil {
+				t.Fatalf("wave %d post-recovery: %v", wave, err)
+			}
 		}
 		if wave%2 == 1 {
 			// Let resting interest go stale so the next wave's orders

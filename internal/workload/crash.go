@@ -1,0 +1,30 @@
+package workload
+
+import "math/rand"
+
+// CrashPoint marks one kill/recover event in the chaos suite: after
+// wave Wave reaches its quiescent point the platform's in-memory
+// state is dropped and rebuilt from the journal alone, with shard
+// Shard's recovered state spot-checked against the pre-kill snapshot.
+type CrashPoint struct {
+	Wave  int
+	Shard int
+}
+
+// CrashSchedule derives a deterministic kill schedule from a seed:
+// each wave past the first crashes with probability 1/2 (wave 0 never
+// crashes, so every run exercises an uncrashed stretch first), and at
+// least one crash always happens.
+func CrashSchedule(seed int64, waves, shards int) []CrashPoint {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []CrashPoint
+	for w := 1; w < waves; w++ {
+		if rng.Intn(2) == 0 {
+			pts = append(pts, CrashPoint{Wave: w, Shard: rng.Intn(shards)})
+		}
+	}
+	if len(pts) == 0 {
+		pts = append(pts, CrashPoint{Wave: waves - 1, Shard: rng.Intn(shards)})
+	}
+	return pts
+}
