@@ -40,6 +40,15 @@ type FS interface {
 	Rename(oldName, newName string) error
 	// Remove deletes a file; removing a missing file is not an error.
 	Remove(name string) error
+	// Truncate cuts a file to size bytes. Recovery uses it to repair a
+	// damaged segment: cutting the tail back to the last valid frame
+	// lets a resumed writer's segments chain past the old damage.
+	Truncate(name string, size int64) error
+	// SyncDir makes directory-level mutations (Create, Rename, Remove)
+	// durable — fsync on the directory itself. Without it a power cut
+	// can lose a freshly created segment or a just-renamed checkpoint
+	// even though the file data was fsynced.
+	SyncDir() error
 }
 
 // DirFS is the os-backed FS rooted at a directory.
@@ -83,6 +92,22 @@ func (d *DirFS) Remove(name string) error {
 	err := os.Remove(filepath.Join(d.dir, name))
 	if os.IsNotExist(err) {
 		return nil
+	}
+	return err
+}
+
+func (d *DirFS) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.Join(d.dir, name), size)
+}
+
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
 	return err
 }
@@ -162,6 +187,8 @@ func (m *MemFS) Remove(name string) error {
 	return nil
 }
 
+func (m *MemFS) SyncDir() error { return nil }
+
 // Corrupt XORs one byte of a file (a bit-rot/torn-page stand-in).
 func (m *MemFS) Corrupt(name string, off int, xor byte) bool {
 	m.mu.Lock()
@@ -174,16 +201,22 @@ func (m *MemFS) Corrupt(name string, off int, xor byte) bool {
 	return true
 }
 
-// Truncate cuts a file to n bytes (a lost-tail stand-in).
-func (m *MemFS) Truncate(name string, n int) bool {
+// Truncate cuts a file to n bytes (recovery repair, and a lost-tail
+// stand-in in tests). Cutting at or past the current length is a no-op.
+func (m *MemFS) Truncate(name string, n int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	b, ok := m.files[name]
-	if !ok || n < 0 || n >= len(b) {
-		return false
+	if !ok {
+		return fmt.Errorf("journal: %s: %w", name, os.ErrNotExist)
 	}
-	m.files[name] = b[:n]
-	return true
+	if n < 0 {
+		return fmt.Errorf("journal: truncate %s to %d", name, n)
+	}
+	if n < int64(len(b)) {
+		m.files[name] = b[:n]
+	}
+	return nil
 }
 
 // Size reports a file's length, or -1 if absent.
@@ -250,12 +283,21 @@ func (f *crashFile) Write(p []byte) (int, error) {
 	n := len(p)
 	torn := false
 	if f.c.budget >= 0 {
-		if int64(n) >= f.c.budget {
+		if int64(n) > f.c.budget {
+			// The write crosses the boundary: applied up to it, torn.
 			n = int(f.c.budget)
+			f.c.budget = 0
 			f.c.dead = true
 			torn = true
+		} else {
+			// A write of exactly the remaining budget is fully applied
+			// and reported as a success; the FS dies on the next
+			// operation — the crash landed on a frame boundary.
+			f.c.budget -= int64(n)
+			if f.c.budget == 0 {
+				f.c.dead = true
+			}
 		}
-		f.c.budget -= int64(n)
 	}
 	f.c.mu.Unlock()
 	if n > 0 {
@@ -304,6 +346,20 @@ func (c *CrashFS) Remove(name string) error {
 		return ErrCrashed
 	}
 	return c.inner.Remove(name)
+}
+
+func (c *CrashFS) Truncate(name string, size int64) error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return c.inner.Truncate(name, size)
+}
+
+func (c *CrashFS) SyncDir() error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return c.inner.SyncDir()
 }
 
 // Inner returns the wrapped FS — what the disk holds after the crash,

@@ -92,7 +92,7 @@ func FuzzJournalRecover(f *testing.F) {
 			switch ops[1] % 3 {
 			case 0:
 				if sz := fs.Size(name); sz > 0 {
-					fs.Truncate(name, off%sz)
+					fs.Truncate(name, int64(off%sz))
 				}
 			case 1:
 				if sz := fs.Size(name); sz > 0 {
@@ -139,6 +139,25 @@ func FuzzJournalRecover(f *testing.F) {
 		if want := rec.CheckpointLSN + uint64(len(rec.Records)); rec.LastLSN != want {
 			t.Fatalf("LastLSN %d inconsistent with checkpoint %d + %d records",
 				rec.LastLSN, rec.CheckpointLSN, len(rec.Records))
+		}
+		// Recover repairs the directory as it scans; a second pass
+		// over the healed journal must converge to the identical
+		// state — otherwise a resumed writer would be building on
+		// different history than the one just returned.
+		rec2, err := Recover(fs, 0)
+		if err != nil {
+			t.Fatalf("recover after repair failed: %v", err)
+		}
+		if rec2.CheckpointLSN != rec.CheckpointLSN || !bytes.Equal(rec2.Checkpoint, rec.Checkpoint) ||
+			rec2.LastLSN != rec.LastLSN || len(rec2.Records) != len(rec.Records) {
+			t.Fatalf("recovery diverges after its own repair: (%d,%d,%d) vs (%d,%d,%d)",
+				rec.CheckpointLSN, rec.LastLSN, len(rec.Records),
+				rec2.CheckpointLSN, rec2.LastLSN, len(rec2.Records))
+		}
+		for i := range rec.Records {
+			if !bytes.Equal(rec.Records[i], rec2.Records[i]) {
+				t.Fatalf("record %d differs between recovery and post-repair recovery", i)
+			}
 		}
 	})
 }

@@ -27,6 +27,13 @@
 // then replays the contiguous record tail, truncating at the first
 // torn frame, CRC mismatch, gap marker or LSN discontinuity — every
 // fault is surfaced as a typed error in the Report, never as a crash.
+// The truncation is physical, not just logical: Recover repairs the
+// directory to match the state it returns — the damaged segment is
+// cut back to its last replayable frame, segments stranded beyond the
+// damage and checkpoints that failed validation are removed — so a
+// writer resumed at LastLSN chains cleanly onto the healed journal
+// and a SECOND crash cannot hide the records it committed behind the
+// old damage.
 package journal
 
 import (
@@ -373,7 +380,9 @@ func (w *Writer) writeFrame(e entry) error {
 	return err
 }
 
-// openSegment starts the segment whose records follow LSN start.
+// openSegment starts the segment whose records follow LSN start. The
+// directory is synced so the new entry survives power loss — frame
+// fsyncs alone cannot make a file durable whose dirent never was.
 func (w *Writer) openSegment(start uint64) error {
 	f, err := w.fs.Create(segName(w.shard, start))
 	if err != nil {
@@ -387,6 +396,12 @@ func (w *Writer) openSegment(start uint64) error {
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.fs.SyncDir(); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	w.cur = f
 	return nil
@@ -427,6 +442,15 @@ func (w *Writer) writeCheckpoint(lsn uint64, payload []byte) error {
 	}
 	if err := w.fs.Rename(tmp, name); err != nil {
 		return err
+	}
+	// Make the rename durable before prune deletes the files the new
+	// checkpoint supersedes: if the removes became durable but the
+	// rename did not, both the new and the old checkpoint would be
+	// gone and the 2-deep retention fallback would have nothing left.
+	if !w.opts.NoSync {
+		if err := w.fs.SyncDir(); err != nil {
+			return err
+		}
 	}
 	w.m.CheckpointsWritten++
 	// Rotate: the new segment carries exactly the records after lsn.
@@ -506,6 +530,10 @@ type Report struct {
 	GapStop bool
 	// SegmentGap reports a missing segment or LSN discontinuity.
 	SegmentGap bool
+	// Repaired counts the physical repairs applied to the directory:
+	// damaged-tail truncations plus removals of stranded segments,
+	// invalid checkpoints and unpublished checkpoint temporaries.
+	Repaired int
 	// Faults carries one typed, contextualised error per anomaly.
 	Faults []error
 }
@@ -532,6 +560,16 @@ type Recovered struct {
 // (shorter tail, older checkpoint, empty state) and is reported, but
 // never panics and never yields records that differ from what was
 // appended.
+//
+// Recover also repairs the directory to match the state it returns
+// (see the package comment): the stop-point segment is truncated to
+// its last replayable frame, segments beyond the stop and checkpoints
+// that failed validation are removed. Without the repair, a writer
+// resumed at LastLSN would open a fresh segment past the damage and
+// the NEXT recovery — whose scan stops at the same damage — would
+// silently lose every record that writer had fsynced and acknowledged.
+// A repair failure is returned as an error: resuming on an unhealed
+// journal would be exactly that silent loss.
 func Recover(fs FS, shard int) (*Recovered, error) {
 	names, err := fs.List()
 	if err != nil {
@@ -539,13 +577,15 @@ func Recover(fs FS, shard int) (*Recovered, error) {
 	}
 	rec := &Recovered{Shard: shard}
 	var ckpts, segs []uint64
+	var drop []string // files the repair phase deletes
 	for _, n := range names {
 		if strings.HasSuffix(n, ".tmp") {
 			if kind, sh, _, ok := parseName(strings.TrimSuffix(n, ".tmp")); ok && kind == "ckpt" && sh == shard {
 				// A checkpoint died before publish; its rename never
-				// happened so it supersedes nothing. Note and ignore.
+				// happened so it supersedes nothing. Note and remove.
 				rec.Report.Faults = append(rec.Report.Faults,
 					fmt.Errorf("%w: unpublished %s", ErrPartialCheckpoint, n))
+				drop = append(drop, n)
 			}
 			continue
 		}
@@ -568,6 +608,10 @@ func Recover(fs FS, shard int) (*Recovered, error) {
 		if err != nil {
 			rec.Report.CheckpointFallbacks++
 			rec.Report.Faults = append(rec.Report.Faults, err)
+			// An invalid checkpoint never becomes valid again; left in
+			// place it would outrank real checkpoints in retention and
+			// force this fallback on every future recovery.
+			drop = append(drop, ckptName(shard, lsn))
 			continue
 		}
 		rec.CheckpointLSN, rec.Checkpoint = lsn, payload
@@ -586,30 +630,78 @@ func Recover(fs FS, shard int) (*Recovered, error) {
 	if start == -1 {
 		if len(segs) > 0 {
 			// Only segments strictly ahead of the checkpoint survive:
-			// their records cannot connect to the recovered state.
+			// their records cannot connect to the recovered state — and
+			// left behind, a resumed writer's LSNs would eventually
+			// collide with theirs and a later recovery could splice
+			// their stale records into the fresh chain. Remove them.
 			rec.Report.SegmentGap = true
 			rec.Report.Faults = append(rec.Report.Faults,
 				fmt.Errorf("%w: no segment covers checkpoint %d", ErrSegmentGap, rec.CheckpointLSN))
+			for _, s := range segs {
+				drop = append(drop, segName(shard, s))
+			}
+		}
+		if err := repair(fs, rec, "", 0, drop); err != nil {
+			return nil, err
 		}
 		return rec, nil
 	}
 
 	expect := rec.CheckpointLSN + 1
-	for _, s := range segs[start:] {
+	truncName, truncOff := "", -1
+	chain := segs[start:]
+	for i, s := range chain {
 		if s+1 > expect {
 			rec.Report.SegmentGap = true
 			rec.Report.Faults = append(rec.Report.Faults,
 				fmt.Errorf("%w: segment %s starts past LSN %d", ErrSegmentGap, segName(shard, s), expect))
+			// This segment and everything after it cannot connect.
+			for _, t := range chain[i:] {
+				drop = append(drop, segName(shard, t))
+			}
 			break
 		}
-		cont := scanSegment(fs, shard, s, &expect, rec)
+		cont, stopOff := scanSegment(fs, shard, s, &expect, rec)
 		if !cont {
+			if stopOff >= 0 {
+				// Damaged mid-file: cut back to the last whole frame.
+				truncName, truncOff = segName(shard, s), stopOff
+			} else {
+				// Unreadable or bad header: nothing in it is usable.
+				drop = append(drop, segName(shard, s))
+			}
+			for _, t := range chain[i+1:] {
+				drop = append(drop, segName(shard, t))
+			}
 			break
 		}
 	}
 	rec.Report.RecoveredRecords = uint64(len(rec.Records))
 	rec.LastLSN = expect - 1
+	if err := repair(fs, rec, truncName, int64(truncOff), drop); err != nil {
+		return nil, err
+	}
 	return rec, nil
+}
+
+// repair applies the physical healing Recover decided on: truncate the
+// stop-point segment and delete the listed unreachable files. Failures
+// are returned, not swallowed — a resumed writer on an unhealed chain
+// would strand its records behind the old damage.
+func repair(fs FS, rec *Recovered, truncName string, truncOff int64, drop []string) error {
+	if truncName != "" {
+		if err := fs.Truncate(truncName, truncOff); err != nil {
+			return fmt.Errorf("journal: repair shard %d: truncate %s: %w", rec.Shard, truncName, err)
+		}
+		rec.Report.Repaired++
+	}
+	for _, n := range drop {
+		if err := fs.Remove(n); err != nil {
+			return fmt.Errorf("journal: repair shard %d: remove %s: %w", rec.Shard, n, err)
+		}
+		rec.Report.Repaired++
+	}
+	return nil
 }
 
 // readCheckpoint loads and validates one checkpoint file.
@@ -639,14 +731,17 @@ func readCheckpoint(fs FS, shard int, lsn uint64) ([]byte, error) {
 
 // scanSegment replays one segment's frames into rec, skipping records
 // at or before the checkpoint. It returns whether the chain may
-// continue into the next segment (false on any stop condition).
-func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered) bool {
+// continue into the next segment (false on any stop condition) and,
+// when stopping mid-file, the byte offset of the damage — the repair
+// truncation point. stopOff -1 with cont false means the whole file
+// is unusable (unreadable or bad header) and should be removed.
+func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered) (cont bool, stopOff int) {
 	name := segName(shard, start)
 	b, err := fs.ReadFile(name)
 	if err != nil {
 		rec.Report.SegmentGap = true
 		rec.Report.Faults = append(rec.Report.Faults, fmt.Errorf("%w: %s: %v", ErrSegmentGap, name, err))
-		return false
+		return false, -1
 	}
 	if len(b) < segHeaderLen || string(b[0:4]) != segMagic ||
 		binary.LittleEndian.Uint32(b[4:8]) != version ||
@@ -654,7 +749,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 		binary.LittleEndian.Uint64(b[12:20]) != start {
 		rec.Report.TornTail++
 		rec.Report.Faults = append(rec.Report.Faults, fmt.Errorf("%w: %s: bad segment header", ErrTornTail, name))
-		return false
+		return false, -1
 	}
 	off := segHeaderLen
 	for off < len(b) {
@@ -663,7 +758,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 			rec.Report.TornTail++
 			rec.Report.Faults = append(rec.Report.Faults,
 				fmt.Errorf("%w: %s: %d trailing bytes at offset %d", ErrTornTail, name, rem, off))
-			return false
+			return false, off
 		}
 		lenFlags := binary.LittleEndian.Uint32(b[off : off+4])
 		n := int(lenFlags &^ gapFlag)
@@ -671,7 +766,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 			rec.Report.TornTail++
 			rec.Report.Faults = append(rec.Report.Faults,
 				fmt.Errorf("%w: %s: frame at offset %d claims %d bytes, %d remain", ErrTornTail, name, off, n, rem-frameHdrLen))
-			return false
+			return false, off
 		}
 		frame := b[off : off+frameHdrLen+n]
 		if crc32.ChecksumIEEE(frame[8:]) != binary.LittleEndian.Uint32(frame[4:8]) {
@@ -684,7 +779,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 				rec.Report.Faults = append(rec.Report.Faults,
 					fmt.Errorf("%w: %s: frame at offset %d", ErrBadCRC, name, off))
 			}
-			return false
+			return false, off
 		}
 		lsn := binary.LittleEndian.Uint64(frame[8:16])
 		if lenFlags&gapFlag != 0 {
@@ -693,7 +788,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 				from := binary.LittleEndian.Uint64(frame[frameHdrLen:])
 				rec.Report.Faults = append(rec.Report.Faults,
 					fmt.Errorf("%w: %s: records %d..%d shed", ErrShedGap, name, from, lsn))
-				return false
+				return false, off
 			}
 			off += frameHdrLen + n
 			continue
@@ -705,7 +800,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 			rec.Report.SegmentGap = true
 			rec.Report.Faults = append(rec.Report.Faults,
 				fmt.Errorf("%w: %s: LSN %d where %d expected", ErrSegmentGap, name, lsn, *expect))
-			return false
+			return false, off
 		default:
 			payload := make([]byte, n)
 			copy(payload, frame[frameHdrLen:])
@@ -714,7 +809,7 @@ func scanSegment(fs FS, shard int, start uint64, expect *uint64, rec *Recovered)
 		}
 		off += frameHdrLen + n
 	}
-	return true
+	return true, -1
 }
 
 // Shards lists the shard indexes that have journal files on fs — the

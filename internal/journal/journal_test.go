@@ -153,8 +153,8 @@ func TestTornTailTruncatesToLastValidFrame(t *testing.T) {
 	// keep exactly 7 records and flag a torn tail.
 	for cut := full - frame + 1; cut < full; cut++ {
 		fs, seg := build()
-		if !fs.Truncate(seg, cut) {
-			t.Fatalf("truncate to %d failed", cut)
+		if err := fs.Truncate(seg, int64(cut)); err != nil {
+			t.Fatalf("truncate to %d: %v", cut, err)
 		}
 		rec := mustRecover(t, fs, 0)
 		if len(rec.Records) != 7 || rec.LastLSN != 7 {
@@ -245,6 +245,15 @@ func TestPartialCheckpointFallsBack(t *testing.T) {
 	}
 	if rec.Report.CheckpointFallbacks != 2 || !rec.Report.SegmentGap {
 		t.Fatalf("double fallback report: %+v", rec.Report)
+	}
+	// Repair removed the corrupt checkpoints and the unreachable
+	// segments: a second recovery sees a clean empty journal.
+	if rec.Report.Repaired == 0 {
+		t.Fatalf("no repair recorded: %+v", rec.Report)
+	}
+	rec = mustRecover(t, fs, 2)
+	if rec.CheckpointLSN != 0 || len(rec.Records) != 0 || len(rec.Report.Faults) != 0 {
+		t.Fatalf("post-repair recovery not clean: %+v", rec.Report)
 	}
 }
 
@@ -466,6 +475,197 @@ func TestCrashSweep(t *testing.T) {
 				t.Fatalf("kill=%d: record %d = %q, want %q", kill, i, r, want)
 			}
 		}
+	}
+}
+
+// resumed is a payload distinguishable from the pre-damage history,
+// so the resume tests can prove post-recovery records round-trip.
+func resumed(lsn uint64) []byte {
+	return []byte(fmt.Sprintf("resumed-%06d-payload", lsn))
+}
+
+// TestRecoverRepairsDamageForResume pins the crash→recover→run→crash
+// path: recovery physically heals the journal (truncating the damaged
+// tail), so records appended by a resumed writer — which land in a
+// fresh segment past the damage — are fully recoverable by the NEXT
+// recovery instead of being stranded behind the old torn frame.
+func TestRecoverRepairsDamageForResume(t *testing.T) {
+	frame := frameHdrLen + len(payload(1)) // fixed-size payloads
+
+	resumeAndRecheck := func(t *testing.T, fs *MemFS, rec *Recovered, total uint64) {
+		t.Helper()
+		w := NewWriter(fs, 0, Options{})
+		w.StartAt(rec.LastLSN)
+		for lsn := rec.LastLSN + 1; lsn <= total; lsn++ {
+			if got, ok := w.Append(resumed(lsn)); !ok || got != lsn {
+				t.Fatalf("resume append: lsn=%d ok=%v", got, ok)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("resumed close: %v", err)
+		}
+		rec2 := mustRecover(t, fs, 0)
+		if rec2.LastLSN != total || uint64(len(rec2.Records)) != total-rec2.CheckpointLSN {
+			t.Fatalf("post-resume recovery lost records: last=%d (%d records), want last=%d",
+				rec2.LastLSN, len(rec2.Records), total)
+		}
+		if n := len(rec2.Report.Faults); n != 0 {
+			t.Fatalf("post-resume recovery still faulting after repair: %v", rec2.Report.Faults)
+		}
+		for i, r := range rec2.Records {
+			lsn := rec2.CheckpointLSN + uint64(i) + 1
+			want := payload(lsn)
+			if lsn > rec.LastLSN {
+				want = resumed(lsn)
+			}
+			if !bytes.Equal(r, want) {
+				t.Fatalf("record at LSN %d = %q, want %q", lsn, r, want)
+			}
+		}
+	}
+
+	t.Run("torn tail", func(t *testing.T) {
+		fs := NewMemFS()
+		w := NewWriter(fs, 0, Options{})
+		appendN(t, w, 0, 8)
+		w.Close()
+		seg := segName(0, 0)
+		fs.Truncate(seg, int64(fs.Size(seg)-3))
+
+		rec := mustRecover(t, fs, 0)
+		if len(rec.Records) != 7 || rec.LastLSN != 7 || rec.Report.TornTail != 1 {
+			t.Fatalf("%d records, last=%d, report %+v", len(rec.Records), rec.LastLSN, rec.Report)
+		}
+		if rec.Report.Repaired == 0 {
+			t.Fatalf("no repair recorded: %+v", rec.Report)
+		}
+		if got, want := fs.Size(seg), segHeaderLen+7*frame; got != want {
+			t.Fatalf("segment not truncated to last valid frame: %d bytes, want %d", got, want)
+		}
+		resumeAndRecheck(t, fs, rec, 10)
+	})
+
+	t.Run("bad crc mid-segment", func(t *testing.T) {
+		fs := NewMemFS()
+		w := NewWriter(fs, 0, Options{})
+		appendN(t, w, 0, 8)
+		w.Close()
+		seg := segName(0, 0)
+		// Flip a payload byte in the 4th frame: 5..8 are unreplayable
+		// and must be physically discarded with the damage.
+		fs.Corrupt(seg, segHeaderLen+3*frame+frameHdrLen+2, 0x40)
+
+		rec := mustRecover(t, fs, 0)
+		if len(rec.Records) != 3 || rec.LastLSN != 3 || rec.Report.BadCRC != 1 {
+			t.Fatalf("%d records, last=%d, report %+v", len(rec.Records), rec.LastLSN, rec.Report)
+		}
+		if got, want := fs.Size(seg), segHeaderLen+3*frame; got != want {
+			t.Fatalf("segment not truncated at the damage: %d bytes, want %d", got, want)
+		}
+		resumeAndRecheck(t, fs, rec, 6)
+	})
+
+	t.Run("shed gap", func(t *testing.T) {
+		mem := NewMemFS()
+		gfs := &gateFS{FS: mem}
+		gfs.gate.Lock()
+		w := NewWriter(gfs, 0, Options{StagingCap: 4})
+		w.Append(payload(1))
+		for {
+			w.mu.Lock()
+			idle := len(w.buf) == 0 && w.inFlight
+			w.mu.Unlock()
+			if idle {
+				break
+			}
+		}
+		for lsn := uint64(2); lsn <= 8; lsn++ {
+			w.Append(payload(lsn)) // 2..5 accepted, 6..8 shed
+		}
+		gfs.gate.Unlock()
+		w.Flush()
+		w.Append(payload(9)) // beyond the gap marker: not replayable
+		w.Close()
+
+		rec := mustRecover(t, mem, 0)
+		if len(rec.Records) != 5 || rec.LastLSN != 5 || !rec.Report.GapStop {
+			t.Fatalf("%d records, last=%d, report %+v", len(rec.Records), rec.LastLSN, rec.Report)
+		}
+		// The marker and the stranded record behind it are cut away, so
+		// the resumed writer's records chain on cleanly.
+		resumeAndRecheck(t, mem, rec, 8)
+	})
+}
+
+func TestCrashFSExactBudgetWrite(t *testing.T) {
+	mem := NewMemFS()
+	cfs := NewCrashFS(mem)
+	f, err := cfs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs.KillAfter(10)
+	// A write of exactly the remaining budget is fully applied and
+	// reported as a clean success; the crash lands on the boundary.
+	n, err := f.Write(make([]byte, 10))
+	if n != 10 || err != nil {
+		t.Fatalf("exact-budget write: n=%d err=%v, want 10,nil", n, err)
+	}
+	if !cfs.Crashed() {
+		t.Fatal("FS should be dead after the budget is consumed")
+	}
+	if _, err := f.Write([]byte{1}); err != ErrCrashed {
+		t.Fatalf("post-budget write: err=%v, want ErrCrashed", err)
+	}
+	if got := mem.Size("x"); got != 10 {
+		t.Fatalf("file has %d bytes, want 10", got)
+	}
+
+	// A write crossing the boundary is torn at it.
+	mem = NewMemFS()
+	cfs = NewCrashFS(mem)
+	f, _ = cfs.Create("y")
+	cfs.KillAfter(10)
+	n, err = f.Write(make([]byte, 12))
+	if n != 10 || err != ErrCrashed {
+		t.Fatalf("crossing write: n=%d err=%v, want 10,ErrCrashed", n, err)
+	}
+	if got := mem.Size("y"); got != 10 {
+		t.Fatalf("file has %d bytes, want 10", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	if _, ok, err := ReadManifest(fs); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if err := WriteManifest(fs, 4); err != nil {
+		t.Fatal(err)
+	}
+	n, ok, err := ReadManifest(fs)
+	if err != nil || !ok || n != 4 {
+		t.Fatalf("ReadManifest = %d,%v,%v", n, ok, err)
+	}
+	// The manifest is invisible to the shard/file scan.
+	if shards, err := Shards(fs); err != nil || len(shards) != 0 {
+		t.Fatalf("Shards = %v, %v", shards, err)
+	}
+	// A corrupt manifest is a typed refusal, not a guess.
+	fs.Corrupt(manifestName, 9, 0xff)
+	if _, _, err := ReadManifest(fs); err == nil {
+		t.Fatal("corrupt manifest read succeeded")
+	}
+
+	dfs, err := NewDirFS(t.TempDir() + "/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(dfs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok, err := ReadManifest(dfs); err != nil || !ok || n != 2 {
+		t.Fatalf("DirFS ReadManifest = %d,%v,%v", n, ok, err)
 	}
 }
 

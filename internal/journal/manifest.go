@@ -1,0 +1,85 @@
+package journal
+
+// The journal manifest pins the shard count the directory was written
+// with. Segment and checkpoint names carry each file's own shard
+// index, but an idle shard leaves no files at all — so the file set
+// alone cannot prove how many shards the writing pool had, and
+// recovering a 2-shard journal into a 4-shard pool would route every
+// symbol's NEW orders to a different shard than the one holding its
+// recovered book (invariant 13). The manifest makes the count explicit
+// and lets recovery demand an exact match.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+const (
+	manifestName  = "manifest.dfj"
+	manifestMagic = "DFJM"
+	manifestLen   = 16 // magic + u32 version + u32 shards + u32 crc
+)
+
+// WriteManifest publishes the directory's shard count via the same
+// tmp → sync → rename → dir-sync protocol checkpoints use, so a torn
+// write leaves no manifest rather than a corrupt one.
+func WriteManifest(fs FS, shards int) error {
+	if shards <= 0 {
+		return fmt.Errorf("journal: manifest shard count %d", shards)
+	}
+	b := make([]byte, manifestLen)
+	copy(b[0:4], manifestMagic)
+	binary.LittleEndian.PutUint32(b[4:8], version)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(shards))
+	binary.LittleEndian.PutUint32(b[12:16], crc32.ChecksumIEEE(b[0:12]))
+	tmp := manifestName + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	if err := fs.Rename(tmp, manifestName); err != nil {
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads the directory's shard count. ok is false when no
+// manifest exists (an empty or pre-manifest directory); a manifest
+// that exists but does not validate is an error, not a fallback —
+// guessing a shard count risks misrouting every recovered symbol.
+func ReadManifest(fs FS) (shards int, ok bool, err error) {
+	b, err := fs.ReadFile(manifestName)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("journal: manifest: %w", err)
+	}
+	if len(b) != manifestLen || string(b[0:4]) != manifestMagic ||
+		binary.LittleEndian.Uint32(b[4:8]) != version ||
+		crc32.ChecksumIEEE(b[0:12]) != binary.LittleEndian.Uint32(b[12:16]) {
+		return 0, false, fmt.Errorf("journal: manifest: corrupt (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b[8:12])
+	if n == 0 || n > 1<<16 {
+		return 0, false, fmt.Errorf("journal: manifest: implausible shard count %d", n)
+	}
+	return int(n), true, nil
+}

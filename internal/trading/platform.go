@@ -261,6 +261,23 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	if jfs != nil {
+		// A journal directory is bound to the shard count that writes
+		// it: symbol → shard routing depends on the pool size, so a
+		// mismatched pool would journal a symbol's orders under a
+		// different shard than the one holding its earlier records.
+		switch n, ok, err := journal.ReadManifest(jfs); {
+		case err != nil:
+			return nil, fmt.Errorf("trading: journal manifest: %w", err)
+		case ok && n != cfg.BrokerShards:
+			return nil, fmt.Errorf("%w: journal written with %d shards, pool has %d",
+				ErrShardMismatch, n, cfg.BrokerShards)
+		case !ok:
+			if err := journal.WriteManifest(jfs, cfg.BrokerShards); err != nil {
+				return nil, fmt.Errorf("trading: journal manifest: %w", err)
+			}
+		}
+	}
 
 	sys := core.NewSystem(core.Config{
 		Mode:     cfg.Mode,

@@ -27,10 +27,12 @@ import (
 var (
 	// ErrNoJournal: Recover called without JournalDir/JournalFS.
 	ErrNoJournal = errors.New("trading: recovery needs JournalDir or JournalFS")
-	// ErrShardMismatch: the journal was written by a pool with more
-	// shards than the recovering config — symbol routing would misfile
-	// every book, so recovery refuses.
-	ErrShardMismatch = errors.New("trading: journal shard count exceeds BrokerShards")
+	// ErrShardMismatch: the journal was written by a pool with a
+	// different shard count than the recovering config — RouteSymbol
+	// would steer new orders for a symbol to a different shard than
+	// the one holding its recovered book (invariant 13), so recovery
+	// refuses in BOTH directions, too many shards and too few.
+	ErrShardMismatch = errors.New("trading: journal shard count does not match BrokerShards")
 	// ErrCheckpointDecode: a checkpoint passed its CRC but does not
 	// decode — version skew, not disk damage; refusing beats silently
 	// discarding state.
@@ -111,17 +113,34 @@ func Recover(cfg Config) (*Platform, *RecoveryReport, error) {
 	}
 	cfg.JournalFS, cfg.JournalDir = fs, ""
 
-	if cfg.BrokerShards == 0 {
-		cfg.BrokerShards = defaultBrokerShards()
-	}
-	shards, err := journal.Shards(fs)
-	if err != nil {
+	// The manifest pins the writing pool's shard count; an unset
+	// config adopts it, a set config must match it exactly. Without a
+	// manifest (a journal built below the platform layer) the file set
+	// is the only evidence: idle shards leave no files, so we demand
+	// the strictest reading — max shard + 1 — and reject anything else
+	// rather than risk splitting a symbol's state across shards.
+	switch n, ok, err := journal.ReadManifest(fs); {
+	case err != nil:
 		return nil, nil, fmt.Errorf("trading: recover: %w", err)
-	}
-	for _, sh := range shards {
-		if sh >= cfg.BrokerShards {
-			return nil, nil, fmt.Errorf("%w: journal has shard %d, pool has %d shards",
-				ErrShardMismatch, sh, cfg.BrokerShards)
+	case ok:
+		if cfg.BrokerShards == 0 {
+			cfg.BrokerShards = n
+		}
+		if cfg.BrokerShards != n {
+			return nil, nil, fmt.Errorf("%w: journal written with %d shards, config asks for %d",
+				ErrShardMismatch, n, cfg.BrokerShards)
+		}
+	default:
+		if cfg.BrokerShards == 0 {
+			cfg.BrokerShards = defaultBrokerShards()
+		}
+		shards, err := journal.Shards(fs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trading: recover: %w", err)
+		}
+		if len(shards) > 0 && shards[len(shards)-1]+1 != cfg.BrokerShards {
+			return nil, nil, fmt.Errorf("%w: no manifest; journal files imply %d shards, config asks for %d",
+				ErrShardMismatch, shards[len(shards)-1]+1, cfg.BrokerShards)
 		}
 	}
 

@@ -7,6 +7,7 @@ package trading
 // is idempotent under concurrent shutdown.
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"sync"
@@ -296,7 +297,7 @@ func TestRecoveryFaultClasses(t *testing.T) {
 		fs, cfg := buildJournaledRun(t)
 		for _, seg := range journalFiles(t, fs, ".jnl") {
 			if n := fs.Size(seg); n > 8 {
-				fs.Truncate(seg, n-5)
+				fs.Truncate(seg, int64(n-5))
 			}
 		}
 		report := check(t, cfg)
@@ -336,7 +337,7 @@ func TestRecoveryFaultClasses(t *testing.T) {
 			shard := ckpts[i][:strings.LastIndex(ckpts[i], "-")]
 			if !seen[shard] {
 				seen[shard] = true
-				fs.Truncate(ckpts[i], fs.Size(ckpts[i])/2)
+				fs.Truncate(ckpts[i], int64(fs.Size(ckpts[i])/2))
 			}
 		}
 		report := check(t, cfg)
@@ -416,6 +417,120 @@ func TestRecoveryCrashSweep(t *testing.T) {
 		}
 		_ = report
 		p2.Close()
+	}
+}
+
+// TestRecoverShardCountMismatch pins the manifest guard: a journal is
+// bound to the shard count that wrote it, and recovery (or reopening)
+// with any other pool size is refused in both directions — recovering
+// a 2-shard journal into a larger pool would route a symbol's new
+// orders away from the shard holding its recovered book.
+func TestRecoverShardCountMismatch(t *testing.T) {
+	_, cfg := buildJournaledRun(t) // written with BrokerShards = 2
+
+	for _, bad := range []int{1, 4} {
+		c := cfg
+		c.BrokerShards = bad
+		if _, _, err := Recover(c); !errors.Is(err, ErrShardMismatch) {
+			t.Fatalf("Recover with BrokerShards=%d: err=%v, want ErrShardMismatch", bad, err)
+		}
+	}
+
+	// New refuses to open the journal with a mismatched pool too.
+	{
+		c := cfg
+		c.BrokerShards = 4
+		if _, err := New(c); !errors.Is(err, ErrShardMismatch) {
+			t.Fatalf("New with BrokerShards=4: err=%v, want ErrShardMismatch", err)
+		}
+	}
+
+	// An unset shard count adopts the manifest's.
+	c := cfg
+	c.BrokerShards = 0
+	p, _, err := Recover(c)
+	if err != nil {
+		t.Fatalf("recover with adopted shard count: %v", err)
+	}
+	defer p.Close()
+	if got := p.Broker.NumShards(); got != 2 {
+		t.Fatalf("adopted %d shards, want 2", got)
+	}
+}
+
+// TestRecoverResumeRunRecover pins the crash→recover→run→crash path
+// end to end: the first recovery repairs the torn journal, so records
+// the resumed platform journals afterwards — with NO checkpoint to
+// heal the chain — are fully recoverable by a second recovery instead
+// of being stranded behind the old damage.
+func TestRecoverResumeRunRecover(t *testing.T) {
+	mem := journal.NewMemFS()
+	cfs := journal.NewCrashFS(mem)
+	cfg := recoveryCfg(core.LabelsFreeze, cfs, nil)
+	cfg.JournalCheckpointEvery = 150
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := workload.NewOrderFlow(p.Universe(), recoveryFlowCfg(), 67)
+	p.ReplayOrders(flow.Take(600))
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	// Tear the next group commit mid-frame, past the last checkpoint.
+	cfs.KillAfter(37)
+	p.ReplayOrders(flow.Take(200))
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce after crash")
+	}
+	p.Close()
+	if !cfs.Crashed() {
+		t.Fatal("crash never fired")
+	}
+
+	// First recovery repairs the chain; the resumed run journals more
+	// records but — checkpoints disabled — nothing else heals it.
+	cfg.JournalFS = mem
+	cfg.JournalCheckpointEvery = -1
+	p2, _, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("first recover: %v", err)
+	}
+	flow2 := workload.NewOrderFlow(p2.Universe(), recoveryFlowCfg(), 71)
+	p2.ReplayOrders(flow2.Take(300))
+	if !p2.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce on resumed platform")
+	}
+	time.Sleep(50 * time.Millisecond)
+	books := p2.Broker.SnapshotBooks()
+	logs := p2.Broker.TradeLogSnapshot()
+	trades := p2.Broker.Trades()
+	p2.Close()
+
+	// The second recovery must reproduce the resumed platform's state
+	// — every record journaled after the first recovery included.
+	p3, report, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	defer p3.Close()
+	if n := len(report.Faults()); n != 0 {
+		t.Fatalf("second recovery found %d faults on the repaired journal: %v", n, report.Faults())
+	}
+	if got := p3.Broker.Trades(); got != trades {
+		t.Fatalf("second recovery lost trades: %d, resumed platform had %d", got, trades)
+	}
+	if got := p3.Broker.SnapshotBooks(); !reflect.DeepEqual(got, books) {
+		t.Fatal("second recovery diverges from the resumed platform (books)")
+	}
+	if got := p3.Broker.TradeLogSnapshot(); !reflect.DeepEqual(got, logs) {
+		t.Fatal("second recovery diverges from the resumed platform (trade logs)")
+	}
+	if err := p3.Broker.ValidateBooks(); err != nil {
+		t.Fatalf("recovered books invalid: %v", err)
+	}
+	if err := p3.Broker.CheckConservation(); err != nil {
+		t.Fatalf("recovered conservation broken: %v", err)
 	}
 }
 
