@@ -10,9 +10,11 @@
 //	defcon-bench -fig obshard -shards 1,2 | tee figobshard.txt
 //	defcon-bench -fig mdfeed -subs 100,1000 | tee figmdfeed.txt
 //	defcon-bench -fig objournal -quick | tee figobjournal.txt
+//	defcon-bench -fig gateway -quick | tee figgateway.txt
 //	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt \
 //	  -figobshard figobshard.txt -figmdfeed figmdfeed.txt \
-//	  -figobjournal figobjournal.txt -o BENCH_dispatch.json
+//	  -figobjournal figobjournal.txt -figgateway figgateway.txt \
+//	  -o BENCH_dispatch.json
 package main
 
 import (
@@ -63,6 +65,10 @@ type Snapshot struct {
 	// x = traders) from `defcon-bench -fig objournal`.
 	ObJournalFigure string     `json:"objournal_figure,omitempty"`
 	ObJournalPoints []FigPoint `json:"objournal_points,omitempty"`
+	// Ingress-gateway series (orders/s per mode, x = concurrent
+	// loopback sessions) from `defcon-bench -fig gateway`.
+	GatewayFigure string     `json:"gateway_figure,omitempty"`
+	GatewayPoints []FigPoint `json:"gateway_points,omitempty"`
 }
 
 func main() {
@@ -73,6 +79,7 @@ func main() {
 		figShardPath     = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
 		figMDPath        = flag.String("figmdfeed", "", "optional file holding the defcon-bench market-data fanout table")
 		figJournalPath   = flag.String("figobjournal", "", "optional file holding the defcon-bench journal-overhead table")
+		figGatewayPath   = flag.String("figgateway", "", "optional file holding the defcon-bench ingress-gateway table")
 		outPath          = flag.String("o", "BENCH_dispatch.json", "output JSON path")
 		require          = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
 		reqSeries        = flag.String("require-series", "", "comma-separated figure series names that must be present")
@@ -80,6 +87,7 @@ func main() {
 		reqShardSeries   = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
 		reqMDSeries      = flag.String("require-mdfeed-series", "", "comma-separated market-data fanout series names that must be present")
 		reqJournalSeries = flag.String("require-journal-series", "", "comma-separated journal-overhead series names that must be present (keeps the bench-snapshot artifact carrying the journal-on/off comparison)")
+		reqGatewaySeries = flag.String("require-gateway-series", "", "comma-separated ingress-gateway series names that must be present (keeps the bench-snapshot artifact carrying the socket-ingress sweep)")
 	)
 	flag.Parse()
 
@@ -126,8 +134,13 @@ func main() {
 			fatal(fmt.Errorf("no journal-overhead points parsed from %s", *figJournalPath))
 		}
 	}
+	if *figGatewayPath != "" {
+		if snap.GatewayFigure, snap.GatewayPoints = parseFigureFile(*figGatewayPath); len(snap.GatewayPoints) == 0 {
+			fatal(fmt.Errorf("no ingress-gateway points parsed from %s", *figGatewayPath))
+		}
+	}
 
-	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries); err != nil {
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries, *reqGatewaySeries); err != nil {
 		fatal(err)
 	}
 
@@ -151,7 +164,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries, gatewaySeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -176,7 +189,10 @@ func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSer
 	if err := requireSeries(snap.MDFeedPoints, mdSeries, "market-data fanout"); err != nil {
 		return err
 	}
-	return requireSeries(snap.ObJournalPoints, journalSeries, "journal-overhead")
+	if err := requireSeries(snap.ObJournalPoints, journalSeries, "journal-overhead"); err != nil {
+		return err
+	}
+	return requireSeries(snap.GatewayPoints, gatewaySeries, "ingress-gateway")
 }
 
 // requireSeries checks each named series appears in at least one point.

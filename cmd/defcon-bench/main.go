@@ -10,6 +10,7 @@
 //	defcon-bench -fig ob -ops 50000              # order-book fill rate
 //	defcon-bench -fig obshard -shards 1,2,4,8    # pool shard scaling
 //	defcon-bench -fig mdfeed -subs 100,1000,10000 # market-data fanout
+//	defcon-bench -fig gateway -sessions 100,1000  # socket ingress sweep
 //	defcon-bench -analysis                       # §4.2 pipeline counts
 //	defcon-bench -fig all -quick                 # fast smoke of everything
 //
@@ -33,10 +34,11 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,mdfeed or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,mdfeed,gateway or all")
 		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
 		shards    = flag.String("shards", "", "comma-separated broker shard counts (figure obshard)")
 		subs      = flag.String("subs", "", "comma-separated subscriber counts (figure mdfeed)")
+		sessions  = flag.String("sessions", "", "comma-separated session counts (figure gateway)")
 		agents    = flag.String("agents", "", "comma-separated agent counts (figures 8-9)")
 		duration  = flag.Duration("duration", 2*time.Second, "measurement duration per throughput point")
 		rate      = flag.Float64("rate", 0, "offered tick rate for latency figures (0 = default)")
@@ -61,6 +63,7 @@ func main() {
 	jopts := bench.OrderBookJournalOpts{Ops: *ops}
 	sopts := bench.OrderBookShardOpts{Ops: *ops}
 	mopts := bench.MDFeedOpts{Ops: *ops}
+	gopts := bench.GatewayOpts{}
 	if *rate > 0 {
 		dopts.LatencyRate = *rate
 		bopts.LatencyRate = *rate
@@ -75,6 +78,9 @@ func main() {
 	}
 	if *subs != "" {
 		mopts.Subscribers = parseInts(*subs)
+	}
+	if *sessions != "" {
+		gopts.Sessions = parseInts(*sessions)
 	}
 	if *agents != "" {
 		bopts.ThroughputAgents = parseInts(*agents)
@@ -105,6 +111,10 @@ func main() {
 		}
 		mopts.Ops = 2000
 		mopts.Traders = 8
+		if *sessions == "" {
+			gopts.Sessions = []int{8, 32}
+		}
+		gopts.OpsPerSession = 30
 	}
 
 	want := func(n string) bool { return *fig == "all" || *fig == n }
@@ -122,6 +132,7 @@ func main() {
 		{"objournal", func() (bench.Result, error) { return bench.RunOrderBookJournal(jopts) }},
 		{"obshard", func() (bench.Result, error) { return bench.RunOrderBookShards(sopts) }},
 		{"mdfeed", func() (bench.Result, error) { return bench.RunMDFeed(mopts) }},
+		{"gateway", func() (bench.Result, error) { return bench.RunGateway(gopts) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -137,7 +148,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,mdfeed or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,mdfeed,gateway or all)\n", *fig)
 		os.Exit(2)
 	}
 }

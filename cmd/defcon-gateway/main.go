@@ -1,0 +1,133 @@
+// Command defcon-gateway runs the dark pool behind a real TCP ingress
+// gateway: sessions authenticate with trader tokens, speak the framed
+// binary order protocol, and are admission-controlled (token-bucket
+// rate limits, bounded ingress queues that shed to labeled reject
+// events, idle and slow-writer eviction). SIGINT/SIGTERM drains
+// gracefully: in-flight admitted orders flush, the rest are refused
+// with drain rejects, and the platform settles before exit.
+//
+//	defcon-gateway -addr :7450 -mode labels+freeze -traders 64
+//	defcon-loadgen -addr localhost:7450 -sessions 64 -ops 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7450", "listen address")
+		mode     = flag.String("mode", "labels+freeze", "security mode: none, labels+freeze, labels+clone, labels+freeze+isolation")
+		traders  = flag.Int("traders", 64, "trader population (token trader-0000 … trader-NNNN)")
+		pairs    = flag.Int("pairs", 2, "symbol-pair universe size")
+		rate     = flag.Float64("rate", 0, "per-session sustained orders/s admitted (0 = unlimited)")
+		burst    = flag.Int("burst", 0, "per-session admission burst (0 = rate)")
+		ingressQ = flag.Int("ingress-queue", 256, "per-session bounded ingress queue (overflow sheds)")
+		maxSess  = flag.Int("max-sessions", 0, "concurrent session cap (0 = unlimited)")
+		idle     = flag.Duration("idle", 30*time.Second, "idle session timeout")
+		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 = quiet)")
+	)
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := trading.New(trading.Config{
+		Mode:       m,
+		NumTraders: *traders,
+		Universe:   workload.NewUniverse(*pairs),
+		Seed:       1,
+		QueueCap:   4096,
+		OrderTTL:   time.Minute,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ingress := p.NewIngress()
+	g := gateway.New(gateway.Config{
+		Backend:      ingress,
+		Rate:         *rate,
+		Burst:        *burst,
+		IngressQueue: *ingressQ,
+		MaxSessions:  *maxSess,
+		IdleTimeout:  *idle,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "defcon-gateway: %s mode on %s, %d traders\n", m, ln.Addr(), *traders)
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				st := g.Stats()
+				fmt.Fprintf(os.Stderr,
+					"defcon-gateway: active=%d received=%d admitted=%d shed=%d dup=%d trades=%d\n",
+					st.Active, st.OrdersReceived, st.Admitted,
+					st.RateRejects+st.OverflowRejects+st.DrainRejects, st.DupOrders,
+					p.Broker.Trades())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- g.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "defcon-gateway: %v, draining\n", s)
+	}
+	if err := g.Close(); err != nil {
+		fatal(err)
+	}
+	if !p.Quiesce(30 * time.Second) {
+		fatal(fmt.Errorf("platform did not quiesce"))
+	}
+	st := g.Stats()
+	fmt.Fprintf(os.Stderr,
+		"defcon-gateway: drained — received=%d admitted=%d shed=%d dup=%d labeled-rejects=%d trades=%d\n",
+		st.OrdersReceived, st.Admitted,
+		st.RateRejects+st.OverflowRejects+st.DrainRejects, st.DupOrders,
+		ingress.Rejects(), p.Broker.Trades())
+	if err := p.Broker.CheckConservation(); err != nil {
+		fatal(err)
+	}
+	p.Close()
+}
+
+func parseMode(s string) (core.SecurityMode, error) {
+	switch s {
+	case "none", "nosec", "no-security":
+		return core.NoSecurity, nil
+	case "labels+freeze", "freeze":
+		return core.LabelsFreeze, nil
+	case "labels+clone", "clone":
+		return core.LabelsClone, nil
+	case "labels+freeze+isolation", "isolation":
+		return core.LabelsFreezeIsolation, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "defcon-gateway:", err)
+	os.Exit(1)
+}

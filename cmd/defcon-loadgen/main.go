@@ -1,0 +1,87 @@
+// Command defcon-loadgen drives a running defcon-gateway: N client
+// sessions authenticate with trader tokens and replay deterministic
+// workload traces through the wire protocol, reconnecting with capped
+// exponential backoff (plus jitter) and sequence resync when
+// connections drop. The exit ledger proves no order was silently
+// lost: every op is acked, labeled-rejected, or reported unsent.
+//
+//	defcon-loadgen -addr localhost:7450 -sessions 64 -ops 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7450", "gateway address")
+		sessions = flag.Int("sessions", 8, "concurrent client sessions (session i authenticates as trader-000i)")
+		ops      = flag.Int("ops", 500, "orders per session")
+		pairs    = flag.Int("pairs", 2, "symbol-pair universe size (must match the gateway's)")
+		seed     = flag.Int64("seed", 1, "workload trace seed")
+		attempts = flag.Int("attempts", 8, "max consecutive failed dials before a session gives up")
+		backoff  = flag.Duration("backoff", 10*time.Millisecond, "base reconnect backoff (doubles per failure, jittered)")
+		maxBack  = flag.Duration("max-backoff", time.Second, "reconnect backoff cap")
+	)
+	flag.Parse()
+
+	u := workload.NewUniverse(*pairs)
+	var wg sync.WaitGroup
+	clients := make([]*gateway.Client, *sessions)
+	errs := make([]error, *sessions)
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		flow := workload.NewOrderFlow(u, workload.FlowConfig{Traders: 1, AggressionPct: 55}, *seed+int64(i)*101)
+		trace := workload.OffsetOrderIDs(flow.Take(*ops), int64(i+1)<<24)
+		clients[i] = gateway.NewClient(gateway.ClientConfig{
+			Addr:        *addr,
+			Token:       trading.TraderToken(i),
+			Seed:        *seed + int64(i),
+			MaxAttempts: *attempts,
+			BaseBackoff: *backoff,
+			MaxBackoff:  *maxBack,
+		})
+		wg.Add(1)
+		go func(i int, trace []workload.OrderOp) {
+			defer wg.Done()
+			errs[i] = clients[i].Run(trace)
+		}(i, trace)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var acked, rejected, unsent, reconnects uint64
+	failed := 0
+	for i, cl := range clients {
+		st := cl.Stats()
+		acked += st.Acked
+		rejected += st.Rejected
+		unsent += st.Unsent
+		reconnects += st.Reconnects
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "defcon-loadgen: session %d: %v\n", i, errs[i])
+		}
+	}
+	total := uint64(*sessions) * uint64(*ops)
+	fmt.Fprintf(os.Stderr,
+		"defcon-loadgen: %d sessions × %d ops in %v — acked=%d rejected=%d unsent=%d reconnects=%d (%.0f orders/s)\n",
+		*sessions, *ops, elapsed.Round(time.Millisecond),
+		acked, rejected, unsent, reconnects,
+		float64(acked+rejected)/elapsed.Seconds())
+	if acked+rejected+unsent != total {
+		fmt.Fprintf(os.Stderr, "defcon-loadgen: LEDGER LEAK: %d+%d+%d != %d\n", acked, rejected, unsent, total)
+		os.Exit(1)
+	}
+	if failed > 0 || unsent > 0 {
+		os.Exit(1)
+	}
+}

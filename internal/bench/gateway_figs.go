@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// GatewayOpts parameterise the ingress-gateway sweep: sustained
+// orders/s through real loopback sockets as the concurrent session
+// count grows, per security mode. Each session is a full protocol
+// client — framed binary orders, per-session auth, cumulative acks —
+// so the point measures the whole admission path: socket read, CRC
+// frame decode, token-bucket admission, bounded ingress queue,
+// trader-unit submit, matching, ack write-back.
+type GatewayOpts struct {
+	// Sessions lists the x-axis points (default 100, 500, 1000).
+	Sessions []int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// OpsPerSession is the per-client trace length (default 50).
+	OpsPerSession int
+	// Pairs sizes the symbol universe (default 2 pairs, 4 symbols).
+	Pairs int
+	// Seed fixes the per-session workload traces.
+	Seed int64
+}
+
+func (o *GatewayOpts) defaults() {
+	if len(o.Sessions) == 0 {
+		o.Sessions = []int{100, 500, 1000}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.OpsPerSession == 0 {
+		o.OpsPerSession = 50
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunGateway measures the ingress gateway (the `-fig gateway` sweep):
+// N concurrent loopback sessions each replay a workload trace through
+// the wire protocol, and the point is processed orders (admitted plus
+// labeled rejects) per wall-clock second, dial through final ack.
+// Each point also verifies the admission ledger (nothing received is
+// silently dropped, every shed has its labeled reject event) and the
+// platform's conservation and book invariants.
+func RunGateway(o GatewayOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Ingress gateway",
+		Caption: "orders/s through loopback sockets vs concurrent sessions, full admission path per security mode",
+	}
+	for _, mode := range o.Modes {
+		s := Series{Name: shortMode(mode), Unit: "orders/s"}
+		for _, n := range o.Sessions {
+			y, err := runGatewayPoint(&o, mode, n)
+			if err != nil {
+				return res, fmt.Errorf("gateway point %s/%d: %w", s.Name, n, err)
+			}
+			s.Points = append(s.Points, Point{X: n, Y: y})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+func runGatewayPoint(o *GatewayOpts, mode core.SecurityMode, n int) (float64, error) {
+	p, err := trading.New(trading.Config{
+		Mode:       mode,
+		NumTraders: n,
+		Universe:   workload.NewUniverse(o.Pairs),
+		Seed:       o.Seed,
+		// Keep the sampled-trade feedback path out of the accounting.
+		AuditSampleEvery: 1 << 30,
+		QueueCap:         4096,
+		BrokerShards:     4,
+		OrderTTL:         time.Minute,
+		Enforcer:         SharedEnforcer(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+
+	ingress := p.NewIngress()
+	g := gateway.New(gateway.Config{
+		Backend:       ingress,
+		IngressQueue:  512,
+		OutboundQueue: 2048,
+		IdleTimeout:   60 * time.Second,
+		MaxSessions:   n + 8,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- g.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	clients := make([]*gateway.Client, n)
+	errs := make([]error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+			Traders:       1,
+			AggressionPct: 55,
+		}, o.Seed+int64(i)*101)
+		ops := workload.OffsetOrderIDs(flow.Take(o.OpsPerSession), int64(i+1)<<24)
+		clients[i] = gateway.NewClient(gateway.ClientConfig{
+			Addr:      addr,
+			Token:     trading.TraderToken(i),
+			Seed:      o.Seed + int64(i),
+			IOTimeout: 120 * time.Second,
+		})
+		wg.Add(1)
+		go func(i int, ops []workload.OrderOp) {
+			defer wg.Done()
+			errs[i] = clients[i].Run(ops)
+		}(i, ops)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var processed uint64
+	for i, cl := range clients {
+		if errs[i] != nil {
+			g.Close()
+			return 0, fmt.Errorf("session %d: %w", i, errs[i])
+		}
+		st := cl.Stats()
+		if st.Unsent != 0 {
+			g.Close()
+			return 0, fmt.Errorf("session %d lost %d orders", i, st.Unsent)
+		}
+		processed += st.Acked + st.Rejected
+	}
+
+	st := g.Stats()
+	if st.OrdersReceived != st.Admitted+st.Rejected()+st.DupOrders {
+		return 0, fmt.Errorf("admission ledger leaks: %+v", st)
+	}
+	if sheds := st.RateRejects + st.OverflowRejects + st.DrainRejects; ingress.Rejects() != sheds {
+		return 0, fmt.Errorf("labeled rejects %d != sheds %d", ingress.Rejects(), sheds)
+	}
+	if !p.Quiesce(120 * time.Second) {
+		return 0, fmt.Errorf("platform did not quiesce")
+	}
+	if err := g.Close(); err != nil {
+		return 0, err
+	}
+	if err := <-serveErr; err != nil {
+		return 0, fmt.Errorf("serve: %w", err)
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		return 0, err
+	}
+	if err := p.Broker.ValidateBooks(); err != nil {
+		return 0, err
+	}
+	return float64(processed) / elapsed.Seconds(), nil
+}

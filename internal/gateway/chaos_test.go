@@ -1,0 +1,316 @@
+package gateway
+
+// Connection-fault chaos against a live trading platform: seeded
+// kill/reconnect waves, mid-frame disconnects and partial writes over
+// a faulty net.Conn wrapper. The platform's conservation and book
+// invariants must hold, every shed order must have a labeled reject
+// event, and no client may lose an order silently.
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// The trading ingress is the production Backend.
+var _ Backend = (*trading.Ingress)(nil)
+
+// faultConn injects write-side faults: every Write goes out in small
+// chunks (partial writes), and after cutAfter total bytes the
+// connection is torn down mid-stream — which lands mid-frame whenever
+// the budget runs out inside one.
+type faultConn struct {
+	net.Conn
+	mu         sync.Mutex
+	cutAfter   int // total write budget; < 0 = unlimited
+	partialMax int // per-chunk cap; 0 = unlimited
+	written    int
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total int
+	for len(p) > 0 {
+		chunk := len(p)
+		if f.partialMax > 0 && chunk > f.partialMax {
+			chunk = f.partialMax
+		}
+		if f.cutAfter >= 0 {
+			if f.written >= f.cutAfter {
+				f.Conn.Close()
+				return total, net.ErrClosed
+			}
+			if f.written+chunk > f.cutAfter {
+				chunk = f.cutAfter - f.written
+			}
+		}
+		n, err := f.Conn.Write(p[:chunk])
+		total += n
+		f.written += n
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// chaosDialer builds per-attempt faulty connections: early attempts
+// get tight byte budgets (guaranteeing mid-frame cuts and reconnect
+// waves), later attempts loosen until the client can finish.
+func chaosDialer(addr string, seed int64) func() (net.Conn, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	attempt := 0
+	return func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		attempt++
+		a := attempt
+		budget := 150 + rng.Intn(900)*a // grows with attempts
+		partial := 1 + rng.Intn(7)
+		mu.Unlock()
+		if a >= 5 {
+			budget = -1 // let the session finish eventually
+		}
+		return &faultConn{Conn: conn, cutAfter: budget, partialMax: partial}, nil
+	}
+}
+
+// chaosPlatform assembles a platform + ingress + gateway for fault
+// testing.
+func chaosPlatform(t *testing.T, mode core.SecurityMode, traders int, tweak func(*Config)) (*trading.Platform, *trading.Ingress, *Gateway, string) {
+	t.Helper()
+	p, err := trading.New(trading.Config{
+		Mode:       mode,
+		NumTraders: traders,
+		Universe:   workload.NewUniverse(4),
+		Seed:       31,
+		// Keep the feedback path (sampled trades republished as
+		// ticks) out of the order accounting.
+		AuditSampleEvery: 1 << 30,
+		QueueCap:         1024,
+		BrokerShards:     2,
+		OrderTTL:         time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	ingress := p.NewIngress()
+	cfg := Config{Backend: ingress, OutboundQueue: 2048, IdleTimeout: 10 * time.Second}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	g, addr := startGateway(t, cfg)
+	return p, ingress, g, addr
+}
+
+// sessionOps derives one session's trace with a disjoint order-ID
+// space, so independent sessions never collide inside a shared book.
+func sessionOps(u *workload.Universe, session, n int) []workload.OrderOp {
+	flow := workload.NewOrderFlow(u, workload.FlowConfig{Traders: 1, AggressionPct: 55}, int64(1000+session))
+	return workload.OffsetOrderIDs(flow.Take(n), int64(session+1)<<24)
+}
+
+// TestChaosKillReconnectWaves is the headline fault run: every client
+// speaks through connections that die mid-frame under partial writes,
+// reconnects with backoff and resyncs — repeatedly — while the
+// platform matches their interleaved flow. At the end: no silent
+// drops anywhere, labeled reject events cover every shed, books
+// conserve.
+func TestChaosKillReconnectWaves(t *testing.T) {
+	const sessions = 8
+	const perSession = 120
+	p, ingress, g, addr := chaosPlatform(t, core.LabelsFreeze, sessions, func(cfg *Config) {
+		// A modest rate limit mixes labeled rate sheds into the waves.
+		cfg.Rate = 400
+		cfg.Burst = 50
+	})
+
+	var wg sync.WaitGroup
+	clients := make([]*Client, sessions)
+	errs := make([]error, sessions)
+	sent := make([]int, sessions)
+	for i := 0; i < sessions; i++ {
+		ops := sessionOps(p.Universe(), i, perSession)
+		sent[i] = len(ops)
+		clients[i] = NewClient(ClientConfig{
+			Token:       trading.TraderToken(i),
+			Session:     uint64(100 + i),
+			Dial:        chaosDialer(addr, int64(i)*7+1),
+			Seed:        int64(i) + 1,
+			MaxAttempts: 40,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+			IOTimeout:   5 * time.Second,
+		})
+		wg.Add(1)
+		go func(i int, ops []workload.OrderOp) {
+			defer wg.Done()
+			errs[i] = clients[i].Run(ops)
+		}(i, ops)
+	}
+	wg.Wait()
+
+	var reconnects, acked, rejected uint64
+	for i, cl := range clients {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		st := cl.Stats()
+		if st.Acked+st.Rejected+st.Unsent != uint64(sent[i]) {
+			t.Fatalf("client %d ledger: %+v over %d ops", i, st, sent[i])
+		}
+		if st.Unsent != 0 {
+			t.Fatalf("client %d lost %d ops", i, st.Unsent)
+		}
+		reconnects += st.Reconnects
+		acked += st.Acked
+		rejected += st.Rejected
+	}
+	if reconnects == 0 {
+		t.Fatal("chaos produced no reconnects — the fault injection is dead")
+	}
+
+	// Gateway ledger: nothing received was silently dropped.
+	st := g.Stats()
+	if st.OrdersReceived != st.Admitted+st.Rejected()+st.DupOrders {
+		t.Fatalf("gateway admission ledger leaks: %+v", st)
+	}
+	if st.Resyncs == 0 {
+		t.Fatal("no resyncs despite reconnect waves")
+	}
+
+	// Every shed order has a labeled reject event.
+	sheds := st.RateRejects + st.OverflowRejects + st.DrainRejects
+	if ingress.Rejects() != sheds {
+		t.Fatalf("labeled reject events %d != gateway sheds %d", ingress.Rejects(), sheds)
+	}
+
+	// Drain the gateway, settle the platform, check the books.
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Quiesce(30 * time.Second) {
+		t.Fatal("platform did not quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatalf("conservation after chaos: %v", err)
+	}
+	if err := p.Broker.ValidateBooks(); err != nil {
+		t.Fatalf("book validation after chaos: %v", err)
+	}
+	// The regulator observed the admission decisions.
+	if p.Regulator.GatewayRejects() != ingress.Rejects() {
+		t.Fatalf("regulator saw %d rejects, ingress published %d",
+			p.Regulator.GatewayRejects(), ingress.Rejects())
+	}
+	if p.Regulator.GatewaySessionCloses() != ingress.SessionCloses() {
+		t.Fatalf("regulator saw %d session closes, ingress published %d",
+			p.Regulator.GatewaySessionCloses(), ingress.SessionCloses())
+	}
+	if ingress.SessionCloses() == 0 {
+		t.Fatal("no labeled session-close events")
+	}
+	// Everything admitted reached a trader unit's order flow.
+	ps := p.Stats()
+	flowOps := ps.OrdersPlaced + ps.CancelsRequested + ps.AmendsRequested
+	if flowOps < st.Admitted {
+		t.Fatalf("platform recorded %d flow ops < %d admitted", flowOps, st.Admitted)
+	}
+}
+
+// TestChaosStalledReaderEviction: a client that wedges its read side
+// while flooding cannot wedge the gateway — the outbound queue fills
+// and the session is evicted; the books stay valid.
+func TestChaosStalledReaderEviction(t *testing.T) {
+	p, _, g, addr := chaosPlatform(t, core.LabelsFreeze, 2, func(cfg *Config) {
+		cfg.Rate = 10 // nearly every order sheds → heavy outbound traffic
+		cfg.Burst = 2
+		cfg.OutboundQueue = 8
+		cfg.WriteTimeout = 200 * time.Millisecond
+	})
+	c := dialRaw(t, addr)
+	c.hello(trading.TraderToken(0), 0)
+	ops := sessionOps(p.Universe(), 0, 4000)
+	for i := range ops {
+		o := OrderFromOp(&ops[i], ops[i].Seq)
+		c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, err := c.conn.Write(EncodeMsg(nil, &o)); err != nil {
+			break // evicted
+		}
+	}
+	waitFor(t, 10*time.Second, "stalled reader evicted", func() bool {
+		st := g.Stats()
+		return st.SlowEvictions >= 1 && st.SessionsClosed >= 1
+	})
+	if !p.Quiesce(15 * time.Second) {
+		t.Fatal("platform did not quiesce")
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Broker.ValidateBooks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosDrainUnderLoad: closing the gateway while clients are
+// mid-flood flushes admitted orders and refuses the rest with drain
+// rejects — the ledger still balances and the books survive.
+func TestChaosDrainUnderLoad(t *testing.T) {
+	const sessions = 4
+	p, ingress, g, addr := chaosPlatform(t, core.NoSecurity, sessions, nil)
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		ops := sessionOps(p.Universe(), i, 2000)
+		cl := NewClient(ClientConfig{
+			Addr:        addr,
+			Token:       trading.TraderToken(i),
+			Seed:        int64(i),
+			MaxAttempts: 2,
+			BaseBackoff: time.Millisecond,
+			IOTimeout:   2 * time.Second,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(ops) // error expected: the server drains mid-run
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	if st.OrdersReceived != st.Admitted+st.Rejected()+st.DupOrders {
+		t.Fatalf("ledger leaks across drain: %+v", st)
+	}
+	if ingress.Rejects() != st.RateRejects+st.OverflowRejects+st.DrainRejects {
+		t.Fatalf("labeled rejects %d != sheds", ingress.Rejects())
+	}
+	if !p.Quiesce(15 * time.Second) {
+		t.Fatal("platform did not quiesce")
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Broker.ValidateBooks(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+package gateway
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// ClientConfig tunes a load-generator client. Zero fields take
+// defaults.
+type ClientConfig struct {
+	// Addr is the gateway address (required unless Dial is set).
+	Addr string
+	// Token authenticates the session (the trading backend expects a
+	// trader name, e.g. "trader-0001").
+	Token string
+	// Session is the client's stable session ID for
+	// reconnect-with-resync; 0 lets the server assign one (and the
+	// client adopts it for reconnects).
+	Session uint64
+	// Dial overrides net.Dial for tests and fault injection.
+	Dial func() (net.Conn, error)
+	// Seed feeds the backoff jitter.
+	Seed int64
+	// MaxAttempts bounds consecutive failed connect attempts
+	// (default 8); progress resets the counter.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the capped exponential
+	// backoff between attempts (defaults 10ms / 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// IOTimeout bounds individual reads/writes (default 10s).
+	IOTimeout time.Duration
+	// Window is how many orders may be unacked in flight
+	// (default 512).
+	Window int
+}
+
+func (c *ClientConfig) defaults() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 10 * time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	if c.Dial == nil {
+		addr := c.Addr
+		c.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+}
+
+// ClientStats accounts for every order handed to Run: at exit,
+// Acked + Rejected + Unsent == len(ops) when Run returns nil.
+type ClientStats struct {
+	Sent        uint64 // wire sends, including resends after reconnect
+	Acked       uint64 // orders admitted (cumulative-ack covered, not rejected)
+	Rejected    uint64 // orders shed by the gateway with a labeled reject
+	Unsent      uint64 // orders never processed (Run gave up)
+	Reconnects  uint64 // successful re-handshakes after a drop
+	DialRetries uint64
+}
+
+// Client drives one session of orders through a gateway, surviving
+// disconnects by reconnecting with capped exponential backoff plus
+// jitter and resuming from the server's resync point.
+type Client struct {
+	cfg ClientConfig
+	rng *rand.Rand
+
+	mu       sync.Mutex
+	stats    ClientStats
+	rejected map[uint64]bool
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.defaults()
+	return &Client{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rejected: make(map[uint64]bool),
+	}
+}
+
+// Stats snapshots the accounting.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// backoff sleeps the capped-exponential-with-jitter delay for the
+// given consecutive failure count (1-based).
+func (c *Client) backoff(attempt int) {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	time.Sleep(jittered)
+}
+
+// Run sends ops (which must carry strictly increasing Seq, as
+// workload.NewOrderFlow produces) and returns once every op is acked
+// or rejected, or an error once reconnect attempts are exhausted.
+func (c *Client) Run(ops []workload.OrderOp) error {
+	total := uint64(len(ops))
+	if total == 0 {
+		return nil
+	}
+	var processed uint64 // server's cumulative processed high-water
+	attempts := 0
+	for processed < ops[len(ops)-1].Seq {
+		madeProgress, err := c.runConn(ops, &processed)
+		if madeProgress {
+			attempts = 0
+		}
+		if processed >= ops[len(ops)-1].Seq {
+			break
+		}
+		if err != nil {
+			attempts++
+			if attempts >= c.cfg.MaxAttempts {
+				c.settle(ops, processed)
+				return fmt.Errorf("gateway client: giving up after %d attempts: %w", attempts, err)
+			}
+			c.backoff(attempts)
+		}
+	}
+	c.settle(ops, processed)
+	return nil
+}
+
+// settle finalizes the ledger: every op is acked, rejected, or
+// unsent, with Acked + Rejected + Unsent == len(ops).
+func (c *Client) settle(ops []workload.OrderOp, processed uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Unsent = c.unprocessedLocked(ops, processed)
+	var rejected uint64
+	for seq := range c.rejected {
+		if seq <= processed {
+			rejected++
+		}
+	}
+	c.stats.Acked = uint64(len(ops)) - c.stats.Unsent - rejected
+}
+
+// unprocessedLocked counts ops beyond the processed high-water mark.
+func (c *Client) unprocessedLocked(ops []workload.OrderOp, processed uint64) uint64 {
+	var n uint64
+	for i := len(ops) - 1; i >= 0 && ops[i].Seq > processed; i-- {
+		n++
+	}
+	return n
+}
+
+// runConn performs one connect-handshake-send-drain cycle. It
+// advances *processed from server acks and reports whether any
+// progress happened (connect succeeded and at least the handshake
+// completed).
+func (c *Client) runConn(ops []workload.OrderOp, processed *uint64) (bool, error) {
+	conn, err := c.cfg.Dial()
+	if err != nil {
+		c.mu.Lock()
+		c.stats.DialRetries++
+		c.mu.Unlock()
+		return false, err
+	}
+	defer conn.Close()
+
+	deadline := func() { conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout)) }
+	br := bufio.NewReaderSize(conn, 4096)
+
+	// Handshake.
+	deadline()
+	if _, err := conn.Write(EncodeMsg(nil, &Hello{Proto: ProtoVersion, Session: c.cfg.Session, Token: c.cfg.Token})); err != nil {
+		return false, err
+	}
+	var frame []byte
+	deadline()
+	payload, err := readFrame(br, frame)
+	if err != nil {
+		return false, err
+	}
+	m, err := DecodeMsg(payload)
+	if err != nil {
+		return false, err
+	}
+	ok, isOK := m.(*HelloOK)
+	if !isOK {
+		if cl, isClose := m.(*Close); isClose {
+			return false, fmt.Errorf("gateway client: refused: %s (%s)", cl.Reason, cl.Code)
+		}
+		return false, fmt.Errorf("gateway client: unexpected handshake reply %T", m)
+	}
+	reconnected := c.cfg.Session != 0
+	c.cfg.Session = ok.Session
+	if ok.LastSeq > *processed {
+		*processed = ok.LastSeq
+	}
+	c.mu.Lock()
+	if reconnected {
+		c.stats.Reconnects++
+	}
+	c.mu.Unlock()
+
+	// Resume past everything the server already processed.
+	start := 0
+	for start < len(ops) && ops[start].Seq <= *processed {
+		start++
+	}
+	if start == len(ops) {
+		return true, nil
+	}
+
+	// Reader: consume acks/rejects, advance the processed mark.
+	type ackUpdate struct {
+		seq uint64
+		err error
+	}
+	acks := make(chan ackUpdate, 64)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		push := func(u ackUpdate) bool {
+			select {
+			case acks <- u:
+				return true
+			case <-quit:
+				return false
+			}
+		}
+		var frame []byte
+		for {
+			payload, err := readFrame(br, frame)
+			if err != nil {
+				push(ackUpdate{err: err})
+				return
+			}
+			frame = payload[:0]
+			m, err := DecodeMsg(payload)
+			if err != nil {
+				push(ackUpdate{err: err})
+				return
+			}
+			switch v := m.(type) {
+			case *Ack:
+				if !push(ackUpdate{seq: v.Seq}) {
+					return
+				}
+			case *Reject:
+				c.mu.Lock()
+				if !c.rejected[v.Seq] {
+					c.rejected[v.Seq] = true
+					c.stats.Rejected++
+				}
+				c.mu.Unlock()
+				if !push(ackUpdate{seq: v.Seq}) {
+					return
+				}
+			case *Close:
+				push(ackUpdate{err: fmt.Errorf("gateway client: closed by server: %s (%s)", v.Reason, v.Code)})
+				return
+			case *Pong:
+				// ignore
+			default:
+				push(ackUpdate{err: fmt.Errorf("gateway client: unexpected %T", m)})
+				return
+			}
+		}
+	}()
+
+	// Window-limited sender on this goroutine.
+	inflight := 0
+	next := start
+	var buf []byte
+	drainAck := func(block bool) error {
+		for {
+			if block {
+				u := <-acks
+				block = false
+				if u.err != nil {
+					return u.err
+				}
+				if u.seq > *processed {
+					*processed = u.seq
+				}
+				continue
+			}
+			select {
+			case u := <-acks:
+				if u.err != nil {
+					return u.err
+				}
+				if u.seq > *processed {
+					*processed = u.seq
+				}
+			default:
+				return nil
+			}
+		}
+	}
+	for next < len(ops) || *processed < ops[len(ops)-1].Seq {
+		if err := drainAck(false); err != nil {
+			return true, err
+		}
+		// Recompute inflight from the cumulative processed mark.
+		inflight = 0
+		for i := next - 1; i >= 0 && ops[i].Seq > *processed; i-- {
+			inflight++
+		}
+		if next >= len(ops) || inflight >= c.cfg.Window {
+			// Window full or all sent: wait for acks.
+			if err := drainAck(true); err != nil {
+				return true, err
+			}
+			continue
+		}
+		o := OrderFromOp(&ops[next], ops[next].Seq)
+		buf = EncodeMsg(buf[:0], &o)
+		deadline()
+		if _, err := conn.Write(buf); err != nil {
+			return true, err
+		}
+		c.mu.Lock()
+		c.stats.Sent++
+		c.mu.Unlock()
+		next++
+	}
+
+	// All processed: polite goodbye (best-effort).
+	deadline()
+	conn.Write(EncodeMsg(nil, &Bye{}))
+	return true, nil
+}

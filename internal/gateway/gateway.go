@@ -1,0 +1,716 @@
+package gateway
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Backend is the platform side of the gateway. trading.Ingress
+// implements it: Authenticate binds a session to a trader principal,
+// Submit publishes admitted orders through that trader's unit (the
+// full tag/privilege choreography), and Reject/SessionClose publish
+// admission events labeled with the session trader's tag — admission
+// decisions are events the Regulator can see, never silent drops.
+//
+// Submit may block (backpressure onto the gateway, never the other
+// way around); Reject and SessionClose may block the calling session
+// only. All methods must be safe for concurrent use by different
+// sessions; the gateway serializes calls per session and never binds
+// two sessions to one trader at once.
+type Backend interface {
+	// Authenticate resolves a token to a trader index and its tag
+	// name, binding the trader until SessionClose. It must refuse a
+	// trader that is already bound.
+	Authenticate(token string) (trader int, tag string, err error)
+	// Submit delivers a run of admitted ops on behalf of the trader,
+	// in order.
+	Submit(trader int, ops []workload.OrderOp) error
+	// Reject publishes n labeled admission-reject events for the
+	// trader (reason is a RejectCode string).
+	Reject(trader int, tag, reason string, n int)
+	// SessionClose publishes a labeled session-close event and
+	// unbinds the trader.
+	SessionClose(trader int, tag, reason string)
+}
+
+// ErrDraining is returned to sessions arriving while the gateway
+// shuts down.
+var ErrDraining = errors.New("gateway: draining")
+
+// Config tunes a Gateway. The zero value of any field selects its
+// default.
+type Config struct {
+	// Backend is required.
+	Backend Backend
+	// IngressQueue bounds each session's admitted-op queue between
+	// the socket reader and the submit worker (default 256). Overflow
+	// sheds the op to a labeled reject — it never blocks the reader
+	// and never grows without bound.
+	IngressQueue int
+	// OutboundQueue bounds each session's server→client frame queue
+	// (default 128). A consumer that cannot drain it is a slow writer
+	// and is evicted. Cumulative acks coalesce into one slot and
+	// cannot overflow it.
+	OutboundQueue int
+	// Rate is the per-session admission rate in orders/second; 0
+	// disables rate limiting. Burst is the token-bucket depth
+	// (default: Rate, floor 1).
+	Rate  float64
+	Burst int
+	// IdleTimeout evicts a session that sends no frame for this long
+	// — the half-open/idle connection reaper (default 30s).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one outbound frame write; a conn that
+	// cannot take a frame within it is a slow writer (default 5s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds the graceful-drain phase of Close
+	// (default 5s).
+	DrainTimeout time.Duration
+	// MaxSessions refuses accepts beyond this many live sessions
+	// (0 = unlimited).
+	MaxSessions int
+	// ResyncCache is how many closed sessions' processed high-water
+	// marks are retained for reconnect-with-resync (default 1024).
+	ResyncCache int
+}
+
+func (c *Config) defaults() {
+	if c.IngressQueue <= 0 {
+		c.IngressQueue = 256
+	}
+	if c.OutboundQueue <= 0 {
+		c.OutboundQueue = 128
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(c.Rate)
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.ResyncCache <= 0 {
+		c.ResyncCache = 1024
+	}
+}
+
+// Stats counts gateway activity; all fields are cumulative except
+// Active.
+type Stats struct {
+	Accepted        uint64
+	Active          int64
+	AuthFailures    uint64
+	OrdersReceived  uint64
+	Admitted        uint64
+	RateRejects     uint64
+	OverflowRejects uint64
+	ProtoRejects    uint64
+	DrainRejects    uint64
+	DupOrders       uint64
+	BackendFailures uint64
+	IdleEvictions   uint64
+	SlowEvictions   uint64
+	Disconnects     uint64
+	FrameErrors     uint64
+	SessionsClosed  uint64
+	Resyncs         uint64
+}
+
+// Rejected sums every reject class. The admission ledger invariant —
+// no order is ever silently dropped — is
+//
+//	OrdersReceived == Admitted + Rejected() + DupOrders.
+//
+// BackendFailures counts admitted ops the backend refused after
+// admission (platform shutdown); they stay inside Admitted and are
+// the only losses — visible, and only possible once the platform
+// itself is gone.
+func (s *Stats) Rejected() uint64 {
+	return s.RateRejects + s.OverflowRejects + s.ProtoRejects + s.DrainRejects
+}
+
+// Gateway is the ingress server.
+type Gateway struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	// closedSeq remembers recently closed sessions' processed
+	// high-water marks for reconnect-with-resync, FIFO-bounded.
+	closedSeq  map[uint64]uint64
+	closedFIFO []uint64
+	nextID     uint64
+
+	draining atomic.Bool
+
+	wg sync.WaitGroup
+
+	accepted        atomic.Uint64
+	active          atomic.Int64
+	authFailures    atomic.Uint64
+	ordersReceived  atomic.Uint64
+	admitted        atomic.Uint64
+	rateRejects     atomic.Uint64
+	overflowRejects atomic.Uint64
+	protoRejects    atomic.Uint64
+	drainRejects    atomic.Uint64
+	dupOrders       atomic.Uint64
+	backendFailures atomic.Uint64
+	idleEvictions   atomic.Uint64
+	slowEvictions   atomic.Uint64
+	disconnects     atomic.Uint64
+	frameErrors     atomic.Uint64
+	sessionsClosed  atomic.Uint64
+	resyncs         atomic.Uint64
+}
+
+// New builds a gateway.
+func New(cfg Config) *Gateway {
+	cfg.defaults()
+	if cfg.Backend == nil {
+		panic("gateway: Config.Backend is required")
+	}
+	return &Gateway{
+		cfg:       cfg,
+		sessions:  make(map[uint64]*session),
+		closedSeq: make(map[uint64]uint64),
+	}
+}
+
+// Stats snapshots the counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Accepted:        g.accepted.Load(),
+		Active:          g.active.Load(),
+		AuthFailures:    g.authFailures.Load(),
+		OrdersReceived:  g.ordersReceived.Load(),
+		Admitted:        g.admitted.Load(),
+		RateRejects:     g.rateRejects.Load(),
+		OverflowRejects: g.overflowRejects.Load(),
+		ProtoRejects:    g.protoRejects.Load(),
+		DrainRejects:    g.drainRejects.Load(),
+		DupOrders:       g.dupOrders.Load(),
+		BackendFailures: g.backendFailures.Load(),
+		IdleEvictions:   g.idleEvictions.Load(),
+		SlowEvictions:   g.slowEvictions.Load(),
+		Disconnects:     g.disconnects.Load(),
+		FrameErrors:     g.frameErrors.Load(),
+		SessionsClosed:  g.sessionsClosed.Load(),
+		Resyncs:         g.resyncs.Load(),
+	}
+}
+
+// Serve accepts sessions on the listener until Close. It returns nil
+// after a graceful Close, or the accept error.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	if g.draining.Load() {
+		g.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	g.ln = ln
+	g.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if g.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		g.accepted.Add(1)
+		if g.cfg.MaxSessions > 0 && int(g.active.Load()) >= g.cfg.MaxSessions {
+			// Over capacity: a labeled refusal on the wire, then drop.
+			buf := EncodeMsg(nil, &Close{Code: RejectOverflow, Reason: "session limit"})
+			conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+			conn.Write(buf)
+			conn.Close()
+			continue
+		}
+		s := newSession(g, conn)
+		g.active.Add(1)
+		g.wg.Add(1)
+		go s.run()
+	}
+}
+
+// Close drains the gateway: stop accepting, wake every session's
+// reader so no further frames are admitted, flush admitted in-flight
+// orders to the backend, emit labeled session-close events and Close
+// frames, then close the connections. Idempotent.
+func (g *Gateway) Close() error {
+	if g.draining.Swap(true) {
+		return nil
+	}
+	g.mu.Lock()
+	ln := g.ln
+	live := make([]*session, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		live = append(live, s)
+	}
+	g.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range live {
+		// Waking the reader with an immediate deadline stops frame
+		// intake; the reader observes draining and tears down through
+		// the normal path (ingress flush → close frame → event).
+		s.conn.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() { g.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(g.cfg.DrainTimeout):
+		// Hard-close stragglers; their readers error out and tear
+		// down, but we stop waiting for them.
+		g.mu.Lock()
+		for _, s := range g.sessions {
+			s.conn.Close()
+		}
+		g.mu.Unlock()
+		<-done
+		return nil
+	}
+}
+
+// register binds a session ID, refusing live duplicates; id 0 draws a
+// fresh one. It reports the session's resync point (the processed
+// high-water mark of a closed predecessor with the same ID).
+func (g *Gateway) register(s *session, id uint64) (uint64, uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining.Load() {
+		return 0, 0, ErrDraining
+	}
+	if id == 0 {
+		g.nextID++
+		id = g.nextID
+	} else if _, live := g.sessions[id]; live {
+		return 0, 0, fmt.Errorf("gateway: session %d already connected", id)
+	} else if id > g.nextID {
+		g.nextID = id
+	}
+	last := g.closedSeq[id]
+	g.sessions[id] = s
+	return id, last, nil
+}
+
+// unregister removes a closed session, retaining its processed
+// high-water mark for resync (FIFO-bounded).
+func (g *Gateway) unregister(s *session) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sessions[s.id] != s {
+		return
+	}
+	delete(g.sessions, s.id)
+	if _, seen := g.closedSeq[s.id]; !seen {
+		g.closedFIFO = append(g.closedFIFO, s.id)
+		if len(g.closedFIFO) > g.cfg.ResyncCache {
+			evict := g.closedFIFO[0]
+			g.closedFIFO = g.closedFIFO[1:]
+			delete(g.closedSeq, evict)
+		}
+	}
+	g.closedSeq[s.id] = s.seq
+}
+
+// bucket is a per-session token bucket; touched only by the session's
+// reader goroutine.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+func newBucket(rate float64, burst int, now time.Time) *bucket {
+	return &bucket{tokens: float64(burst), last: now, rate: rate, burst: float64(burst)}
+}
+
+func (b *bucket) take(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// session is one live connection.
+type session struct {
+	g    *Gateway
+	conn net.Conn
+
+	id     uint64
+	trader int
+	tag    string
+	authed bool
+	seq    uint64 // processed high-water (reader goroutine only)
+
+	ingress chan workload.OrderOp
+	subWG   sync.WaitGroup
+	wrWG    sync.WaitGroup
+
+	// Outbound plumbing: distinct frames ride the bounded out queue;
+	// cumulative acks coalesce into ackSeq (CAS-max) + a one-token
+	// kick so they can never overflow the queue.
+	out     chan []byte
+	ackSeq  atomic.Uint64
+	ackKick chan struct{}
+	wclosed chan struct{} // signals the writer to flush and stop
+	werr    atomic.Bool   // writer hit an error or evicted the session
+
+	closeCode   RejectCode
+	closeReason string
+}
+
+func newSession(g *Gateway, conn net.Conn) *session {
+	return &session{
+		g:       g,
+		conn:    conn,
+		ingress: make(chan workload.OrderOp, g.cfg.IngressQueue),
+		out:     make(chan []byte, g.cfg.OutboundQueue),
+		ackKick: make(chan struct{}, 1),
+		wclosed: make(chan struct{}),
+	}
+}
+
+// send enqueues a frame; a full queue marks the session a slow writer
+// and evicts it. Reader goroutine only.
+func (s *session) send(m any) bool {
+	select {
+	case s.out <- EncodeMsg(nil, m):
+		return true
+	default:
+		s.g.slowEvictions.Add(1)
+		s.evict()
+		return false
+	}
+}
+
+// evict forces the connection closed; the reader unblocks with an
+// error and tears the session down.
+func (s *session) evict() {
+	s.werr.Store(true)
+	s.conn.Close()
+}
+
+// kickAck publishes a cumulative ack point (CAS-max) and nudges the
+// writer. Safe from reader and submitter.
+func (s *session) kickAck(seq uint64) {
+	for {
+		cur := s.ackSeq.Load()
+		if seq <= cur || s.ackSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	select {
+	case s.ackKick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the session's reader loop and teardown driver.
+func (s *session) run() {
+	defer s.g.wg.Done()
+	g := s.g
+
+	s.wrWG.Add(1)
+	go s.writer()
+	s.subWG.Add(1)
+	go s.submitter()
+
+	code, reason := s.readLoop()
+
+	// Teardown, always through the same path:
+	// 1. no more frames are read; flush admitted in-flight orders.
+	close(s.ingress)
+	s.subWG.Wait()
+	// 2. final cumulative ack + close frame; the writer flushes what
+	//    the connection will still take, then stops.
+	if s.seq > 0 {
+		s.kickAck(s.seq)
+	}
+	s.closeCode, s.closeReason = code, reason
+	close(s.wclosed)
+	// 3. the writer finishes its bounded flush, then the connection
+	//    dies...
+	s.wrWG.Wait()
+	s.conn.Close()
+	// 4. ...the session leaves the live table (its resync point
+	//    survives), and the platform hears about it with the session
+	//    trader's label on the event.
+	if s.authed {
+		g.unregister(s)
+		g.cfg.Backend.SessionClose(s.trader, s.tag, reason)
+	}
+	g.active.Add(-1)
+	g.sessionsClosed.Add(1)
+}
+
+// readLoop processes frames until the session ends; it returns the
+// close code/reason.
+func (s *session) readLoop() (RejectCode, string) {
+	g := s.g
+	br := bufio.NewReaderSize(s.conn, 4096)
+	var frame []byte
+	limiter := newBucket(g.cfg.Rate, g.cfg.Burst, time.Now())
+
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(g.cfg.IdleTimeout))
+		payload, err := readFrame(br, frame)
+		if err != nil {
+			if s.draining() {
+				return RejectDrain, "drain"
+			}
+			switch {
+			case s.werr.Load():
+				return RejectOverflow, "slow-writer"
+			case errors.Is(err, ErrBadFrame) || errors.Is(err, ErrBadCRC):
+				// The stream cannot be trusted past a framing fault.
+				g.frameErrors.Add(1)
+				return RejectProto, "frame-error"
+			case isTimeout(err):
+				g.idleEvictions.Add(1)
+				return RejectAuth, "idle-timeout"
+			default:
+				g.disconnects.Add(1)
+				return RejectAuth, "disconnect"
+			}
+		}
+		frame = payload[:0]
+
+		m, err := DecodeMsg(payload)
+		if err != nil {
+			g.frameErrors.Add(1)
+			return RejectProto, "malformed-message"
+		}
+
+		if !s.authed {
+			hello, ok := m.(*Hello)
+			if !ok {
+				// Auth-before-first-order: anything else is refused
+				// and the connection dropped.
+				g.authFailures.Add(1)
+				s.send(&Close{Code: RejectAuth, Reason: "authenticate first"})
+				return RejectAuth, "unauthenticated"
+			}
+			if code, reason, ok := s.handleHello(hello); !ok {
+				return code, reason
+			}
+			continue
+		}
+
+		switch v := m.(type) {
+		case *Order:
+			s.handleOrder(v, limiter)
+		case *Ping:
+			s.send(&Pong{Nonce: v.Nonce})
+		case *Bye:
+			return RejectAuth, "bye"
+		case *Hello:
+			// Re-authentication on a live session is a protocol error.
+			g.frameErrors.Add(1)
+			return RejectProto, "duplicate-hello"
+		default:
+			// A client speaking server messages is broken.
+			g.frameErrors.Add(1)
+			return RejectProto, "unexpected-message"
+		}
+	}
+}
+
+// handleHello authenticates and registers the session.
+func (s *session) handleHello(h *Hello) (RejectCode, string, bool) {
+	g := s.g
+	trader, tag, err := g.cfg.Backend.Authenticate(h.Token)
+	if err != nil {
+		g.authFailures.Add(1)
+		s.send(&Close{Code: RejectAuth, Reason: err.Error()})
+		return RejectAuth, "auth-failed", false
+	}
+	id, last, err := g.register(s, h.Session)
+	if err != nil {
+		// The trader bound above must be released: the session never
+		// became live. SessionClose in run() only fires for authed
+		// sessions, and authed is still false here.
+		g.cfg.Backend.SessionClose(trader, tag, "register-failed")
+		g.authFailures.Add(1)
+		code := RejectDuplicate
+		if errors.Is(err, ErrDraining) {
+			code = RejectDrain
+		}
+		s.send(&Close{Code: code, Reason: err.Error()})
+		return code, "register-failed", false
+	}
+	s.id, s.trader, s.tag, s.authed = id, trader, tag, true
+	s.seq = last
+	if last > 0 {
+		g.resyncs.Add(1)
+	}
+	s.send(&HelloOK{Session: id, Trader: uint32(trader), LastSeq: last})
+	return 0, "", true
+}
+
+// handleOrder is the admission decision for one order.
+func (s *session) handleOrder(o *Order, limiter *bucket) {
+	g := s.g
+	g.ordersReceived.Add(1)
+	if o.Seq <= s.seq {
+		// Resync overlap: already processed under this session ID.
+		g.dupOrders.Add(1)
+		s.kickAck(s.seq)
+		return
+	}
+	s.seq = o.Seq
+	if s.draining() {
+		s.shed(o, RejectDrain, &g.drainRejects)
+		return
+	}
+	if !limiter.take(time.Now()) {
+		s.shed(o, RejectRate, &g.rateRejects)
+		return
+	}
+	select {
+	case s.ingress <- o.Op():
+		g.admitted.Add(1)
+	default:
+		// Bounded ingress queue full — the submitter (and behind it
+		// the platform) is the bottleneck. Shed, never block the
+		// socket reader, never queue unboundedly.
+		s.shed(o, RejectOverflow, &g.overflowRejects)
+	}
+}
+
+// shed refuses one order: a wire Reject to the client AND a labeled
+// reject event through the backend — the admission decision is
+// observable on both sides, never a silent drop. The reject advances
+// the cumulative ack point: processed ≠ admitted.
+func (s *session) shed(o *Order, code RejectCode, counter *atomic.Uint64) {
+	counter.Add(1)
+	s.g.cfg.Backend.Reject(s.trader, s.tag, code.String(), 1)
+	s.send(&Reject{Seq: o.Seq, Code: code, Tag: s.tag})
+	s.kickAck(s.seq)
+}
+
+func (s *session) draining() bool { return s.g.draining.Load() }
+
+// submitter drains the ingress queue in batches and submits them to
+// the backend. Backend backpressure lands here: the ingress queue
+// fills and the reader sheds — bounded, labeled, and strictly off the
+// matching path.
+func (s *session) submitter() {
+	defer s.subWG.Done()
+	buf := make([]workload.OrderOp, 0, 64)
+	for op := range s.ingress {
+		buf = append(buf[:0], op)
+	refill:
+		for len(buf) < cap(buf) {
+			select {
+			case op, ok := <-s.ingress:
+				if !ok {
+					break refill
+				}
+				buf = append(buf, op)
+			default:
+				break refill
+			}
+		}
+		if err := s.g.cfg.Backend.Submit(s.trader, buf); err != nil {
+			// The platform is gone (shutdown): there is nothing to
+			// reject through. Count the loss visibly — these ops stay
+			// in Admitted, and BackendFailures marks them lost.
+			s.g.backendFailures.Add(uint64(len(buf)))
+			continue
+		}
+		s.kickAck(buf[len(buf)-1].Seq)
+	}
+}
+
+// writer drains outbound frames. It owns the connection's write side:
+// one frame at a time under WriteTimeout; an error or eviction stops
+// it (frames already queued are dropped — the client recovers by
+// resync, the platform-side ledger is already consistent).
+func (s *session) writer() {
+	defer s.wrWG.Done()
+	var lastAck uint64
+	writeFrame := func(buf []byte) bool {
+		s.conn.SetWriteDeadline(time.Now().Add(s.g.cfg.WriteTimeout))
+		if _, err := s.conn.Write(buf); err != nil {
+			if !s.werr.Swap(true) {
+				s.g.slowEvictions.Add(1)
+			}
+			s.conn.Close()
+			return false
+		}
+		return true
+	}
+	writeAck := func() bool {
+		if seq := s.ackSeq.Load(); seq > lastAck {
+			lastAck = seq
+			return writeFrame(EncodeMsg(nil, &Ack{Seq: seq}))
+		}
+		return true
+	}
+	for {
+		select {
+		case buf := <-s.out:
+			if !writeFrame(buf) {
+				return
+			}
+		case <-s.ackKick:
+			if !writeAck() {
+				return
+			}
+		case <-s.wclosed:
+			// Final flush: queued frames, the last ack, the close
+			// frame — each best-effort under the write deadline.
+			for {
+				select {
+				case buf := <-s.out:
+					if !writeFrame(buf) {
+						return
+					}
+				default:
+					if writeAck() {
+						writeFrame(EncodeMsg(nil, &Close{Code: s.closeCode, Reason: s.closeReason}))
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// isTimeout reports whether an error is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,660 @@
+package gateway
+
+// Session lifecycle edges against a mock backend: auth-before-first-
+// order, duplicate session IDs, idle timeout, mid-frame disconnect,
+// overload shedding with per-order labeled rejects, slow-writer
+// eviction, graceful drain, and reconnect-with-resync. The trading-
+// side label correctness lives in internal/trading/ingress_test.go;
+// here the mock records exactly what the gateway told the platform.
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// mockBackend records everything the gateway reports, behind the same
+// contract trading.Ingress implements.
+type mockBackend struct {
+	mu         sync.Mutex
+	bound      map[int]bool
+	submitted  map[int][]workload.OrderOp
+	rejects    map[string]int // reason -> shed count
+	rejectTag  map[string]int // tag observed on rejects -> count
+	closes     []string       // close reasons in order
+	closeTag   map[string]int
+	submitGate chan struct{} // non-nil: Submit blocks until closed
+	authErr    error
+}
+
+func newMockBackend() *mockBackend {
+	return &mockBackend{
+		bound:     make(map[int]bool),
+		submitted: make(map[int][]workload.OrderOp),
+		rejects:   make(map[string]int),
+		rejectTag: make(map[string]int),
+		closeTag:  make(map[string]int),
+	}
+}
+
+func (m *mockBackend) Authenticate(token string) (int, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.authErr != nil {
+		return 0, "", m.authErr
+	}
+	num, ok := strings.CutPrefix(token, "trader-")
+	if !ok {
+		return 0, "", errors.New("unknown token")
+	}
+	idx, err := strconv.Atoi(num)
+	if err != nil || idx < 0 {
+		return 0, "", errors.New("unknown token")
+	}
+	if m.bound[idx] {
+		return 0, "", errors.New("trader already bound")
+	}
+	m.bound[idx] = true
+	return idx, "t-" + token, nil
+}
+
+func (m *mockBackend) Submit(trader int, ops []workload.OrderOp) error {
+	if m.submitGate != nil {
+		<-m.submitGate
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted[trader] = append(m.submitted[trader], ops...)
+	return nil
+}
+
+func (m *mockBackend) Reject(trader int, tag, reason string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejects[reason] += n
+	m.rejectTag[tag] += n
+}
+
+func (m *mockBackend) SessionClose(trader int, tag, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.bound, trader)
+	m.closes = append(m.closes, reason)
+	m.closeTag[tag]++
+}
+
+func (m *mockBackend) shedTotal() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int
+	for _, c := range m.rejects {
+		n += c
+	}
+	return n
+}
+
+func (m *mockBackend) submittedTotal() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int
+	for _, ops := range m.submitted {
+		n += len(ops)
+	}
+	return n
+}
+
+// startGateway runs a gateway on a loopback listener.
+func startGateway(t *testing.T, cfg Config) (*Gateway, string) {
+	t.Helper()
+	g := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Serve(ln) }()
+	t.Cleanup(func() {
+		g.Close()
+		if err := <-done; err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return g, ln.Addr().String()
+}
+
+// rawConn is a hand-driven protocol client for edge tests.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (r *rawConn) send(m any) {
+	r.t.Helper()
+	r.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.conn.Write(EncodeMsg(nil, m)); err != nil {
+		r.t.Fatalf("send %T: %v", m, err)
+	}
+}
+
+func (r *rawConn) recv() any {
+	r.t.Helper()
+	r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := readFrame(r.br, nil)
+	if err != nil {
+		r.t.Fatalf("recv: %v", err)
+	}
+	m, err := DecodeMsg(payload)
+	if err != nil {
+		r.t.Fatalf("recv decode: %v", err)
+	}
+	return m
+}
+
+// recvErr reads one frame expecting a stream error (peer closed).
+func (r *rawConn) recvErr() error {
+	r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		payload, err := readFrame(r.br, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := DecodeMsg(payload); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *rawConn) hello(token string, session uint64) *HelloOK {
+	r.t.Helper()
+	r.send(&Hello{Proto: ProtoVersion, Session: session, Token: token})
+	m := r.recv()
+	ok, is := m.(*HelloOK)
+	if !is {
+		r.t.Fatalf("handshake reply: %+v", m)
+	}
+	return ok
+}
+
+// waitFor polls until the condition holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// testOps generates a deterministic single-trader op stream.
+func testOps(n int) []workload.OrderOp {
+	flow := workload.NewOrderFlow(workload.NewUniverse(2), workload.FlowConfig{Traders: 1}, 23)
+	return flow.Take(n)
+}
+
+// TestAuthBeforeFirstOrder: an order on an unauthenticated session is
+// refused with an auth Close, nothing reaches the backend.
+func TestAuthBeforeFirstOrder(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{Backend: mb})
+	c := dialRaw(t, addr)
+	c.send(&Order{Seq: 1, Symbol: "SYM0000", Qty: 100})
+	m := c.recv()
+	cl, ok := m.(*Close)
+	if !ok || cl.Code != RejectAuth {
+		t.Fatalf("expected auth Close, got %+v", m)
+	}
+	waitFor(t, 5*time.Second, "session close", func() bool {
+		return g.Stats().SessionsClosed == 1
+	})
+	if got := g.Stats(); got.AuthFailures != 1 || got.Admitted != 0 {
+		t.Fatalf("stats: %+v", got)
+	}
+	if mb.submittedTotal() != 0 {
+		t.Fatal("order leaked past authentication")
+	}
+	if len(mb.closes) != 0 {
+		t.Fatalf("SessionClose for a never-authenticated session: %v", mb.closes)
+	}
+}
+
+// TestBadTokenRefused: a token the backend refuses closes the session
+// without binding anything.
+func TestBadTokenRefused(t *testing.T) {
+	mb := newMockBackend()
+	_, addr := startGateway(t, Config{Backend: mb})
+	c := dialRaw(t, addr)
+	c.send(&Hello{Proto: ProtoVersion, Token: "nobody"})
+	m := c.recv()
+	if cl, ok := m.(*Close); !ok || cl.Code != RejectAuth {
+		t.Fatalf("expected auth Close, got %+v", m)
+	}
+}
+
+// TestDuplicateSessionID: a second live connection claiming the same
+// session ID is refused as a duplicate; the loser's trader binding is
+// released so the trader can connect under another session.
+func TestDuplicateSessionID(t *testing.T) {
+	mb := newMockBackend()
+	_, addr := startGateway(t, Config{Backend: mb})
+	c1 := dialRaw(t, addr)
+	ok1 := c1.hello("trader-0001", 77)
+	if ok1.Session != 77 {
+		t.Fatalf("session: %d", ok1.Session)
+	}
+
+	c2 := dialRaw(t, addr)
+	c2.send(&Hello{Proto: ProtoVersion, Session: 77, Token: "trader-0002"})
+	m := c2.recv()
+	if cl, ok := m.(*Close); !ok || cl.Code != RejectDuplicate {
+		t.Fatalf("expected duplicate Close, got %+v", m)
+	}
+	// The refused session must have released trader-0002's binding.
+	waitFor(t, 5*time.Second, "binding release", func() bool {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		return !mb.bound[2]
+	})
+
+	// The original session is undisturbed.
+	c1.send(&Ping{Nonce: 5})
+	if p, ok := c1.recv().(*Pong); !ok || p.Nonce != 5 {
+		t.Fatal("original session lost its connection")
+	}
+}
+
+// TestIdleTimeout: a session that goes quiet is evicted and its close
+// is reported with the idle reason.
+func TestIdleTimeout(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{Backend: mb, IdleTimeout: 80 * time.Millisecond})
+	c := dialRaw(t, addr)
+	c.hello("trader-0003", 0)
+	// Say nothing; the reaper fires.
+	start := time.Now()
+	err := c.recvErr()
+	if err == nil {
+		t.Fatal("connection survived idling")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("idle eviction took %v", waited)
+	}
+	waitFor(t, 5*time.Second, "idle close", func() bool {
+		return g.Stats().IdleEvictions == 1
+	})
+	waitFor(t, 5*time.Second, "close event", func() bool {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		return len(mb.closes) == 1 && mb.closes[0] == "idle-timeout"
+	})
+}
+
+// TestMidFrameDisconnect: a connection dying inside a frame tears the
+// session down cleanly — admitted orders stay admitted, the close
+// event fires, and the partial frame admits nothing.
+func TestMidFrameDisconnect(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{Backend: mb})
+	c := dialRaw(t, addr)
+	c.hello("trader-0004", 0)
+
+	ops := testOps(3)
+	for i := range ops {
+		o := OrderFromOp(&ops[i], ops[i].Seq)
+		c.send(&o)
+	}
+	waitFor(t, 5*time.Second, "orders admitted", func() bool {
+		return mb.submittedTotal() == 3
+	})
+
+	// A fourth order, torn mid-frame.
+	o := OrderFromOp(&ops[0], 4)
+	frame := EncodeMsg(nil, &o)
+	c.conn.Write(frame[:len(frame)-5])
+	c.conn.Close()
+
+	waitFor(t, 5*time.Second, "session close", func() bool {
+		return g.Stats().SessionsClosed == 1
+	})
+	st := g.Stats()
+	if st.OrdersReceived != 3 || st.Admitted != 3 {
+		t.Fatalf("stats after torn frame: %+v", st)
+	}
+	if st.Disconnects != 1 {
+		t.Fatalf("disconnect not counted: %+v", st)
+	}
+	mb.mu.Lock()
+	closes := append([]string{}, mb.closes...)
+	mb.mu.Unlock()
+	if len(closes) != 1 || closes[0] != "disconnect" {
+		t.Fatalf("close events: %v", closes)
+	}
+}
+
+// TestOverflowShedsLabeledRejects: with the backend wedged and a tiny
+// ingress queue, the flood is shed — every shed order produces a wire
+// Reject carrying the session trader's tag and a backend reject with
+// the overflow reason; the ledger balances exactly.
+func TestOverflowShedsLabeledRejects(t *testing.T) {
+	mb := newMockBackend()
+	mb.submitGate = make(chan struct{})
+	g, addr := startGateway(t, Config{
+		Backend:      mb,
+		IngressQueue: 4,
+		// Deep outbound queue: this test sheds hundreds of rejects and
+		// must not trip slow-writer eviction while the client's reader
+		// catches up.
+		OutboundQueue: 2048,
+	})
+	c := dialRaw(t, addr)
+	c.hello("trader-0005", 0)
+
+	const n = 500
+	ops := testOps(n)
+	go func() {
+		for i := range ops {
+			o := OrderFromOp(&ops[i], ops[i].Seq)
+			c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := c.conn.Write(EncodeMsg(nil, &o)); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Collect rejects until the ledger covers all n orders.
+	var rejects int
+	tagged := make(map[string]int)
+	waitFor(t, 10*time.Second, "all orders processed", func() bool {
+		st := g.Stats()
+		return st.OrdersReceived == n && st.Admitted+st.Rejected() == n
+	})
+	close(mb.submitGate) // unwedge so the submitter can flush and exit
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.conn.SetReadDeadline(time.Now().Add(time.Second))
+		payload, err := readFrame(c.br, nil)
+		if err != nil {
+			break
+		}
+		m, err := DecodeMsg(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rej, ok := m.(*Reject); ok {
+			rejects++
+			tagged[rej.Tag]++
+			if rej.Code != RejectOverflow {
+				t.Fatalf("reject code %v", rej.Code)
+			}
+		}
+		if rejects == int(g.Stats().OverflowRejects) {
+			break
+		}
+	}
+
+	st := g.Stats()
+	if st.OverflowRejects == 0 {
+		t.Fatal("flood produced no overflow rejects")
+	}
+	if rejects != int(st.OverflowRejects) {
+		t.Fatalf("wire rejects %d != shed count %d", rejects, st.OverflowRejects)
+	}
+	// Every wire reject carries the session trader's tag — not the
+	// gateway's identity, not empty.
+	if tagged["t-trader-0005"] != rejects {
+		t.Fatalf("reject tags: %v", tagged)
+	}
+	// The backend saw the same sheds, same tag, same reason.
+	mb.mu.Lock()
+	backendSheds := mb.rejects["overflow"]
+	backendTagged := mb.rejectTag["t-trader-0005"]
+	mb.mu.Unlock()
+	if backendSheds != rejects || backendTagged != rejects {
+		t.Fatalf("backend rejects %d (tagged %d) != wire rejects %d", backendSheds, backendTagged, rejects)
+	}
+	// No silent drops: received == admitted + shed.
+	if st.OrdersReceived != st.Admitted+st.Rejected()+st.DupOrders {
+		t.Fatalf("admission ledger leaks: %+v", st)
+	}
+}
+
+// TestRateLimitRejects: a session over its token bucket sheds with
+// the rate reason.
+func TestRateLimitRejects(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{
+		Backend:       mb,
+		Rate:          50,
+		Burst:         10,
+		OutboundQueue: 1024,
+	})
+	c := dialRaw(t, addr)
+	c.hello("trader-0006", 0)
+	ops := testOps(200)
+	for i := range ops {
+		o := OrderFromOp(&ops[i], ops[i].Seq)
+		c.send(&o)
+	}
+	waitFor(t, 10*time.Second, "flood processed", func() bool {
+		st := g.Stats()
+		return st.OrdersReceived == 200 && st.Admitted+st.Rejected() == 200
+	})
+	st := g.Stats()
+	if st.RateRejects == 0 {
+		t.Fatalf("no rate rejects: %+v", st)
+	}
+	mb.mu.Lock()
+	reasons := mb.rejects["rate"]
+	mb.mu.Unlock()
+	if reasons != int(st.RateRejects) {
+		t.Fatalf("backend saw %d rate rejects, gateway shed %d", reasons, st.RateRejects)
+	}
+}
+
+// TestSlowWriterEviction: a client that never reads while the server
+// floods it with rejects overflows the outbound queue and is evicted.
+func TestSlowWriterEviction(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{
+		Backend:       mb,
+		Rate:          1, // nearly everything rejects → outbound pressure
+		Burst:         1,
+		OutboundQueue: 4,
+		WriteTimeout:  200 * time.Millisecond,
+	})
+	c := dialRaw(t, addr)
+	c.hello("trader-0007", 0)
+	// Flood without ever reading; the outbound reject stream jams.
+	ops := testOps(5000)
+	for i := range ops {
+		o := OrderFromOp(&ops[i], ops[i].Seq)
+		c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, err := c.conn.Write(EncodeMsg(nil, &o)); err != nil {
+			break // server hung up on us: that's the eviction
+		}
+	}
+	waitFor(t, 10*time.Second, "slow-writer eviction", func() bool {
+		return g.Stats().SlowEvictions >= 1 && g.Stats().SessionsClosed == 1
+	})
+	waitFor(t, 5*time.Second, "close event", func() bool {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		return len(mb.closes) == 1
+	})
+}
+
+// TestGracefulDrain: Close stops intake, flushes admitted in-flight
+// orders to the backend, and every live session gets a close event
+// with the drain reason.
+func TestGracefulDrain(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{Backend: mb})
+	const sessions = 4
+	conns := make([]*rawConn, sessions)
+	for i := range conns {
+		conns[i] = dialRaw(t, addr)
+		conns[i].hello(fmt.Sprintf("trader-%04d", i), 0)
+		ops := testOps(5)
+		for j := range ops {
+			o := OrderFromOp(&ops[j], ops[j].Seq)
+			conns[i].send(&o)
+		}
+	}
+	waitFor(t, 5*time.Second, "orders admitted", func() bool {
+		return mb.submittedTotal() == sessions*5
+	})
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Active != 0 || st.SessionsClosed != sessions {
+		t.Fatalf("sessions survived drain: %+v", st)
+	}
+	if mb.submittedTotal() != sessions*5 {
+		t.Fatalf("in-flight orders lost in drain: %d", mb.submittedTotal())
+	}
+	mb.mu.Lock()
+	drains := 0
+	for _, reason := range mb.closes {
+		if reason == "drain" {
+			drains++
+		}
+	}
+	mb.mu.Unlock()
+	if drains != sessions {
+		t.Fatalf("drain close events: %d of %d (%v)", drains, sessions, mb.closes)
+	}
+	// New connections are refused.
+	conn, err := net.Dial("tcp", addr)
+	if err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestReconnectResync: a client whose connection dies resumes under
+// the same session ID from the server's processed high-water mark; no
+// order is admitted twice, none is lost.
+func TestReconnectResync(t *testing.T) {
+	mb := newMockBackend()
+	g, addr := startGateway(t, Config{Backend: mb})
+	ops := testOps(40)
+
+	// First connection: send half, then die abruptly.
+	c1 := dialRaw(t, addr)
+	ok := c1.hello("trader-0009", 0)
+	for i := 0; i < 20; i++ {
+		o := OrderFromOp(&ops[i], ops[i].Seq)
+		c1.send(&o)
+	}
+	waitFor(t, 5*time.Second, "first half admitted", func() bool {
+		return mb.submittedTotal() == 20
+	})
+	c1.conn.Close()
+	waitFor(t, 5*time.Second, "binding release", func() bool {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		return !mb.bound[9]
+	})
+
+	// Reconnect under the same session ID: the server reports its
+	// processed high-water mark and the client resumes after it.
+	c2 := dialRaw(t, addr)
+	ok2 := c2.hello("trader-0009", ok.Session)
+	if ok2.LastSeq != 20 {
+		t.Fatalf("resync point: %d", ok2.LastSeq)
+	}
+	for i := range ops {
+		if ops[i].Seq <= ok2.LastSeq {
+			continue
+		}
+		o := OrderFromOp(&ops[i], ops[i].Seq)
+		c2.send(&o)
+	}
+	waitFor(t, 5*time.Second, "rest admitted", func() bool {
+		return mb.submittedTotal() == 40
+	})
+	if g.Stats().Resyncs != 1 {
+		t.Fatalf("resyncs: %d", g.Stats().Resyncs)
+	}
+	// Exactly-once per seq: the mock saw each op one time.
+	mb.mu.Lock()
+	seen := make(map[uint64]int)
+	for _, op := range mb.submitted[9] {
+		seen[op.Seq]++
+	}
+	mb.mu.Unlock()
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("seq %d admitted %d times", seq, n)
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("admitted %d distinct seqs", len(seen))
+	}
+}
+
+// TestClientRunRoundTrip: the production Client against the gateway —
+// every op acked, ledger balanced.
+func TestClientRunRoundTrip(t *testing.T) {
+	mb := newMockBackend()
+	_, addr := startGateway(t, Config{Backend: mb})
+	ops := testOps(100)
+	cl := NewClient(ClientConfig{Addr: addr, Token: "trader-0011", Seed: 3})
+	if err := cl.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st.Acked+st.Rejected+st.Unsent != uint64(len(ops)) {
+		t.Fatalf("client ledger: %+v", st)
+	}
+	if st.Unsent != 0 {
+		t.Fatalf("unsent ops on a healthy connection: %+v", st)
+	}
+	if mb.submittedTotal() != 100 {
+		t.Fatalf("backend admitted %d", mb.submittedTotal())
+	}
+}
+
+// TestClientBackoffGivesUp: with nothing listening, the client
+// retries with backoff and reports the failure.
+func TestClientBackoffGivesUp(t *testing.T) {
+	cl := NewClient(ClientConfig{
+		Addr:        "127.0.0.1:1", // nothing listens here
+		Token:       "trader-0000",
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	})
+	err := cl.Run(testOps(5))
+	if err == nil {
+		t.Fatal("Run succeeded against a dead address")
+	}
+	st := cl.Stats()
+	if st.DialRetries != 3 {
+		t.Fatalf("dial retries: %+v", st)
+	}
+	if st.Unsent != 5 {
+		t.Fatalf("unsent: %+v", st)
+	}
+}

@@ -1,0 +1,467 @@
+// Package gateway implements the ingress edge of the trading
+// platform: a TCP server speaking a compact, CRC-framed binary order
+// protocol, with per-session authentication, token-bucket rate
+// limits, bounded ingress queues that shed to labeled reject events,
+// idle/slow-writer eviction and graceful drain — plus the matching
+// load-generator client with retry, capped exponential backoff and
+// reconnect-with-resync.
+//
+// The framing discipline mirrors internal/journal: every frame is
+// [u32 len | u32 crc32(payload) | payload], little-endian, with a
+// hard length bound so a corrupt length word is damage, not an
+// allocation. The payload's first byte is the message type. Decoding
+// arbitrary bytes yields a typed error or a valid message — never a
+// panic (FuzzWireDecode pins this).
+//
+// Admission control is evented, never silent: an order the gateway
+// cannot admit (rate limit, ingress overflow, drain, malformed) is
+// answered with a wire Reject AND handed to the Backend so the
+// platform can publish a reject event labeled with the session
+// trader's tag. The matching path never waits on a socket; the
+// gateway waits on the matching path (DESIGN-dispatch.md §11).
+package gateway
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// Wire protocol constants.
+const (
+	// ProtoVersion is the protocol revision a Hello proposes.
+	ProtoVersion = 1
+
+	// frameHdrLen is u32 len + u32 crc.
+	frameHdrLen = 8
+	// MaxFrame bounds one frame payload; a larger length word is
+	// damage, not data.
+	MaxFrame = 1 << 16
+	// maxString bounds any string field inside a message.
+	maxString = 256
+)
+
+// Message types. Client→server types are low, server→client high.
+const (
+	MsgHello   byte = 0x01
+	MsgOrder   byte = 0x02
+	MsgPing    byte = 0x03
+	MsgBye     byte = 0x04
+	MsgHelloOK byte = 0x81
+	MsgAck     byte = 0x82
+	MsgReject  byte = 0x83
+	MsgPong    byte = 0x84
+	MsgClose   byte = 0x85
+)
+
+// Typed decode faults. Every malformed input maps to one of these
+// (possibly wrapped with context); decoding never panics.
+var (
+	// ErrBadFrame marks a frame header whose length word is outside
+	// [1, MaxFrame].
+	ErrBadFrame = errors.New("gateway: bad frame length")
+	// ErrBadCRC marks a payload that does not match its frame CRC.
+	ErrBadCRC = errors.New("gateway: frame CRC mismatch")
+	// ErrShortMsg marks a payload that ends before its fields do.
+	ErrShortMsg = errors.New("gateway: truncated message")
+	// ErrBadMsg marks an unknown message type or an invalid field.
+	ErrBadMsg = errors.New("gateway: malformed message")
+)
+
+// RejectCode classifies one admission refusal; it travels on the wire
+// and, stringified, in the labeled reject event.
+type RejectCode uint8
+
+const (
+	// RejectAuth: the session is not authenticated (or the token was
+	// refused) — auth-before-first-order is enforced.
+	RejectAuth RejectCode = iota + 1
+	// RejectRate: the session's token bucket is empty.
+	RejectRate
+	// RejectOverflow: the session's bounded ingress queue is full.
+	RejectOverflow
+	// RejectProto: the order was malformed.
+	RejectProto
+	// RejectDrain: the gateway is draining and admits no new orders.
+	RejectDrain
+	// RejectDuplicate: the session ID or trader is already bound.
+	RejectDuplicate
+)
+
+// String names the code for reject events and logs.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectAuth:
+		return "auth"
+	case RejectRate:
+		return "rate"
+	case RejectOverflow:
+		return "overflow"
+	case RejectProto:
+		return "proto"
+	case RejectDrain:
+		return "drain"
+	case RejectDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("reject(%d)", uint8(c))
+	}
+}
+
+// Hello opens a session: the client proposes a protocol version, an
+// optional session ID to resume (0 = assign fresh) and an auth token
+// binding the connection to a trader.
+type Hello struct {
+	Proto   uint8
+	Session uint64
+	Token   string
+}
+
+// HelloOK confirms a session. LastSeq is the server's processed
+// high-water mark for the session — a reconnecting client resumes
+// sending after it (resync).
+type HelloOK struct {
+	Session uint64
+	Trader  uint32
+	LastSeq uint64
+}
+
+// Order carries one order operation. Seq is the session's strictly
+// increasing operation sequence; cumulative Acks and per-op Rejects
+// refer to it.
+type Order struct {
+	Seq    uint64
+	Kind   workload.OrderKind
+	Side   uint8 // 0 = bid, 1 = ask, 2 = none (cancels/amends: the book derives it from the target)
+	ID     int64
+	Target int64
+	Price  int64
+	Qty    int64
+	Symbol string
+}
+
+// Wire encodings of Order.Side.
+const (
+	SideBid  uint8 = 0
+	SideAsk  uint8 = 1
+	SideNone uint8 = 2
+)
+
+// Ping/Pong carry an opaque nonce.
+type Ping struct{ Nonce uint64 }
+
+// Pong answers a Ping.
+type Pong struct{ Nonce uint64 }
+
+// Bye announces a graceful client-side session end.
+type Bye struct{}
+
+// Ack acknowledges processing (admission or rejection) of every
+// operation with sequence ≤ Seq.
+type Ack struct{ Seq uint64 }
+
+// Reject refuses one operation. Tag is the session trader's tag name:
+// the wire image of the labeled reject event, so the client can see
+// the admission decision was attributed to its principal, not to the
+// gateway.
+type Reject struct {
+	Seq  uint64
+	Code RejectCode
+	Tag  string
+}
+
+// Close announces the server is ending the session (drain, idle
+// timeout, eviction, protocol damage).
+type Close struct {
+	Code   RejectCode
+	Reason string
+}
+
+// Op converts a wire order to a workload op. The wire Seq rides along
+// so acks can be derived after submission.
+func (o *Order) Op() workload.OrderOp {
+	var side string
+	switch o.Side {
+	case SideBid:
+		side = "bid"
+	case SideAsk:
+		side = "ask"
+	}
+	return workload.OrderOp{
+		Seq:    o.Seq,
+		Kind:   o.Kind,
+		ID:     o.ID,
+		Target: o.Target,
+		Symbol: o.Symbol,
+		Side:   side,
+		Price:  o.Price,
+		Qty:    o.Qty,
+	}
+}
+
+// OrderFromOp builds the wire order for a workload op, stamping the
+// given session sequence.
+func OrderFromOp(op *workload.OrderOp, seq uint64) Order {
+	var side uint8
+	switch op.Side {
+	case "bid":
+		side = SideBid
+	case "ask":
+		side = SideAsk
+	default:
+		side = SideNone
+	}
+	return Order{
+		Seq:    seq,
+		Kind:   op.Kind,
+		Side:   side,
+		ID:     op.ID,
+		Target: op.Target,
+		Price:  op.Price,
+		Qty:    op.Qty,
+		Symbol: op.Symbol,
+	}
+}
+
+// --- Encoding ---------------------------------------------------------
+
+// appendFrame wraps a payload in the frame header.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendI64(dst []byte, v int64) []byte { return appendU64(dst, uint64(v)) }
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > maxString {
+		s = s[:maxString]
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(s)))
+	dst = append(dst, b[:]...)
+	return append(dst, s...)
+}
+
+// EncodeMsg appends the framed encoding of a message to dst. It
+// accepts exactly the message structs of this package.
+func EncodeMsg(dst []byte, m any) []byte {
+	var p []byte
+	switch v := m.(type) {
+	case *Hello:
+		p = append(p, MsgHello, v.Proto)
+		p = appendU64(p, v.Session)
+		p = appendString(p, v.Token)
+	case *HelloOK:
+		p = append(p, MsgHelloOK)
+		p = appendU64(p, v.Session)
+		p = appendU64(p, uint64(v.Trader))
+		p = appendU64(p, v.LastSeq)
+	case *Order:
+		p = append(p, MsgOrder)
+		p = appendU64(p, v.Seq)
+		p = append(p, byte(v.Kind), v.Side)
+		p = appendI64(p, v.ID)
+		p = appendI64(p, v.Target)
+		p = appendI64(p, v.Price)
+		p = appendI64(p, v.Qty)
+		p = appendString(p, v.Symbol)
+	case *Ping:
+		p = append(p, MsgPing)
+		p = appendU64(p, v.Nonce)
+	case *Pong:
+		p = append(p, MsgPong)
+		p = appendU64(p, v.Nonce)
+	case *Bye:
+		p = append(p, MsgBye)
+	case *Ack:
+		p = append(p, MsgAck)
+		p = appendU64(p, v.Seq)
+	case *Reject:
+		p = append(p, MsgReject)
+		p = appendU64(p, v.Seq)
+		p = append(p, byte(v.Code))
+		p = appendString(p, v.Tag)
+	case *Close:
+		p = append(p, MsgClose, byte(v.Code))
+		p = appendString(p, v.Reason)
+	default:
+		panic(fmt.Sprintf("gateway: EncodeMsg of unknown type %T", m))
+	}
+	return appendFrame(dst, p)
+}
+
+// --- Decoding ---------------------------------------------------------
+
+// cursor is a bounds-checked reader over one payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil || c.off+1 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) str() string {
+	if c.err != nil || c.off+2 > len(c.b) {
+		c.fail()
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(c.b[c.off:]))
+	c.off += 2
+	if n > maxString {
+		c.err = fmt.Errorf("%w: string length %d", ErrBadMsg, n)
+		return ""
+	}
+	if c.off+n > len(c.b) {
+		c.fail()
+		return ""
+	}
+	v := string(c.b[c.off : c.off+n])
+	c.off += n
+	return v
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = ErrShortMsg
+	}
+}
+
+// done demands the payload was consumed exactly.
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMsg, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// DecodeMsg decodes one frame payload into a typed message. Arbitrary
+// bytes yield a typed error, never a panic.
+func DecodeMsg(p []byte) (any, error) {
+	if len(p) == 0 {
+		return nil, ErrShortMsg
+	}
+	c := &cursor{b: p, off: 1}
+	switch p[0] {
+	case MsgHello:
+		m := &Hello{Proto: c.u8(), Session: c.u64(), Token: c.str()}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		if m.Proto != ProtoVersion {
+			return nil, fmt.Errorf("%w: protocol version %d", ErrBadMsg, m.Proto)
+		}
+		return m, nil
+	case MsgHelloOK:
+		m := &HelloOK{Session: c.u64()}
+		tr := c.u64()
+		m.LastSeq = c.u64()
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		if tr > 1<<31 {
+			return nil, fmt.Errorf("%w: trader %d", ErrBadMsg, tr)
+		}
+		m.Trader = uint32(tr)
+		return m, nil
+	case MsgOrder:
+		m := &Order{Seq: c.u64(), Kind: workload.OrderKind(c.u8()), Side: c.u8(),
+			ID: c.i64(), Target: c.i64(), Price: c.i64(), Qty: c.i64(), Symbol: c.str()}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		if m.Kind > workload.OpAmend {
+			return nil, fmt.Errorf("%w: order kind %d", ErrBadMsg, m.Kind)
+		}
+		if m.Side > SideNone {
+			return nil, fmt.Errorf("%w: order side %d", ErrBadMsg, m.Side)
+		}
+		if m.Price < 0 || m.Qty < 0 {
+			return nil, fmt.Errorf("%w: negative price or qty", ErrBadMsg)
+		}
+		return m, nil
+	case MsgPing:
+		m := &Ping{Nonce: c.u64()}
+		return m, c.done()
+	case MsgPong:
+		m := &Pong{Nonce: c.u64()}
+		return m, c.done()
+	case MsgBye:
+		return &Bye{}, c.done()
+	case MsgAck:
+		m := &Ack{Seq: c.u64()}
+		return m, c.done()
+	case MsgReject:
+		m := &Reject{Seq: c.u64(), Code: RejectCode(c.u8()), Tag: c.str()}
+		return m, c.done()
+	case MsgClose:
+		m := &Close{Code: RejectCode(c.u8()), Reason: c.str()}
+		return m, c.done()
+	default:
+		return nil, fmt.Errorf("%w: type 0x%02x", ErrBadMsg, p[0])
+	}
+}
+
+// readFrame reads one frame from the stream. Stream-position errors
+// (io.EOF, timeouts) pass through; a length word outside bounds or a
+// CRC mismatch is a framing fault — the stream cannot be trusted past
+// it.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d", ErrBadFrame, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(buf) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, ErrBadCRC
+	}
+	return buf, nil
+}

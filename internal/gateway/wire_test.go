@@ -1,0 +1,178 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// decodeFramed strips one frame (via readFrame, the production path)
+// and decodes its payload.
+func decodeFramed(t *testing.T, buf []byte) any {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(buf))
+	payload, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	m, err := DecodeMsg(payload)
+	if err != nil {
+		t.Fatalf("DecodeMsg: %v", err)
+	}
+	return m
+}
+
+// TestWireRoundTrip pins encode∘decode = identity for every message
+// type.
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []any{
+		&Hello{Proto: ProtoVersion, Session: 42, Token: "trader-0007"},
+		&HelloOK{Session: 42, Trader: 7, LastSeq: 1234},
+		&Order{Seq: 9, Kind: workload.OpLimit, Side: 1, ID: 1 << 41, Target: 0,
+			Price: 10050, Qty: 300, Symbol: "SYM0001"},
+		&Order{Seq: 10, Kind: workload.OpCancel, Target: 77, Symbol: "SYM0002"},
+		&Ping{Nonce: 0xdeadbeef},
+		&Pong{Nonce: 0xdeadbeef},
+		&Bye{},
+		&Ack{Seq: 999},
+		&Reject{Seq: 1000, Code: RejectOverflow, Tag: "t-trader-0007"},
+		&Close{Code: RejectDrain, Reason: "drain"},
+	}
+	for _, m := range msgs {
+		got := decodeFramed(t, EncodeMsg(nil, m))
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T: got %+v want %+v", m, got, m)
+		}
+	}
+}
+
+// TestWireOrderOpConversion pins Order↔OrderOp fidelity.
+func TestWireOrderOpConversion(t *testing.T) {
+	flow := workload.NewOrderFlow(workload.NewUniverse(4), workload.FlowConfig{Traders: 3}, 5)
+	for _, op := range flow.Take(200) {
+		o := OrderFromOp(&op, op.Seq)
+		back := o.Op()
+		// Trader identity never rides the wire: the session binding
+		// supplies it, so the round trip leaves it zero.
+		op.Trader = 0
+		if !reflect.DeepEqual(back, op) {
+			t.Fatalf("op round trip: got %+v want %+v", back, op)
+		}
+	}
+}
+
+// TestWireDecodeFaults maps malformed inputs to their typed errors.
+func TestWireDecodeFaults(t *testing.T) {
+	order := EncodeMsg(nil, &Order{Seq: 1, Symbol: "S", Qty: 1})
+
+	t.Run("empty payload", func(t *testing.T) {
+		if _, err := DecodeMsg(nil); !errors.Is(err, ErrShortMsg) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		if _, err := DecodeMsg([]byte{0x7f}); !errors.Is(err, ErrBadMsg) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated fields", func(t *testing.T) {
+		payload := order[frameHdrLen:]
+		for n := 1; n < len(payload); n++ {
+			if _, err := DecodeMsg(payload[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded", n)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		payload := append(append([]byte{}, order[frameHdrLen:]...), 0x00)
+		if _, err := DecodeMsg(payload); !errors.Is(err, ErrBadMsg) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad order kind", func(t *testing.T) {
+		o := &Order{Seq: 1, Kind: 200, Symbol: "S"}
+		if _, err := DecodeMsg(EncodeMsg(nil, o)[frameHdrLen:]); !errors.Is(err, ErrBadMsg) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("negative qty", func(t *testing.T) {
+		o := &Order{Seq: 1, Qty: -5, Symbol: "S"}
+		if _, err := DecodeMsg(EncodeMsg(nil, o)[frameHdrLen:]); !errors.Is(err, ErrBadMsg) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("wrong proto version", func(t *testing.T) {
+		h := EncodeMsg(nil, &Hello{Proto: ProtoVersion, Token: "x"})
+		h[frameHdrLen+1] = 99
+		if _, err := DecodeMsg(h[frameHdrLen:]); !errors.Is(err, ErrBadMsg) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestReadFrameFaults pins the framing layer: corrupt length words
+// and payloads are framing faults, stream truncation passes through
+// as an IO error.
+func TestReadFrameFaults(t *testing.T) {
+	frame := EncodeMsg(nil, &Ping{Nonce: 7})
+
+	t.Run("zero length", func(t *testing.T) {
+		hdr := make([]byte, frameHdrLen)
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(hdr)), nil)
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		hdr := make([]byte, frameHdrLen)
+		binary.LittleEndian.PutUint32(hdr, MaxFrame+1)
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(hdr)), nil)
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("flipped payload bit", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[len(bad)-1] ^= 0x01
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(bad)), nil)
+		if !errors.Is(err, ErrBadCRC) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("mid-frame truncation", func(t *testing.T) {
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(frame[:len(frame)-3])), nil)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("clean EOF between frames", func(t *testing.T) {
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(nil)), nil)
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestRejectCodeStrings pins the reject vocabulary the labeled events
+// carry.
+func TestRejectCodeStrings(t *testing.T) {
+	want := map[RejectCode]string{
+		RejectAuth:      "auth",
+		RejectRate:      "rate",
+		RejectOverflow:  "overflow",
+		RejectProto:     "proto",
+		RejectDrain:     "drain",
+		RejectDuplicate: "duplicate",
+	}
+	for code, s := range want {
+		if code.String() != s {
+			t.Errorf("%d: got %q want %q", code, code.String(), s)
+		}
+	}
+}

@@ -12,29 +12,51 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
+
+// fakeClock is the injectable Options.Now for deterministic
+// time-windowed conflation tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
 
 // convergenceRound drives one randomized session: a tiny-ring
 // conflating subscriber that drains rarely, an unbounded subscriber
-// that drains always, and a churner that unsubscribes/resubscribes —
-// all must land on the live book state at quiesce.
+// that drains always, a time-windowed subscriber on a fake clock,
+// and a churner that unsubscribes/resubscribes — all must land on
+// the live book state at quiesce.
 func convergenceRound(t *testing.T, seed int64, ops int, ring int, drainEvery int, journal int) bool {
 	t.Helper()
-	f := NewFeed("Q", 1, Options{SyncFanout: true, BatchMax: 4, Journal: journal})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	const window = 10 * time.Millisecond
+	f := NewFeed("Q", 1, Options{SyncFanout: true, BatchMax: 4, Journal: journal, Now: clk.Now})
 	d := newDriver(f, seed)
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 
 	slow := f.Subscribe(SubOptions{Queue: ring})
 	full := f.Subscribe(SubOptions{Queue: ring, NoConflate: true})
+	win := f.Subscribe(SubOptions{ConflateWindow: window})
 	churn := f.Subscribe(SubOptions{Queue: ring})
-	mSlow, mFull, mChurn := NewMirror(), NewMirror(), NewMirror()
+	mSlow, mFull, mWin, mChurn := NewMirror(), NewMirror(), NewMirror(), NewMirror()
 
+	winReleases := 0
+	var elapsed time.Duration
 	for i := 0; i < ops; i++ {
 		d.step()
 		if i%drainEvery == 0 {
 			slow.Drain(mSlow.Apply)
 		}
 		full.Drain(mFull.Apply)
+		// The windowed subscriber polls every step; the window, not the
+		// poll cadence, throttles its releases.
+		step := time.Duration(rng.Intn(5)) * time.Millisecond
+		clk.Advance(step)
+		elapsed += step
+		if _, rec := win.Drain(mWin.Apply); rec {
+			winReleases++
+		}
 		if rng.Intn(20) == 0 { // reconnect: drop all state, rejoin late
 			f.Unsubscribe(churn)
 			churn = f.Subscribe(SubOptions{Queue: ring})
@@ -46,6 +68,10 @@ func convergenceRound(t *testing.T, seed int64, ops int, ring int, drainEvery in
 	slow.Drain(mSlow.Apply)
 	full.Drain(mFull.Apply)
 	churn.Drain(mChurn.Apply)
+	clk.Advance(window) // the final windowed release is always due
+	if _, rec := win.Drain(mWin.Apply); rec {
+		winReleases++
+	}
 
 	truth := BookState(d.book)
 	if !mFull.Equal(truth) {
@@ -58,6 +84,17 @@ func convergenceRound(t *testing.T, seed int64, ops int, ring int, drainEvery in
 	}
 	if !mChurn.Equal(truth) {
 		t.Logf("seed %d: reconnecting diverged\ngot:\n%vwant:\n%v", seed, mChurn, truth)
+		return false
+	}
+	if !mWin.Equal(truth) {
+		t.Logf("seed %d: windowed diverged\ngot:\n%vwant:\n%v", seed, mWin, truth)
+		return false
+	}
+	// Cadence bound: at most one release per elapsed window (+1 for
+	// the immediate first release, +1 for the forced final one).
+	if max := int(elapsed/window) + 2; winReleases > max {
+		t.Logf("seed %d: %d windowed releases over %v (window %v) exceeds %d",
+			seed, winReleases, elapsed, window, max)
 		return false
 	}
 	// The unconflated subscriber saw the full stream; the conflated
@@ -105,5 +142,62 @@ func TestSeededGapReconnect(t *testing.T) {
 				t.Fatal("did not converge")
 			}
 		})
+	}
+}
+
+// TestWindowedConflationCadence pins the windowed contract on a fake
+// clock: the first release is immediate, nothing is released inside
+// an open window no matter how much arrives, the next poll at/after
+// the deadline catches up to the live book in one call, and an empty
+// poll does not burn the window.
+func TestWindowedConflationCadence(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := NewFeed("W", 1, Options{SyncFanout: true, BatchMax: 4, Journal: 64, Now: clk.Now})
+	d := newDriver(f, 7)
+	w := f.Subscribe(SubOptions{ConflateWindow: 10 * time.Millisecond})
+	m := NewMirror()
+
+	for f.Seq() == 0 {
+		d.step() // some ops (cancels on an empty book) emit nothing
+	}
+	if n, rec := w.Drain(m.Apply); n == 0 || !rec {
+		t.Fatalf("first release not immediate: n=%d rec=%v", n, rec)
+	}
+	// Flood inside the window: no release.
+	for i := 0; i < 200; i++ {
+		d.step()
+	}
+	clk.Advance(9 * time.Millisecond)
+	if n, _ := w.Drain(m.Apply); n != 0 {
+		t.Fatalf("released %d deltas inside an open window", n)
+	}
+	clk.Advance(1 * time.Millisecond)
+	n, rec := w.Drain(m.Apply)
+	if n == 0 || !rec {
+		t.Fatalf("due window did not release: n=%d rec=%v", n, rec)
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatalf("windowed catch-up diverged\ngot:\n%vwant:\n%v", m, truth)
+	}
+	// An empty poll past the deadline leaves the window open, so the
+	// next delta is deliverable immediately.
+	clk.Advance(20 * time.Millisecond)
+	if n, _ := w.Drain(m.Apply); n != 0 {
+		t.Fatalf("quiet feed released %d deltas", n)
+	}
+	for last := f.Seq(); f.Seq() == last; {
+		d.step()
+	}
+	if n, rec := w.Drain(m.Apply); n == 0 || !rec {
+		t.Fatalf("post-quiet release not immediate: n=%d rec=%v", n, rec)
+	}
+	if truth := BookState(d.book); !m.Equal(truth) {
+		t.Fatal("final state diverged")
+	}
+	if w.Delivered() != 0 {
+		t.Fatalf("windowed subscriber counted %d in-sequence deltas; all its deltas are catch-ups", w.Delivered())
+	}
+	if w.Recovered() == 0 {
+		t.Fatal("no recovered deltas counted")
 	}
 }

@@ -31,7 +31,11 @@
 //     replays the missed deltas; otherwise it receives a Reset marker
 //     followed by the mirror's latest-state-per-level snapshot, which
 //     is exactly conflation-to-current-state with memory bounded by
-//     the book's level count, never by the backlog.
+//     the book's level count, never by the backlog. A subscriber may
+//     instead opt into time-windowed conflation (ConflateWindow): it
+//     queues nothing and Drain releases at most one catch-up per
+//     window — coalescing across the window regardless of queue
+//     pressure, the cadence contract slow consumers actually want.
 //
 // Label soundness (DESIGN-dispatch.md §10): every delta in a batch
 // derives from order events whose book-visible parts are confined to
@@ -130,9 +134,15 @@ type Options struct {
 	// goroutine. Deterministic — for tests and single-threaded
 	// benchmarks; the matching path then does pay fanout cost.
 	SyncFanout bool
+	// Now is the clock consulted by time-windowed subscribers
+	// (default time.Now). Injectable for deterministic tests.
+	Now func() time.Time
 }
 
 func (o *Options) defaults() {
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	if o.Journal <= 0 {
 		o.Journal = 4096
 	}
@@ -461,6 +471,13 @@ type SubOptions struct {
 	// grows without bound instead of collapsing to latest state — the
 	// unbounded-queue strawman the benchmark compares against.
 	NoConflate bool
+	// ConflateWindow > 0 selects time-windowed conflation: the
+	// subscriber queues nothing and Drain releases at most one
+	// catch-up (journal replay or Reset+snapshot, whichever the gap
+	// demands) per window — deltas are coalesced across the window
+	// regardless of queue pressure, not only on ring overflow. The
+	// cadence clock is Options.Now. Overrides NoConflate.
+	ConflateWindow time.Duration
 }
 
 // Subscription is one consumer's handle. Delivery is poll-based:
@@ -481,6 +498,8 @@ type Subscription struct {
 	// consumer-thread state.
 	lastSeq  uint64
 	seenLost uint64
+	window   time.Duration // > 0: time-windowed conflation
+	nextDue  time.Time     // earliest next windowed release
 
 	delivered atomic.Uint64
 	recovered atomic.Uint64
@@ -497,7 +516,8 @@ func (f *Feed) Subscribe(o SubOptions) *Subscription {
 		feed:     f,
 		label:    o.Label,
 		ring:     make([]*Batch, o.Queue),
-		conflate: !o.NoConflate,
+		conflate: !o.NoConflate || o.ConflateWindow > 0,
+		window:   o.ConflateWindow,
 	}
 	f.mu.RLock()
 	s.gapped = f.seq != 0
@@ -558,6 +578,13 @@ func (f *Feed) Subscribers() int {
 // push offers a batch to the subscriber's ring from the fanout.
 // Reports whether the subscriber keeps the reference.
 func (s *Subscription) push(b *Batch) bool {
+	if s.window > 0 {
+		// Time-windowed subscribers queue nothing: every batch is
+		// superseded by the next windowed catch-up, which reads the
+		// feed's journal/mirror directly. The fanout's per-subscriber
+		// cost stays a refcount bounce; memory stays zero.
+		return false
+	}
 	s.mu.Lock()
 	if s.closed || (s.gapped && s.conflate) {
 		// Already due a recovery that will land at the feed's current
@@ -629,6 +656,9 @@ func (s *Subscription) pop() (b *Batch, gapped, ok bool) {
 // (journal replay or Reset+snapshot) happened. Steady state — no
 // gaps — applies shared batch memory and allocates nothing.
 func (s *Subscription) Drain(apply func(Delta)) (n int, recovered bool) {
+	if s.window > 0 {
+		return s.drainWindowed(apply)
+	}
 	for {
 		b, gapped, ok := s.pop()
 		if !ok {
@@ -670,6 +700,24 @@ func (s *Subscription) Drain(apply func(Delta)) (n int, recovered bool) {
 		s.delivered.Add(uint64(len(b.Deltas)))
 		b.release()
 	}
+}
+
+// drainWindowed is the time-windowed conflation path: at most one
+// release per ConflateWindow, each release a single catch-up to the
+// feed's current state. An empty poll does not burn the window — the
+// cadence bound is between *releases*, so a quiet feed adds no
+// latency once data arrives.
+func (s *Subscription) drainWindowed(apply func(Delta)) (int, bool) {
+	now := s.feed.opts.Now()
+	if now.Before(s.nextDue) {
+		return 0, false
+	}
+	n := s.feed.recover(s, apply)
+	if n == 0 {
+		return 0, false
+	}
+	s.nextDue = now.Add(s.window)
+	return n, true
 }
 
 // Delivered reports deltas applied in sequence (excluding recovery).

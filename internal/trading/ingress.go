@@ -1,0 +1,159 @@
+package trading
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/freeze"
+	"repro/internal/workload"
+)
+
+// Event vocabulary added by the ingress gateway (admission decisions
+// are events, never silent):
+//
+//	greject   type="greject",  greject{reason,count} public,
+//	          gwho=<trader>                                    S={t_i}
+//	gsession  type="gsession", gsession{reason} public,
+//	          gwho=<trader>                                    S={t_i}
+//
+// The body parts are public — the Regulator (and anyone else) can see
+// that admission control shed load and why. The identity part is
+// protected by the shed trader's durable strategy tag t_i: which
+// trader was throttled is exactly as confidential as the trader's
+// order flow itself. Raising secrecy needs no privilege, so the
+// gateway unit can protect the part without holding t_i; reading it
+// requires t_i in the reader's input label, which only trader i (and
+// units it delegates to) can raise.
+
+// Errors returned by Ingress.Authenticate.
+var (
+	ErrBadToken     = errors.New("trading: unknown trader token")
+	ErrTraderBound  = errors.New("trading: trader already has a live session")
+	ErrPlatformDown = errors.New("trading: platform closed")
+)
+
+// Ingress adapts a Platform to the gateway.Backend interface (it
+// implements it without the gateway package importing trading, or
+// vice versa): sessions authenticate as traders, admitted orders
+// enter through the trader's own unit and tag choreography, and
+// admission decisions become labeled events.
+type Ingress struct {
+	p    *Platform
+	unit *core.Unit
+
+	mu    sync.Mutex
+	bound map[int]bool
+
+	rejects counter // shed orders (sum of reject-event counts)
+	closes  counter // session-close events published
+}
+
+// TraderToken is the auth token that binds a gateway session to the
+// given trader index.
+func TraderToken(idx int) string { return fmt.Sprintf("trader-%04d", idx) }
+
+// NewIngress builds the platform's gateway backend. The ingress unit
+// publishes with a public output label; identity parts are raised to
+// the trader's tag per part.
+func (p *Platform) NewIngress() *Ingress {
+	return &Ingress{
+		p:     p,
+		unit:  p.Sys.NewUnit("gateway", core.UnitConfig{}),
+		bound: make(map[int]bool),
+	}
+}
+
+// Rejects reports shed orders for which a labeled greject event was
+// published (the gateway side counts sheds; the two must agree).
+func (in *Ingress) Rejects() uint64 { return in.rejects.load() }
+
+// SessionCloses reports gsession events published.
+func (in *Ingress) SessionCloses() uint64 { return in.closes.load() }
+
+// Authenticate resolves a trader token ("trader-0007") to its index
+// and tag name, binding the trader to the calling session. A trader
+// has at most one live session: the trader unit serializes its order
+// flow, so a second session would interleave two socket streams
+// through one principal.
+func (in *Ingress) Authenticate(token string) (int, string, error) {
+	if in.p.closed.Load() {
+		return 0, "", ErrPlatformDown
+	}
+	num, ok := strings.CutPrefix(token, "trader-")
+	if !ok {
+		return 0, "", ErrBadToken
+	}
+	idx, err := strconv.Atoi(num)
+	if err != nil || idx < 0 || idx >= len(in.p.Traders) || in.p.Traders[idx].name != token {
+		return 0, "", ErrBadToken
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.bound[idx] {
+		return 0, "", fmt.Errorf("%w: %s", ErrTraderBound, token)
+	}
+	in.bound[idx] = true
+	return idx, "t-" + token, nil
+}
+
+// Submit publishes one run of admitted ops through the trader's unit
+// (the full tag/privilege choreography of buildOrderEvent). It may
+// block on dispatcher backpressure — that pressure lands on the
+// gateway's per-session submitter, whose bounded ingress queue then
+// sheds with labeled rejects; the broker's matching path never waits
+// on a socket.
+func (in *Ingress) Submit(trader int, ops []workload.OrderOp) error {
+	if in.p.closed.Load() {
+		return ErrPlatformDown
+	}
+	in.p.Traders[trader%len(in.p.Traders)].placeFlow(ops, true)
+	return nil
+}
+
+// Reject publishes one labeled greject event covering n shed orders.
+func (in *Ingress) Reject(trader int, tag, reason string, n int) {
+	if n <= 0 {
+		return
+	}
+	if in.publishAdmission(trader, "greject",
+		freeze.MapOf("reason", reason, "count", int64(n))) {
+		in.rejects.add(uint64(n))
+	}
+}
+
+// SessionClose unbinds the trader and publishes a labeled gsession
+// event. It is also the release path for a bind whose session never
+// went live (duplicate session ID): unbinding must happen even when
+// the platform is already closed.
+func (in *Ingress) SessionClose(trader int, tag, reason string) {
+	in.mu.Lock()
+	delete(in.bound, trader)
+	in.mu.Unlock()
+	if in.publishAdmission(trader, "gsession", freeze.MapOf("reason", reason)) {
+		in.closes.inc()
+	}
+}
+
+// publishAdmission publishes one admission event: public type and
+// body, trader identity under the trader's strategy tag.
+func (in *Ingress) publishAdmission(trader int, kind string, body *freeze.Map) bool {
+	if in.p.closed.Load() {
+		return false
+	}
+	t := in.p.Traders[trader%len(in.p.Traders)]
+	e := in.unit.CreateEvent()
+	if in.unit.AddPart(e, noTags, noTags, "type", kind) != nil {
+		return false
+	}
+	if in.unit.AddPart(e, noTags, noTags, kind, body) != nil {
+		return false
+	}
+	if in.unit.AddPart(e, setOf(t.tag), noTags, "gwho", t.name) != nil {
+		return false
+	}
+	return in.unit.Publish(e) == nil
+}

@@ -1,0 +1,219 @@
+package trading
+
+// Gateway ingress backend: token→trader binding, labeled admission
+// events (the reject carries the session trader's tag — readable by
+// that trader, opaque to everyone else), and the Submit path into the
+// dark pool.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/freeze"
+	"repro/internal/workload"
+)
+
+// ingressScenario builds a small labeled platform with an ingress and
+// an observer unit subscribed to admission events.
+func ingressScenario(t *testing.T, mode core.SecurityMode) (*Platform, *Ingress, *core.Unit, uint64, uint64) {
+	t.Helper()
+	p, err := New(Config{
+		Mode:             mode,
+		NumTraders:       4,
+		Universe:         workload.NewUniverse(2),
+		Seed:             19,
+		AuditSampleEvery: 1 << 30,
+		QueueCap:         1024,
+		OrderTTL:         time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	in := p.NewIngress()
+	obs := p.Sys.NewUnit("observer", core.UnitConfig{})
+	subRej, err := obs.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "greject")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subSes, err := obs.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "gsession")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, in, obs, subRej, subSes
+}
+
+func TestIngressAuthenticate(t *testing.T) {
+	_, in, _, _, _ := ingressScenario(t, core.NoSecurity)
+
+	idx, tag, err := in.Authenticate(TraderToken(2))
+	if err != nil || idx != 2 || tag != "t-trader-0002" {
+		t.Fatalf("authenticate: %d %q %v", idx, tag, err)
+	}
+	// Second binding of the same trader is refused.
+	if _, _, err := in.Authenticate(TraderToken(2)); !errors.Is(err, ErrTraderBound) {
+		t.Fatalf("duplicate bind: %v", err)
+	}
+	// Unknown tokens are refused.
+	for _, token := range []string{"", "nobody", "trader-9999", "trader-x", "trader--1"} {
+		if _, _, err := in.Authenticate(token); !errors.Is(err, ErrBadToken) {
+			t.Fatalf("token %q: %v", token, err)
+		}
+	}
+	// SessionClose releases the binding.
+	in.SessionClose(2, tag, "disconnect")
+	if _, _, err := in.Authenticate(TraderToken(2)); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+// TestGatewayRejectLabelCorrectness is the satellite's core claim:
+// the greject event's body is public (the Regulator sees the shed and
+// its reason) while the identity part carries the *session trader's*
+// tag — trader 1 can read who was throttled (itself), trader 2 and a
+// public observer cannot.
+func TestGatewayRejectLabelCorrectness(t *testing.T) {
+	p, in, obs, subRej, _ := ingressScenario(t, core.LabelsFreeze)
+
+	in.Reject(1, "t-trader-0001", "overflow", 3)
+	if in.Rejects() != 3 {
+		t.Fatalf("rejects: %d", in.Rejects())
+	}
+
+	e, sub, err := obs.GetEvent()
+	if err != nil || sub != subRej {
+		t.Fatalf("observer delivery: sub %d err %v", sub, err)
+	}
+	// Public body: visible to the (public) observer.
+	bv, err := obs.ReadOne(e, "greject")
+	if err != nil {
+		t.Fatalf("public body unreadable: %v", err)
+	}
+	body, ok := bv.Data.(*freeze.Map)
+	if !ok || body.GetString("reason") != "overflow" || body.GetInt("count") != 3 {
+		t.Fatalf("body: %+v", bv.Data)
+	}
+	// Identity: opaque to the observer...
+	if views, err := obs.ReadPart(e, "gwho"); err == nil && len(views) > 0 {
+		t.Fatalf("observer read the protected identity: %+v", views)
+	}
+	// ...readable by the trader it names (t_1 is in trader 1's input
+	// label)...
+	views, err := p.Traders[1].unit.ReadPart(e, "gwho")
+	if err != nil || len(views) != 1 || views[0].Data != freeze.Value("trader-0001") {
+		t.Fatalf("trader 1 identity read: %v %v", views, err)
+	}
+	// ...and opaque to a different trader.
+	if views, err := p.Traders[2].unit.ReadPart(e, "gwho"); err == nil && len(views) > 0 {
+		t.Fatalf("trader 2 read trader 1's identity: %+v", views)
+	}
+
+	// The Regulator accumulated the shed count from the public body.
+	if !p.Quiesce(10 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if p.Regulator.GatewayRejects() != 3 {
+		t.Fatalf("regulator rejects: %d", p.Regulator.GatewayRejects())
+	}
+}
+
+// TestGatewaySessionCloseEvent: the gsession event mirrors greject's
+// labeling, and the Regulator counts it.
+func TestGatewaySessionCloseEvent(t *testing.T) {
+	p, in, obs, _, subSes := ingressScenario(t, core.LabelsFreeze)
+
+	if _, _, err := in.Authenticate(TraderToken(3)); err != nil {
+		t.Fatal(err)
+	}
+	in.SessionClose(3, "t-trader-0003", "idle-timeout")
+	if in.SessionCloses() != 1 {
+		t.Fatalf("closes: %d", in.SessionCloses())
+	}
+
+	e, sub, err := obs.GetEvent()
+	if err != nil || sub != subSes {
+		t.Fatalf("observer delivery: sub %d err %v", sub, err)
+	}
+	bv, err := obs.ReadOne(e, "gsession")
+	if err != nil {
+		t.Fatalf("public body unreadable: %v", err)
+	}
+	if body, ok := bv.Data.(*freeze.Map); !ok || body.GetString("reason") != "idle-timeout" {
+		t.Fatalf("body: %+v", bv.Data)
+	}
+	if views, err := obs.ReadPart(e, "gwho"); err == nil && len(views) > 0 {
+		t.Fatal("observer read the protected identity")
+	}
+	views, err := p.Traders[3].unit.ReadPart(e, "gwho")
+	if err != nil || len(views) != 1 || views[0].Data != freeze.Value("trader-0003") {
+		t.Fatalf("trader 3 identity read: %v %v", views, err)
+	}
+
+	if !p.Quiesce(10 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if p.Regulator.GatewaySessionCloses() != 1 {
+		t.Fatalf("regulator session closes: %d", p.Regulator.GatewaySessionCloses())
+	}
+}
+
+// TestIngressSubmitPlacesFlow: admitted ops enter through the bound
+// trader's unit with the full order choreography — they match, and
+// the books conserve.
+func TestIngressSubmitPlacesFlow(t *testing.T) {
+	p, in, _, _, _ := ingressScenario(t, core.LabelsFreeze)
+
+	idx, _, err := in.Authenticate(TraderToken(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{Traders: 1, AggressionPct: 60}, 41)
+	ops := flow.Take(300)
+	if err := in.Submit(idx, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Quiesce(15 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(20 * time.Millisecond)
+	st := p.Stats()
+	if st.OrdersPlaced+st.CancelsRequested+st.AmendsRequested != uint64(len(ops)) {
+		t.Fatalf("flow ops recorded: %+v", st)
+	}
+	if p.Broker.Trades() == 0 {
+		t.Fatal("crossing flow produced no trades")
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Broker.ValidateBooks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngressSubmitAfterClose: a closed platform refuses Submit and
+// admission events instead of wedging.
+func TestIngressSubmitAfterClose(t *testing.T) {
+	p, in, _, _, _ := ingressScenario(t, core.NoSecurity)
+	idx, tag, err := in.Authenticate(TraderToken(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := in.Submit(idx, workload.NewOrderFlow(p.Universe(), workload.FlowConfig{}, 1).Take(4)); !errors.Is(err, ErrPlatformDown) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if _, _, err := in.Authenticate(TraderToken(2)); !errors.Is(err, ErrPlatformDown) {
+		t.Fatalf("auth after close: %v", err)
+	}
+	// SessionClose still releases the binding without publishing.
+	in.SessionClose(idx, tag, "drain")
+	if in.SessionCloses() != 0 {
+		t.Fatalf("published a close event on a dead platform")
+	}
+}

@@ -33,10 +33,17 @@ type Regulator struct {
 
 	regTag tags.Tag
 
-	subTrade, subVol uint64
+	subTrade, subVol, subGReject, subGSession uint64
 
 	audits   counter
 	volsSeen counter
+
+	// Gateway admission oversight: the ingress publishes every shed
+	// order and session close as a public-bodied event (trader
+	// identity protected by t_i), so the regulator sees the shape of
+	// overload without learning who was throttled.
+	gwRejects  counter // shed orders (sum of greject counts)
+	gwSessions counter // gsession events seen
 
 	// primary-loop state (single goroutine): per-trader volume and
 	// warned set.
@@ -76,6 +83,12 @@ func (r *Regulator) Audits() uint64 { return r.audits.load() }
 // VolsSeen reports volume reports processed.
 func (r *Regulator) VolsSeen() uint64 { return r.volsSeen.load() }
 
+// GatewayRejects reports shed orders observed via greject events.
+func (r *Regulator) GatewayRejects() uint64 { return r.gwRejects.load() }
+
+// GatewaySessionCloses reports gsession events observed.
+func (r *Regulator) GatewaySessionCloses() uint64 { return r.gwSessions.load() }
+
 // wire registers subscriptions and starts the primary loop.
 func (r *Regulator) wire() error {
 	var err error
@@ -83,6 +96,12 @@ func (r *Regulator) wire() error {
 		return err
 	}
 	if r.subVol, err = r.unit.Subscribe(dispatch.MustFilter(dispatch.PartExists("vol"))); err != nil {
+		return err
+	}
+	if r.subGReject, err = r.unit.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "greject"))); err != nil {
+		return err
+	}
+	if r.subGSession, err = r.unit.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "gsession"))); err != nil {
 		return err
 	}
 	// Managed subscription for delegations: the trade event augmented
@@ -115,6 +134,16 @@ func (r *Regulator) run() {
 			}
 		case r.subVol:
 			r.handleVol(e)
+			r.unit.Recycle(e)
+		case r.subGReject:
+			if v, err := r.unit.ReadOne(e, "greject"); err == nil {
+				if m, ok := v.Data.(*freeze.Map); ok {
+					r.gwRejects.add(uint64(m.GetInt("count")))
+				}
+			}
+			r.unit.Recycle(e)
+		case r.subGSession:
+			r.gwSessions.inc()
 			r.unit.Recycle(e)
 		}
 	}

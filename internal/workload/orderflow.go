@@ -271,6 +271,23 @@ func (f *OrderFlow) Take(n int) []OrderOp {
 	return out
 }
 
+// OffsetOrderIDs shifts every flow-assigned order ID (and the targets
+// referring to them) by offset, in place. Independent sessions each
+// drawing their own trace from seed-distinct flows use it to keep
+// their ID spaces disjoint inside one book: cancels and amends keep
+// resolving because targets move with the IDs they name.
+func OffsetOrderIDs(ops []OrderOp, offset int64) []OrderOp {
+	for i := range ops {
+		if ops[i].ID != 0 {
+			ops[i].ID += offset
+		}
+		if ops[i].Target != 0 {
+			ops[i].Target += offset
+		}
+	}
+	return ops
+}
+
 // pushRecent remembers a resting order for later cancellation.
 func (f *OrderFlow) pushRecent(trader int, ref flowRef) {
 	r := f.recent[trader]
