@@ -8,13 +8,14 @@
 //	defcon-bench -fig 5 -quick | tee fig5.txt
 //	defcon-bench -fig ob -quick | tee figob.txt
 //	defcon-bench -fig obshard -shards 1,2 | tee figobshard.txt
+//	defcon-bench -fig rebalance -quick | tee figrebalance.txt
 //	defcon-bench -fig mdfeed -subs 100,1000 | tee figmdfeed.txt
 //	defcon-bench -fig objournal -quick | tee figobjournal.txt
 //	defcon-bench -fig gateway -quick | tee figgateway.txt
 //	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt \
-//	  -figobshard figobshard.txt -figmdfeed figmdfeed.txt \
-//	  -figobjournal figobjournal.txt -figgateway figgateway.txt \
-//	  -o BENCH_dispatch.json
+//	  -figobshard figobshard.txt -figrebalance figrebalance.txt \
+//	  -figmdfeed figmdfeed.txt -figobjournal figobjournal.txt \
+//	  -figgateway figgateway.txt -o BENCH_dispatch.json
 package main
 
 import (
@@ -69,25 +70,31 @@ type Snapshot struct {
 	// loopback sessions) from `defcon-bench -fig gateway`.
 	GatewayFigure string     `json:"gateway_figure,omitempty"`
 	GatewayPoints []FigPoint `json:"gateway_points,omitempty"`
+	// Live-rebalance series (fills/s per mode, x = window: before /
+	// during / after the hand-off) from `defcon-bench -fig rebalance`.
+	RebalanceFigure string     `json:"rebalance_figure,omitempty"`
+	RebalancePoints []FigPoint `json:"rebalance_points,omitempty"`
 }
 
 func main() {
 	var (
-		benchPath        = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
-		figPath          = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
-		figOBPath        = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
-		figShardPath     = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
-		figMDPath        = flag.String("figmdfeed", "", "optional file holding the defcon-bench market-data fanout table")
-		figJournalPath   = flag.String("figobjournal", "", "optional file holding the defcon-bench journal-overhead table")
-		figGatewayPath   = flag.String("figgateway", "", "optional file holding the defcon-bench ingress-gateway table")
-		outPath          = flag.String("o", "BENCH_dispatch.json", "output JSON path")
-		require          = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
-		reqSeries        = flag.String("require-series", "", "comma-separated figure series names that must be present")
-		reqOBSeries      = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
-		reqShardSeries   = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
-		reqMDSeries      = flag.String("require-mdfeed-series", "", "comma-separated market-data fanout series names that must be present")
-		reqJournalSeries = flag.String("require-journal-series", "", "comma-separated journal-overhead series names that must be present (keeps the bench-snapshot artifact carrying the journal-on/off comparison)")
-		reqGatewaySeries = flag.String("require-gateway-series", "", "comma-separated ingress-gateway series names that must be present (keeps the bench-snapshot artifact carrying the socket-ingress sweep)")
+		benchPath          = flag.String("bench", "", "file holding `go test -bench` output (default: stdin)")
+		figPath            = flag.String("fig5", "", "optional file holding a defcon-bench figure table")
+		figOBPath          = flag.String("figob", "", "optional file holding the defcon-bench order-book table")
+		figShardPath       = flag.String("figobshard", "", "optional file holding the defcon-bench shard-scaling table")
+		figMDPath          = flag.String("figmdfeed", "", "optional file holding the defcon-bench market-data fanout table")
+		figJournalPath     = flag.String("figobjournal", "", "optional file holding the defcon-bench journal-overhead table")
+		figGatewayPath     = flag.String("figgateway", "", "optional file holding the defcon-bench ingress-gateway table")
+		figRebalancePath   = flag.String("figrebalance", "", "optional file holding the defcon-bench live-rebalance table")
+		outPath            = flag.String("o", "BENCH_dispatch.json", "output JSON path")
+		require            = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
+		reqSeries          = flag.String("require-series", "", "comma-separated figure series names that must be present")
+		reqOBSeries        = flag.String("require-ob-series", "", "comma-separated order-book series names that must be present")
+		reqShardSeries     = flag.String("require-obshard-series", "", "comma-separated shard-scaling series names that must be present (keeps the bench-snapshot artifact carrying the shard series)")
+		reqMDSeries        = flag.String("require-mdfeed-series", "", "comma-separated market-data fanout series names that must be present")
+		reqJournalSeries   = flag.String("require-journal-series", "", "comma-separated journal-overhead series names that must be present (keeps the bench-snapshot artifact carrying the journal-on/off comparison)")
+		reqGatewaySeries   = flag.String("require-gateway-series", "", "comma-separated ingress-gateway series names that must be present (keeps the bench-snapshot artifact carrying the socket-ingress sweep)")
+		reqRebalanceSeries = flag.String("require-rebalance-series", "", "comma-separated live-rebalance series names that must be present (keeps the bench-snapshot artifact carrying the hand-off cost sweep)")
 	)
 	flag.Parse()
 
@@ -139,8 +146,13 @@ func main() {
 			fatal(fmt.Errorf("no ingress-gateway points parsed from %s", *figGatewayPath))
 		}
 	}
+	if *figRebalancePath != "" {
+		if snap.RebalanceFigure, snap.RebalancePoints = parseFigureFile(*figRebalancePath); len(snap.RebalancePoints) == 0 {
+			fatal(fmt.Errorf("no live-rebalance points parsed from %s", *figRebalancePath))
+		}
+	}
 
-	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries, *reqGatewaySeries); err != nil {
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries, *reqGatewaySeries, *reqRebalanceSeries); err != nil {
 		fatal(err)
 	}
 
@@ -164,7 +176,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries, gatewaySeries string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries, gatewaySeries, rebalanceSeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -192,7 +204,10 @@ func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSer
 	if err := requireSeries(snap.ObJournalPoints, journalSeries, "journal-overhead"); err != nil {
 		return err
 	}
-	return requireSeries(snap.GatewayPoints, gatewaySeries, "ingress-gateway")
+	if err := requireSeries(snap.GatewayPoints, gatewaySeries, "ingress-gateway"); err != nil {
+		return err
+	}
+	return requireSeries(snap.RebalancePoints, rebalanceSeries, "live-rebalance")
 }
 
 // requireSeries checks each named series appears in at least one point.

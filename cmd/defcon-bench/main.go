@@ -9,6 +9,7 @@
 //	defcon-bench -fig 9 -inprocess               # serialisation-only ablation
 //	defcon-bench -fig ob -ops 50000              # order-book fill rate
 //	defcon-bench -fig obshard -shards 1,2,4,8    # pool shard scaling
+//	defcon-bench -fig rebalance -ops 20000       # live hand-off cost
 //	defcon-bench -fig mdfeed -subs 100,1000,10000 # market-data fanout
 //	defcon-bench -fig gateway -sessions 100,1000  # socket ingress sweep
 //	defcon-bench -analysis                       # §4.2 pipeline counts
@@ -34,7 +35,7 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,mdfeed,gateway or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,rebalance,mdfeed,gateway or all")
 		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
 		shards    = flag.String("shards", "", "comma-separated broker shard counts (figure obshard)")
 		subs      = flag.String("subs", "", "comma-separated subscriber counts (figure mdfeed)")
@@ -62,6 +63,7 @@ func main() {
 	oopts := bench.OrderBookOpts{Ops: *ops}
 	jopts := bench.OrderBookJournalOpts{Ops: *ops}
 	sopts := bench.OrderBookShardOpts{Ops: *ops}
+	ropts := bench.RebalanceOpts{Ops: *ops}
 	mopts := bench.MDFeedOpts{Ops: *ops}
 	gopts := bench.GatewayOpts{}
 	if *rate > 0 {
@@ -106,6 +108,9 @@ func main() {
 			sopts.Shards = []int{1, 2}
 		}
 		sopts.Ops = 12000
+		ropts.Ops = 5000
+		ropts.Traders = 16
+		ropts.Pairs = 4
 		if *subs == "" {
 			mopts.Subscribers = []int{16, 64}
 		}
@@ -131,6 +136,7 @@ func main() {
 		{"ob", func() (bench.Result, error) { return bench.RunOrderBook(oopts) }},
 		{"objournal", func() (bench.Result, error) { return bench.RunOrderBookJournal(jopts) }},
 		{"obshard", func() (bench.Result, error) { return bench.RunOrderBookShards(sopts) }},
+		{"rebalance", func() (bench.Result, error) { return bench.RunRebalance(ropts) }},
 		{"mdfeed", func() (bench.Result, error) { return bench.RunMDFeed(mopts) }},
 		{"gateway", func() (bench.Result, error) { return bench.RunGateway(gopts) }},
 	}
@@ -148,7 +154,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,mdfeed,gateway or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,rebalance,mdfeed,gateway or all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// RebalanceOpts parameterise the live-rebalance sweep: dark-pool fill
+// throughput before, during and after migrating the hottest symbol
+// between broker shards, per security mode. The "during" window prices
+// the hand-off — the freeze fence, the drain, the state transfer and
+// the frozen-queue release — against the same flow the steady windows
+// clear.
+type RebalanceOpts struct {
+	// Traders is the trader population (default 32).
+	Traders int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Ops is the order-flow length per window (default 20,000).
+	Ops int
+	// Pairs sizes the symbol universe (default 8 pairs, 16 symbols).
+	Pairs int
+	// Shards sizes the broker pool (default 4).
+	Shards int
+	// Flow shapes the trace; the Traders field is overridden. Zero-
+	// value fields take workload defaults.
+	Flow workload.FlowConfig
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (o *RebalanceOpts) defaults() {
+	if o.Traders == 0 {
+		o.Traders = 32
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Ops == 0 {
+		o.Ops = 20000
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 8
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunRebalance measures fills/s across three equal flow windows (the
+// `-fig rebalance` sweep): X=0 runs on the home routing, X=1 replays
+// while the Rebalancer migrates the trace's hottest symbol to another
+// shard mid-window, X=2 runs entirely on the migrated routing. Orders
+// for the migrating symbol park in the freeze queue rather than
+// dropping, so the X=1 point shows the hand-off as a throughput dip,
+// never as lost flow.
+func RunRebalance(o RebalanceOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure:  "Live shard rebalance",
+		Caption: "dark-pool fill rate before (x=0), during (x=1) and after (x=2) migrating the hot symbol between shards",
+	}
+	for _, mode := range o.Modes {
+		p, err := trading.New(trading.Config{
+			Mode:         mode,
+			NumTraders:   o.Traders,
+			Universe:     workload.NewUniverse(o.Pairs),
+			Seed:         o.Seed,
+			BrokerShards: o.Shards,
+			OrderTTL:     time.Minute,
+			QueueCap:     4096,
+			Enforcer:     SharedEnforcer(),
+		})
+		if err != nil {
+			return res, err
+		}
+		flowCfg := o.Flow
+		flowCfg.Traders = o.Traders
+		flow := workload.NewOrderFlow(p.Universe(), flowCfg, o.Seed+5)
+		trace := flow.Take(3 * o.Ops)
+
+		// The hottest symbol of the trace is the one whose hand-off
+		// freezes the most in-flight interest.
+		counts := map[string]int{}
+		for i := range trace {
+			counts[trace[i].Symbol]++
+		}
+		var hot string
+		for sym, n := range counts {
+			if hot == "" || n > counts[hot] || (n == counts[hot] && sym < hot) {
+				hot = sym
+			}
+		}
+
+		window := func(ops []workload.OrderOp, migrate bool) (float64, error) {
+			before := p.Broker.Trades()
+			start := time.Now()
+			if migrate {
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					p.ReplayOrders(ops)
+				}()
+				dst := (p.RouteOf(hot) + 1) % o.Shards
+				if err := p.Rebalance.Migrate(hot, dst); err != nil {
+					return 0, err
+				}
+				<-done
+			} else {
+				p.ReplayOrders(ops)
+			}
+			if !p.Quiesce(60 * time.Second) {
+				return 0, fmt.Errorf("rebalance window did not quiesce")
+			}
+			elapsed := time.Since(start)
+			return float64(p.Broker.Trades()-before) / elapsed.Seconds(), nil
+		}
+
+		s := Series{Name: shortMode(mode), Unit: "fills/s"}
+		for w := 0; w < 3; w++ {
+			y, err := window(trace[w*o.Ops:(w+1)*o.Ops], w == 1)
+			if err != nil {
+				p.Close()
+				return res, fmt.Errorf("rebalance point %s/%d: %w", mode, w, err)
+			}
+			s.Points = append(s.Points, Point{X: w, Y: y})
+		}
+		if got := p.Rebalance.Migrations(); got != 1 {
+			p.Close()
+			return res, fmt.Errorf("rebalance %s: %d migrations, want 1", mode, got)
+		}
+		p.Close()
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -25,7 +25,10 @@ type ClientConfig struct {
 	Session uint64
 	// Dial overrides net.Dial for tests and fault injection.
 	Dial func() (net.Conn, error)
-	// Seed feeds the backoff jitter.
+	// Seed feeds the backoff jitter; 0 derives a per-identity seed
+	// from Token and Session, so a fleet of zero-config clients never
+	// shares one jitter sequence (which would synchronize their
+	// reconnect storms against a recovering gateway).
 	Seed int64
 	// MaxAttempts bounds consecutive failed connect attempts
 	// (default 8); progress resets the counter.
@@ -60,6 +63,22 @@ func (c *ClientConfig) defaults() {
 	if c.Dial == nil {
 		addr := c.Addr
 		c.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if c.Seed == 0 {
+		// FNV-1a over the client identity: distinct tokens or sessions
+		// get decorrelated jitter without any shared global state.
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		for i := 0; i < len(c.Token); i++ {
+			h = (h ^ uint64(c.Token[i])) * prime64
+		}
+		for i := 0; i < 8; i++ {
+			h = (h ^ (c.Session >> (8 * i) & 0xff)) * prime64
+		}
+		c.Seed = int64(h)
 	}
 }
 

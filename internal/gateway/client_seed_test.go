@@ -1,0 +1,34 @@
+package gateway
+
+import "testing"
+
+// TestClientSeedDerivation: zero-seed clients must not share a jitter
+// stream. A reconnect storm after a gateway restart is only survivable
+// because the fleet's backoffs decorrelate; identical default seeds
+// would re-synchronize every client's retry schedule exactly.
+func TestClientSeedDerivation(t *testing.T) {
+	seedOf := func(token string, session uint64) int64 {
+		cfg := ClientConfig{Addr: "unused:0", Token: token, Session: session}
+		cfg.defaults()
+		return cfg.Seed
+	}
+
+	if a, b := seedOf("trader-0001", 0), seedOf("trader-0002", 0); a == b {
+		t.Fatalf("distinct tokens derived the same seed %d", a)
+	}
+	if a, b := seedOf("trader-0001", 1), seedOf("trader-0001", 2); a == b {
+		t.Fatalf("distinct sessions derived the same seed %d", a)
+	}
+	if a, b := seedOf("trader-0001", 7), seedOf("trader-0001", 7); a != b {
+		t.Fatalf("seed derivation not deterministic: %d vs %d", a, b)
+	}
+	if seedOf("trader-0001", 0) == 0 {
+		t.Fatal("derived seed left at zero")
+	}
+
+	cfg := ClientConfig{Addr: "unused:0", Token: "trader-0001", Seed: 42}
+	cfg.defaults()
+	if cfg.Seed != 42 {
+		t.Fatalf("explicit seed overwritten: %d", cfg.Seed)
+	}
+}

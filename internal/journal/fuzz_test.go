@@ -12,8 +12,40 @@ package journal
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// TestFuzzCorpusCommitted pins the seed corpus to the repository: the
+// damage-class exemplars under testdata/fuzz must exist, or a plain
+// `go test` run exercises none of them and the fuzz target degrades
+// to whatever f.Add seeds happen to remain in sync.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalRecover")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("committed fuzz corpus missing: %v", err)
+	}
+	var seeds int
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(b), "go test fuzz v1\n") {
+			t.Fatalf("corpus file %s is not a go-fuzz v1 entry", e.Name())
+		}
+		seeds++
+	}
+	if seeds == 0 {
+		t.Fatalf("no corpus entries committed under %s", dir)
+	}
+}
 
 // ckptBlob is the deterministic checkpoint payload for a given LSN.
 func ckptBlob(lsn uint64) []byte {
@@ -77,7 +109,10 @@ func FuzzJournalRecover(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(names) == 0 {
-			t.Skip("no reference files")
+			// buildReferenceJournal always writes segments; an empty
+			// listing means the writer or MemFS broke, and skipping
+			// would hide that every fuzz input silently tested nothing.
+			t.Fatal("reference journal produced no files")
 		}
 		fs := NewMemFS()
 		for n, b := range ref {

@@ -110,6 +110,8 @@ type Broker struct {
 	expired    counter
 	delegates  counter
 	misroutes  counter
+	forwards   counter
+	migRejects counter
 }
 
 // brokerBook is the dark-pool state, living in the managed instance's
@@ -141,6 +143,11 @@ type symBook struct {
 	ns     int64 // platform-wide symbol namespace (symbolNS)
 	seq    int64 // per-symbol dense trade counter
 	ledger symLedger
+	// epoch is the hand-off epoch this state last migrated at (0 =
+	// never migrated). Recovery uses it to reconcile ownership when a
+	// crash lands mid-hand-off: the highest epoch holds the freshest
+	// copy of the symbol's state.
+	epoch uint64
 	// feed is the symbol's L2 delta feed (nil unless Config.MarketData):
 	// the book's depth hook stages level changes into it and handleOrder
 	// flushes one sequence-numbered batch per processed order.
@@ -172,13 +179,22 @@ func (b *Broker) sym(bk *brokerBook, symbol string) *symBook {
 	sb := bk.syms[symbol]
 	if sb == nil {
 		sb = &symBook{book: orderbook.New(), ns: b.p.symbolNS(symbol)}
-		if b.p.MD != nil {
-			sb.feed = b.p.MD.Feed(symbol)
-			sb.book.SetDepthHook(sb.feed.IngestLevel)
-		}
+		b.wireFeed(symbol, sb)
 		bk.syms[symbol] = sb
 	}
 	return sb
+}
+
+// wireFeed attaches the symbol's shared L2 feed to a book (no-op with
+// market data off). Order matters around Restore: wiring first makes
+// the restore emit its resting levels into the feed (recovery, where
+// the feed is fresh); wiring after keeps a live hand-off from
+// re-emitting levels the feed already carries from the source shard.
+func (b *Broker) wireFeed(symbol string, sb *symBook) {
+	if b.p.MD != nil {
+		sb.feed = b.p.MD.Feed(symbol)
+		sb.book.SetDepthHook(sb.feed.IngestLevel)
+	}
 }
 
 // tradeRecord is one completed trade retained for audit responses.
@@ -289,6 +305,13 @@ func (b *Broker) wire() error {
 		dispatch.MustFilter(
 			dispatch.PartEq("oshard", int64(b.shard)),
 			dispatch.PartExists("audit_req"),
+		),
+		// Migration hand-off events: the drain fence routed to the
+		// source shard and the state transfer routed to the destination
+		// (see rebalance.go).
+		dispatch.MustFilter(
+			dispatch.PartEq("oshard", int64(b.shard)),
+			dispatch.PartEq("type", "migrate"),
 		),
 	)
 	return err
@@ -456,6 +479,14 @@ func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
 		b.bk = bk
 	}
 	u.State()["book"] = bk
+	if _, err := u.ReadPart(e, "migrate_out"); err == nil {
+		b.handleMigrateOut(u, e, bk)
+		return
+	}
+	if _, err := u.ReadPart(e, "migrate_in"); err == nil {
+		b.handleMigrateIn(u, e, bk)
+		return
+	}
 	if _, err := u.ReadPart(e, "audit_req"); err == nil {
 		b.handleAudit(u, e, bk)
 		return
@@ -525,10 +556,15 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 	}
 	// Shard-routing integrity: the oshard part steered delivery here,
 	// but it is event data a unit could forge. Re-derive the route
-	// from the symbol actually read; processing a misrouted order
-	// would open a second book for the symbol on the wrong shard and
-	// split its crossing interest.
-	if RouteSymbol(o.symbol, b.nshards) != b.shard {
+	// from the symbol actually read — through the live route table, so
+	// a migrated symbol's orders are accepted by its current owner —
+	// and reject mismatches; processing a misrouted order would open a
+	// second book for the symbol on the wrong shard and split its
+	// crossing interest. Sound during a hand-off too: a frozen symbol
+	// has no in-flight orders (the fence drained them before the route
+	// changed), so every order that reaches a shard was routed under a
+	// snapshot naming that shard.
+	if b.p.routes.shardOf(o.symbol) != b.shard {
 		b.misroutes.inc()
 		reject()
 		return
@@ -834,8 +870,20 @@ func (b *Broker) handleAudit(u *core.Unit, e *events.Event, bk *brokerBook) {
 	if !ok {
 		return
 	}
-	sb := bk.syms[tm.GetString("symbol")]
+	symbol := tm.GetString("symbol")
+	sb := bk.syms[symbol]
 	if sb == nil {
+		// Trades published before a migration carry this shard's
+		// oshard stamp, but the trade log moved with the symbol. Stamp
+		// the event with the current owner's route and return: adding
+		// a part re-dispatches the event, multi-part matching delivers
+		// it to the owner's audit filter, and the managed runtime's
+		// delivery dedup keeps it from looping back here.
+		if home := b.p.routes.shardOf(symbol); home != b.shard {
+			if u.AddPart(e, noTags, noTags, "oshard", int64(home)) == nil {
+				b.forwards.inc()
+			}
+		}
 		return
 	}
 	rec := sb.log.get(tm.GetInt("id"))

@@ -139,6 +139,9 @@ func TestNoTradesAcrossDistinctPairs(t *testing.T) {
 		NumTraders: 2,
 		Universe:   workload.NewUniverse(2),
 		Seed:       11,
+		// Pin one trader per pair so the premise can never silently
+		// degrade into a same-pair (and therefore vacuous) run.
+		PairAssignment: []int{0, 1},
 	}
 	p, err := New(cfg)
 	if err != nil {
@@ -146,7 +149,7 @@ func TestNoTradesAcrossDistinctPairs(t *testing.T) {
 	}
 	defer p.Close()
 	if p.Traders[0].Pair() == p.Traders[1].Pair() {
-		t.Skip("assignment put both traders on one pair")
+		t.Fatalf("PairAssignment ignored: both traders on %v", p.Traders[0].Pair())
 	}
 	trace := workload.NewTrace(p.Universe(), 99)
 	p.Replay(trace.Take(400))

@@ -336,9 +336,9 @@ func TestMalformedOrdersAndForgedAuditsAreHarmless(t *testing.T) {
 
 	tr0 := p.Traders[0]
 	for i, bad := range []*events.Event{
-		tr0.buildOrderEvent(nil, 900001, "", "bid", "limit", base, 10, 0),
-		tr0.buildOrderEvent(nil, 900002, sym, "sideways", "limit", base, 10, 0),
-		tr0.buildOrderEvent(nil, 900003, sym, "bid", "limit", -base, 10, 0),
+		tr0.buildOrderEvent(nil, 900001, "", "bid", "limit", base, 10, 0, p.RouteOf("")),
+		tr0.buildOrderEvent(nil, 900002, sym, "sideways", "limit", base, 10, 0, p.RouteOf(sym)),
+		tr0.buildOrderEvent(nil, 900003, sym, "bid", "limit", -base, 10, 0, p.RouteOf(sym)),
 	} {
 		if bad == nil {
 			t.Fatalf("malformed order %d not built", i)

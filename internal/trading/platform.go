@@ -81,6 +81,12 @@ type Config struct {
 	// SelfTradePolicy is applied by the broker shards before any fill
 	// that would cross an owner with itself (default orderbook.STPAllow).
 	SelfTradePolicy orderbook.STP
+	// PairAssignment, when non-nil, pins trader→pair assignment
+	// explicitly (one universe pair index per trader, len NumTraders)
+	// instead of the seeded Zipf draw — tests that must exercise a
+	// specific co-monitoring topology (e.g. two traders on distinct
+	// pairs) use it to make the setup deterministic by construction.
+	PairAssignment []int
 	// Enforcer optionally shares a pre-built isolation enforcer.
 	Enforcer *isolation.Enforcer
 	// OrderTTL bounds how long unfilled orders rest in the dark pool's
@@ -176,6 +182,12 @@ type Platform struct {
 	Regulator *Regulator
 	Traders   []*Trader
 
+	// Rebalance migrates symbols between broker shards live (see
+	// rebalance.go); routes is the epoch-versioned symbol→shard
+	// indirection every routing decision consults.
+	Rebalance *Rebalancer
+	routes    *routeTable
+
 	// MD is the market-data hub (nil unless Config.MarketData): one
 	// L2 delta feed per symbol, fed by the owning broker shard.
 	MD *mdfeed.Hub
@@ -254,6 +266,18 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.Universe == nil {
 		cfg.Universe = workload.UniverseForTraders(cfg.NumTraders)
 	}
+	if cfg.PairAssignment != nil {
+		if len(cfg.PairAssignment) != cfg.NumTraders {
+			return nil, fmt.Errorf("trading: PairAssignment has %d entries for %d traders",
+				len(cfg.PairAssignment), cfg.NumTraders)
+		}
+		for i, ix := range cfg.PairAssignment {
+			if ix < 0 || ix >= len(cfg.Universe.Pairs) {
+				return nil, fmt.Errorf("trading: PairAssignment[%d] = %d out of range [0,%d)",
+					i, ix, len(cfg.Universe.Pairs))
+			}
+		}
+	}
 	if cfg.JournalCheckpointEvery == 0 {
 		cfg.JournalCheckpointEvery = 4096
 	}
@@ -286,6 +310,7 @@ func New(cfg Config) (*Platform, error) {
 		Enforcer: cfg.Enforcer,
 	})
 	p := &Platform{Sys: sys, cfg: cfg, universe: cfg.Universe}
+	p.routes = newRouteTable(cfg.BrokerShards)
 	p.symNS = make(map[string]int64, len(p.universe.Symbols))
 	for i, s := range p.universe.Symbols {
 		p.symNS[s] = int64(i + 1)
@@ -353,8 +378,12 @@ func New(cfg Config) (*Platform, error) {
 		p.closeJournals()
 		return nil, fmt.Errorf("trading: regulator wiring: %w", err)
 	}
+	p.Rebalance = newRebalancer(p)
 
-	assignment := p.universe.AssignPairs(cfg.NumTraders, cfg.Seed+7)
+	assignment := cfg.PairAssignment
+	if assignment == nil {
+		assignment = p.universe.AssignPairs(cfg.NumTraders, cfg.Seed+7)
+	}
 	p.Traders = make([]*Trader, cfg.NumTraders)
 	perPair := make([]int, len(p.universe.Pairs))
 	for i := range p.Traders {

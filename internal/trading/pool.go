@@ -15,11 +15,13 @@ import (
 	"repro/internal/priv"
 )
 
-// RouteSymbol maps a symbol to its owning broker shard: FNV-1a of the
+// RouteSymbol maps a symbol to its HOME broker shard: FNV-1a of the
 // symbol modulo the pool size. The map is deterministic and depends
-// only on (symbol, shards) — traders stamp it onto order events as
-// the public "oshard" part, shards re-derive it for the integrity
-// check, and tests replay it to prove delivery isolation.
+// only on (symbol, shards). Live routing goes through the platform's
+// route table (Platform.RouteOf), which starts as exactly this map and
+// diverges only where the Rebalancer has migrated a symbol; traders
+// stamp the table's answer onto order events as the public "oshard"
+// part and shards re-derive it for the integrity check.
 func RouteSymbol(symbol string, shards int) int {
 	if shards <= 1 {
 		return 0
@@ -39,13 +41,14 @@ func RouteSymbol(symbol string, shards int) int {
 // façade over its broker shards. Aggregate accessors sum or union the
 // shards; symbol partitions are disjoint, so the unions never merge.
 type BrokerPool struct {
+	p      *Platform
 	shards []*Broker
 }
 
 // newBrokerPool assembles n broker shards; grants mints each shard's
 // bootstrap privilege set (the Figure 4 b-ownership).
 func newBrokerPool(p *Platform, n int, grants func() []priv.Grant) *BrokerPool {
-	bp := &BrokerPool{shards: make([]*Broker, n)}
+	bp := &BrokerPool{p: p, shards: make([]*Broker, n)}
 	for i := range bp.shards {
 		bp.shards[i] = newBroker(p, i, n, grants())
 	}
@@ -69,9 +72,10 @@ func (bp *BrokerPool) NumShards() int { return len(bp.shards) }
 // it for per-shard assertions.
 func (bp *BrokerPool) Shards() []*Broker { return bp.shards }
 
-// ShardFor returns the shard owning a symbol.
+// ShardFor returns the shard currently owning a symbol (home route
+// plus any live migration overrides).
 func (bp *BrokerPool) ShardFor(symbol string) *Broker {
-	return bp.shards[RouteSymbol(symbol, len(bp.shards))]
+	return bp.shards[bp.p.routes.shardOf(symbol)]
 }
 
 // Trades reports completed fills across the pool.

@@ -1,0 +1,757 @@
+package trading
+
+// Live shard rebalancing (DESIGN-dispatch.md §13): a Rebalancer
+// migrates one symbol between broker shards with a freeze→drain→
+// hand-off protocol, and symbol routing becomes an epoch-versioned
+// indirection table consulted by every route decision — trader oshard
+// stamping, the broker's forged-shard re-check, audit re-dispatch and
+// journal recovery.
+//
+// The protocol, in publish order:
+//
+//	freeze      routeTable.freeze(S) — new orders for S park in a
+//	            per-symbol queue instead of publishing; acquiring the
+//	            table's write lock fences every in-flight publish.
+//	fence       the Rebalancer publishes a "migrate" event routed to
+//	            the source shard. Managed delivery is FIFO per
+//	            receiver, so when the fence arrives every order for S
+//	            published before the freeze has been matched.
+//	drain       the source shard serializes S's complete state — book
+//	            via orderbook.Dump, trade-log ring, conservation
+//	            ledger, trade-ID sequence — into a hand-off blob,
+//	            publishes it to the destination shard with the
+//	            delegation authority (tr±auth) of every tag the state
+//	            references, and forgets the symbol.
+//	install     the destination restores the blob (first-install-wins
+//	            by epoch), journals it, and re-wires the market-data
+//	            depth hook after the restore so the shared feed sees
+//	            no duplicate levels.
+//	swap        once the install is durable the source journals a
+//	            migrate-out record, the route table swaps the
+//	            override, and the frozen queue drains into the new
+//	            shard — still in arrival order.
+//
+// Durability is ordered so a crash can never lose the symbol: the
+// destination's migrate-in record is flushed before the source appends
+// migrate-out. A crash between the two leaves the symbol in both
+// journals; recovery reconciles by epoch (reconcileMigrations) and
+// exactly one shard keeps it.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/freeze"
+	"repro/internal/orderbook"
+	"repro/internal/priv"
+	"repro/internal/tags"
+)
+
+// routeSnap is one immutable routing snapshot: the copy-on-write value
+// behind routeTable, same discipline as the dispatcher's filter index.
+type routeSnap struct {
+	// overrides maps migrated symbols to their current owner; symbols
+	// absent here live on their RouteSymbol home shard.
+	overrides map[string]int
+	// frozen holds the publish queue of each symbol currently mid-
+	// hand-off; publishers park order closures here instead of routing.
+	frozen map[string]*frozenQ
+}
+
+// shardOf resolves a symbol under this snapshot.
+func (s *routeSnap) shardOf(symbol string, nshards int) int {
+	if s != nil {
+		if sh, ok := s.overrides[symbol]; ok {
+			return sh
+		}
+	}
+	return RouteSymbol(symbol, nshards)
+}
+
+// clone copies the snapshot's maps for a copy-on-write update.
+func (s *routeSnap) clone() *routeSnap {
+	n := &routeSnap{}
+	if len(s.overrides) > 0 {
+		n.overrides = make(map[string]int, len(s.overrides))
+		for k, v := range s.overrides {
+			n.overrides[k] = v
+		}
+	}
+	if len(s.frozen) > 0 {
+		n.frozen = make(map[string]*frozenQ, len(s.frozen))
+		for k, v := range s.frozen {
+			n.frozen[k] = v
+		}
+	}
+	return n
+}
+
+// routeTable is the epoch-versioned symbol→shard indirection. Reads
+// are a lock-free snapshot load; publishers hold the read lock across
+// resolve-and-publish so that acquiring the write lock (freeze, swap)
+// is a fence: once freeze returns, no publish resolved under the old
+// snapshot is still in flight.
+type routeTable struct {
+	nshards int
+	mu      sync.RWMutex
+	snap    atomic.Pointer[routeSnap]
+	// epoch counts migrations; each Migrate stamps the next value onto
+	// the hand-off so recovery can order competing ownership claims.
+	epoch atomic.Uint64
+}
+
+func newRouteTable(nshards int) *routeTable {
+	rt := &routeTable{nshards: nshards}
+	rt.snap.Store(&routeSnap{})
+	return rt
+}
+
+func (rt *routeTable) load() *routeSnap { return rt.snap.Load() }
+
+// shardOf resolves a symbol's current owner — lock-free.
+func (rt *routeTable) shardOf(symbol string) int {
+	return rt.load().shardOf(symbol, rt.nshards)
+}
+
+// freeze parks future publishes for symbol. Returning from the write
+// lock doubles as the publish fence described on routeTable.
+func (rt *routeTable) freeze(symbol string) {
+	rt.mu.Lock()
+	s := rt.load().clone()
+	if s.frozen == nil {
+		s.frozen = make(map[string]*frozenQ, 1)
+	}
+	s.frozen[symbol] = &frozenQ{}
+	rt.snap.Store(s)
+	rt.mu.Unlock()
+}
+
+// swap points the symbol at its new owner; the frozen queue stays in
+// place until release drains it.
+func (rt *routeTable) swap(symbol string, dst int) {
+	rt.mu.Lock()
+	s := rt.load().clone()
+	if dst == RouteSymbol(symbol, rt.nshards) {
+		delete(s.overrides, symbol)
+	} else {
+		if s.overrides == nil {
+			s.overrides = make(map[string]int, 1)
+		}
+		s.overrides[symbol] = dst
+	}
+	rt.snap.Store(s)
+	rt.mu.Unlock()
+}
+
+// release drains the symbol's frozen queue into its current route and
+// unfreezes. The loop re-checks under the write lock so a publisher
+// racing the drain either lands in a batch we run or publishes
+// normally after the frozen entry is gone — never neither.
+func (rt *routeTable) release(symbol string) {
+	for {
+		rt.mu.Lock()
+		s := rt.load()
+		fq := s.frozen[symbol]
+		if fq == nil {
+			rt.mu.Unlock()
+			return
+		}
+		thunks := fq.take()
+		if len(thunks) == 0 {
+			// Write lock held and queue empty: no publisher can add
+			// (they need the read lock), so unfreezing here is atomic.
+			ns := s.clone()
+			delete(ns.frozen, symbol)
+			rt.snap.Store(ns)
+			rt.mu.Unlock()
+			return
+		}
+		shard := s.shardOf(symbol, rt.nshards)
+		rt.mu.Unlock()
+		for _, fn := range thunks {
+			fn(shard)
+		}
+	}
+}
+
+// install replaces the whole table — recovery rebuilding the route
+// history from the journals.
+func (rt *routeTable) install(overrides map[string]int, epoch uint64) {
+	rt.mu.Lock()
+	s := &routeSnap{}
+	if len(overrides) > 0 {
+		s.overrides = overrides
+	}
+	rt.snap.Store(s)
+	rt.epoch.Store(epoch)
+	rt.mu.Unlock()
+}
+
+// frozenQ is one frozen symbol's publish queue: deferred publications
+// in arrival order, each run later with the post-swap shard.
+type frozenQ struct {
+	mu sync.Mutex
+	q  []func(shard int)
+}
+
+func (f *frozenQ) add(fn func(int)) {
+	f.mu.Lock()
+	f.q = append(f.q, fn)
+	f.mu.Unlock()
+}
+
+func (f *frozenQ) take() []func(int) {
+	f.mu.Lock()
+	q := f.q
+	f.q = nil
+	f.mu.Unlock()
+	return q
+}
+
+// MigratePhase names the hand-off protocol checkpoints surfaced to
+// MigrateOptions.OnPhase; the crash-interplay suite kills the platform
+// at each one.
+type MigratePhase int
+
+const (
+	// PhaseFrozen: routing parks the symbol's orders; the fence event
+	// is about to publish.
+	PhaseFrozen MigratePhase = iota + 1
+	// PhaseDrained: the source shard has serialized and forgotten the
+	// symbol; the hand-off blob is in flight or installed.
+	PhaseDrained
+	// PhaseTransferred: the destination installed the state and its
+	// journal flushed — the migrate-in record is durable.
+	PhaseTransferred
+	// PhasePreSwap: the source's migrate-out record is written; the
+	// route still points at the source.
+	PhasePreSwap
+	// PhaseDone: route swapped, frozen queue released.
+	PhaseDone
+)
+
+func (ph MigratePhase) String() string {
+	switch ph {
+	case PhaseFrozen:
+		return "frozen"
+	case PhaseDrained:
+		return "drained"
+	case PhaseTransferred:
+		return "transferred"
+	case PhasePreSwap:
+		return "pre-swap"
+	case PhaseDone:
+		return "done"
+	}
+	return fmt.Sprintf("phase(%d)", int(ph))
+}
+
+// MigrateOptions tunes one Migrate call.
+type MigrateOptions struct {
+	// OnPhase, when set, is called synchronously as each protocol
+	// checkpoint is reached — the crash suite's kill hook.
+	OnPhase func(MigratePhase)
+	// Timeout bounds the waits on the drain and install
+	// acknowledgements (default 30s).
+	Timeout time.Duration
+}
+
+// migSignal is a drain/install acknowledgement from a shard handler.
+type migSignal struct {
+	symbol string
+	epoch  uint64
+	err    error
+}
+
+// Rebalancer migrates symbols between broker shards. One migration
+// runs at a time; Migrate is safe to call concurrently.
+type Rebalancer struct {
+	p    *Platform
+	unit *core.Unit
+
+	// mu serialises migrations end to end.
+	mu sync.Mutex
+
+	// infMu guards the in-flight descriptor consulted by the shard
+	// handlers (expecting): a "migrate" event is data any unit could
+	// forge, so the shards act only on the hand-off this process
+	// actually started.
+	infMu    sync.Mutex
+	inflight struct {
+		active bool
+		symbol string
+		dst    int
+		epoch  uint64
+	}
+
+	drained   chan migSignal
+	installed chan migSignal
+
+	migrations counter
+}
+
+func newRebalancer(p *Platform) *Rebalancer {
+	return &Rebalancer{
+		p:         p,
+		unit:      p.Sys.NewUnit("rebalancer", core.UnitConfig{}),
+		drained:   make(chan migSignal, 4),
+		installed: make(chan migSignal, 4),
+	}
+}
+
+// Migrations reports completed migrations.
+func (r *Rebalancer) Migrations() uint64 { return r.migrations.load() }
+
+// Migrate moves symbol to shard dst with the freeze→drain→hand-off
+// protocol. No-op if dst already owns the symbol. Orders arriving
+// during the hand-off are parked, never dropped, and drain into the
+// new shard in arrival order, so per-symbol matching is bit-identical
+// to a run that never migrated.
+func (r *Rebalancer) Migrate(symbol string, dst int, opts ...MigrateOptions) error {
+	var o MigrateOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	phase := func(ph MigratePhase) {
+		if o.OnPhase != nil {
+			o.OnPhase(ph)
+		}
+	}
+	if symbol == "" {
+		return errors.New("rebalance: empty symbol")
+	}
+	rt := r.p.routes
+	if dst < 0 || dst >= rt.nshards {
+		return fmt.Errorf("rebalance: destination shard %d out of range [0,%d)", dst, rt.nshards)
+	}
+	if r.p.closed.Load() {
+		return errors.New("rebalance: platform closed")
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	src := rt.shardOf(symbol)
+	if src == dst {
+		return nil
+	}
+	epoch := rt.epoch.Add(1)
+	r.setInflight(symbol, dst, epoch)
+	drainSignals(r.drained)
+	drainSignals(r.installed)
+
+	// Abort paths must stop expecting BEFORE releasing the queue: a
+	// late fence delivery after release would otherwise still drain
+	// the source while orders are flowing to it again.
+	fail := func(stage string, err error) error {
+		r.clearInflight()
+		rt.release(symbol)
+		return fmt.Errorf("rebalance %s (shard %d→%d): %s: %w", symbol, src, dst, stage, err)
+	}
+
+	rt.freeze(symbol)
+	phase(PhaseFrozen)
+	deadline := time.Now().Add(o.Timeout)
+	if err := r.publishFence(symbol, src, dst, epoch); err != nil {
+		return fail("fence publish", err)
+	}
+	if err := r.wait(r.drained, symbol, epoch, deadline); err != nil {
+		return fail("drain", err)
+	}
+	phase(PhaseDrained)
+	if err := r.wait(r.installed, symbol, epoch, deadline); err != nil {
+		// The source has already forgotten the symbol; the only
+		// consistent forward path is the destination (the blob is in
+		// its queue or installed). Swap anyway — this branch is only
+		// reachable on shutdown or a pathological stall.
+		r.clearInflight()
+		rt.swap(symbol, dst)
+		rt.release(symbol)
+		return fmt.Errorf("rebalance %s (shard %d→%d): install: %w", symbol, src, dst, err)
+	}
+	// Durability order: the destination's migrate-in record must be on
+	// storage before the source writes migrate-out, so no crash point
+	// leaves the symbol in neither journal. If the destination flush
+	// fails, skip the migrate-out — recovery then finds the symbol in
+	// both journals and reconciliation picks one owner by epoch.
+	flushErr := r.p.Broker.shards[dst].flushJournal()
+	phase(PhaseTransferred)
+	if flushErr == nil {
+		r.p.Broker.shards[src].journalMigrateOut(symbol, dst, epoch)
+	}
+	phase(PhasePreSwap)
+	r.clearInflight()
+	rt.swap(symbol, dst)
+	rt.release(symbol)
+	r.migrations.inc()
+	phase(PhaseDone)
+	return nil
+}
+
+// publishFence publishes the drain fence: a "migrate" event routed to
+// the source shard whose b-protected body names the hand-off. Raising
+// secrecy needs no privilege, so the Rebalancer's plain unit can
+// confine the body to {b}; only the broker instances can read it.
+func (r *Rebalancer) publishFence(symbol string, src, dst int, epoch uint64) error {
+	e := r.unit.CreateEvent()
+	if err := r.unit.AddPart(e, noTags, noTags, "type", "migrate"); err != nil {
+		return err
+	}
+	if err := r.unit.AddPart(e, noTags, noTags, "oshard", int64(src)); err != nil {
+		return err
+	}
+	body := freeze.MapOf("symbol", symbol, "dst", int64(dst), "epoch", int64(epoch))
+	if err := r.unit.AddPart(e, setOf(r.p.tagB), noTags, "migrate_out", body); err != nil {
+		return err
+	}
+	return r.unit.Publish(e)
+}
+
+// wait blocks for the shard acknowledgement matching (symbol, epoch),
+// discarding stale signals from aborted migrations.
+func (r *Rebalancer) wait(ch chan migSignal, symbol string, epoch uint64, deadline time.Time) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case sig := <-ch:
+			if sig.symbol != symbol || sig.epoch != epoch {
+				continue
+			}
+			return sig.err
+		case <-tick.C:
+			if r.p.closed.Load() {
+				return errors.New("platform closed")
+			}
+			if time.Now().After(deadline) {
+				return errors.New("timeout")
+			}
+		}
+	}
+}
+
+func (r *Rebalancer) setInflight(symbol string, dst int, epoch uint64) {
+	r.infMu.Lock()
+	r.inflight.active, r.inflight.symbol, r.inflight.dst, r.inflight.epoch = true, symbol, dst, epoch
+	r.infMu.Unlock()
+}
+
+func (r *Rebalancer) clearInflight() {
+	r.infMu.Lock()
+	r.inflight.active = false
+	r.infMu.Unlock()
+}
+
+// expecting reports whether (symbol → dst, epoch) is the hand-off this
+// process is running right now — the shards' defence against forged
+// migrate events (any unit can raise a part's secrecy to {b}).
+func (r *Rebalancer) expecting(symbol string, dst int, epoch uint64) bool {
+	r.infMu.Lock()
+	defer r.infMu.Unlock()
+	i := r.inflight
+	return i.active && i.symbol == symbol && i.dst == dst && i.epoch == epoch
+}
+
+func (r *Rebalancer) noteDrained(symbol string, epoch uint64, err error) {
+	select {
+	case r.drained <- migSignal{symbol: symbol, epoch: epoch, err: err}:
+	default:
+	}
+}
+
+func (r *Rebalancer) noteInstalled(symbol string, epoch uint64, err error) {
+	select {
+	case r.installed <- migSignal{symbol: symbol, epoch: epoch, err: err}:
+	default:
+	}
+}
+
+func drainSignals(ch chan migSignal) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// RouteOf reports the shard currently owning a symbol — RouteSymbol
+// plus any live migration overrides.
+func (p *Platform) RouteOf(symbol string) int { return p.routes.shardOf(symbol) }
+
+// handleMigrateOut drains this shard's state for the fenced symbol:
+// serialize, publish to the destination with the delegation authority
+// the state references, then forget. Runs under b.mu from handle().
+// Publish-before-mutate: a failed publish leaves the shard untouched.
+func (b *Broker) handleMigrateOut(u *core.Unit, e *events.Event, bk *brokerBook) {
+	view, err := u.ReadOne(e, "migrate_out")
+	if err != nil {
+		return
+	}
+	m, ok := view.Data.(*freeze.Map)
+	if !ok {
+		return
+	}
+	symbol := m.GetString("symbol")
+	dst := int(m.GetInt("dst"))
+	epoch := uint64(m.GetInt("epoch"))
+	r := b.p.Rebalance
+	if symbol == "" || r == nil || dst == b.shard || !r.expecting(symbol, dst, epoch) {
+		b.migRejects.inc()
+		return
+	}
+	sb := bk.syms[symbol]
+	if sb == nil {
+		// Never traded here: hand over an empty state so the
+		// destination still learns the trade-ID namespace and epoch.
+		sb = &symBook{book: orderbook.New(), ns: b.p.symbolNS(symbol)}
+	}
+	sb.epoch = epoch
+	blob := encodeMigrateBlob(symbol, sb)
+	refs := symAuthRefs(sb)
+
+	out := u.CreateEvent()
+	bSet := setOf(b.p.tagB)
+	if u.AddPart(out, noTags, noTags, "type", "migrate") != nil ||
+		u.AddPart(out, noTags, noTags, "oshard", int64(dst)) != nil ||
+		u.AddPart(out, bSet, noTags, "migrate_in", string(blob)) != nil {
+		r.noteDrained(symbol, epoch, errors.New("hand-off event build failed"))
+		return
+	}
+	// Delegation authority travels with the state: attach tr±auth for
+	// every tag the books or trade log reference, so the destination
+	// can keep answering audits. Best effort — tags rebuilt from a
+	// journal hold no live privileges (recovery is fail-safe about
+	// delegation), and for those the attach fails harmlessly.
+	moved := make([]tags.Tag, 0, len(refs))
+	for t := range refs {
+		moved = append(moved, t)
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i].Less(moved[j]) })
+	for _, t := range moved {
+		_ = u.AttachPrivilegeToPart(out, "migrate_in", bSet, noTags, t, priv.PlusAuth)
+		_ = u.AttachPrivilegeToPart(out, "migrate_in", bSet, noTags, t, priv.MinusAuth)
+	}
+	if err := u.Publish(out); err != nil {
+		r.noteDrained(symbol, epoch, err)
+		return
+	}
+	// Hand-off in flight: this shard no longer owns the symbol. Its
+	// auth references leave with the state; a tag whose last referent
+	// moved sheds its privileges here (the grants attached above carry
+	// the authority onward).
+	delete(bk.syms, symbol)
+	for t, n := range refs {
+		if rem := bk.auths[t] - n; rem > 0 {
+			bk.auths[t] = rem
+		} else {
+			delete(bk.auths, t)
+			b.dropAuthPair(u, t)
+		}
+	}
+	r.noteDrained(symbol, epoch, nil)
+}
+
+// handleMigrateIn installs a hand-off blob on the destination shard.
+// Reading the part bestows the attached tr±auth grants; the epoch
+// guard makes installs first-wins so a duplicated or forged hand-off
+// cannot clobber live state. Runs under b.mu from handle().
+func (b *Broker) handleMigrateIn(u *core.Unit, e *events.Event, bk *brokerBook) {
+	view, err := u.ReadOne(e, "migrate_in") // bestows the attached grants
+	if err != nil {
+		return
+	}
+	s, ok := view.Data.(string)
+	if !ok {
+		return
+	}
+	symbol, sb, err := b.decodeMigrateBlob([]byte(s), false)
+	r := b.p.Rebalance
+	if err != nil || r == nil || !r.expecting(symbol, b.shard, sb.epoch) {
+		b.migRejects.inc()
+		return
+	}
+	if cur := bk.syms[symbol]; cur != nil && cur.epoch >= sb.epoch {
+		b.migRejects.inc()
+		return
+	}
+	b.installSym(bk, symbol, sb)
+	if b.jw != nil {
+		b.jlast, _ = b.jw.Append(encodeMigrateInRec([]byte(s)))
+		b.jsince++
+	}
+	r.noteInstalled(symbol, sb.epoch, nil)
+	b.maybeCheckpoint(bk)
+}
+
+// installSym replaces the shard's state for one symbol, keeping the
+// auth refcounts consistent: any state being displaced gives its
+// references back first. The symBook arrives already restored and
+// feed-wired by decodeMigrateBlob/decodeSymState.
+func (b *Broker) installSym(bk *brokerBook, symbol string, sb *symBook) {
+	if cur := bk.syms[symbol]; cur != nil {
+		bk.subAuthRefs(symAuthRefs(cur))
+	}
+	bk.syms[symbol] = sb
+	bk.addAuthRefs(symAuthRefs(sb))
+}
+
+// symAuthRefs computes the delegation-authority references one
+// symbol's state holds: one per resting order, one per live trade-log
+// occurrence of a tag. An order's tag belongs to exactly one symbol
+// and a symbol to exactly one shard, so these counts are exactly the
+// slice of brokerBook.auths the symbol contributes — subtracting them
+// on hand-off and re-adding on install moves the refcounts with the
+// books.
+func symAuthRefs(sb *symBook) map[tags.Tag]int {
+	refs := make(map[tags.Tag]int)
+	for _, os := range sb.book.Dump() {
+		if !os.Owner.Tag.IsZero() {
+			refs[os.Owner.Tag]++
+		}
+	}
+	for i := range sb.log.recs {
+		rec := &sb.log.recs[i]
+		if rec.id == 0 {
+			continue
+		}
+		if !rec.trBuyer.IsZero() {
+			refs[rec.trBuyer]++
+		}
+		if !rec.trSeller.IsZero() {
+			refs[rec.trSeller]++
+		}
+	}
+	return refs
+}
+
+func (bk *brokerBook) addAuthRefs(refs map[tags.Tag]int) {
+	for t, n := range refs {
+		bk.auths[t] += n
+	}
+}
+
+func (bk *brokerBook) subAuthRefs(refs map[tags.Tag]int) {
+	for t, n := range refs {
+		if rem := bk.auths[t] - n; rem > 0 {
+			bk.auths[t] = rem
+		} else {
+			delete(bk.auths, t)
+		}
+	}
+}
+
+// flushJournal forces the shard's staged journal records to storage —
+// the hand-off durability point.
+func (b *Broker) flushJournal() error {
+	b.mu.Lock()
+	jw := b.jw
+	b.mu.Unlock()
+	if jw == nil {
+		return nil
+	}
+	return jw.Flush()
+}
+
+// journalMigrateOut appends and flushes the source side's migrate-out
+// record. Write failures are shed-and-marked like any journal append;
+// recovery reconciles the resulting double ownership by epoch.
+func (b *Broker) journalMigrateOut(symbol string, dst int, epoch uint64) {
+	b.mu.Lock()
+	jw := b.jw
+	if jw != nil {
+		b.jlast, _ = jw.Append(encodeMigrateOutRec(symbol, dst, epoch))
+		b.jsince++
+	}
+	b.mu.Unlock()
+	if jw != nil {
+		_ = jw.Flush()
+	}
+}
+
+// Symbols lists the symbols this shard currently holds state for,
+// sorted — the crash-interplay suite asserts exactly-one-owner with it.
+func (b *Broker) Symbols() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bk == nil {
+		return nil
+	}
+	out := make([]string, 0, len(b.bk.syms))
+	for sym := range b.bk.syms {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AuditForwards reports audit requests re-routed to the shard that
+// owns the symbol now (trades published before a migration carry the
+// old shard's oshard stamp).
+func (b *Broker) AuditForwards() uint64 { return b.forwards.load() }
+
+// MigrationRejects reports migrate events this shard refused: forged
+// or stale hand-offs (not the one the Rebalancer is running), or
+// duplicate installs losing the first-wins race.
+func (b *Broker) MigrationRejects() uint64 { return b.migRejects.load() }
+
+// reconcileMigrations runs after every shard has replayed its journal:
+// if a crash landed between the destination's migrate-in and the
+// source's migrate-out, the symbol exists on both shards — the higher
+// hand-off epoch wins (the state that moved most recently), ties
+// prefer the RouteSymbol home shard, then the lowest shard index. The
+// loser's copy is dropped with its auth references; the route table is
+// rebuilt from the surviving owners.
+func (p *Platform) reconcileMigrations() {
+	type claim struct {
+		shard int
+		epoch uint64
+	}
+	best := make(map[string]claim)
+	var maxEpoch uint64
+	for _, b := range p.Broker.shards {
+		b.mu.Lock()
+		if b.bk != nil {
+			for sym, sb := range b.bk.syms {
+				if sb.epoch > maxEpoch {
+					maxEpoch = sb.epoch
+				}
+				cur, ok := best[sym]
+				if !ok || sb.epoch > cur.epoch ||
+					(sb.epoch == cur.epoch && b.shard == RouteSymbol(sym, len(p.Broker.shards))) {
+					best[sym] = claim{shard: b.shard, epoch: sb.epoch}
+				}
+			}
+		}
+		b.mu.Unlock()
+	}
+	overrides := make(map[string]int)
+	for _, b := range p.Broker.shards {
+		b.mu.Lock()
+		if b.bk != nil {
+			for sym, sb := range b.bk.syms {
+				if best[sym].shard != b.shard {
+					b.bk.subAuthRefs(symAuthRefs(sb))
+					delete(b.bk.syms, sym)
+				}
+			}
+		}
+		b.mu.Unlock()
+	}
+	for sym, c := range best {
+		if c.shard != RouteSymbol(sym, p.routes.nshards) {
+			overrides[sym] = c.shard
+		}
+	}
+	p.routes.install(overrides, maxEpoch)
+}

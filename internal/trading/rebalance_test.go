@@ -1,0 +1,556 @@
+package trading
+
+// Proof obligations of live shard rebalancing (rebalance.go,
+// DESIGN-dispatch.md §13):
+//
+//   - migration equivalence: a run that migrates the hot symbol
+//     mid-trace produces bit-identical per-symbol fill sequences,
+//     final books and trade logs to a run that never migrates, in all
+//     four security modes — quiesced and with the hand-off racing the
+//     replay;
+//   - crash interplay: a kill at every protocol phase recovers with
+//     the symbol on exactly one shard, the route table agreeing with
+//     ownership, conservation and book validity intact, and the
+//     recovered pool still clearing trades;
+//   - forged migrate events (any unit can raise a part to {b}) are
+//     rejected without touching books or routes;
+//   - audit requests stamped with a pre-migration shard route forward
+//     to the symbol's current owner and still yield a delegation.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/freeze"
+	"repro/internal/journal"
+	"repro/internal/orderbook"
+	"repro/internal/workload"
+)
+
+// rebalanceCfg is the shared 8-shard platform the equivalence proofs
+// run on; identical to the sharded-equivalence config so the two
+// suites pin the same flow.
+func rebalanceCfg(mode core.SecurityMode, rec *fillRecorder) Config {
+	return Config{
+		Mode:             mode,
+		NumTraders:       6,
+		Universe:         workload.NewUniverse(8), // 16 symbols
+		Seed:             11,
+		BrokerShards:     8,
+		AuditSampleEvery: noAudits,
+		OrderTTL:         time.Hour,
+		QueueCap:         2048,
+		OnFill:           rec.hook(),
+	}
+}
+
+// hotSymbol picks the busiest symbol of a fill map — deterministic
+// tie-break by name.
+func hotSymbol(fills map[string][]Fill) string {
+	var hot string
+	for sym, fs := range fills {
+		if hot == "" || len(fs) > len(fills[hot]) || (len(fs) == len(fills[hot]) && sym < hot) {
+			hot = sym
+		}
+	}
+	return hot
+}
+
+// TestRebalanceEquivalence is the tentpole proof: replaying a trace
+// with the hot symbol migrated between shards at the midpoint yields
+// per-symbol fill sequences, books and trade logs bit-identical to the
+// never-migrated run, in every security mode. Trade IDs are per-symbol,
+// so the comparison covers them too: the hand-off moves the ID sequence
+// with the state.
+func TestRebalanceEquivalence(t *testing.T) {
+	const ops = 1800
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(migrate bool, hot string, dst int) (map[string][]Fill, map[string][]orderbook.LevelSnap, map[string][]TradeRec, *Platform) {
+				rec := &fillRecorder{}
+				p, err := New(rebalanceCfg(mode, rec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				flow := workload.NewOrderFlow(p.Universe(), shardedFlowConfig(6), 23)
+				trace := flow.Take(ops)
+				p.ReplayOrders(trace[:ops/2])
+				if !p.Quiesce(20 * time.Second) {
+					t.Fatal("no quiesce at midpoint")
+				}
+				if migrate {
+					if err := p.Rebalance.Migrate(hot, dst); err != nil {
+						t.Fatalf("migrate %s→%d: %v", hot, dst, err)
+					}
+					if got := p.RouteOf(hot); got != dst {
+						t.Fatalf("route after migrate = %d, want %d", got, dst)
+					}
+				}
+				p.ReplayOrders(trace[ops/2:])
+				if !p.Quiesce(20 * time.Second) {
+					t.Fatal("no quiesce")
+				}
+				time.Sleep(50 * time.Millisecond)
+				return bySymbol(rec.snapshot()), p.Broker.SnapshotBooks(), p.Broker.TradeLogSnapshot(), p
+			}
+
+			fills0, books0, logs0, p0 := run(false, "", 0)
+			if len(fills0) == 0 {
+				t.Fatal("no fills to compare")
+			}
+			hot := hotSymbol(fills0)
+			src := RouteSymbol(hot, 8)
+			dst := (src + 1) % 8
+			p0.Close()
+
+			fills1, books1, logs1, p1 := run(true, hot, dst)
+			defer p1.Close()
+			if !reflect.DeepEqual(fills0, fills1) {
+				t.Fatalf("per-symbol fill sequences diverge after migrating %s:\nref: %+v\nmig: %+v", hot, fills0[hot], fills1[hot])
+			}
+			if !reflect.DeepEqual(books0, books1) {
+				t.Fatalf("final books diverge after migrating %s", hot)
+			}
+			if !reflect.DeepEqual(logs0, logs1) {
+				t.Fatalf("trade logs diverge after migrating %s", hot)
+			}
+			if got := p1.Rebalance.Migrations(); got != 1 {
+				t.Fatalf("migrations counted %d, want 1", got)
+			}
+			if n := p1.Broker.Misroutes(); n != 0 {
+				t.Fatalf("%d misroutes after migration", n)
+			}
+			// The destination holds the symbol's state; the source forgot it.
+			if _, ok := p1.Broker.Shards()[dst].TradeLogSnapshot()[hot]; !ok {
+				t.Fatalf("destination shard %d holds no trade log for %s", dst, hot)
+			}
+			for i, sh := range p1.Broker.Shards() {
+				if i == dst {
+					continue
+				}
+				if _, ok := sh.TradeLogSnapshot()[hot]; ok {
+					t.Fatalf("shard %d still holds %s after migration to %d", i, hot, dst)
+				}
+			}
+		})
+	}
+}
+
+// TestRebalanceDuringFlow races the hand-off against a live replay:
+// the hot symbol migrates across all shards while its order flow is
+// being published. Frozen orders park and release in arrival order, so
+// the result must still be bit-identical to the never-migrated run.
+func TestRebalanceDuringFlow(t *testing.T) {
+	const ops = 1800
+	baseline := func() (map[string][]Fill, map[string][]orderbook.LevelSnap, map[string][]TradeRec) {
+		rec := &fillRecorder{}
+		p, err := New(rebalanceCfg(core.LabelsFreeze, rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		flow := workload.NewOrderFlow(p.Universe(), shardedFlowConfig(6), 23)
+		p.ReplayOrders(flow.Take(ops))
+		if !p.Quiesce(20 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		time.Sleep(50 * time.Millisecond)
+		return bySymbol(rec.snapshot()), p.Broker.SnapshotBooks(), p.Broker.TradeLogSnapshot()
+	}
+	fills0, books0, logs0 := baseline()
+	hot := hotSymbol(fills0)
+
+	rec := &fillRecorder{}
+	p, err := New(rebalanceCfg(core.LabelsFreeze, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	flow := workload.NewOrderFlow(p.Universe(), shardedFlowConfig(6), 23)
+	trace := flow.Take(ops)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Waves keep the replay's read-lock hold times short so the
+		// migrations genuinely interleave with live publishing.
+		for i := 0; i < len(trace); i += 150 {
+			j := i + 150
+			if j > len(trace) {
+				j = len(trace)
+			}
+			p.ReplayOrders(trace[i:j])
+		}
+	}()
+	const moves = 4
+	for i := 0; i < moves; i++ {
+		cur := p.RouteOf(hot)
+		if err := p.Rebalance.Migrate(hot, (cur+1)%8); err != nil {
+			t.Fatalf("migration %d: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-done
+	if !p.Quiesce(20 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	if got := p.Rebalance.Migrations(); got != moves {
+		t.Fatalf("migrations counted %d, want %d", got, moves)
+	}
+	fills1 := bySymbol(rec.snapshot())
+	if !reflect.DeepEqual(fills0, fills1) {
+		t.Fatalf("per-symbol fill sequences diverge under racing migrations:\nref: %+v\nmig: %+v", fills0[hot], fills1[hot])
+	}
+	if !reflect.DeepEqual(books0, p.Broker.SnapshotBooks()) {
+		t.Fatal("final books diverge under racing migrations")
+	}
+	if !reflect.DeepEqual(logs0, p.Broker.TradeLogSnapshot()) {
+		t.Fatal("trade logs diverge under racing migrations")
+	}
+	if n := p.Broker.Misroutes(); n != 0 {
+		t.Fatalf("%d misroutes under racing migrations", n)
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceCrashAtPhase kills the journal filesystem at each
+// hand-off phase, then recovers from whatever reached storage. At every
+// kill point the symbol must land on exactly one shard, the rebuilt
+// route table must agree with ownership, the structural and
+// conservation invariants must hold, and the recovered pool must still
+// clear trades on the migrated symbol.
+//
+// Ownership per phase follows the durability order: at the freeze
+// point neither migrate record is durable (source keeps the symbol);
+// after the destination's flush the migrate-in outlives the crash and
+// reconciliation awards the symbol to the higher hand-off epoch; after
+// the source's migrate-out both journals agree. Only the drained
+// window is timing-dependent — the destination's append races the
+// kill — so there the suite asserts exactly-one-owner without naming
+// it.
+func TestRebalanceCrashAtPhase(t *testing.T) {
+	const shards = 4
+	cases := []struct {
+		phase MigratePhase
+		owner func(src, dst int) int // -1 = either, but exactly one
+	}{
+		{PhaseFrozen, func(src, dst int) int { return src }},
+		{PhaseDrained, func(src, dst int) int { return -1 }},
+		{PhaseTransferred, func(src, dst int) int { return dst }},
+		{PhasePreSwap, func(src, dst int) int { return dst }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.phase.String(), func(t *testing.T) {
+			mem := journal.NewMemFS()
+			cfs := journal.NewCrashFS(mem)
+			cfg := Config{
+				Mode:             core.LabelsFreeze,
+				NumTraders:       4,
+				Universe:         workload.NewUniverse(2), // 4 symbols
+				Seed:             31,
+				BrokerShards:     shards,
+				AuditSampleEvery: noAudits,
+				OrderTTL:         time.Hour,
+				QueueCap:         2048,
+				JournalFS:        cfs,
+				JournalNoSync:    true,
+			}
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+				Traders:       4,
+				AggressionPct: 50,
+				CancelPct:     10,
+				SymbolSkew:    1.2,
+			}, 41)
+			p.ReplayOrders(flow.Take(600))
+			if !p.Quiesce(20 * time.Second) {
+				t.Fatal("no quiesce")
+			}
+			time.Sleep(30 * time.Millisecond)
+
+			sym := hotSymbol(map[string][]Fill{})
+			for s := range p.Broker.TradeLogSnapshot() {
+				if sym == "" || s < sym {
+					sym = s
+				}
+			}
+			if sym == "" {
+				t.Fatal("flow produced no trades")
+			}
+			src := p.RouteOf(sym)
+			dst := (src + 1) % shards
+
+			// Kill the filesystem exactly at the phase under test; the
+			// live migration continues in memory and must stay
+			// consistent even though durability ends here.
+			err = p.Rebalance.Migrate(sym, dst, MigrateOptions{OnPhase: func(ph MigratePhase) {
+				if ph == tc.phase {
+					_ = p.SyncJournal()
+					cfs.KillAfter(0)
+				}
+			}})
+			if err != nil {
+				t.Fatalf("live migrate: %v", err)
+			}
+			if got := p.RouteOf(sym); got != dst {
+				t.Fatalf("live route after migrate = %d, want %d", got, dst)
+			}
+			p.Close()
+
+			// Recovery reads the post-crash disk, not the dead CrashFS.
+			rcfg := cfg
+			rcfg.JournalFS = mem
+			p2, _, err := Recover(rcfg)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer p2.Close()
+
+			var owners []int
+			for i, sh := range p2.Broker.Shards() {
+				for _, s := range sh.Symbols() {
+					if s == sym {
+						owners = append(owners, i)
+					}
+				}
+			}
+			if len(owners) != 1 {
+				t.Fatalf("symbol %s recovered on %v shards, want exactly one", sym, owners)
+			}
+			if want := tc.owner(src, dst); want >= 0 && owners[0] != want {
+				t.Fatalf("symbol %s recovered on shard %d, want %d", sym, owners[0], want)
+			}
+			if got := p2.RouteOf(sym); got != owners[0] {
+				t.Fatalf("route table says %d, state lives on %d", got, owners[0])
+			}
+			if err := p2.Broker.ValidateBooks(); err != nil {
+				t.Fatal(err)
+			}
+			if err := p2.Broker.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The recovered pool still clears the migrated symbol.
+			pre := p2.Broker.Trades()
+			base := p2.Universe().BasePrice(sym)
+			const idBase = int64(1) << 41
+			p2.ReplayOrdersSingle(manualOps(sym,
+				workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 1, Side: "bid", Price: base + 50, Qty: 100},
+				workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 2, Side: "ask", Price: base - 50, Qty: 100},
+			))
+			if !p2.Quiesce(10 * time.Second) {
+				t.Fatal("post-recovery flow did not quiesce")
+			}
+			time.Sleep(30 * time.Millisecond)
+			if got := p2.Broker.Trades(); got < pre+1 {
+				t.Fatalf("recovered pool cleared no trades on %s: %d → %d", sym, pre, got)
+			}
+			if err := p2.Broker.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestForgedMigrateRejected: migrate events are data any unit can
+// construct — raising a part's secrecy to {b} needs no privilege. The
+// shards only act on the hand-off the process's own Rebalancer is
+// running, so a forged fence or a forged state blob is counted and
+// dropped without touching books or routes.
+func TestForgedMigrateRejected(t *testing.T) {
+	const shards = 4
+	p, err := New(Config{
+		Mode:         core.LabelsFreeze,
+		NumTraders:   2,
+		Universe:     workload.NewUniverse(1),
+		Seed:         5,
+		BrokerShards: shards,
+		OrderTTL:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+	home := p.RouteOf(sym)
+	wrong := (home + 1) % shards
+
+	// Seed the home shard with resting interest the forgery would steal.
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: int64(1)<<40 + 1, Side: "bid", Price: base - 10, Qty: 100},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+	booksBefore := p.Broker.SnapshotBooks()
+
+	mallory := p.Sys.NewUnit("mallory", core.UnitConfig{})
+	forge := func(oshard int, part string, data freeze.Value) {
+		e := mallory.CreateEvent()
+		for _, pp := range []struct {
+			name string
+			data freeze.Value
+		}{
+			{"type", "migrate"},
+			{"oshard", int64(oshard)},
+		} {
+			if err := mallory.AddPart(e, noTags, noTags, pp.name, pp.data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mallory.AddPart(e, setOf(p.tagB), noTags, part, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := mallory.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A forged fence telling the home shard to drain to `wrong`, and a
+	// forged state blob telling `wrong` to install garbage.
+	forge(home, "migrate_out", freeze.MapOf("symbol", sym, "dst", int64(wrong), "epoch", int64(99)))
+	forge(wrong, "migrate_in", "not a handoff blob")
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	if got := p.Broker.Shards()[home].MigrationRejects(); got != 1 {
+		t.Fatalf("home shard counted %d migrate rejects, want 1", got)
+	}
+	if got := p.Broker.Shards()[wrong].MigrationRejects(); got != 1 {
+		t.Fatalf("wrong shard counted %d migrate rejects, want 1", got)
+	}
+	if got := p.RouteOf(sym); got != home {
+		t.Fatalf("forged migrate moved the route to %d", got)
+	}
+	if !reflect.DeepEqual(booksBefore, p.Broker.SnapshotBooks()) {
+		t.Fatal("forged migrate changed book state")
+	}
+	if err := p.Broker.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Rebalance.Migrations(); got != 0 {
+		t.Fatalf("forged events counted as %d migrations", got)
+	}
+}
+
+// TestMigrateArgumentErrors pins the cheap validation edges.
+func TestMigrateArgumentErrors(t *testing.T) {
+	p, err := New(Config{
+		Mode:         core.LabelsFreeze,
+		NumTraders:   2,
+		Universe:     workload.NewUniverse(1),
+		Seed:         5,
+		BrokerShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	if err := p.Rebalance.Migrate("", 0); err == nil {
+		t.Fatal("empty symbol accepted")
+	}
+	if err := p.Rebalance.Migrate(sym, 7); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	// Migrating to the current owner is a clean no-op.
+	if err := p.Rebalance.Migrate(sym, p.RouteOf(sym)); err != nil {
+		t.Fatalf("no-op migrate failed: %v", err)
+	}
+	if got := p.Rebalance.Migrations(); got != 0 {
+		t.Fatalf("no-op counted as %d migrations", got)
+	}
+}
+
+// TestAuditForwardAfterMigration: trade events published before a
+// migration carry the old shard's oshard stamp. An audit request built
+// from such a trade reaches the old shard, which no longer holds the
+// log — it must re-stamp the event with the current route so the new
+// owner answers, and the delegation must still be issued there (the
+// hand-off carried the tr±auth grants with the state).
+func TestAuditForwardAfterMigration(t *testing.T) {
+	const shards = 4
+	p, err := New(Config{
+		Mode:             core.LabelsFreeze,
+		NumTraders:       2,
+		Universe:         workload.NewUniverse(1),
+		Seed:             5,
+		BrokerShards:     shards,
+		AuditSampleEvery: noAudits,
+		OrderTTL:         time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sym := p.Universe().Pairs[0].A
+	base := p.Universe().BasePrice(sym)
+	src := p.RouteOf(sym)
+	dst := (src + 1) % shards
+
+	const idBase = int64(1) << 40
+	p.ReplayOrdersSingle(manualOps(sym,
+		workload.OrderOp{Trader: 0, Kind: workload.OpLimit, ID: idBase + 1, Side: "bid", Price: base, Qty: 100},
+		workload.OrderOp{Trader: 1, Kind: workload.OpLimit, ID: idBase + 2, Side: "ask", Price: base, Qty: 100},
+	))
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(30 * time.Millisecond)
+	logs := p.Broker.TradeLogSnapshot()[sym]
+	if len(logs) != 1 {
+		t.Fatalf("expected one logged trade, have %+v", logs)
+	}
+	tradeID := logs[0].ID
+
+	if err := p.Rebalance.Migrate(sym, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// An audit request as the Regulator would have raised it on the
+	// pre-migration trade event: routed by the OLD oshard stamp.
+	auditor := p.Sys.NewUnit("late-auditor", core.UnitConfig{})
+	e := auditor.CreateEvent()
+	for _, pp := range []struct {
+		name string
+		data freeze.Value
+	}{
+		{"oshard", int64(src)},
+		{"audit_req", int64(1)},
+		{"trade", freeze.MapOf("id", tradeID, "symbol", sym)},
+	} {
+		if err := auditor.AddPart(e, noTags, noTags, pp.name, pp.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := auditor.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Quiesce(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	if got := p.Broker.Shards()[src].AuditForwards(); got != 1 {
+		t.Fatalf("source shard forwarded %d audits, want 1", got)
+	}
+	if got := p.Broker.Shards()[dst].Delegations(); got != 1 {
+		t.Fatalf("destination shard issued %d delegations, want 1", got)
+	}
+	if got := p.Broker.Shards()[src].Delegations(); got != 0 {
+		t.Fatalf("source shard issued %d delegations after losing the symbol", got)
+	}
+}

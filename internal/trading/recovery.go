@@ -157,6 +157,11 @@ func Recover(cfg Config) (*Platform, *RecoveryReport, error) {
 		}
 		report.Shards = append(report.Shards, sr)
 	}
+	// A crash inside a migration hand-off can leave a symbol's state
+	// in two shards' journals (migrate-in durable, migrate-out not);
+	// pick one owner per symbol by hand-off epoch and rebuild the
+	// route table before traffic resumes.
+	p.reconcileMigrations()
 	return p, report, nil
 }
 
@@ -223,6 +228,26 @@ func (b *Broker) replayRecord(bk *brokerBook, rec []byte) error {
 				b.consumeAudit(nil, bk, sb, r)
 			}
 		}
+	case recMigrateOut:
+		symbol, _, _, err := decodeMigrateOutRec(rec)
+		if err != nil {
+			return err
+		}
+		// The symbol left this shard: drop its state and the auth
+		// references it holds, exactly as the live hand-off did.
+		if sb := bk.syms[symbol]; sb != nil {
+			bk.subAuthRefs(symAuthRefs(sb))
+			delete(bk.syms, symbol)
+		}
+	case recMigrateIn:
+		// The symbol arrived here: install the transferred state. The
+		// feed wires before the restore (emitDepth) so a fresh feed is
+		// rebuilt from the restored levels, like the checkpoint path.
+		symbol, sb, err := b.decodeMigrateBlob(rec[1:], true)
+		if err != nil {
+			return err
+		}
+		b.installSym(bk, symbol, sb)
 	default:
 		return fmt.Errorf("unknown record kind %d", rec[0])
 	}
@@ -237,8 +262,19 @@ func (b *Broker) replayRecord(bk *brokerBook, rec []byte) error {
 const (
 	recOrder = 1
 	recAudit = 2
+	// recMigrateOut records a symbol leaving the shard (hand-off
+	// epoch, destination, symbol); recMigrateIn records a symbol
+	// arriving (the full hand-off blob). Together they make the route
+	// history deterministic under replay.
+	recMigrateOut = 3
+	recMigrateIn  = 4
 
-	ckptVersion = 1
+	// ckptVersion 2 added the per-symbol hand-off epoch.
+	ckptVersion = 2
+
+	// migVersion frames the hand-off blob carried by migrate events
+	// and recMigrateIn records.
+	migVersion = 1
 )
 
 // ordtype wire codes.
@@ -405,6 +441,196 @@ func decodeAuditRec(b []byte) (string, int64, error) {
 	return symbol, id, nil
 }
 
+// encodeSymState serializes one symbol's complete matching state —
+// the shared unit of checkpoints and migration hand-off blobs, so the
+// transfer format and the recovery format can never drift apart.
+func encodeSymState(e *enc, symbol string, sb *symBook) {
+	e.str(symbol)
+	e.u64(sb.epoch)
+	e.i64(sb.ns)
+	e.i64(sb.seq)
+	e.i64(sb.ledger.submitted)
+	e.i64(sb.ledger.filled)
+	e.i64(sb.ledger.canceled)
+	e.i64(sb.ledger.expired)
+	e.i64(sb.ledger.discarded)
+
+	dump := sb.book.Dump()
+	e.i64(int64(len(dump)))
+	for i := range dump {
+		o := &dump[i]
+		e.i64(o.ID)
+		e.u8(byte(o.Side))
+		e.i64(o.Price)
+		e.i64(o.Qty)
+		e.i64(o.Entered)
+		e.str(o.Owner.Name)
+		e.tag(o.Owner.Tag)
+		e.tag(o.Owner.Strat)
+		e.i64(o.Owner.Stamp)
+	}
+
+	// The trade-log ring is stored slot-for-slot (empty and consumed
+	// slots included) so the restored ring is the same ring, not a
+	// compaction of it.
+	e.i64(int64(len(sb.log.recs)))
+	for i := range sb.log.recs {
+		r := &sb.log.recs[i]
+		e.i64(r.id)
+		e.str(r.buyer)
+		e.str(r.seller)
+		e.tag(r.trBuyer)
+		e.tag(r.trSeller)
+		e.tag(r.stratBuyer)
+		e.tag(r.stratSeller)
+		e.str(r.symbol)
+		e.i64(r.price)
+		e.i64(r.qty)
+	}
+}
+
+// decodeSymState rebuilds one symbol's state from the decoder. With
+// emitDepth the feed wires before the book restore, so the restored
+// levels emit into a fresh feed (recovery paths); without it the feed
+// wires after, so a live hand-off does not re-emit levels the shared
+// feed already carries from the source shard.
+func (b *Broker) decodeSymState(d *dec, emitDepth bool) (string, *symBook, error) {
+	symbol := d.str()
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	sb := &symBook{book: orderbook.New()}
+	if emitDepth {
+		b.wireFeed(symbol, sb)
+	}
+	sb.epoch = d.u64()
+	sb.ns = d.i64()
+	sb.seq = d.i64()
+	sb.ledger.submitted = d.i64()
+	sb.ledger.filled = d.i64()
+	sb.ledger.canceled = d.i64()
+	sb.ledger.expired = d.i64()
+	sb.ledger.discarded = d.i64()
+
+	norders := d.i64()
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if norders < 0 || norders > int64(len(d.b)) {
+		return "", nil, fmt.Errorf("%s: implausible order count %d", symbol, norders)
+	}
+	dump := make([]orderbook.OrderState, norders)
+	for j := range dump {
+		o := &dump[j]
+		o.ID = d.i64()
+		o.Side = orderbook.Side(int8(d.u8()))
+		o.Price = d.i64()
+		o.Qty = d.i64()
+		o.Entered = d.i64()
+		o.Owner.Name = d.str()
+		o.Owner.Tag = d.tag()
+		o.Owner.Strat = d.tag()
+		o.Owner.Stamp = d.i64()
+	}
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if err := sb.book.Restore(dump); err != nil {
+		return "", nil, err
+	}
+	if !emitDepth {
+		b.wireFeed(symbol, sb)
+	}
+
+	nlog := d.i64()
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if nlog < 0 || nlog > maxTradeLog {
+		return "", nil, fmt.Errorf("%s: implausible log length %d", symbol, nlog)
+	}
+	sb.log.recs = make([]tradeRecord, nlog)
+	for j := range sb.log.recs {
+		r := &sb.log.recs[j]
+		r.id = d.i64()
+		r.buyer = d.str()
+		r.seller = d.str()
+		r.trBuyer = d.tag()
+		r.trSeller = d.tag()
+		r.stratBuyer = d.tag()
+		r.stratSeller = d.tag()
+		r.symbol = d.str()
+		r.price = d.i64()
+		r.qty = d.i64()
+	}
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	return symbol, sb, nil
+}
+
+// encodeMigrateBlob serializes one symbol's state for a hand-off; the
+// blob rides in the migrate event's data part and in the destination's
+// recMigrateIn journal record.
+func encodeMigrateBlob(symbol string, sb *symBook) []byte {
+	e := enc{b: make([]byte, 0, 1024)}
+	e.u8(migVersion)
+	encodeSymState(&e, symbol, sb)
+	return e.b
+}
+
+// decodeMigrateBlob rebuilds a hand-off blob; emitDepth as on
+// decodeSymState (false for live installs, true under journal replay).
+func (b *Broker) decodeMigrateBlob(blob []byte, emitDepth bool) (string, *symBook, error) {
+	d := dec{b: blob}
+	if v := d.u8(); d.err != nil || v != migVersion {
+		return "", nil, fmt.Errorf("hand-off blob version %d, want %d", v, migVersion)
+	}
+	symbol, sb, err := b.decodeSymState(&d, emitDepth)
+	if err != nil {
+		return "", nil, err
+	}
+	if d.off != len(blob) {
+		return "", nil, fmt.Errorf("%d trailing bytes", len(blob)-d.off)
+	}
+	return symbol, sb, nil
+}
+
+// encodeMigrateOutRec serializes the source side of a hand-off.
+func encodeMigrateOutRec(symbol string, dst int, epoch uint64) []byte {
+	e := enc{b: make([]byte, 0, 24+len(symbol))}
+	e.u8(recMigrateOut)
+	e.u64(epoch)
+	e.i64(int64(dst))
+	e.str(symbol)
+	return e.b
+}
+
+func decodeMigrateOutRec(b []byte) (string, int, uint64, error) {
+	d := dec{b: b}
+	if d.u8() != recMigrateOut {
+		return "", 0, 0, fmt.Errorf("not a migrate-out record")
+	}
+	epoch := d.u64()
+	dst := d.i64()
+	symbol := d.str()
+	if d.err != nil {
+		return "", 0, 0, d.err
+	}
+	if d.off != len(b) {
+		return "", 0, 0, fmt.Errorf("%d trailing bytes", len(b)-d.off)
+	}
+	return symbol, int(dst), epoch, nil
+}
+
+// encodeMigrateInRec frames a hand-off blob as the destination side's
+// journal record.
+func encodeMigrateInRec(blob []byte) []byte {
+	rec := make([]byte, 0, 1+len(blob))
+	rec = append(rec, recMigrateIn)
+	return append(rec, blob...)
+}
+
 // encodeCheckpoint serializes a shard's complete matching state.
 // Symbols and auth tags are emitted in sorted order so identical
 // states encode to identical bytes. Called with b.mu held.
@@ -425,48 +651,7 @@ func encodeCheckpoint(b *Broker, bk *brokerBook) []byte {
 	sort.Strings(syms)
 	e.i64(int64(len(syms)))
 	for _, s := range syms {
-		sb := bk.syms[s]
-		e.str(s)
-		e.i64(sb.ns)
-		e.i64(sb.seq)
-		e.i64(sb.ledger.submitted)
-		e.i64(sb.ledger.filled)
-		e.i64(sb.ledger.canceled)
-		e.i64(sb.ledger.expired)
-		e.i64(sb.ledger.discarded)
-
-		dump := sb.book.Dump()
-		e.i64(int64(len(dump)))
-		for i := range dump {
-			o := &dump[i]
-			e.i64(o.ID)
-			e.u8(byte(o.Side))
-			e.i64(o.Price)
-			e.i64(o.Qty)
-			e.i64(o.Entered)
-			e.str(o.Owner.Name)
-			e.tag(o.Owner.Tag)
-			e.tag(o.Owner.Strat)
-			e.i64(o.Owner.Stamp)
-		}
-
-		// The trade-log ring is stored slot-for-slot (empty and
-		// consumed slots included) so the restored ring is the same
-		// ring, not a compaction of it.
-		e.i64(int64(len(sb.log.recs)))
-		for i := range sb.log.recs {
-			r := &sb.log.recs[i]
-			e.i64(r.id)
-			e.str(r.buyer)
-			e.str(r.seller)
-			e.tag(r.trBuyer)
-			e.tag(r.trSeller)
-			e.tag(r.stratBuyer)
-			e.tag(r.stratSeller)
-			e.str(r.symbol)
-			e.i64(r.price)
-			e.i64(r.qty)
-		}
+		encodeSymState(&e, s, bk.syms[s])
 	}
 
 	auths := make([]tags.Tag, 0, len(bk.auths))
@@ -516,67 +701,14 @@ func (b *Broker) decodeCheckpoint(blob []byte) (*brokerBook, error) {
 		return nil, fmt.Errorf("implausible symbol count %d", nsyms)
 	}
 	for i := int64(0); i < nsyms; i++ {
-		symbol := d.str()
-		if d.err != nil {
-			return nil, d.err
-		}
-		sb := b.sym(bk, symbol)
-		sb.ns = d.i64()
-		sb.seq = d.i64()
-		sb.ledger.submitted = d.i64()
-		sb.ledger.filled = d.i64()
-		sb.ledger.canceled = d.i64()
-		sb.ledger.expired = d.i64()
-		sb.ledger.discarded = d.i64()
-
-		norders := d.i64()
-		if d.err != nil {
-			return nil, d.err
-		}
-		if norders < 0 || norders > int64(len(blob)) {
-			return nil, fmt.Errorf("%s: implausible order count %d", symbol, norders)
-		}
-		dump := make([]orderbook.OrderState, norders)
-		for j := range dump {
-			o := &dump[j]
-			o.ID = d.i64()
-			o.Side = orderbook.Side(int8(d.u8()))
-			o.Price = d.i64()
-			o.Qty = d.i64()
-			o.Entered = d.i64()
-			o.Owner.Name = d.str()
-			o.Owner.Tag = d.tag()
-			o.Owner.Strat = d.tag()
-			o.Owner.Stamp = d.i64()
-		}
-		if d.err != nil {
-			return nil, d.err
-		}
-		if err := sb.book.Restore(dump); err != nil {
+		// The auth refcounts are stored separately below, so the
+		// decoded state installs with a plain map insert rather than
+		// installSym (which would double-count them).
+		symbol, sb, err := b.decodeSymState(&d, true)
+		if err != nil {
 			return nil, err
 		}
-
-		nlog := d.i64()
-		if d.err != nil {
-			return nil, d.err
-		}
-		if nlog < 0 || nlog > maxTradeLog {
-			return nil, fmt.Errorf("%s: implausible log length %d", symbol, nlog)
-		}
-		sb.log.recs = make([]tradeRecord, nlog)
-		for j := range sb.log.recs {
-			r := &sb.log.recs[j]
-			r.id = d.i64()
-			r.buyer = d.str()
-			r.seller = d.str()
-			r.trBuyer = d.tag()
-			r.trSeller = d.tag()
-			r.stratBuyer = d.tag()
-			r.stratSeller = d.tag()
-			r.symbol = d.str()
-			r.price = d.i64()
-			r.qty = d.i64()
-		}
+		bk.syms[symbol] = sb
 	}
 
 	nauths := d.i64()

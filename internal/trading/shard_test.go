@@ -292,7 +292,10 @@ func TestForgedShardRouteRejected(t *testing.T) {
 // points every shard's in-memory state is dropped, the pool is
 // rebuilt from its journal via Recover, and the recovered state must
 // match the pre-kill snapshot bit for bit before the next wave lands
-// on it.
+// on it. workload.MigrationSchedule interleaves live symbol hand-offs
+// with the crash waves: migrated routes must survive recovery, and a
+// migrated symbol's state must always live on exactly the shard the
+// route table names.
 func TestShardedPoolChaos(t *testing.T) {
 	const (
 		shards     = 4
@@ -327,6 +330,12 @@ func TestShardedPoolChaos(t *testing.T) {
 	for _, cp := range workload.CrashSchedule(seed, waves, shards) {
 		kills[cp.Wave] = cp
 	}
+	// Decorrelated seed so migration waves and crash waves overlap in
+	// some runs of the schedule space but not lockstep.
+	migs := map[int]workload.MigrationPoint{}
+	for _, mp := range workload.MigrationSchedule(seed+1, waves, shards, len(p.Universe().Symbols)) {
+		migs[mp.Wave] = mp
+	}
 	flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
 		Traders:       8,
 		AggressionPct: 50,
@@ -336,13 +345,27 @@ func TestShardedPoolChaos(t *testing.T) {
 	}, seed)
 
 	for wave := 0; wave < waves; wave++ {
+		if mp, ok := migs[wave]; ok {
+			// Live hand-off between waves: the next wave's flow for this
+			// symbol lands on its new shard (a draw onto the current
+			// owner is a legal no-op).
+			sym := p.Universe().Symbols[mp.Symbol]
+			if err := p.Rebalance.Migrate(sym, mp.Dst); err != nil {
+				t.Fatalf("wave %d: migrate %s→%d: %v", wave, sym, mp.Dst, err)
+			}
+			if got := p.RouteOf(sym); got != mp.Dst {
+				t.Fatalf("wave %d: route for %s = %d after migrating to %d", wave, sym, got, mp.Dst)
+			}
+		}
 		ops := flow.Take(opsPerWave)
 		// Per-shard pause: the designated shard receives nothing while
 		// its peers clear their flow, then its backlog lands at once.
 		paused := wave % shards
 		var deferred, main []workload.OrderOp
 		for _, op := range ops {
-			if RouteSymbol(op.Symbol, shards) == paused {
+			// Live route, not the home map: a migrated symbol's pause
+			// must follow it to its new shard.
+			if p.RouteOf(op.Symbol) == paused {
 				deferred = append(deferred, op)
 			} else {
 				main = append(main, op)
@@ -362,6 +385,15 @@ func TestShardedPoolChaos(t *testing.T) {
 		if err := p.Broker.CheckConservation(); err != nil {
 			t.Fatalf("wave %d: %v", wave, err)
 		}
+		// Route/ownership agreement: every symbol with shard state lives
+		// on exactly the shard the live route table names.
+		for i, sh := range p.Broker.Shards() {
+			for _, sym := range sh.Symbols() {
+				if got := p.RouteOf(sym); got != i {
+					t.Fatalf("wave %d: shard %d holds %s but the route table says %d", wave, i, sym, got)
+				}
+			}
+		}
 		if cp, ok := kills[wave]; ok {
 			// Kill/recover wave: snapshot, drop everything in memory,
 			// rebuild from the journal alone, and re-audit before the
@@ -369,6 +401,10 @@ func TestShardedPoolChaos(t *testing.T) {
 			books := p.Broker.SnapshotBooks()
 			logs := p.Broker.TradeLogSnapshot()
 			shardTrades := p.Broker.Shards()[cp.Shard].Trades()
+			routes := map[string]int{}
+			for _, sym := range p.Universe().Symbols {
+				routes[sym] = p.RouteOf(sym)
+			}
 			p.Close()
 			p2, _, err := Recover(cfg)
 			if err != nil {
@@ -383,6 +419,13 @@ func TestShardedPoolChaos(t *testing.T) {
 			}
 			if got := p.Broker.Shards()[cp.Shard].Trades(); got != shardTrades {
 				t.Fatalf("wave %d: shard %d recovered %d trades, had %d", wave, cp.Shard, got, shardTrades)
+			}
+			// Migrated routes are journal state: recovery must rebuild
+			// the same symbol→shard table the live run was using.
+			for _, sym := range p.Universe().Symbols {
+				if got := p.RouteOf(sym); got != routes[sym] {
+					t.Fatalf("wave %d: recovered route for %s = %d, had %d", wave, sym, got, routes[sym])
+				}
 			}
 			if err := p.Broker.ValidateBooks(); err != nil {
 				t.Fatalf("wave %d post-recovery: %v", wave, err)

@@ -213,8 +213,11 @@ func (t *Trader) trackOrderTag(tr tags.Tag) {
 //	    part of the bid order").
 //
 // trigger, when non-nil, donates its origin stamp (latency accounting
-// along the tick→match→order→trade chain).
-func (t *Trader) buildOrderEvent(trigger *events.Event, id int64, symbol, side, ordtype string, price, qty, target int64) *events.Event {
+// along the tick→match→order→trade chain). shard is the symbol's
+// route, resolved by the caller through the platform's route table
+// (see routeOne): it must be resolved under the table's read lock so
+// a concurrent migration cannot swap the route mid-publish.
+func (t *Trader) buildOrderEvent(trigger *events.Event, id int64, symbol, side, ordtype string, price, qty, target int64, shard int) *events.Event {
 	tr := t.unit.CreateTag(fmt.Sprintf("tr-%s-%d", t.name, id))
 	t.trackOrderTag(tr)
 
@@ -235,8 +238,7 @@ func (t *Trader) buildOrderEvent(trigger *events.Event, id int64, symbol, side, 
 	// side and identity stay under {b} and {b,tr} as before. The shard
 	// re-derives the route from the b-protected symbol and rejects
 	// mismatches, so forging this part cannot split a symbol's book.
-	if err := t.unit.AddPart(e, noTags, noTags, "oshard",
-		int64(RouteSymbol(symbol, t.p.cfg.BrokerShards))); err != nil {
+	if err := t.unit.AddPart(e, noTags, noTags, "oshard", int64(shard)); err != nil {
 		return nil
 	}
 	// The tr reference travels in the order data (§3.1.5: "this
@@ -299,36 +301,85 @@ func (t *Trader) placeOrder(match *events.Event) {
 
 	t.orderSeq++
 	orderID := int64(t.idx)*1_000_000 + int64(t.orderSeq)
-	e := t.buildOrderEvent(match, orderID, symbol, t.side, "limit", price, 100, 0)
-	if e == nil {
+	// Only the trigger's origin stamp survives into the order; capture
+	// it by value — a frozen publication may run after the match event
+	// has been recycled.
+	stamp := match.Stamp
+	t.routeOne(symbol, func(shard int) {
+		e := t.buildOrderEvent(nil, orderID, symbol, t.side, "limit", price, 100, 0, shard)
+		if e == nil {
+			return
+		}
+		e.Stamp = stamp
+		if t.unit.Publish(e) == nil {
+			t.orders.inc()
+		}
+	})
+}
+
+// routeOne resolves the symbol's current shard under the route table's
+// publish fence and runs publish with it — or, if the symbol is frozen
+// mid-migration, parks the publication in the symbol's queue to run
+// with the post-swap shard. Orders are never dropped by a migration;
+// parked publications run in arrival order.
+func (t *Trader) routeOne(symbol string, publish func(shard int)) {
+	rt := t.p.routes
+	rt.mu.RLock()
+	s := rt.load()
+	if fq := s.frozen[symbol]; fq != nil {
+		fq.add(publish)
+		rt.mu.RUnlock()
 		return
 	}
-	if err := t.unit.Publish(e); err != nil {
-		return
-	}
-	t.orders.inc()
+	shard := s.shardOf(symbol, rt.nshards)
+	publish(shard)
+	rt.mu.RUnlock()
 }
 
 // flowEvent turns one order-flow op into an order event. Cancels and
 // amends reuse the full choreography — the fresh tr protects the
 // requester's identity part, which the Broker checks against the
 // resting order's owner before acting on it.
-func (t *Trader) flowEvent(op *workload.OrderOp) *events.Event {
+func (t *Trader) flowEvent(op *workload.OrderOp, shard int) *events.Event {
 	switch op.Kind {
 	case workload.OpCancel:
-		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "cancel", 0, 0, op.Target)
+		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "cancel", 0, 0, op.Target, shard)
 	case workload.OpAmend:
-		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "amend", op.Price, op.Qty, op.Target)
+		return t.buildOrderEvent(nil, 0, op.Symbol, op.Side, "amend", op.Price, op.Qty, op.Target, shard)
 	case workload.OpMarket:
-		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "market", 0, op.Qty, 0)
+		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "market", 0, op.Qty, 0, shard)
 	default:
-		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "limit", op.Price, op.Qty, 0)
+		return t.buildOrderEvent(nil, op.ID, op.Symbol, op.Side, "limit", op.Price, op.Qty, 0, shard)
+	}
+}
+
+// publishFlowOp publishes one previously frozen flow op into the shard
+// the hand-off chose; counters move only when the op actually
+// publishes.
+func (t *Trader) publishFlowOp(op *workload.OrderOp, shard int) {
+	e := t.flowEvent(op, shard)
+	if e == nil {
+		return
+	}
+	if t.unit.Publish(e) != nil {
+		return
+	}
+	switch op.Kind {
+	case workload.OpCancel:
+		t.cancels.inc()
+	case workload.OpAmend:
+		t.amends.inc()
+	default:
+		t.orders.inc()
 	}
 }
 
 // placeFlow publishes one run of order-flow ops from this trader, as a
 // single batch (the replay driver's amortised path) or one publish per
-// op; both deliver identically in order.
+// op; both deliver identically in order. The whole run resolves and
+// publishes under the route table's read lock (the migration fence);
+// ops for a symbol frozen mid-hand-off are parked in its queue — in
+// run order — and publish into the new shard after the swap.
 func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
 	var placed, cancels, amends uint64
 	count := func(k workload.OrderKind) {
@@ -341,10 +392,26 @@ func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
 			placed++
 		}
 	}
+	rt := t.p.routes
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	snap := rt.load()
+	route := func(i int) (int, bool) {
+		if fq := snap.frozen[ops[i].Symbol]; fq != nil {
+			op := ops[i]
+			fq.add(func(shard int) { t.publishFlowOp(&op, shard) })
+			return 0, false
+		}
+		return snap.shardOf(ops[i].Symbol, rt.nshards), true
+	}
 	if batched && len(ops) > 1 {
 		batch := make([]*events.Event, 0, len(ops))
 		for i := range ops {
-			if e := t.flowEvent(&ops[i]); e != nil {
+			shard, ok := route(i)
+			if !ok {
+				continue
+			}
+			if e := t.flowEvent(&ops[i], shard); e != nil {
 				batch = append(batch, e)
 				count(ops[i].Kind)
 			}
@@ -357,7 +424,11 @@ func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
 		}
 	} else {
 		for i := range ops {
-			e := t.flowEvent(&ops[i])
+			shard, ok := route(i)
+			if !ok {
+				continue
+			}
+			e := t.flowEvent(&ops[i], shard)
 			if e == nil {
 				continue
 			}

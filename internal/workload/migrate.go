@@ -1,0 +1,43 @@
+package workload
+
+import "math/rand"
+
+// MigrationPoint marks one live symbol hand-off in the chaos suite:
+// after wave Wave reaches its quiescent point, Symbol (an index into
+// the universe's symbol list, so callers with different universes can
+// share a schedule) is migrated to broker shard Dst while the next
+// wave's flow is already being generated.
+type MigrationPoint struct {
+	Wave   int
+	Symbol int
+	Dst    int
+}
+
+// MigrationSchedule derives a deterministic migration schedule from a
+// seed: each wave past the first migrates with probability 1/2 (wave 0
+// never migrates, so every run exercises the pristine home routing
+// first), and at least one migration always happens. Destinations are
+// drawn uniformly; a draw that lands on the symbol's current shard is
+// legal — the rebalancer treats it as a no-op and the suite must
+// tolerate that.
+func MigrationSchedule(seed int64, waves, shards, symbols int) []MigrationPoint {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []MigrationPoint
+	for w := 1; w < waves; w++ {
+		if rng.Intn(2) == 0 {
+			pts = append(pts, MigrationPoint{
+				Wave:   w,
+				Symbol: rng.Intn(symbols),
+				Dst:    rng.Intn(shards),
+			})
+		}
+	}
+	if len(pts) == 0 {
+		pts = append(pts, MigrationPoint{
+			Wave:   waves - 1,
+			Symbol: rng.Intn(symbols),
+			Dst:    rng.Intn(shards),
+		})
+	}
+	return pts
+}
