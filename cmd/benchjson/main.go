@@ -12,10 +12,12 @@
 //	defcon-bench -fig mdfeed -subs 100,1000 | tee figmdfeed.txt
 //	defcon-bench -fig objournal -quick | tee figobjournal.txt
 //	defcon-bench -fig gateway -quick | tee figgateway.txt
+//	defcon-bench -fig planner -quick | tee figplanner.txt
 //	benchjson -bench bench.txt -fig5 fig5.txt -figob figob.txt \
 //	  -figobshard figobshard.txt -figrebalance figrebalance.txt \
 //	  -figmdfeed figmdfeed.txt -figobjournal figobjournal.txt \
-//	  -figgateway figgateway.txt -o BENCH_dispatch.json
+//	  -figgateway figgateway.txt -figplanner figplanner.txt \
+//	  -o BENCH_dispatch.json
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -74,6 +77,14 @@ type Snapshot struct {
 	// during / after the hand-off) from `defcon-bench -fig rebalance`.
 	RebalanceFigure string     `json:"rebalance_figure,omitempty"`
 	RebalancePoints []FigPoint `json:"rebalance_points,omitempty"`
+	// Planner series (fills/s, "<mode> off" vs "<mode> on" under a
+	// skewed flow, x = flow window) from `defcon-bench -fig planner`.
+	PlannerFigure string     `json:"planner_figure,omitempty"`
+	PlannerPoints []FigPoint `json:"planner_points,omitempty"`
+	// Warnings carries provenance caveats about the snapshot itself —
+	// e.g. a shard-scaling sweep that came out flat (single-CPU host),
+	// which would otherwise read as a genuine scaling result.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 func main() {
@@ -86,6 +97,7 @@ func main() {
 		figJournalPath     = flag.String("figobjournal", "", "optional file holding the defcon-bench journal-overhead table")
 		figGatewayPath     = flag.String("figgateway", "", "optional file holding the defcon-bench ingress-gateway table")
 		figRebalancePath   = flag.String("figrebalance", "", "optional file holding the defcon-bench live-rebalance table")
+		figPlannerPath     = flag.String("figplanner", "", "optional file holding the defcon-bench planner off/on table")
 		outPath            = flag.String("o", "BENCH_dispatch.json", "output JSON path")
 		require            = flag.String("require", "", "comma-separated benchmark name substrings that must be present (guards the trajectory against silently dropped benchmarks)")
 		reqSeries          = flag.String("require-series", "", "comma-separated figure series names that must be present")
@@ -95,6 +107,7 @@ func main() {
 		reqJournalSeries   = flag.String("require-journal-series", "", "comma-separated journal-overhead series names that must be present (keeps the bench-snapshot artifact carrying the journal-on/off comparison)")
 		reqGatewaySeries   = flag.String("require-gateway-series", "", "comma-separated ingress-gateway series names that must be present (keeps the bench-snapshot artifact carrying the socket-ingress sweep)")
 		reqRebalanceSeries = flag.String("require-rebalance-series", "", "comma-separated live-rebalance series names that must be present (keeps the bench-snapshot artifact carrying the hand-off cost sweep)")
+		reqPlannerSeries   = flag.String("require-planner-series", "", "comma-separated planner series names that must be present (keeps the bench-snapshot artifact carrying the planner off/on sweep)")
 	)
 	flag.Parse()
 
@@ -151,8 +164,21 @@ func main() {
 			fatal(fmt.Errorf("no live-rebalance points parsed from %s", *figRebalancePath))
 		}
 	}
+	if *figPlannerPath != "" {
+		if snap.PlannerFigure, snap.PlannerPoints = parseFigureFile(*figPlannerPath); len(snap.PlannerPoints) == 0 {
+			fatal(fmt.Errorf("no planner points parsed from %s", *figPlannerPath))
+		}
+	}
 
-	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries, *reqGatewaySeries, *reqRebalanceSeries); err != nil {
+	// A shard-scaling sweep that came out flat is a provenance fact,
+	// not an error: a single-CPU host runs every pool size at one
+	// core's throughput, so the series passes the require guard while
+	// demonstrating nothing. Stamp the caveat into the snapshot so a
+	// reader of the committed JSON cannot mistake it for a scaling
+	// result.
+	snap.Warnings = append(snap.Warnings, flatShardWarnings(snap.ObShardPoints)...)
+
+	if err := checkRequired(&snap, *require, *reqSeries, *reqOBSeries, *reqShardSeries, *reqMDSeries, *reqJournalSeries, *reqGatewaySeries, *reqRebalanceSeries, *reqPlannerSeries); err != nil {
 		fatal(err)
 	}
 
@@ -176,7 +202,7 @@ func fatal(err error) {
 // checkRequired fails the conversion when an expected benchmark or
 // figure series is missing from the snapshot: a renamed or dropped
 // benchmark would otherwise silently vanish from the perf trajectory.
-func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries, gatewaySeries, rebalanceSeries string) error {
+func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSeries, journalSeries, gatewaySeries, rebalanceSeries, plannerSeries string) error {
 	for _, want := range splitCSV(benches) {
 		found := false
 		for _, b := range snap.Benchmarks {
@@ -207,7 +233,60 @@ func checkRequired(snap *Snapshot, benches, series, obSeries, shardSeries, mdSer
 	if err := requireSeries(snap.GatewayPoints, gatewaySeries, "ingress-gateway"); err != nil {
 		return err
 	}
-	return requireSeries(snap.RebalancePoints, rebalanceSeries, "live-rebalance")
+	if err := requireSeries(snap.RebalancePoints, rebalanceSeries, "live-rebalance"); err != nil {
+		return err
+	}
+	return requireSeries(snap.PlannerPoints, plannerSeries, "planner")
+}
+
+// flatShardRatio is the spread below which a shard-scaling series is
+// called flat: max/min < 1.25 across shard counts means no meaningful
+// scaling. Deliberately loose — noisy single-CPU runs show spreads up
+// to ~20% with no scaling behind them, and a genuinely scaling pool
+// roughly doubles between its smallest and largest size.
+const flatShardRatio = 1.25
+
+// flatShardWarnings inspects the shard-scaling points and returns one
+// provenance warning per series whose throughput stays flat across
+// two or more distinct shard counts.
+func flatShardWarnings(points []FigPoint) []string {
+	type span struct {
+		min, max float64
+		xs       map[int]bool
+	}
+	spans := map[string]*span{}
+	var order []string
+	for _, pt := range points {
+		for name, v := range pt.Series {
+			s, ok := spans[name]
+			if !ok {
+				s = &span{min: v, max: v, xs: map[int]bool{}}
+				spans[name] = s
+				order = append(order, name)
+			}
+			if v < s.min {
+				s.min = v
+			}
+			if v > s.max {
+				s.max = v
+			}
+			s.xs[pt.X] = true
+		}
+	}
+	sort.Strings(order)
+	var warns []string
+	for _, name := range order {
+		s := spans[name]
+		if len(s.xs) < 2 || s.min <= 0 {
+			continue
+		}
+		if s.max/s.min < flatShardRatio {
+			warns = append(warns, fmt.Sprintf(
+				"obshard series %q is flat across %d shard counts (max/min %.2f < %.2f): no scaling demonstrated — likely a single-CPU host",
+				name, len(s.xs), s.max/s.min, flatShardRatio))
+		}
+	}
+	return warns
 }
 
 // requireSeries checks each named series appears in at least one point.

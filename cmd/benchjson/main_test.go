@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseTable runs parseFigure over a literal defcon-bench table.
+func parseTable(t *testing.T, table string) (string, []FigPoint) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig.txt")
+	if err := os.WriteFile(path, []byte(table), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	figure, points, err := parseFigure(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return figure, points
+}
+
+// TestParsePlannerTable: the planner off/on table — series names with
+// an embedded single space ("no-sec off") separated by 2+-space runs —
+// round-trips through the figure parser.
+func TestParsePlannerTable(t *testing.T) {
+	figure, points := parseTable(t, ""+
+		"# Load-aware rebalancing planner — planner off vs on\n"+
+		"x      no-sec off     no-sec on     l+f off     l+f on   (fills/s)\n"+
+		"0         23837.74      21707.74    21165.90   16523.92\n"+
+		"1         18641.18      29576.86    17178.33   22535.73\n"+
+		"2         32281.49      32778.23    23677.09   21979.90\n")
+	if !strings.Contains(figure, "planner") {
+		t.Fatalf("figure title lost: %q", figure)
+	}
+	if len(points) != 3 {
+		t.Fatalf("parsed %d points, want 3", len(points))
+	}
+	for _, name := range []string{"no-sec off", "no-sec on", "l+f off", "l+f on"} {
+		v, ok := points[1].Series[name]
+		if !ok {
+			t.Fatalf("series %q missing from x=1: %+v", name, points[1].Series)
+		}
+		if v <= 0 {
+			t.Fatalf("series %q parsed as %v", name, v)
+		}
+	}
+	if got := points[1].Series["no-sec on"]; got != 29576.86 {
+		t.Fatalf("no-sec on at x=1 = %v, want 29576.86", got)
+	}
+	snap := &Snapshot{PlannerPoints: points}
+	if err := checkRequired(snap, "", "", "", "", "", "", "", "", "no-sec off,no-sec on"); err != nil {
+		t.Fatalf("require-planner-series rejected present series: %v", err)
+	}
+	if err := checkRequired(snap, "", "", "", "", "", "", "", "", "l+f+iso on"); err == nil {
+		t.Fatal("require-planner-series accepted a missing series")
+	}
+}
+
+// TestFlatShardWarnings: a committed-style flat obshard series (the
+// known 1-CPU calibration data shows spreads up to ~21% with no
+// scaling behind them) must be flagged with a provenance warning,
+// while a genuinely scaling series — and a single-point series, which
+// proves nothing either way — must not.
+func TestFlatShardWarnings(t *testing.T) {
+	pt := func(x int, series map[string]float64) FigPoint {
+		return FigPoint{X: x, Series: series}
+	}
+	// The committed 1-CPU numbers for "labels+freeze+isolation":
+	// 16837.59 / 21328.40 / 18290.84 at x=1/2/4 — a 1.27 spread would
+	// escape a tight threshold; the loose one catches the 1.21 below
+	// and the near-equal series.
+	flat := []FigPoint{
+		pt(1, map[string]float64{"l+f": 17600.0, "steady": 10000}),
+		pt(2, map[string]float64{"l+f": 21328.4, "steady": 10100}),
+		pt(4, map[string]float64{"l+f": 18290.8, "steady": 10050}),
+	}
+	warns := flatShardWarnings(flat)
+	if len(warns) != 2 {
+		t.Fatalf("flat series produced %d warnings, want 2: %v", len(warns), warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, "flat") || !strings.Contains(w, "single-CPU") {
+			t.Fatalf("warning lacks provenance wording: %q", w)
+		}
+	}
+
+	scaling := []FigPoint{
+		pt(1, map[string]float64{"l+f": 10000}),
+		pt(2, map[string]float64{"l+f": 17000}),
+		pt(4, map[string]float64{"l+f": 26000}),
+	}
+	if warns := flatShardWarnings(scaling); len(warns) != 0 {
+		t.Fatalf("scaling series flagged flat: %v", warns)
+	}
+
+	single := []FigPoint{pt(1, map[string]float64{"l+f": 10000})}
+	if warns := flatShardWarnings(single); len(warns) != 0 {
+		t.Fatalf("single-point series flagged: %v", warns)
+	}
+
+	if warns := flatShardWarnings(nil); warns != nil {
+		t.Fatalf("no points produced warnings: %v", warns)
+	}
+
+	// Mixed: only the flat series is named.
+	mixed := []FigPoint{
+		pt(1, map[string]float64{"fast": 10000, "stuck": 9000}),
+		pt(4, map[string]float64{"fast": 30000, "stuck": 9100}),
+	}
+	warns = flatShardWarnings(mixed)
+	if len(warns) != 1 || !strings.Contains(warns[0], `"stuck"`) {
+		t.Fatalf("mixed series warnings wrong: %v", warns)
+	}
+}
+
+// TestBenchMatchesExact pins the exact-name semantics of -require: a
+// surviving sibling must not satisfy a dropped benchmark.
+func TestBenchMatchesExact(t *testing.T) {
+	cases := []struct {
+		name, want string
+		ok         bool
+	}{
+		{"BenchmarkAPITaxWarm-8", "APITaxWarm", true},
+		{"BenchmarkAPITaxWarmBatch-8", "APITaxWarm", false},
+		{"BenchmarkPublish/labels-8", "Publish", true},
+		{"BenchmarkPublish-8", "BenchmarkPublish", true},
+	}
+	for _, c := range cases {
+		if got := benchMatches(c.name, c.want); got != c.ok {
+			t.Errorf("benchMatches(%q, %q) = %v, want %v", c.name, c.want, got, c.ok)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	defcon-bench -fig ob -ops 50000              # order-book fill rate
 //	defcon-bench -fig obshard -shards 1,2,4,8    # pool shard scaling
 //	defcon-bench -fig rebalance -ops 20000       # live hand-off cost
+//	defcon-bench -fig planner -ops 12000         # planner off vs on, skewed flow
 //	defcon-bench -fig mdfeed -subs 100,1000,10000 # market-data fanout
 //	defcon-bench -fig gateway -sessions 100,1000  # socket ingress sweep
 //	defcon-bench -analysis                       # §4.2 pipeline counts
@@ -35,7 +36,7 @@ func main() {
 	baseline.MaybeRunAgent() // never returns in agent mode
 
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,rebalance,mdfeed,gateway or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,ob,objournal,obshard,rebalance,planner,mdfeed,gateway or all")
 		traders   = flag.String("traders", "", "comma-separated trader counts (figures 5-7 and ob)")
 		shards    = flag.String("shards", "", "comma-separated broker shard counts (figure obshard)")
 		subs      = flag.String("subs", "", "comma-separated subscriber counts (figure mdfeed)")
@@ -64,6 +65,7 @@ func main() {
 	jopts := bench.OrderBookJournalOpts{Ops: *ops}
 	sopts := bench.OrderBookShardOpts{Ops: *ops}
 	ropts := bench.RebalanceOpts{Ops: *ops}
+	popts := bench.PlannerOpts{Ops: *ops}
 	mopts := bench.MDFeedOpts{Ops: *ops}
 	gopts := bench.GatewayOpts{}
 	if *rate > 0 {
@@ -111,6 +113,10 @@ func main() {
 		ropts.Ops = 5000
 		ropts.Traders = 16
 		ropts.Pairs = 4
+		popts.Ops = 4000
+		popts.Traders = 16
+		popts.Pairs = 4
+		popts.Shards = 2
 		if *subs == "" {
 			mopts.Subscribers = []int{16, 64}
 		}
@@ -137,6 +143,7 @@ func main() {
 		{"objournal", func() (bench.Result, error) { return bench.RunOrderBookJournal(jopts) }},
 		{"obshard", func() (bench.Result, error) { return bench.RunOrderBookShards(sopts) }},
 		{"rebalance", func() (bench.Result, error) { return bench.RunRebalance(ropts) }},
+		{"planner", func() (bench.Result, error) { return bench.RunPlanner(popts) }},
 		{"mdfeed", func() (bench.Result, error) { return bench.RunMDFeed(mopts) }},
 		{"gateway", func() (bench.Result, error) { return bench.RunGateway(gopts) }},
 	}
@@ -154,7 +161,7 @@ func main() {
 		fmt.Println(res.Format())
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,rebalance,mdfeed,gateway or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 5,6,7,8,9,ob,objournal,obshard,rebalance,planner,mdfeed,gateway or all)\n", *fig)
 		os.Exit(2)
 	}
 }

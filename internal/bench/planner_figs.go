@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trading"
+	"repro/internal/workload"
+)
+
+// PlannerOpts parameterise the load-aware planner sweep: dark-pool
+// fill throughput under a skewed (Zipf) flow landing on a
+// deterministically constructed hot shard, with the rebalancing
+// planner off versus on, per security mode. Every symbol starts on
+// shard 0, so the off run is bound by one shard's matching throughput
+// for the whole sweep while the on run is healed by automatic
+// migration waves within the first window.
+type PlannerOpts struct {
+	// Traders is the trader population (default 32).
+	Traders int
+	// Modes lists the security configurations (default AllModes).
+	Modes []core.SecurityMode
+	// Ops is the order-flow length per window (default 12,000).
+	Ops int
+	// Windows is the number of measured flow windows (default 3): the
+	// x-axis, so convergence shows as the on-series rising across x.
+	Windows int
+	// Pairs sizes the symbol universe (default 8 pairs, 16 symbols).
+	Pairs int
+	// Shards sizes the broker pool (default 4).
+	Shards int
+	// Skew is the Zipf symbol skew of the flow (default 1.6).
+	Skew float64
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (o *PlannerOpts) defaults() {
+	if o.Traders == 0 {
+		o.Traders = 32
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = AllModes
+	}
+	if o.Ops == 0 {
+		o.Ops = 12000
+	}
+	if o.Windows == 0 {
+		o.Windows = 3
+	}
+	if o.Pairs == 0 {
+		o.Pairs = 8
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Skew == 0 {
+		o.Skew = 1.6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunPlanner measures fills/s per flow window (the `-fig planner`
+// sweep) twice per mode: "<mode> off" replays the skewed flow against
+// the constructed hot shard with no policy layer, "<mode> on" runs
+// the same trace with the automatic planner healing the imbalance.
+// Fills are bit-identical between the two runs by the migration
+// equivalence argument; only the wall-clock differs. On a single-CPU
+// host both series are expected flat and equal (shards add no
+// parallelism) — the sweep still pins the planner's overhead and that
+// its waves actually execute.
+func RunPlanner(o PlannerOpts) (Result, error) {
+	o.defaults()
+	res := Result{
+		Figure: "Load-aware rebalancing planner",
+		Caption: fmt.Sprintf(
+			"dark-pool fill rate per flow window, Zipf skew %.1f onto one hot shard of %d: planner off vs on",
+			o.Skew, o.Shards),
+	}
+	for _, mode := range o.Modes {
+		run := func(planner bool) (Series, error) {
+			name := shortMode(mode) + " off"
+			cfg := trading.Config{
+				Mode:         mode,
+				NumTraders:   o.Traders,
+				Universe:     workload.NewUniverse(o.Pairs),
+				Seed:         o.Seed,
+				BrokerShards: o.Shards,
+				OrderTTL:     time.Minute,
+				QueueCap:     4096,
+				Enforcer:     SharedEnforcer(),
+			}
+			if planner {
+				name = shortMode(mode) + " on"
+				cfg.Planner = trading.PlannerConfig{
+					Enable:         true,
+					Interval:       20 * time.Millisecond,
+					EWMATau:        100 * time.Millisecond,
+					HotRatio:       1.4,
+					HotStreak:      2,
+					MinSamples:     2,
+					MinRate:        0.000001,
+					SymbolCooldown: 250 * time.Millisecond,
+					WaveCooldown:   100 * time.Millisecond,
+				}
+			}
+			s := Series{Name: name, Unit: "fills/s"}
+			p, err := trading.New(cfg)
+			if err != nil {
+				return s, err
+			}
+			defer p.Close()
+			// Construct the hot shard: every symbol onto shard 0, so both
+			// runs start from the same degenerate routing.
+			for _, sym := range p.Universe().Symbols {
+				if err := p.Rebalance.Migrate(sym, 0); err != nil {
+					return s, fmt.Errorf("constructing hot shard: %s: %w", sym, err)
+				}
+			}
+			flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+				Traders:       o.Traders,
+				AggressionPct: 55,
+				CancelPct:     5,
+				AmendPct:      5,
+				SymbolSkew:    o.Skew,
+			}, o.Seed+5)
+			trace := flow.Take(o.Windows * o.Ops)
+			for w := 0; w < o.Windows; w++ {
+				before := p.Broker.Trades()
+				start := time.Now()
+				p.ReplayOrders(trace[w*o.Ops : (w+1)*o.Ops])
+				if !p.Quiesce(60 * time.Second) {
+					return s, fmt.Errorf("planner window %d did not quiesce", w)
+				}
+				elapsed := time.Since(start)
+				s.Points = append(s.Points, Point{X: w, Y: float64(p.Broker.Trades()-before) / elapsed.Seconds()})
+			}
+			if planner && o.Shards > 1 {
+				if st := p.Stats(); st.PlannerMoves == 0 {
+					return s, fmt.Errorf("planner never migrated off the constructed hot shard (%+v)", st)
+				}
+			}
+			return s, nil
+		}
+		for _, planner := range []bool{false, true} {
+			s, err := run(planner)
+			if err != nil {
+				return res, fmt.Errorf("planner %s (on=%v): %w", mode, planner, err)
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -102,6 +103,17 @@ type Broker struct {
 	jsince int
 	jlast  uint64
 
+	// inst captures the managed instance's unit on the delivery path so
+	// the load sampler can read the shard's ingress queue depth
+	// (QueueLen) without reaching into the managed router; nil until
+	// the first delivery.
+	inst atomic.Pointer[core.Unit]
+
+	// routedTo counts order publications the routing layer stamped for
+	// this shard — incremented at the trader's route resolution, so it
+	// measures offered load where trades measures cleared load.
+	routedTo counter
+
 	trades     counter
 	partials   counter
 	cancels    counter
@@ -152,6 +164,13 @@ type symBook struct {
 	// the book's depth hook stages level changes into it and handleOrder
 	// flushes one sequence-numbered batch per processed order.
 	feed *mdfeed.Feed
+	// fills and orders are the symbol's cumulative load counts, bumped
+	// under b.mu on the matching path and read by the load sampler.
+	// They travel with neither checkpoint nor hand-off blob — a
+	// migration or recovery restarts them at zero, which the sampler's
+	// delta logic treats as a counter restart.
+	fills  int64
+	orders int64
 }
 
 // nextID mints the next trade ID in this symbol's namespace.
@@ -471,6 +490,7 @@ func (b *Broker) CheckConservation() error {
 // mirrors it, keeping the contamination story intact (the books live
 // in the pinned instance at {b}).
 func (b *Broker) handle(u *core.Unit, e *events.Event, sub uint64) {
+	b.inst.Store(u) // expose the instance's queue to the load sampler
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	bk := b.bk
@@ -628,6 +648,7 @@ func (b *Broker) handleOrder(u *core.Unit, e *events.Event, bk *brokerBook) {
 // the pre-crash run, and fills still reach the OnFill hook.
 func (b *Broker) applyOrder(u *core.Unit, bk *brokerBook, o *takerOrder, now int64) {
 	sb := b.sym(bk, o.symbol)
+	sb.orders++ // per-symbol load count, under b.mu
 	book := sb.book
 	// TTL expiry folds into order processing: stale heads are popped
 	// before the incoming order sees the book, and each eviction
@@ -763,6 +784,7 @@ func (b *Broker) applyOrder(u *core.Unit, bk *brokerBook, o *takerOrder, now int
 // everything needed later is copied into the trade record here.
 func (b *Broker) publishFill(u *core.Unit, bk *brokerBook, sb *symBook, maker *orderbook.Order, taker *takerOrder, price, qty int64) {
 	taker.rem -= qty
+	sb.fills++ // per-symbol load count, under b.mu
 	sb.ledger.filled += qty
 	rec := tradeRecord{id: sb.nextID(), symbol: taker.symbol, price: price, qty: qty}
 	var buyOrder, sellOrder int64

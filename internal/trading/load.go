@@ -1,0 +1,280 @@
+package trading
+
+// Load accounting for the rebalancing planner (DESIGN-dispatch.md §15):
+// per-shard and per-symbol activity rates measured on the matching path
+// with the same zero-alloc discipline as the compiled interceptor
+// plans. The hot path only bumps counters that already sit under locks
+// the path holds — per-shard routed orders as one atomic add at the
+// trader's routing point, per-symbol fills/orders as plain int64 adds
+// under the shard's b.mu — and every piece of rate math (EWMA decay,
+// imbalance ratios) runs at sample time on the planner's clock, never
+// on the matching thread.
+//
+// Rates are exponentially-weighted moving averages with a configurable
+// time constant: alpha = 1 - exp(-dt/tau), rate += alpha*(delta/dt -
+// rate). The EWMA smooths the burstiness of replayed flow so one hot
+// batch does not read as a hot shard; the planner's hysteresis
+// argument (§15) leans on that smoothing.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// defaultEWMATau is the rate smoothing time constant: long enough to
+// ride out one replay burst, short enough that a genuinely migrated
+// hot symbol stops charging its old shard within a few planner ticks.
+const defaultEWMATau = 500 * time.Millisecond
+
+// ShardLoad is one broker shard's load sample.
+type ShardLoad struct {
+	Shard int
+	// Fills and Routed are the cumulative counters behind the rates:
+	// fills matched by this shard, and orders the routing layer stamped
+	// for it (counted at the trader's route resolution, so parked
+	// publishes during a migration freeze count when they actually
+	// route).
+	Fills  uint64
+	Routed uint64
+	// FillRate and RouteRate are the EWMA rates, per second.
+	FillRate  float64
+	RouteRate float64
+	// QueueLen is the shard's managed-instance ingress queue depth at
+	// sample time — the direct back-pressure signal (0 until the shard
+	// has processed its first delivery).
+	QueueLen int
+}
+
+// SymbolLoad is one symbol's load sample, attributed to the shard that
+// currently owns it.
+type SymbolLoad struct {
+	Symbol string
+	Shard  int
+	// Fills and Orders are cumulative counts held by the owning
+	// shard's state. They travel with neither checkpoint nor hand-off
+	// blob: a migration restarts the symbol's counters at zero on the
+	// destination (the sampler treats the drop as a restart, never a
+	// negative delta).
+	Fills  int64
+	Orders int64
+	// FillRate and OrderRate are the EWMA rates, per second.
+	FillRate  float64
+	OrderRate float64
+}
+
+// LoadSnapshot is one poll of the platform's load state — the
+// planner's entire world view, also exposed to tests and operators
+// via Platform.SampleLoad.
+type LoadSnapshot struct {
+	At time.Time
+	// Interval is the time since the previous sample (0 on the first).
+	Interval time.Duration
+	// Samples counts how many times the tracker has sampled — the
+	// planner's warm-up gate reads it.
+	Samples uint64
+	Shards  []ShardLoad
+	Symbols []SymbolLoad
+}
+
+// TotalFillRate sums the per-shard EWMA fill rates.
+func (s *LoadSnapshot) TotalFillRate() float64 {
+	var t float64
+	for i := range s.Shards {
+		t += s.Shards[i].FillRate
+	}
+	return t
+}
+
+// Imbalance returns the hottest shard by EWMA fill rate and the
+// imbalance ratio max/mean — 1.0 is perfectly balanced, nshards is one
+// shard taking everything. A zero mean (no fills yet) reports ratio 0.
+func (s *LoadSnapshot) Imbalance() (hot int, ratio float64) {
+	if len(s.Shards) == 0 {
+		return 0, 0
+	}
+	var sum, max float64
+	hot = s.Shards[0].Shard
+	for i := range s.Shards {
+		r := s.Shards[i].FillRate
+		sum += r
+		if r > max {
+			max, hot = r, s.Shards[i].Shard
+		}
+	}
+	mean := sum / float64(len(s.Shards))
+	if mean <= 0 {
+		return hot, 0
+	}
+	return hot, max / mean
+}
+
+// symCum is one symbol's last-sampled cumulative counts.
+type symCum struct {
+	fills, orders int64
+}
+
+// symEWMA is one symbol's smoothed rates.
+type symEWMA struct {
+	fillRate, orderRate float64
+}
+
+// loadTracker owns the EWMA state behind SampleLoad. One mutex
+// serialises samplers (the planner and any polling test); nothing here
+// is touched by the matching path.
+type loadTracker struct {
+	mu      sync.Mutex
+	tau     time.Duration
+	samples uint64
+	lastAt  time.Time
+
+	lastFills  []uint64 // per shard
+	lastRouted []uint64
+	fillRate   []float64
+	routeRate  []float64
+
+	lastSym map[string]symCum
+	rateSym map[string]symEWMA
+}
+
+func newLoadTracker(nshards int, tau time.Duration) *loadTracker {
+	if tau <= 0 {
+		tau = defaultEWMATau
+	}
+	return &loadTracker{
+		tau:        tau,
+		lastFills:  make([]uint64, nshards),
+		lastRouted: make([]uint64, nshards),
+		fillRate:   make([]float64, nshards),
+		routeRate:  make([]float64, nshards),
+		lastSym:    make(map[string]symCum),
+		rateSym:    make(map[string]symEWMA),
+	}
+}
+
+// ewma folds one interval's observed rate into the smoothed rate.
+func ewma(rate, observed, alpha float64) float64 {
+	return rate + alpha*(observed-rate)
+}
+
+// counterDelta handles cumulative counters that can restart at zero
+// (a migrated symbol's counts reset on the destination shard): a
+// shrinking counter reads as a restart, charging only the new count.
+func counterDelta(cum, last int64) int64 {
+	if cum < last {
+		return cum
+	}
+	return cum - last
+}
+
+// SampleLoad polls every shard's counters and queue depth, folds them
+// into the EWMA rates and returns the snapshot. Safe to call from any
+// goroutine; samplers serialise on the tracker's mutex. The first
+// sample establishes the baseline (rates 0); rates converge over a few
+// tau intervals of steady flow.
+func (p *Platform) SampleLoad() LoadSnapshot {
+	return p.load.sample(p, time.Now())
+}
+
+func (lt *loadTracker) sample(p *Platform, now time.Time) LoadSnapshot {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+
+	var dt time.Duration
+	if !lt.lastAt.IsZero() {
+		dt = now.Sub(lt.lastAt)
+	}
+	lt.lastAt = now
+	lt.samples++
+	alpha, secs := 0.0, dt.Seconds()
+	if secs > 0 {
+		alpha = 1 - math.Exp(-secs/lt.tau.Seconds())
+	}
+
+	snap := LoadSnapshot{
+		At:       now,
+		Interval: dt,
+		Samples:  lt.samples,
+		Shards:   make([]ShardLoad, len(p.Broker.shards)),
+	}
+	for i, b := range p.Broker.shards {
+		fills, routed := b.trades.load(), b.routedTo.load()
+		if alpha > 0 {
+			lt.fillRate[i] = ewma(lt.fillRate[i],
+				float64(counterDelta(int64(fills), int64(lt.lastFills[i])))/secs, alpha)
+			lt.routeRate[i] = ewma(lt.routeRate[i],
+				float64(counterDelta(int64(routed), int64(lt.lastRouted[i])))/secs, alpha)
+		}
+		lt.lastFills[i], lt.lastRouted[i] = fills, routed
+		snap.Shards[i] = ShardLoad{
+			Shard:     b.shard,
+			Fills:     fills,
+			Routed:    routed,
+			FillRate:  lt.fillRate[i],
+			RouteRate: lt.routeRate[i],
+			QueueLen:  b.QueueLen(),
+		}
+	}
+
+	// Per-symbol counts live with the owning shard's state; collect
+	// them under each shard's b.mu, then fold. Symbols mid-migration
+	// are frozen (no flow), so missing a beat there is harmless.
+	cur := make(map[string]symCum, len(lt.lastSym))
+	shardOf := make(map[string]int, len(lt.lastSym))
+	for _, b := range p.Broker.shards {
+		b.symbolLoadCounts(func(symbol string, fills, orders int64) {
+			c := cur[symbol] // a symbol lives on one shard; no merge
+			c.fills += fills
+			c.orders += orders
+			cur[symbol] = c
+			shardOf[symbol] = b.shard
+		})
+	}
+	for sym, c := range cur {
+		last := lt.lastSym[sym]
+		r := lt.rateSym[sym]
+		if alpha > 0 {
+			r.fillRate = ewma(r.fillRate, float64(counterDelta(c.fills, last.fills))/secs, alpha)
+			r.orderRate = ewma(r.orderRate, float64(counterDelta(c.orders, last.orders))/secs, alpha)
+		}
+		lt.lastSym[sym] = c
+		lt.rateSym[sym] = r
+		snap.Symbols = append(snap.Symbols, SymbolLoad{
+			Symbol:    sym,
+			Shard:     shardOf[sym],
+			Fills:     c.fills,
+			Orders:    c.orders,
+			FillRate:  r.fillRate,
+			OrderRate: r.orderRate,
+		})
+	}
+	return snap
+}
+
+// QueueLen reports the shard's managed-instance ingress queue depth —
+// 0 until the instance has handled its first delivery (the pointer is
+// captured on the delivery path).
+func (b *Broker) QueueLen() int {
+	if u := b.inst.Load(); u != nil {
+		return u.QueueLen()
+	}
+	return 0
+}
+
+// RoutedOrders reports how many order publications the routing layer
+// stamped for this shard (counted at route resolution, before
+// delivery).
+func (b *Broker) RoutedOrders() uint64 { return b.routedTo.load() }
+
+// symbolLoadCounts visits every symbol this shard holds state for with
+// its cumulative fill and order counts, under b.mu.
+func (b *Broker) symbolLoadCounts(visit func(symbol string, fills, orders int64)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bk == nil {
+		return
+	}
+	for sym, sb := range b.bk.syms {
+		visit(sym, sb.fills, sb.orders)
+	}
+}

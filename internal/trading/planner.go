@@ -1,0 +1,497 @@
+package trading
+
+// Planner is the policy layer above the Rebalancer (DESIGN-dispatch.md
+// §15): it closes the loop from load measurement (load.go) to
+// automatic symbol migration (rebalance.go). A periodic tick samples
+// the platform's load, detects a hot shard by EWMA fill-rate imbalance
+// and — with hysteresis — picks the smallest set of hot symbols whose
+// move rebalances the pool, then schedules Rebalancer.Migrate calls
+// serially. Correctness rides entirely on the migration mechanism:
+// the planner only ever chooses WHEN and WHAT to migrate, and Migrate
+// is bit-identity-preserving per symbol, so a planner-on run produces
+// exactly the fills, books and trade logs of a planner-off run in
+// every security mode.
+//
+// Hysteresis — why the planner provably does not thrash:
+//
+//   - EWMA smoothing (load.go): a one-burst spike decays with time
+//     constant tau instead of registering as a hot shard.
+//   - Streak gate: the imbalance ratio must exceed HotRatio on
+//     HotStreak consecutive ticks; any balanced tick resets the
+//     streak, so load oscillating around the threshold never
+//     accumulates one.
+//   - Improvement floor: a wave only executes if the predicted
+//     post-move imbalance improves on the measured one by at least
+//     ImprovementFloor (relative) — moving the load problem to
+//     another shard (predicted == measured) is rejected.
+//   - Per-symbol cooldown: a migrated symbol is not a candidate again
+//     for SymbolCooldown, so no symbol ping-pongs between shards even
+//     if the measurement disagrees with the prediction.
+//   - Wave cooldown: after an executed wave the planner waits
+//     WaveCooldown before the next one, giving the EWMA time to
+//     re-converge on the post-move routing before it is judged.
+//
+// Under a static imbalance this yields exactly one wave: the wave
+// executes, the moved flow re-attributes to the destination within a
+// few tau, the ratio drops below HotRatio and every later tick reads
+// "balanced" (streak stays zero). The planner-hysteresis tests pin
+// both properties against the pure decide() core.
+//
+// Every decision emits a labeled plan event. The plan body derives
+// from the load measurements, which derive from {b}-confined order
+// parts, so per the derived-event rule its label is the join of its
+// inputs: S={b} (the public queue depths and shard indices join as
+// public). Raising secrecy needs no privilege — the planner's plain
+// unit confines the body exactly like the Rebalancer's fence — and
+// the public "type"="plan" part makes the decision stream observable
+// without revealing flow details to unprivileged units.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/freeze"
+)
+
+// Planner defaults; every knob is overridable via PlannerConfig.
+const (
+	defaultPlanInterval      = 50 * time.Millisecond
+	defaultHotRatio          = 1.6
+	defaultHotStreak         = 3
+	defaultImprovementFloor  = 0.1
+	defaultSymbolCooldown    = 2 * time.Second
+	defaultWaveCooldown      = time.Second
+	defaultMinSamples        = 4
+	defaultMinRate           = 20.0
+	defaultMaxMovesPerPlan   = 4
+	defaultPlanReportWindow  = 128
+)
+
+// PlannerConfig tunes the rebalancing policy. The zero value disables
+// the planner entirely (Config.Planner.Enable gates it).
+type PlannerConfig struct {
+	// Enable turns the planner on.
+	Enable bool
+	// Manual suppresses the periodic goroutine: the planner is
+	// assembled but ticks only when the caller invokes Step —
+	// deterministic pacing for tests and smoke jobs.
+	Manual bool
+	// Interval is the tick period (default 50ms).
+	Interval time.Duration
+	// EWMATau is the load-rate smoothing time constant (default 500ms).
+	EWMATau time.Duration
+	// HotRatio is the imbalance threshold: a shard is hot when its
+	// EWMA fill rate exceeds HotRatio × the per-shard mean (default
+	// 1.6). Must exceed 1.
+	HotRatio float64
+	// HotStreak is how many consecutive hot ticks arm a wave (default
+	// 3); any balanced tick resets the streak.
+	HotStreak int
+	// ImprovementFloor is the minimum relative imbalance improvement a
+	// wave must predict to execute (default 0.1 = 10%).
+	ImprovementFloor float64
+	// SymbolCooldown keeps a migrated symbol off the candidate list
+	// (default 2s).
+	SymbolCooldown time.Duration
+	// WaveCooldown is the minimum dwell between executed waves
+	// (default 1s).
+	WaveCooldown time.Duration
+	// MinSamples is the warm-up: no decision executes before this many
+	// load samples (default 4).
+	MinSamples uint64
+	// MinRate is the activity floor in total fills/s; below it the
+	// pool is idle and imbalance ratios are noise (default 20).
+	MinRate float64
+	// MaxMovesPerPlan bounds one wave (default 4).
+	MaxMovesPerPlan int
+	// OnPlan, when set, receives every decision synchronously on the
+	// planner's tick (or the Step caller's goroutine).
+	OnPlan func(PlanReport)
+}
+
+func (c *PlannerConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = defaultPlanInterval
+	}
+	if c.EWMATau <= 0 {
+		c.EWMATau = defaultEWMATau
+	}
+	if c.HotRatio <= 1 {
+		c.HotRatio = defaultHotRatio
+	}
+	if c.HotStreak <= 0 {
+		c.HotStreak = defaultHotStreak
+	}
+	if c.ImprovementFloor <= 0 {
+		c.ImprovementFloor = defaultImprovementFloor
+	}
+	if c.SymbolCooldown <= 0 {
+		c.SymbolCooldown = defaultSymbolCooldown
+	}
+	if c.WaveCooldown <= 0 {
+		c.WaveCooldown = defaultWaveCooldown
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = defaultMinSamples
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = defaultMinRate
+	}
+	if c.MaxMovesPerPlan <= 0 {
+		c.MaxMovesPerPlan = defaultMaxMovesPerPlan
+	}
+}
+
+// PlanDecision names the outcome of one planner tick.
+type PlanDecision string
+
+const (
+	// PlanWarming: not enough load samples yet.
+	PlanWarming PlanDecision = "warming"
+	// PlanIdle: total fill rate below MinRate; ratios are noise.
+	PlanIdle PlanDecision = "idle"
+	// PlanBalanced: imbalance below HotRatio; streak reset.
+	PlanBalanced PlanDecision = "balanced"
+	// PlanStreak: hot, but the streak gate has not armed yet.
+	PlanStreak PlanDecision = "streak"
+	// PlanCooldown: hot and armed, but inside the wave cooldown.
+	PlanCooldown PlanDecision = "cooldown"
+	// PlanNoCandidates: hot, but no movable symbol (all cooled down or
+	// rate-less).
+	PlanNoCandidates PlanDecision = "no-candidates"
+	// PlanNoImprovement: the best wave predicts less improvement than
+	// the floor — moving load would just move the problem.
+	PlanNoImprovement PlanDecision = "no-improvement"
+	// PlanExecute: a migration wave was scheduled.
+	PlanExecute PlanDecision = "execute"
+)
+
+// PlannedMove is one scheduled migration inside a wave.
+type PlannedMove struct {
+	Symbol   string
+	From, To int
+	// FillRate is the symbol's EWMA fill rate that justified the move.
+	FillRate float64
+	// Err records a failed Migrate call ("" = executed cleanly).
+	Err string
+}
+
+// PlanReport is one tick's full decision record — the
+// preflight (measurements) / plan (moves) / execute (Errs) / report
+// (this struct, the plan event, the OnPlan hook) shape.
+type PlanReport struct {
+	Seq uint64
+	At  time.Time
+	// Hot and Ratio are the measured hottest shard and imbalance.
+	Hot   int
+	Ratio float64
+	// Predicted is the post-wave imbalance the move simulation
+	// expects (0 when no wave was simulated).
+	Predicted float64
+	Decision  PlanDecision
+	Moves     []PlannedMove
+}
+
+// Executed reports whether this tick scheduled a wave.
+func (r *PlanReport) Executed() bool { return r.Decision == PlanExecute }
+
+// policy is the pure decision core: given a load snapshot and a clock
+// it decides, mutating only its own hysteresis state. Pure in the
+// sense that it touches no platform state — the hysteresis property
+// tests drive it with synthetic snapshots.
+type policy struct {
+	cfg       PlannerConfig
+	streak    int
+	lastWave  time.Time
+	lastMoved map[string]time.Time
+}
+
+func newPolicy(cfg PlannerConfig) policy {
+	cfg.defaults()
+	return policy{cfg: cfg, lastMoved: make(map[string]time.Time)}
+}
+
+// decide runs one tick of the policy pipeline:
+// warm-up → activity floor → imbalance → streak gate → wave cooldown
+// → candidate selection/simulation → improvement floor → execute.
+func (pl *policy) decide(snap *LoadSnapshot, now time.Time) PlanReport {
+	hot, ratio := snap.Imbalance()
+	rep := PlanReport{At: now, Hot: hot, Ratio: ratio}
+	cfg := &pl.cfg
+	switch {
+	case snap.Samples < cfg.MinSamples:
+		pl.streak = 0
+		rep.Decision = PlanWarming
+		return rep
+	case snap.TotalFillRate() < cfg.MinRate:
+		pl.streak = 0
+		rep.Decision = PlanIdle
+		return rep
+	case ratio < cfg.HotRatio:
+		pl.streak = 0
+		rep.Decision = PlanBalanced
+		return rep
+	}
+	pl.streak++
+	if pl.streak < cfg.HotStreak {
+		rep.Decision = PlanStreak
+		return rep
+	}
+	if !pl.lastWave.IsZero() && now.Sub(pl.lastWave) < cfg.WaveCooldown {
+		rep.Decision = PlanCooldown
+		return rep
+	}
+	moves, predicted := pl.selectMoves(snap, hot, now)
+	rep.Predicted = predicted
+	if len(moves) == 0 {
+		rep.Decision = PlanNoCandidates
+		return rep
+	}
+	if ratio-predicted < cfg.ImprovementFloor*ratio {
+		rep.Decision = PlanNoImprovement
+		return rep
+	}
+	rep.Decision, rep.Moves = PlanExecute, moves
+	pl.streak = 0
+	pl.lastWave = now
+	for i := range moves {
+		pl.lastMoved[moves[i].Symbol] = now
+	}
+	return rep
+}
+
+// selectMoves simulates the smallest hot-symbol set whose move brings
+// the predicted imbalance under HotRatio: candidates are the hot
+// shard's symbols by EWMA fill rate descending (cooled-down and
+// rate-less symbols excluded), each virtually moved to the currently
+// coldest shard, and each individual move must itself improve the
+// simulated imbalance — a move that merely relocates the hot spot is
+// skipped, which is what makes a one-hot-symbol pool settle instead
+// of ping-ponging.
+func (pl *policy) selectMoves(snap *LoadSnapshot, hot int, now time.Time) ([]PlannedMove, float64) {
+	cfg := &pl.cfg
+	rates := make([]float64, len(snap.Shards))
+	for i := range snap.Shards {
+		rates[snap.Shards[i].Shard] = snap.Shards[i].FillRate
+	}
+	imbalance := func(rs []float64) float64 {
+		var sum, max float64
+		for _, r := range rs {
+			sum += r
+			if r > max {
+				max = r
+			}
+		}
+		if mean := sum / float64(len(rs)); mean > 0 {
+			return max / mean
+		}
+		return 0
+	}
+	coldest := func(rs []float64) int {
+		c := 0
+		for i := range rs {
+			if rs[i] < rs[c] {
+				c = i
+			}
+		}
+		return c
+	}
+
+	var cands []SymbolLoad
+	for i := range snap.Symbols {
+		sl := &snap.Symbols[i]
+		if sl.Shard != hot || sl.FillRate <= 0 {
+			continue
+		}
+		if t, ok := pl.lastMoved[sl.Symbol]; ok && now.Sub(t) < cfg.SymbolCooldown {
+			continue
+		}
+		cands = append(cands, *sl)
+	}
+	// Largest first; ties broken by symbol so the wave is a pure
+	// function of the snapshot.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].FillRate != cands[j].FillRate {
+			return cands[i].FillRate > cands[j].FillRate
+		}
+		return cands[i].Symbol < cands[j].Symbol
+	})
+
+	var moves []PlannedMove
+	cur := imbalance(rates)
+	for i := range cands {
+		if len(moves) >= cfg.MaxMovesPerPlan || cur < cfg.HotRatio {
+			break
+		}
+		dst := coldest(rates)
+		if dst == hot {
+			break
+		}
+		next := make([]float64, len(rates))
+		copy(next, rates)
+		next[hot] -= cands[i].FillRate
+		next[dst] += cands[i].FillRate
+		if ni := imbalance(next); ni < cur {
+			rates, cur = next, ni
+			moves = append(moves, PlannedMove{
+				Symbol: cands[i].Symbol, From: hot, To: dst,
+				FillRate: cands[i].FillRate,
+			})
+		}
+	}
+	return moves, cur
+}
+
+// Planner runs the policy against the live platform: sample → decide →
+// execute → report, periodically or on demand (Manual/Step).
+type Planner struct {
+	p    *Platform
+	unit *core.Unit
+
+	// mu serialises ticks (the periodic goroutine and any Step caller)
+	// and guards the policy state and the report ring.
+	mu      sync.Mutex
+	pol     policy
+	seq     uint64
+	reports []PlanReport
+
+	plans counter // executed waves
+	moved counter // cleanly executed migrations
+
+	started atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func newPlanner(p *Platform) *Planner {
+	return &Planner{
+		p:    p,
+		unit: p.Sys.NewUnit("planner", core.UnitConfig{}),
+		pol:  newPolicy(p.cfg.Planner),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// start launches the periodic tick (unless Manual); idempotent.
+func (pl *Planner) start() {
+	if pl.pol.cfg.Manual || pl.started.Swap(true) {
+		return
+	}
+	go pl.run()
+}
+
+// stopWait stops the periodic tick and waits for it to exit; no-op in
+// Manual mode or before start.
+func (pl *Planner) stopWait() {
+	if !pl.started.Load() {
+		return
+	}
+	select {
+	case <-pl.stop:
+	default:
+		close(pl.stop)
+	}
+	<-pl.done
+}
+
+func (pl *Planner) run() {
+	defer close(pl.done)
+	tick := time.NewTicker(pl.pol.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-pl.stop:
+			return
+		case <-tick.C:
+			pl.Step()
+		}
+	}
+}
+
+// Step runs one planner tick synchronously and returns its report —
+// the deterministic pacing hook for tests and smoke jobs (Manual
+// mode), also what the periodic goroutine calls.
+func (pl *Planner) Step() PlanReport {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	snap := pl.p.SampleLoad()
+	pl.seq++
+	rep := pl.pol.decide(&snap, snap.At)
+	rep.Seq = pl.seq
+	if rep.Executed() {
+		// Execute serially: Rebalancer.Migrate serialises internally,
+		// and one-at-a-time hand-offs bound how much flow is frozen at
+		// once. A failed call (shutdown, timeout) is recorded on the
+		// move and the wave continues — the next tick re-measures.
+		for i := range rep.Moves {
+			m := &rep.Moves[i]
+			if err := pl.p.Rebalance.Migrate(m.Symbol, m.To); err != nil {
+				m.Err = err.Error()
+			} else {
+				pl.moved.inc()
+			}
+		}
+		pl.plans.inc()
+	}
+	pl.publishPlan(&rep)
+	pl.reports = append(pl.reports, rep)
+	if len(pl.reports) > defaultPlanReportWindow {
+		pl.reports = pl.reports[len(pl.reports)-defaultPlanReportWindow:]
+	}
+	if hook := pl.pol.cfg.OnPlan; hook != nil {
+		hook(rep)
+	}
+	return rep
+}
+
+// publishPlan emits the decision as a labeled event: public
+// "type"="plan" part for observability, body confined to S={b} — the
+// join of its inputs per the derived-event rule (the rates derive
+// from {b}-confined order flow; the queue depths and shard indices
+// are public and join as public). Best effort: a publish failure
+// costs observability, never a decision.
+func (pl *Planner) publishPlan(rep *PlanReport) {
+	e := pl.unit.CreateEvent()
+	if pl.unit.AddPart(e, noTags, noTags, "type", "plan") != nil {
+		return
+	}
+	moves := ""
+	for i := range rep.Moves {
+		m := &rep.Moves[i]
+		if i > 0 {
+			moves += ","
+		}
+		moves += m.Symbol
+	}
+	body := freeze.MapOf(
+		"seq", int64(rep.Seq),
+		"decision", string(rep.Decision),
+		"hot", int64(rep.Hot),
+		"ratio_milli", int64(rep.Ratio*1000),
+		"predicted_milli", int64(rep.Predicted*1000),
+		"moves", moves,
+	)
+	if pl.unit.AddPart(e, setOf(pl.p.tagB), noTags, "plan", body) != nil {
+		return
+	}
+	_ = pl.unit.Publish(e)
+}
+
+// Reports copies the recent decision window (oldest first).
+func (pl *Planner) Reports() []PlanReport {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := make([]PlanReport, len(pl.reports))
+	copy(out, pl.reports)
+	return out
+}
+
+// Plans reports executed migration waves.
+func (pl *Planner) Plans() uint64 { return pl.plans.load() }
+
+// Moved reports cleanly executed planner-scheduled migrations.
+func (pl *Planner) Moved() uint64 { return pl.moved.load() }

@@ -1,0 +1,396 @@
+package trading
+
+// Proof obligations of the rebalancing planner (DESIGN-dispatch.md
+// §15):
+//
+//   - hysteresis, against the pure policy core: a static imbalance
+//     triggers exactly one migration wave (streak gate → execute →
+//     cooldowns → balanced), oscillating load near the threshold
+//     triggers none, and a wave that would merely relocate the hot
+//     spot is rejected outright;
+//   - convergence, against the live platform: a deterministically
+//     constructed hot shard (every symbol pre-migrated onto shard 0)
+//     is healed automatically — at least one planner-scheduled
+//     migration, the imbalance ratio drops below the threshold, and
+//     no further waves execute once balanced — while fills, books and
+//     trade logs stay bit-identical to a planner-off twin run in all
+//     four security modes, with conservation intact;
+//   - observability: every decision is published as a plan event whose
+//     public "type" part routes it and whose body is confined to
+//     S={b} (the derived-event label), invisible to unprivileged
+//     subscribers in label-checking modes.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/orderbook"
+	"repro/internal/workload"
+)
+
+// loadSnap builds a synthetic snapshot for the policy table tests:
+// shard i gets shardRates[i] as its EWMA fill rate.
+func loadSnap(at time.Time, samples uint64, shardRates []float64, syms ...SymbolLoad) LoadSnapshot {
+	s := LoadSnapshot{At: at, Samples: samples}
+	for i, r := range shardRates {
+		s.Shards = append(s.Shards, ShardLoad{Shard: i, FillRate: r})
+	}
+	s.Symbols = syms
+	return s
+}
+
+// hysteresisPolicy is the table tests' shared tuning: warm-up and
+// activity floor effectively off, so the decisions under test are the
+// streak gate, the cooldowns and the improvement floor.
+func hysteresisPolicy() policy {
+	return newPolicy(PlannerConfig{
+		HotRatio:         1.5,
+		HotStreak:        3,
+		MinSamples:       1,
+		MinRate:          1,
+		ImprovementFloor: 0.1,
+		WaveCooldown:     time.Second,
+		SymbolCooldown:   10 * time.Second,
+	})
+}
+
+// TestPlannerStaticImbalanceOneWave: a persistent hot shard arms the
+// streak, executes exactly one wave, and every later tick — hot
+// measurements inside the cooldown, then balanced ones after the move
+// re-attributes — executes nothing.
+func TestPlannerStaticImbalanceOneWave(t *testing.T) {
+	pol := hysteresisPolicy()
+	base := time.Unix(1000, 0)
+	tick := func(i int) time.Time { return base.Add(time.Duration(i) * 10 * time.Millisecond) }
+	hot := func(at time.Time, samples uint64) LoadSnapshot {
+		return loadSnap(at, samples, []float64{100, 10},
+			SymbolLoad{Symbol: "HOT1", Shard: 0, FillRate: 60},
+			SymbolLoad{Symbol: "HOT2", Shard: 0, FillRate: 40},
+			SymbolLoad{Symbol: "COLD", Shard: 1, FillRate: 10},
+		)
+	}
+
+	// Ticks 1–2: hot (ratio 100/55 ≈ 1.82 ≥ 1.5) but the streak gate
+	// holds.
+	for i := 1; i <= 2; i++ {
+		s := hot(tick(i), uint64(i))
+		if rep := pol.decide(&s, s.At); rep.Decision != PlanStreak {
+			t.Fatalf("tick %d: decision %q, want streak", i, rep.Decision)
+		}
+	}
+	// Tick 3: the wave. Moving HOT1 (60) to shard 1 alone brings the
+	// simulated ratio to 70/55 ≈ 1.27 < 1.5, so the smallest set is
+	// exactly one symbol.
+	s := hot(tick(3), 3)
+	rep := pol.decide(&s, s.At)
+	if !rep.Executed() {
+		t.Fatalf("tick 3: decision %q, want execute", rep.Decision)
+	}
+	want := []PlannedMove{{Symbol: "HOT1", From: 0, To: 1, FillRate: 60}}
+	if !reflect.DeepEqual(rep.Moves, want) {
+		t.Fatalf("wave moves %+v, want %+v", rep.Moves, want)
+	}
+	if rep.Predicted >= pol.cfg.HotRatio {
+		t.Fatalf("executed wave predicts ratio %.3f ≥ threshold", rep.Predicted)
+	}
+
+	// Ticks 4–9: the measurement still reads hot (EWMA lag) — the
+	// streak re-arms but the wave cooldown holds every armed tick.
+	executes := 0
+	for i := 4; i <= 9; i++ {
+		s := hot(tick(i), uint64(i))
+		rep := pol.decide(&s, s.At)
+		if rep.Executed() {
+			executes++
+		}
+		if i >= 6 && rep.Decision != PlanCooldown {
+			t.Fatalf("tick %d: decision %q, want cooldown once re-armed", i, rep.Decision)
+		}
+	}
+	// Ticks 10–20: the move has re-attributed; balanced measurements
+	// reset the streak for good.
+	for i := 10; i <= 20; i++ {
+		s := loadSnap(tick(i), uint64(i), []float64{40, 70},
+			SymbolLoad{Symbol: "HOT2", Shard: 0, FillRate: 40},
+			SymbolLoad{Symbol: "HOT1", Shard: 1, FillRate: 60},
+			SymbolLoad{Symbol: "COLD", Shard: 1, FillRate: 10},
+		)
+		rep := pol.decide(&s, s.At)
+		if rep.Executed() {
+			executes++
+		}
+		if rep.Decision != PlanBalanced {
+			t.Fatalf("tick %d: decision %q, want balanced", i, rep.Decision)
+		}
+	}
+	if executes != 0 {
+		t.Fatalf("static imbalance executed %d extra waves after the first", executes)
+	}
+}
+
+// TestPlannerOscillationNoThrash: load flapping around the threshold
+// never accumulates a streak, so no wave ever executes — the no-thrash
+// guarantee under the exact adversarial pattern hysteresis exists for.
+func TestPlannerOscillationNoThrash(t *testing.T) {
+	pol := hysteresisPolicy()
+	base := time.Unix(2000, 0)
+	for i := 1; i <= 40; i++ {
+		rates := []float64{100, 10} // ratio ≈ 1.82: hot
+		if i%3 == 0 {
+			rates = []float64{60, 50} // ratio ≈ 1.09: balanced resets streak
+		}
+		s := loadSnap(base.Add(time.Duration(i)*10*time.Millisecond), uint64(i), rates,
+			SymbolLoad{Symbol: "HOT1", Shard: 0, FillRate: rates[0]},
+			SymbolLoad{Symbol: "COLD", Shard: 1, FillRate: rates[1]},
+		)
+		rep := pol.decide(&s, s.At)
+		if rep.Executed() {
+			t.Fatalf("tick %d: oscillating load executed a wave: %+v", i, rep)
+		}
+		if rep.Decision != PlanStreak && rep.Decision != PlanBalanced {
+			t.Fatalf("tick %d: decision %q, want streak or balanced", i, rep.Decision)
+		}
+	}
+}
+
+// TestPlannerRejectsRelocatingTheProblem: a shard hot because of one
+// dominant symbol has no useful wave — moving the symbol moves the
+// imbalance — and the planner must decide no-candidates rather than
+// ping-pong it.
+func TestPlannerRejectsRelocatingTheProblem(t *testing.T) {
+	pol := hysteresisPolicy()
+	base := time.Unix(3000, 0)
+	for i := 1; i <= 6; i++ {
+		s := loadSnap(base.Add(time.Duration(i)*10*time.Millisecond), uint64(i),
+			[]float64{100, 0},
+			SymbolLoad{Symbol: "ONLY", Shard: 0, FillRate: 100},
+		)
+		rep := pol.decide(&s, s.At)
+		if rep.Executed() {
+			t.Fatalf("tick %d: executed a wave that can only relocate the hot spot", i)
+		}
+		if i >= 3 && rep.Decision != PlanNoCandidates {
+			t.Fatalf("tick %d: decision %q, want no-candidates", i, rep.Decision)
+		}
+	}
+}
+
+// TestPlannerConvergesHotShard is the live convergence proof, per
+// security mode: every symbol is pre-migrated onto shard 0 (a
+// deterministically constructed hot shard), a seeded Zipf flow
+// (skew 1.6) replays in chunks with a manual planner tick at each
+// quiescent point, and the planner must heal the pool — at least one
+// automatic migration, imbalance below the threshold at the end, no
+// wave executing once balanced — while the fills, final books and
+// trade logs stay bit-identical to a planner-off twin run from the
+// same constructed state, with quantity conservation intact.
+func TestPlannerConvergesHotShard(t *testing.T) {
+	const (
+		shards      = 2
+		chunks      = 14
+		opsPerChunk = 300
+		// On a 2-shard pool the constructed hot shard measures 2.0 and a
+		// healed one ≈1.2; the threshold sits between with margin for
+		// EWMA burst noise (~±0.1 at this chunk size).
+		hotRatio = 1.45
+	)
+	for _, mode := range []core.SecurityMode{
+		core.NoSecurity, core.LabelsFreeze, core.LabelsClone, core.LabelsFreezeIsolation,
+	} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(planner bool) (map[string][]Fill, map[string][]orderbook.LevelSnap, map[string][]TradeRec, []PlanReport, Stats) {
+				rec := &fillRecorder{}
+				cfg := Config{
+					Mode:             mode,
+					NumTraders:       6,
+					Universe:         workload.NewUniverse(8), // 16 symbols
+					Seed:             17,
+					BrokerShards:     shards,
+					AuditSampleEvery: noAudits,
+					OrderTTL:         time.Hour,
+					QueueCap:         4096,
+					OnFill:           rec.hook(),
+				}
+				if planner {
+					cfg.Planner = PlannerConfig{
+						Enable:           true,
+						Manual:           true,
+						EWMATau:          120 * time.Millisecond,
+						HotRatio:         hotRatio,
+						HotStreak:        2,
+						MinSamples:       2,
+						MinRate:          0.000001,
+						ImprovementFloor: 0.05,
+						SymbolCooldown:   50 * time.Millisecond,
+						WaveCooldown:     time.Millisecond,
+					}
+				}
+				p, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				// Construct the hot shard: everything onto shard 0. Both
+				// twins start from this state, so the comparison isolates
+				// the planner's effect.
+				for _, sym := range p.Universe().Symbols {
+					if err := p.Rebalance.Migrate(sym, 0); err != nil {
+						t.Fatalf("constructing hot shard: %s: %v", sym, err)
+					}
+				}
+				flow := workload.NewOrderFlow(p.Universe(), workload.FlowConfig{
+					Traders:       6,
+					AggressionPct: 55,
+					CancelPct:     5,
+					AmendPct:      5,
+					SymbolSkew:    1.6,
+				}, 41)
+				var reports []PlanReport
+				for c := 0; c < chunks; c++ {
+					p.ReplayOrders(flow.Take(opsPerChunk))
+					if !p.Quiesce(20 * time.Second) {
+						t.Fatalf("chunk %d did not quiesce", c)
+					}
+					if p.Planner != nil {
+						reports = append(reports, p.Planner.Step())
+					}
+				}
+				time.Sleep(30 * time.Millisecond)
+				if err := p.Broker.CheckConservation(); err != nil {
+					t.Fatal(err)
+				}
+				return bySymbol(rec.snapshot()), p.Broker.SnapshotBooks(),
+					p.Broker.TradeLogSnapshot(), reports, p.Stats()
+			}
+
+			fillsOff, booksOff, logsOff, _, stOff := run(false)
+			fillsOn, booksOn, logsOn, reports, stOn := run(true)
+			if len(fillsOff) == 0 {
+				t.Fatal("no fills to compare")
+			}
+
+			// The planner acted: at least one wave, every scheduled
+			// migration clean, and the aggregate counters agree.
+			if stOn.PlannerPlans == 0 || stOn.PlannerMoves == 0 {
+				t.Fatalf("planner never acted: %d plans, %d moves", stOn.PlannerPlans, stOn.PlannerMoves)
+			}
+			lastExec := -1
+			for i := range reports {
+				if reports[i].Executed() {
+					lastExec = i
+					for _, m := range reports[i].Moves {
+						if m.Err != "" {
+							t.Fatalf("wave %d: migrate %s: %s", i, m.Symbol, m.Err)
+						}
+					}
+				}
+			}
+			// Pre-migrations constructed the hot shard (16 symbols minus
+			// the ones already home on shard 0); the planner's moves come
+			// on top.
+			if stOn.Migrations <= stOff.Migrations {
+				t.Fatalf("planner run completed %d migrations, twin %d", stOn.Migrations, stOff.Migrations)
+			}
+
+			// Convergence: the final measurement is balanced and no wave
+			// executed in the closing ticks.
+			final := reports[len(reports)-1]
+			if final.Ratio >= hotRatio {
+				t.Fatalf("final imbalance %.3f did not converge below %.2f (decision %q)",
+					final.Ratio, hotRatio, final.Decision)
+			}
+			if lastExec >= len(reports)-2 {
+				t.Fatalf("wave still executing at tick %d of %d: not settled", lastExec, len(reports))
+			}
+
+			// Bit-identical outcomes against the planner-off twin.
+			if !reflect.DeepEqual(fillsOff, fillsOn) {
+				t.Fatal("per-symbol fill sequences diverge with the planner on")
+			}
+			if !reflect.DeepEqual(booksOff, booksOn) {
+				t.Fatal("final books diverge with the planner on")
+			}
+			if !reflect.DeepEqual(logsOff, logsOn) {
+				t.Fatal("trade logs diverge with the planner on")
+			}
+		})
+	}
+}
+
+// TestPlannerPlanEventsLabeled: every planner tick publishes a plan
+// event; the public "type" part routes it to any subscriber, while the
+// decision body is confined to S={b} — an unprivileged probe must not
+// see it in a label-checking mode.
+func TestPlannerPlanEventsLabeled(t *testing.T) {
+	p, err := New(Config{
+		Mode:       core.LabelsFreeze,
+		NumTraders: 2,
+		Universe:   workload.NewUniverse(1),
+		Seed:       3,
+		Planner: PlannerConfig{
+			Enable: true,
+			Manual: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	type seen struct {
+		typeOK, bodyVisible bool
+	}
+	got := make(chan seen, 16)
+	probe := p.Sys.NewUnit("plan-probe", core.UnitConfig{})
+	if _, err := probe.Subscribe(dispatch.MustFilter(dispatch.PartEq("type", "plan"))); err != nil {
+		t.Fatal(err)
+	}
+	p.Sys.Go(func() {
+		for {
+			e, _, err := probe.GetEvent()
+			if err != nil {
+				return
+			}
+			var s seen
+			_, terr := probe.ReadOne(e, "type")
+			s.typeOK = terr == nil
+			_, berr := probe.ReadOne(e, "plan")
+			s.bodyVisible = berr == nil
+			got <- s
+			probe.Recycle(e)
+		}
+	})
+
+	var hooked []PlanReport
+	p.Planner.pol.cfg.OnPlan = func(r PlanReport) { hooked = append(hooked, r) }
+	const steps = 3
+	for i := 0; i < steps; i++ {
+		p.Planner.Step()
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < steps; i++ {
+		select {
+		case s := <-got:
+			if !s.typeOK {
+				t.Fatal("public type part unreadable by the probe")
+			}
+			if s.bodyVisible {
+				t.Fatal("confined plan body visible to an unprivileged probe")
+			}
+		case <-deadline:
+			t.Fatalf("probe saw %d of %d plan events", i, steps)
+		}
+	}
+	if len(hooked) != steps {
+		t.Fatalf("OnPlan saw %d of %d decisions", len(hooked), steps)
+	}
+	for _, r := range hooked {
+		// An idle platform warms up then reads idle; nothing executes.
+		if r.Executed() {
+			t.Fatalf("idle platform executed a wave: %+v", r)
+		}
+	}
+}

@@ -147,6 +147,14 @@ type Config struct {
 	// overflow sheds records and marks the loss in the journal rather
 	// than ever blocking matching.
 	JournalStagingCap int
+	// Planner configures the load-aware rebalancing policy layer
+	// (planner.go); Planner.Enable turns it on.
+	Planner PlannerConfig
+
+	// deferPlannerStart suppresses the planner's periodic tick during
+	// assembly; Recover sets it so the planner cannot race journal
+	// replay and route reconciliation, then starts it explicitly.
+	deferPlannerStart bool
 }
 
 // Fill describes one completed fill (one published trade event).
@@ -172,6 +180,25 @@ type Stats struct {
 	OrdersExpired    uint64
 	AuditsRequested  uint64
 	WarningsReceived uint64
+	// OrdersRouted counts order publications stamped for a shard at
+	// route resolution — the offered-load side of the load accounting.
+	OrdersRouted uint64
+	// Misroutes counts orders a shard rejected because the public
+	// oshard stamp did not re-derive (forged routing).
+	Misroutes uint64
+	// Migrations counts completed live symbol migrations (manual and
+	// planner-scheduled alike).
+	Migrations uint64
+	// AuditForwards counts audit requests re-routed to a symbol's
+	// current owner after a migration.
+	AuditForwards uint64
+	// MigrationRejects counts refused migrate events: forged or stale
+	// hand-offs, or duplicate installs losing the first-wins race.
+	MigrationRejects uint64
+	// PlannerPlans and PlannerMoves count executed planner waves and
+	// the migrations they scheduled cleanly (zero when disabled).
+	PlannerPlans uint64
+	PlannerMoves uint64
 }
 
 // Platform is an assembled trading system.
@@ -187,6 +214,12 @@ type Platform struct {
 	// indirection every routing decision consults.
 	Rebalance *Rebalancer
 	routes    *routeTable
+
+	// Planner is the load-aware rebalancing policy layer (nil unless
+	// Config.Planner.Enable); load is the EWMA tracker behind
+	// SampleLoad, always present.
+	Planner *Planner
+	load    *loadTracker
 
 	// MD is the market-data hub (nil unless Config.MarketData): one
 	// L2 delta feed per symbol, fed by the owning broker shard.
@@ -311,6 +344,7 @@ func New(cfg Config) (*Platform, error) {
 	})
 	p := &Platform{Sys: sys, cfg: cfg, universe: cfg.Universe}
 	p.routes = newRouteTable(cfg.BrokerShards)
+	p.load = newLoadTracker(cfg.BrokerShards, cfg.Planner.EWMATau)
 	p.symNS = make(map[string]int64, len(p.universe.Symbols))
 	for i, s := range p.universe.Symbols {
 		p.symNS[s] = int64(i + 1)
@@ -403,6 +437,12 @@ func New(cfg Config) (*Platform, error) {
 			return nil, fmt.Errorf("trading: trader %d: %w", i, err)
 		}
 		p.Traders[i] = tr
+	}
+	if cfg.Planner.Enable {
+		p.Planner = newPlanner(p)
+		if !cfg.deferPlannerStart {
+			p.Planner.start()
+		}
 	}
 	return p, nil
 }
@@ -537,6 +577,15 @@ func (p *Platform) Stats() Stats {
 	st.SelfTradeCancels = p.Broker.SelfTradeCancels()
 	st.OrdersExpired = p.Broker.Expired()
 	st.AuditsRequested = p.Regulator.Audits()
+	st.OrdersRouted = p.Broker.RoutedOrders()
+	st.Misroutes = p.Broker.Misroutes()
+	st.Migrations = p.Rebalance.Migrations()
+	st.AuditForwards = p.Broker.AuditForwards()
+	st.MigrationRejects = p.Broker.MigrationRejects()
+	if p.Planner != nil {
+		st.PlannerPlans = p.Planner.Plans()
+		st.PlannerMoves = p.Planner.Moved()
+	}
 	for _, t := range p.Traders {
 		st.MatchesEmitted += t.Matches()
 		st.OrdersPlaced += t.Orders()
@@ -556,6 +605,11 @@ func (p *Platform) Stats() Stats {
 func (p *Platform) Close() {
 	p.closeOnce.Do(func() {
 		p.closed.Store(true)
+		if p.Planner != nil {
+			// Stop the policy tick before dispatch: a wave scheduled
+			// mid-shutdown would race the dispatcher teardown.
+			p.Planner.stopWait()
+		}
 		p.Sys.Close()
 		if p.MD != nil {
 			p.MD.Close()

@@ -103,6 +103,20 @@ func (bp *BrokerPool) Delegations() uint64 { return bp.sum((*Broker).Delegations
 // zero unless an oshard part was forged.
 func (bp *BrokerPool) Misroutes() uint64 { return bp.sum((*Broker).Misroutes) }
 
+// AuditForwards reports audit requests re-routed to a symbol's current
+// owner across the pool (trades published before a migration carry the
+// old shard's oshard stamp).
+func (bp *BrokerPool) AuditForwards() uint64 { return bp.sum((*Broker).AuditForwards) }
+
+// MigrationRejects reports refused migrate events across the pool:
+// forged or stale hand-offs, or duplicate installs losing the
+// first-wins race.
+func (bp *BrokerPool) MigrationRejects() uint64 { return bp.sum((*Broker).MigrationRejects) }
+
+// RoutedOrders reports order publications stamped for any shard — the
+// offered-load side of the load accounting (see load.go).
+func (bp *BrokerPool) RoutedOrders() uint64 { return bp.sum((*Broker).RoutedOrders) }
+
 func (bp *BrokerPool) sum(f func(*Broker) uint64) uint64 {
 	var n uint64
 	for _, b := range bp.shards {

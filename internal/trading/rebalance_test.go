@@ -553,4 +553,20 @@ func TestAuditForwardAfterMigration(t *testing.T) {
 	if got := p.Broker.Shards()[src].Delegations(); got != 0 {
 		t.Fatalf("source shard issued %d delegations after losing the symbol", got)
 	}
+	// The operational counters must surface in the aggregate Stats()
+	// snapshot, not only on the per-shard accessors.
+	st := p.Stats()
+	if st.Migrations != 1 {
+		t.Fatalf("Stats.Migrations = %d, want 1", st.Migrations)
+	}
+	if st.AuditForwards != 1 {
+		t.Fatalf("Stats.AuditForwards = %d, want 1", st.AuditForwards)
+	}
+	if st.MigrationRejects != 0 || st.Misroutes != 0 {
+		t.Fatalf("honest run rejected work: %d migration rejects, %d misroutes",
+			st.MigrationRejects, st.Misroutes)
+	}
+	if st.OrdersRouted != st.OrdersPlaced || st.OrdersRouted < 2 {
+		t.Fatalf("Stats.OrdersRouted = %d for %d placed orders", st.OrdersRouted, st.OrdersPlaced)
+	}
 }

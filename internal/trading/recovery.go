@@ -144,6 +144,11 @@ func Recover(cfg Config) (*Platform, *RecoveryReport, error) {
 		}
 	}
 
+	// The planner must not tick while shards replay and routes are
+	// being reconciled — it would measure half-rebuilt state and could
+	// schedule a migration against a route table mid-repair. Assemble
+	// with the tick deferred and start it once recovery is done.
+	cfg.deferPlannerStart = true
 	p, err := New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -162,6 +167,9 @@ func Recover(cfg Config) (*Platform, *RecoveryReport, error) {
 	// pick one owner per symbol by hand-off epoch and rebuild the
 	// route table before traffic resumes.
 	p.reconcileMigrations()
+	if p.Planner != nil {
+		p.Planner.start()
+	}
 	return p, report, nil
 }
 

@@ -320,6 +320,23 @@ func TestShardedPoolChaos(t *testing.T) {
 		// enough that later waves recover from checkpoint+tail.
 		JournalCheckpointEvery: 1500,
 		JournalStagingCap:      1 << 16,
+		// The planner runs throughout the chaos, ticked manually at each
+		// quiescent point with hair-trigger thresholds so its waves
+		// interleave with the scheduled crashes and hand-offs; per-symbol
+		// outcomes are migration-invariant, so every audit below must
+		// hold regardless of what it decides. Manual mode also exercises
+		// Recover's deferred-start path on every kill wave.
+		Planner: PlannerConfig{
+			Enable:         true,
+			Manual:         true,
+			EWMATau:        50 * time.Millisecond,
+			HotRatio:       1.2,
+			HotStreak:      1,
+			MinSamples:     1,
+			MinRate:        0.000001,
+			SymbolCooldown: time.Millisecond,
+			WaveCooldown:   time.Millisecond,
+		},
 	}
 	p, err := New(cfg)
 	if err != nil {
@@ -378,6 +395,16 @@ func TestShardedPoolChaos(t *testing.T) {
 			t.Fatalf("wave %d did not quiesce", wave)
 		}
 		time.Sleep(30 * time.Millisecond)
+		// Planner tick at the quiescent point: any wave it schedules
+		// lands before the audits below, which must hold over the
+		// post-wave state too.
+		if rep := p.Planner.Step(); rep.Executed() {
+			for _, m := range rep.Moves {
+				if m.Err != "" {
+					t.Fatalf("wave %d: planner migrate %s: %s", wave, m.Symbol, m.Err)
+				}
+			}
+		}
 		// Quiescent point: full structural + conservation audit.
 		if err := p.Broker.ValidateBooks(); err != nil {
 			t.Fatalf("wave %d: %v", wave, err)

@@ -327,13 +327,24 @@ func (t *Trader) routeOne(symbol string, publish func(shard int)) {
 	rt.mu.RLock()
 	s := rt.load()
 	if fq := s.frozen[symbol]; fq != nil {
-		fq.add(publish)
+		fq.add(func(shard int) {
+			t.noteRouted(shard)
+			publish(shard)
+		})
 		rt.mu.RUnlock()
 		return
 	}
 	shard := s.shardOf(symbol, rt.nshards)
+	t.noteRouted(shard)
 	publish(shard)
 	rt.mu.RUnlock()
+}
+
+// noteRouted charges one order publication to the shard the routing
+// layer chose — the load sampler's offered-load counter. One atomic
+// add on the publish path; the rate math happens at sample time.
+func (t *Trader) noteRouted(shard int) {
+	t.p.Broker.shards[shard].routedTo.inc()
 }
 
 // flowEvent turns one order-flow op into an order event. Cancels and
@@ -399,10 +410,15 @@ func (t *Trader) placeFlow(ops []workload.OrderOp, batched bool) {
 	route := func(i int) (int, bool) {
 		if fq := snap.frozen[ops[i].Symbol]; fq != nil {
 			op := ops[i]
-			fq.add(func(shard int) { t.publishFlowOp(&op, shard) })
+			fq.add(func(shard int) {
+				t.noteRouted(shard)
+				t.publishFlowOp(&op, shard)
+			})
 			return 0, false
 		}
-		return snap.shardOf(ops[i].Symbol, rt.nshards), true
+		shard := snap.shardOf(ops[i].Symbol, rt.nshards)
+		t.noteRouted(shard)
+		return shard, true
 	}
 	if batched && len(ops) > 1 {
 		batch := make([]*events.Event, 0, len(ops))
